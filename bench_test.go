@@ -1,0 +1,67 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation surface — one testing.B target per experiment in the
+// DESIGN.md index. Each benchmark runs the full experiment (workload
+// generation + all competitors + scoring); ns/op therefore measures the
+// cost of reproducing that artifact end to end, and the experiment's
+// accuracy tables themselves are printed by cmd/streambench.
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkT1_04 -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchTable runs an experiment table builder under the benchmark loop
+// and sanity-checks that it produced rows.
+func benchTable(b *testing.B, build func() experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := build()
+		if len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", t.ID)
+		}
+	}
+}
+
+func BenchmarkT1_01_Sampling(b *testing.B)    { benchTable(b, experiments.T1_01_Sampling) }
+func BenchmarkT1_02_Filtering(b *testing.B)   { benchTable(b, experiments.T1_02_Filtering) }
+func BenchmarkT1_03_Correlation(b *testing.B) { benchTable(b, experiments.T1_03_Correlation) }
+func BenchmarkT1_04_Cardinality(b *testing.B) { benchTable(b, experiments.T1_04_Cardinality) }
+func BenchmarkT1_05_Quantiles(b *testing.B)   { benchTable(b, experiments.T1_05_Quantiles) }
+func BenchmarkT1_06_Moments(b *testing.B)     { benchTable(b, experiments.T1_06_Moments) }
+func BenchmarkT1_07_FrequentElements(b *testing.B) {
+	benchTable(b, experiments.T1_07_FrequentElements)
+}
+func BenchmarkT1_08_Inversions(b *testing.B)   { benchTable(b, experiments.T1_08_Inversions) }
+func BenchmarkT1_09_Subsequences(b *testing.B) { benchTable(b, experiments.T1_09_Subsequences) }
+func BenchmarkT1_10_PathAnalysis(b *testing.B) { benchTable(b, experiments.T1_10_PathAnalysis) }
+func BenchmarkT1_11_Anomaly(b *testing.B)      { benchTable(b, experiments.T1_11_Anomaly) }
+func BenchmarkT1_12_TemporalPatterns(b *testing.B) {
+	benchTable(b, experiments.T1_12_TemporalPatterns)
+}
+func BenchmarkT1_13_Prediction(b *testing.B)    { benchTable(b, experiments.T1_13_Prediction) }
+func BenchmarkT1_14_Clustering(b *testing.B)    { benchTable(b, experiments.T1_14_Clustering) }
+func BenchmarkT1_15_GraphAnalysis(b *testing.B) { benchTable(b, experiments.T1_15_GraphAnalysis) }
+func BenchmarkT1_16_BasicCounting(b *testing.B) { benchTable(b, experiments.T1_16_BasicCounting) }
+func BenchmarkT1_17_SignificantOnes(b *testing.B) {
+	benchTable(b, experiments.T1_17_SignificantOnes)
+}
+func BenchmarkS2_1_Histograms(b *testing.B) { benchTable(b, experiments.S2_1_Histograms) }
+func BenchmarkS2_2_Wavelets(b *testing.B)   { benchTable(b, experiments.S2_2_Wavelets) }
+func BenchmarkT2_1_Semantics(b *testing.B)  { benchTable(b, experiments.T2_1_Semantics) }
+func BenchmarkT2_2_Grouping(b *testing.B)   { benchTable(b, experiments.T2_2_Grouping) }
+func BenchmarkT2_3_Broker(b *testing.B)     { benchTable(b, experiments.T2_3_Broker) }
+func BenchmarkF1_Lambda(b *testing.B)       { benchTable(b, experiments.F1_Lambda) }
+func BenchmarkA1_ConservativeUpdate(b *testing.B) {
+	benchTable(b, experiments.A1_ConservativeUpdate)
+}
+func BenchmarkA2_SparseDenseCrossover(b *testing.B) {
+	benchTable(b, experiments.A2_SparseDenseCrossover)
+}
+func BenchmarkA3_DoubleHashing(b *testing.B)  { benchTable(b, experiments.A3_DoubleHashing) }
+func BenchmarkA4_AckingOverhead(b *testing.B) { benchTable(b, experiments.A4_AckingOverhead) }
+func BenchmarkA5_GKCompression(b *testing.B)  { benchTable(b, experiments.A5_GKCompression) }

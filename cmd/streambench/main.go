@@ -1,0 +1,36 @@
+// Command streambench regenerates every table and figure of the
+// reproduced paper's evaluation surface (Table 1 rows, Section 2
+// synopses, Table 2 platform comparisons, Figure 1 Lambda Architecture,
+// plus the design-choice ablations) and prints them as aligned text
+// tables. Run with an experiment id (e.g. "T1.4" or "F1") to print one.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	want := ""
+	if len(os.Args) > 1 {
+		want = strings.ToUpper(os.Args[1])
+	}
+	printed := 0
+	for _, table := range experiments.All() {
+		if want != "" && strings.ToUpper(table.ID) != want {
+			continue
+		}
+		fmt.Println(table.String())
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:\n", want)
+		for _, table := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-6s %s\n", table.ID, table.Title)
+		}
+		os.Exit(1)
+	}
+}

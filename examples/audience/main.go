@@ -1,0 +1,147 @@
+// Command audience reproduces the tutorial's site-audience-analysis
+// application: a day of page views over a Kafka-like partitioned log,
+// consumed by a worker group that maintains per-section unique-visitor
+// counts (HyperLogLog), cross-section audience overlap (KMV Jaccard),
+// session-duration percentiles (CKMS targeted at p50/p99), and a uniform
+// sample of visitors for an A/B test (reservoir sampling).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+const sections = 4
+
+var sectionNames = [sections]string{"home", "news", "sports", "video"}
+
+func main() {
+	const views = 300000
+	rng := workload.NewRNG(2024)
+	visitors := workload.NewZipf(rng, 80000, 1.05)
+
+	// Producer: page views into a 4-partition topic, keyed by visitor so
+	// each visitor's events stay ordered within a partition.
+	broker := repro.NewBroker()
+	topic, err := broker.CreateTopic("pageviews", 4, 0)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < views; i++ {
+		visitor := visitors.Draw()
+		section := pickSection(rng, visitor)
+		dur := uint32(2000 * rng.ExpFloat64()) // ms, long-tailed
+		var payload [16]byte
+		binary.LittleEndian.PutUint64(payload[0:], visitor)
+		binary.LittleEndian.PutUint32(payload[8:], uint32(section))
+		binary.LittleEndian.PutUint32(payload[12:], dur)
+		topic.Produce(fmt.Sprintf("v%d", visitor), payload[:])
+	}
+
+	// Consumer group: two workers share the topic; sketches merge after.
+	group, err := repro.NewConsumerGroup(broker, topic, "analytics")
+	if err != nil {
+		panic(err)
+	}
+	group.Join("worker-1")
+	group.Join("worker-2")
+
+	type workerState struct {
+		uniq    [sections]*repro.HyperLogLog
+		overlap [sections]*repro.KMV
+		dur     *repro.CKMS
+		sample  interface{ Update(uint64) }
+	}
+	mkState := func() *workerState {
+		st := &workerState{}
+		for s := 0; s < sections; s++ {
+			st.uniq[s], _ = repro.NewHyperLogLog(13, 5)
+			st.overlap[s], _ = repro.NewKMV(2048, 5)
+		}
+		st.dur, _ = repro.NewCKMS([]repro.QuantileTarget{
+			{Phi: 0.5, Eps: 0.02}, {Phi: 0.99, Eps: 0.001},
+		})
+		res, _ := repro.NewReservoir[uint64](1000, 5)
+		st.sample = res
+		return st
+	}
+	states := map[string]*workerState{"worker-1": mkState(), "worker-2": mkState()}
+	abSample, _ := repro.NewReservoir[uint64](1000, 5)
+
+	for _, w := range []string{"worker-1", "worker-2"} {
+		st := states[w]
+		for {
+			batches := group.Poll(w, 10000)
+			if len(batches) == 0 {
+				break
+			}
+			for _, b := range batches {
+				for _, m := range b.Messages {
+					visitor := binary.LittleEndian.Uint64(m.Value[0:])
+					section := int(binary.LittleEndian.Uint32(m.Value[8:]))
+					dur := binary.LittleEndian.Uint32(m.Value[12:])
+					st.uniq[section].UpdateUint64(visitor)
+					st.overlap[section].UpdateUint64(visitor)
+					st.dur.Update(float64(dur))
+					abSample.Update(visitor)
+				}
+				group.Commit(b.Partition, b.Next)
+			}
+		}
+	}
+
+	// Merge the workers' sketches (the scale-out step).
+	merged := states["worker-1"]
+	other := states["worker-2"]
+	for s := 0; s < sections; s++ {
+		if err := merged.uniq[s].Merge(other.uniq[s]); err != nil {
+			panic(err)
+		}
+		if err := merged.overlap[s].Merge(other.overlap[s]); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Printf("page views: %d   consumer lag after run: %d\n\n", views, broker.Lag("analytics", topic))
+	fmt.Println("unique visitors per section (merged HLL):")
+	for s := 0; s < sections; s++ {
+		fmt.Printf("  %-7s %8.0f\n", sectionNames[s], merged.uniq[s].Estimate())
+	}
+	j, _ := merged.overlap[1].Jaccard(merged.overlap[2])
+	fmt.Printf("\naudience overlap news<->sports (KMV Jaccard): %.3f\n", j)
+
+	fmt.Println("\nsession duration percentiles (worker-1 shard, CKMS):")
+	fmt.Printf("  p50 = %6.0f ms\n", merged.dur.Query(0.5))
+	fmt.Printf("  p99 = %6.0f ms\n", merged.dur.Query(0.99))
+
+	fmt.Printf("\nA/B-test sample: %d uniform visitors drawn from the stream\n",
+		len(abSample.Sample()))
+}
+
+// pickSection correlates section preference with the visitor id so that
+// news and sports share audience (they get overlapping visitor ranges).
+func pickSection(rng *workload.RNG, visitor uint64) int {
+	r := rng.Float64()
+	if visitor%3 == 0 { // sports-and-news crowd
+		if r < 0.45 {
+			return 1
+		}
+		if r < 0.9 {
+			return 2
+		}
+		return 0
+	}
+	switch {
+	case r < 0.5:
+		return 0
+	case r < 0.7:
+		return 1
+	case r < 0.8:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,122 @@
+// Command iotanomaly demonstrates the tutorial's sensor-network rows on a
+// synthetic IoT feed: a temperature sensor with injected spikes and a
+// level shift, plus dropped readings. The pipeline detects anomalies with
+// an EWMA control chart and a robust MAD detector, flags the regime change
+// with a KS change detector, and imputes the missing readings with a
+// Kalman filter — comparing against the persistence baseline.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 24h of 10s samples: fast machine-cycle seasonality + noise, with
+	// trouble injected at known points. The change-detector window spans
+	// two full seasonal periods so ordinary cycling looks stationary.
+	spec := workload.SeriesSpec{
+		N: 8640, Base: 21, SeasonAmp: 1.5, SeasonLen: 240, NoiseSD: 0.25,
+	}
+	anoms := []workload.Anomaly{
+		{Kind: workload.Spike, Index: 2000, Len: 1, Mag: 20},
+		{Kind: workload.Spike, Index: 4200, Len: 1, Mag: -16},
+		{Kind: workload.LevelShift, Index: 6000, Len: 2640, Mag: 12},
+	}
+	series := spec.Generate(workload.NewRNG(99), anoms)
+
+	ewma, _ := repro.NewEWMADetector(0.05)
+	mad, _ := repro.NewMADDetector(180)
+	change, _ := repro.NewChangeDetector(480, 0.4)
+
+	var ewmaHits, madHits []int
+	for i, v := range series.Values {
+		if ewma.Score(v) > 6 {
+			ewmaHits = append(ewmaHits, i)
+		}
+		if mad.Score(v) > 5 {
+			madHits = append(madHits, i)
+		}
+		change.Score(v)
+	}
+
+	fmt.Println("injected events: spike@2000, spike@4200, level-shift@6000")
+	fmt.Printf("EWMA fired %d times at: %v\n", len(ewmaHits), head(ewmaHits, 6))
+	fmt.Printf("MAD  fired %d times at: %v\n", len(madHits), head(madHits, 6))
+	fmt.Printf("KS change detector declared shifts at ticks: %v\n", change.Changes())
+
+	score := func(hits []int) (tp int) {
+		seen := map[int]bool{}
+		for _, h := range hits {
+			for _, a := range series.Anomalies {
+				if h >= a.Index-2 && h <= a.Index+a.Len+2 && !seen[a.Index] {
+					seen[a.Index] = true
+					tp++
+				}
+			}
+		}
+		return tp
+	}
+	fmt.Printf("events caught: EWMA %d/3, MAD %d/3\n\n", score(ewmaHits), score(madHits))
+
+	// Part 2: impute 8% dropped readings.
+	masked, missing := workload.WithMissing(workload.NewRNG(7), series.Values, 0.08)
+	kal, _ := repro.NewKalman(0.05, 0.5)
+	holt, _ := repro.NewHolt(0.5, 0.1)
+	kalmanRMSE := imputeRMSE(kal, series.Values, masked)
+	holtRMSE := imputeRMSE(holt, series.Values, masked)
+	lastRMSE := imputeLastValue(series.Values, masked)
+
+	fmt.Printf("missing readings: %d of %d\n", len(missing), len(series.Values))
+	fmt.Printf("imputation RMSE:  kalman %.3f   holt %.3f   last-value %.3f\n",
+		kalmanRMSE, holtRMSE, lastRMSE)
+	fmt.Println("(lower is better; the model-based imputers track the diurnal trend)")
+}
+
+type predictor interface {
+	Predict() float64
+	Observe(v float64)
+}
+
+func imputeRMSE(p predictor, truth, masked []float64) float64 {
+	var sumSq float64
+	var n int
+	for i := range masked {
+		f := p.Predict()
+		if math.IsNaN(masked[i]) {
+			d := f - truth[i]
+			sumSq += d * d
+			n++
+			p.Observe(f)
+		} else {
+			p.Observe(masked[i])
+		}
+	}
+	return math.Sqrt(sumSq / float64(n))
+}
+
+func imputeLastValue(truth, masked []float64) float64 {
+	var sumSq float64
+	var n int
+	last := masked[0]
+	for i := range masked {
+		if math.IsNaN(masked[i]) {
+			d := last - truth[i]
+			sumSq += d * d
+			n++
+		} else {
+			last = masked[i]
+		}
+	}
+	return math.Sqrt(sumSq / float64(n))
+}
+
+func head(xs []int, n int) []int {
+	if len(xs) <= n {
+		return xs
+	}
+	return xs[:n]
+}

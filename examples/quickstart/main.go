@@ -1,0 +1,73 @@
+// Command quickstart tours the core sketch API on a synthetic tweet
+// stream: distinct users (HyperLogLog), trending hashtags (Space-Saving),
+// tweet-length quantiles (Greenwald–Khanna), and seen-before filtering
+// (Bloom) — the four everyday tools of the tutorial's streaming-analytics
+// toolbox, in ~60 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const tweets = 200000
+	rng := workload.NewRNG(42)
+	users := workload.NewZipf(rng, 50000, 1.1)   // heavy tweeters exist
+	hashtags := workload.NewZipf(rng, 5000, 1.3) // a few tags trend
+
+	distinctUsers, _ := repro.NewHyperLogLog(14, 1)
+	trending, _ := repro.NewSpaceSaving(100)
+	lengths, _ := repro.NewGK(0.01)
+	seen, _ := repro.NewBloom(tweets, 0.01, 1)
+
+	exactUsers := map[uint64]struct{}{}
+	duplicates := 0
+
+	for i := 0; i < tweets; i++ {
+		user := users.Draw()
+		tag := fmt.Sprintf("#tag%d", hashtags.Draw())
+		length := 30 + rng.Intn(250)
+
+		distinctUsers.UpdateUint64(user)
+		trending.Update(tag)
+		lengths.Update(float64(length))
+
+		tweetID := []byte(fmt.Sprintf("%d:%s:%d", user, tag, i/2))
+		if seen.Contains(tweetID) {
+			duplicates++ // possibly a false positive; that's the contract
+		}
+		seen.Add(tweetID)
+
+		exactUsers[user] = struct{}{}
+	}
+
+	fmt.Printf("tweets processed:      %d\n", tweets)
+	fmt.Printf("distinct users (HLL):  %.0f  (exact %d, err %.2f%%)\n",
+		distinctUsers.Estimate(), len(exactUsers),
+		100*abs(distinctUsers.Estimate()-float64(len(exactUsers)))/float64(len(exactUsers)))
+	fmt.Printf("HLL memory:            %d bytes (vs %d keys exact)\n",
+		distinctUsers.Bytes(), len(exactUsers))
+
+	fmt.Println("\ntop-5 trending hashtags (Space-Saving, 100 counters):")
+	for _, c := range trending.TopK(5) {
+		fmt.Printf("  %-8s count~%-7d (max overcount %d)\n", c.Item, c.Count, c.Err)
+	}
+
+	fmt.Println("\ntweet length quantiles (GK, eps=0.01):")
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		fmt.Printf("  p%-3.0f = %.0f chars\n", phi*100, lengths.Query(phi))
+	}
+	fmt.Printf("GK summary holds %d tuples for %d observations\n", lengths.Tuples(), tweets)
+
+	fmt.Printf("\nbloom 'seen before' hits: %d (true dups + ~1%% false positives)\n", duplicates)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

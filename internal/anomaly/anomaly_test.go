@@ -1,0 +1,214 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// scoreSeries runs a detector over a labelled series and returns
+// (truePositives, falsePositives, positives) at the given threshold.
+func scoreSeries(d Detector, s workload.Series, threshold float64, slack int) (tp, fp, anomalous int) {
+	fired := map[int]bool{}
+	for i, v := range s.Values {
+		if d.Score(v) > threshold {
+			fired[i] = true
+		}
+	}
+	for i := range fired {
+		if s.IsAnomalous(i, slack) {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp, len(fired)
+}
+
+func spikeSeries(seed uint64) workload.Series {
+	spec := workload.SeriesSpec{N: 5000, Base: 100, NoiseSD: 2}
+	anoms := []workload.Anomaly{
+		{Kind: workload.Spike, Index: 1000, Len: 1, Mag: 12},
+		{Kind: workload.Spike, Index: 2500, Len: 1, Mag: 15},
+		{Kind: workload.Spike, Index: 4000, Len: 1, Mag: 10},
+	}
+	return spec.Generate(workload.NewRNG(seed), anoms)
+}
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := NewEWMA(0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := NewEWMA(1.5); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+}
+
+func TestEWMADetectsSpikes(t *testing.T) {
+	s := spikeSeries(1)
+	d, _ := NewEWMA(0.05)
+	tp, fp, _ := scoreSeries(d, s, 6, 1)
+	if tp < 3 {
+		t.Fatalf("EWMA found %d/3 spikes", tp)
+	}
+	if fp > 5 {
+		t.Fatalf("EWMA fired %d false positives", fp)
+	}
+}
+
+func TestEWMATracksDrift(t *testing.T) {
+	// A slow trend must not fire a well-tuned EWMA.
+	spec := workload.SeriesSpec{N: 5000, Base: 0, Trend: 0.01, NoiseSD: 1}
+	s := spec.Generate(workload.NewRNG(2), nil)
+	d, _ := NewEWMA(0.1)
+	_, fp, _ := scoreSeries(d, s, 6, 0)
+	if fp > 5 {
+		t.Fatalf("EWMA fired %d times on pure drift", fp)
+	}
+}
+
+func TestMADRobustToLevelShift(t *testing.T) {
+	// After a level shift, MAD should fire at the shift boundary and then
+	// re-adapt once the window fills with the new level.
+	spec := workload.SeriesSpec{N: 4000, Base: 50, NoiseSD: 1}
+	anoms := []workload.Anomaly{{Kind: workload.LevelShift, Index: 2000, Len: 2000, Mag: 20}}
+	s := spec.Generate(workload.NewRNG(3), anoms)
+	d, _ := NewMAD(200)
+	fires := []int{}
+	for i, v := range s.Values {
+		if d.Score(v) > 8 {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) == 0 {
+		t.Fatal("MAD never fired on a 20-sigma level shift")
+	}
+	if fires[0] < 1990 || fires[0] > 2010 {
+		t.Fatalf("first fire at %d, want ~2000", fires[0])
+	}
+	// It must stop firing once adapted (no fires in the last quarter).
+	for _, f := range fires {
+		if f > 3000 {
+			t.Fatalf("MAD still firing at %d after adaptation window", f)
+		}
+	}
+}
+
+func TestMADHandlesConstantSeries(t *testing.T) {
+	d, _ := NewMAD(50)
+	for i := 0; i < 200; i++ {
+		if s := d.Score(5); i > 3 && s != 0 {
+			t.Fatalf("constant series scored %v", s)
+		}
+	}
+	// A deviation from a constant series is infinitely surprising.
+	if s := d.Score(6); !math.IsInf(s, 1) {
+		t.Fatalf("deviation from constant scored %v", s)
+	}
+}
+
+func TestChangeDetectorFindsDistributionShift(t *testing.T) {
+	d, err := NewChangeDetector(100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(4)
+	// 2000 samples N(0,1), then 2000 samples N(5,1).
+	for i := 0; i < 2000; i++ {
+		d.Score(rng.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		d.Score(5 + rng.NormFloat64())
+	}
+	changes := d.Changes()
+	if len(changes) == 0 {
+		t.Fatal("no change detected across a 5-sigma mean shift")
+	}
+	first := changes[0]
+	if first < 2000 || first > 2400 {
+		t.Fatalf("change detected at %d, want shortly after 2000", first)
+	}
+	if len(changes) > 3 {
+		t.Fatalf("%d changes declared for a single shift", len(changes))
+	}
+}
+
+func TestChangeDetectorQuietOnStationary(t *testing.T) {
+	d, _ := NewChangeDetector(100, 0.5)
+	rng := workload.NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		d.Score(rng.NormFloat64())
+	}
+	if n := len(d.Changes()); n != 0 {
+		t.Fatalf("%d spurious changes on stationary stream", n)
+	}
+}
+
+func TestHSTreesValidation(t *testing.T) {
+	if _, err := NewHSTrees(0, 5, 1, 100, []float64{0}, []float64{1}, 1); err == nil {
+		t.Fatal("trees=0 accepted")
+	}
+	if _, err := NewHSTrees(5, 5, 2, 100, []float64{0}, []float64{1}, 1); err == nil {
+		t.Fatal("bounds dim mismatch accepted")
+	}
+}
+
+func TestHSTreesScoresOutliersHigher(t *testing.T) {
+	h, err := NewHSTrees(25, 8, 1, 500, []float64{0}, []float64{1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(6)
+	// Warm up with mass concentrated near 0.5.
+	for i := 0; i < 2000; i++ {
+		h.Score(0.5 + rng.NormFloat64()*0.02)
+	}
+	if !h.Warm() {
+		t.Fatal("not warm after 4 windows")
+	}
+	inlier := h.Score(0.5)
+	outlier := h.Score(0.95)
+	if outlier <= inlier {
+		t.Fatalf("outlier %v not above inlier %v", outlier, inlier)
+	}
+}
+
+func TestHSTreesAdaptsAfterWindows(t *testing.T) {
+	h, _ := NewHSTrees(25, 8, 1, 500, []float64{0}, []float64{1}, 8)
+	rng := workload.NewRNG(7)
+	for i := 0; i < 2000; i++ {
+		h.Score(0.2 + rng.NormFloat64()*0.02)
+	}
+	before := h.Score(0.8)
+	// Move the distribution to 0.8 for several windows; it must stop being
+	// anomalous.
+	for i := 0; i < 2000; i++ {
+		h.Score(0.8 + rng.NormFloat64()*0.02)
+	}
+	after := h.Score(0.8)
+	if after >= before {
+		t.Fatalf("model did not adapt: before %v after %v", before, after)
+	}
+}
+
+func BenchmarkEWMAScore(b *testing.B) {
+	d, _ := NewEWMA(0.05)
+	for i := 0; i < b.N; i++ {
+		d.Score(float64(i % 100))
+	}
+}
+
+func BenchmarkMADScore(b *testing.B) {
+	d, _ := NewMAD(100)
+	for i := 0; i < b.N; i++ {
+		d.Score(float64(i % 100))
+	}
+}
+
+func BenchmarkHSTreesScore(b *testing.B) {
+	h, _ := NewHSTrees(25, 10, 1, 1000, []float64{0}, []float64{1}, 1)
+	for i := 0; i < b.N; i++ {
+		h.Score(float64(i%100) / 100)
+	}
+}

@@ -1,0 +1,220 @@
+// Package anomaly implements streaming anomaly detection — the tutorial's
+// Table 1 row motivated by sensor networks and, at Twitter, by operational
+// metrics monitoring. It provides the standard detector ladder the survey's
+// citations span:
+//
+//   - EWMA/z-score: parametric control-chart detection,
+//   - robust median/MAD over sliding windows (non-parametric, resistant to
+//     the anomalies themselves, cf. Subramaniam et al.),
+//   - distribution-change detection between adjacent windows (the
+//     Dasu et al. "change you can believe in" row),
+//   - HS-trees (Tan–Ting–Liu "fast anomaly detection for streaming data"):
+//     an ensemble of random half-space trees scoring mass profiles.
+//
+// All detectors share the Detector interface so the T1.11 experiment can
+// score them uniformly against labelled synthetic streams.
+package anomaly
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Detector scores one observation at a time; higher scores are more
+// anomalous. Implementations define their own scale; callers threshold.
+type Detector interface {
+	// Score ingests v and returns its anomaly score.
+	Score(v float64) float64
+}
+
+// EWMA is an exponentially weighted moving average control chart: the
+// score is the absolute z-score of the observation against the EW mean and
+// EW variance. The classic first-line detector for metric spikes.
+type EWMA struct {
+	alpha    float64
+	mean     float64
+	variance float64
+	n        uint64
+}
+
+// NewEWMA returns an EWMA detector with smoothing factor alpha in (0,1].
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, core.Errf("EWMA", "alpha", "%v not in (0,1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// ewmaWarmup is the number of observations used purely to seed the
+// baseline; control charts score nothing until the baseline exists.
+const ewmaWarmup = 10
+
+// Score ingests v and returns |z|, its distance from the EW mean in EW
+// standard deviations. The first ewmaWarmup observations score 0 while
+// they seed the baseline.
+func (e *EWMA) Score(v float64) float64 {
+	e.n++
+	if e.n == 1 {
+		e.mean = v
+		return 0
+	}
+	var z float64
+	if e.n > ewmaWarmup {
+		sd := math.Sqrt(e.variance)
+		if sd > 1e-12 {
+			z = math.Abs(v-e.mean) / sd
+		} else if v != e.mean {
+			z = math.Inf(1)
+		}
+	}
+	// Update after scoring so the anomaly does not mask itself.
+	diff := v - e.mean
+	incr := e.alpha * diff
+	e.mean += incr
+	e.variance = (1 - e.alpha) * (e.variance + diff*incr)
+	return z
+}
+
+// Mean returns the current EW mean.
+func (e *EWMA) Mean() float64 { return e.mean }
+
+// MAD is a robust sliding-window detector: the score is the observation's
+// distance from the window median in units of 1.4826*MAD (the consistent
+// sigma estimate). Unlike EWMA, level shifts and heavy outliers inside the
+// window barely perturb the baseline.
+type MAD struct {
+	window []float64
+	pos    int
+	filled int
+}
+
+// NewMAD returns a median/MAD detector over a window of n samples.
+func NewMAD(n int) (*MAD, error) {
+	if n < 3 {
+		return nil, core.Errf("MAD", "n", "%d must be >= 3", n)
+	}
+	return &MAD{window: make([]float64, n)}, nil
+}
+
+// Score ingests v and returns its robust z-score against the current
+// window (scored before insertion).
+func (m *MAD) Score(v float64) float64 {
+	var score float64
+	if m.filled >= 3 {
+		med := median(m.window[:m.filled])
+		devs := make([]float64, m.filled)
+		for i := 0; i < m.filled; i++ {
+			devs[i] = math.Abs(m.window[i] - med)
+		}
+		mad := median(devs) * 1.4826
+		if mad > 1e-12 {
+			score = math.Abs(v-med) / mad
+		} else if v != med {
+			score = math.Inf(1)
+		}
+	}
+	m.window[m.pos] = v
+	m.pos = (m.pos + 1) % len(m.window)
+	if m.filled < len(m.window) {
+		m.filled++
+	}
+	return score
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// insertion select via sort of a copy; windows are small
+	quickSelectSort(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+func quickSelectSort(xs []float64) {
+	// Small windows: insertion sort avoids the sort package's interface
+	// overhead in the hot scoring loop.
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// ChangeDetector detects distribution shifts by comparing the empirical
+// CDFs of a reference window and the current window with a two-sample
+// Kolmogorov–Smirnov statistic. The score is the KS distance in [0,1];
+// when it exceeds the threshold the current window is promoted to the new
+// reference (self-resetting change detection).
+type ChangeDetector struct {
+	size      int
+	threshold float64
+	ref       []float64
+	cur       []float64
+	changes   []uint64
+	n         uint64
+}
+
+// NewChangeDetector returns a KS change detector with the given window
+// size and promotion threshold.
+func NewChangeDetector(size int, threshold float64) (*ChangeDetector, error) {
+	if size < 8 {
+		return nil, core.Errf("ChangeDetector", "size", "%d must be >= 8", size)
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, core.Errf("ChangeDetector", "threshold", "%v not in (0,1)", threshold)
+	}
+	return &ChangeDetector{size: size, threshold: threshold}, nil
+}
+
+// Score ingests v and returns the current KS distance between reference
+// and current windows (0 until both are full).
+func (c *ChangeDetector) Score(v float64) float64 {
+	c.n++
+	if len(c.ref) < c.size {
+		c.ref = append(c.ref, v)
+		return 0
+	}
+	c.cur = append(c.cur, v)
+	if len(c.cur) < c.size {
+		return 0
+	}
+	d := ksDistance(c.ref, c.cur)
+	if d > c.threshold {
+		c.changes = append(c.changes, c.n)
+		c.ref = append(c.ref[:0], c.cur...)
+	}
+	// Slide the current window by half for overlap.
+	c.cur = append(c.cur[:0], c.cur[c.size/2:]...)
+	return d
+}
+
+// Changes returns the stream positions at which shifts were declared.
+func (c *ChangeDetector) Changes() []uint64 { return c.changes }
+
+func ksDistance(a, b []float64) float64 {
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	quickSelectSort(sa)
+	quickSelectSort(sb)
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(sa) && j < len(sb) {
+		if sa[i] <= sb[j] {
+			i++
+		} else {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}

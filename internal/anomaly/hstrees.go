@@ -1,0 +1,145 @@
+package anomaly
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// HSTrees is the streaming half-space trees ensemble of Tan, Ting and Liu
+// (IJCAI'11), cited in the survey's anomaly row: an ensemble of random
+// binary trees over the (normalized) value space, each node splitting a
+// randomly chosen dimension at its midpoint. Mass counts are collected in
+// one window and used for scoring in the next (the reference/latest window
+// flip), so the model adapts to drift without storing points.
+//
+// Scores are inverted mass: points falling into sparsely populated leaves
+// score high.
+type HSTrees struct {
+	trees      []*hsNode
+	depth      int
+	windowSize int
+	seen       int
+	dims       int
+	mins       []float64
+	maxs       []float64
+	warm       bool
+}
+
+type hsNode struct {
+	dim         int
+	split       float64
+	left, right *hsNode
+	refMass     float64 // mass from the reference window (used to score)
+	latest      float64 // mass accumulating in the current window
+}
+
+// NewHSTrees returns an ensemble of trees half-space trees of the given
+// depth over dims-dimensional points, flipping windows every windowSize
+// observations. mins/maxs bound the value space (the workrange).
+func NewHSTrees(trees, depth, dims, windowSize int, mins, maxs []float64, seed uint64) (*HSTrees, error) {
+	if trees <= 0 {
+		return nil, core.Errf("HSTrees", "trees", "%d must be positive", trees)
+	}
+	if depth <= 0 || depth > 20 {
+		return nil, core.Errf("HSTrees", "depth", "%d not in [1,20]", depth)
+	}
+	if dims <= 0 {
+		return nil, core.Errf("HSTrees", "dims", "%d must be positive", dims)
+	}
+	if windowSize <= 0 {
+		return nil, core.Errf("HSTrees", "windowSize", "%d must be positive", windowSize)
+	}
+	if len(mins) != dims || len(maxs) != dims {
+		return nil, core.Errf("HSTrees", "bounds", "mins/maxs must have %d entries", dims)
+	}
+	rng := workload.NewRNG(seed)
+	h := &HSTrees{
+		depth:      depth,
+		windowSize: windowSize,
+		dims:       dims,
+		mins:       append([]float64(nil), mins...),
+		maxs:       append([]float64(nil), maxs...),
+	}
+	for t := 0; t < trees; t++ {
+		lo := append([]float64(nil), mins...)
+		hi := append([]float64(nil), maxs...)
+		h.trees = append(h.trees, buildHSNode(rng, lo, hi, depth))
+	}
+	return h, nil
+}
+
+func buildHSNode(rng *workload.RNG, lo, hi []float64, depth int) *hsNode {
+	if depth == 0 {
+		return &hsNode{dim: -1}
+	}
+	dim := rng.Intn(len(lo))
+	split := (lo[dim] + hi[dim]) / 2
+	n := &hsNode{dim: dim, split: split}
+	oldHi := hi[dim]
+	hi[dim] = split
+	n.left = buildHSNode(rng, lo, hi, depth-1)
+	hi[dim] = oldHi
+	oldLo := lo[dim]
+	lo[dim] = split
+	n.right = buildHSNode(rng, lo, hi, depth-1)
+	lo[dim] = oldLo
+	return n
+}
+
+// ScorePoint ingests a dims-dimensional point and returns its anomaly
+// score (higher = more anomalous). During the first (warm-up) window the
+// score is 0 while reference mass accumulates.
+func (h *HSTrees) ScorePoint(p []float64) float64 {
+	score := 0.0
+	for _, root := range h.trees {
+		node := root
+		depth := 0
+		for node.dim >= 0 {
+			node.latest++
+			if p[node.dim] < node.split {
+				node = node.left
+			} else {
+				node = node.right
+			}
+			depth++
+		}
+		node.latest++
+		if h.warm {
+			// Tan et al. scoring: leaf reference mass scaled by 2^depth;
+			// low mass at high depth = anomalous. Invert so higher = worse.
+			mass := node.refMass * math.Pow(2, float64(depth))
+			score += 1 / (1 + mass)
+		}
+	}
+	h.seen++
+	if h.seen >= h.windowSize {
+		h.flip()
+		h.seen = 0
+		h.warm = true
+	}
+	return score / float64(len(h.trees))
+}
+
+// Score implements Detector for one-dimensional streams.
+func (h *HSTrees) Score(v float64) float64 { return h.ScorePoint([]float64{v}) }
+
+func (h *HSTrees) flip() {
+	for _, root := range h.trees {
+		flipNode(root)
+	}
+}
+
+func flipNode(n *hsNode) {
+	if n == nil {
+		return
+	}
+	n.refMass = n.latest
+	n.latest = 0
+	flipNode(n.left)
+	flipNode(n.right)
+}
+
+// Warm reports whether a full reference window has been accumulated.
+func (h *HSTrees) Warm() bool { return h.warm }

@@ -1,0 +1,162 @@
+// Package cardinality implements the distinct-counting sketches surveyed in
+// the tutorial's "Estimating Cardinality" row of Table 1: Linear Counting,
+// Flajolet–Martin probabilistic counting (PCSA), Durand–Flajolet LogLog,
+// HyperLogLog (with a sparse small-cardinality mode following HLL++), KMV
+// bottom-k estimation, and a sliding-window HyperLogLog.
+//
+// All sketches hash items themselves (callers pass raw bytes or uint64
+// keys), are mergeable where the underlying mathematics permits, and report
+// their memory footprint so experiments can plot error against bytes — the
+// axis on which the paper's site-audience-analysis application compares
+// them.
+package cardinality
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// HyperLogLog estimates the number of distinct items in a stream using
+// Flajolet–Fuss–Gandouet–Meunier's estimator over 2^precision registers.
+// The standard error is about 1.04/sqrt(2^precision).
+//
+// Small cardinalities use linear counting over the same registers (the
+// standard bias correction), which is the practically important regime for
+// per-key audience counters; this mirrors the "HyperLogLog in practice"
+// engineering the survey cites.
+type HyperLogLog struct {
+	precision uint8
+	registers []uint8
+	seed      uint64
+	items     uint64
+}
+
+// NewHyperLogLog returns an HLL with 2^precision registers.
+// Precision must be in [4, 18].
+func NewHyperLogLog(precision uint8, seed uint64) (*HyperLogLog, error) {
+	if precision < 4 || precision > 18 {
+		return nil, core.Errf("HyperLogLog", "precision", "%d not in [4,18]", precision)
+	}
+	return &HyperLogLog{
+		precision: precision,
+		registers: make([]uint8, 1<<precision),
+		seed:      seed,
+	}, nil
+}
+
+// Update adds an item.
+func (h *HyperLogLog) Update(item []byte) {
+	h.UpdateHash(hashutil.Sum64(item, h.seed))
+}
+
+// UpdateString adds a string item.
+func (h *HyperLogLog) UpdateString(s string) {
+	h.UpdateHash(hashutil.Sum64String(s, h.seed))
+}
+
+// UpdateUint64 adds an integer item.
+func (h *HyperLogLog) UpdateUint64(x uint64) {
+	h.UpdateHash(hashutil.Sum64Uint64(x, h.seed))
+}
+
+// UpdateHash adds a pre-hashed item. The top precision bits select the
+// register; the rank of the remaining bits' leading zeros updates it.
+func (h *HyperLogLog) UpdateHash(hv uint64) {
+	h.items++
+	idx := hv >> (64 - h.precision)
+	rest := hv<<h.precision | 1<<(h.precision-1) // guard bit bounds the rank
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// alpha is the bias-correction constant for m registers.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+// Estimate returns the estimated number of distinct items.
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(len(h.registers))
+	sum := 0.0
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	raw := alpha(len(h.registers)) * m * m / sum
+	// Small-range correction: linear counting when many registers are empty.
+	if raw <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return raw
+}
+
+// Items returns the number of updates absorbed.
+func (h *HyperLogLog) Items() uint64 { return h.items }
+
+// Bytes returns the register array footprint.
+func (h *HyperLogLog) Bytes() int { return len(h.registers) + 16 }
+
+// Merge folds another HLL into h. Both must share precision and seed;
+// merging is register-wise max and is exactly equivalent to having streamed
+// the union.
+func (h *HyperLogLog) Merge(other *HyperLogLog) error {
+	if other == nil || h.precision != other.precision || h.seed != other.seed {
+		return core.ErrIncompatible
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	h.items += other.items
+	return nil
+}
+
+// MarshalBinary encodes the sketch: [precision][seed][items][registers...].
+func (h *HyperLogLog) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 1+8+8+len(h.registers))
+	out[0] = h.precision
+	binary.LittleEndian.PutUint64(out[1:], h.seed)
+	binary.LittleEndian.PutUint64(out[9:], h.items)
+	copy(out[17:], h.registers)
+	return out, nil
+}
+
+// UnmarshalBinary decodes a sketch previously encoded with MarshalBinary.
+func (h *HyperLogLog) UnmarshalBinary(data []byte) error {
+	if len(data) < 17 {
+		return core.ErrCorrupt
+	}
+	p := data[0]
+	if p < 4 || p > 18 || len(data) != 17+(1<<p) {
+		return core.ErrCorrupt
+	}
+	h.precision = p
+	h.seed = binary.LittleEndian.Uint64(data[1:])
+	h.items = binary.LittleEndian.Uint64(data[9:])
+	h.registers = make([]uint8, 1<<p)
+	copy(h.registers, data[17:])
+	return nil
+}
+
+// StdError returns the theoretical relative standard error 1.04/sqrt(m).
+func (h *HyperLogLog) StdError() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.registers)))
+}

@@ -1,0 +1,192 @@
+package cardinality
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// KMV (k minimum values, also "bottom-k") keeps the k smallest hash values
+// seen; if the k-th smallest is h_k (as a fraction of the hash space), the
+// distinct count is about (k-1)/h_k. Unlike the register sketches, KMV also
+// supports set operations (Jaccard similarity via minima intersection),
+// which is why production sketch libraries such as the DataSketches theta
+// sketch the survey mentions are built on it.
+type KMV struct {
+	k     int
+	seed  uint64
+	items uint64
+	// heap is a max-heap of the k smallest hashes seen so far, so the
+	// largest retained value is O(1) to find and evict.
+	heap []uint64
+	set  map[uint64]struct{} // dedupes hash values in the heap
+}
+
+// NewKMV returns a bottom-k sketch of size k.
+func NewKMV(k int, seed uint64) (*KMV, error) {
+	if k < 2 {
+		return nil, core.Errf("KMV", "k", "%d must be >= 2", k)
+	}
+	return &KMV{k: k, seed: seed, set: make(map[uint64]struct{}, k)}, nil
+}
+
+// Update adds an item.
+func (s *KMV) Update(item []byte) { s.UpdateHash(hashutil.Sum64(item, s.seed)) }
+
+// UpdateUint64 adds an integer item.
+func (s *KMV) UpdateUint64(x uint64) { s.UpdateHash(hashutil.Sum64Uint64(x, s.seed)) }
+
+// UpdateHash adds a pre-hashed item.
+func (s *KMV) UpdateHash(hv uint64) {
+	s.items++
+	if _, dup := s.set[hv]; dup {
+		return
+	}
+	if len(s.heap) < s.k {
+		s.set[hv] = struct{}{}
+		s.heapPush(hv)
+		return
+	}
+	if hv >= s.heap[0] {
+		return
+	}
+	delete(s.set, s.heap[0])
+	s.set[hv] = struct{}{}
+	s.heap[0] = hv
+	s.siftDown(0)
+}
+
+func (s *KMV) heapPush(v uint64) {
+	s.heap = append(s.heap, v)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent] >= s.heap[i] {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *KMV) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && s.heap[l] > s.heap[largest] {
+			largest = l
+		}
+		if r < n && s.heap[r] > s.heap[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		s.heap[i], s.heap[largest] = s.heap[largest], s.heap[i]
+		i = largest
+	}
+}
+
+// Estimate returns the bottom-k distinct-count estimate.
+func (s *KMV) Estimate() float64 {
+	if len(s.heap) < s.k {
+		// Fewer than k distinct hashes seen: the sketch is exact.
+		return float64(len(s.heap))
+	}
+	kth := float64(s.heap[0]) / float64(^uint64(0))
+	if kth == 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / kth
+}
+
+// Items returns the number of updates absorbed.
+func (s *KMV) Items() uint64 { return s.items }
+
+// Bytes returns the retained-minima footprint.
+func (s *KMV) Bytes() int { return len(s.heap)*8 + len(s.set)*8 + 24 }
+
+// Merge folds another KMV into s; the result is the bottom-k of the union.
+func (s *KMV) Merge(other *KMV) error {
+	if other == nil || s.k != other.k || s.seed != other.seed {
+		return core.ErrIncompatible
+	}
+	for _, hv := range other.heap {
+		s.items-- // UpdateHash will re-increment; merged minima are not new stream items
+		s.UpdateHash(hv)
+	}
+	s.items += other.items
+	return nil
+}
+
+// Jaccard estimates the Jaccard similarity |A∩B|/|A∪B| between the sets
+// summarized by s and other, using the k smallest values of the union.
+func (s *KMV) Jaccard(other *KMV) (float64, error) {
+	if other == nil || s.k != other.k || s.seed != other.seed {
+		return 0, core.ErrIncompatible
+	}
+	a := s.sortedMinima()
+	b := other.sortedMinima()
+	union := mergeSortedUnique(a, b)
+	if len(union) > s.k {
+		union = union[:s.k]
+	}
+	if len(union) == 0 {
+		return 0, nil
+	}
+	inBoth := 0
+	bset := make(map[uint64]struct{}, len(b))
+	for _, v := range b {
+		bset[v] = struct{}{}
+	}
+	aset := make(map[uint64]struct{}, len(a))
+	for _, v := range a {
+		aset[v] = struct{}{}
+	}
+	for _, v := range union {
+		_, ina := aset[v]
+		_, inb := bset[v]
+		if ina && inb {
+			inBoth++
+		}
+	}
+	return float64(inBoth) / float64(len(union)), nil
+}
+
+func (s *KMV) sortedMinima() []uint64 {
+	out := append([]uint64(nil), s.heap...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func mergeSortedUnique(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v uint64
+		switch {
+		case i >= len(a):
+			v = b[j]
+			j++
+		case j >= len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case b[j] < a[i]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package cardinality
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// SlidingHLL estimates the number of distinct items seen within the last W
+// ticks of stream time, following the "Sliding HyperLogLog" construction
+// (Chabchoub–Hébrail) the survey cites: each register keeps a list of
+// (timestamp, rank) pairs that form the "future possible maxima" — an entry
+// survives only while no younger entry has an equal-or-higher rank. A query
+// at time t over window w takes the max rank among entries younger than t-w.
+//
+// The LFPM lists are logarithmic in window size in expectation, so the
+// total footprint stays near the dense HLL's while supporting *any* window
+// length up to W at query time.
+type SlidingHLL struct {
+	precision uint8
+	seed      uint64
+	window    uint64 // maximum queryable window, in ticks
+	now       uint64
+	items     uint64
+	lfpm      [][]tsRank // per-register list of future possible maxima
+}
+
+type tsRank struct {
+	ts   uint64
+	rank uint8
+}
+
+// NewSlidingHLL returns a sliding-window HLL supporting windows up to
+// maxWindow ticks.
+func NewSlidingHLL(precision uint8, maxWindow uint64, seed uint64) (*SlidingHLL, error) {
+	if precision < 4 || precision > 16 {
+		return nil, core.Errf("SlidingHLL", "precision", "%d not in [4,16]", precision)
+	}
+	if maxWindow == 0 {
+		return nil, core.Errf("SlidingHLL", "maxWindow", "must be positive")
+	}
+	return &SlidingHLL{
+		precision: precision,
+		seed:      seed,
+		window:    maxWindow,
+		lfpm:      make([][]tsRank, 1<<precision),
+	}, nil
+}
+
+// Advance moves stream time forward one tick.
+func (s *SlidingHLL) Advance() { s.now++ }
+
+// Update adds an item at the current tick.
+func (s *SlidingHLL) Update(item []byte) { s.UpdateHash(hashutil.Sum64(item, s.seed)) }
+
+// UpdateUint64 adds an integer item at the current tick.
+func (s *SlidingHLL) UpdateUint64(x uint64) { s.UpdateHash(hashutil.Sum64Uint64(x, s.seed)) }
+
+// UpdateHash adds a pre-hashed item at the current tick.
+func (s *SlidingHLL) UpdateHash(hv uint64) {
+	s.items++
+	idx := hv >> (64 - s.precision)
+	rest := hv<<s.precision | 1<<(s.precision-1)
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+
+	list := s.lfpm[idx]
+	// Drop entries that this newer, >=rank observation dominates, and
+	// entries that have aged out of the maximum window.
+	kept := list[:0]
+	cutoff := uint64(0)
+	if s.now > s.window {
+		cutoff = s.now - s.window
+	}
+	for _, e := range list {
+		if e.rank <= rank || e.ts < cutoff {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	kept = append(kept, tsRank{ts: s.now, rank: rank})
+	s.lfpm[idx] = kept
+}
+
+// EstimateWindow returns the distinct-count estimate over the last w ticks.
+// w is clamped to the configured maximum window.
+func (s *SlidingHLL) EstimateWindow(w uint64) float64 {
+	if w > s.window {
+		w = s.window
+	}
+	cutoff := uint64(0)
+	if s.now >= w {
+		cutoff = s.now - w
+	}
+	m := float64(len(s.lfpm))
+	sum := 0.0
+	zeros := 0
+	for _, list := range s.lfpm {
+		best := uint8(0)
+		for _, e := range list {
+			if e.ts >= cutoff && e.rank > best {
+				best = e.rank
+			}
+		}
+		sum += 1 / float64(uint64(1)<<best)
+		if best == 0 {
+			zeros++
+		}
+	}
+	raw := alpha(len(s.lfpm)) * m * m / sum
+	if raw <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return raw
+}
+
+// Items returns the number of updates absorbed.
+func (s *SlidingHLL) Items() uint64 { return s.items }
+
+// Bytes returns the LFPM footprint.
+func (s *SlidingHLL) Bytes() int {
+	total := 24
+	for _, list := range s.lfpm {
+		total += len(list) * 9
+	}
+	return total
+}
+
+// MaxListLen reports the longest per-register LFPM list, a diagnostic for
+// the expected-logarithmic space bound.
+func (s *SlidingHLL) MaxListLen() int {
+	max := 0
+	for _, list := range s.lfpm {
+		if len(list) > max {
+			max = len(list)
+		}
+	}
+	return max
+}
+
+// ListLenPercentile returns the p-th percentile (0..100) of LFPM list
+// lengths across registers.
+func (s *SlidingHLL) ListLenPercentile(p float64) int {
+	lens := make([]int, len(s.lfpm))
+	for i, list := range s.lfpm {
+		lens[i] = len(list)
+	}
+	sort.Ints(lens)
+	idx := int(p / 100 * float64(len(lens)-1))
+	return lens[idx]
+}

@@ -1,0 +1,263 @@
+// Package cluster implements data-stream clustering — the tutorial's
+// Table 1 "Clustering" row and the k-median discussion of Section 2 —
+// with the three standard strategies its citations span:
+//
+//   - Online (sequential) k-means: assign each arrival to the nearest
+//     center and nudge that center (the one-pass baseline).
+//   - STREAM-style chunked k-median (Guha–Mishra–Motwani–O'Callaghan):
+//     buffer chunks, cluster each chunk with weighted k-means++ and Lloyd
+//     iterations, then cluster the weighted chunk centers.
+//   - CluStream-style micro-clusters (cluster-feature vectors with
+//     temporal decay) for evolving streams.
+//
+// A weighted k-means++ / Lloyd implementation is shared by all of them and
+// doubles as the offline baseline of experiment T1.14.
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Point is a dense d-dimensional point.
+type Point []float64
+
+func sqDist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// nearest returns the index of the closest center and its squared distance.
+func nearest(p Point, centers []Point) (int, float64) {
+	best, bestD := -1, math.MaxFloat64
+	for i, c := range centers {
+		if d := sqDist(p, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// KMeansPP seeds k centers from weighted points with the k-means++ rule
+// (D^2 sampling) and refines them with `iters` Lloyd iterations. It is the
+// building block of the STREAM pipeline and the offline baseline.
+func KMeansPP(points []Point, weights []float64, k, iters int, rng *workload.RNG) []Point {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	if weights == nil {
+		weights = make([]float64, len(points))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	// D^2 seeding.
+	centers := make([]Point, 0, k)
+	first := rng.Intn(len(points))
+	centers = append(centers, append(Point(nil), points[first]...))
+	d2 := make([]float64, len(points))
+	for len(centers) < k {
+		total := 0.0
+		for i, p := range points {
+			_, d := nearest(p, centers)
+			d2[i] = d * weights[i]
+			total += d2[i]
+		}
+		if total == 0 {
+			break
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range d2 {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, append(Point(nil), points[idx]...))
+	}
+	// Lloyd refinement with weights.
+	dim := len(points[0])
+	for it := 0; it < iters; it++ {
+		sums := make([]Point, len(centers))
+		wsum := make([]float64, len(centers))
+		for i := range sums {
+			sums[i] = make(Point, dim)
+		}
+		for i, p := range points {
+			ci, _ := nearest(p, centers)
+			for d := 0; d < dim; d++ {
+				sums[ci][d] += p[d] * weights[i]
+			}
+			wsum[ci] += weights[i]
+		}
+		for ci := range centers {
+			if wsum[ci] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centers[ci][d] = sums[ci][d] / wsum[ci]
+			}
+		}
+	}
+	return centers
+}
+
+// SSE returns the weighted sum of squared distances of points to their
+// nearest centers — the quality metric of experiment T1.14.
+func SSE(points []Point, weights []float64, centers []Point) float64 {
+	total := 0.0
+	for i, p := range points {
+		_, d := nearest(p, centers)
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		total += d * w
+	}
+	return total
+}
+
+// OnlineKMeans is the sequential one-pass clusterer: each arrival moves its
+// nearest center by a per-center learning rate 1/count.
+type OnlineKMeans struct {
+	k       int
+	dim     int
+	centers []Point
+	counts  []float64
+	n       uint64
+}
+
+// NewOnlineKMeans returns a sequential k-means clusterer for d-dimensional
+// points.
+func NewOnlineKMeans(k, dim int) (*OnlineKMeans, error) {
+	if k <= 0 {
+		return nil, core.Errf("OnlineKMeans", "k", "%d must be positive", k)
+	}
+	if dim <= 0 {
+		return nil, core.Errf("OnlineKMeans", "dim", "%d must be positive", dim)
+	}
+	return &OnlineKMeans{k: k, dim: dim}, nil
+}
+
+// Update assigns p to its nearest center, nudging the center toward it.
+// The first k distinct arrivals seed the centers.
+func (o *OnlineKMeans) Update(p Point) {
+	o.n++
+	if len(o.centers) < o.k {
+		o.centers = append(o.centers, append(Point(nil), p...))
+		o.counts = append(o.counts, 1)
+		return
+	}
+	ci, _ := nearest(p, o.centers)
+	o.counts[ci]++
+	lr := 1 / o.counts[ci]
+	for d := 0; d < o.dim; d++ {
+		o.centers[ci][d] += lr * (p[d] - o.centers[ci][d])
+	}
+}
+
+// Centers returns the current centers.
+func (o *OnlineKMeans) Centers() []Point { return o.centers }
+
+// Items returns the number of points processed.
+func (o *OnlineKMeans) Items() uint64 { return o.n }
+
+// StreamKMedian is the STREAM chunked pipeline: points are buffered in
+// chunks of chunkSize; each full chunk is reduced to k weighted centers
+// (k-means++ + Lloyd), and Centers() clusters the accumulated weighted
+// centers down to the final k.
+type StreamKMedian struct {
+	k         int
+	chunkSize int
+	buf       []Point
+	centers   []Point   // weighted intermediate centers
+	weights   []float64 // weight (point count) per intermediate center
+	rng       *workload.RNG
+	n         uint64
+}
+
+// NewStreamKMedian returns a STREAM-style clusterer with the given chunk
+// size.
+func NewStreamKMedian(k, chunkSize int, seed uint64) (*StreamKMedian, error) {
+	if k <= 0 {
+		return nil, core.Errf("StreamKMedian", "k", "%d must be positive", k)
+	}
+	if chunkSize < 2*k {
+		return nil, core.Errf("StreamKMedian", "chunkSize", "%d must be >= 2k", chunkSize)
+	}
+	return &StreamKMedian{k: k, chunkSize: chunkSize, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update buffers one point, reducing the chunk when full.
+func (s *StreamKMedian) Update(p Point) {
+	s.n++
+	s.buf = append(s.buf, append(Point(nil), p...))
+	if len(s.buf) >= s.chunkSize {
+		s.reduceChunk()
+	}
+}
+
+func (s *StreamKMedian) reduceChunk() {
+	centers := KMeansPP(s.buf, nil, s.k, 5, s.rng)
+	// Weight each center by its assigned population.
+	counts := make([]float64, len(centers))
+	for _, p := range s.buf {
+		ci, _ := nearest(p, centers)
+		counts[ci]++
+	}
+	for i, c := range centers {
+		if counts[i] == 0 {
+			continue
+		}
+		s.centers = append(s.centers, c)
+		s.weights = append(s.weights, counts[i])
+	}
+	s.buf = s.buf[:0]
+	// Second-level compaction keeps memory bounded.
+	if len(s.centers) > 20*s.k {
+		lvl2 := KMeansPP(s.centers, s.weights, 2*s.k, 5, s.rng)
+		w2 := make([]float64, len(lvl2))
+		for i, c := range s.centers {
+			ci, _ := nearest(c, lvl2)
+			w2[ci] += s.weights[i]
+		}
+		s.centers = lvl2
+		s.weights = w2
+	}
+}
+
+// Centers flushes the buffer and returns the final k centers.
+func (s *StreamKMedian) Centers() []Point {
+	if len(s.buf) > 0 {
+		s.reduceChunk()
+	}
+	if len(s.centers) <= s.k {
+		return s.centers
+	}
+	return KMeansPP(s.centers, s.weights, s.k, 10, s.rng)
+}
+
+// Items returns the number of points processed.
+func (s *StreamKMedian) Items() uint64 { return s.n }
+
+// Bytes approximates the retained footprint (buffer + weighted centers).
+func (s *StreamKMedian) Bytes() int {
+	per := 8
+	if len(s.buf) > 0 {
+		per = len(s.buf[0]) * 8
+	} else if len(s.centers) > 0 {
+		per = len(s.centers[0]) * 8
+	}
+	return len(s.buf)*per + len(s.centers)*(per+8) + 48
+}

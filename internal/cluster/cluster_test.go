@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// gaussianMixture draws n points from c well-separated Gaussians in 2D and
+// returns the points plus the true means.
+func gaussianMixture(seed uint64, n, c int, sep, sd float64) ([]Point, []Point) {
+	rng := workload.NewRNG(seed)
+	means := make([]Point, c)
+	for i := range means {
+		means[i] = Point{sep * float64(i), sep * float64(i%2)}
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		m := means[rng.Intn(c)]
+		pts[i] = Point{m[0] + rng.NormFloat64()*sd, m[1] + rng.NormFloat64()*sd}
+	}
+	return pts, means
+}
+
+// centersCover checks every true mean has a center within tol.
+func centersCover(centers, means []Point, tol float64) bool {
+	for _, m := range means {
+		_, d := nearest(m, centers)
+		if math.Sqrt(d) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKMeansPPRecoversMixture(t *testing.T) {
+	pts, means := gaussianMixture(1, 3000, 4, 20, 1)
+	rng := workload.NewRNG(2)
+	centers := KMeansPP(pts, nil, 4, 10, rng)
+	if len(centers) != 4 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	if !centersCover(centers, means, 2) {
+		t.Fatalf("centers %v do not cover means %v", centers, means)
+	}
+}
+
+func TestKMeansPPWeighted(t *testing.T) {
+	// Two locations, one with 100x the weight: a k=1 clustering must land
+	// near the heavy one.
+	pts := []Point{{0, 0}, {10, 10}}
+	w := []float64{100, 1}
+	centers := KMeansPP(pts, w, 1, 5, workload.NewRNG(3))
+	if d := math.Sqrt(sqDist(centers[0], Point{0, 0})); d > 1 {
+		t.Fatalf("weighted center %v too far from heavy point", centers[0])
+	}
+}
+
+func TestKMeansPPEdgeCases(t *testing.T) {
+	if c := KMeansPP(nil, nil, 3, 5, workload.NewRNG(1)); c != nil {
+		t.Fatal("empty input produced centers")
+	}
+	pts := []Point{{1, 1}, {2, 2}}
+	c := KMeansPP(pts, nil, 5, 5, workload.NewRNG(1))
+	if len(c) > 2 {
+		t.Fatalf("k>n produced %d centers", len(c))
+	}
+}
+
+func TestOnlineKMeansTracksMixture(t *testing.T) {
+	pts, means := gaussianMixture(4, 20000, 4, 30, 1)
+	o, _ := NewOnlineKMeans(4, 2)
+	for _, p := range pts {
+		o.Update(p)
+	}
+	// Online k-means is greedy; require coverage within a loose tolerance.
+	if !centersCover(o.Centers(), means, 10) {
+		t.Fatalf("online centers %v missed means %v", o.Centers(), means)
+	}
+}
+
+func TestStreamKMedianQualityNearOffline(t *testing.T) {
+	pts, _ := gaussianMixture(5, 20000, 5, 25, 1.5)
+	s, err := NewStreamKMedian(5, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		s.Update(p)
+	}
+	streamC := s.Centers()
+	offline := KMeansPP(pts, nil, 5, 10, workload.NewRNG(8))
+	sseStream := SSE(pts, nil, streamC)
+	sseOffline := SSE(pts, nil, offline)
+	// The STREAM guarantee is constant-factor; 3x covers the constant at
+	// this separation comfortably.
+	if sseStream > 3*sseOffline {
+		t.Fatalf("stream SSE %v vs offline %v", sseStream, sseOffline)
+	}
+	// And it must hold far less than the full dataset.
+	if s.Bytes() > 20000*16/4 {
+		t.Fatalf("stream clusterer kept %d bytes", s.Bytes())
+	}
+}
+
+func TestStreamKMedianValidation(t *testing.T) {
+	if _, err := NewStreamKMedian(0, 100, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewStreamKMedian(10, 10, 1); err == nil {
+		t.Fatal("chunk < 2k accepted")
+	}
+}
+
+func TestMicroClustersAbsorbAndBound(t *testing.T) {
+	m, err := NewMicroClusters(50, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _ := gaussianMixture(6, 10000, 4, 30, 1)
+	for _, p := range pts {
+		m.Update(p)
+	}
+	if m.Count() > 50 {
+		t.Fatalf("micro-cluster cap exceeded: %d", m.Count())
+	}
+	if m.Count() < 4 {
+		t.Fatalf("collapsed to %d micro-clusters", m.Count())
+	}
+	centers, weights := m.Snapshot()
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	if totalW != 10000 {
+		t.Fatalf("CF mass %v, want 10000", totalW)
+	}
+	// Macro clustering of the snapshot should recover the mixture.
+	macro := KMeansPP(centers, weights, 4, 10, workload.NewRNG(9))
+	_, means := gaussianMixture(6, 1, 4, 30, 1)
+	if !centersCover(macro, means, 5) {
+		t.Fatalf("macro centers %v missed means", macro)
+	}
+}
+
+func TestMicroClustersValidation(t *testing.T) {
+	if _, err := NewMicroClusters(1, 2, 2); err == nil {
+		t.Fatal("max=1 accepted")
+	}
+	if _, err := NewMicroClusters(10, 0, 2); err == nil {
+		t.Fatal("dim=0 accepted")
+	}
+	if _, err := NewMicroClusters(10, 2, 0); err == nil {
+		t.Fatal("radius=0 accepted")
+	}
+}
+
+func TestSSEZeroAtPoints(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4}}
+	if s := SSE(pts, nil, pts); s != 0 {
+		t.Fatalf("SSE %v with centers == points", s)
+	}
+}
+
+func BenchmarkOnlineKMeansUpdate(b *testing.B) {
+	o, _ := NewOnlineKMeans(10, 4)
+	p := Point{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		p[0] = float64(i % 100)
+		o.Update(p)
+	}
+}
+
+func BenchmarkMicroClustersUpdate(b *testing.B) {
+	m, _ := NewMicroClusters(100, 2, 2)
+	rng := workload.NewRNG(1)
+	pts := make([]Point, 1000)
+	for i := range pts {
+		pts[i] = Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(pts[i%len(pts)])
+	}
+}

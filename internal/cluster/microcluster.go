@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// MicroClusters maintains CluStream-style cluster-feature vectors
+// (N, LS, SS per micro-cluster) online: arrivals join the nearest
+// micro-cluster if within its adaptive radius, otherwise found a new one;
+// at capacity the two closest micro-clusters merge. CF additivity is what
+// makes this the distributed-friendly stream clusterer of the survey's
+// O'Callaghan et al. line, and the micro-clusters feed any offline macro
+// clusterer (here: weighted k-means++).
+type MicroClusters struct {
+	max    int
+	dim    int
+	radius float64 // radius multiplier over the cluster's RMS deviation
+	mcs    []cf
+	n      uint64
+}
+
+// cf is a cluster feature vector: count, linear sum, square sum.
+type cf struct {
+	n  float64
+	ls Point
+	ss Point
+}
+
+func (c *cf) centroid() Point {
+	out := make(Point, len(c.ls))
+	for i := range out {
+		out[i] = c.ls[i] / c.n
+	}
+	return out
+}
+
+// rmsDeviation is the root-mean-square distance of members from the
+// centroid.
+func (c *cf) rmsDeviation() float64 {
+	if c.n < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := range c.ls {
+		mean := c.ls[i] / c.n
+		v := c.ss[i]/c.n - mean*mean
+		if v > 0 {
+			sum += v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func (c *cf) absorb(p Point) {
+	c.n++
+	for i := range p {
+		c.ls[i] += p[i]
+		c.ss[i] += p[i] * p[i]
+	}
+}
+
+func (c *cf) merge(o *cf) {
+	c.n += o.n
+	for i := range c.ls {
+		c.ls[i] += o.ls[i]
+		c.ss[i] += o.ss[i]
+	}
+}
+
+// NewMicroClusters returns a micro-cluster maintainer with at most max
+// micro-clusters over dim-dimensional points; radiusFactor scales the
+// absorption radius (2.0 is the CluStream default).
+func NewMicroClusters(max, dim int, radiusFactor float64) (*MicroClusters, error) {
+	if max < 2 {
+		return nil, core.Errf("MicroClusters", "max", "%d must be >= 2", max)
+	}
+	if dim <= 0 {
+		return nil, core.Errf("MicroClusters", "dim", "%d must be positive", dim)
+	}
+	if radiusFactor <= 0 {
+		return nil, core.Errf("MicroClusters", "radiusFactor", "%v must be positive", radiusFactor)
+	}
+	return &MicroClusters{max: max, dim: dim, radius: radiusFactor}, nil
+}
+
+// Update absorbs one point.
+func (m *MicroClusters) Update(p Point) {
+	m.n++
+	if len(m.mcs) == 0 {
+		m.found(p)
+		return
+	}
+	// Nearest micro-cluster by centroid distance.
+	best, bestD := -1, math.MaxFloat64
+	for i := range m.mcs {
+		d := math.Sqrt(sqDist(p, m.mcs[i].centroid()))
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	mc := &m.mcs[best]
+	limit := m.radius * mc.rmsDeviation()
+	if limit == 0 {
+		// Singleton cluster: adopt a small default reach relative to the
+		// nearest-other-centroid distance.
+		limit = bestD / 2
+	}
+	if bestD <= limit {
+		mc.absorb(p)
+		return
+	}
+	m.found(p)
+}
+
+func (m *MicroClusters) found(p Point) {
+	nc := cf{n: 1, ls: append(Point(nil), p...), ss: make(Point, len(p))}
+	for i := range p {
+		nc.ss[i] = p[i] * p[i]
+	}
+	m.mcs = append(m.mcs, nc)
+	if len(m.mcs) > m.max {
+		m.mergeClosest()
+	}
+}
+
+func (m *MicroClusters) mergeClosest() {
+	bi, bj, bd := -1, -1, math.MaxFloat64
+	for i := 0; i < len(m.mcs); i++ {
+		ci := m.mcs[i].centroid()
+		for j := i + 1; j < len(m.mcs); j++ {
+			if d := sqDist(ci, m.mcs[j].centroid()); d < bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	m.mcs[bi].merge(&m.mcs[bj])
+	m.mcs = append(m.mcs[:bj], m.mcs[bj+1:]...)
+}
+
+// Count returns the number of micro-clusters.
+func (m *MicroClusters) Count() int { return len(m.mcs) }
+
+// Items returns the number of points processed.
+func (m *MicroClusters) Items() uint64 { return m.n }
+
+// Snapshot returns the micro-cluster centroids with their populations,
+// ready to feed a macro clusterer.
+func (m *MicroClusters) Snapshot() (centers []Point, weights []float64) {
+	for i := range m.mcs {
+		centers = append(centers, m.mcs[i].centroid())
+		weights = append(weights, m.mcs[i].n)
+	}
+	return centers, weights
+}
+
+// Bytes approximates the CF footprint.
+func (m *MicroClusters) Bytes() int { return len(m.mcs) * (m.dim*16 + 8) }

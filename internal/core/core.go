@@ -1,0 +1,72 @@
+// Package core defines the small set of interfaces and error conventions
+// shared by every synopsis structure in this repository.
+//
+// The tutorial groups all of its Table 1 algorithms under one umbrella:
+// bounded-memory summaries of unbounded streams that answer approximate
+// queries. core captures that contract so harnesses, the topology engine
+// and the Lambda Architecture's speed layer can treat any sketch uniformly,
+// and so merge-based scale-out (the paper's "algorithms should be able to
+// scale out" requirement) has a single well-defined seam.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIncompatible is returned by Merge when two sketches were built with
+// different parameters (width, depth, seed, precision) and therefore do not
+// summarize commensurable spaces.
+var ErrIncompatible = errors.New("core: incompatible sketch parameters")
+
+// ErrCorrupt is returned by decoders when serialized bytes fail validation.
+var ErrCorrupt = errors.New("core: corrupt sketch encoding")
+
+// Sketch is the minimal contract of a streaming summary over byte keys.
+type Sketch interface {
+	// Update folds one item into the summary.
+	Update(item []byte)
+	// Items returns the number of Update calls absorbed so far.
+	Items() uint64
+	// Bytes returns the approximate in-memory footprint of the summary,
+	// used by accuracy-per-byte experiments.
+	Bytes() int
+}
+
+// Mergeable is implemented by sketches that support distributed aggregation:
+// merging the summaries of two sub-streams must be equivalent (exactly or
+// within the error guarantee) to summarizing the concatenated stream.
+type Mergeable[T any] interface {
+	Merge(other T) error
+}
+
+// Windowed is implemented by summaries that maintain a sliding window and
+// must be advanced as stream time passes.
+type Windowed interface {
+	// Advance moves the window forward by one tick without adding an item.
+	Advance()
+}
+
+// Numeric is the constraint for scalar stream summaries.
+type Numeric interface {
+	~int | ~int32 | ~int64 | ~float32 | ~float64 | ~uint | ~uint32 | ~uint64
+}
+
+// ParamError describes an invalid construction parameter. Constructors in
+// this repository return it rather than panicking so misconfiguration is a
+// recoverable condition for callers embedding sketches in long-running
+// topologies.
+type ParamError struct {
+	Struct string // which structure was being constructed
+	Param  string // which parameter was invalid
+	Detail string // what was wrong with it
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("%s: invalid %s: %s", e.Struct, e.Param, e.Detail)
+}
+
+// Errf builds a ParamError.
+func Errf(structName, param, format string, args ...any) error {
+	return &ParamError{Struct: structName, Param: param, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParamErrorMessage(t *testing.T) {
+	err := Errf("HyperLogLog", "precision", "%d not in [4,18]", 3)
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatal("Errf did not produce a ParamError")
+	}
+	if pe.Struct != "HyperLogLog" || pe.Param != "precision" {
+		t.Fatalf("fields wrong: %+v", pe)
+	}
+	msg := err.Error()
+	for _, want := range []string{"HyperLogLog", "precision", "3 not in [4,18]"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestSentinelErrorsDistinct(t *testing.T) {
+	if errors.Is(ErrIncompatible, ErrCorrupt) {
+		t.Fatal("sentinel errors alias")
+	}
+	if ErrIncompatible.Error() == "" || ErrCorrupt.Error() == "" {
+		t.Fatal("empty sentinel messages")
+	}
+}
+
+func TestParamErrorIsNotSentinel(t *testing.T) {
+	err := Errf("X", "y", "bad")
+	if errors.Is(err, ErrIncompatible) {
+		t.Fatal("param error matched sentinel")
+	}
+}

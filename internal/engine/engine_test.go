@@ -1,0 +1,630 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// sliceSpout emits a fixed slice of messages.
+type sliceSpout struct {
+	msgs []Message
+	pos  int
+}
+
+func (s *sliceSpout) Next() (Message, bool) {
+	if s.pos >= len(s.msgs) {
+		return Message{}, false
+	}
+	m := s.msgs[s.pos]
+	s.pos++
+	return m, true
+}
+
+func sentenceSpout(sentences []string) *sliceSpout {
+	s := &sliceSpout{}
+	for _, line := range sentences {
+		s.msgs = append(s.msgs, Message{Key: "", Value: line})
+	}
+	return s
+}
+
+// splitBolt splits sentence values into word messages.
+func splitBolt(int) Bolt {
+	return BoltFunc(func(m Message, emit func(Message)) error {
+		for _, w := range strings.Fields(m.Value.(string)) {
+			emit(Message{Key: w, Value: 1})
+		}
+		return nil
+	})
+}
+
+// countCollector counts words across all tasks (thread-safe).
+type countCollector struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newCountCollector() *countCollector {
+	return &countCollector{counts: map[string]int{}}
+}
+
+func (c *countCollector) factory() BoltFactory {
+	return func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			c.mu.Lock()
+			c.counts[m.Key] += m.Value.(int)
+			c.mu.Unlock()
+			return nil
+		})
+	}
+}
+
+func wordcountTopology(t *testing.T, sentences []string, cfg Config, counterParallelism int) (*countCollector, Stats) {
+	t.Helper()
+	coll := newCountCollector()
+	b := NewBuilder().
+		AddSpout("lines", sentenceSpout(sentences)).
+		AddBolt("split", splitBolt, 4, ShuffleFrom("lines")).
+		AddBolt("count", coll.factory(), counterParallelism, FieldsFrom("split"))
+	top, err := b.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coll, top.Run()
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder().Build(Config{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	if _, err := NewBuilder().AddSpout("", nil).Build(Config{}); err == nil {
+		t.Fatal("nil spout accepted")
+	}
+	b := NewBuilder().
+		AddSpout("s", SpoutFunc(func() (Message, bool) { return Message{}, false })).
+		AddBolt("b", splitBolt, 1, ShuffleFrom("missing"))
+	if _, err := b.Build(Config{}); err == nil {
+		t.Fatal("unknown subscription accepted")
+	}
+	dup := NewBuilder().
+		AddSpout("x", SpoutFunc(func() (Message, bool) { return Message{}, false })).
+		AddSpout("x", SpoutFunc(func() (Message, bool) { return Message{}, false }))
+	if _, err := dup.Build(Config{}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	cyc := NewBuilder().
+		AddSpout("s", SpoutFunc(func() (Message, bool) { return Message{}, false })).
+		AddBolt("a", splitBolt, 1, ShuffleFrom("s"), ShuffleFrom("b")).
+		AddBolt("b", splitBolt, 1, ShuffleFrom("a"))
+	if _, err := cyc.Build(Config{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestWordcountAtMostOnceExact(t *testing.T) {
+	sentences := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	coll, stats := wordcountTopology(t, sentences, Config{Semantics: AtMostOnce}, 4)
+	if coll.counts["the"] != 3 || coll.counts["quick"] != 2 || coll.counts["dog"] != 2 || coll.counts["fox"] != 1 {
+		t.Fatalf("bad counts: %v", coll.counts)
+	}
+	if stats.SpoutEmitted != 3 {
+		t.Fatalf("spout emitted %d", stats.SpoutEmitted)
+	}
+	if stats.Processed["split"] != 3 {
+		t.Fatalf("split processed %d", stats.Processed["split"])
+	}
+	if stats.Processed["count"] != 10 {
+		t.Fatalf("count processed %d", stats.Processed["count"])
+	}
+}
+
+func TestWordcountAtLeastOnceNoFailuresExact(t *testing.T) {
+	var sentences []string
+	for i := 0; i < 500; i++ {
+		sentences = append(sentences, fmt.Sprintf("w%d common w%d", i%50, i%7))
+	}
+	coll, stats := wordcountTopology(t, sentences, Config{Semantics: AtLeastOnce}, 4)
+	if coll.counts["common"] != 500 {
+		t.Fatalf("count %d, want 500", coll.counts["common"])
+	}
+	if stats.Acked != 500 {
+		t.Fatalf("acked %d, want 500", stats.Acked)
+	}
+	if stats.Replayed != 0 || stats.Dropped != 0 {
+		t.Fatalf("unexpected replays/drops: %+v", stats)
+	}
+}
+
+// flakyBolt fails the first failures tuples it sees, then behaves.
+func flakyBolt(failures int64, inner BoltFactory) BoltFactory {
+	var remaining int64 = failures
+	return func(task int) Bolt {
+		in := inner(task)
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			if atomic.AddInt64(&remaining, -1) >= 0 {
+				return errors.New("injected failure")
+			}
+			return in.Process(m, emit)
+		})
+	}
+}
+
+func TestAtLeastOnceReplaysFailures(t *testing.T) {
+	var sentences []string
+	for i := 0; i < 200; i++ {
+		sentences = append(sentences, "alpha")
+	}
+	coll := newCountCollector()
+	b := NewBuilder().
+		AddSpout("lines", sentenceSpout(sentences)).
+		AddBolt("split", flakyBolt(20, splitBolt), 2, ShuffleFrom("lines")).
+		AddBolt("count", coll.factory(), 2, FieldsFrom("split"))
+	top, err := b.Build(Config{Semantics: AtLeastOnce, MaxRetries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	// Every tuple eventually processed: the count must be >= 200 (>= due
+	// to possible duplicate side effects from partially-failed trees), and
+	// every root acked.
+	if coll.counts["alpha"] < 200 {
+		t.Fatalf("lost tuples under at-least-once: %d", coll.counts["alpha"])
+	}
+	if stats.Acked != 200 {
+		t.Fatalf("acked %d, want 200", stats.Acked)
+	}
+	if stats.Replayed < 20 {
+		t.Fatalf("replays %d, want >= 20", stats.Replayed)
+	}
+	if stats.Dropped != 0 {
+		t.Fatalf("dropped %d", stats.Dropped)
+	}
+}
+
+func TestAtMostOnceLosesFailedTuples(t *testing.T) {
+	var sentences []string
+	for i := 0; i < 200; i++ {
+		sentences = append(sentences, "beta")
+	}
+	coll := newCountCollector()
+	b := NewBuilder().
+		AddSpout("lines", sentenceSpout(sentences)).
+		AddBolt("split", flakyBolt(50, splitBolt), 2, ShuffleFrom("lines")).
+		AddBolt("count", coll.factory(), 2, FieldsFrom("split"))
+	top, err := b.Build(Config{Semantics: AtMostOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if coll.counts["beta"] != 150 {
+		t.Fatalf("at-most-once count %d, want exactly 150 (50 lost)", coll.counts["beta"])
+	}
+	if stats.Errors["split"] != 50 {
+		t.Fatalf("split errors %d", stats.Errors["split"])
+	}
+}
+
+func TestMaxRetriesDrops(t *testing.T) {
+	coll := newCountCollector()
+	// One poisoned message that always fails, plus healthy traffic.
+	poison := func(inner BoltFactory) BoltFactory {
+		return func(task int) Bolt {
+			in := inner(task)
+			return BoltFunc(func(m Message, emit func(Message)) error {
+				if m.Value.(string) == "poison" {
+					return errors.New("always fails")
+				}
+				return in.Process(m, emit)
+			})
+		}
+	}
+	sentences := []string{"ok", "poison", "ok"}
+	b := NewBuilder().
+		AddSpout("lines", sentenceSpout(sentences)).
+		AddBolt("split", poison(splitBolt), 1, ShuffleFrom("lines")).
+		AddBolt("count", coll.factory(), 1, FieldsFrom("split"))
+	top, err := b.Build(Config{Semantics: AtLeastOnce, MaxRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if stats.Dropped != 1 {
+		t.Fatalf("dropped %d, want 1", stats.Dropped)
+	}
+	if stats.Acked != 2 {
+		t.Fatalf("acked %d, want 2", stats.Acked)
+	}
+	if coll.counts["ok"] != 2 {
+		t.Fatalf("healthy tuples lost: %v", coll.counts)
+	}
+}
+
+func TestFieldsGroupingRoutesKeysConsistently(t *testing.T) {
+	// Record which task saw each key; a key must never appear on two tasks.
+	var mu sync.Mutex
+	keyTask := map[string]map[int]bool{}
+	factory := func(task int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			mu.Lock()
+			if keyTask[m.Key] == nil {
+				keyTask[m.Key] = map[int]bool{}
+			}
+			keyTask[m.Key][task] = true
+			mu.Unlock()
+			return nil
+		})
+	}
+	var msgs []Message
+	rng := workload.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		msgs = append(msgs, Message{Key: fmt.Sprintf("k%d", rng.Intn(100)), Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("sink", factory, 8, FieldsFrom("src"))
+	top, err := b.Build(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.Run()
+	for k, tasks := range keyTask {
+		if len(tasks) != 1 {
+			t.Fatalf("key %s routed to %d tasks", k, len(tasks))
+		}
+	}
+}
+
+func TestShuffleGroupingBalances(t *testing.T) {
+	var perTask [8]int64
+	factory := func(task int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			atomic.AddInt64(&perTask[task], 1)
+			return nil
+		})
+	}
+	var msgs []Message
+	for i := 0; i < 8000; i++ {
+		msgs = append(msgs, Message{Key: "same-key", Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("sink", factory, 8, ShuffleFrom("src"))
+	top, _ := b.Build(Config{})
+	top.Run()
+	for i, c := range perTask {
+		if c < 900 || c > 1100 {
+			t.Fatalf("task %d got %d of 8000 under shuffle", i, c)
+		}
+	}
+}
+
+func TestBroadcastDeliversToAll(t *testing.T) {
+	var perTask [4]int64
+	factory := func(task int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			atomic.AddInt64(&perTask[task], 1)
+			return nil
+		})
+	}
+	var msgs []Message
+	for i := 0; i < 100; i++ {
+		msgs = append(msgs, Message{Key: "x", Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("sink", factory, 4, BroadcastFrom("src"))
+	top, _ := b.Build(Config{Semantics: AtLeastOnce})
+	stats := top.Run()
+	for i, c := range perTask {
+		if c != 100 {
+			t.Fatalf("task %d got %d of 100 under broadcast", i, c)
+		}
+	}
+	if stats.Acked != 100 {
+		t.Fatalf("acked %d", stats.Acked)
+	}
+}
+
+func TestGlobalGroupingSingleTask(t *testing.T) {
+	var perTask [4]int64
+	factory := func(task int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			atomic.AddInt64(&perTask[task], 1)
+			return nil
+		})
+	}
+	var msgs []Message
+	for i := 0; i < 100; i++ {
+		msgs = append(msgs, Message{Key: fmt.Sprintf("k%d", i), Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("sink", factory, 4, GlobalFrom("src"))
+	top, _ := b.Build(Config{})
+	top.Run()
+	if perTask[0] != 100 || perTask[1]+perTask[2]+perTask[3] != 0 {
+		t.Fatalf("global grouping spread: %v", perTask)
+	}
+}
+
+func TestMultiStageDiamond(t *testing.T) {
+	// src -> (a, b) -> join: both paths must deliver everything.
+	var joined int64
+	factory := func(task int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			atomic.AddInt64(&joined, 1)
+			return nil
+		})
+	}
+	pass := func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			emit(m)
+			return nil
+		})
+	}
+	var msgs []Message
+	for i := 0; i < 300; i++ {
+		msgs = append(msgs, Message{Key: fmt.Sprintf("k%d", i), Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("a", pass, 2, ShuffleFrom("src")).
+		AddBolt("b", pass, 2, ShuffleFrom("src")).
+		AddBolt("join", factory, 3, FieldsFrom("a"), FieldsFrom("b"))
+	top, err := b.Build(Config{Semantics: AtLeastOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if joined != 600 {
+		t.Fatalf("join saw %d, want 600", joined)
+	}
+	if stats.Acked != 300 {
+		t.Fatalf("acked %d", stats.Acked)
+	}
+}
+
+func TestDedupMakesEffectivelyOnce(t *testing.T) {
+	// Flaky mid-stage + at-least-once = duplicates; Dedup at the counting
+	// stage must restore exact counts (MillWheel recipe).
+	var sentences []string
+	for i := 0; i < 300; i++ {
+		sentences = append(sentences, fmt.Sprintf("msg-%d", i))
+	}
+	coll := newCountCollector()
+	dedupFactory := func(task int) Bolt {
+		inner := coll.factory()(task)
+		d, err := NewDedup(inner, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	passThatDuplicates := func(int) Bolt {
+		n := 0
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			emit(Message{Key: m.Value.(string), Value: 1})
+			n++
+			if n%10 == 0 {
+				return errors.New("fail after emit") // classic duplicate source
+			}
+			return nil
+		})
+	}
+	b := NewBuilder().
+		AddSpout("lines", sentenceSpout(sentences)).
+		AddBolt("dup", passThatDuplicates, 1, ShuffleFrom("lines")).
+		AddBolt("count", dedupFactory, 1, FieldsFrom("dup"))
+	top, err := b.Build(Config{Semantics: AtLeastOnce, MaxRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if stats.Replayed == 0 {
+		t.Fatal("test did not exercise replays")
+	}
+	total := 0
+	for _, c := range coll.counts {
+		if c != 1 {
+			t.Fatalf("duplicate leaked through dedup: %v", c)
+		}
+		total += c
+	}
+	if total != 300 {
+		t.Fatalf("deduped total %d, want 300", total)
+	}
+}
+
+func TestCheckpointStore(t *testing.T) {
+	cs := NewCheckpointStore()
+	if _, ok := cs.Get("x"); ok {
+		t.Fatal("empty store returned value")
+	}
+	v1 := cs.Put("x", []byte("a"))
+	v2 := cs.Put("y", []byte("b"))
+	if v2 <= v1 {
+		t.Fatal("versions not monotonic")
+	}
+	got, ok := cs.Get("x")
+	if !ok || string(got) != "a" {
+		t.Fatalf("get: %q %v", got, ok)
+	}
+	snap := cs.Snapshot()
+	cs.Put("x", []byte("mutated"))
+	if string(snap["x"]) != "a" {
+		t.Fatal("snapshot not isolated")
+	}
+}
+
+func TestBackpressureSmallQueues(t *testing.T) {
+	// A tiny queue with a slow sink must still complete without loss.
+	var processed int64
+	slow := func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			// Simulated work: a tight loop (no sleep, keep the test fast).
+			x := 0
+			for i := 0; i < 100; i++ {
+				x += i
+			}
+			_ = x
+			atomic.AddInt64(&processed, 1)
+			return nil
+		})
+	}
+	var msgs []Message
+	for i := 0; i < 5000; i++ {
+		msgs = append(msgs, Message{Key: "k", Value: 1})
+	}
+	b := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("sink", slow, 1, ShuffleFrom("src"))
+	top, _ := b.Build(Config{QueueSize: 2})
+	top.Run()
+	if processed != 5000 {
+		t.Fatalf("processed %d under backpressure", processed)
+	}
+}
+
+func BenchmarkTopologyAtMostOnce(b *testing.B) {
+	benchTopology(b, AtMostOnce)
+}
+
+func BenchmarkTopologyAtLeastOnce(b *testing.B) {
+	benchTopology(b, AtLeastOnce)
+}
+
+func benchTopology(b *testing.B, sem Semantics) {
+	msgs := make([]Message, b.N)
+	for i := range msgs {
+		msgs[i] = Message{Key: fmt.Sprintf("k%d", i%100), Value: 1}
+	}
+	coll := newCountCollector()
+	top, err := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("count", coll.factory(), 4, FieldsFrom("src")).
+		Build(Config{Semantics: sem})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	top.Run()
+}
+
+func TestLatencyTracking(t *testing.T) {
+	var msgs []Message
+	for i := 0; i < 2000; i++ {
+		msgs = append(msgs, Message{Key: "k", Value: 1})
+	}
+	work := func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			x := 0
+			for i := 0; i < 1000; i++ {
+				x += i
+			}
+			_ = x
+			return nil
+		})
+	}
+	top, err := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs}).
+		AddBolt("work", work, 2, ShuffleFrom("src")).
+		Build(Config{TrackLatency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	p50, ok := stats.LatencyP50["work"]
+	if !ok {
+		t.Fatal("no latency recorded")
+	}
+	p99 := stats.LatencyP99["work"]
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", p50, p99)
+	}
+	// Disabled by default.
+	top2, _ := NewBuilder().
+		AddSpout("src", &sliceSpout{msgs: msgs[:10]}).
+		AddBolt("work", work, 1, ShuffleFrom("src")).
+		Build(Config{})
+	if s := top2.Run(); s.LatencyP50 != nil {
+		t.Fatal("latency tracked without opt-in")
+	}
+}
+
+func TestMultipleSpouts(t *testing.T) {
+	// Two spouts feeding one sink; both streams fully delivered and acked.
+	mk := func(prefix string, n int) *sliceSpout {
+		s := &sliceSpout{}
+		for i := 0; i < n; i++ {
+			s.msgs = append(s.msgs, Message{Key: fmt.Sprintf("%s%d", prefix, i), Value: 1})
+		}
+		return s
+	}
+	var total int64
+	sink := func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error {
+			atomic.AddInt64(&total, 1)
+			return nil
+		})
+	}
+	top, err := NewBuilder().
+		AddSpout("a", mk("a", 300)).
+		AddSpout("b", mk("b", 500)).
+		AddBolt("sink", sink, 3, FieldsFrom("a"), FieldsFrom("b")).
+		Build(Config{Semantics: AtLeastOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if total != 800 {
+		t.Fatalf("sink saw %d, want 800", total)
+	}
+	if stats.Acked != 800 {
+		t.Fatalf("acked %d", stats.Acked)
+	}
+	if stats.Emitted["a"] != 300 || stats.Emitted["b"] != 500 {
+		t.Fatalf("per-spout emitted wrong: %v", stats.Emitted)
+	}
+}
+
+func TestEmptySpout(t *testing.T) {
+	sink := func(int) Bolt {
+		return BoltFunc(func(m Message, emit func(Message)) error { return nil })
+	}
+	for _, sem := range []Semantics{AtMostOnce, AtLeastOnce} {
+		top, err := NewBuilder().
+			AddSpout("empty", &sliceSpout{}).
+			AddBolt("sink", sink, 2, ShuffleFrom("empty")).
+			Build(Config{Semantics: sem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := top.Run() // must terminate promptly
+		if stats.SpoutEmitted != 0 {
+			t.Fatalf("%v: emitted %d from empty spout", sem, stats.SpoutEmitted)
+		}
+	}
+}
+
+func TestGroupingStrings(t *testing.T) {
+	for g, want := range map[GroupingType]string{
+		Shuffle: "shuffle", Fields: "fields", Global: "global", Broadcast: "broadcast",
+	} {
+		if g.String() != want {
+			t.Fatalf("%d stringer %q", g, g.String())
+		}
+	}
+	if AtLeastOnce.String() != "at-least-once" || AtMostOnce.String() != "at-most-once" {
+		t.Fatal("semantics stringer wrong")
+	}
+}

@@ -1,0 +1,423 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hashutil"
+	"repro/internal/quantile"
+)
+
+// envelope is one in-flight tuple: the message plus its tuple-tree
+// bookkeeping (zero under AtMostOnce).
+type envelope struct {
+	msg  Message
+	root uint64
+	id   uint64
+}
+
+// component is a running spout or bolt with its task channels and
+// downstream links.
+type component struct {
+	name  string
+	tasks []chan envelope
+	outs  []*outLink
+	// metrics (atomics; one slot per component keeps the hot path simple)
+	processed uint64
+	emitted   uint64
+	errors    uint64
+	// latency percentiles (nil unless Config.TrackLatency)
+	latMu sync.Mutex
+	lat   *quantile.GK
+}
+
+type outLink struct {
+	grouping GroupingType
+	dest     *component
+	rr       uint64 // round-robin cursor for Shuffle
+}
+
+// Topology is a built, runnable dataflow.
+type Topology struct {
+	cfg        Config
+	spoutDecls []*spoutDecl
+	boltDecls  []*boltDecl
+	components map[string]*component
+
+	idGen        uint64
+	inflight     int64
+	activeSpouts int32
+	finishOnce   sync.Once
+	quiesced     chan struct{}
+	ack          *acker
+
+	stats Stats
+	// feeders by root id for ack/fail routing (single spout per root)
+	feederMu sync.Mutex
+	feeders  map[uint64]*feeder
+}
+
+// Stats summarizes a topology run.
+type Stats struct {
+	SpoutEmitted uint64            // root tuples emitted (including replays)
+	Acked        uint64            // tuple trees fully processed
+	Replayed     uint64            // failed trees re-emitted
+	Dropped      uint64            // trees dropped after MaxRetries
+	Processed    map[string]uint64 // per-component processed tuples
+	Emitted      map[string]uint64 // per-component emitted tuples
+	Errors       map[string]uint64 // per-component bolt errors
+	// LatencyP50/P99 hold per-bolt processing latency in microseconds
+	// (populated only when Config.TrackLatency is set).
+	LatencyP50 map[string]float64
+	LatencyP99 map[string]float64
+}
+
+func newTopology(b *Builder, cfg Config) *Topology {
+	t := &Topology{
+		cfg:        cfg,
+		spoutDecls: b.spouts,
+		boltDecls:  b.bolts,
+		components: make(map[string]*component),
+		quiesced:   make(chan struct{}),
+		feeders:    make(map[uint64]*feeder),
+	}
+	return t
+}
+
+func (t *Topology) nextID() uint64 {
+	id := hashutil.Mix64(atomic.AddUint64(&t.idGen, 1))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Run executes the topology until every spout is exhausted and every
+// in-flight tuple is processed (and, under AtLeastOnce, every tuple tree
+// acked or dropped). It returns the run's statistics.
+func (t *Topology) Run() Stats {
+	// Materialize components.
+	for _, sd := range t.spoutDecls {
+		t.components[sd.name] = &component{name: sd.name}
+	}
+	for _, bd := range t.boltDecls {
+		c := &component{name: bd.name}
+		for i := 0; i < bd.parallelism; i++ {
+			c.tasks = append(c.tasks, make(chan envelope, t.cfg.QueueSize))
+		}
+		if t.cfg.TrackLatency {
+			c.lat, _ = quantile.NewGK(0.01)
+		}
+		t.components[bd.name] = c
+	}
+	// Wire links.
+	for _, bd := range t.boltDecls {
+		dest := t.components[bd.name]
+		for _, in := range bd.inputs {
+			src := t.components[in.from]
+			src.outs = append(src.outs, &outLink{grouping: in.grouping, dest: dest})
+		}
+	}
+	if t.cfg.Semantics == AtLeastOnce {
+		t.ack = newAcker(t.onTreeDone, t.onTreeFail)
+	}
+
+	// Start bolt tasks.
+	var boltWG sync.WaitGroup
+	for _, bd := range t.boltDecls {
+		c := t.components[bd.name]
+		for taskID := range c.tasks {
+			boltWG.Add(1)
+			go t.runBoltTask(&boltWG, bd, c, taskID)
+		}
+	}
+
+	// Start spout feeders.
+	var spoutWG sync.WaitGroup
+	atomic.StoreInt32(&t.activeSpouts, int32(len(t.spoutDecls)))
+	for _, sd := range t.spoutDecls {
+		spoutWG.Add(1)
+		go t.runFeeder(&spoutWG, sd)
+	}
+
+	spoutWG.Wait()
+	<-t.quiesced
+	// Quiescent: close every bolt queue so tasks exit.
+	for _, bd := range t.boltDecls {
+		for _, ch := range t.components[bd.name].tasks {
+			close(ch)
+		}
+	}
+	boltWG.Wait()
+
+	// Collect stats.
+	t.stats.Processed = make(map[string]uint64)
+	t.stats.Emitted = make(map[string]uint64)
+	t.stats.Errors = make(map[string]uint64)
+	if t.cfg.TrackLatency {
+		t.stats.LatencyP50 = make(map[string]float64)
+		t.stats.LatencyP99 = make(map[string]float64)
+	}
+	for name, c := range t.components {
+		t.stats.Processed[name] = atomic.LoadUint64(&c.processed)
+		t.stats.Emitted[name] = atomic.LoadUint64(&c.emitted)
+		t.stats.Errors[name] = atomic.LoadUint64(&c.errors)
+		if c.lat != nil {
+			t.stats.LatencyP50[name] = c.lat.Query(0.5)
+			t.stats.LatencyP99[name] = c.lat.Query(0.99)
+		}
+	}
+	return t.stats
+}
+
+func (t *Topology) maybeFinish() {
+	if atomic.LoadInt64(&t.inflight) == 0 && atomic.LoadInt32(&t.activeSpouts) == 0 {
+		t.finishOnce.Do(func() { close(t.quiesced) })
+	}
+}
+
+// deliver routes one message from src to every downstream link, tracking
+// the tuple tree when acking is on. It returns the number of copies sent.
+func (t *Topology) deliver(src *component, msg Message, root uint64) int {
+	copies := 0
+	for _, link := range src.outs {
+		switch link.grouping {
+		case Shuffle:
+			idx := int(atomic.AddUint64(&link.rr, 1)) % len(link.dest.tasks)
+			t.send(link.dest, idx, msg, root)
+			copies++
+		case Fields:
+			idx := int(hashutil.Sum64String(msg.Key, 0xf1e1d5) % uint64(len(link.dest.tasks)))
+			t.send(link.dest, idx, msg, root)
+			copies++
+		case Global:
+			t.send(link.dest, 0, msg, root)
+			copies++
+		case Broadcast:
+			for idx := range link.dest.tasks {
+				t.send(link.dest, idx, msg, root)
+				copies++
+			}
+		}
+	}
+	return copies
+}
+
+func (t *Topology) send(dest *component, task int, msg Message, root uint64) {
+	id := uint64(0)
+	if t.ack != nil && root != 0 {
+		id = t.nextID()
+		t.ack.emit(root, id)
+	}
+	atomic.AddInt64(&t.inflight, 1)
+	dest.tasks[task] <- envelope{msg: msg, root: root, id: id}
+}
+
+func (t *Topology) runBoltTask(wg *sync.WaitGroup, bd *boltDecl, c *component, taskID int) {
+	defer wg.Done()
+	bolt := bd.factory(taskID)
+	for env := range c.tasks[taskID] {
+		emit := func(m Message) {
+			atomic.AddUint64(&c.emitted, 1)
+			t.deliver(c, m, env.root)
+		}
+		var start time.Time
+		if c.lat != nil {
+			start = time.Now()
+		}
+		err := bolt.Process(env.msg, emit)
+		if c.lat != nil {
+			us := float64(time.Since(start).Nanoseconds()) / 1000
+			c.latMu.Lock()
+			c.lat.Update(us)
+			c.latMu.Unlock()
+		}
+		atomic.AddUint64(&c.processed, 1)
+		if t.ack != nil && env.root != 0 {
+			if err != nil {
+				atomic.AddUint64(&c.errors, 1)
+				t.ack.fail(env.root)
+			} else {
+				t.ack.ack(env.root, env.id)
+			}
+		} else if err != nil {
+			atomic.AddUint64(&c.errors, 1)
+		}
+		atomic.AddInt64(&t.inflight, -1)
+		t.maybeFinish()
+	}
+}
+
+// feeder drives one spout: new tuples from Next(), replays from failed
+// trees, throttled by MaxPending outstanding roots.
+type feeder struct {
+	t       *Topology
+	decl    *spoutDecl
+	comp    *component
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[uint64]Message
+	retries map[uint64]int
+	replay  []uint64
+}
+
+func (t *Topology) runFeeder(wg *sync.WaitGroup, sd *spoutDecl) {
+	defer wg.Done()
+	f := &feeder{
+		t:       t,
+		decl:    sd,
+		comp:    t.components[sd.name],
+		pending: make(map[uint64]Message),
+		retries: make(map[uint64]int),
+	}
+	f.cond = sync.NewCond(&f.mu)
+
+	if t.cfg.Semantics == AtMostOnce {
+		for {
+			msg, ok := sd.spout.Next()
+			if !ok {
+				break
+			}
+			atomic.AddUint64(&t.stats.SpoutEmitted, 1)
+			atomic.AddUint64(&f.comp.emitted, 1)
+			t.deliver(f.comp, msg, 0)
+		}
+		atomic.AddInt32(&t.activeSpouts, -1)
+		t.maybeFinish()
+		return
+	}
+
+	exhausted := false
+	for {
+		f.mu.Lock()
+		for len(f.replay) == 0 && len(f.pending) >= t.cfg.MaxPending {
+			f.cond.Wait()
+		}
+		if len(f.replay) > 0 {
+			oldRoot := f.replay[0]
+			f.replay = f.replay[1:]
+			msg, live := f.pending[oldRoot]
+			var tries int
+			if live {
+				tries = f.retries[oldRoot]
+				delete(f.pending, oldRoot)
+				delete(f.retries, oldRoot)
+			}
+			f.mu.Unlock()
+			if live {
+				// Replay under a FRESH root id: envelopes of the failed
+				// attempt may still be in flight, and their late acks must
+				// not XOR into the new tree.
+				t.dropFeeder(oldRoot)
+				newRoot := t.nextID()
+				f.mu.Lock()
+				f.pending[newRoot] = msg
+				f.retries[newRoot] = tries
+				f.mu.Unlock()
+				t.registerFeeder(newRoot, f)
+				atomic.AddUint64(&t.stats.Replayed, 1)
+				f.emitRoot(msg, newRoot)
+			}
+			continue
+		}
+		f.mu.Unlock()
+		if exhausted {
+			// Wait for the pending set to drain, serving replays as they
+			// arrive.
+			f.mu.Lock()
+			for len(f.pending) > 0 && len(f.replay) == 0 {
+				f.cond.Wait()
+			}
+			done := len(f.pending) == 0
+			f.mu.Unlock()
+			if done {
+				break
+			}
+			continue
+		}
+		msg, ok := sd.spout.Next()
+		if !ok {
+			exhausted = true
+			continue
+		}
+		root := t.nextID()
+		f.mu.Lock()
+		f.pending[root] = msg
+		f.mu.Unlock()
+		t.registerFeeder(root, f)
+		atomic.AddUint64(&t.stats.SpoutEmitted, 1)
+		atomic.AddUint64(&f.comp.emitted, 1)
+		f.emitRoot(msg, root)
+	}
+	atomic.AddInt32(&t.activeSpouts, -1)
+	t.maybeFinish()
+}
+
+// emitRoot creates the tuple tree and delivers the root message. The tree
+// entry carries a virtual id (the root itself) during delivery so the tree
+// cannot complete while copies are still being enqueued.
+func (f *feeder) emitRoot(msg Message, root uint64) {
+	f.t.ack.create(root)
+	f.t.deliver(f.comp, msg, root)
+	f.t.ack.ack(root, root)
+}
+
+func (t *Topology) registerFeeder(root uint64, f *feeder) {
+	t.feederMu.Lock()
+	t.feeders[root] = f
+	t.feederMu.Unlock()
+}
+
+func (t *Topology) takeFeeder(root uint64) *feeder {
+	t.feederMu.Lock()
+	f := t.feeders[root]
+	t.feederMu.Unlock()
+	return f
+}
+
+func (t *Topology) dropFeeder(root uint64) {
+	t.feederMu.Lock()
+	delete(t.feeders, root)
+	t.feederMu.Unlock()
+}
+
+// onTreeDone is the acker completion callback.
+func (t *Topology) onTreeDone(root uint64) {
+	f := t.takeFeeder(root)
+	if f == nil {
+		return
+	}
+	t.dropFeeder(root)
+	atomic.AddUint64(&t.stats.Acked, 1)
+	f.mu.Lock()
+	delete(f.pending, root)
+	delete(f.retries, root)
+	f.cond.Signal()
+	f.mu.Unlock()
+}
+
+// onTreeFail is the acker failure callback: requeue for replay or drop
+// after MaxRetries.
+func (t *Topology) onTreeFail(root uint64) {
+	f := t.takeFeeder(root)
+	if f == nil {
+		return
+	}
+	drop := false
+	f.mu.Lock()
+	f.retries[root]++
+	if f.retries[root] > t.cfg.MaxRetries {
+		delete(f.pending, root)
+		delete(f.retries, root)
+		drop = true
+	} else {
+		f.replay = append(f.replay, root)
+	}
+	f.cond.Signal()
+	f.mu.Unlock()
+	if drop {
+		t.dropFeeder(root)
+		atomic.AddUint64(&t.stats.Dropped, 1)
+	}
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the
+// tutorial's evaluation surface (Table 1's seventeen problem rows,
+// Section 2's synopsis structures, Table 2's platform design space, and
+// Figure 1's Lambda Architecture) as measurable artifacts: each experiment
+// runs a deterministic workload through the relevant implementations and
+// reports accuracy, memory and ordering results as a formatted table.
+//
+// cmd/streambench prints them all; bench_test.go wraps each in a
+// testing.B benchmark; EXPERIMENTS.md records the outcomes against the
+// paper's qualitative claims.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a title, column headers, and rows.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's qualitative claim this table checks
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// f formats a float compactly.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// d formats an integer.
+func d[T int | int64 | uint64](v T) string { return fmt.Sprintf("%d", v) }
+
+// All runs every experiment and returns the tables in presentation order.
+func All() []Table {
+	return []Table{
+		T1_01_Sampling(),
+		T1_02_Filtering(),
+		T1_03_Correlation(),
+		T1_04_Cardinality(),
+		T1_05_Quantiles(),
+		T1_06_Moments(),
+		T1_07_FrequentElements(),
+		T1_08_Inversions(),
+		T1_09_Subsequences(),
+		T1_10_PathAnalysis(),
+		T1_11_Anomaly(),
+		T1_12_TemporalPatterns(),
+		T1_13_Prediction(),
+		T1_14_Clustering(),
+		T1_15_GraphAnalysis(),
+		T1_16_BasicCounting(),
+		T1_17_SignificantOnes(),
+		S2_1_Histograms(),
+		S2_2_Wavelets(),
+		T2_1_Semantics(),
+		T2_2_Grouping(),
+		T2_3_Broker(),
+		F1_Lambda(),
+		A1_ConservativeUpdate(),
+		A2_SparseDenseCrossover(),
+		A3_DoubleHashing(),
+		A4_AckingOverhead(),
+		A5_GKCompression(),
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The fast experiments run directly in tests; the heavyweight ones are
+// covered by bench_test.go at the repo root (one testing.B per table) and
+// by cmd/streambench.
+
+func checkTable(t *testing.T, table Table) {
+	t.Helper()
+	if table.ID == "" || table.Title == "" {
+		t.Fatalf("table missing id/title: %+v", table)
+	}
+	if len(table.Header) == 0 || len(table.Rows) == 0 {
+		t.Fatalf("%s: empty table", table.ID)
+	}
+	for _, row := range table.Rows {
+		if len(row) != len(table.Header) {
+			t.Fatalf("%s: row width %d != header width %d (%v)",
+				table.ID, len(row), len(table.Header), row)
+		}
+	}
+	s := table.String()
+	if !strings.Contains(s, table.ID) {
+		t.Fatalf("%s: render missing id", table.ID)
+	}
+}
+
+func TestFastTablesWellFormed(t *testing.T) {
+	for _, build := range []func() Table{
+		T1_03_Correlation,
+		T1_08_Inversions,
+		T1_10_PathAnalysis,
+		T1_12_TemporalPatterns,
+		T1_13_Prediction,
+		S2_1_Histograms,
+		S2_2_Wavelets,
+		A2_SparseDenseCrossover,
+		A5_GKCompression,
+	} {
+		checkTable(t, build())
+	}
+}
+
+func TestPathAnalysisAnswersMatchWant(t *testing.T) {
+	table := T1_10_PathAnalysis()
+	for _, row := range table.Rows {
+		answer, want := row[3], row[4]
+		if !strings.HasPrefix(want, answer) {
+			t.Fatalf("T1.10 row %v: answer %q does not match want %q", row, answer, want)
+		}
+	}
+}
+
+func TestWaveletErrorMonotone(t *testing.T) {
+	table := S2_2_Wavelets()
+	prev := 1e300
+	for _, row := range table.Rows {
+		var e float64
+		if _, err := sscan(row[1], &e); err != nil {
+			t.Fatalf("unparseable error cell %q", row[1])
+		}
+		if e > prev+1e-9 {
+			t.Fatalf("wavelet error not monotone: %v after %v", e, prev)
+		}
+		prev = e
+	}
+}
+
+// sscan parses a float cell produced by f().
+func sscan(s string, out *float64) (int, error) {
+	return fmt.Sscan(s, out)
+}

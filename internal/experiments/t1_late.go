@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/anomaly"
+	"repro/internal/cluster"
+	"repro/internal/graphstream"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/subsequence"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// T1_09_Subsequences compares exact and approximate LIS across stream
+// shapes and shows DTW subsequence matching.
+func T1_09_Subsequences() Table {
+	t := Table{
+		ID:     "T1.9",
+		Title:  "Finding Subsequences (application: traffic analysis)",
+		Claim:  "patience LIS exact in O(L); bounded-memory variant within constant factor; DTW matcher finds planted shapes",
+		Header: []string{"task", "stream", "exact", "approx/found", "approx-bytes"},
+	}
+	const n = 50000
+	for _, shape := range []struct {
+		name string
+		swap float64
+	}{{"near-sorted", 0.02}, {"shuffled", 2.0}} {
+		stream := workload.NearSorted(workload.NewRNG(109), n, shape.swap)
+		exact := subsequence.NewLIS()
+		approx, _ := subsequence.NewApproxLIS(128)
+		for _, v := range stream {
+			exact.Update(v)
+			approx.Update(v)
+		}
+		t.AddRow("LIS", shape.name, d(exact.Length()), d(approx.Estimate()), d(approx.Bytes()))
+	}
+	// LCS baseline row.
+	rng := workload.NewRNG(110)
+	a := workload.Uniform(rng, 2000, 20)
+	b := workload.Uniform(rng, 2000, 20)
+	t.AddRow("LCS(2k,2k)", "uniform-20", d(subsequence.LCS(a, b)), "-", "-")
+	// DTW matcher row: 3 planted pulses.
+	query := []float64{0, 1, 3, 6, 3, 1, 0}
+	m, _ := subsequence.NewMatcher(query, 1.5, 2)
+	found := 0
+	plant := map[int]bool{1000: true, 5000: true, 9000: true}
+	for i := 0; i < 12000; i++ {
+		if plant[i] {
+			for _, q := range query {
+				if m.Update(q+rng.NormFloat64()*0.05) != nil {
+					found++
+				}
+			}
+			continue
+		}
+		if m.Update(rng.NormFloat64()*0.2) != nil {
+			found++
+		}
+	}
+	t.AddRow("DTW-match", "3 planted pulses", "3", d(found), "-")
+	return t
+}
+
+// T1_10_PathAnalysis exercises bounded-length reachability on a dynamic
+// graph under churn.
+func T1_10_PathAnalysis() Table {
+	t := Table{
+		ID:     "T1.10",
+		Title:  "Path Analysis (application: web graph analysis)",
+		Claim:  "path<=l queries stay correct under edge insertions and deletions",
+		Header: []string{"phase", "edges", "query", "answer", "want"},
+	}
+	const n = 5000
+	dr, _ := graphstream.NewDynamicReach(n)
+	// Build a long path plus random chords.
+	for _, e := range workload.PathGraph(n) {
+		dr.Insert(e)
+	}
+	t.AddRow("path built", d(n-1), "within(0,100,100)", fmt.Sprint(dr.WithinL(0, 100, 100)), "true")
+	t.AddRow("path built", d(n-1), "within(0,100,99)", fmt.Sprint(dr.WithinL(0, 100, 99)), "false")
+	dr.Delete(workload.Edge{U: 50, V: 51})
+	t.AddRow("cut at 50-51", d(n-2), "within(0,100,5000)", fmt.Sprint(dr.WithinL(0, 100, 5000)), "false")
+	t.AddRow("cut at 50-51", d(n-2), "within(0,50,5000)", fmt.Sprint(dr.WithinL(0, 50, 5000)), "true")
+	dr.Insert(workload.Edge{U: 0, V: 4000})
+	t.AddRow("chord added", d(n-1), "within(0,4000,1)", fmt.Sprint(dr.WithinL(0, 4000, 1)), "true")
+	t.AddRow("chord added", d(n-1), "within(0,100,5000)", fmt.Sprint(dr.WithinL(0, 100, 5000)), "true (via chord)")
+	return t
+}
+
+// T1_11_Anomaly scores the detector ladder on labelled synthetic streams.
+func T1_11_Anomaly() Table {
+	t := Table{
+		ID:     "T1.11",
+		Title:  "Anomaly Detection (application: sensor networks)",
+		Claim:  "detectors catch injected spikes/shifts with few false alarms; robust methods survive contamination",
+		Header: []string{"detector", "threshold", "events-caught", "false-alarms", "notes"},
+	}
+	spec := workload.SeriesSpec{N: 20000, Base: 100, NoiseSD: 2}
+	anoms := []workload.Anomaly{
+		{Kind: workload.Spike, Index: 3000, Len: 1, Mag: 12},
+		{Kind: workload.Spike, Index: 9000, Len: 1, Mag: -10},
+		{Kind: workload.Spike, Index: 15000, Len: 1, Mag: 14},
+		{Kind: workload.LevelShift, Index: 17000, Len: 3000, Mag: 8},
+	}
+	series := spec.Generate(workload.NewRNG(111), anoms)
+	run := func(name string, det anomaly.Detector, threshold float64, notes string) {
+		caught := map[int]bool{}
+		fa := 0
+		for i, v := range series.Values {
+			if det.Score(v) > threshold {
+				hit := false
+				for ai, a := range series.Anomalies {
+					// For level shifts, firing anywhere in the shifted
+					// region is legitimate (the data IS anomalous there);
+					// detection credit requires firing near the onset.
+					lo, hi := a.Index-3, a.Index+3
+					if a.Kind == workload.LevelShift {
+						hi = a.Index + a.Len + 3
+					}
+					if i >= lo && i <= hi {
+						if a.Kind != workload.LevelShift || i <= a.Index+120 {
+							caught[ai] = true
+						}
+						hit = true
+					}
+				}
+				if !hit {
+					fa++
+				}
+			}
+		}
+		t.AddRow(name, f(threshold), fmt.Sprintf("%d/4", len(caught)), d(fa), notes)
+	}
+	ew, _ := anomaly.NewEWMA(0.05)
+	run("ewma-zscore", ew, 5, "parametric")
+	mad, _ := anomaly.NewMAD(300)
+	run("median/mad", mad, 5, "robust")
+	hs, _ := anomaly.NewHSTrees(25, 9, 1, 2000, []float64{80}, []float64{130}, 7)
+	run("hs-trees", hs, 0.55, "mass-profile ensemble")
+	// Change detector scored separately (it detects shifts, not points).
+	cd, _ := anomaly.NewChangeDetector(200, 0.5)
+	for _, v := range series.Values {
+		cd.Score(v)
+	}
+	shiftCaught := "no"
+	for _, c := range cd.Changes() {
+		if c >= 17000 && c <= 17600 {
+			shiftCaught = "yes"
+		}
+	}
+	t.AddRow("ks-change", "0.5", "shift: "+shiftCaught, d(len(cd.Changes())-1), "distribution shift")
+	return t
+}
+
+// T1_12_TemporalPatterns measures SAX+shape detection hit rates and the
+// CEP rule engine.
+func T1_12_TemporalPatterns() Table {
+	t := Table{
+		ID:     "T1.12",
+		Title:  "Temporal Pattern Analysis (application: traffic analysis)",
+		Claim:  "SAX symbolization + shape matching finds planted ramps; CEP sequences fire within windows only",
+		Header: []string{"detector", "planted", "found", "spurious"},
+	}
+	// Plant rising ramps in noise; SAX should symbolize them as ascending
+	// runs matched by "abcd"-ish shapes. Use alphabet 4, frame 4.
+	rng := workload.NewRNG(112)
+	sax, _ := pattern.NewSAX(4, 4, 200)
+	det, _ := pattern.NewShapeDetector("ad")
+	planted := 0
+	found := 0
+	for seg := 0; seg < 200; seg++ {
+		if seg%10 == 5 {
+			planted++
+			for i := 0; i < 16; i++ {
+				v := float64(i)*2 - 16 // steep ramp through the range
+				if sym, ok := sax.Update(v + rng.NormFloat64()*0.1); ok {
+					if det.Update(sym) {
+						found++
+					}
+				}
+			}
+			continue
+		}
+		for i := 0; i < 16; i++ {
+			if sym, ok := sax.Update(rng.NormFloat64()); ok {
+				if det.Update(sym) {
+					found++
+				}
+			}
+		}
+	}
+	spurious := 0
+	if found > planted {
+		spurious = found - planted
+	}
+	t.AddRow("sax+shape(ramp)", d(planted), d(found), d(spurious))
+
+	// CEP: login followed by large wire within 5 events.
+	cep, _ := pattern.NewCEP(64)
+	fired := 0
+	cep.AddSequence(pattern.SequenceRule{
+		Name:   "fraud",
+		First:  func(e pattern.Event) bool { return e.Type == "login" },
+		Then:   func(e pattern.Event) bool { return e.Type == "wire" && e.Value > 10000 },
+		Window: 5,
+		Action: func(a, b pattern.Event) { fired++ },
+	})
+	// 3 in-window pairs, 2 out-of-window pairs.
+	submitPair := func(gap int) {
+		cep.Submit(pattern.Event{Type: "login"})
+		for i := 0; i < gap; i++ {
+			cep.Submit(pattern.Event{Type: "noise"})
+		}
+		cep.Submit(pattern.Event{Type: "wire", Value: 20000})
+	}
+	for i := 0; i < 3; i++ {
+		submitPair(2)
+	}
+	for i := 0; i < 2; i++ {
+		submitPair(8)
+	}
+	t.AddRow("cep-sequence", "3 in-window", d(fired), d(fired-3))
+	return t
+}
+
+// T1_13_Prediction scores the imputation RMSE ladder.
+func T1_13_Prediction() Table {
+	t := Table{
+		ID:     "T1.13",
+		Title:  "Data Prediction (application: sensor data analysis)",
+		Claim:  "model-based imputation (Kalman/Holt/AR) beats last-value persistence on structured series",
+		Header: []string{"predictor", "trend-series", "seasonal-series", "random-walk"},
+	}
+	mkSeries := func(seed uint64, spec workload.SeriesSpec) ([]float64, []float64) {
+		s := spec.Generate(workload.NewRNG(seed), nil)
+		masked, _ := workload.WithMissing(workload.NewRNG(seed+1), s.Values, 0.1)
+		return s.Values, masked
+	}
+	trendT, trendM := mkSeries(113, workload.SeriesSpec{N: 5000, Base: 10, Trend: 0.05, NoiseSD: 0.5})
+	seasT, seasM := mkSeries(115, workload.SeriesSpec{N: 5000, Base: 10, SeasonAmp: 5, SeasonLen: 100, NoiseSD: 0.5})
+	// Random walk built manually.
+	rw := make([]float64, 5000)
+	rng := workload.NewRNG(117)
+	for i := 1; i < len(rw); i++ {
+		rw[i] = rw[i-1] + rng.NormFloat64()
+	}
+	rwM, _ := workload.WithMissing(workload.NewRNG(118), rw, 0.1)
+
+	row := func(name string, build func() predict.Predictor) {
+		r1 := predict.ImputeRMSE(build(), trendT, trendM)
+		r2 := predict.ImputeRMSE(build(), seasT, seasM)
+		r3 := predict.ImputeRMSE(build(), rw, rwM)
+		t.AddRow(name, f(r1), f(r2), f(r3))
+	}
+	row("kalman", func() predict.Predictor { k, _ := predict.NewKalman(0.01, 1); return k })
+	row("holt", func() predict.Predictor { h, _ := predict.NewHolt(0.5, 0.1); return h })
+	row("ar1", func() predict.Predictor { a, _ := predict.NewAR1(0.999); return a })
+	row("last-value", func() predict.Predictor { return predict.NewLastValue() })
+	return t
+}
+
+// T1_14_Clustering compares streaming clusterers' SSE against offline
+// k-means++ on a Gaussian mixture.
+func T1_14_Clustering() Table {
+	t := Table{
+		ID:     "T1.14",
+		Title:  "Clustering (application: medical imaging / telemetry)",
+		Claim:  "STREAM and micro-clusters reach near-offline SSE in sublinear memory; online k-means cheapest/loosest",
+		Header: []string{"clusterer", "SSE-vs-offline", "bytes", "pass"},
+	}
+	const n = 30000
+	const k = 5
+	rng := workload.NewRNG(119)
+	means := make([]cluster.Point, k)
+	for i := range means {
+		means[i] = cluster.Point{float64(i) * 25, float64(i%2) * 25}
+	}
+	pts := make([]cluster.Point, n)
+	for i := range pts {
+		m := means[rng.Intn(k)]
+		pts[i] = cluster.Point{m[0] + rng.NormFloat64()*1.5, m[1] + rng.NormFloat64()*1.5}
+	}
+	offline := cluster.KMeansPP(pts, nil, k, 10, workload.NewRNG(120))
+	offSSE := cluster.SSE(pts, nil, offline)
+
+	ok, _ := cluster.NewOnlineKMeans(k, 2)
+	sk, _ := cluster.NewStreamKMedian(k, 2000, 121)
+	mc, _ := cluster.NewMicroClusters(60, 2, 2)
+	for _, p := range pts {
+		ok.Update(p)
+		sk.Update(p)
+		mc.Update(p)
+	}
+	t.AddRow("offline-kmeans++", "1.00x", d(n*16), "full data")
+	t.AddRow("online-kmeans", fmt.Sprintf("%.2fx", cluster.SSE(pts, nil, ok.Centers())/offSSE), d(k*16+8), "1")
+	t.AddRow("stream-kmedian", fmt.Sprintf("%.2fx", cluster.SSE(pts, nil, sk.Centers())/offSSE), d(sk.Bytes()), "1")
+	mcC, mcW := mc.Snapshot()
+	macro := cluster.KMeansPP(mcC, mcW, k, 10, workload.NewRNG(122))
+	t.AddRow("microclusters+macro", fmt.Sprintf("%.2fx", cluster.SSE(pts, nil, macro)/offSSE), d(mc.Bytes()), "1")
+	return t
+}
+
+// T1_15_GraphAnalysis runs the semi-streaming graph suite against offline
+// baselines.
+func T1_15_GraphAnalysis() Table {
+	t := Table{
+		ID:     "T1.15",
+		Title:  "Graph analysis (application: web graph analysis)",
+		Claim:  "one-pass matching >= 1/2 offline greedy; spanner sparsifies with bounded stretch; triangles exact",
+		Header: []string{"problem", "streaming", "baseline", "ratio/stretch", "space"},
+	}
+	const n = 2000
+	rng := workload.NewRNG(123)
+	edges := workload.PreferentialGraph(rng, n, 3)
+
+	gm, _ := graphstream.NewGreedyMatching(n)
+	sf, _ := graphstream.NewSpanningForest(n)
+	sp, _ := graphstream.NewSpanner(n, 2)
+	tc, _ := graphstream.NewTriangleCounter(n)
+	for _, e := range edges {
+		gm.Update(e)
+		sf.Update(e)
+		sp.Update(e)
+		tc.Update(e)
+	}
+	// Offline maximal matching on a shuffled edge order as baseline.
+	base, _ := graphstream.NewGreedyMatching(n)
+	shuffled := append([]workload.Edge(nil), edges...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	for _, e := range shuffled {
+		base.Update(e)
+	}
+	t.AddRow("max-matching", d(gm.Size()), d(base.Size()),
+		fmt.Sprintf("%.2f", float64(gm.Size())/float64(base.Size())), "O(n)")
+	t.AddRow("vertex-cover", d(len(gm.VertexCover())), ">= matching size", "<=2x OPT", "O(n)")
+	t.AddRow("connectivity", fmt.Sprintf("%d comps", sf.Components()), "union-find", "exact", d(len(sf.Edges())*16))
+	// Spanner stretch check on sampled pairs.
+	worst := 0
+	for _, e := range edges[:200] {
+		if dd := sp.Distance(e.U, e.V); dd > worst {
+			worst = dd
+		}
+	}
+	t.AddRow("3-spanner", fmt.Sprintf("%d edges", sp.Edges()), fmt.Sprintf("%d input", len(edges)),
+		fmt.Sprintf("stretch<=%d", worst), "O(n^1.5)")
+	t.AddRow("triangles", d(tc.Count()), "exact", "1.00", "O(m)")
+	return t
+}
+
+// T1_16_BasicCounting verifies the DGIM error bound across window sizes.
+func T1_16_BasicCounting() Table {
+	t := Table{
+		ID:     "T1.16",
+		Title:  "Basic Counting (application: popularity analysis)",
+		Claim:  "DGIM relative error <= eps with O((1/eps)log^2 n) bits vs O(n) exact",
+		Header: []string{"window", "eps", "max-rel-err", "dgim-bytes", "exact-bytes"},
+	}
+	for _, cfg := range []struct {
+		n   uint64
+		eps float64
+	}{{1 << 12, 0.1}, {1 << 16, 0.1}, {1 << 16, 0.02}, {1 << 20, 0.05}} {
+		dg, _ := window.NewDGIM(cfg.n, cfg.eps)
+		exact := window.NewExactWindowCounter(int(cfg.n))
+		rng := workload.NewRNG(124)
+		worst := 0.0
+		total := int(cfg.n) * 3
+		if total > 300000 {
+			total = 300000
+		}
+		for i := 0; i < total; i++ {
+			bit := rng.Float64() < 0.4
+			dg.Update(bit)
+			exact.Update(bit)
+			if i%997 == 0 && exact.Count() > 0 {
+				rel := math.Abs(float64(dg.Estimate())-float64(exact.Count())) / float64(exact.Count())
+				if rel > worst {
+					worst = rel
+				}
+			}
+		}
+		t.AddRow(d(int(cfg.n)), f(cfg.eps), pct(worst), d(dg.Bytes()), d(exact.Bytes()))
+	}
+	return t
+}
+
+// T1_17_SignificantOnes verifies the Lee–Ting guarantee and its space
+// scaling: the group count is independent of the window size n, whereas
+// DGIM's bucket count grows with log n — the relaxation's payoff.
+func T1_17_SignificantOnes() Table {
+	t := Table{
+		ID:     "T1.17",
+		Title:  "Significant One Counting (application: traffic accounting)",
+		Claim:  "err <= eps*m whenever m >= theta*n; space O(1/(theta*eps)) independent of n vs DGIM's O((1/eps)log(eps n))",
+		Header: []string{"window n", "density", "max-err/m (m>=theta*n)", "so-groups", "dgim-buckets"},
+	}
+	const theta = 0.1
+	const eps = 0.1
+	run := func(n uint64, density float64) {
+		so, _ := window.NewSignificantOnes(n, theta, eps)
+		dg, _ := window.NewDGIM(n, eps)
+		exact := window.NewExactWindowCounter(int(n))
+		rng := workload.NewRNG(125)
+		worst := 0.0
+		total := int(3 * n)
+		if total > 2000000 {
+			total = 2000000
+		}
+		for i := 0; i < total; i++ {
+			bit := rng.Float64() < density
+			so.Update(bit)
+			dg.Update(bit)
+			exact.Update(bit)
+			if i > int(n) && i%1009 == 0 {
+				m := float64(exact.Count())
+				if m >= theta*float64(n) {
+					rel := math.Abs(float64(so.Estimate())-m) / m
+					if rel > worst {
+						worst = rel
+					}
+				}
+			}
+		}
+		t.AddRow(d(int(n)), pct(density), pct(worst), d(so.Groups()), d(dg.Buckets()))
+	}
+	// Density sweep at fixed n: the guarantee holds wherever m >= theta*n.
+	for _, density := range []float64{0.5, 0.2, 0.05} {
+		run(1<<16, density)
+	}
+	// Window sweep at fixed density: SO group count stays flat while DGIM
+	// grows logarithmically, crossing over at large n.
+	run(1<<14, 0.5)
+	run(1<<18, 0.5)
+	run(1<<20, 0.5)
+	return t
+}

@@ -1,0 +1,168 @@
+package filter
+
+import (
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// CountingBloom replaces each bit with a small counter so keys can be
+// removed (Bonomi et al., cited by the survey as the improved counting
+// Bloom construction). Four-bit counters are the classic choice: overflow
+// probability is negligible at the recommended load, and we saturate rather
+// than wrap to preserve the no-false-negative guarantee for keys that were
+// never deleted.
+type CountingBloom struct {
+	counters []uint8 // one nibble-sized counter per cell, stored one per byte
+	m        uint64
+	k        uint
+	seed     uint64
+	n        uint64
+}
+
+// NewCountingBloom returns a counting Bloom filter with m counters and k
+// hashes per key.
+func NewCountingBloom(m int, k uint, seed uint64) (*CountingBloom, error) {
+	if m <= 0 {
+		return nil, core.Errf("CountingBloom", "m", "%d must be positive", m)
+	}
+	if k == 0 || k > 64 {
+		return nil, core.Errf("CountingBloom", "k", "%d not in [1,64]", k)
+	}
+	return &CountingBloom{counters: make([]uint8, m), m: uint64(m), k: k, seed: seed}, nil
+}
+
+const countingBloomMax = 15 // 4-bit saturation point
+
+func (c *CountingBloom) each(key []byte, fn func(pos uint64)) {
+	h1, h2 := hashutil.Sum128(key, c.seed)
+	for i := uint(0); i < c.k; i++ {
+		fn(hashutil.DoubleHash(h1, h2, i) % c.m)
+	}
+}
+
+// Add inserts a key.
+func (c *CountingBloom) Add(key []byte) {
+	c.n++
+	c.each(key, func(pos uint64) {
+		if c.counters[pos] < countingBloomMax {
+			c.counters[pos]++
+		}
+	})
+}
+
+// Remove deletes one occurrence of key. Removing a key that was never added
+// can introduce false negatives for other keys, as in any counting Bloom
+// filter; callers are expected to pair removals with prior insertions.
+func (c *CountingBloom) Remove(key []byte) {
+	if c.n > 0 {
+		c.n--
+	}
+	c.each(key, func(pos uint64) {
+		// Saturated counters are sticky: decrementing one could undercount
+		// a colliding key. This trades a small permanent false-positive
+		// rate for preserving no-false-negatives.
+		if c.counters[pos] > 0 && c.counters[pos] < countingBloomMax {
+			c.counters[pos]--
+		}
+	})
+}
+
+// Contains reports whether key may be present.
+func (c *CountingBloom) Contains(key []byte) bool {
+	ok := true
+	c.each(key, func(pos uint64) {
+		if c.counters[pos] == 0 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Bytes returns the counter-array footprint.
+func (c *CountingBloom) Bytes() int { return len(c.counters) + 24 }
+
+// Count returns the net number of keys (adds minus removes).
+func (c *CountingBloom) Count() uint64 { return c.n }
+
+// StableBloom is a time-decaying Bloom filter for unbounded streams
+// (Dautrich–Ravishankar's inferential time-decaying family, simplified to
+// the classic stable-Bloom rule): before each insertion, p random cells are
+// decremented, so stale keys fade and the filter reaches a stable occupancy
+// instead of saturating. Recent keys are reliably found; old keys decay to
+// misses — the behaviour wanted for "have we seen this URL recently?"
+// duplicate suppression.
+type StableBloom struct {
+	cells []uint8
+	m     uint64
+	k     uint
+	max   uint8
+	p     int // cells decremented per insertion
+	seed  uint64
+	rng   uint64 // cheap xorshift state for decrement positions
+	n     uint64
+}
+
+// NewStableBloom returns a stable Bloom filter with m cells, k hashes,
+// cell ceiling max, and p decrements per insertion.
+func NewStableBloom(m int, k uint, max uint8, p int, seed uint64) (*StableBloom, error) {
+	if m <= 0 {
+		return nil, core.Errf("StableBloom", "m", "%d must be positive", m)
+	}
+	if k == 0 || k > 64 {
+		return nil, core.Errf("StableBloom", "k", "%d not in [1,64]", k)
+	}
+	if max == 0 {
+		return nil, core.Errf("StableBloom", "max", "must be positive")
+	}
+	if p <= 0 {
+		return nil, core.Errf("StableBloom", "p", "%d must be positive", p)
+	}
+	return &StableBloom{
+		cells: make([]uint8, m),
+		m:     uint64(m),
+		k:     k,
+		max:   max,
+		p:     p,
+		seed:  seed,
+		rng:   seed | 1,
+	}, nil
+}
+
+func (s *StableBloom) nextRand() uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
+}
+
+// Add inserts a key, first decaying p random cells.
+func (s *StableBloom) Add(key []byte) {
+	s.n++
+	for i := 0; i < s.p; i++ {
+		pos := s.nextRand() % s.m
+		if s.cells[pos] > 0 {
+			s.cells[pos]--
+		}
+	}
+	h1, h2 := hashutil.Sum128(key, s.seed)
+	for i := uint(0); i < s.k; i++ {
+		s.cells[hashutil.DoubleHash(h1, h2, i)%s.m] = s.max
+	}
+}
+
+// Contains reports whether key has been seen recently (not yet decayed).
+func (s *StableBloom) Contains(key []byte) bool {
+	h1, h2 := hashutil.Sum128(key, s.seed)
+	for i := uint(0); i < s.k; i++ {
+		if s.cells[hashutil.DoubleHash(h1, h2, i)%s.m] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes returns the cell-array footprint.
+func (s *StableBloom) Bytes() int { return len(s.cells) + 32 }
+
+// Count returns the number of Add calls.
+func (s *StableBloom) Count() uint64 { return s.n }

@@ -1,0 +1,190 @@
+package filter
+
+import (
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// Cuckoo is a cuckoo filter (Fan–Andersen–Kaminsky–Mitzenmacher, cited by
+// the survey as "practically better than Bloom"): it stores short
+// fingerprints in a two-choice bucketed table with cuckoo eviction, giving
+// lower space at low target FPR than Bloom filters, plus true deletion.
+//
+// Buckets hold 4 fingerprints (the paper's sweet spot). A key's two bucket
+// candidates are related by i2 = i1 XOR hash(fingerprint), so relocation
+// needs only the fingerprint — the defining trick of the structure.
+type Cuckoo struct {
+	buckets  [][cuckooSlots]uint16
+	mask     uint64 // bucket-count mask (power of two)
+	seed     uint64
+	n        uint64
+	kicks    int // max relocation chain length before stashing
+	overflow bool
+	// stash holds fingerprints left homeless by failed eviction walks
+	// (e.g. the same key inserted more than 2*cuckooSlots times). Without
+	// it, a failed walk would silently drop a previously inserted key's
+	// fingerprint, breaking the no-false-negative guarantee.
+	stash []stashEntry
+}
+
+type stashEntry struct {
+	index uint64 // one of the fingerprint's two candidate buckets
+	fp    uint16
+}
+
+const cuckooSlots = 4
+
+// NewCuckoo returns a cuckoo filter with capacity for roughly
+// expectedItems at ~95% load.
+func NewCuckoo(expectedItems int, seed uint64) (*Cuckoo, error) {
+	if expectedItems <= 0 {
+		return nil, core.Errf("Cuckoo", "expectedItems", "%d must be positive", expectedItems)
+	}
+	need := uint64(float64(expectedItems) / 0.95 / cuckooSlots)
+	nb := uint64(1)
+	for nb < need {
+		nb <<= 1
+	}
+	if nb < 2 {
+		nb = 2
+	}
+	return &Cuckoo{
+		buckets: make([][cuckooSlots]uint16, nb),
+		mask:    nb - 1,
+		seed:    seed,
+		kicks:   500,
+	}, nil
+}
+
+// fingerprint returns a nonzero 16-bit fingerprint of the key.
+func (c *Cuckoo) fingerprint(h uint64) uint16 {
+	fp := uint16(h >> 48)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+func (c *Cuckoo) altIndex(i uint64, fp uint16) uint64 {
+	return (i ^ hashutil.Sum64Uint64(uint64(fp), c.seed^0xdead)) & c.mask
+}
+
+func (c *Cuckoo) indexes(key []byte) (uint64, uint64, uint16) {
+	h := hashutil.Sum64(key, c.seed)
+	fp := c.fingerprint(h)
+	i1 := h & c.mask
+	return i1, c.altIndex(i1, fp), fp
+}
+
+func (c *Cuckoo) insertAt(i uint64, fp uint16) bool {
+	b := &c.buckets[i]
+	for s := 0; s < cuckooSlots; s++ {
+		if b[s] == 0 {
+			b[s] = fp
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts a key. It returns false when the insertion spilled to the
+// overflow stash (the filter is effectively full); the key is still
+// queryable either way, so no-false-negatives holds for every added key.
+func (c *Cuckoo) Add(key []byte) bool {
+	i1, i2, fp := c.indexes(key)
+	if c.insertAt(i1, fp) || c.insertAt(i2, fp) {
+		c.n++
+		return true
+	}
+	// Random-walk eviction.
+	i := i1
+	state := hashutil.Mix64(uint64(fp) ^ i1 ^ c.seed)
+	for k := 0; k < c.kicks; k++ {
+		state = hashutil.Mix64(state)
+		slot := state % cuckooSlots
+		fp, c.buckets[i][slot] = c.buckets[i][slot], fp
+		i = c.altIndex(i, fp)
+		if c.insertAt(i, fp) {
+			c.n++
+			return true
+		}
+	}
+	// The walk failed; fp is some (possibly different) key's homeless
+	// fingerprint. Stash it so that key stays findable.
+	c.stash = append(c.stash, stashEntry{index: i, fp: fp})
+	c.n++
+	c.overflow = true
+	return false
+}
+
+// stashContains reports whether the stash holds fp for a key whose
+// candidate buckets are i1/i2.
+func (c *Cuckoo) stashContains(i1, i2 uint64, fp uint16) bool {
+	for _, e := range c.stash {
+		if e.fp == fp && (e.index == i1 || e.index == i2) {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key may be present.
+func (c *Cuckoo) Contains(key []byte) bool {
+	i1, i2, fp := c.indexes(key)
+	for s := 0; s < cuckooSlots; s++ {
+		if c.buckets[i1][s] == fp || c.buckets[i2][s] == fp {
+			return true
+		}
+	}
+	return len(c.stash) > 0 && c.stashContains(i1, i2, fp)
+}
+
+// Remove deletes one copy of key's fingerprint. It returns false when the
+// fingerprint was not present. As with all cuckoo filters, removing a key
+// that was never added may delete a colliding key's fingerprint.
+func (c *Cuckoo) Remove(key []byte) bool {
+	i1, i2, fp := c.indexes(key)
+	for _, i := range [2]uint64{i1, i2} {
+		for s := 0; s < cuckooSlots; s++ {
+			if c.buckets[i][s] == fp {
+				c.buckets[i][s] = 0
+				if c.n > 0 {
+					c.n--
+				}
+				return true
+			}
+		}
+	}
+	for si, e := range c.stash {
+		if e.fp == fp && (e.index == i1 || e.index == i2) {
+			c.stash = append(c.stash[:si], c.stash[si+1:]...)
+			if c.n > 0 {
+				c.n--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the table footprint including the overflow stash.
+func (c *Cuckoo) Bytes() int { return len(c.buckets)*cuckooSlots*2 + len(c.stash)*10 + 32 }
+
+// Count returns the number of stored fingerprints.
+func (c *Cuckoo) Count() uint64 { return c.n }
+
+// Overflowed reports whether any insertion has failed.
+func (c *Cuckoo) Overflowed() bool { return c.overflow }
+
+// LoadFactor returns the fraction of occupied slots.
+func (c *Cuckoo) LoadFactor() float64 {
+	used := 0
+	for i := range c.buckets {
+		for s := 0; s < cuckooSlots; s++ {
+			if c.buckets[i][s] != 0 {
+				used++
+			}
+		}
+	}
+	return float64(used) / float64(len(c.buckets)*cuckooSlots)
+}

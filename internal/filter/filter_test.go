@@ -1,0 +1,438 @@
+package filter
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func keysRange(lo, hi int) [][]byte {
+	out := make([][]byte, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, []byte(fmt.Sprintf("key-%d", i)))
+	}
+	return out
+}
+
+func TestBloomParamValidation(t *testing.T) {
+	if _, err := NewBloom(0, 0.01, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewBloom(100, 0, 1); err == nil {
+		t.Fatal("fp=0 accepted")
+	}
+	if _, err := NewBloom(100, 1, 1); err == nil {
+		t.Fatal("fp=1 accepted")
+	}
+	if _, err := NewBloomMK(0, 3, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewBloomMK(100, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b, _ := NewBloom(10000, 0.01, 7)
+	ins := keysRange(0, 10000)
+	for _, k := range ins {
+		b.Add(k)
+	}
+	for _, k := range ins {
+		if !b.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestBloomFPRNearTarget(t *testing.T) {
+	b, _ := NewBloom(10000, 0.01, 7)
+	for _, k := range keysRange(0, 10000) {
+		b.Add(k)
+	}
+	fp := 0
+	probes := keysRange(1000000, 1020000)
+	for _, k := range probes {
+		if b.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(len(probes))
+	if rate > 0.02 {
+		t.Fatalf("FPR %.4f, want <= ~0.02 at target 0.01", rate)
+	}
+	if est := b.EstimatedFPRate(); est > 0.02 {
+		t.Fatalf("estimated FPR %.4f off", est)
+	}
+}
+
+func TestBloomIndependentHashesEquivalentFPR(t *testing.T) {
+	// Ablation: double hashing should match k independent hashes.
+	mk := func(indep bool) float64 {
+		b, _ := NewBloomMK(1<<17, 7, 3)
+		b.SetIndependentHashes(indep)
+		for _, k := range keysRange(0, 10000) {
+			b.Add(k)
+		}
+		fp := 0
+		probes := keysRange(500000, 520000)
+		for _, k := range probes {
+			if b.Contains(k) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(probes))
+	}
+	dh := mk(false)
+	ih := mk(true)
+	if dh > ih*3+0.005 {
+		t.Fatalf("double hashing FPR %.4f much worse than independent %.4f", dh, ih)
+	}
+}
+
+func TestBloomMergeUnion(t *testing.T) {
+	a, _ := NewBloomMK(1<<16, 5, 9)
+	b, _ := NewBloomMK(1<<16, 5, 9)
+	for _, k := range keysRange(0, 500) {
+		a.Add(k)
+	}
+	for _, k := range keysRange(500, 1000) {
+		b.Add(k)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keysRange(0, 1000) {
+		if !a.Contains(k) {
+			t.Fatalf("merged filter missing %q", k)
+		}
+	}
+	c, _ := NewBloomMK(1<<15, 5, 9)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merged incompatible geometry")
+	}
+}
+
+func TestPartitionedBloomBasics(t *testing.T) {
+	p, _ := NewPartitionedBloom(1<<14, 5, 11)
+	ins := keysRange(0, 5000)
+	for _, k := range ins {
+		p.Add(k)
+	}
+	for _, k := range ins {
+		if !p.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	fp := 0
+	probes := keysRange(100000, 110000)
+	for _, k := range probes {
+		if p.Contains(k) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / float64(len(probes)); rate > 0.1 {
+		t.Fatalf("partitioned FPR %.4f too high", rate)
+	}
+}
+
+func TestCountingBloomAddRemove(t *testing.T) {
+	c, _ := NewCountingBloom(1<<16, 4, 13)
+	ins := keysRange(0, 2000)
+	for _, k := range ins {
+		c.Add(k)
+	}
+	for _, k := range ins {
+		if !c.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	// Remove the first half; they should (mostly) disappear while the
+	// second half must all remain.
+	for _, k := range ins[:1000] {
+		c.Remove(k)
+	}
+	for _, k := range ins[1000:] {
+		if !c.Contains(k) {
+			t.Fatalf("removal corrupted other key %q", k)
+		}
+	}
+	gone := 0
+	for _, k := range ins[:1000] {
+		if !c.Contains(k) {
+			gone++
+		}
+	}
+	if gone < 900 {
+		t.Fatalf("only %d/1000 removed keys vanished", gone)
+	}
+}
+
+func TestCountingBloomSaturationSticky(t *testing.T) {
+	c, _ := NewCountingBloom(64, 2, 13)
+	k := []byte("hot")
+	for i := 0; i < 100; i++ {
+		c.Add(k)
+	}
+	// 100 adds saturate 4-bit counters; 100 removes must NOT produce a
+	// false negative for a key that is still logically present 0 times but
+	// whose counters saturated (stickiness preserves colliding keys).
+	for i := 0; i < 100; i++ {
+		c.Remove(k)
+	}
+	if !c.Contains(k) {
+		// Sticky saturation means the key is still reported present.
+		t.Fatal("saturated counter was decremented to zero")
+	}
+}
+
+func TestStableBloomRecentVsStale(t *testing.T) {
+	s, _ := NewStableBloom(1<<14, 3, 3, 10, 17)
+	// Insert an "old" key, then flood with traffic, then check decay.
+	old := []byte("old-key")
+	s.Add(old)
+	for _, k := range keysRange(0, 200000) {
+		s.Add(k)
+	}
+	recent := keysRange(199000, 200000)
+	miss := 0
+	for _, k := range recent {
+		if !s.Contains(k) {
+			miss++
+		}
+	}
+	if miss > 100 {
+		t.Fatalf("stable bloom forgot %d/1000 recent keys", miss)
+	}
+	if s.Contains(old) {
+		t.Fatal("stable bloom never decayed the stale key")
+	}
+}
+
+func TestCuckooBasics(t *testing.T) {
+	c, _ := NewCuckoo(10000, 19)
+	ins := keysRange(0, 10000)
+	for _, k := range ins {
+		if !c.Add(k) {
+			t.Fatalf("insertion failed at load %.2f", c.LoadFactor())
+		}
+	}
+	for _, k := range ins {
+		if !c.Contains(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+	fp := 0
+	probes := keysRange(1000000, 1050000)
+	for _, k := range probes {
+		if c.Contains(k) {
+			fp++
+		}
+	}
+	// 16-bit fingerprints, 8 slots scanned: FPR ~ 8/2^16 ~ 0.00012.
+	if rate := float64(fp) / float64(len(probes)); rate > 0.002 {
+		t.Fatalf("cuckoo FPR %.5f too high", rate)
+	}
+}
+
+func TestCuckooRemove(t *testing.T) {
+	c, _ := NewCuckoo(1000, 19)
+	k := []byte("target")
+	if !c.Add(k) {
+		t.Fatal("add failed")
+	}
+	if !c.Remove(k) {
+		t.Fatal("remove failed")
+	}
+	if c.Contains(k) {
+		t.Fatal("still present after removal")
+	}
+	if c.Remove(k) {
+		t.Fatal("second removal succeeded")
+	}
+}
+
+func TestCuckooHighLoad(t *testing.T) {
+	c, _ := NewCuckoo(1000, 23)
+	inserted := 0
+	for _, k := range keysRange(0, 2000) {
+		if c.Add(k) {
+			inserted++
+		}
+	}
+	if !c.Overflowed() {
+		t.Fatal("expected overflow past capacity")
+	}
+	// Must still have achieved a high load factor before failing.
+	if c.LoadFactor() < 0.8 {
+		t.Fatalf("overflowed at low load %.2f", c.LoadFactor())
+	}
+	_ = inserted
+}
+
+func TestQuickBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		b, _ := NewBloom(len(keys)+1, 0.01, 3)
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCuckooAddedAlwaysFound(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		c, _ := NewCuckoo(4*len(keys)+8, 5)
+		added := make([][]byte, 0, len(keys))
+		for _, k := range keys {
+			if c.Add(k) {
+				added = append(added, k)
+			}
+		}
+		for _, k := range added {
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBloomAdd(b *testing.B) {
+	f, _ := NewBloom(1<<20, 0.01, 1)
+	key := make([]byte, 16)
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		key[1] = byte(i >> 8)
+		f.Add(key)
+	}
+}
+
+func BenchmarkBloomContains(b *testing.B) {
+	f, _ := NewBloom(1<<20, 0.01, 1)
+	for _, k := range keysRange(0, 100000) {
+		f.Add(k)
+	}
+	key := []byte("key-50000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(key)
+	}
+}
+
+func BenchmarkCuckooAdd(b *testing.B) {
+	f, _ := NewCuckoo(1<<20, 1)
+	key := make([]byte, 16)
+	for i := 0; i < b.N; i++ {
+		key[0] = byte(i)
+		key[1] = byte(i >> 8)
+		key[2] = byte(i >> 16)
+		f.Add(key)
+	}
+}
+
+func TestBloomEstimatedFPRTracksLoad(t *testing.T) {
+	b, _ := NewBloomMK(1<<12, 4, 5)
+	prev := b.EstimatedFPRate()
+	for load := 0; load < 5; load++ {
+		for _, k := range keysRange(load*200, (load+1)*200) {
+			b.Add(k)
+		}
+		cur := b.EstimatedFPRate()
+		if cur < prev {
+			t.Fatalf("estimated FPR decreased under load: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestCuckooStashKeepsVictimFindable(t *testing.T) {
+	// Insert the same key far beyond 2*bucket capacity: the eviction walk
+	// must spill to the stash without losing other keys.
+	c, _ := NewCuckoo(64, 3)
+	other := keysRange(0, 32)
+	for _, k := range other {
+		c.Add(k)
+	}
+	dup := []byte("hammered")
+	for i := 0; i < 30; i++ {
+		c.Add(dup)
+	}
+	for _, k := range other {
+		if !c.Contains(k) {
+			t.Fatalf("key %q lost during pathological duplicates", k)
+		}
+	}
+	if !c.Contains(dup) {
+		t.Fatal("hammered key not findable")
+	}
+}
+
+func TestStableBloomValidation(t *testing.T) {
+	if _, err := NewStableBloom(0, 3, 3, 10, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewStableBloom(100, 3, 0, 10, 1); err == nil {
+		t.Fatal("max=0 accepted")
+	}
+	if _, err := NewStableBloom(100, 3, 3, 0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestBloomSerializationRoundTrip(t *testing.T) {
+	b, _ := NewBloom(5000, 0.01, 31)
+	ins := keysRange(0, 5000)
+	for _, k := range ins {
+		b.Add(k)
+	}
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBloom(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ins {
+		if !back.Contains(k) {
+			t.Fatalf("decoded filter lost %q", k)
+		}
+	}
+	if back.Count() != b.Count() {
+		t.Fatal("count changed in round trip")
+	}
+	// Decoded filter must merge with the original geometry.
+	if err := back.Merge(b); err != nil {
+		t.Fatalf("decoded filter incompatible with source: %v", err)
+	}
+}
+
+func TestBloomSerializationRejectsBadInput(t *testing.T) {
+	b, _ := NewBloomMK(1<<10, 4, 9)
+	b.Add([]byte("x"))
+	data, _ := b.MarshalBinary()
+	if _, err := UnmarshalBloom(data[:5]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[1] ^= 0xff
+	if _, err := UnmarshalBloom(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	short := append([]byte(nil), data[:len(data)-8]...)
+	if _, err := UnmarshalBloom(short); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package filter
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// Bloom binary layout:
+//
+//	[magic u32][k u32][flags u8][seed u64][n u64][words u32][bits words x u64]
+const bloomMagic = 0x424c4d46 // "BLMF"
+
+const bloomFlagIndep = 1
+
+// MarshalBinary encodes the filter, including its seed, so the decoded
+// filter is immediately queryable.
+func (b *Bloom) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+4+1+8+8+4+len(b.bits)*8)
+	binary.LittleEndian.PutUint32(out[0:], bloomMagic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(b.k))
+	if b.indep {
+		out[8] = bloomFlagIndep
+	}
+	binary.LittleEndian.PutUint64(out[9:], b.seed)
+	binary.LittleEndian.PutUint64(out[17:], b.n)
+	binary.LittleEndian.PutUint32(out[25:], uint32(len(b.bits)))
+	pos := 29
+	for _, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[pos:], w)
+		pos += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBloom decodes a filter serialized by MarshalBinary.
+func UnmarshalBloom(data []byte) (*Bloom, error) {
+	if len(data) < 29 {
+		return nil, core.ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != bloomMagic {
+		return nil, core.ErrCorrupt
+	}
+	k := uint(binary.LittleEndian.Uint32(data[4:]))
+	words := int(binary.LittleEndian.Uint32(data[25:]))
+	if k == 0 || k > 64 || words <= 0 || len(data) != 29+words*8 {
+		return nil, core.ErrCorrupt
+	}
+	b := &Bloom{
+		bits:  make([]uint64, words),
+		m:     uint64(words * 64),
+		k:     k,
+		indep: data[8]&bloomFlagIndep != 0,
+		seed:  binary.LittleEndian.Uint64(data[9:]),
+		n:     binary.LittleEndian.Uint64(data[17:]),
+	}
+	pos := 29
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	return b, nil
+}

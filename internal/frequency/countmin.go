@@ -1,0 +1,262 @@
+// Package frequency implements the "Finding Frequent Elements" row of the
+// tutorial's Table 1 — the trending-hashtags problem — with the standard
+// algorithm families the survey cites:
+//
+//   - counter-based: Misra–Gries Frequent, Lossy Counting, Sticky Sampling,
+//     Space-Saving (Metwally et al.),
+//   - sketch-based: Count-Min (Cormode–Muthukrishnan), with optional
+//     conservative update, and Count Sketch (Charikar–Chen–Farach-Colton),
+//   - structured: hierarchical heavy hitters over dotted keys,
+//   - windowed: sliding-window top-k.
+//
+// Counter algorithms bound deterministic error by stream length; sketches
+// bound probabilistic error by stream L1/L2 mass. The T1.7 experiment
+// regenerates the recall/precision/space comparison across all of them.
+package frequency
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// CountMin is the Count-Min sketch: a depth x width counter matrix where
+// each row hashes items independently; a point query returns the minimum
+// across rows, overestimating the true count by at most eps*N with
+// probability 1-delta for width=e/eps, depth=ln(1/delta).
+type CountMin struct {
+	width        int
+	depth        int
+	counts       [][]uint64
+	fam          hashutil.Family
+	n            uint64
+	conservative bool
+}
+
+// NewCountMin returns a sketch with the given width and depth.
+func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
+	if width <= 0 {
+		return nil, core.Errf("CountMin", "width", "%d must be positive", width)
+	}
+	if depth <= 0 {
+		return nil, core.Errf("CountMin", "depth", "%d must be positive", depth)
+	}
+	counts := make([][]uint64, depth)
+	for i := range counts {
+		counts[i] = make([]uint64, width)
+	}
+	return &CountMin{width: width, depth: depth, counts: counts, fam: hashutil.NewFamily(seed)}, nil
+}
+
+// NewCountMinWithError returns a sketch sized for additive error eps*N with
+// failure probability delta (width = ceil(e/eps), depth = ceil(ln(1/delta))).
+func NewCountMinWithError(eps, delta float64, seed uint64) (*CountMin, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("CountMin", "eps", "%v not in (0,1)", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, core.Errf("CountMin", "delta", "%v not in (0,1)", delta)
+	}
+	width := int(2.718281828/eps) + 1
+	depth := 1
+	for p := 1.0; p > delta; p /= 2.718281828 {
+		depth++
+	}
+	return NewCountMin(width, depth, seed)
+}
+
+// SetConservative enables conservative update: an increment only raises the
+// cells that currently equal the item's point estimate, tightening the
+// overestimate at the cost of losing mergeability. The T1.7 ablation
+// measures the accuracy gain.
+func (cm *CountMin) SetConservative(on bool) { cm.conservative = on }
+
+// Update adds count occurrences of the item.
+func (cm *CountMin) Update(item []byte, count uint64) {
+	h1, h2 := hashutil.Sum128(item, cm.fam.Seed(0))
+	cm.updateHashed(h1, h2, count)
+}
+
+// UpdateString adds count occurrences of a string item.
+func (cm *CountMin) UpdateString(item string, count uint64) {
+	cm.Update([]byte(item), count)
+}
+
+func (cm *CountMin) updateHashed(h1, h2 uint64, count uint64) {
+	cm.n += count
+	if !cm.conservative {
+		for d := 0; d < cm.depth; d++ {
+			idx := hashutil.DoubleHash(h1, h2, uint(d)) % uint64(cm.width)
+			cm.counts[d][idx] += count
+		}
+		return
+	}
+	// Conservative update: new value is max(cell, estimate+count).
+	est := ^uint64(0)
+	idxs := make([]uint64, cm.depth)
+	for d := 0; d < cm.depth; d++ {
+		idxs[d] = hashutil.DoubleHash(h1, h2, uint(d)) % uint64(cm.width)
+		if v := cm.counts[d][idxs[d]]; v < est {
+			est = v
+		}
+	}
+	target := est + count
+	for d := 0; d < cm.depth; d++ {
+		if cm.counts[d][idxs[d]] < target {
+			cm.counts[d][idxs[d]] = target
+		}
+	}
+}
+
+// Estimate returns the point estimate for item. It never undercounts.
+func (cm *CountMin) Estimate(item []byte) uint64 {
+	h1, h2 := hashutil.Sum128(item, cm.fam.Seed(0))
+	est := ^uint64(0)
+	for d := 0; d < cm.depth; d++ {
+		idx := hashutil.DoubleHash(h1, h2, uint(d)) % uint64(cm.width)
+		if v := cm.counts[d][idx]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// EstimateString returns the point estimate for a string item.
+func (cm *CountMin) EstimateString(item string) uint64 { return cm.Estimate([]byte(item)) }
+
+// Items returns the total count mass absorbed.
+func (cm *CountMin) Items() uint64 { return cm.n }
+
+// Width returns the sketch's column count.
+func (cm *CountMin) Width() int { return cm.width }
+
+// Depth returns the sketch's row count.
+func (cm *CountMin) Depth() int { return cm.depth }
+
+// Bytes returns the counter-matrix footprint.
+func (cm *CountMin) Bytes() int { return cm.width*cm.depth*8 + 32 }
+
+// Merge adds another sketch cell-wise. Conservative sketches refuse to
+// merge: cell-wise addition would overstate their tightened counts.
+func (cm *CountMin) Merge(other *CountMin) error {
+	if other == nil || cm.width != other.width || cm.depth != other.depth || cm.fam != other.fam {
+		return core.ErrIncompatible
+	}
+	if cm.conservative || other.conservative {
+		return core.ErrIncompatible
+	}
+	for d := range cm.counts {
+		for w := range cm.counts[d] {
+			cm.counts[d][w] += other.counts[d][w]
+		}
+	}
+	cm.n += other.n
+	return nil
+}
+
+// InnerProduct estimates the inner product of the frequency vectors
+// summarized by two sketches (join-size estimation), as min over rows of
+// the row dot products.
+func (cm *CountMin) InnerProduct(other *CountMin) (uint64, error) {
+	if other == nil || cm.width != other.width || cm.depth != other.depth || cm.fam != other.fam {
+		return 0, core.ErrIncompatible
+	}
+	best := ^uint64(0)
+	for d := 0; d < cm.depth; d++ {
+		var dot uint64
+		for w := 0; w < cm.width; w++ {
+			dot += cm.counts[d][w] * other.counts[d][w]
+		}
+		if dot < best {
+			best = dot
+		}
+	}
+	return best, nil
+}
+
+// CountSketch is the Charikar–Chen–Farach-Colton sketch: like Count-Min but
+// each cell is updated with a 4-wise independent random sign and the point
+// query takes the median of the signed row estimates. Errors are two-sided
+// but scale with the stream's L2 norm rather than L1, so it beats Count-Min
+// on low-skew streams.
+type CountSketch struct {
+	width  int
+	depth  int
+	counts [][]int64
+	tabs   []*hashutil.Tabulation // per-row 4-universal hash for index+sign
+	n      uint64
+}
+
+// NewCountSketch returns a Count Sketch with the given width and depth.
+func NewCountSketch(width, depth int, seed uint64) (*CountSketch, error) {
+	if width <= 0 {
+		return nil, core.Errf("CountSketch", "width", "%d must be positive", width)
+	}
+	if depth <= 0 {
+		return nil, core.Errf("CountSketch", "depth", "%d must be positive", depth)
+	}
+	counts := make([][]int64, depth)
+	tabs := make([]*hashutil.Tabulation, depth)
+	fam := hashutil.NewFamily(seed)
+	for i := range counts {
+		counts[i] = make([]int64, width)
+		tabs[i] = hashutil.NewTabulation(fam.Seed(i))
+	}
+	return &CountSketch{width: width, depth: depth, counts: counts, tabs: tabs}, nil
+}
+
+// Update adds count occurrences of the item (count may be negative for
+// deletions; Count Sketch supports the turnstile model).
+func (cs *CountSketch) Update(item []byte, count int64) {
+	key := hashutil.Sum64(item, 0x5eed)
+	cs.UpdateKey(key, count)
+}
+
+// UpdateKey adds count occurrences of a pre-hashed 64-bit key.
+func (cs *CountSketch) UpdateKey(key uint64, count int64) {
+	if count > 0 {
+		cs.n += uint64(count)
+	}
+	for d := 0; d < cs.depth; d++ {
+		h := cs.tabs[d].Hash(key)
+		idx := (h >> 1) % uint64(cs.width)
+		sign := int64(1)
+		if h&1 == 1 {
+			sign = -1
+		}
+		cs.counts[d][idx] += sign * count
+	}
+}
+
+// Estimate returns the (two-sided) point estimate for item.
+func (cs *CountSketch) Estimate(item []byte) int64 {
+	return cs.EstimateKey(hashutil.Sum64(item, 0x5eed))
+}
+
+// EstimateKey returns the point estimate for a pre-hashed key.
+func (cs *CountSketch) EstimateKey(key uint64) int64 {
+	ests := make([]int64, cs.depth)
+	for d := 0; d < cs.depth; d++ {
+		h := cs.tabs[d].Hash(key)
+		idx := (h >> 1) % uint64(cs.width)
+		sign := int64(1)
+		if h&1 == 1 {
+			sign = -1
+		}
+		ests[d] = sign * cs.counts[d][idx]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	mid := cs.depth / 2
+	if cs.depth%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// Items returns the positive count mass absorbed.
+func (cs *CountSketch) Items() uint64 { return cs.n }
+
+// Bytes returns the counter-matrix footprint (tabulation tables excluded:
+// they are shared constants reconstructible from the seed).
+func (cs *CountSketch) Bytes() int { return cs.width*cs.depth*8 + 32 }

@@ -1,0 +1,656 @@
+package frequency
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestCountMinParamValidation(t *testing.T) {
+	if _, err := NewCountMin(0, 4, 1); err == nil {
+		t.Fatal("width=0 accepted")
+	}
+	if _, err := NewCountMin(100, 0, 1); err == nil {
+		t.Fatal("depth=0 accepted")
+	}
+	if _, err := NewCountMinWithError(0, 0.01, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewCountMinWithError(0.01, 2, 1); err == nil {
+		t.Fatal("delta=2 accepted")
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm, _ := NewCountMin(512, 4, 7)
+	stream := ZipfStrings(1, 50000, 2000, 1.1)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		cm.UpdateString(it, 1)
+		truth[it]++
+	}
+	for it, c := range truth {
+		if est := cm.EstimateString(it); est < c {
+			t.Fatalf("undercount for %s: est %d < true %d", it, est, c)
+		}
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// width = e/eps with eps = 0.01 -> overestimate <= 0.01*N w.h.p.
+	cm, _ := NewCountMinWithError(0.01, 0.01, 7)
+	stream := ZipfStrings(2, 100000, 5000, 1.0)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		cm.UpdateString(it, 1)
+		truth[it]++
+	}
+	n := float64(len(stream))
+	violations := 0
+	for it, c := range truth {
+		if float64(cm.EstimateString(it))-float64(c) > 0.01*n {
+			violations++
+		}
+	}
+	// delta = 0.01 per query: among ~5000 queries allow a generous 2%.
+	if violations > len(truth)/50 {
+		t.Fatalf("%d/%d error-bound violations", violations, len(truth))
+	}
+}
+
+func TestCountMinConservativeTighter(t *testing.T) {
+	plain, _ := NewCountMin(256, 4, 7)
+	cons, _ := NewCountMin(256, 4, 7)
+	cons.SetConservative(true)
+	stream := ZipfStrings(3, 50000, 5000, 1.0)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		plain.UpdateString(it, 1)
+		cons.UpdateString(it, 1)
+		truth[it]++
+	}
+	var plainErr, consErr uint64
+	for it, c := range truth {
+		plainErr += plain.EstimateString(it) - c
+		ce := cons.EstimateString(it)
+		if ce < c {
+			t.Fatalf("conservative undercounted %s", it)
+		}
+		consErr += ce - c
+	}
+	if consErr >= plainErr {
+		t.Fatalf("conservative (%d) not tighter than plain (%d)", consErr, plainErr)
+	}
+}
+
+func TestCountMinMergeEqualsConcat(t *testing.T) {
+	full, _ := NewCountMin(256, 4, 9)
+	a, _ := NewCountMin(256, 4, 9)
+	b, _ := NewCountMin(256, 4, 9)
+	stream := ZipfStrings(4, 20000, 1000, 1.0)
+	for i, it := range stream {
+		full.UpdateString(it, 1)
+		if i%2 == 0 {
+			a.UpdateString(it, 1)
+		} else {
+			b.UpdateString(it, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		it := fmt.Sprintf("k%d", i)
+		if a.EstimateString(it) != full.EstimateString(it) {
+			t.Fatalf("merge differs from concat for %s", it)
+		}
+	}
+	cons, _ := NewCountMin(256, 4, 9)
+	cons.SetConservative(true)
+	if err := a.Merge(cons); err == nil {
+		t.Fatal("merged a conservative sketch")
+	}
+}
+
+func TestCountMinInnerProduct(t *testing.T) {
+	a, _ := NewCountMin(2048, 5, 11)
+	b, _ := NewCountMin(2048, 5, 11)
+	// a holds {x:3}, b holds {x:5, y:7}: true inner product 15.
+	a.UpdateString("x", 3)
+	b.UpdateString("x", 5)
+	b.UpdateString("y", 7)
+	ip, err := a.InnerProduct(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip < 15 || ip > 20 {
+		t.Fatalf("inner product %d, want ~15 (never under)", ip)
+	}
+}
+
+func TestCountSketchUnbiasedAndTurnstile(t *testing.T) {
+	cs, _ := NewCountSketch(1024, 5, 13)
+	stream := ZipfStrings(5, 50000, 2000, 1.1)
+	truth := map[string]int64{}
+	for _, it := range stream {
+		cs.Update([]byte(it), 1)
+		truth[it]++
+	}
+	// Deletions: remove all of k0's mass.
+	k0 := "k0"
+	cs.Update([]byte(k0), -truth[k0])
+	truth[k0] = 0
+	if est := cs.Estimate([]byte(k0)); est > 500 || est < -500 {
+		t.Fatalf("turnstile deletion left estimate %d", est)
+	}
+	// Heavy items should be estimated within a few percent.
+	for i := 1; i < 5; i++ {
+		it := fmt.Sprintf("k%d", i)
+		c := truth[it]
+		est := cs.Estimate([]byte(it))
+		if est < c*8/10 || est > c*12/10 {
+			t.Fatalf("count sketch estimate for %s: %d vs true %d", it, est, c)
+		}
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	mg, _ := NewMisraGries(100)
+	stream := ZipfStrings(6, 100000, 10000, 1.2)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		mg.Update(it)
+		truth[it]++
+	}
+	n := mg.Items()
+	bound := n / 100
+	for it, c := range truth {
+		est := mg.Estimate(it)
+		// Estimates never overcount and undercount by at most N/k.
+		if est > c {
+			t.Fatalf("MG overcounted %s: %d > %d", it, est, c)
+		}
+		if c > bound && est == 0 {
+			t.Fatalf("MG lost guaranteed-frequent item %s (true %d > %d)", it, c, bound)
+		}
+		if est > 0 && c-est > bound {
+			t.Fatalf("MG undercount beyond bound for %s: %d vs %d", it, est, c)
+		}
+	}
+}
+
+func TestMisraGriesMergePreservesBound(t *testing.T) {
+	a, _ := NewMisraGries(50)
+	b, _ := NewMisraGries(50)
+	sa := ZipfStrings(7, 30000, 3000, 1.1)
+	sb := ZipfStrings(8, 30000, 3000, 1.1)
+	truth := map[string]uint64{}
+	for _, it := range sa {
+		a.Update(it)
+		truth[it]++
+	}
+	for _, it := range sb {
+		b.Update(it)
+		truth[it]++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Items() != 60000 {
+		t.Fatalf("merged items %d", a.Items())
+	}
+	bound := a.Items() / 50 * 2 // merged bound relaxes to 2N/k
+	for it, c := range truth {
+		est := a.Estimate(it)
+		if est > c {
+			t.Fatalf("merged MG overcounted %s", it)
+		}
+		if c > bound && est == 0 {
+			t.Fatalf("merged MG lost heavy item %s (true %d)", it, c)
+		}
+	}
+	other, _ := NewMisraGries(60)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merged different k")
+	}
+}
+
+func TestSpaceSavingGuarantees(t *testing.T) {
+	ss, _ := NewSpaceSaving(200)
+	stream := ZipfStrings(9, 100000, 10000, 1.2)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		ss.Update(it)
+		truth[it]++
+	}
+	// Overestimate bounded by min counter; never under true count for
+	// tracked items; every item above N/k is tracked.
+	minC := ss.MinCount()
+	bound := ss.Items() / 200
+	if minC > bound {
+		t.Fatalf("min counter %d exceeds N/k %d", minC, bound)
+	}
+	for it, c := range truth {
+		est, errB := ss.Estimate(it)
+		if est == 0 {
+			if c > bound {
+				t.Fatalf("space-saving lost heavy item %s (true %d > %d)", it, c, bound)
+			}
+			continue
+		}
+		if est < c {
+			t.Fatalf("space-saving under-estimated tracked %s: %d < %d", it, est, c)
+		}
+		if est-c > errB {
+			t.Fatalf("overestimate %d-%d exceeds tracked err %d", est, c, errB)
+		}
+	}
+}
+
+func TestSpaceSavingTopKOrdering(t *testing.T) {
+	ss, _ := NewSpaceSaving(50)
+	// Deterministic stream: k0 x 100, k1 x 50, k2 x 25, noise x 1.
+	for i := 0; i < 100; i++ {
+		ss.Update("h0")
+	}
+	for i := 0; i < 50; i++ {
+		ss.Update("h1")
+	}
+	for i := 0; i < 25; i++ {
+		ss.Update("h2")
+	}
+	for i := 0; i < 20; i++ {
+		ss.Update(fmt.Sprintf("noise%d", i))
+	}
+	top := ss.TopK(3)
+	if len(top) != 3 || top[0].Item != "h0" || top[1].Item != "h1" || top[2].Item != "h2" {
+		t.Fatalf("bad top-3: %+v", top)
+	}
+	if top[0].Count != 100 || top[1].Count != 50 {
+		t.Fatalf("exact counts wrong below capacity: %+v", top)
+	}
+	g := ss.GuaranteedTopK(3)
+	if len(g) != 3 {
+		t.Fatalf("guaranteed top-3 has %d entries", len(g))
+	}
+}
+
+func TestSpaceSavingEviction(t *testing.T) {
+	ss, _ := NewSpaceSaving(2)
+	ss.Update("a")
+	ss.Update("a")
+	ss.Update("b")
+	ss.Update("c") // evicts b (min count 1), inherits err=1
+	est, errB := ss.Estimate("c")
+	if est != 2 || errB != 1 {
+		t.Fatalf("eviction inheritance wrong: est=%d err=%d", est, errB)
+	}
+	if e, _ := ss.Estimate("b"); e != 0 {
+		t.Fatal("evicted item still tracked")
+	}
+}
+
+func TestLossyCountingGuarantees(t *testing.T) {
+	lc, _ := NewLossyCounting(0.001)
+	stream := ZipfStrings(10, 200000, 20000, 1.1)
+	truth := map[string]uint64{}
+	for _, it := range stream {
+		lc.Update(it)
+		truth[it]++
+	}
+	theta := 0.005
+	out := lc.Frequent(theta)
+	reported := map[string]bool{}
+	for _, c := range out {
+		reported[c.Item] = true
+	}
+	n := float64(lc.Items())
+	for it, c := range truth {
+		if float64(c) > theta*n && !reported[it] {
+			t.Fatalf("lossy counting missed true heavy hitter %s (%d)", it, c)
+		}
+		if float64(c) < (theta-0.001)*n && reported[it] {
+			t.Fatalf("lossy counting reported %s below theta-eps (%d)", it, c)
+		}
+	}
+	// Space bound: (1/eps) log(eps N) = 1000 * log(200) ~ 5300.
+	if lc.Entries() > 8000 {
+		t.Fatalf("lossy counting holds %d entries", lc.Entries())
+	}
+}
+
+func TestStickySamplingRecall(t *testing.T) {
+	theta, eps, delta := 0.01, 0.002, 0.01
+	misses := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		s, err := NewStickySampling(theta, eps, delta, uint64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := ZipfStrings(uint64(100+trial), 100000, 5000, 1.3)
+		truth := map[string]uint64{}
+		for _, it := range stream {
+			s.Update(it)
+			truth[it]++
+		}
+		out := s.Frequent(theta)
+		reported := map[string]bool{}
+		for _, c := range out {
+			reported[c.Item] = true
+		}
+		n := float64(s.Items())
+		for it, c := range truth {
+			if float64(c) > theta*n && !reported[it] {
+				misses++
+			}
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("sticky sampling missed %d heavy hitters across %d trials", misses, trials)
+	}
+}
+
+func TestStickySamplingSpaceIndependentOfN(t *testing.T) {
+	s, _ := NewStickySampling(0.01, 0.002, 0.01, 3)
+	stream := ZipfStrings(11, 500000, 50000, 1.05)
+	for _, it := range stream {
+		s.Update(it)
+	}
+	// 2/eps * log(1/(theta delta)) = 1000 * log(1e4) ~ 9200 worst case.
+	if s.Entries() > 15000 {
+		t.Fatalf("sticky sampling grew to %d entries", s.Entries())
+	}
+}
+
+func TestHierarchicalHH(t *testing.T) {
+	h, err := NewHierarchicalHH(3, 200, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant: sports/soccer/epl hot (400), sports/soccer/laliga warm (200),
+	// news/politics/us hot (300), diffuse noise elsewhere.
+	for i := 0; i < 400; i++ {
+		h.Update("sports/soccer/epl")
+	}
+	for i := 0; i < 200; i++ {
+		h.Update("sports/soccer/laliga")
+	}
+	for i := 0; i < 300; i++ {
+		h.Update("news/politics/us")
+	}
+	rng := workload.NewRNG(12)
+	for i := 0; i < 100; i++ {
+		h.Update(fmt.Sprintf("misc/x%d/y%d", rng.Intn(50), i))
+	}
+	out := h.Query(0.15) // threshold = 150
+	found := map[string]uint64{}
+	for _, r := range out {
+		found[r.Prefix] = r.Count
+	}
+	if found["sports/soccer/epl"] == 0 {
+		t.Fatalf("missing leaf HHH: %+v", out)
+	}
+	if found["sports/soccer/laliga"] == 0 {
+		t.Fatalf("missing second leaf HHH: %+v", out)
+	}
+	if found["news/politics/us"] == 0 {
+		t.Fatalf("missing news leaf: %+v", out)
+	}
+	// sports/soccer raw count is 600 but both children are HHHs, so its
+	// discounted count (~0) must NOT appear.
+	if c, ok := found["sports/soccer"]; ok && c > 100 {
+		t.Fatalf("parent not discounted: sports/soccer=%d", c)
+	}
+}
+
+func TestWindowTopKSlidesOut(t *testing.T) {
+	w, _ := NewWindowTopK(100)
+	for i := 0; i < 100; i++ {
+		w.Update("old")
+	}
+	for i := 0; i < 100; i++ {
+		w.Update("new")
+	}
+	if w.Count("old") != 0 {
+		t.Fatalf("old item still counted: %d", w.Count("old"))
+	}
+	if w.Count("new") != 100 {
+		t.Fatalf("new count %d", w.Count("new"))
+	}
+	top := w.TopK(1)
+	if len(top) != 1 || top[0].Item != "new" {
+		t.Fatalf("bad top-1: %+v", top)
+	}
+	if w.WindowLen() != 100 {
+		t.Fatalf("window len %d", w.WindowLen())
+	}
+}
+
+func TestWindowTopKMatchesExactOverWindow(t *testing.T) {
+	const window = 1000
+	w, _ := NewWindowTopK(window)
+	stream := ZipfStrings(13, 10000, 200, 1.0)
+	for _, it := range stream {
+		w.Update(it)
+	}
+	tail := stream[len(stream)-window:]
+	exact := ExactTopK(tail, 10)
+	got := w.TopK(10)
+	for i := range exact {
+		if got[i].Count != exact[i].Count {
+			t.Fatalf("window top-k counts diverge at %d: %+v vs %+v", i, got[i], exact[i])
+		}
+	}
+}
+
+func TestQuickCountMinMonotone(t *testing.T) {
+	// Property: Count-Min estimates never undercount, on any input.
+	f := func(items []uint8) bool {
+		cm, _ := NewCountMin(64, 3, 5)
+		truth := map[string]uint64{}
+		for _, b := range items {
+			it := fmt.Sprintf("i%d", b%32)
+			cm.UpdateString(it, 1)
+			truth[it]++
+		}
+		for it, c := range truth {
+			if cm.EstimateString(it) < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpaceSavingNeverUnder(t *testing.T) {
+	f := func(items []uint8) bool {
+		ss, _ := NewSpaceSaving(8)
+		truth := map[string]uint64{}
+		for _, b := range items {
+			it := fmt.Sprintf("i%d", b%16)
+			ss.Update(it)
+			truth[it]++
+		}
+		for it, c := range truth {
+			if est, _ := ss.Estimate(it); est != 0 && est < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	cm, _ := NewCountMin(2048, 5, 1)
+	key := []byte("benchmark-key")
+	for i := 0; i < b.N; i++ {
+		cm.Update(key, 1)
+	}
+}
+
+func BenchmarkSpaceSavingUpdate(b *testing.B) {
+	ss, _ := NewSpaceSaving(1000)
+	keys := ZipfStrings(1, 100000, 10000, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Update(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkMisraGriesUpdate(b *testing.B) {
+	mg, _ := NewMisraGries(1000)
+	keys := ZipfStrings(1, 100000, 10000, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.Update(keys[i%len(keys)])
+	}
+}
+
+func TestMisraGriesDecrementPath(t *testing.T) {
+	// Force constant decrement churn: k=3 counters, 4 rotating keys.
+	mg, _ := NewMisraGries(3)
+	for i := 0; i < 1000; i++ {
+		mg.Update(fmt.Sprintf("r%d", i%4))
+	}
+	// No key exceeds N/k = 333... but none is guaranteed either; the
+	// invariant is only that estimates never overcount.
+	for i := 0; i < 4; i++ {
+		if est := mg.Estimate(fmt.Sprintf("r%d", i)); est > 250 {
+			t.Fatalf("rotating key overcounted: %d", est)
+		}
+	}
+}
+
+func TestSpaceSavingSingleCounter(t *testing.T) {
+	ss, _ := NewSpaceSaving(1)
+	ss.Update("a")
+	ss.Update("b") // evicts a
+	ss.Update("b")
+	est, errB := ss.Estimate("b")
+	if est != 3 || errB != 1 {
+		t.Fatalf("k=1 estimate %d err %d", est, errB)
+	}
+	if len(ss.TopK(5)) != 1 {
+		t.Fatal("k=1 tracks more than one item")
+	}
+}
+
+func TestCountSketchMedianDepthEven(t *testing.T) {
+	// Even depth exercises the two-middle-average branch.
+	cs, _ := NewCountSketch(256, 4, 3)
+	for i := 0; i < 1000; i++ {
+		cs.Update([]byte("x"), 1)
+	}
+	if est := cs.Estimate([]byte("x")); est < 900 || est > 1100 {
+		t.Fatalf("even-depth estimate %d", est)
+	}
+}
+
+func TestHierarchicalHHDepthClamp(t *testing.T) {
+	h, _ := NewHierarchicalHH(2, 50, "/")
+	// Deeper keys than maxDepth are clamped, not dropped.
+	for i := 0; i < 100; i++ {
+		h.Update("a/b/c/d/e")
+	}
+	out := h.Query(0.5)
+	found := false
+	for _, r := range out {
+		if r.Prefix == "a/b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("clamped prefix missing: %+v", out)
+	}
+}
+
+func TestWindowTopKPartialWindow(t *testing.T) {
+	w, _ := NewWindowTopK(1000)
+	w.Update("only")
+	if w.WindowLen() != 1 || w.Count("only") != 1 {
+		t.Fatal("partial window miscounted")
+	}
+	top := w.TopK(10)
+	if len(top) != 1 || top[0].Item != "only" {
+		t.Fatalf("partial window top-k %+v", top)
+	}
+}
+
+func TestExactTopKTieBreak(t *testing.T) {
+	items := []string{"b", "a", "c", "a", "b", "c"}
+	top := ExactTopK(items, 3)
+	// Equal counts break ties lexicographically for determinism.
+	if top[0].Item != "a" || top[1].Item != "b" || top[2].Item != "c" {
+		t.Fatalf("tie-break order %+v", top)
+	}
+}
+
+func TestCountMinSerializationRoundTrip(t *testing.T) {
+	cm, _ := NewCountMin(128, 4, 77)
+	for i := 0; i < 5000; i++ {
+		cm.UpdateString(fmt.Sprintf("k%d", i%100), 1)
+	}
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCountMin(data, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if back.EstimateString(k) != cm.EstimateString(k) {
+			t.Fatalf("round trip changed estimate for %s", k)
+		}
+	}
+	if back.Items() != cm.Items() {
+		t.Fatal("round trip changed item count")
+	}
+	// Decoded sketch must keep merging with same-seed peers.
+	peer, _ := NewCountMin(128, 4, 77)
+	peer.UpdateString("k0", 10)
+	if err := back.Merge(peer); err != nil {
+		t.Fatal(err)
+	}
+	if back.EstimateString("k0") < cm.EstimateString("k0")+10 {
+		t.Fatal("merge after decode lost counts")
+	}
+}
+
+func TestCountMinSerializationRejectsBadInput(t *testing.T) {
+	cm, _ := NewCountMin(32, 3, 5)
+	cm.UpdateString("x", 1)
+	data, _ := cm.MarshalBinary()
+	if _, err := UnmarshalCountMin(data[:10], 5); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := UnmarshalCountMin(data, 6); err == nil {
+		t.Fatal("wrong seed accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := UnmarshalCountMin(bad, 5); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	cons, _ := NewCountMin(32, 3, 5)
+	cons.SetConservative(true)
+	cons.UpdateString("x", 1)
+	cdata, _ := cons.MarshalBinary()
+	cback, err := UnmarshalCountMin(cdata, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cback.Merge(cm); err == nil {
+		t.Fatal("conservative flag lost in round trip")
+	}
+}

@@ -1,0 +1,108 @@
+package frequency
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// HierarchicalHH finds hierarchical heavy hitters (Cormode–Korn–
+// Muthukrishnan–Srivastava, cited by the survey) over keys with a
+// slash-separated hierarchy, e.g. IP prefixes "10/10.1/10.1.2" or topic
+// paths "sports/soccer/epl". A prefix is a hierarchical heavy hitter when
+// its count — after discounting the counts of its HH descendants — exceeds
+// theta*N.
+//
+// This implementation keeps one Space-Saving summary per hierarchy level
+// (the standard "full ancestry" streaming strategy) and resolves the
+// discounted counts at query time.
+type HierarchicalHH struct {
+	sep    string
+	levels []*SpaceSaving
+	n      uint64
+}
+
+// NewHierarchicalHH returns a summary for hierarchies up to maxDepth
+// levels, with k counters per level and the given separator.
+func NewHierarchicalHH(maxDepth, k int, sep string) (*HierarchicalHH, error) {
+	if maxDepth < 1 {
+		return nil, core.Errf("HierarchicalHH", "maxDepth", "%d must be >= 1", maxDepth)
+	}
+	if sep == "" {
+		return nil, core.Errf("HierarchicalHH", "sep", "must be non-empty")
+	}
+	levels := make([]*SpaceSaving, maxDepth)
+	for i := range levels {
+		ss, err := NewSpaceSaving(k)
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = ss
+	}
+	return &HierarchicalHH{sep: sep, levels: levels}, nil
+}
+
+// Update adds one occurrence of the full key; every ancestor prefix is
+// counted at its level.
+func (h *HierarchicalHH) Update(key string) {
+	h.n++
+	parts := strings.Split(key, h.sep)
+	if len(parts) > len(h.levels) {
+		parts = parts[:len(h.levels)]
+	}
+	for lv := range parts {
+		h.levels[lv].Update(strings.Join(parts[:lv+1], h.sep))
+	}
+}
+
+// HHH is one hierarchical heavy hitter: a prefix and its discounted count.
+type HHH struct {
+	Prefix string
+	Count  uint64 // count after subtracting HH descendants
+	Raw    uint64 // raw (undiscounted) estimate
+	Level  int
+}
+
+// Query returns the hierarchical heavy hitters at threshold theta,
+// deepest levels first (so parents are discounted by already-reported
+// children, per the HHH definition).
+func (h *HierarchicalHH) Query(theta float64) []HHH {
+	thresh := theta * float64(h.n)
+	var out []HHH
+	// discounted[prefix] accumulates the counts of reported descendants.
+	discounted := map[string]uint64{}
+	for lv := len(h.levels) - 1; lv >= 0; lv-- {
+		for _, c := range h.levels[lv].TopK(1 << 20) {
+			adj := int64(c.Count) - int64(discounted[c.Item])
+			if float64(adj) >= thresh {
+				out = append(out, HHH{Prefix: c.Item, Count: uint64(adj), Raw: c.Count, Level: lv})
+				// Propagate the discount to every ancestor.
+				parts := strings.Split(c.Item, h.sep)
+				for a := 1; a < len(parts); a++ {
+					anc := strings.Join(parts[:a], h.sep)
+					discounted[anc] += uint64(adj)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level > out[j].Level
+		}
+		return out[i].Count > out[j].Count
+	})
+	return out
+}
+
+// Items returns the stream length so far.
+func (h *HierarchicalHH) Items() uint64 { return h.n }
+
+// Bytes approximates the footprint across all level summaries.
+func (h *HierarchicalHH) Bytes() int {
+	total := 16
+	for _, ss := range h.levels {
+		total += ss.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package frequency
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// LossyCounting is Manku–Motwani's deterministic frequency summary: the
+// stream is processed in buckets of width ceil(1/eps); at each bucket
+// boundary, counters whose count + delta falls at or below the bucket id
+// are pruned. Output at threshold theta*N returns every item with true
+// frequency above theta*N (no false negatives) and none below (theta-eps)*N.
+type LossyCounting struct {
+	eps     float64
+	width   uint64
+	bucket  uint64 // current bucket id
+	n       uint64
+	entries map[string]*lcEntry
+}
+
+type lcEntry struct {
+	count uint64
+	delta uint64 // max undercount when the entry was (re)created
+}
+
+// NewLossyCounting returns a summary with error bound eps.
+func NewLossyCounting(eps float64) (*LossyCounting, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("LossyCounting", "eps", "%v not in (0,1)", eps)
+	}
+	return &LossyCounting{
+		eps:     eps,
+		width:   uint64(math.Ceil(1 / eps)),
+		bucket:  1,
+		entries: make(map[string]*lcEntry),
+	}, nil
+}
+
+// Update adds one occurrence of item.
+func (lc *LossyCounting) Update(item string) {
+	lc.n++
+	if e, ok := lc.entries[item]; ok {
+		e.count++
+	} else {
+		lc.entries[item] = &lcEntry{count: 1, delta: lc.bucket - 1}
+	}
+	if lc.n%lc.width == 0 {
+		for it, e := range lc.entries {
+			if e.count+e.delta <= lc.bucket {
+				delete(lc.entries, it)
+			}
+		}
+		lc.bucket++
+	}
+}
+
+// Estimate returns the tracked (under-)count for item; zero if untracked.
+func (lc *LossyCounting) Estimate(item string) uint64 {
+	if e, ok := lc.entries[item]; ok {
+		return e.count
+	}
+	return 0
+}
+
+// Frequent returns all items whose estimated frequency exceeds
+// (theta - eps) * N, the Manku–Motwani output rule guaranteeing recall of
+// every true theta-heavy hitter.
+func (lc *LossyCounting) Frequent(theta float64) []Counted {
+	thresh := (theta - lc.eps) * float64(lc.n)
+	var out []Counted
+	for it, e := range lc.entries {
+		if float64(e.count) >= thresh {
+			out = append(out, Counted{Item: it, Count: e.count, Err: e.delta})
+		}
+	}
+	sortCounted(out)
+	return out
+}
+
+// Items returns the stream length so far.
+func (lc *LossyCounting) Items() uint64 { return lc.n }
+
+// Bytes approximates the entry-map footprint.
+func (lc *LossyCounting) Bytes() int { return len(lc.entries)*64 + 32 }
+
+// Entries returns the number of live counters (the 1/eps*log(eps*N) space
+// bound the T1.7 experiment verifies).
+func (lc *LossyCounting) Entries() int { return len(lc.entries) }
+
+// StickySampling is Manku–Motwani's probabilistic companion to Lossy
+// Counting: items are sampled into the summary with a rate that halves as
+// the stream grows, and at each rate change existing counters are
+// geometrically "re-tossed". It guarantees the same output property with
+// probability 1-delta using O((1/eps) log(1/(theta*delta))) space
+// independent of the stream length.
+type StickySampling struct {
+	eps    float64
+	theta  float64
+	delta  float64
+	t      float64 // first sampling epoch length: (1/eps) log(1/(theta*delta))
+	rate   uint64  // current sampling rate r: sample with prob 1/r
+	nextCg uint64  // stream position of the next rate change
+	n      uint64
+	counts map[string]uint64
+	rng    *workload.RNG
+}
+
+// NewStickySampling returns a sticky sampler for the given support
+// threshold theta, error eps, and failure probability delta.
+func NewStickySampling(theta, eps, delta float64, seed uint64) (*StickySampling, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("StickySampling", "eps", "%v not in (0,1)", eps)
+	}
+	if theta <= eps || theta >= 1 {
+		return nil, core.Errf("StickySampling", "theta", "%v must be in (eps,1)", theta)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, core.Errf("StickySampling", "delta", "%v not in (0,1)", delta)
+	}
+	t := 1 / eps * math.Log(1/(theta*delta))
+	return &StickySampling{
+		eps:    eps,
+		theta:  theta,
+		delta:  delta,
+		t:      t,
+		rate:   1,
+		nextCg: uint64(2 * t),
+		counts: make(map[string]uint64),
+		rng:    workload.NewRNG(seed),
+	}, nil
+}
+
+// Update adds one occurrence of item.
+func (s *StickySampling) Update(item string) {
+	s.n++
+	if s.n > s.nextCg {
+		// Double the rate and re-toss existing counters: for each counter,
+		// repeatedly diminish by 1 with probability 1/2 until a success.
+		s.rate *= 2
+		s.nextCg = uint64(s.t * float64(2*s.rate))
+		for it, c := range s.counts {
+			for c > 0 && s.rng.Uint64()&1 == 0 {
+				c--
+			}
+			if c == 0 {
+				delete(s.counts, it)
+			} else {
+				s.counts[it] = c
+			}
+		}
+	}
+	if _, ok := s.counts[item]; ok {
+		s.counts[item]++
+		return
+	}
+	if s.rng.Uint64()%s.rate == 0 {
+		s.counts[item] = 1
+	}
+}
+
+// Frequent returns items with estimated frequency above (theta - eps) * N.
+func (s *StickySampling) Frequent(theta float64) []Counted {
+	thresh := (theta - s.eps) * float64(s.n)
+	var out []Counted
+	for it, c := range s.counts {
+		if float64(c) >= thresh {
+			out = append(out, Counted{Item: it, Count: c})
+		}
+	}
+	sortCounted(out)
+	return out
+}
+
+// Estimate returns the tracked count for item; zero if untracked.
+func (s *StickySampling) Estimate(item string) uint64 { return s.counts[item] }
+
+// Items returns the stream length so far.
+func (s *StickySampling) Items() uint64 { return s.n }
+
+// Bytes approximates the counter-map footprint.
+func (s *StickySampling) Bytes() int { return len(s.counts)*48 + 48 }
+
+// Entries returns the number of live counters.
+func (s *StickySampling) Entries() int { return len(s.counts) }

@@ -1,0 +1,79 @@
+package frequency
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// Count-Min binary layout:
+//
+//	[magic u32][width u32][depth u32][flags u8][n u64][seedCheck u64]
+//	[counters width*depth x u64]
+//
+// seedCheck is a probe value hashed under the sketch's family so decode
+// can verify that an unmarshalled sketch is being rehydrated with the
+// geometry (and hash family) it was built with; the family itself is
+// reconstructed by the caller passing the same seed to NewCountMin.
+const cmMagic = 0x434d534b // "CMSK"
+
+const cmFlagConservative = 1
+
+// MarshalBinary encodes the sketch. The sketch's hash family is derived
+// from its construction seed, which the caller must supply again on
+// decode (UnmarshalInto), matching the mergeable-sketch deployment model:
+// all parties share (seed, width, depth) as configuration.
+func (cm *CountMin) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+4+4+1+8+8+cm.width*cm.depth*8)
+	binary.LittleEndian.PutUint32(out[0:], cmMagic)
+	binary.LittleEndian.PutUint32(out[4:], uint32(cm.width))
+	binary.LittleEndian.PutUint32(out[8:], uint32(cm.depth))
+	if cm.conservative {
+		out[12] = cmFlagConservative
+	}
+	binary.LittleEndian.PutUint64(out[13:], cm.n)
+	binary.LittleEndian.PutUint64(out[21:], cm.fam.Seed(0))
+	pos := 29
+	for d := 0; d < cm.depth; d++ {
+		for w := 0; w < cm.width; w++ {
+			binary.LittleEndian.PutUint64(out[pos:], cm.counts[d][w])
+			pos += 8
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalCountMin decodes a sketch serialized by MarshalBinary. seed
+// must be the construction seed of the encoder; a mismatch is detected
+// and rejected, because a sketch queried under the wrong hash family
+// silently returns garbage.
+func UnmarshalCountMin(data []byte, seed uint64) (*CountMin, error) {
+	if len(data) < 29 {
+		return nil, core.ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != cmMagic {
+		return nil, core.ErrCorrupt
+	}
+	width := int(binary.LittleEndian.Uint32(data[4:]))
+	depth := int(binary.LittleEndian.Uint32(data[8:]))
+	if width <= 0 || depth <= 0 || len(data) != 29+width*depth*8 {
+		return nil, core.ErrCorrupt
+	}
+	cm, err := NewCountMin(width, depth, seed)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(data[21:]) != cm.fam.Seed(0) {
+		return nil, core.ErrIncompatible
+	}
+	cm.conservative = data[12]&cmFlagConservative != 0
+	cm.n = binary.LittleEndian.Uint64(data[13:])
+	pos := 29
+	for d := 0; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			cm.counts[d][w] = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		}
+	}
+	return cm, nil
+}

@@ -1,0 +1,70 @@
+package frequency
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
+
+// WindowTopK maintains the top-k most frequent items over a sliding window
+// of the last W stream items (the survey's Hung–Lee–Ting and
+// Pripužić-style sliding-window top-k row). It keeps exact counts over the
+// window via a ring of expiring items — the "budgeted exact" strategy that
+// is standard when W fits in memory, with the sketch-based variants left to
+// the unbounded-stream summaries above.
+type WindowTopK struct {
+	window int
+	ring   *list.List // item arrival order; front expires first
+	counts map[string]uint64
+	n      uint64
+}
+
+// NewWindowTopK returns a sliding-window top-k tracker over the last
+// window items.
+func NewWindowTopK(window int) (*WindowTopK, error) {
+	if window <= 0 {
+		return nil, core.Errf("WindowTopK", "window", "%d must be positive", window)
+	}
+	return &WindowTopK{window: window, ring: list.New(), counts: make(map[string]uint64)}, nil
+}
+
+// Update adds one occurrence of item, expiring the oldest if the window is
+// full.
+func (w *WindowTopK) Update(item string) {
+	w.n++
+	w.ring.PushBack(item)
+	w.counts[item]++
+	if w.ring.Len() > w.window {
+		old := w.ring.Remove(w.ring.Front()).(string)
+		if c := w.counts[old]; c <= 1 {
+			delete(w.counts, old)
+		} else {
+			w.counts[old] = c - 1
+		}
+	}
+}
+
+// TopK returns the k most frequent items in the current window.
+func (w *WindowTopK) TopK(k int) []Counted {
+	out := make([]Counted, 0, len(w.counts))
+	for it, c := range w.counts {
+		out = append(out, Counted{Item: it, Count: c})
+	}
+	sortCounted(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Count returns the exact in-window count of item.
+func (w *WindowTopK) Count(item string) uint64 { return w.counts[item] }
+
+// Items returns the total stream length so far.
+func (w *WindowTopK) Items() uint64 { return w.n }
+
+// WindowLen returns the number of items currently in the window.
+func (w *WindowTopK) WindowLen() int { return w.ring.Len() }
+
+// Bytes approximates the footprint (ring plus counts).
+func (w *WindowTopK) Bytes() int { return w.ring.Len()*32 + len(w.counts)*48 + 32 }

@@ -1,0 +1,233 @@
+// Package graphstream implements the graph-stream algorithms of the
+// tutorial's Table 1 "Graph analysis" and "Path Analysis" rows, in the
+// semi-streaming model (O(n polylog n) memory, edges arrive one at a time)
+// the survey's Feigenbaum et al. and McGregor citations define:
+//
+//   - connectivity / spanning forest via union-find,
+//   - greedy maximal matching (2-approximation) and weighted matching,
+//   - maximal-matching-based vertex cover (2-approximation),
+//   - multiplicative spanners via bounded-girth edge retention,
+//   - triangle counting (exact incidence form),
+//   - bounded-length reachability over dynamic graphs (Table 1's
+//     "path of length <= l between two nodes" row).
+package graphstream
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// UnionFind is a path-compressing, union-by-rank disjoint-set forest —
+// the one-pass connectivity summary of the semi-streaming model.
+type UnionFind struct {
+	parent []int
+	rank   []uint8
+	comps  int
+}
+
+// NewUnionFind returns a disjoint-set forest over n vertices.
+func NewUnionFind(n int) (*UnionFind, error) {
+	if n <= 0 {
+		return nil, core.Errf("UnionFind", "n", "%d must be positive", n)
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	return &UnionFind{parent: parent, rank: make([]uint8, n), comps: n}, nil
+}
+
+// Find returns the representative of x's component.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of a and b; it reports whether a merge
+// happened (false when already connected).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.comps--
+	return true
+}
+
+// Connected reports whether a and b are in the same component.
+func (u *UnionFind) Connected(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Components returns the number of components.
+func (u *UnionFind) Components() int { return u.comps }
+
+// SpanningForest consumes an edge stream keeping exactly the edges that
+// merge components: a one-pass spanning forest in O(n) space.
+type SpanningForest struct {
+	uf    *UnionFind
+	edges []workload.Edge
+}
+
+// NewSpanningForest returns a streaming spanning forest over n vertices.
+func NewSpanningForest(n int) (*SpanningForest, error) {
+	uf, err := NewUnionFind(n)
+	if err != nil {
+		return nil, err
+	}
+	return &SpanningForest{uf: uf}, nil
+}
+
+// Update offers one edge; it is retained iff it connects two components.
+func (s *SpanningForest) Update(e workload.Edge) {
+	if s.uf.Union(e.U, e.V) {
+		s.edges = append(s.edges, e)
+	}
+}
+
+// Edges returns the forest edges.
+func (s *SpanningForest) Edges() []workload.Edge { return s.edges }
+
+// Components returns the current component count.
+func (s *SpanningForest) Components() int { return s.uf.Components() }
+
+// Connected reports whether two vertices are connected.
+func (s *SpanningForest) Connected(a, b int) bool { return s.uf.Connected(a, b) }
+
+// GreedyMatching maintains a maximal matching over the edge stream: an
+// edge is taken iff both endpoints are free. Maximal matchings are
+// 1/2-approximate for maximum matching — the canonical semi-streaming
+// result of Feigenbaum et al.
+type GreedyMatching struct {
+	matched []bool
+	pairs   []workload.Edge
+}
+
+// NewGreedyMatching returns a streaming matcher over n vertices.
+func NewGreedyMatching(n int) (*GreedyMatching, error) {
+	if n <= 0 {
+		return nil, core.Errf("GreedyMatching", "n", "%d must be positive", n)
+	}
+	return &GreedyMatching{matched: make([]bool, n)}, nil
+}
+
+// Update offers one edge.
+func (g *GreedyMatching) Update(e workload.Edge) {
+	if g.matched[e.U] || g.matched[e.V] || e.U == e.V {
+		return
+	}
+	g.matched[e.U] = true
+	g.matched[e.V] = true
+	g.pairs = append(g.pairs, e)
+}
+
+// Size returns the matching size.
+func (g *GreedyMatching) Size() int { return len(g.pairs) }
+
+// Pairs returns the matched edges.
+func (g *GreedyMatching) Pairs() []workload.Edge { return g.pairs }
+
+// IsMatched reports whether vertex v is covered by the matching.
+func (g *GreedyMatching) IsMatched(v int) bool { return g.matched[v] }
+
+// VertexCover returns the 2-approximate vertex cover induced by the
+// matching: both endpoints of every matched edge (König-style bound the
+// survey's Chitnis et al. parameterized-streaming row builds on).
+func (g *GreedyMatching) VertexCover() []int {
+	out := make([]int, 0, 2*len(g.pairs))
+	for _, e := range g.pairs {
+		out = append(out, e.U, e.V)
+	}
+	return out
+}
+
+// WeightedMatching implements the one-pass weighted matching of
+// Feigenbaum et al.: a new edge displaces its conflicting matched edges
+// only when its weight exceeds (1+gamma) times their combined weight. The
+// result is a constant-factor approximation in one pass.
+type WeightedMatching struct {
+	gamma float64
+	// matchedWith[v] = index into pairs, or -1
+	matchedWith []int
+	pairs       []WeightedEdge
+}
+
+// WeightedEdge is an edge with a positive weight.
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// NewWeightedMatching returns a one-pass weighted matcher over n vertices
+// with displacement slack gamma (>= 0; the classic analysis uses gamma=1).
+func NewWeightedMatching(n int, gamma float64) (*WeightedMatching, error) {
+	if n <= 0 {
+		return nil, core.Errf("WeightedMatching", "n", "%d must be positive", n)
+	}
+	if gamma < 0 {
+		return nil, core.Errf("WeightedMatching", "gamma", "%v must be >= 0", gamma)
+	}
+	mw := make([]int, n)
+	for i := range mw {
+		mw[i] = -1
+	}
+	return &WeightedMatching{gamma: gamma, matchedWith: mw}, nil
+}
+
+// Update offers one weighted edge.
+func (w *WeightedMatching) Update(e WeightedEdge) {
+	if e.U == e.V || e.Weight <= 0 {
+		return
+	}
+	conflictWeight := 0.0
+	var conflicts []int
+	if idx := w.matchedWith[e.U]; idx >= 0 {
+		conflictWeight += w.pairs[idx].Weight
+		conflicts = append(conflicts, idx)
+	}
+	if idx := w.matchedWith[e.V]; idx >= 0 && (len(conflicts) == 0 || idx != conflicts[0]) {
+		conflictWeight += w.pairs[idx].Weight
+		conflicts = append(conflicts, idx)
+	}
+	if e.Weight <= (1+w.gamma)*conflictWeight {
+		return
+	}
+	// Displace conflicts (mark slots dead), take e.
+	for _, idx := range conflicts {
+		dead := w.pairs[idx]
+		w.matchedWith[dead.U] = -1
+		w.matchedWith[dead.V] = -1
+		w.pairs[idx].Weight = 0 // tombstone
+	}
+	w.pairs = append(w.pairs, e)
+	w.matchedWith[e.U] = len(w.pairs) - 1
+	w.matchedWith[e.V] = len(w.pairs) - 1
+}
+
+// Pairs returns the live matched edges.
+func (w *WeightedMatching) Pairs() []WeightedEdge {
+	out := make([]WeightedEdge, 0)
+	for _, p := range w.pairs {
+		if p.Weight > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TotalWeight returns the matching's total weight.
+func (w *WeightedMatching) TotalWeight() float64 {
+	total := 0.0
+	for _, p := range w.pairs {
+		total += p.Weight
+	}
+	return total
+}

@@ -1,0 +1,94 @@
+package graphstream
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// MinCut estimates the global minimum cut of a streamed multigraph with
+// Karger's randomized contraction, repeated `trials` times over the
+// retained edge list. With O(n^2 log n) trials the result is the true
+// minimum cut with high probability; with fewer it is an upper bound that
+// is usually tight on small graphs — the "computing min-cut" entry of the
+// survey's graph-analysis row.
+type MinCut struct {
+	n     int
+	edges []workload.Edge
+	rng   *workload.RNG
+}
+
+// NewMinCut returns a min-cut estimator over n vertices.
+func NewMinCut(n int, seed uint64) (*MinCut, error) {
+	if n < 2 {
+		return nil, core.Errf("MinCut", "n", "%d must be >= 2", n)
+	}
+	return &MinCut{n: n, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update retains one edge of the stream (self-loops dropped).
+func (m *MinCut) Update(e workload.Edge) {
+	if e.U == e.V {
+		return
+	}
+	m.edges = append(m.edges, e)
+}
+
+// Edges returns the number of retained edges.
+func (m *MinCut) Edges() int { return len(m.edges) }
+
+// Estimate runs `trials` random contractions and returns the smallest cut
+// found. Zero is returned for disconnected (or empty) graphs.
+func (m *MinCut) Estimate(trials int) int {
+	if len(m.edges) == 0 {
+		return 0
+	}
+	best := len(m.edges) + 1
+	for t := 0; t < trials; t++ {
+		if c := m.contractOnce(); c < best {
+			best = c
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best
+}
+
+// contractOnce performs one Karger contraction to two super-vertices and
+// returns the number of crossing edges.
+func (m *MinCut) contractOnce() int {
+	uf, _ := NewUnionFind(m.n)
+	// Identify the vertices that actually appear; contract until exactly
+	// two components of *present* vertices remain.
+	present := map[int]struct{}{}
+	for _, e := range m.edges {
+		present[e.U] = struct{}{}
+		present[e.V] = struct{}{}
+	}
+	comps := len(present)
+	if comps < 2 {
+		return 0
+	}
+	// Random order over edges; contract while more than 2 components.
+	order := m.rng.Perm(len(m.edges))
+	for _, idx := range order {
+		if comps <= 2 {
+			break
+		}
+		e := m.edges[idx]
+		if uf.Union(e.U, e.V) {
+			comps--
+		}
+	}
+	if comps > 2 {
+		// Graph was disconnected: cut of size zero exists.
+		return 0
+	}
+	cut := 0
+	for _, e := range m.edges {
+		if uf.Find(e.U) != uf.Find(e.V) {
+			cut++
+		}
+	}
+	return cut
+}

@@ -1,0 +1,83 @@
+package graphstream
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMinCutValidation(t *testing.T) {
+	if _, err := NewMinCut(1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestMinCutBarbell(t *testing.T) {
+	// Two K5 cliques joined by exactly 2 bridge edges: min cut = 2.
+	mc, _ := NewMinCut(10, 7)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			mc.Update(workload.Edge{U: i, V: j})
+			mc.Update(workload.Edge{U: i + 5, V: j + 5})
+		}
+	}
+	mc.Update(workload.Edge{U: 0, V: 5})
+	mc.Update(workload.Edge{U: 1, V: 6})
+	if got := mc.Estimate(200); got != 2 {
+		t.Fatalf("barbell min cut %d, want 2", got)
+	}
+}
+
+func TestMinCutBridge(t *testing.T) {
+	// A single bridge: min cut = 1.
+	mc, _ := NewMinCut(8, 9)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			mc.Update(workload.Edge{U: i, V: j})
+			mc.Update(workload.Edge{U: i + 4, V: j + 4})
+		}
+	}
+	mc.Update(workload.Edge{U: 3, V: 4})
+	if got := mc.Estimate(200); got != 1 {
+		t.Fatalf("bridge min cut %d, want 1", got)
+	}
+}
+
+func TestMinCutDisconnected(t *testing.T) {
+	mc, _ := NewMinCut(6, 11)
+	mc.Update(workload.Edge{U: 0, V: 1})
+	mc.Update(workload.Edge{U: 3, V: 4})
+	if got := mc.Estimate(50); got != 0 {
+		t.Fatalf("disconnected min cut %d, want 0", got)
+	}
+}
+
+func TestMinCutEmpty(t *testing.T) {
+	mc, _ := NewMinCut(4, 13)
+	if got := mc.Estimate(10); got != 0 {
+		t.Fatalf("empty min cut %d", got)
+	}
+}
+
+func TestMinCutCycleIsTwo(t *testing.T) {
+	// A simple cycle has min cut exactly 2.
+	mc, _ := NewMinCut(12, 15)
+	for i := 0; i < 12; i++ {
+		mc.Update(workload.Edge{U: i, V: (i + 1) % 12})
+	}
+	if got := mc.Estimate(300); got != 2 {
+		t.Fatalf("cycle min cut %d, want 2", got)
+	}
+}
+
+func BenchmarkMinCutEstimate(b *testing.B) {
+	mc, _ := NewMinCut(100, 1)
+	rng := workload.NewRNG(1)
+	for _, e := range workload.RandomGraph(rng, 100, 1000) {
+		mc.Update(e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Estimate(10)
+	}
+}

@@ -1,0 +1,235 @@
+package graphstream
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Spanner maintains a multiplicative (2k-1)-spanner over an edge stream by
+// the bounded-girth rule: keep an edge iff the retained subgraph currently
+// offers no path of length <= 2k-1 between its endpoints. The retained
+// graph has O(n^{1+1/k}) edges and stretches distances by at most 2k-1 —
+// the Ahn–Guha–McGregor sparsification row of Table 1.
+type Spanner struct {
+	k   int
+	adj [][]int
+	n   int
+	cnt int
+}
+
+// NewSpanner returns a streaming (2k-1)-spanner over n vertices.
+func NewSpanner(n, k int) (*Spanner, error) {
+	if n <= 0 {
+		return nil, core.Errf("Spanner", "n", "%d must be positive", n)
+	}
+	if k < 1 {
+		return nil, core.Errf("Spanner", "k", "%d must be >= 1", k)
+	}
+	return &Spanner{k: k, adj: make([][]int, n), n: n}, nil
+}
+
+// Update offers one edge; it is retained iff the spanner currently has no
+// path of length <= 2k-1 between its endpoints.
+func (s *Spanner) Update(e workload.Edge) {
+	if e.U == e.V {
+		return
+	}
+	if s.withinDistance(e.U, e.V, 2*s.k-1) {
+		return
+	}
+	s.adj[e.U] = append(s.adj[e.U], e.V)
+	s.adj[e.V] = append(s.adj[e.V], e.U)
+	s.cnt++
+}
+
+// withinDistance runs a depth-bounded BFS on the retained subgraph.
+func (s *Spanner) withinDistance(src, dst, maxLen int) bool {
+	if src == dst {
+		return true
+	}
+	visited := map[int]int{src: 0}
+	frontier := []int{src}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range s.adj[u] {
+				if v == dst {
+					return true
+				}
+				if _, seen := visited[v]; !seen {
+					visited[v] = depth + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// Edges returns the number of retained edges.
+func (s *Spanner) Edges() int { return s.cnt }
+
+// Distance returns the hop distance between a and b in the spanner
+// (-1 when disconnected).
+func (s *Spanner) Distance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	visited := map[int]int{a: 0}
+	frontier := []int{a}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range s.adj[u] {
+				if _, seen := visited[v]; seen {
+					continue
+				}
+				visited[v] = visited[u] + 1
+				if v == b {
+					return visited[v]
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// TriangleCounter counts triangles exactly over an edge stream by
+// maintaining adjacency sets and, per arriving edge, intersecting its
+// endpoints' neighbourhoods. Exact and O(m) space: the baseline the
+// sampling estimators in the literature are judged against.
+type TriangleCounter struct {
+	adj   []map[int]struct{}
+	count uint64
+}
+
+// NewTriangleCounter returns an exact streaming triangle counter over n
+// vertices.
+func NewTriangleCounter(n int) (*TriangleCounter, error) {
+	if n <= 0 {
+		return nil, core.Errf("TriangleCounter", "n", "%d must be positive", n)
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &TriangleCounter{adj: adj}, nil
+}
+
+// Update offers one edge (duplicates and self-loops ignored).
+func (t *TriangleCounter) Update(e workload.Edge) {
+	if e.U == e.V {
+		return
+	}
+	if _, dup := t.adj[e.U][e.V]; dup {
+		return
+	}
+	// New triangles are common neighbours of the endpoints.
+	small, large := t.adj[e.U], t.adj[e.V]
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for w := range small {
+		if _, ok := large[w]; ok {
+			t.count++
+		}
+	}
+	t.adj[e.U][e.V] = struct{}{}
+	t.adj[e.V][e.U] = struct{}{}
+}
+
+// Count returns the number of triangles.
+func (t *TriangleCounter) Count() uint64 { return t.count }
+
+// DynamicReach answers bounded-length path queries over a dynamic graph
+// (edge insertions and deletions) — Table 1's "Path Analysis" row
+// (Eppstein et al. dynamic-graph sparsification motivates the problem; at
+// web-graph scale the bounded depth keeps queries cheap).
+type DynamicReach struct {
+	adj []map[int]struct{}
+}
+
+// NewDynamicReach returns a dynamic graph over n vertices.
+func NewDynamicReach(n int) (*DynamicReach, error) {
+	if n <= 0 {
+		return nil, core.Errf("DynamicReach", "n", "%d must be positive", n)
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &DynamicReach{adj: adj}, nil
+}
+
+// Insert adds an undirected edge.
+func (d *DynamicReach) Insert(e workload.Edge) {
+	if e.U == e.V {
+		return
+	}
+	d.adj[e.U][e.V] = struct{}{}
+	d.adj[e.V][e.U] = struct{}{}
+}
+
+// Delete removes an undirected edge (no-op when absent).
+func (d *DynamicReach) Delete(e workload.Edge) {
+	delete(d.adj[e.U], e.V)
+	delete(d.adj[e.V], e.U)
+}
+
+// WithinL reports whether a path of length <= l connects a and b, by
+// bidirectional depth-bounded BFS.
+func (d *DynamicReach) WithinL(a, b, l int) bool {
+	if a == b {
+		return true
+	}
+	if l <= 0 {
+		return false
+	}
+	// Bidirectional: expand the smaller frontier, alternating, up to l
+	// total depth.
+	fromA := map[int]struct{}{a: {}}
+	fromB := map[int]struct{}{b: {}}
+	frontA := []int{a}
+	frontB := []int{b}
+	depth := 0
+	for depth < l && (len(frontA) > 0 || len(frontB) > 0) {
+		// Expand the smaller side.
+		if len(frontA) <= len(frontB) && len(frontA) > 0 || len(frontB) == 0 {
+			var next []int
+			for _, u := range frontA {
+				for v := range d.adj[u] {
+					if _, meet := fromB[v]; meet {
+						return true
+					}
+					if _, seen := fromA[v]; !seen {
+						fromA[v] = struct{}{}
+						next = append(next, v)
+					}
+				}
+			}
+			frontA = next
+		} else {
+			var next []int
+			for _, u := range frontB {
+				for v := range d.adj[u] {
+					if _, meet := fromA[v]; meet {
+						return true
+					}
+					if _, seen := fromB[v]; !seen {
+						fromB[v] = struct{}{}
+						next = append(next, v)
+					}
+				}
+			}
+			frontB = next
+		}
+		depth++
+	}
+	return false
+}
+
+// Degree returns the degree of v.
+func (d *DynamicReach) Degree(v int) int { return len(d.adj[v]) }

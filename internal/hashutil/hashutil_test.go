@@ -1,0 +1,201 @@
+package hashutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum64Deterministic(t *testing.T) {
+	data := []byte("the quick brown fox")
+	if Sum64(data, 1) != Sum64(data, 1) {
+		t.Fatal("Sum64 not deterministic")
+	}
+	if Sum64(data, 1) == Sum64(data, 2) {
+		t.Fatal("Sum64 ignores seed")
+	}
+}
+
+func TestSum128TailLengths(t *testing.T) {
+	// Exercise every tail branch (0..16 bytes) and ensure each length
+	// produces a distinct hash: catches fallthrough bugs in the switch.
+	seen := map[uint64]int{}
+	buf := make([]byte, 17)
+	for i := range buf {
+		buf[i] = byte(i + 1)
+	}
+	for n := 0; n <= 17; n++ {
+		h1, h2 := Sum128(buf[:n], 42)
+		if prev, dup := seen[h1]; dup {
+			t.Fatalf("length %d collides with length %d", n, prev)
+		}
+		seen[h1] = n
+		if h1 == h2 {
+			t.Fatalf("h1 == h2 for length %d", n)
+		}
+	}
+}
+
+func TestSum64StringMatchesBytes(t *testing.T) {
+	s := "hashutil-string"
+	if Sum64String(s, 7) != Sum64([]byte(s), 7) {
+		t.Fatal("string and byte hashing disagree")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// splitmix64's finalizer is a bijection; sample collisions would
+	// indicate a broken constant.
+	seen := make(map[uint64]struct{}, 10000)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if _, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = struct{}{}
+	}
+}
+
+func TestSum64Uint64SeedSensitivity(t *testing.T) {
+	if Sum64Uint64(12345, 1) == Sum64Uint64(12345, 2) {
+		t.Fatal("integer hash ignores seed")
+	}
+}
+
+func TestDoubleHashDistinct(t *testing.T) {
+	h1, h2 := Sum128([]byte("key"), 9)
+	seen := map[uint64]struct{}{}
+	for i := uint(0); i < 32; i++ {
+		v := DoubleHash(h1, h2, i)
+		if _, dup := seen[v]; dup {
+			t.Fatalf("double hash repeats at i=%d", i)
+		}
+		seen[v] = struct{}{}
+	}
+}
+
+func TestFamilyReproducible(t *testing.T) {
+	f1 := NewFamily(99)
+	f2 := NewFamily(99)
+	for i := 0; i < 8; i++ {
+		if f1.Seed(i) != f2.Seed(i) {
+			t.Fatalf("family seeds diverge at %d", i)
+		}
+		if f1.Hash([]byte("x"), i) != f2.Hash([]byte("x"), i) {
+			t.Fatalf("family hashes diverge at %d", i)
+		}
+	}
+	if f1.Seed(0) == f1.Seed(1) {
+		t.Fatal("distinct family indices share a seed")
+	}
+}
+
+func TestAvalancheBias(t *testing.T) {
+	// Flipping one input bit should flip each output bit with probability
+	// close to 1/2. A crude SAC test over integer keys.
+	const trials = 4000
+	var flips [64]int
+	for i := 0; i < trials; i++ {
+		x := Mix64(uint64(i) * 0x9e3779b97f4a7c15)
+		h := Sum64Uint64(x, 7)
+		hFlip := Sum64Uint64(x^1, 7)
+		d := h ^ hFlip
+		for b := 0; b < 64; b++ {
+			if d&(1<<uint(b)) != 0 {
+				flips[b]++
+			}
+		}
+	}
+	for b := 0; b < 64; b++ {
+		p := float64(flips[b]) / trials
+		if math.Abs(p-0.5) > 0.08 {
+			t.Fatalf("bit %d avalanche probability %.3f, want ~0.5", b, p)
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Bucket 64k hashed integers into 256 bins; the chi-square statistic
+	// should be near its expectation (255) for a uniform hash.
+	const n = 1 << 16
+	const bins = 256
+	var counts [bins]int
+	for i := 0; i < n; i++ {
+		counts[Sum64Uint64(uint64(i), 3)%bins]++
+	}
+	expected := float64(n) / bins
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// df = 255; mean 255, sd = sqrt(2*255) ~ 22.6. Allow 6 sigma.
+	if chi2 > 255+6*22.6 {
+		t.Fatalf("chi-square %.1f too large for uniform hash", chi2)
+	}
+}
+
+func TestTabulationDeterministic(t *testing.T) {
+	a := NewTabulation(5)
+	b := NewTabulation(5)
+	c := NewTabulation(6)
+	for i := uint64(0); i < 100; i++ {
+		if a.Hash(i) != b.Hash(i) {
+			t.Fatal("tabulation not deterministic")
+		}
+	}
+	diff := false
+	for i := uint64(0); i < 100; i++ {
+		if a.Hash(i) != c.Hash(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("tabulation ignores seed")
+	}
+}
+
+func TestTabulationSignBalance(t *testing.T) {
+	tab := NewTabulation(11)
+	sum := int64(0)
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		sum += tab.Sign(i)
+	}
+	// Expected 0 with sd sqrt(n) ~ 316; allow 6 sigma.
+	if sum > 1900 || sum < -1900 {
+		t.Fatalf("sign sum %d too far from 0", sum)
+	}
+}
+
+func TestQuickSeedIndependence(t *testing.T) {
+	// Property: for random keys, two different seeds rarely agree.
+	f := func(x uint64) bool {
+		return Sum64Uint64(x, 1) != Sum64Uint64(x, 2) || x == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSum64_16B(b *testing.B) {
+	data := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		Sum64(data, uint64(i))
+	}
+}
+
+func BenchmarkSum64Uint64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Sum64Uint64(uint64(i), 7)
+	}
+}
+
+func BenchmarkTabulation(b *testing.B) {
+	tab := NewTabulation(1)
+	for i := 0; i < b.N; i++ {
+		tab.Hash(uint64(i))
+	}
+}

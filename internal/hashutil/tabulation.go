@@ -1,0 +1,45 @@
+package hashutil
+
+// Tabulation implements simple tabulation hashing over 64-bit keys:
+// the key is split into 8 bytes and each byte indexes a table of random
+// 64-bit words which are XOR-combined. Simple tabulation is 3-independent
+// and behaves like a 4-universal family in the Chernoff-style concentration
+// arguments the AMS sketch requires (Patrascu–Thorup), making it the right
+// tool for frequency-moment estimation where plain multiply-shift is too
+// weak for the variance bounds.
+type Tabulation struct {
+	tables [8][256]uint64
+}
+
+// NewTabulation builds a tabulation hash whose tables are filled
+// deterministically from seed via splitmix64.
+func NewTabulation(seed uint64) *Tabulation {
+	t := &Tabulation{}
+	state := seed
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 256; j++ {
+			state = Mix64(state + 0x9e3779b97f4a7c15)
+			t.tables[i][j] = state
+		}
+	}
+	return t
+}
+
+// Hash returns the tabulation hash of x.
+func (t *Tabulation) Hash(x uint64) uint64 {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h ^= t.tables[i][byte(x>>(8*uint(i)))]
+	}
+	return h
+}
+
+// Sign returns +1 or -1 with equal probability, derived from the low bit of
+// the tabulation hash. AMS and Count Sketch both need 4-wise independent
+// signs.
+func (t *Tabulation) Sign(x uint64) int64 {
+	if t.Hash(x)&1 == 0 {
+		return 1
+	}
+	return -1
+}

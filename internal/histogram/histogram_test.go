@@ -1,0 +1,158 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEquiWidthValidation(t *testing.T) {
+	if _, err := NewEquiWidth(0, 1, 0); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+	if _, err := NewEquiWidth(1, 1, 4); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestEquiWidthBasics(t *testing.T) {
+	e, _ := NewEquiWidth(0, 10, 5)
+	for i := 0; i < 10; i++ {
+		e.Update(float64(i))
+	}
+	bs := e.Buckets()
+	if len(bs) != 5 {
+		t.Fatalf("bucket count %d", len(bs))
+	}
+	for _, b := range bs {
+		if b.Count != 2 {
+			t.Fatalf("bucket %v count %d, want 2", b.Lo, b.Count)
+		}
+	}
+	// Out-of-range values clamp to the edge buckets.
+	e.Update(-100)
+	e.Update(+100)
+	bs = e.Buckets()
+	if bs[0].Count != 3 || bs[4].Count != 3 {
+		t.Fatalf("clamping failed: %d / %d", bs[0].Count, bs[4].Count)
+	}
+}
+
+func TestVOptimalExactOnPiecewiseConstant(t *testing.T) {
+	// A signal that is literally 3 constant pieces must be recovered with
+	// zero error by a 3-bucket V-optimal histogram.
+	vals := make([]float64, 0, 30)
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 5)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, -2)
+	}
+	for i := 0; i < 10; i++ {
+		vals = append(vals, 9)
+	}
+	buckets, sse, err := VOptimal(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse != 0 {
+		t.Fatalf("SSE %v on exactly representable signal", sse)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("bucket count %d", len(buckets))
+	}
+	if buckets[0].Height != 5 || buckets[1].Height != -2 || buckets[2].Height != 9 {
+		t.Fatalf("heights wrong: %+v", buckets)
+	}
+}
+
+func TestVOptimalBeatsEquiWidth(t *testing.T) {
+	// On a signal with unevenly-spaced level changes, V-optimal must have
+	// strictly lower SSE than equal-width buckets — the Section 2 claim.
+	rng := workload.NewRNG(1)
+	vals := make([]float64, 0, 200)
+	levels := []float64{0, 50, 52, -30}
+	widths := []int{120, 20, 40, 20}
+	for li, lv := range levels {
+		for i := 0; i < widths[li]; i++ {
+			vals = append(vals, lv+rng.NormFloat64()*0.5)
+		}
+	}
+	vb, vsse, err := VOptimal(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := EquiWidthIndexBuckets(vals, 4)
+	esse := SSEOfBuckets(vals, eb)
+	if vsse >= esse {
+		t.Fatalf("V-optimal SSE %v not below equi-width %v", vsse, esse)
+	}
+	// The DP's reported SSE must match an independent evaluation.
+	if recheck := SSEOfBuckets(vals, vb); math.Abs(recheck-vsse) > 1e-6*(1+vsse) {
+		t.Fatalf("reported SSE %v != evaluated %v", vsse, recheck)
+	}
+}
+
+func TestVOptimalEdgeCases(t *testing.T) {
+	if _, _, err := VOptimal([]float64{1, 2}, 0); err == nil {
+		t.Fatal("b=0 accepted")
+	}
+	b, sse, err := VOptimal(nil, 3)
+	if err != nil || b != nil || sse != 0 {
+		t.Fatal("empty input not handled")
+	}
+	// b > n collapses to one bucket per point, zero error.
+	b, sse, err = VOptimal([]float64{3, 1, 7}, 10)
+	if err != nil || sse != 0 || len(b) != 3 {
+		t.Fatalf("b>n case: %v %v %v", b, sse, err)
+	}
+}
+
+func TestEndBiased(t *testing.T) {
+	eb, err := NewEndBiased(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value 1 appears 100x, value 2 appears 50x, values 10..59 once each.
+	for i := 0; i < 100; i++ {
+		eb.Update(1)
+	}
+	for i := 0; i < 50; i++ {
+		eb.Update(2)
+	}
+	for i := 10; i < 60; i++ {
+		eb.Update(float64(i))
+	}
+	exact, uniform := eb.Model()
+	if exact[1] != 100 || exact[2] != 50 {
+		t.Fatalf("exact heads wrong: %v", exact)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("tail leaked into exact set: %v", exact)
+	}
+	if uniform != 1 {
+		t.Fatalf("uniform tail freq %v, want 1", uniform)
+	}
+	if eb.EstimateFreq(1) != 100 {
+		t.Fatal("estimate for head wrong")
+	}
+	if eb.EstimateFreq(30) != 1 {
+		t.Fatal("estimate for tail wrong")
+	}
+	if _, err := NewEndBiased(0); err == nil {
+		t.Fatal("threshold=0 accepted")
+	}
+}
+
+func BenchmarkVOptimal200x8(b *testing.B) {
+	rng := workload.NewRNG(1)
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = VOptimal(vals, 8)
+	}
+}

@@ -1,0 +1,160 @@
+// Package inversions implements inversion counting over streams — the
+// "Counting Inversions" row of the tutorial's Table 1 (Ajtai–Jayram–Kumar–
+// Sivakumar), whose application is measuring the sortedness of data.
+//
+// Exact counting needs Omega(n) space; the streaming estimator here uses
+// the AJKS-style reduction: sample positions via independent reservoirs,
+// count how many later elements invert each sampled one, and scale. The
+// experiments compare it against the exact Fenwick-tree baseline.
+package inversions
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ExactCounter counts inversions exactly with a Fenwick (binary indexed)
+// tree over a bounded integer domain: for each arrival, the number of
+// previously seen strictly greater values is added. O(n log U) time,
+// O(U) space.
+type ExactCounter struct {
+	tree  []uint64
+	total uint64
+	n     uint64
+	count uint64
+}
+
+// NewExactCounter returns an exact inversion counter for values in
+// [0, universe).
+func NewExactCounter(universe int) (*ExactCounter, error) {
+	if universe <= 0 {
+		return nil, core.Errf("inversions.ExactCounter", "universe", "%d must be positive", universe)
+	}
+	return &ExactCounter{tree: make([]uint64, universe+1)}, nil
+}
+
+func (e *ExactCounter) add(i int) {
+	for i++; i < len(e.tree); i += i & (-i) {
+		e.tree[i]++
+	}
+}
+
+// prefix returns the count of seen values <= i.
+func (e *ExactCounter) prefix(i int) uint64 {
+	var s uint64
+	for i++; i > 0; i -= i & (-i) {
+		s += e.tree[i]
+	}
+	return s
+}
+
+// Update observes the next value of the stream.
+func (e *ExactCounter) Update(v uint64) {
+	iv := int(v)
+	if iv >= len(e.tree)-1 {
+		iv = len(e.tree) - 2
+	}
+	// Inversions contributed: previously seen values strictly greater.
+	greater := e.total - e.prefix(iv)
+	e.count += greater
+	e.add(iv)
+	e.total++
+	e.n++
+}
+
+// Count returns the exact inversion count so far.
+func (e *ExactCounter) Count() uint64 { return e.count }
+
+// Items returns the stream length.
+func (e *ExactCounter) Items() uint64 { return e.n }
+
+// Bytes returns the tree footprint.
+func (e *ExactCounter) Bytes() int { return len(e.tree)*8 + 24 }
+
+// Estimator approximates the inversion count with s independent samplers:
+// each reservoir-samples one stream position, then counts subsequent
+// arrivals smaller than the sampled value. Each sampler's expected count is
+// inversions/n, so the scaled mean is unbiased.
+type Estimator struct {
+	samplers []invSampler
+	rng      *workload.RNG
+	n        uint64
+}
+
+type invSampler struct {
+	val    uint64
+	have   bool
+	follow uint64 // later elements smaller than val
+}
+
+// NewEstimator returns an inversion estimator with s samplers.
+func NewEstimator(s int, seed uint64) (*Estimator, error) {
+	if s <= 0 {
+		return nil, core.Errf("inversions.Estimator", "s", "%d must be positive", s)
+	}
+	return &Estimator{samplers: make([]invSampler, s), rng: workload.NewRNG(seed)}, nil
+}
+
+// Update observes the next value of the stream.
+func (est *Estimator) Update(v uint64) {
+	est.n++
+	for i := range est.samplers {
+		sp := &est.samplers[i]
+		// Reservoir of size 1 over positions.
+		if est.rng.Uint64()%est.n == 0 {
+			sp.val = v
+			sp.have = true
+			sp.follow = 0
+			continue
+		}
+		if sp.have && v < sp.val {
+			sp.follow++
+		}
+	}
+}
+
+// Estimate returns the estimated number of inversions.
+func (est *Estimator) Estimate() float64 {
+	if est.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	live := 0
+	for _, sp := range est.samplers {
+		if !sp.have {
+			continue
+		}
+		live++
+		sum += float64(sp.follow)
+	}
+	if live == 0 {
+		return 0
+	}
+	// Each sampled position i contributes count of j>i with a[j]<a[i];
+	// the expectation over a uniform i is inversions/n.
+	return sum / float64(live) * float64(est.n)
+}
+
+// Items returns the stream length.
+func (est *Estimator) Items() uint64 { return est.n }
+
+// Bytes returns the sampler footprint.
+func (est *Estimator) Bytes() int { return len(est.samplers)*24 + 24 }
+
+// Sortedness converts an inversion count into the normalized disorder
+// measure inversions / (n*(n-1)/2) in [0,1] (0 = sorted, 1 = reversed) —
+// the "measure sortedness" framing of Table 1.
+func Sortedness(inversions float64, n uint64) float64 {
+	if n < 2 {
+		return 0
+	}
+	max := float64(n) * float64(n-1) / 2
+	s := inversions / max
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}

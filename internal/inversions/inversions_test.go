@@ -1,0 +1,142 @@
+package inversions
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func bruteForce(xs []uint64) uint64 {
+	var c uint64
+	for i := range xs {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[j] < xs[i] {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := workload.NewRNG(1)
+	xs := workload.Uniform(rng, 500, 200)
+	e, _ := NewExactCounter(200)
+	for _, x := range xs {
+		e.Update(x)
+	}
+	if want := bruteForce(xs); e.Count() != want {
+		t.Fatalf("exact %d != brute force %d", e.Count(), want)
+	}
+}
+
+func TestExactSortedAndReversed(t *testing.T) {
+	e, _ := NewExactCounter(100)
+	for i := uint64(0); i < 100; i++ {
+		e.Update(i)
+	}
+	if e.Count() != 0 {
+		t.Fatalf("sorted stream has %d inversions", e.Count())
+	}
+	r, _ := NewExactCounter(100)
+	for i := 100; i > 0; i-- {
+		r.Update(uint64(i - 1))
+	}
+	if want := uint64(100 * 99 / 2); r.Count() != want {
+		t.Fatalf("reversed stream %d inversions, want %d", r.Count(), want)
+	}
+}
+
+func TestExactClampsUniverse(t *testing.T) {
+	e, _ := NewExactCounter(10)
+	e.Update(1000) // clamped to 9
+	e.Update(0)
+	if e.Count() != 1 {
+		t.Fatalf("clamped count %d", e.Count())
+	}
+}
+
+func TestEstimatorTracksDisorderLevels(t *testing.T) {
+	// The estimator must order near-sorted < half-shuffled < reversed.
+	const n = 5000
+	measure := func(xs []uint64) float64 {
+		est, _ := NewEstimator(400, 7)
+		for _, x := range xs {
+			est.Update(x)
+		}
+		return est.Estimate()
+	}
+	rng := workload.NewRNG(2)
+	nearSorted := measure(workload.NearSorted(rng, n, 0.01))
+	shuffled := measure(workload.NearSorted(rng, n, 2.0))
+	rev := make([]uint64, n)
+	for i := range rev {
+		rev[i] = uint64(n - i)
+	}
+	reversed := measure(rev)
+	if !(nearSorted < shuffled && shuffled < reversed) {
+		t.Fatalf("ordering broken: %v %v %v", nearSorted, shuffled, reversed)
+	}
+}
+
+func TestEstimatorUnbiasedOnShuffled(t *testing.T) {
+	const n = 3000
+	rng := workload.NewRNG(3)
+	xs := workload.NearSorted(rng, n, 2.0)
+	truth := float64(bruteForce(xs))
+	est, _ := NewEstimator(800, 11)
+	for _, x := range xs {
+		est.Update(x)
+	}
+	if rel := math.Abs(est.Estimate()-truth) / truth; rel > 0.25 {
+		t.Fatalf("estimator rel error %.3f (est %.0f truth %.0f)", rel, est.Estimate(), truth)
+	}
+}
+
+func TestSortedness(t *testing.T) {
+	if s := Sortedness(0, 100); s != 0 {
+		t.Fatalf("sorted score %v", s)
+	}
+	if s := Sortedness(100*99/2, 100); s != 1 {
+		t.Fatalf("reversed score %v", s)
+	}
+	if s := Sortedness(1e12, 100); s != 1 {
+		t.Fatal("clamping failed")
+	}
+	if s := Sortedness(5, 1); s != 0 {
+		t.Fatal("n<2 not handled")
+	}
+}
+
+func TestQuickExactMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]uint64, len(raw))
+		for i, v := range raw {
+			xs[i] = uint64(v)
+		}
+		e, _ := NewExactCounter(256)
+		for _, x := range xs {
+			e.Update(x)
+		}
+		return e.Count() == bruteForce(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExactUpdate(b *testing.B) {
+	e, _ := NewExactCounter(1 << 16)
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i*2654435761) % (1 << 16))
+	}
+}
+
+func BenchmarkEstimatorUpdate(b *testing.B) {
+	e, _ := NewEstimator(256, 1)
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i*2654435761) % (1 << 16))
+	}
+}

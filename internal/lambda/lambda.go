@@ -1,0 +1,294 @@
+// Package lambda implements the Lambda Architecture of the tutorial's
+// Figure 1, with each numbered stage of the figure as an explicit
+// component:
+//
+//  1. incoming data is dispatched to both the batch layer and the speed
+//     layer (Append),
+//  2. the batch layer manages the immutable, append-only master dataset
+//     and recomputes batch views from scratch (RunBatch),
+//  3. the serving layer indexes batch views for low-latency queries
+//     (ServingLayer),
+//  4. the speed layer maintains realtime views over recent data only,
+//     compensating for batch latency (SpeedLayer),
+//  5. queries merge batch views and realtime views (Query).
+//
+// Views here are keyed counters — the canonical Summingbird-style
+// aggregation the tutorial's Lambda discussion (and Twitter's production
+// use) centers on. The speed layer can run exactly (map) or approximately
+// (Count-Min sketch), reproducing the accuracy/memory trade the speed
+// layer exists to make.
+package lambda
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frequency"
+)
+
+// Event is one raw datum: a key and an additive delta.
+type Event struct {
+	Key   string
+	Delta int64
+	// Seq is assigned by the master dataset on append (position in the
+	// immutable log).
+	Seq uint64
+}
+
+// MasterDataset is the immutable, append-only store of raw events (Figure
+// 1's "master dataset"). Nothing is ever updated or deleted; batch views
+// are always recomputed from the full log (or from a position).
+type MasterDataset struct {
+	mu     sync.RWMutex
+	events []Event
+}
+
+// NewMasterDataset returns an empty master dataset.
+func NewMasterDataset() *MasterDataset { return &MasterDataset{} }
+
+// Append stores a raw event and returns its sequence number.
+func (m *MasterDataset) Append(e Event) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e.Seq = uint64(len(m.events))
+	m.events = append(m.events, e)
+	return e.Seq
+}
+
+// Len returns the number of stored events.
+func (m *MasterDataset) Len() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return uint64(len(m.events))
+}
+
+// Scan calls fn for every event with Seq in [from, to).
+func (m *MasterDataset) Scan(from, to uint64, fn func(Event)) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if to > uint64(len(m.events)) {
+		to = uint64(len(m.events))
+	}
+	for i := from; i < to; i++ {
+		fn(m.events[i])
+	}
+}
+
+// BatchView is an immutable keyed aggregate over the master dataset's
+// prefix [0, Watermark).
+type BatchView struct {
+	Counts    map[string]int64
+	Watermark uint64 // events with Seq < Watermark are included
+	Version   uint64
+}
+
+// ServingLayer indexes the latest batch view for low-latency reads.
+// Swapping in a new view is atomic; readers always see a consistent view.
+type ServingLayer struct {
+	mu   sync.RWMutex
+	view *BatchView
+}
+
+// NewServingLayer returns a serving layer with an empty view.
+func NewServingLayer() *ServingLayer {
+	return &ServingLayer{view: &BatchView{Counts: map[string]int64{}}}
+}
+
+// Load atomically installs a new batch view.
+func (s *ServingLayer) Load(v *BatchView) {
+	s.mu.Lock()
+	s.view = v
+	s.mu.Unlock()
+}
+
+// Get returns the batch value for key and the view's watermark.
+func (s *ServingLayer) Get(key string) (int64, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.view.Counts[key], s.view.Watermark
+}
+
+// Watermark returns the current view's watermark.
+func (s *ServingLayer) Watermark() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.view.Watermark
+}
+
+// SpeedLayer maintains the realtime view: aggregates over events NOT yet
+// covered by the serving layer's batch view. It stores per-event deltas in
+// a seq-ordered buffer so the covered prefix can be expired exactly when a
+// new batch view lands.
+type SpeedLayer struct {
+	mu     sync.Mutex
+	approx *frequency.CountMin // non-nil in approximate mode
+	counts map[string]int64
+	buf    []Event // events awaiting batch absorption, seq-ordered
+}
+
+// NewSpeedLayer returns an exact speed layer.
+func NewSpeedLayer() *SpeedLayer {
+	return &SpeedLayer{counts: map[string]int64{}}
+}
+
+// NewApproxSpeedLayer returns a Count-Min-backed speed layer with the
+// given sketch geometry; realtime reads overestimate by at most the
+// sketch's eps*N bound, and memory stays constant regardless of key
+// cardinality — the trade the tutorial's speed-layer discussion motivates.
+func NewApproxSpeedLayer(width, depth int, seed uint64) (*SpeedLayer, error) {
+	cm, err := frequency.NewCountMin(width, depth, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SpeedLayer{approx: cm, counts: map[string]int64{}}, nil
+}
+
+// Record adds one event to the realtime view.
+func (s *SpeedLayer) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, e)
+	if s.approx != nil {
+		if e.Delta > 0 {
+			s.approx.UpdateString(e.Key, uint64(e.Delta))
+		}
+		return
+	}
+	s.counts[e.Key] += e.Delta
+}
+
+// Get returns the realtime contribution for key.
+func (s *SpeedLayer) Get(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.approx != nil {
+		return int64(s.approx.EstimateString(key))
+	}
+	return s.counts[key]
+}
+
+// Expire drops all events with Seq < watermark — they are now covered by
+// the batch view. In approximate mode the sketch is rebuilt from the
+// surviving buffer (Count-Min supports no deletion), which is exactly the
+// "realtime views are small and disposable" property Lambda relies on.
+func (s *SpeedLayer) Expire(watermark uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := s.buf[:0]
+	for _, e := range s.buf {
+		if e.Seq >= watermark {
+			keep = append(keep, e)
+		}
+	}
+	s.buf = keep
+	if s.approx != nil {
+		fresh, err := frequency.NewCountMin(sketchWidth(s.approx), sketchDepth(s.approx), 0xa17a)
+		if err == nil {
+			for _, e := range s.buf {
+				if e.Delta > 0 {
+					fresh.UpdateString(e.Key, uint64(e.Delta))
+				}
+			}
+			s.approx = fresh
+		}
+		return
+	}
+	s.counts = map[string]int64{}
+	for _, e := range s.buf {
+		s.counts[e.Key] += e.Delta
+	}
+}
+
+// PendingEvents returns the number of events not yet absorbed by batch.
+func (s *SpeedLayer) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// The sketch geometry accessors keep SpeedLayer decoupled from the
+// CountMin internals while letting Expire rebuild an identical sketch.
+func sketchWidth(cm *frequency.CountMin) int { return cm.Width() }
+func sketchDepth(cm *frequency.CountMin) int { return cm.Depth() }
+
+// Architecture wires the four layers together per Figure 1.
+type Architecture struct {
+	master  *MasterDataset
+	serving *ServingLayer
+	speed   *SpeedLayer
+	version uint64
+	mu      sync.Mutex // serializes batch runs
+}
+
+// New returns a Lambda Architecture with an exact speed layer.
+func New() *Architecture {
+	return &Architecture{
+		master:  NewMasterDataset(),
+		serving: NewServingLayer(),
+		speed:   NewSpeedLayer(),
+	}
+}
+
+// NewWithSpeedLayer returns an architecture with a custom speed layer
+// (e.g. the approximate one).
+func NewWithSpeedLayer(sl *SpeedLayer) (*Architecture, error) {
+	if sl == nil {
+		return nil, core.Errf("lambda.Architecture", "speed", "must be non-nil")
+	}
+	return &Architecture{
+		master:  NewMasterDataset(),
+		serving: NewServingLayer(),
+		speed:   sl,
+	}, nil
+}
+
+// Append dispatches one event to both the batch and speed layers
+// (Figure 1, step 1).
+func (a *Architecture) Append(key string, delta int64) {
+	e := Event{Key: key, Delta: delta}
+	seq := a.master.Append(e)
+	e.Seq = seq
+	a.speed.Record(e)
+}
+
+// RunBatch recomputes the batch view from the entire master dataset (step
+// 2), installs it in the serving layer (step 3), and expires the covered
+// prefix from the speed layer (step 4). It returns the new view's
+// watermark. Deliberately a full recompute: Lambda's robustness argument
+// is that batch views are re-derivable from raw data alone.
+func (a *Architecture) RunBatch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	watermark := a.master.Len()
+	counts := map[string]int64{}
+	a.master.Scan(0, watermark, func(e Event) {
+		counts[e.Key] += e.Delta
+	})
+	a.version++
+	a.serving.Load(&BatchView{Counts: counts, Watermark: watermark, Version: a.version})
+	a.speed.Expire(watermark)
+	return watermark
+}
+
+// Query answers a key lookup by merging the batch and realtime views
+// (step 5).
+func (a *Architecture) Query(key string) int64 {
+	batch, _ := a.serving.Get(key)
+	return batch + a.speed.Get(key)
+}
+
+// BatchOnlyQuery answers from the serving layer alone — the stale answer
+// a batch-only system would give, used by the F1 staleness experiment.
+func (a *Architecture) BatchOnlyQuery(key string) int64 {
+	batch, _ := a.serving.Get(key)
+	return batch
+}
+
+// Staleness returns the number of events not yet reflected in the batch
+// view — the speed layer's raison d'être.
+func (a *Architecture) Staleness() uint64 {
+	return a.master.Len() - a.serving.Watermark()
+}
+
+// MasterLen returns the master dataset size.
+func (a *Architecture) MasterLen() uint64 { return a.master.Len() }

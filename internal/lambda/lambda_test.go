@@ -1,0 +1,206 @@
+package lambda
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMasterDatasetAppendOnly(t *testing.T) {
+	m := NewMasterDataset()
+	s0 := m.Append(Event{Key: "a", Delta: 1})
+	s1 := m.Append(Event{Key: "b", Delta: 2})
+	if s0 != 0 || s1 != 1 || m.Len() != 2 {
+		t.Fatalf("seqs %d %d len %d", s0, s1, m.Len())
+	}
+	var seen []string
+	m.Scan(0, 100, func(e Event) { seen = append(seen, e.Key) })
+	if len(seen) != 2 || seen[0] != "a" {
+		t.Fatalf("scan %v", seen)
+	}
+}
+
+func TestQueryMergesBatchAndSpeed(t *testing.T) {
+	a := New()
+	// Ten events, batch over them, then five more.
+	for i := 0; i < 10; i++ {
+		a.Append("clicks", 1)
+	}
+	a.RunBatch()
+	for i := 0; i < 5; i++ {
+		a.Append("clicks", 1)
+	}
+	if got := a.Query("clicks"); got != 15 {
+		t.Fatalf("merged query %d, want 15", got)
+	}
+	if got := a.BatchOnlyQuery("clicks"); got != 10 {
+		t.Fatalf("batch-only %d, want 10", got)
+	}
+	if s := a.Staleness(); s != 5 {
+		t.Fatalf("staleness %d, want 5", s)
+	}
+}
+
+func TestRunBatchExpiresSpeedLayer(t *testing.T) {
+	a := New()
+	for i := 0; i < 100; i++ {
+		a.Append(fmt.Sprintf("k%d", i%10), 1)
+	}
+	a.RunBatch()
+	if p := a.speed.PendingEvents(); p != 0 {
+		t.Fatalf("speed layer retains %d events after batch", p)
+	}
+	// Merged query must not double count.
+	if got := a.Query("k0"); got != 10 {
+		t.Fatalf("double counting: %d", got)
+	}
+}
+
+func TestMergedAlwaysEqualsExact(t *testing.T) {
+	// The F1 correctness invariant: at every point, for every key,
+	// merged query == exact count over all appended events, regardless of
+	// when batches run.
+	a := New()
+	exact := map[string]int64{}
+	rng := workload.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(50))
+		a.Append(key, 1)
+		exact[key]++
+		if i%777 == 776 {
+			a.RunBatch()
+		}
+		if i%501 == 500 {
+			probe := fmt.Sprintf("k%d", rng.Intn(50))
+			if got := a.Query(probe); got != exact[probe] {
+				t.Fatalf("at %d: merged %d != exact %d for %s", i, got, exact[probe], probe)
+			}
+		}
+	}
+	a.RunBatch()
+	for k, v := range exact {
+		if got := a.Query(k); got != v {
+			t.Fatalf("final: %s merged %d != %d", k, got, v)
+		}
+	}
+}
+
+func TestBatchOnlyStalenessGrows(t *testing.T) {
+	a := New()
+	a.Append("x", 1)
+	a.RunBatch()
+	errs := 0
+	for i := 0; i < 100; i++ {
+		a.Append("x", 1)
+		if a.BatchOnlyQuery("x") != a.Query("x") {
+			errs++
+		}
+	}
+	if errs != 100 {
+		t.Fatalf("batch-only answer should be stale for all 100 post-batch events, got %d", errs)
+	}
+}
+
+func TestApproxSpeedLayerBounds(t *testing.T) {
+	sl, err := NewApproxSpeedLayer(2048, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWithSpeedLayer(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]int64{}
+	rng := workload.NewRNG(2)
+	z := workload.NewZipf(rng, 500, 1.1)
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("k%d", z.Draw())
+		a.Append(key, 1)
+		exact[key]++
+	}
+	// Approximate speed layer never undercounts and overestimates within
+	// the Count-Min bound (eps ~ e/2048 of N=20000 -> ~27).
+	for k, v := range exact {
+		got := a.Query(k)
+		if got < v {
+			t.Fatalf("approx merged undercounts %s: %d < %d", k, got, v)
+		}
+		if got > v+100 {
+			t.Fatalf("approx overestimate too large for %s: %d vs %d", k, got, v)
+		}
+	}
+	// After a batch run the sketch resets: answers become exact.
+	a.RunBatch()
+	for k, v := range exact {
+		if got := a.Query(k); got != v {
+			t.Fatalf("post-batch %s: %d != %d", k, got, v)
+		}
+	}
+}
+
+func TestConcurrentAppendsAndQueries(t *testing.T) {
+	a := New()
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 2500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				a.Append("hot", 1)
+			}
+		}()
+	}
+	// Concurrent batch runs and queries must not panic or corrupt.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			a.RunBatch()
+			a.Query("hot")
+		}
+	}()
+	wg.Wait()
+	a.RunBatch()
+	if got := a.Query("hot"); got != writers*perWriter {
+		t.Fatalf("final count %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestNegativeDeltas(t *testing.T) {
+	a := New()
+	a.Append("bal", 100)
+	a.Append("bal", -30)
+	if got := a.Query("bal"); got != 70 {
+		t.Fatalf("net %d, want 70", got)
+	}
+	a.RunBatch()
+	a.Append("bal", -20)
+	if got := a.Query("bal"); got != 50 {
+		t.Fatalf("post-batch net %d, want 50", got)
+	}
+}
+
+func BenchmarkAppendQuery(b *testing.B) {
+	a := New()
+	for i := 0; i < b.N; i++ {
+		a.Append("k", 1)
+		if i%1000 == 999 {
+			a.Query("k")
+		}
+	}
+}
+
+func BenchmarkRunBatch100k(b *testing.B) {
+	a := New()
+	for i := 0; i < 100000; i++ {
+		a.Append(fmt.Sprintf("k%d", i%1000), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.RunBatch()
+	}
+}

@@ -1,0 +1,201 @@
+// Package moments implements frequency-moment estimation over streams —
+// the "Estimating Moments" row of the tutorial's Table 1, rooted in the
+// Alon–Matias–Szegedy paper the survey credits with introducing randomized
+// sketching.
+//
+// F_k = sum_i f_i^k over item frequencies f_i: F0 is the distinct count,
+// F1 the stream length, F2 the repeat rate / self-join size (the AMS
+// headline result), and higher moments measure skew.
+package moments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/workload"
+)
+
+// AMSF2 estimates the second frequency moment with the tug-of-war sketch:
+// each of rows x cols counters accumulates +-1 per item under a 4-wise
+// independent sign (tabulation hashing); each counter's square is an
+// unbiased F2 estimate, cols are averaged to shrink variance, and rows are
+// median-combined for confidence. Error is O(F2/sqrt(cols)) per row.
+type AMSF2 struct {
+	rows, cols int
+	counters   [][]int64
+	tabs       []*hashutil.Tabulation
+	n          uint64
+}
+
+// NewAMSF2 returns a tug-of-war sketch with rows x cols counters.
+func NewAMSF2(rows, cols int, seed uint64) (*AMSF2, error) {
+	if rows <= 0 {
+		return nil, core.Errf("AMSF2", "rows", "%d must be positive", rows)
+	}
+	if cols <= 0 {
+		return nil, core.Errf("AMSF2", "cols", "%d must be positive", cols)
+	}
+	counters := make([][]int64, rows)
+	tabs := make([]*hashutil.Tabulation, rows*cols)
+	fam := hashutil.NewFamily(seed)
+	for r := range counters {
+		counters[r] = make([]int64, cols)
+		for c := 0; c < cols; c++ {
+			tabs[r*cols+c] = hashutil.NewTabulation(fam.Seed(r*cols + c))
+		}
+	}
+	return &AMSF2{rows: rows, cols: cols, counters: counters, tabs: tabs}, nil
+}
+
+// Update adds count occurrences of the keyed item (negative counts model
+// deletions; AMS is a turnstile sketch).
+func (a *AMSF2) Update(key uint64, count int64) {
+	if count > 0 {
+		a.n += uint64(count)
+	}
+	for r := 0; r < a.rows; r++ {
+		for c := 0; c < a.cols; c++ {
+			a.counters[r][c] += a.tabs[r*a.cols+c].Sign(key) * count
+		}
+	}
+}
+
+// Estimate returns the F2 estimate: median over rows of the mean over
+// columns of squared counters.
+func (a *AMSF2) Estimate() float64 {
+	rowEsts := make([]float64, a.rows)
+	for r := 0; r < a.rows; r++ {
+		sum := 0.0
+		for c := 0; c < a.cols; c++ {
+			v := float64(a.counters[r][c])
+			sum += v * v
+		}
+		rowEsts[r] = sum / float64(a.cols)
+	}
+	sort.Float64s(rowEsts)
+	mid := a.rows / 2
+	if a.rows%2 == 1 {
+		return rowEsts[mid]
+	}
+	return (rowEsts[mid-1] + rowEsts[mid]) / 2
+}
+
+// Items returns the positive count mass absorbed.
+func (a *AMSF2) Items() uint64 { return a.n }
+
+// Bytes returns the counter footprint (tabulation tables excluded; they are
+// seed-reconstructible constants).
+func (a *AMSF2) Bytes() int { return a.rows*a.cols*8 + 32 }
+
+// Merge adds another sketch counter-wise; valid because the sign functions
+// are identical for equal seeds, making the combined sketch the sketch of
+// the concatenated stream.
+func (a *AMSF2) Merge(other *AMSF2) error {
+	if other == nil || a.rows != other.rows || a.cols != other.cols {
+		return core.ErrIncompatible
+	}
+	// Seed equality is proxied by comparing one tabulation output.
+	if a.tabs[0].Hash(12345) != other.tabs[0].Hash(12345) {
+		return core.ErrIncompatible
+	}
+	for r := range a.counters {
+		for c := range a.counters[r] {
+			a.counters[r][c] += other.counters[r][c]
+		}
+	}
+	a.n += other.n
+	return nil
+}
+
+// FkSampler estimates the k-th frequency moment (k > 2) with the original
+// AMS sampling estimator: sample a uniform position, count subsequent
+// occurrences r of the sampled item, output n*(r^k - (r-1)^k). Means over
+// many samplers reduce variance. It is the baseline the survey's
+// Indyk–Woodruff and BJKST citations improve upon asymptotically.
+type FkSampler struct {
+	k        int
+	samplers []fkOne
+	rng      *workload.RNG
+	n        uint64
+}
+
+type fkOne struct {
+	target uint64 // stream position whose item we sample (reservoir style)
+	item   uint64
+	count  uint64
+}
+
+// NewFkSampler returns an estimator for F_k using the given number of
+// independent samplers.
+func NewFkSampler(k, samplers int, seed uint64) (*FkSampler, error) {
+	if k < 1 {
+		return nil, core.Errf("FkSampler", "k", "%d must be >= 1", k)
+	}
+	if samplers <= 0 {
+		return nil, core.Errf("FkSampler", "samplers", "%d must be positive", samplers)
+	}
+	return &FkSampler{k: k, samplers: make([]fkOne, samplers), rng: workload.NewRNG(seed)}, nil
+}
+
+// Update observes one item.
+func (f *FkSampler) Update(item uint64) {
+	f.n++
+	for i := range f.samplers {
+		s := &f.samplers[i]
+		// Reservoir-sample the position: replace with probability 1/n.
+		if f.rng.Uint64()%f.n == 0 {
+			s.item = item
+			s.count = 1
+			continue
+		}
+		if s.count > 0 && s.item == item {
+			s.count++
+		}
+	}
+}
+
+// Estimate returns the mean of the per-sampler unbiased F_k estimates.
+func (f *FkSampler) Estimate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	total := 0.0
+	live := 0
+	for _, s := range f.samplers {
+		if s.count == 0 {
+			continue
+		}
+		live++
+		r := float64(s.count)
+		total += float64(f.n) * (math.Pow(r, float64(f.k)) - math.Pow(r-1, float64(f.k)))
+	}
+	if live == 0 {
+		return 0
+	}
+	return total / float64(live)
+}
+
+// Items returns the stream length.
+func (f *FkSampler) Items() uint64 { return f.n }
+
+// Bytes returns the sampler footprint.
+func (f *FkSampler) Bytes() int { return len(f.samplers)*24 + 24 }
+
+// ExactMoments computes F0, F1, F2, ..., Fk exactly from a stream — the
+// experiments' ground truth.
+func ExactMoments(stream []uint64, maxK int) []float64 {
+	counts := map[uint64]uint64{}
+	for _, x := range stream {
+		counts[x]++
+	}
+	out := make([]float64, maxK+1)
+	out[0] = float64(len(counts))
+	for _, c := range counts {
+		for k := 1; k <= maxK; k++ {
+			out[k] += math.Pow(float64(c), float64(k))
+		}
+	}
+	return out
+}

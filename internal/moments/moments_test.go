@@ -1,0 +1,152 @@
+package moments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAMSF2Validation(t *testing.T) {
+	if _, err := NewAMSF2(0, 4, 1); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if _, err := NewAMSF2(4, 0, 1); err == nil {
+		t.Fatal("cols=0 accepted")
+	}
+}
+
+func TestAMSF2Accuracy(t *testing.T) {
+	rng := workload.NewRNG(1)
+	z := workload.NewZipf(rng, 1000, 1.1)
+	stream := z.Stream(50000)
+	truth := ExactMoments(stream, 2)[2]
+
+	a, _ := NewAMSF2(5, 256, 7)
+	for _, x := range stream {
+		a.Update(x, 1)
+	}
+	est := a.Estimate()
+	if rel := math.Abs(est-truth) / truth; rel > 0.2 {
+		t.Fatalf("F2 relative error %.3f (est %.0f true %.0f)", rel, est, truth)
+	}
+}
+
+func TestAMSF2Turnstile(t *testing.T) {
+	a, _ := NewAMSF2(5, 128, 7)
+	// Insert then fully delete: F2 must return to ~0.
+	for i := uint64(0); i < 100; i++ {
+		a.Update(i, 10)
+	}
+	for i := uint64(0); i < 100; i++ {
+		a.Update(i, -10)
+	}
+	if est := a.Estimate(); est != 0 {
+		t.Fatalf("fully-deleted stream F2 = %v, want 0", est)
+	}
+}
+
+func TestAMSF2MergeEqualsConcat(t *testing.T) {
+	full, _ := NewAMSF2(5, 64, 9)
+	a, _ := NewAMSF2(5, 64, 9)
+	b, _ := NewAMSF2(5, 64, 9)
+	rng := workload.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		x := uint64(rng.Intn(500))
+		full.Update(x, 1)
+		if i%2 == 0 {
+			a.Update(x, 1)
+		} else {
+			b.Update(x, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != full.Estimate() {
+		t.Fatalf("merge differs from concat: %v vs %v", a.Estimate(), full.Estimate())
+	}
+	other, _ := NewAMSF2(5, 64, 10)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merged different seeds")
+	}
+}
+
+func TestAMSF2UniformVsSkewed(t *testing.T) {
+	// Qualitative shape check: F2 of a skewed stream far exceeds F2 of a
+	// uniform stream of the same length, and the sketch must preserve the
+	// ordering.
+	rng := workload.NewRNG(3)
+	uniform := workload.Uniform(rng, 20000, 10000)
+	skewed := workload.NewZipf(rng, 10000, 1.5).Stream(20000)
+
+	u, _ := NewAMSF2(5, 128, 11)
+	s, _ := NewAMSF2(5, 128, 11)
+	for _, x := range uniform {
+		u.Update(x, 1)
+	}
+	for _, x := range skewed {
+		s.Update(x, 1)
+	}
+	if s.Estimate() < 3*u.Estimate() {
+		t.Fatalf("sketch lost skew ordering: skewed %v uniform %v", s.Estimate(), u.Estimate())
+	}
+}
+
+func TestFkSamplerF1IsExactish(t *testing.T) {
+	// F1 is the stream length; the estimator n*(r - (r-1)) = n for every
+	// sampler, so the estimate must be exactly n.
+	f, _ := NewFkSampler(1, 10, 5)
+	for i := uint64(0); i < 5000; i++ {
+		f.Update(i % 100)
+	}
+	if est := f.Estimate(); est != 5000 {
+		t.Fatalf("F1 estimate %v, want 5000", est)
+	}
+}
+
+func TestFkSamplerF3Ballpark(t *testing.T) {
+	rng := workload.NewRNG(4)
+	z := workload.NewZipf(rng, 200, 1.2)
+	stream := z.Stream(30000)
+	truth := ExactMoments(stream, 3)[3]
+
+	f, _ := NewFkSampler(3, 800, 7)
+	for _, x := range stream {
+		f.Update(x)
+	}
+	est := f.Estimate()
+	// The basic AMS estimator has high variance; require same order of
+	// magnitude.
+	if est < truth/4 || est > truth*4 {
+		t.Fatalf("F3 estimate %v vs truth %v out of range", est, truth)
+	}
+}
+
+func TestFkSamplerEmpty(t *testing.T) {
+	f, _ := NewFkSampler(2, 10, 1)
+	if est := f.Estimate(); est != 0 {
+		t.Fatalf("empty estimate %v", est)
+	}
+}
+
+func TestExactMoments(t *testing.T) {
+	stream := []uint64{1, 1, 2, 3, 3, 3}
+	m := ExactMoments(stream, 2)
+	if m[0] != 3 {
+		t.Fatalf("F0 %v", m[0])
+	}
+	if m[1] != 6 {
+		t.Fatalf("F1 %v", m[1])
+	}
+	if m[2] != 4+1+9 {
+		t.Fatalf("F2 %v", m[2])
+	}
+}
+
+func BenchmarkAMSF2Update(b *testing.B) {
+	a, _ := NewAMSF2(5, 256, 1)
+	for i := 0; i < b.N; i++ {
+		a.Update(uint64(i%1000), 1)
+	}
+}

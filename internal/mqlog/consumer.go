@@ -1,0 +1,136 @@
+package mqlog
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ConsumerGroup coordinates a set of named consumers over one topic:
+// partitions are range-assigned to the sorted member list, and every
+// membership change triggers a rebalance, as in Kafka's classic group
+// protocol. Poll reads from the caller's assigned partitions only and
+// Commit advances the group's offsets, so messages are delivered to
+// exactly one member per group (at-least-once across rebalances).
+type ConsumerGroup struct {
+	mu      sync.Mutex
+	broker  *Broker
+	topic   *Topic
+	name    string
+	members []string
+	// assignment[member] = partition ids
+	assignment map[string][]int
+	generation int
+}
+
+// NewConsumerGroup returns a consumer group over the topic.
+func NewConsumerGroup(broker *Broker, topic *Topic, name string) (*ConsumerGroup, error) {
+	if broker == nil || topic == nil {
+		return nil, core.Errf("ConsumerGroup", "broker/topic", "must be non-nil")
+	}
+	if name == "" {
+		return nil, core.Errf("ConsumerGroup", "name", "must be non-empty")
+	}
+	return &ConsumerGroup{
+		broker:     broker,
+		topic:      topic,
+		name:       name,
+		assignment: make(map[string][]int),
+	}, nil
+}
+
+// Join adds a member and rebalances. Joining twice is a no-op.
+func (g *ConsumerGroup) Join(member string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, m := range g.members {
+		if m == member {
+			return
+		}
+	}
+	g.members = append(g.members, member)
+	g.rebalance()
+}
+
+// Leave removes a member and rebalances; its partitions move to survivors.
+func (g *ConsumerGroup) Leave(member string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == member {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.rebalance()
+			return
+		}
+	}
+}
+
+// rebalance performs range assignment over the sorted member list.
+// Callers hold g.mu.
+func (g *ConsumerGroup) rebalance() {
+	g.generation++
+	g.assignment = make(map[string][]int)
+	if len(g.members) == 0 {
+		return
+	}
+	sorted := append([]string(nil), g.members...)
+	sort.Strings(sorted)
+	nParts := g.topic.Partitions()
+	for pid := 0; pid < nParts; pid++ {
+		m := sorted[pid%len(sorted)]
+		g.assignment[m] = append(g.assignment[m], pid)
+	}
+}
+
+// Assignment returns the member's current partitions.
+func (g *ConsumerGroup) Assignment(member string) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int(nil), g.assignment[member]...)
+}
+
+// Generation returns the rebalance generation, bumped on every membership
+// change.
+func (g *ConsumerGroup) Generation() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generation
+}
+
+// Poll fetches up to max messages for the member from its assigned
+// partitions, starting at the group's committed offsets. It does NOT
+// commit; pair with Commit after processing for at-least-once semantics.
+func (g *ConsumerGroup) Poll(member string, max int) []PartitionBatch {
+	g.mu.Lock()
+	parts := append([]int(nil), g.assignment[member]...)
+	g.mu.Unlock()
+
+	var out []PartitionBatch
+	remaining := max
+	for _, pid := range parts {
+		if remaining <= 0 {
+			break
+		}
+		offset := g.broker.Committed(g.name, g.topic.name, pid)
+		msgs, next, _, err := g.topic.Fetch(pid, offset, remaining)
+		if err != nil || len(msgs) == 0 {
+			continue
+		}
+		out = append(out, PartitionBatch{Partition: pid, Messages: msgs, Next: next})
+		remaining -= len(msgs)
+	}
+	return out
+}
+
+// Commit advances the group's offset for one partition (after processing).
+func (g *ConsumerGroup) Commit(partitionID int, next uint64) {
+	g.broker.Commit(g.name, g.topic.name, partitionID, next)
+}
+
+// PartitionBatch is one partition's slice of a Poll result.
+type PartitionBatch struct {
+	Partition int
+	Messages  []Message
+	Next      uint64 // offset to commit after processing Messages
+}

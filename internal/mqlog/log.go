@@ -1,0 +1,238 @@
+// Package mqlog is an in-process, Kafka-like partitioned message log — the
+// broker substrate the tutorial's Section 3 platforms assume: Samza reads
+// and writes all streams through Kafka, Pulsar spills to Kafka under
+// backpressure, and the Lambda Architecture's input dispatch is typically
+// a log.
+//
+// It provides topics with a fixed number of partitions, append-only
+// segments with monotonically increasing offsets, key-based partitioning,
+// consumer groups with offset tracking and rebalancing, and size-based
+// retention — the semantic core of the real system, minus the network and
+// disk, which the experiments do not need (see DESIGN.md substitutions).
+package mqlog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// Message is one log entry.
+type Message struct {
+	Key    string
+	Value  []byte
+	Offset uint64
+}
+
+// partition is a single append-only sequence with retention. Retention
+// advances a head index (amortized O(1) per append) and compacts the
+// backing slice only when more than half of it is dead, so a full
+// partition never pays a per-append copy.
+type partition struct {
+	mu    sync.Mutex
+	base  uint64 // offset of msgs[head]
+	head  int    // index of the oldest retained message in msgs
+	msgs  []Message
+	limit int // max retained messages (0 = unlimited)
+}
+
+func (p *partition) append(key string, value []byte) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := p.base + uint64(len(p.msgs)-p.head)
+	p.msgs = append(p.msgs, Message{Key: key, Value: value, Offset: off})
+	if p.limit > 0 && len(p.msgs)-p.head > p.limit {
+		drop := len(p.msgs) - p.head - p.limit
+		p.head += drop
+		p.base += uint64(drop)
+		if p.head > len(p.msgs)/2 {
+			n := copy(p.msgs, p.msgs[p.head:])
+			p.msgs = p.msgs[:n]
+			p.head = 0
+		}
+	}
+	return off
+}
+
+// fetch returns up to max messages starting at offset. When offset has been
+// truncated by retention, reading resumes at the oldest retained message
+// (Kafka's "earliest" reset semantics) and truncated reports the condition.
+func (p *partition) fetch(offset uint64, max int) (msgs []Message, next uint64, truncated bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < p.base {
+		offset = p.base
+		truncated = true
+	}
+	idx := p.head + int(offset-p.base)
+	if idx >= len(p.msgs) {
+		return nil, offset, truncated
+	}
+	end := idx + max
+	if end > len(p.msgs) {
+		end = len(p.msgs)
+	}
+	out := make([]Message, end-idx)
+	copy(out, p.msgs[idx:end])
+	return out, offset + uint64(len(out)), truncated
+}
+
+func (p *partition) endOffset() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base + uint64(len(p.msgs)-p.head)
+}
+
+func (p *partition) startOffset() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base
+}
+
+// Topic is a named set of partitions.
+type Topic struct {
+	name  string
+	parts []*partition
+	seed  uint64
+}
+
+// Broker hosts topics and consumer-group offsets.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*Topic
+	// groupOffsets[group][topic] -> per-partition committed offsets
+	groupOffsets map[string]map[string][]uint64
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		topics:       make(map[string]*Topic),
+		groupOffsets: make(map[string]map[string][]uint64),
+	}
+}
+
+// CreateTopic creates a topic with the given partition count and per-
+// partition retention limit (0 = unlimited). Creating an existing topic is
+// an error.
+func (b *Broker) CreateTopic(name string, partitions, retention int) (*Topic, error) {
+	if name == "" {
+		return nil, core.Errf("Broker", "name", "topic name must be non-empty")
+	}
+	if partitions <= 0 {
+		return nil, core.Errf("Broker", "partitions", "%d must be positive", partitions)
+	}
+	if retention < 0 {
+		return nil, core.Errf("Broker", "retention", "%d must be >= 0", retention)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, exists := b.topics[name]; exists {
+		return nil, fmt.Errorf("mqlog: topic %q already exists", name)
+	}
+	t := &Topic{name: name, seed: hashutil.Sum64String(name, 0)}
+	for i := 0; i < partitions; i++ {
+		t.parts = append(t.parts, &partition{limit: retention})
+	}
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic returns an existing topic or an error.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("mqlog: unknown topic %q", name)
+	}
+	return t, nil
+}
+
+// Partitions returns the topic's partition count.
+func (t *Topic) Partitions() int { return len(t.parts) }
+
+// Produce appends a message, routing by key hash (empty keys round-robin
+// via the value hash, matching Kafka's sticky-less default closely enough
+// for experiments).
+func (t *Topic) Produce(key string, value []byte) (partitionID int, offset uint64) {
+	var h uint64
+	if key != "" {
+		h = hashutil.Sum64String(key, t.seed)
+	} else {
+		h = hashutil.Sum64(value, t.seed)
+	}
+	pid := int(h % uint64(len(t.parts)))
+	return pid, t.parts[pid].append(key, value)
+}
+
+// ProduceTo appends a message to an explicit partition.
+func (t *Topic) ProduceTo(partitionID int, key string, value []byte) (uint64, error) {
+	if partitionID < 0 || partitionID >= len(t.parts) {
+		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
+	}
+	return t.parts[partitionID].append(key, value), nil
+}
+
+// Fetch reads up to max messages from one partition starting at offset.
+func (t *Topic) Fetch(partitionID int, offset uint64, max int) (msgs []Message, next uint64, truncated bool, err error) {
+	if partitionID < 0 || partitionID >= len(t.parts) {
+		return nil, 0, false, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
+	}
+	msgs, next, truncated = t.parts[partitionID].fetch(offset, max)
+	return msgs, next, truncated, nil
+}
+
+// EndOffset returns the next offset to be written to the partition.
+func (t *Topic) EndOffset(partitionID int) uint64 { return t.parts[partitionID].endOffset() }
+
+// StartOffset returns the oldest retained offset of the partition.
+func (t *Topic) StartOffset(partitionID int) uint64 { return t.parts[partitionID].startOffset() }
+
+// Commit records a consumer group's position for one partition.
+func (b *Broker) Commit(group, topic string, partitionID int, offset uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	byTopic, ok := b.groupOffsets[group]
+	if !ok {
+		byTopic = make(map[string][]uint64)
+		b.groupOffsets[group] = byTopic
+	}
+	offs := byTopic[topic]
+	if len(offs) <= partitionID {
+		grown := make([]uint64, partitionID+1)
+		copy(grown, offs)
+		offs = grown
+	}
+	offs[partitionID] = offset
+	byTopic[topic] = offs
+}
+
+// Committed returns the group's committed offset for a partition (0 when
+// never committed).
+func (b *Broker) Committed(group, topic string, partitionID int) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if byTopic, ok := b.groupOffsets[group]; ok {
+		if offs, ok := byTopic[topic]; ok && partitionID < len(offs) {
+			return offs[partitionID]
+		}
+	}
+	return 0
+}
+
+// Lag returns the total unconsumed messages for a group across a topic's
+// partitions — the standard consumer health metric.
+func (b *Broker) Lag(group string, t *Topic) uint64 {
+	var total uint64
+	for pid := range t.parts {
+		end := t.EndOffset(pid)
+		committed := b.Committed(group, t.name, pid)
+		if end > committed {
+			total += end - committed
+		}
+	}
+	return total
+}

@@ -1,0 +1,251 @@
+package mqlog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCreateTopicValidation(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.CreateTopic("", 1, 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := b.CreateTopic("t", 0, 0); err == nil {
+		t.Fatal("0 partitions accepted")
+	}
+	if _, err := b.CreateTopic("t", 1, -1); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+	if _, err := b.CreateTopic("t", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateTopic("t", 1, 0); err == nil {
+		t.Fatal("duplicate topic accepted")
+	}
+	if _, err := b.Topic("missing"); err == nil {
+		t.Fatal("unknown topic returned")
+	}
+}
+
+func TestProduceFetchOrdering(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("events", 1, 0)
+	for i := 0; i < 100; i++ {
+		topic.Produce("k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	msgs, next, truncated, err := topic.Fetch(0, 0, 1000)
+	if err != nil || truncated {
+		t.Fatalf("fetch err=%v truncated=%v", err, truncated)
+	}
+	if len(msgs) != 100 || next != 100 {
+		t.Fatalf("got %d msgs next %d", len(msgs), next)
+	}
+	for i, m := range msgs {
+		if m.Offset != uint64(i) || string(m.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("ordering broken at %d: %+v", i, m)
+		}
+	}
+}
+
+func TestKeyPartitioningStable(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("keyed", 8, 0)
+	pid1, _ := topic.Produce("user-42", []byte("a"))
+	pid2, _ := topic.Produce("user-42", []byte("b"))
+	if pid1 != pid2 {
+		t.Fatal("same key routed to different partitions")
+	}
+	// Different keys should spread across partitions.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		pid, _ := topic.Produce(fmt.Sprintf("k%d", i), nil)
+		seen[pid] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d/8 partitions used", len(seen))
+	}
+}
+
+func TestRetentionTruncates(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("small", 1, 10)
+	for i := 0; i < 100; i++ {
+		topic.ProduceTo(0, "", []byte{byte(i)})
+	}
+	if start := topic.StartOffset(0); start != 90 {
+		t.Fatalf("start offset %d, want 90", start)
+	}
+	msgs, next, truncated, _ := topic.Fetch(0, 0, 1000)
+	if !truncated {
+		t.Fatal("truncation not reported")
+	}
+	if len(msgs) != 10 || msgs[0].Offset != 90 || next != 100 {
+		t.Fatalf("fetch after retention: %d msgs, first %d, next %d", len(msgs), msgs[0].Offset, next)
+	}
+}
+
+func TestCommitAndLag(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("lagged", 2, 0)
+	for i := 0; i < 10; i++ {
+		topic.ProduceTo(i%2, "", nil)
+	}
+	if lag := b.Lag("g1", topic); lag != 10 {
+		t.Fatalf("initial lag %d", lag)
+	}
+	b.Commit("g1", "lagged", 0, 5)
+	if lag := b.Lag("g1", topic); lag != 5 {
+		t.Fatalf("lag after commit %d", lag)
+	}
+	if got := b.Committed("g1", "lagged", 0); got != 5 {
+		t.Fatalf("committed %d", got)
+	}
+	if got := b.Committed("g2", "lagged", 0); got != 0 {
+		t.Fatal("group isolation broken")
+	}
+}
+
+func TestConsumerGroupRebalance(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("cg", 4, 0)
+	g, err := NewConsumerGroup(b, topic, "workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Join("a")
+	if got := g.Assignment("a"); len(got) != 4 {
+		t.Fatalf("solo member got %v", got)
+	}
+	g.Join("b")
+	la, lb := len(g.Assignment("a")), len(g.Assignment("b"))
+	if la+lb != 4 || la != 2 || lb != 2 {
+		t.Fatalf("two-member split %d/%d", la, lb)
+	}
+	gen := g.Generation()
+	g.Join("b") // duplicate join is a no-op
+	if g.Generation() != gen {
+		t.Fatal("duplicate join bumped generation")
+	}
+	g.Leave("a")
+	if got := g.Assignment("b"); len(got) != 4 {
+		t.Fatalf("survivor got %v", got)
+	}
+	if got := g.Assignment("a"); len(got) != 0 {
+		t.Fatal("departed member retains partitions")
+	}
+}
+
+func TestConsumerGroupExactlyOnePerGroup(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("work", 4, 0)
+	const total = 1000
+	for i := 0; i < total; i++ {
+		topic.Produce(fmt.Sprintf("k%d", i), []byte{1})
+	}
+	g, _ := NewConsumerGroup(b, topic, "grp")
+	g.Join("w1")
+	g.Join("w2")
+	counts := map[string]int{}
+	for _, w := range []string{"w1", "w2"} {
+		for {
+			batches := g.Poll(w, 100)
+			if len(batches) == 0 {
+				break
+			}
+			for _, batch := range batches {
+				counts[w] += len(batch.Messages)
+				g.Commit(batch.Partition, batch.Next)
+			}
+		}
+	}
+	if counts["w1"]+counts["w2"] != total {
+		t.Fatalf("delivered %d+%d != %d", counts["w1"], counts["w2"], total)
+	}
+	if counts["w1"] == 0 || counts["w2"] == 0 {
+		t.Fatalf("work not shared: %v", counts)
+	}
+	if lag := b.Lag("grp", topic); lag != 0 {
+		t.Fatalf("residual lag %d", lag)
+	}
+}
+
+func TestAtLeastOnceAcrossRestart(t *testing.T) {
+	// Poll without commit, then poll again: same messages redelivered.
+	b := NewBroker()
+	topic, _ := b.CreateTopic("alo", 1, 0)
+	for i := 0; i < 10; i++ {
+		topic.ProduceTo(0, "", []byte{byte(i)})
+	}
+	g, _ := NewConsumerGroup(b, topic, "grp")
+	g.Join("w")
+	first := g.Poll("w", 100)
+	if len(first) != 1 || len(first[0].Messages) != 10 {
+		t.Fatal("first poll incomplete")
+	}
+	// Crash before commit: poll again from committed offset 0.
+	second := g.Poll("w", 100)
+	if len(second) != 1 || len(second[0].Messages) != 10 {
+		t.Fatal("redelivery after uncommitted poll failed")
+	}
+	g.Commit(0, second[0].Next)
+	if third := g.Poll("w", 100); len(third) != 0 {
+		t.Fatal("messages redelivered after commit")
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("conc", 4, 0)
+	var wg sync.WaitGroup
+	const producers = 8
+	const perProducer = 1000
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				topic.Produce(fmt.Sprintf("p%d-%d", p, i), []byte{byte(i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	var total uint64
+	for pid := 0; pid < 4; pid++ {
+		total += topic.EndOffset(pid)
+	}
+	if total != producers*perProducer {
+		t.Fatalf("lost messages: %d != %d", total, producers*perProducer)
+	}
+	// Offsets within each partition must be dense.
+	for pid := 0; pid < 4; pid++ {
+		msgs, _, _, _ := topic.Fetch(pid, 0, producers*perProducer)
+		for i, m := range msgs {
+			if m.Offset != uint64(i) {
+				t.Fatalf("partition %d offset gap at %d", pid, i)
+			}
+		}
+	}
+}
+
+func BenchmarkProduce(b *testing.B) {
+	br := NewBroker()
+	topic, _ := br.CreateTopic("bench", 8, 1<<20)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topic.Produce("key", val)
+	}
+}
+
+func BenchmarkFetch100(b *testing.B) {
+	br := NewBroker()
+	topic, _ := br.CreateTopic("bench", 1, 0)
+	for i := 0; i < 100000; i++ {
+		topic.ProduceTo(0, "", []byte{1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topic.Fetch(0, uint64(i*100%90000), 100)
+	}
+}

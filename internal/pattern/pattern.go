@@ -1,0 +1,276 @@
+// Package pattern implements temporal-pattern analysis over streams — the
+// tutorial's Table 1 "Temporal Pattern Analysis" row (traffic analysis)
+// plus the rule-engine model Section 3's footnote describes:
+//
+//   - SAX symbolization (piecewise-aggregate approximation + Gaussian
+//     breakpoints) turning real-valued series into symbol strings,
+//   - shape-based pattern detection over the symbol stream (the SpADe-style
+//     "find this shape" problem),
+//   - a small CEP rule engine: condition/action rules over event streams
+//     with "followed-by within window" sequencing.
+package pattern
+
+import (
+	"repro/internal/core"
+	"repro/internal/window"
+)
+
+// saxBreakpoints holds the standard Gaussian equiprobable breakpoints for
+// alphabet sizes 2..8 (SAX, Lin–Keogh).
+var saxBreakpoints = map[int][]float64{
+	2: {0},
+	3: {-0.43, 0.43},
+	4: {-0.67, 0, 0.67},
+	5: {-0.84, -0.25, 0.25, 0.84},
+	6: {-0.97, -0.43, 0, 0.43, 0.97},
+	7: {-1.07, -0.57, -0.18, 0.18, 0.57, 1.07},
+	8: {-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15},
+}
+
+// SAX converts a real-valued stream into a symbol stream: values are
+// z-normalized against a sliding window, averaged over frames of `frame`
+// samples (PAA), and quantized into an alphabet of the given size.
+type SAX struct {
+	alphabet int
+	frame    int
+	stats    *window.SlidingStats
+	acc      float64
+	inFrame  int
+	breaks   []float64
+}
+
+// NewSAX returns a symbolizer with the given alphabet size (2..8), PAA
+// frame length, and normalization window.
+func NewSAX(alphabet, frame, normWindow int) (*SAX, error) {
+	breaks, ok := saxBreakpoints[alphabet]
+	if !ok {
+		return nil, core.Errf("SAX", "alphabet", "%d not in [2,8]", alphabet)
+	}
+	if frame <= 0 {
+		return nil, core.Errf("SAX", "frame", "%d must be positive", frame)
+	}
+	stats, err := window.NewSlidingStats(normWindow)
+	if err != nil {
+		return nil, err
+	}
+	return &SAX{alphabet: alphabet, frame: frame, stats: stats, breaks: breaks}, nil
+}
+
+// Update feeds one sample; when a PAA frame completes it returns the
+// symbol ('a' + index) and true.
+func (s *SAX) Update(v float64) (byte, bool) {
+	s.stats.Update(v)
+	mean := s.stats.Mean()
+	sd := s.stats.StdDev()
+	z := 0.0
+	if sd > 1e-12 {
+		z = (v - mean) / sd
+	}
+	s.acc += z
+	s.inFrame++
+	if s.inFrame < s.frame {
+		return 0, false
+	}
+	paa := s.acc / float64(s.frame)
+	s.acc = 0
+	s.inFrame = 0
+	sym := 0
+	for _, b := range s.breaks {
+		if paa > b {
+			sym++
+		}
+	}
+	return byte('a' + sym), true
+}
+
+// ShapeDetector matches a symbol pattern (with '.' wildcards) against the
+// SAX symbol stream, reporting completions — streaming shape-based pattern
+// detection in the SpADe spirit.
+type ShapeDetector struct {
+	pattern []byte
+	buf     []byte
+	hits    uint64
+	n       uint64
+}
+
+// NewShapeDetector returns a detector for the given symbol pattern;
+// '.' matches any symbol.
+func NewShapeDetector(pattern string) (*ShapeDetector, error) {
+	if pattern == "" {
+		return nil, core.Errf("ShapeDetector", "pattern", "must be non-empty")
+	}
+	return &ShapeDetector{pattern: []byte(pattern)}, nil
+}
+
+// Update feeds one symbol and reports whether the pattern just completed.
+func (d *ShapeDetector) Update(sym byte) bool {
+	d.n++
+	d.buf = append(d.buf, sym)
+	if len(d.buf) > len(d.pattern) {
+		d.buf = d.buf[1:]
+	}
+	if len(d.buf) < len(d.pattern) {
+		return false
+	}
+	for i, p := range d.pattern {
+		if p != '.' && d.buf[i] != p {
+			return false
+		}
+	}
+	d.hits++
+	return true
+}
+
+// Hits returns the number of completed matches.
+func (d *ShapeDetector) Hits() uint64 { return d.hits }
+
+// Event is one CEP input: a type tag plus a numeric payload.
+type Event struct {
+	Type  string
+	Value float64
+	Tick  uint64
+}
+
+// Rule is a condition/action pair: when Condition fires for an event, the
+// Action runs. This is exactly the rule-engine model the tutorial's
+// Section 3 footnote describes ("if-then" over streaming data).
+type Rule struct {
+	Name      string
+	Condition func(Event) bool
+	Action    func(Event)
+}
+
+// SequenceRule fires when an event matching First is followed by an event
+// matching Then within Window ticks.
+type SequenceRule struct {
+	Name   string
+	First  func(Event) bool
+	Then   func(Event) bool
+	Window uint64
+	Action func(first, then Event)
+}
+
+// CEP is a small complex-event-processing engine: simple rules fire
+// immediately; sequence rules track pending first-events and fire on the
+// matching second event within the window.
+type CEP struct {
+	rules    []Rule
+	seqs     []SequenceRule
+	pending  [][]Event // per sequence rule, pending first events
+	now      uint64
+	firings  map[string]uint64
+	maxQueue int
+}
+
+// NewCEP returns an empty engine. maxQueue bounds pending first-events per
+// sequence rule (oldest dropped first), protecting memory against
+// pathological streams.
+func NewCEP(maxQueue int) (*CEP, error) {
+	if maxQueue <= 0 {
+		return nil, core.Errf("CEP", "maxQueue", "%d must be positive", maxQueue)
+	}
+	return &CEP{firings: make(map[string]uint64), maxQueue: maxQueue}, nil
+}
+
+// AddRule registers a simple condition/action rule.
+func (c *CEP) AddRule(r Rule) { c.rules = append(c.rules, r) }
+
+// AddSequence registers a followed-by rule.
+func (c *CEP) AddSequence(r SequenceRule) {
+	c.seqs = append(c.seqs, r)
+	c.pending = append(c.pending, nil)
+}
+
+// Submit feeds one event into the engine.
+func (c *CEP) Submit(e Event) {
+	c.now++
+	e.Tick = c.now
+	for _, r := range c.rules {
+		if r.Condition(e) {
+			c.firings[r.Name]++
+			if r.Action != nil {
+				r.Action(e)
+			}
+		}
+	}
+	for i := range c.seqs {
+		sr := &c.seqs[i]
+		// Expire stale pending firsts.
+		pend := c.pending[i][:0]
+		for _, f := range c.pending[i] {
+			if f.Tick+sr.Window >= c.now {
+				pend = append(pend, f)
+			}
+		}
+		c.pending[i] = pend
+		if sr.Then(e) && len(c.pending[i]) > 0 {
+			first := c.pending[i][0]
+			c.pending[i] = c.pending[i][1:]
+			c.firings[sr.Name]++
+			if sr.Action != nil {
+				sr.Action(first, e)
+			}
+		}
+		if sr.First(e) {
+			c.pending[i] = append(c.pending[i], e)
+			if len(c.pending[i]) > c.maxQueue {
+				c.pending[i] = c.pending[i][1:]
+			}
+		}
+	}
+}
+
+// Firings returns how many times the named rule has fired.
+func (c *CEP) Firings(name string) uint64 { return c.firings[name] }
+
+// EmergingScorer tracks per-key frequency in a current window against a
+// reference window and scores keys by their growth ratio — the "mining
+// emerging patterns" problem of the survey's Yu et al./Alavi–Hashemi
+// citations, in its streaming form (what is suddenly trending?).
+type EmergingScorer struct {
+	windowSize int
+	ref        map[string]float64
+	cur        map[string]uint64
+	seen       int
+}
+
+// NewEmergingScorer returns a scorer that flips windows every windowSize
+// events.
+func NewEmergingScorer(windowSize int) (*EmergingScorer, error) {
+	if windowSize <= 0 {
+		return nil, core.Errf("EmergingScorer", "windowSize", "%d must be positive", windowSize)
+	}
+	return &EmergingScorer{
+		windowSize: windowSize,
+		ref:        make(map[string]float64),
+		cur:        make(map[string]uint64),
+	}, nil
+}
+
+// Update feeds one keyed event.
+func (e *EmergingScorer) Update(key string) {
+	e.cur[key]++
+	e.seen++
+	if e.seen >= e.windowSize {
+		e.flip()
+	}
+}
+
+func (e *EmergingScorer) flip() {
+	nref := make(map[string]float64, len(e.cur))
+	for k, v := range e.cur {
+		nref[k] = float64(v)
+	}
+	e.ref = nref
+	e.cur = make(map[string]uint64)
+	e.seen = 0
+}
+
+// GrowthRate returns the emerging-pattern score of key: current-window
+// frequency over reference-window frequency (Laplace-smoothed so unseen
+// reference keys still score finitely high).
+func (e *EmergingScorer) GrowthRate(key string) float64 {
+	curF := float64(e.cur[key])
+	refF := e.ref[key]
+	return (curF + 1) / (refF + 1)
+}

@@ -1,0 +1,205 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSAXValidation(t *testing.T) {
+	if _, err := NewSAX(1, 4, 100); err == nil {
+		t.Fatal("alphabet=1 accepted")
+	}
+	if _, err := NewSAX(9, 4, 100); err == nil {
+		t.Fatal("alphabet=9 accepted")
+	}
+	if _, err := NewSAX(4, 0, 100); err == nil {
+		t.Fatal("frame=0 accepted")
+	}
+}
+
+func TestSAXSymbolsTrackLevel(t *testing.T) {
+	s, _ := NewSAX(4, 5, 200)
+	rng := workload.NewRNG(1)
+	var lowSyms, highSyms []byte
+	// Feed a two-level square wave; low plateaus must map to low letters
+	// and high plateaus to high letters.
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 100; i++ {
+			if sym, ok := s.Update(-5 + rng.NormFloat64()*0.2); ok && rep > 2 {
+				lowSyms = append(lowSyms, sym)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if sym, ok := s.Update(5 + rng.NormFloat64()*0.2); ok && rep > 2 {
+				highSyms = append(highSyms, sym)
+			}
+		}
+	}
+	meanSym := func(syms []byte) float64 {
+		total := 0.0
+		for _, b := range syms {
+			total += float64(b - 'a')
+		}
+		return total / float64(len(syms))
+	}
+	if len(lowSyms) == 0 || len(highSyms) == 0 {
+		t.Fatal("no symbols emitted")
+	}
+	if meanSym(lowSyms) >= meanSym(highSyms) {
+		t.Fatalf("symbol ordering broken: low %.2f high %.2f", meanSym(lowSyms), meanSym(highSyms))
+	}
+}
+
+func TestSAXFrameCadence(t *testing.T) {
+	s, _ := NewSAX(4, 8, 64)
+	emitted := 0
+	for i := 0; i < 80; i++ {
+		if _, ok := s.Update(float64(i)); ok {
+			emitted++
+		}
+	}
+	if emitted != 10 {
+		t.Fatalf("emitted %d symbols from 80 samples at frame 8", emitted)
+	}
+}
+
+func TestShapeDetector(t *testing.T) {
+	d, err := NewShapeDetector("abba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := "cabbabbaxabba"
+	hits := 0
+	for i := 0; i < len(stream); i++ {
+		if d.Update(stream[i]) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("hits %d, want 3 (overlapping included)", hits)
+	}
+	if d.Hits() != 3 {
+		t.Fatalf("Hits() %d", d.Hits())
+	}
+}
+
+func TestShapeDetectorWildcard(t *testing.T) {
+	d, _ := NewShapeDetector("a.c")
+	hits := 0
+	for _, b := range []byte("abcaxcazc") {
+		if d.Update(b) {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("wildcard hits %d, want 3", hits)
+	}
+}
+
+func TestCEPSimpleRule(t *testing.T) {
+	c, err := NewCEP(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastVal float64
+	c.AddRule(Rule{
+		Name:      "high-temp",
+		Condition: func(e Event) bool { return e.Type == "temp" && e.Value > 90 },
+		Action:    func(e Event) { lastVal = e.Value },
+	})
+	c.Submit(Event{Type: "temp", Value: 50})
+	c.Submit(Event{Type: "temp", Value: 95})
+	c.Submit(Event{Type: "pressure", Value: 99})
+	if c.Firings("high-temp") != 1 {
+		t.Fatalf("firings %d", c.Firings("high-temp"))
+	}
+	if lastVal != 95 {
+		t.Fatalf("action saw %v", lastVal)
+	}
+}
+
+func TestCEPSequenceWithinWindow(t *testing.T) {
+	c, _ := NewCEP(100)
+	var pairs int
+	c.AddSequence(SequenceRule{
+		Name:   "login-then-wire",
+		First:  func(e Event) bool { return e.Type == "login" },
+		Then:   func(e Event) bool { return e.Type == "wire" && e.Value > 10000 },
+		Window: 5,
+		Action: func(first, then Event) { pairs++ },
+	})
+	c.Submit(Event{Type: "login"})
+	c.Submit(Event{Type: "noise"})
+	c.Submit(Event{Type: "wire", Value: 50000}) // within window -> fires
+	c.Submit(Event{Type: "login"})
+	for i := 0; i < 6; i++ {
+		c.Submit(Event{Type: "noise"})
+	}
+	c.Submit(Event{Type: "wire", Value: 50000}) // first expired -> no fire
+	if pairs != 1 {
+		t.Fatalf("sequence fired %d times, want 1", pairs)
+	}
+	if c.Firings("login-then-wire") != 1 {
+		t.Fatalf("firings %d", c.Firings("login-then-wire"))
+	}
+}
+
+func TestCEPQueueBounded(t *testing.T) {
+	c, _ := NewCEP(3)
+	c.AddSequence(SequenceRule{
+		Name:   "seq",
+		First:  func(e Event) bool { return e.Type == "a" },
+		Then:   func(e Event) bool { return e.Type == "b" },
+		Window: 1000,
+	})
+	for i := 0; i < 100; i++ {
+		c.Submit(Event{Type: "a"})
+	}
+	if got := len(c.pending[0]); got > 3 {
+		t.Fatalf("pending queue grew to %d", got)
+	}
+}
+
+func TestEmergingScorer(t *testing.T) {
+	e, err := NewEmergingScorer(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference window: steady mix of "old".
+	for i := 0; i < 100; i++ {
+		e.Update("old")
+	}
+	// Current window: "new" bursts in.
+	for i := 0; i < 50; i++ {
+		e.Update("new")
+	}
+	if gOld, gNew := e.GrowthRate("old"), e.GrowthRate("new"); gNew <= gOld {
+		t.Fatalf("emerging key not scored higher: new %v old %v", gNew, gOld)
+	}
+	if g := e.GrowthRate("new"); math.Abs(g-51) > 1e-9 {
+		t.Fatalf("growth rate %v, want 51", g)
+	}
+}
+
+func BenchmarkSAXUpdate(b *testing.B) {
+	s, _ := NewSAX(6, 8, 256)
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i % 100))
+	}
+}
+
+func BenchmarkCEPSubmit(b *testing.B) {
+	c, _ := NewCEP(64)
+	c.AddRule(Rule{Name: "r", Condition: func(e Event) bool { return e.Value > 0.9 }})
+	c.AddSequence(SequenceRule{
+		Name:   "s",
+		First:  func(e Event) bool { return e.Value > 0.8 },
+		Then:   func(e Event) bool { return e.Value < 0.1 },
+		Window: 100,
+	})
+	for i := 0; i < b.N; i++ {
+		c.Submit(Event{Type: "x", Value: float64(i%100) / 100})
+	}
+}

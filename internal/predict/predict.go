@@ -1,0 +1,204 @@
+// Package predict implements the "Data Prediction" row of the tutorial's
+// Table 1 — predicting/imputing missing values in sensor streams — with
+// the methods its citations span: the Kalman filter (Kalman 1960;
+// Vijayakumar–Plale use exactly this for missing sensor events), Holt's
+// double exponential smoothing (the adaptive forecasting family of
+// Wang et al.), and an online AR(1) model fit by recursive least squares
+// (Rodrigues–Gama online prediction).
+//
+// All predictors implement Predictor so the T1.13 imputation experiment
+// scores them uniformly: at each tick they forecast the next value before
+// seeing it.
+package predict
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Predictor forecasts the next observation of a scalar stream.
+type Predictor interface {
+	// Predict returns the forecast for the next observation.
+	Predict() float64
+	// Observe feeds the actual next observation.
+	Observe(v float64)
+}
+
+// Kalman is a 1-D constant-velocity Kalman filter: state (level, trend)
+// with position observations. Process noise q and measurement noise r
+// control the smoothing/agility trade-off.
+type Kalman struct {
+	level, trend float64
+	// covariance matrix [p11 p12; p12 p22]
+	p11, p12, p22 float64
+	q, r          float64
+	n             uint64
+}
+
+// NewKalman returns a constant-velocity Kalman filter with process noise q
+// and measurement noise r.
+func NewKalman(q, r float64) (*Kalman, error) {
+	if q <= 0 || r <= 0 {
+		return nil, core.Errf("Kalman", "noise", "q %v and r %v must be positive", q, r)
+	}
+	return &Kalman{q: q, r: r, p11: 1, p22: 1}, nil
+}
+
+// Predict returns the one-step-ahead state forecast.
+func (k *Kalman) Predict() float64 { return k.level + k.trend }
+
+// Observe performs the time update followed by the measurement update.
+func (k *Kalman) Observe(v float64) {
+	k.n++
+	if k.n == 1 {
+		k.level = v
+		return
+	}
+	// Time update: x = F x, P = F P F' + Q with F = [1 1; 0 1].
+	k.level += k.trend
+	p11 := k.p11 + 2*k.p12 + k.p22 + k.q
+	p12 := k.p12 + k.p22
+	p22 := k.p22 + k.q
+	// Measurement update with H = [1 0].
+	s := p11 + k.r
+	g1 := p11 / s
+	g2 := p12 / s
+	innov := v - k.level
+	k.level += g1 * innov
+	k.trend += g2 * innov
+	k.p11 = (1 - g1) * p11
+	k.p12 = (1 - g1) * p12
+	k.p22 = p22 - g2*p12
+}
+
+// State returns the current (level, trend) estimate.
+func (k *Kalman) State() (level, trend float64) { return k.level, k.trend }
+
+// Holt is double exponential smoothing: level and trend with smoothing
+// factors alpha and beta.
+type Holt struct {
+	alpha, beta  float64
+	level, trend float64
+	n            uint64
+}
+
+// NewHolt returns a Holt forecaster with level smoothing alpha and trend
+// smoothing beta, each in (0,1].
+func NewHolt(alpha, beta float64) (*Holt, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, core.Errf("Holt", "alpha", "%v not in (0,1]", alpha)
+	}
+	if beta <= 0 || beta > 1 {
+		return nil, core.Errf("Holt", "beta", "%v not in (0,1]", beta)
+	}
+	return &Holt{alpha: alpha, beta: beta}, nil
+}
+
+// Predict returns level + trend.
+func (h *Holt) Predict() float64 { return h.level + h.trend }
+
+// Observe updates level and trend.
+func (h *Holt) Observe(v float64) {
+	h.n++
+	if h.n == 1 {
+		h.level = v
+		return
+	}
+	prevLevel := h.level
+	h.level = h.alpha*v + (1-h.alpha)*(h.level+h.trend)
+	h.trend = h.beta*(h.level-prevLevel) + (1-h.beta)*h.trend
+}
+
+// AR1 fits x_t = c + phi*x_{t-1} online by exponentially forgetting
+// recursive least squares, then forecasts with the fitted coefficients.
+type AR1 struct {
+	lambda     float64 // forgetting factor
+	c, phi     float64
+	last       float64
+	haveLast   bool
+	sxx, sx, s float64 // weighted sums for the normal equations
+	sxy, sy    float64
+}
+
+// NewAR1 returns an online AR(1) model with forgetting factor lambda in
+// (0, 1]; lambda = 1 means no forgetting.
+func NewAR1(lambda float64) (*AR1, error) {
+	if lambda <= 0 || lambda > 1 {
+		return nil, core.Errf("AR1", "lambda", "%v not in (0,1]", lambda)
+	}
+	return &AR1{lambda: lambda}, nil
+}
+
+// Predict forecasts c + phi*last (or last itself before the fit warms up).
+func (a *AR1) Predict() float64 {
+	if !a.haveLast {
+		return 0
+	}
+	if a.s < 3 {
+		return a.last
+	}
+	return a.c + a.phi*a.last
+}
+
+// Observe feeds the next value and refreshes the weighted least-squares
+// fit of (prev -> v) pairs.
+func (a *AR1) Observe(v float64) {
+	if a.haveLast {
+		x, y := a.last, v
+		a.s = a.lambda*a.s + 1
+		a.sx = a.lambda*a.sx + x
+		a.sy = a.lambda*a.sy + y
+		a.sxx = a.lambda*a.sxx + x*x
+		a.sxy = a.lambda*a.sxy + x*y
+		den := a.s*a.sxx - a.sx*a.sx
+		if math.Abs(den) > 1e-12 {
+			a.phi = (a.s*a.sxy - a.sx*a.sy) / den
+			a.c = (a.sy - a.phi*a.sx) / a.s
+		}
+	}
+	a.last = v
+	a.haveLast = true
+}
+
+// LastValue is the naive persistence baseline: predict the previous
+// observation. Every forecasting study needs it to keep the fancy models
+// honest.
+type LastValue struct {
+	last float64
+	n    uint64
+}
+
+// NewLastValue returns the persistence forecaster.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Predict returns the previous observation.
+func (l *LastValue) Predict() float64 { return l.last }
+
+// Observe records the observation.
+func (l *LastValue) Observe(v float64) { l.last = v; l.n++ }
+
+// ImputeRMSE runs a predictor over a series with missing entries (NaNs):
+// at a missing index the predictor's forecast is used (and fed back as the
+// observation); elsewhere the true value is fed. Returns the RMSE of the
+// imputed values against truth — the T1.13 metric.
+func ImputeRMSE(p Predictor, truth, masked []float64) float64 {
+	var sumSq float64
+	var count int
+	for i := range masked {
+		forecast := p.Predict()
+		v := masked[i]
+		if math.IsNaN(v) {
+			d := forecast - truth[i]
+			sumSq += d * d
+			count++
+			p.Observe(forecast)
+		} else {
+			p.Observe(v)
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Sqrt(sumSq / float64(count))
+}

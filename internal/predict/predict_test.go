@@ -1,0 +1,144 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestKalmanValidation(t *testing.T) {
+	if _, err := NewKalman(0, 1); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	if _, err := NewKalman(1, 0); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+}
+
+func TestKalmanTracksLinearTrend(t *testing.T) {
+	k, _ := NewKalman(0.01, 1)
+	rng := workload.NewRNG(1)
+	// x_t = 3t + noise: after convergence the one-step forecast error
+	// should be dominated by the noise, and the trend estimate near 3.
+	var err2 float64
+	n := 0
+	for i := 0; i < 2000; i++ {
+		v := 3*float64(i) + rng.NormFloat64()
+		if i > 500 {
+			d := k.Predict() - v
+			err2 += d * d
+			n++
+		}
+		k.Observe(v)
+	}
+	rmse := math.Sqrt(err2 / float64(n))
+	if rmse > 2.5 {
+		t.Fatalf("Kalman RMSE %v on linear trend", rmse)
+	}
+	if _, trend := k.State(); math.Abs(trend-3) > 0.3 {
+		t.Fatalf("trend estimate %v, want ~3", trend)
+	}
+}
+
+func TestHoltValidation(t *testing.T) {
+	if _, err := NewHolt(0, 0.5); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := NewHolt(0.5, 2); err == nil {
+		t.Fatal("beta=2 accepted")
+	}
+}
+
+func TestHoltTracksTrend(t *testing.T) {
+	h, _ := NewHolt(0.5, 0.3)
+	for i := 0; i < 500; i++ {
+		h.Observe(2 * float64(i))
+	}
+	if p := h.Predict(); math.Abs(p-1000) > 10 {
+		t.Fatalf("Holt forecast %v, want ~1000", p)
+	}
+}
+
+func TestAR1RecoversCoefficients(t *testing.T) {
+	a, _ := NewAR1(1.0)
+	rng := workload.NewRNG(2)
+	// x_t = 5 + 0.8 x_{t-1} + eps
+	x := 25.0 // stationary mean
+	for i := 0; i < 5000; i++ {
+		x = 5 + 0.8*x + rng.NormFloat64()*0.5
+		a.Observe(x)
+	}
+	if math.Abs(a.phi-0.8) > 0.05 {
+		t.Fatalf("phi %v, want ~0.8", a.phi)
+	}
+	if math.Abs(a.c-5) > 1.5 {
+		t.Fatalf("c %v, want ~5", a.c)
+	}
+}
+
+func TestAR1ForgettingAdapts(t *testing.T) {
+	forget, _ := NewAR1(0.99)
+	stubborn, _ := NewAR1(1.0)
+	rng := workload.NewRNG(3)
+	feed := func(a *AR1, phi float64, n int, x *float64) {
+		for i := 0; i < n; i++ {
+			*x = phi**x + rng.NormFloat64()*0.1
+			a.Observe(*x)
+		}
+	}
+	x1, x2 := 1.0, 1.0
+	feed(forget, 0.2, 3000, &x1)
+	feed(stubborn, 0.2, 3000, &x2)
+	// Regime change to phi = 0.9.
+	feed(forget, 0.9, 3000, &x1)
+	feed(stubborn, 0.9, 3000, &x2)
+	if math.Abs(forget.phi-0.9) > math.Abs(stubborn.phi-0.9) {
+		t.Fatalf("forgetting (%v) did not adapt better than lambda=1 (%v)", forget.phi, stubborn.phi)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	l := NewLastValue()
+	l.Observe(7)
+	if l.Predict() != 7 {
+		t.Fatalf("persistence forecast %v", l.Predict())
+	}
+}
+
+func TestImputeRMSEOrdering(t *testing.T) {
+	// On a smooth trending series with missing chunks, Kalman and Holt
+	// must beat the persistence baseline — the T1.13 qualitative shape.
+	spec := workload.SeriesSpec{N: 4000, Base: 10, Trend: 0.05, SeasonAmp: 3, SeasonLen: 200, NoiseSD: 0.3}
+	s := spec.Generate(workload.NewRNG(4), nil)
+	masked, missing := workload.WithMissing(workload.NewRNG(5), s.Values, 0.1)
+	if len(missing) == 0 {
+		t.Fatal("no values masked")
+	}
+	k, _ := NewKalman(0.01, 1)
+	h, _ := NewHolt(0.5, 0.1)
+	lv := NewLastValue()
+	kal := ImputeRMSE(k, s.Values, masked)
+	holt := ImputeRMSE(h, s.Values, masked)
+	last := ImputeRMSE(lv, s.Values, masked)
+	if kal >= last {
+		t.Fatalf("Kalman RMSE %v not below last-value %v", kal, last)
+	}
+	if holt >= last {
+		t.Fatalf("Holt RMSE %v not below last-value %v", holt, last)
+	}
+}
+
+func TestImputeRMSENoMissing(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if r := ImputeRMSE(NewLastValue(), vals, vals); r != 0 {
+		t.Fatalf("RMSE %v with nothing missing", r)
+	}
+}
+
+func BenchmarkKalmanObserve(b *testing.B) {
+	k, _ := NewKalman(0.01, 1)
+	for i := 0; i < b.N; i++ {
+		k.Observe(float64(i % 1000))
+	}
+}

@@ -1,0 +1,184 @@
+package quantile
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CKMS is the biased-quantiles summary of Cormode, Korn, Muthukrishnan and
+// Srivastava (the survey cites the Zhang–Wang refinement of the same
+// problem): like Greenwald–Khanna, but the permitted rank uncertainty is a
+// *targeted* function — tight around the quantiles the caller declares
+// interesting (e.g. p50/p99/p999 latency objectives) and loose elsewhere,
+// so tail quantiles cost far less space than a uniform-eps summary of
+// equal tail accuracy.
+type CKMS struct {
+	targets []Target
+	n       uint64
+	samples []ckmsSample
+	buf     []float64
+}
+
+// Target declares one quantile of interest and its allowed rank error.
+type Target struct {
+	Phi float64 // quantile in (0,1)
+	Eps float64 // allowed rank error at Phi
+}
+
+type ckmsSample struct {
+	v     float64
+	g     uint64
+	delta uint64
+}
+
+// NewCKMS returns a targeted-quantile summary for the given targets.
+func NewCKMS(targets []Target) (*CKMS, error) {
+	if len(targets) == 0 {
+		return nil, core.Errf("CKMS", "targets", "must declare at least one target")
+	}
+	for _, t := range targets {
+		if t.Phi <= 0 || t.Phi >= 1 {
+			return nil, core.Errf("CKMS", "targets", "phi %v not in (0,1)", t.Phi)
+		}
+		if t.Eps <= 0 || t.Eps >= 1 {
+			return nil, core.Errf("CKMS", "targets", "eps %v not in (0,1)", t.Eps)
+		}
+	}
+	return &CKMS{targets: append([]Target(nil), targets...)}, nil
+}
+
+// invariant returns the permitted uncertainty f(r, n) at rank r.
+func (c *CKMS) invariant(rank float64) float64 {
+	minErr := float64(c.n) // effectively +inf
+	n := float64(c.n)
+	for _, t := range c.targets {
+		var e float64
+		if rank <= t.Phi*n {
+			e = 2 * t.Eps * (n - rank) / (1 - t.Phi)
+		} else {
+			e = 2 * t.Eps * rank / t.Phi
+		}
+		if e < minErr {
+			minErr = e
+		}
+	}
+	if minErr < 1 {
+		minErr = 1
+	}
+	return minErr
+}
+
+const ckmsBufCap = 512
+
+// Update inserts one value (buffered; flushed on query or every 512).
+func (c *CKMS) Update(v float64) {
+	c.buf = append(c.buf, v)
+	if len(c.buf) >= ckmsBufCap {
+		c.flush()
+	}
+}
+
+func (c *CKMS) flush() {
+	if len(c.buf) == 0 {
+		return
+	}
+	sort.Float64s(c.buf)
+	out := make([]ckmsSample, 0, len(c.samples)+len(c.buf))
+	bi := 0
+	var rank uint64
+	for _, s := range c.samples {
+		for bi < len(c.buf) && c.buf[bi] <= s.v {
+			c.n++
+			var delta uint64
+			if rank > 0 && len(out) > 0 {
+				delta = uint64(c.invariant(float64(rank))) - 1
+			}
+			out = append(out, ckmsSample{v: c.buf[bi], g: 1, delta: delta})
+			rank++
+			bi++
+		}
+		out = append(out, s)
+		rank += s.g
+	}
+	for bi < len(c.buf) {
+		c.n++
+		out = append(out, ckmsSample{v: c.buf[bi], g: 1, delta: 0})
+		bi++
+	}
+	c.samples = out
+	c.buf = c.buf[:0]
+	c.compress()
+}
+
+func (c *CKMS) compress() {
+	if len(c.samples) < 3 {
+		return
+	}
+	// Scan right-to-left, absorbing each tuple into its right neighbour
+	// when the combined uncertainty fits the invariant at that rank
+	// (Cormode et al.'s COMPRESS). The first tuple is never absorbed so
+	// the minimum stays exact.
+	var rank uint64
+	for _, s := range c.samples {
+		rank += s.g
+	}
+	rev := make([]ckmsSample, 0, len(c.samples))
+	x := c.samples[len(c.samples)-1]
+	rank -= x.g // rank of the tuple preceding x
+	for i := len(c.samples) - 2; i >= 1; i-- {
+		cur := c.samples[i]
+		if float64(cur.g+x.g+x.delta) <= c.invariant(float64(rank)) {
+			x.g += cur.g
+		} else {
+			rev = append(rev, x)
+			x = cur
+		}
+		rank -= cur.g
+	}
+	rev = append(rev, x)
+	rev = append(rev, c.samples[0])
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	c.samples = rev
+}
+
+// Query returns the estimated phi-quantile.
+func (c *CKMS) Query(phi float64) float64 {
+	c.flush()
+	if len(c.samples) == 0 {
+		return 0
+	}
+	if phi <= 0 {
+		return c.samples[0].v
+	}
+	if phi >= 1 {
+		return c.samples[len(c.samples)-1].v
+	}
+	target := phi * float64(c.n)
+	bound := c.invariant(target) / 2
+	var rank uint64
+	for i := 0; i < len(c.samples)-1; i++ {
+		rank += c.samples[i].g
+		next := c.samples[i+1]
+		if float64(rank+next.g)+float64(next.delta) > target+bound {
+			return c.samples[i].v
+		}
+	}
+	return c.samples[len(c.samples)-1].v
+}
+
+// Count returns the number of values inserted.
+func (c *CKMS) Count() uint64 {
+	return c.n + uint64(len(c.buf))
+}
+
+// Samples returns the number of retained samples (space metric).
+func (c *CKMS) Samples() int {
+	c.flush()
+	return len(c.samples)
+}
+
+// Bytes approximates the footprint.
+func (c *CKMS) Bytes() int { return len(c.samples)*24 + len(c.buf)*8 + 48 }

@@ -1,0 +1,123 @@
+package quantile
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Frugal1U is the one-word frugal quantile estimator of Ma, Muthukrishnan
+// and Sandler ("Frugal streaming for estimating quantiles", cited by the
+// survey): it keeps a single value and moves it up with probability phi and
+// down with probability 1-phi on each observation. It converges to the
+// phi-quantile of a stationary stream using one unit of memory — the
+// extreme end of the space/accuracy trade-off curve in experiment T1.5.
+type Frugal1U struct {
+	phi float64
+	est float64
+	n   uint64
+	rng *workload.RNG
+}
+
+// NewFrugal1U returns a one-word estimator for the phi-quantile.
+func NewFrugal1U(phi float64, seed uint64) (*Frugal1U, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, core.Errf("Frugal1U", "phi", "%v not in (0,1)", phi)
+	}
+	return &Frugal1U{phi: phi, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update observes one value.
+func (f *Frugal1U) Update(v float64) {
+	f.n++
+	if f.n == 1 {
+		f.est = v
+		return
+	}
+	r := f.rng.Float64()
+	switch {
+	case v > f.est && r < f.phi:
+		f.est++
+	case v < f.est && r < 1-f.phi:
+		f.est--
+	}
+}
+
+// Query returns the current estimate (phi is fixed at construction).
+func (f *Frugal1U) Query() float64 { return f.est }
+
+// Count returns the number of observations.
+func (f *Frugal1U) Count() uint64 { return f.n }
+
+// Bytes returns the single-word footprint.
+func (f *Frugal1U) Bytes() int { return 8 }
+
+// Frugal2U is the two-word variant: it adapts its step size, growing while
+// consecutive moves share a direction and shrinking on direction changes,
+// which converges far faster on streams whose scale is far from 1 while
+// still using O(1) memory.
+type Frugal2U struct {
+	phi  float64
+	est  float64
+	step float64
+	sign int
+	n    uint64
+	rng  *workload.RNG
+}
+
+// NewFrugal2U returns a two-word adaptive estimator for the phi-quantile.
+func NewFrugal2U(phi float64, seed uint64) (*Frugal2U, error) {
+	if phi <= 0 || phi >= 1 {
+		return nil, core.Errf("Frugal2U", "phi", "%v not in (0,1)", phi)
+	}
+	return &Frugal2U{phi: phi, step: 1, sign: 1, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update observes one value.
+func (f *Frugal2U) Update(v float64) {
+	f.n++
+	if f.n == 1 {
+		f.est = v
+		return
+	}
+	r := f.rng.Float64()
+	if v > f.est && r < f.phi {
+		if f.sign > 0 {
+			f.step += 1
+		} else {
+			f.step /= 2
+			if f.step < 1 {
+				f.step = 1
+			}
+		}
+		move := f.step
+		if move > v-f.est {
+			move = v - f.est
+		}
+		f.est += move
+		f.sign = 1
+	} else if v < f.est && r < 1-f.phi {
+		if f.sign < 0 {
+			f.step += 1
+		} else {
+			f.step /= 2
+			if f.step < 1 {
+				f.step = 1
+			}
+		}
+		move := f.step
+		if move > f.est-v {
+			move = f.est - v
+		}
+		f.est -= move
+		f.sign = -1
+	}
+}
+
+// Query returns the current estimate.
+func (f *Frugal2U) Query() float64 { return f.est }
+
+// Count returns the number of observations.
+func (f *Frugal2U) Count() uint64 { return f.n }
+
+// Bytes returns the two-word footprint.
+func (f *Frugal2U) Bytes() int { return 16 }

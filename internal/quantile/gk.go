@@ -1,0 +1,193 @@
+// Package quantile implements the streaming quantile summaries from the
+// tutorial's "Estimating Quantiles" row of Table 1: the Greenwald–Khanna
+// summary (deterministic eps-approximate ranks), the q-digest (Shrivastava
+// et al., mergeable, for fixed integer domains), the biased-quantile CKMS
+// variant (fine accuracy in the tails), and the frugal estimators of
+// Ma–Muthukrishnan–Sandler (one or two words of memory), with an exact
+// baseline for experiments.
+package quantile
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// GK is the Greenwald–Khanna eps-approximate quantile summary. After n
+// updates, Query(phi) returns a value whose rank differs from phi*n by at
+// most eps*n, using O((1/eps) log(eps n)) tuples.
+type GK struct {
+	eps   float64
+	n     uint64
+	tuple []gkTuple
+	// compress every 1/(2 eps) inserts, per the paper
+	sinceCompress int
+}
+
+type gkTuple struct {
+	v     float64
+	g     uint64 // rankMin(v_i) - rankMin(v_{i-1})
+	delta uint64 // rankMax(v_i) - rankMin(v_i)
+}
+
+// NewGK returns a Greenwald–Khanna summary with rank error eps.
+func NewGK(eps float64) (*GK, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("GK", "eps", "%v not in (0,1)", eps)
+	}
+	return &GK{eps: eps}, nil
+}
+
+// Update inserts one value.
+func (g *GK) Update(v float64) {
+	g.n++
+	// Find insertion point (first tuple with value >= v).
+	idx := sort.Search(len(g.tuple), func(i int) bool { return g.tuple[i].v >= v })
+	var delta uint64
+	if idx != 0 && idx != len(g.tuple) {
+		delta = uint64(2 * g.eps * float64(g.n))
+		if delta > 0 {
+			delta--
+		}
+	}
+	nt := gkTuple{v: v, g: 1, delta: delta}
+	g.tuple = append(g.tuple, gkTuple{})
+	copy(g.tuple[idx+1:], g.tuple[idx:])
+	g.tuple[idx] = nt
+
+	g.sinceCompress++
+	if float64(g.sinceCompress) >= 1/(2*g.eps) {
+		g.compress()
+		g.sinceCompress = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined uncertainty stays within
+// the 2*eps*n band.
+func (g *GK) compress() {
+	if len(g.tuple) < 3 {
+		return
+	}
+	bound := uint64(2 * g.eps * float64(g.n))
+	out := g.tuple[:0]
+	out = append(out, g.tuple[0])
+	for i := 1; i < len(g.tuple); i++ {
+		cur := g.tuple[i]
+		last := &out[len(out)-1]
+		// Merge last into cur when allowed (never merge the final tuple
+		// away; it anchors the maximum).
+		if len(out) > 1 && i < len(g.tuple) && last.g+cur.g+cur.delta <= bound {
+			cur.g += last.g
+			out[len(out)-1] = cur
+		} else {
+			out = append(out, cur)
+		}
+	}
+	g.tuple = out
+}
+
+// Query returns a value whose rank is within eps*n of phi*n. phi is clamped
+// to [0,1]. Querying an empty summary returns 0.
+func (g *GK) Query(phi float64) float64 {
+	if len(g.tuple) == 0 {
+		return 0
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * float64(g.n)
+	bound := g.eps * float64(g.n)
+	var rMin uint64
+	for i, t := range g.tuple {
+		rMin += t.g
+		rMax := float64(rMin + t.delta)
+		if float64(rMin) >= target-bound && rMax <= target+bound {
+			return t.v
+		}
+		if i == len(g.tuple)-1 {
+			break
+		}
+	}
+	// Fallback: the closest tuple by minimum rank.
+	rMin = 0
+	best := g.tuple[0].v
+	bestDist := target
+	for _, t := range g.tuple {
+		rMin += t.g
+		d := float64(rMin) - target
+		if d < 0 {
+			d = -d
+		}
+		if d <= bestDist {
+			bestDist = d
+			best = t.v
+		}
+	}
+	return best
+}
+
+// Count returns the number of values inserted.
+func (g *GK) Count() uint64 { return g.n }
+
+// Tuples returns the current summary size (the space bound experiments
+// track).
+func (g *GK) Tuples() int { return len(g.tuple) }
+
+// Bytes approximates the summary footprint.
+func (g *GK) Bytes() int { return len(g.tuple)*24 + 32 }
+
+// Exact is the exact-quantile baseline: it retains every value. Used as
+// ground truth and as the memory yardstick sketches are compared against.
+type Exact struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewExact returns an empty exact quantile accumulator.
+func NewExact() *Exact { return &Exact{} }
+
+// Update inserts one value.
+func (e *Exact) Update(v float64) {
+	e.vals = append(e.vals, v)
+	e.sorted = false
+}
+
+// Query returns the exact phi-quantile (nearest-rank definition).
+func (e *Exact) Query(phi float64) float64 {
+	if len(e.vals) == 0 {
+		return 0
+	}
+	if !e.sorted {
+		sort.Float64s(e.vals)
+		e.sorted = true
+	}
+	if phi <= 0 {
+		return e.vals[0]
+	}
+	if phi >= 1 {
+		return e.vals[len(e.vals)-1]
+	}
+	idx := int(phi * float64(len(e.vals)))
+	if idx >= len(e.vals) {
+		idx = len(e.vals) - 1
+	}
+	return e.vals[idx]
+}
+
+// Rank returns the exact rank of v (number of values <= v).
+func (e *Exact) Rank(v float64) int {
+	if !e.sorted {
+		sort.Float64s(e.vals)
+		e.sorted = true
+	}
+	return sort.SearchFloat64s(e.vals, v+1e-12)
+}
+
+// Count returns the number of values inserted.
+func (e *Exact) Count() uint64 { return uint64(len(e.vals)) }
+
+// Bytes returns the full retained footprint.
+func (e *Exact) Bytes() int { return len(e.vals) * 8 }

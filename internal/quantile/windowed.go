@@ -1,0 +1,143 @@
+package quantile
+
+import (
+	"repro/internal/core"
+)
+
+// Windowed answers quantile queries over the last W stream values with
+// bounded memory, in the Arasu–Manku style the survey cites ("approximate
+// counts and quantiles over sliding windows"): the window is split into
+// ceil(W/block) blocks; arriving values feed the newest block's GK
+// summary; full blocks are frozen and expired wholesale as the window
+// slides. A query merges the live blocks' summaries.
+//
+// Rank error is eps (per-block GK) plus up to one block of boundary slack,
+// so callers pick block size ~ eps*W to balance the two terms.
+type Windowed struct {
+	eps      float64
+	window   int
+	block    int
+	blocks   []*GK // oldest first; last is the open block
+	inOpen   int
+	total    uint64
+	queryBuf []blockSample
+}
+
+type blockSample struct {
+	v float64
+	g float64
+}
+
+// NewWindowed returns a sliding-window quantile summary over the last
+// window values with per-block rank error eps.
+func NewWindowed(window int, eps float64) (*Windowed, error) {
+	if window < 4 {
+		return nil, core.Errf("quantile.Windowed", "window", "%d must be >= 4", window)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("quantile.Windowed", "eps", "%v not in (0,1)", eps)
+	}
+	block := int(float64(window) * eps)
+	if block < 1 {
+		block = 1
+	}
+	w := &Windowed{eps: eps, window: window, block: block}
+	g, _ := NewGK(eps)
+	w.blocks = append(w.blocks, g)
+	return w, nil
+}
+
+// Update inserts one value, expiring blocks that slid out of the window.
+func (w *Windowed) Update(v float64) {
+	w.total++
+	open := w.blocks[len(w.blocks)-1]
+	open.Update(v)
+	w.inOpen++
+	if w.inOpen >= w.block {
+		g, _ := NewGK(w.eps)
+		w.blocks = append(w.blocks, g)
+		w.inOpen = 0
+	}
+	// Keep enough blocks to cover the window: the open block plus
+	// ceil(window/block) frozen ones.
+	maxBlocks := w.window/w.block + 2
+	if len(w.blocks) > maxBlocks {
+		w.blocks = w.blocks[len(w.blocks)-maxBlocks:]
+	}
+}
+
+// Query returns the approximate phi-quantile of (roughly) the last
+// `window` values. It merges the live blocks by weight-proportional
+// sampling of their quantile curves.
+func (w *Windowed) Query(phi float64) float64 {
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	// Gather a coarse merged CDF: probe each block at a grid of quantiles
+	// weighted by its count, then pick the global phi point.
+	w.queryBuf = w.queryBuf[:0]
+	var totalCount uint64
+	for _, b := range w.blocks {
+		totalCount += b.Count()
+	}
+	if totalCount == 0 {
+		return 0
+	}
+	const grid = 32
+	for _, b := range w.blocks {
+		if b.Count() == 0 {
+			continue
+		}
+		// Fractional weights keep the total probe mass equal to the total
+		// count, so the phi target lands at the right fraction regardless
+		// of block-size/grid divisibility.
+		per := float64(b.Count()) / grid
+		for i := 0; i < grid; i++ {
+			q := (float64(i) + 0.5) / grid
+			w.queryBuf = append(w.queryBuf, blockSample{v: b.Query(q), g: per})
+		}
+	}
+	// Select the phi-weighted value.
+	sortBlockSamples(w.queryBuf)
+	target := phi * float64(totalCount)
+	var acc float64
+	for _, s := range w.queryBuf {
+		acc += s.g
+		if acc >= target {
+			return s.v
+		}
+	}
+	return w.queryBuf[len(w.queryBuf)-1].v
+}
+
+func sortBlockSamples(xs []blockSample) {
+	// insertion sort: the buffer is small (blocks * 32) and mostly sorted
+	// across consecutive queries
+	for i := 1; i < len(xs); i++ {
+		s := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j].v > s.v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = s
+	}
+}
+
+// Count returns the number of values inserted over the stream's lifetime.
+func (w *Windowed) Count() uint64 { return w.total }
+
+// Bytes approximates the footprint across live blocks.
+func (w *Windowed) Bytes() int {
+	total := 48
+	for _, b := range w.blocks {
+		total += b.Bytes()
+	}
+	return total
+}
+
+// Blocks returns the number of live blocks (diagnostics).
+func (w *Windowed) Blocks() int { return len(w.blocks) }

@@ -1,0 +1,101 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestWindowedValidation(t *testing.T) {
+	if _, err := NewWindowed(2, 0.05); err == nil {
+		t.Fatal("window=2 accepted")
+	}
+	if _, err := NewWindowed(100, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestWindowedTracksRecentDistribution(t *testing.T) {
+	const window = 5000
+	w, err := NewWindowed(window, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(1)
+	// Regime 1: N(0, 1). Regime 2: N(100, 1). After a full window of the
+	// second regime the median must be near 100, not near 50.
+	for i := 0; i < 3*window; i++ {
+		w.Update(rng.NormFloat64())
+	}
+	med1 := w.Query(0.5)
+	if math.Abs(med1) > 1 {
+		t.Fatalf("regime-1 median %v", med1)
+	}
+	for i := 0; i < 2*window; i++ {
+		w.Update(100 + rng.NormFloat64())
+	}
+	med2 := w.Query(0.5)
+	if math.Abs(med2-100) > 2 {
+		t.Fatalf("regime-2 median %v, want ~100 (stale window leaked)", med2)
+	}
+}
+
+func TestWindowedRankErrorBound(t *testing.T) {
+	const window = 8000
+	const eps = 0.02
+	w, _ := NewWindowed(window, eps)
+	rng := workload.NewRNG(2)
+	ring := make([]float64, 0, window)
+	for i := 0; i < 40000; i++ {
+		v := rng.ExpFloat64() * 50
+		w.Update(v)
+		ring = append(ring, v)
+		if len(ring) > window {
+			ring = ring[1:]
+		}
+		if i > window && i%4001 == 0 {
+			sorted := append([]float64(nil), ring...)
+			sort.Float64s(sorted)
+			for _, phi := range []float64{0.25, 0.5, 0.9} {
+				got := w.Query(phi)
+				r := float64(sort.SearchFloat64s(sorted, got+1e-12))
+				relRank := math.Abs(r-phi*float64(len(sorted))) / float64(len(sorted))
+				// eps per block + one block boundary slack + merge grid.
+				if relRank > 5*eps {
+					t.Fatalf("tick %d phi %.2f: window rank error %.4f", i, phi, relRank)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowedSpaceSublinear(t *testing.T) {
+	const window = 100000
+	w, _ := NewWindowed(window, 0.02)
+	rng := workload.NewRNG(3)
+	for i := 0; i < 3*window; i++ {
+		w.Update(rng.NormFloat64())
+	}
+	if w.Bytes() >= window*8/4 {
+		t.Fatalf("windowed summary %dB not sublinear vs %dB exact", w.Bytes(), window*8)
+	}
+	if w.Blocks() > window/int(0.02*float64(window))+3 {
+		t.Fatalf("too many blocks: %d", w.Blocks())
+	}
+}
+
+func TestWindowedEmptyQuery(t *testing.T) {
+	w, _ := NewWindowed(100, 0.1)
+	if got := w.Query(0.5); got != 0 {
+		t.Fatalf("empty query %v", got)
+	}
+}
+
+func BenchmarkWindowedUpdate(b *testing.B) {
+	w, _ := NewWindowed(100000, 0.01)
+	for i := 0; i < b.N; i++ {
+		w.Update(float64(i % 1000))
+	}
+}

@@ -1,0 +1,140 @@
+// Package sampling implements the stream-sampling algorithms of the
+// tutorial's first Table 1 row: uniform reservoir sampling (Vitter's
+// Algorithm R and the skip-ahead Algorithm L), weighted reservoir sampling
+// (Efraimidis–Spirakis A-ES), Aggarwal's biased reservoir for evolving
+// streams, Babcock–Datar–Motwani chain sampling over sliding windows, and
+// plain Bernoulli sampling.
+//
+// The motivating application in the paper is A/B testing: a bounded,
+// representative subsample of an unbounded event stream.
+package sampling
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Reservoir maintains a uniform random sample of size k over a stream of
+// unknown length (Vitter's Algorithm R): item n replaces a random slot with
+// probability k/n. Every prefix of the stream is sampled uniformly.
+type Reservoir[T any] struct {
+	k     int
+	items []T
+	seen  uint64
+	rng   *workload.RNG
+}
+
+// NewReservoir returns a uniform reservoir sampler of size k.
+func NewReservoir[T any](k int, seed uint64) (*Reservoir[T], error) {
+	if k <= 0 {
+		return nil, core.Errf("Reservoir", "k", "%d must be positive", k)
+	}
+	return &Reservoir[T]{k: k, items: make([]T, 0, k), rng: workload.NewRNG(seed)}, nil
+}
+
+// Update offers one item to the sampler.
+func (r *Reservoir[T]) Update(item T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		return
+	}
+	j := r.rng.Uint64() % r.seen
+	if j < uint64(r.k) {
+		r.items[j] = item
+	}
+}
+
+// Sample returns the current sample. The returned slice aliases internal
+// state; callers that keep it across updates must copy.
+func (r *Reservoir[T]) Sample() []T { return r.items }
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir[T]) Seen() uint64 { return r.seen }
+
+// ReservoirL is Vitter-style reservoir sampling with geometric skips
+// (Algorithm L, Li 1994): instead of drawing a random number per item it
+// computes how many items to skip before the next replacement, reducing RNG
+// work from O(n) to O(k log(n/k)) — the variant that matters at the
+// firehose rates the tutorial targets.
+type ReservoirL[T any] struct {
+	k     int
+	items []T
+	seen  uint64
+	skip  uint64 // items to skip before the next replacement
+	w     float64
+	rng   *workload.RNG
+}
+
+// NewReservoirL returns a skip-ahead uniform reservoir sampler of size k.
+func NewReservoirL[T any](k int, seed uint64) (*ReservoirL[T], error) {
+	if k <= 0 {
+		return nil, core.Errf("ReservoirL", "k", "%d must be positive", k)
+	}
+	r := &ReservoirL[T]{k: k, items: make([]T, 0, k), rng: workload.NewRNG(seed), w: 1}
+	return r, nil
+}
+
+func (r *ReservoirL[T]) drawSkip() {
+	// w *= U^(1/k); skip ~ floor(log(U)/log(1-w))
+	r.w *= math.Exp(math.Log(r.rng.Float64()+1e-300) / float64(r.k))
+	r.skip = uint64(math.Floor(math.Log(r.rng.Float64()+1e-300)/math.Log(1-r.w))) + 1
+}
+
+// Update offers one item to the sampler.
+func (r *ReservoirL[T]) Update(item T) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, item)
+		if len(r.items) == r.k {
+			r.drawSkip()
+		}
+		return
+	}
+	if r.skip > 1 {
+		r.skip--
+		return
+	}
+	r.items[r.rng.Intn(r.k)] = item
+	r.drawSkip()
+}
+
+// Sample returns the current sample (aliases internal state).
+func (r *ReservoirL[T]) Sample() []T { return r.items }
+
+// Seen returns the number of items offered so far.
+func (r *ReservoirL[T]) Seen() uint64 { return r.seen }
+
+// Bernoulli samples each item independently with probability p. The sample
+// size is unbounded (binomial in the stream length); it is the baseline the
+// reservoir variants are compared against.
+type Bernoulli[T any] struct {
+	p     float64
+	items []T
+	seen  uint64
+	rng   *workload.RNG
+}
+
+// NewBernoulli returns a Bernoulli sampler with inclusion probability p.
+func NewBernoulli[T any](p float64, seed uint64) (*Bernoulli[T], error) {
+	if p <= 0 || p > 1 {
+		return nil, core.Errf("Bernoulli", "p", "%v not in (0,1]", p)
+	}
+	return &Bernoulli[T]{p: p, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update offers one item to the sampler.
+func (b *Bernoulli[T]) Update(item T) {
+	b.seen++
+	if b.rng.Float64() < b.p {
+		b.items = append(b.items, item)
+	}
+}
+
+// Sample returns the accumulated sample (aliases internal state).
+func (b *Bernoulli[T]) Sample() []T { return b.items }
+
+// Seen returns the number of items offered so far.
+func (b *Bernoulli[T]) Seen() uint64 { return b.seen }

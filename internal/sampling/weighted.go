@@ -1,0 +1,111 @@
+package sampling
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// WeightedReservoir implements Efraimidis–Spirakis A-ES weighted sampling
+// without replacement: each item gets key u^(1/w) for u ~ U(0,1) and the k
+// largest keys are kept. The inclusion probability of an item is
+// proportional to its weight, which is what the survey's weighted-sampling
+// citation ("on random sampling over joins") needs for join-size-aware
+// samples.
+type WeightedReservoir[T any] struct {
+	k    int
+	h    keyHeap[T]
+	seen uint64
+	rng  *workload.RNG
+}
+
+type keyed[T any] struct {
+	key  float64
+	item T
+}
+
+type keyHeap[T any] []keyed[T]
+
+func (h keyHeap[T]) Len() int           { return len(h) }
+func (h keyHeap[T]) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h keyHeap[T]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap[T]) Push(x any)        { *h = append(*h, x.(keyed[T])) }
+func (h *keyHeap[T]) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// NewWeightedReservoir returns a weighted sampler of size k.
+func NewWeightedReservoir[T any](k int, seed uint64) (*WeightedReservoir[T], error) {
+	if k <= 0 {
+		return nil, core.Errf("WeightedReservoir", "k", "%d must be positive", k)
+	}
+	return &WeightedReservoir[T]{k: k, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update offers one item with the given positive weight; zero or negative
+// weights are ignored (the item can never be sampled).
+func (w *WeightedReservoir[T]) Update(item T, weight float64) {
+	w.seen++
+	if weight <= 0 {
+		return
+	}
+	key := math.Pow(w.rng.Float64(), 1/weight)
+	if w.h.Len() < w.k {
+		heap.Push(&w.h, keyed[T]{key: key, item: item})
+		return
+	}
+	if key > w.h[0].key {
+		w.h[0] = keyed[T]{key: key, item: item}
+		heap.Fix(&w.h, 0)
+	}
+}
+
+// Sample returns the current sample.
+func (w *WeightedReservoir[T]) Sample() []T {
+	out := make([]T, 0, w.h.Len())
+	for _, e := range w.h {
+		out = append(out, e.item)
+	}
+	return out
+}
+
+// Seen returns the number of items offered so far.
+func (w *WeightedReservoir[T]) Seen() uint64 { return w.seen }
+
+// BiasedReservoir implements Aggarwal's biased reservoir sampling for
+// evolving streams: each arrival evicts a random resident with probability
+// fill-fraction, so the sample's temporal bias follows a memory-less decay
+// and recent items dominate — addressing the survey's point that stale data
+// should not influence analysis on drifting streams.
+type BiasedReservoir[T any] struct {
+	k     int
+	items []T
+	seen  uint64
+	rng   *workload.RNG
+}
+
+// NewBiasedReservoir returns a biased reservoir sampler of capacity k.
+func NewBiasedReservoir[T any](k int, seed uint64) (*BiasedReservoir[T], error) {
+	if k <= 0 {
+		return nil, core.Errf("BiasedReservoir", "k", "%d must be positive", k)
+	}
+	return &BiasedReservoir[T]{k: k, rng: workload.NewRNG(seed)}, nil
+}
+
+// Update offers one item.
+func (b *BiasedReservoir[T]) Update(item T) {
+	b.seen++
+	fill := float64(len(b.items)) / float64(b.k)
+	if b.rng.Float64() < fill {
+		// Replace a random resident: exponential bias toward recency.
+		b.items[b.rng.Intn(len(b.items))] = item
+		return
+	}
+	b.items = append(b.items, item)
+}
+
+// Sample returns the current sample (aliases internal state).
+func (b *BiasedReservoir[T]) Sample() []T { return b.items }
+
+// Seen returns the number of items offered so far.
+func (b *BiasedReservoir[T]) Seen() uint64 { return b.seen }

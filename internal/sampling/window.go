@@ -1,0 +1,129 @@
+package sampling
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ChainSample maintains a uniform random sample of size k over the last n
+// items of the stream (sequence-based sliding window), using the chain
+// sampling technique of Babcock, Datar and Motwani cited by the survey.
+//
+// Each of the k chains independently samples one window element: when the
+// chain's current element is chosen, a replacement index in that element's
+// successor window is pre-drawn, and a "chain" of successors is stored so
+// expiry never leaves the chain empty. Expected chain length is O(1), so
+// total space is O(k) in expectation.
+type ChainSample[T any] struct {
+	k      int
+	window uint64
+	seen   uint64
+	chains []chain[T]
+	rng    *workload.RNG
+}
+
+type chainLink[T any] struct {
+	index uint64 // stream position of this element
+	item  T
+}
+
+type chain[T any] struct {
+	links []chainLink[T] // links[0] is the current sample element
+	next  uint64         // pre-drawn index whose arrival extends the chain
+}
+
+// NewChainSample returns a sliding-window sampler keeping k samples over
+// the last window items.
+func NewChainSample[T any](k int, window uint64, seed uint64) (*ChainSample[T], error) {
+	if k <= 0 {
+		return nil, core.Errf("ChainSample", "k", "%d must be positive", k)
+	}
+	if window == 0 {
+		return nil, core.Errf("ChainSample", "window", "must be positive")
+	}
+	return &ChainSample[T]{
+		k:      k,
+		window: window,
+		chains: make([]chain[T], k),
+		rng:    workload.NewRNG(seed),
+	}, nil
+}
+
+// Update offers one item (stream positions are assigned internally).
+func (c *ChainSample[T]) Update(item T) {
+	i := c.seen // position of this item
+	c.seen++
+	for ci := range c.chains {
+		ch := &c.chains[ci]
+		// Expire links that fell out of the window.
+		for len(ch.links) > 0 && ch.links[0].index+c.window <= i {
+			ch.links = ch.links[1:]
+		}
+		switch {
+		case len(ch.links) == 0:
+			// Empty chain (cold start or full expiry): sample this item
+			// with probability 1/min(i+1, window) per standard reservoir
+			// logic restricted to the window.
+			m := i + 1
+			if m > c.window {
+				m = c.window
+			}
+			if c.rng.Uint64()%m == 0 {
+				ch.links = []chainLink[T]{{index: i, item: item}}
+				ch.next = i + 1 + c.rng.Uint64()%c.window
+			}
+		case i == ch.next:
+			// The pre-drawn successor arrived: append it to the chain.
+			ch.links = append(ch.links, chainLink[T]{index: i, item: item})
+			ch.next = i + 1 + c.rng.Uint64()%c.window
+		default:
+			// With probability 1/min(i+1, window), replace the chain head
+			// with this item (keeps uniformity as the window slides).
+			m := i + 1
+			if m > c.window {
+				m = c.window
+			}
+			if c.rng.Uint64()%m == 0 {
+				ch.links = []chainLink[T]{{index: i, item: item}}
+				ch.next = i + 1 + c.rng.Uint64()%c.window
+			}
+		}
+	}
+}
+
+// Sample returns the current window sample; fewer than k items may be
+// returned while chains are cold.
+func (c *ChainSample[T]) Sample() []T {
+	out := make([]T, 0, c.k)
+	for _, ch := range c.chains {
+		if len(ch.links) > 0 {
+			out = append(out, ch.links[0].item)
+		}
+	}
+	return out
+}
+
+// SampleIndexes returns the stream positions of the current samples,
+// used by tests to verify every sample lies inside the window.
+func (c *ChainSample[T]) SampleIndexes() []uint64 {
+	out := make([]uint64, 0, c.k)
+	for _, ch := range c.chains {
+		if len(ch.links) > 0 {
+			out = append(out, ch.links[0].index)
+		}
+	}
+	return out
+}
+
+// Seen returns the number of items offered so far.
+func (c *ChainSample[T]) Seen() uint64 { return c.seen }
+
+// ChainBytes reports the total number of stored links, a proxy for the
+// O(k) expected space bound.
+func (c *ChainSample[T]) ChainBytes() int {
+	total := 0
+	for _, ch := range c.chains {
+		total += len(ch.links)
+	}
+	return total
+}

@@ -1,0 +1,246 @@
+// Package subsequence implements the "Finding Subsequences" row of the
+// tutorial's Table 1: longest increasing subsequence (exact patience
+// sorting, plus the bounded-memory streaming approximation whose lower
+// bounds the survey cites from Gál–Gopalan), longest common subsequence,
+// and similarity search for a query pattern under a banded dynamic-time-
+// warping distance (the Toyoda–Sakurai–Ishikawa citation), motivated by
+// traffic analysis.
+package subsequence
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// LIS maintains the length of the longest strictly increasing subsequence
+// of the stream via patience sorting: tails[i] is the smallest possible
+// tail of an increasing subsequence of length i+1. O(n log n) time,
+// O(L) space where L is the LIS length — exact, and the baseline for the
+// bounded-memory approximation below.
+type LIS struct {
+	tails []uint64
+	n     uint64
+}
+
+// NewLIS returns an exact streaming LIS tracker.
+func NewLIS() *LIS { return &LIS{} }
+
+// Update observes the next value.
+func (l *LIS) Update(v uint64) {
+	l.n++
+	idx := sort.Search(len(l.tails), func(i int) bool { return l.tails[i] >= v })
+	if idx == len(l.tails) {
+		l.tails = append(l.tails, v)
+	} else {
+		l.tails[idx] = v
+	}
+}
+
+// Length returns the current LIS length.
+func (l *LIS) Length() int { return len(l.tails) }
+
+// Items returns the stream length.
+func (l *LIS) Items() uint64 { return l.n }
+
+// Bytes returns the tails footprint.
+func (l *LIS) Bytes() int { return len(l.tails)*8 + 16 }
+
+// ApproxLIS estimates the LIS length with at most m weighted tails: each
+// retained tail carries the number of patience "piles" it stands for, and
+// when the structure exceeds m, adjacent tails are pairwise merged (keeping
+// the larger value, summing weights). New arrivals extend with weight-1
+// tails, so the total weight tracks the true pile count at the coarsened
+// resolution — the o(L)-space regime whose limits the survey cites from
+// Gál–Gopalan.
+type ApproxLIS struct {
+	m     int
+	tails []weightedTail
+	n     uint64
+}
+
+type weightedTail struct {
+	val uint64
+	w   uint64
+}
+
+// NewApproxLIS returns a bounded-memory LIS estimator keeping at most m
+// tails.
+func NewApproxLIS(m int) (*ApproxLIS, error) {
+	if m < 2 {
+		return nil, core.Errf("ApproxLIS", "m", "%d must be >= 2", m)
+	}
+	return &ApproxLIS{m: m}, nil
+}
+
+// Update observes the next value.
+func (a *ApproxLIS) Update(v uint64) {
+	a.n++
+	idx := sort.Search(len(a.tails), func(i int) bool { return a.tails[i].val >= v })
+	if idx == len(a.tails) {
+		a.tails = append(a.tails, weightedTail{val: v, w: 1})
+	} else {
+		a.tails[idx].val = v
+	}
+	if len(a.tails) > a.m {
+		// Merge adjacent pairs: the pair's larger (second) value survives
+		// and inherits the combined weight.
+		kept := a.tails[:0]
+		for i := 0; i+1 < len(a.tails); i += 2 {
+			kept = append(kept, weightedTail{val: a.tails[i+1].val, w: a.tails[i].w + a.tails[i+1].w})
+		}
+		if len(a.tails)%2 == 1 {
+			kept = append(kept, a.tails[len(a.tails)-1])
+		}
+		a.tails = kept
+	}
+}
+
+// Estimate returns the estimated LIS length (total retained weight).
+func (a *ApproxLIS) Estimate() uint64 {
+	var total uint64
+	for _, t := range a.tails {
+		total += t.w
+	}
+	return total
+}
+
+// Bytes returns the tails footprint.
+func (a *ApproxLIS) Bytes() int { return len(a.tails)*16 + 24 }
+
+// LCS computes the longest common subsequence length of two sequences with
+// the classic dynamic program in O(len(a)*len(b)) time and O(min) space —
+// the offline baseline for the row's LCS problem.
+func LCS(a, b []uint64) int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// DTWDistance computes dynamic-time-warping distance between two real
+// sequences with a Sakoe–Chiba band of the given radius (radius < 0 means
+// unconstrained). Used by Matcher for query-similar subsequence search.
+func DTWDistance(a, b []float64, radius int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo, hi := 1, m
+		if radius >= 0 {
+			lo = i - radius
+			if lo < 1 {
+				lo = 1
+			}
+			hi = i + radius
+			if hi > m {
+				hi = m
+			}
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if best == inf {
+				continue
+			}
+			cur[j] = d*d + best
+		}
+		prev, cur = cur, prev
+	}
+	if prev[m] == inf {
+		return math.Inf(1)
+	}
+	return math.Sqrt(prev[m])
+}
+
+// Matcher finds stream subsequences similar to a fixed query pattern: it
+// keeps a sliding buffer one query-length long and reports when the banded
+// DTW distance to the query drops below the threshold — the streaming
+// query-similar-subsequence problem of the Table 1 row.
+type Matcher struct {
+	query     []float64
+	threshold float64
+	radius    int
+	buf       []float64
+	n         uint64
+	// cooldown suppresses overlapping re-reports of the same match.
+	cooldown  int
+	lastMatch int
+}
+
+// Match records a reported subsequence match.
+type Match struct {
+	End      uint64 // stream position of the last sample of the match
+	Distance float64
+}
+
+// NewMatcher returns a matcher for the given query, DTW threshold and band
+// radius.
+func NewMatcher(query []float64, threshold float64, radius int) (*Matcher, error) {
+	if len(query) == 0 {
+		return nil, core.Errf("Matcher", "query", "must be non-empty")
+	}
+	if threshold <= 0 {
+		return nil, core.Errf("Matcher", "threshold", "%v must be positive", threshold)
+	}
+	return &Matcher{
+		query:     append([]float64(nil), query...),
+		threshold: threshold,
+		radius:    radius,
+		cooldown:  len(query) / 2,
+		lastMatch: -1 << 30,
+	}, nil
+}
+
+// Update observes one sample and returns a non-nil Match when the current
+// window matches the query.
+func (m *Matcher) Update(v float64) *Match {
+	m.n++
+	m.buf = append(m.buf, v)
+	if len(m.buf) > len(m.query) {
+		m.buf = m.buf[1:]
+	}
+	if len(m.buf) < len(m.query) {
+		return nil
+	}
+	if int(m.n)-m.lastMatch <= m.cooldown {
+		return nil
+	}
+	if d := DTWDistance(m.buf, m.query, m.radius); d <= m.threshold {
+		m.lastMatch = int(m.n)
+		return &Match{End: m.n, Distance: d}
+	}
+	return nil
+}

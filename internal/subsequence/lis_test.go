@@ -1,0 +1,220 @@
+package subsequence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// lisDP is the O(n^2) reference LIS (strictly increasing).
+func lisDP(xs []uint64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	best := make([]int, len(xs))
+	ans := 0
+	for i := range xs {
+		best[i] = 1
+		for j := 0; j < i; j++ {
+			if xs[j] < xs[i] && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+			}
+		}
+		if best[i] > ans {
+			ans = best[i]
+		}
+	}
+	return ans
+}
+
+func TestLISMatchesDP(t *testing.T) {
+	rng := workload.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		xs := workload.Uniform(rng, 200, 100)
+		l := NewLIS()
+		for _, x := range xs {
+			l.Update(x)
+		}
+		if want := lisDP(xs); l.Length() != want {
+			t.Fatalf("trial %d: LIS %d != DP %d", trial, l.Length(), want)
+		}
+	}
+}
+
+func TestLISExtremes(t *testing.T) {
+	l := NewLIS()
+	for i := uint64(0); i < 1000; i++ {
+		l.Update(i)
+	}
+	if l.Length() != 1000 {
+		t.Fatalf("sorted LIS %d", l.Length())
+	}
+	d := NewLIS()
+	for i := 1000; i > 0; i-- {
+		d.Update(uint64(i))
+	}
+	if d.Length() != 1 {
+		t.Fatalf("descending LIS %d", d.Length())
+	}
+	e := NewLIS()
+	if e.Length() != 0 {
+		t.Fatal("empty LIS nonzero")
+	}
+	// Strictness: equal elements do not extend.
+	s := NewLIS()
+	for i := 0; i < 10; i++ {
+		s.Update(5)
+	}
+	if s.Length() != 1 {
+		t.Fatalf("constant stream LIS %d", s.Length())
+	}
+}
+
+func TestApproxLISBounds(t *testing.T) {
+	if _, err := NewApproxLIS(1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+	rng := workload.NewRNG(2)
+	xs := workload.NearSorted(rng, 20000, 0.05)
+	exact := NewLIS()
+	approx, _ := NewApproxLIS(64)
+	for _, x := range xs {
+		exact.Update(x)
+		approx.Update(x)
+	}
+	truth := float64(exact.Length())
+	est := float64(approx.Estimate())
+	if est < truth/4 || est > truth*4 {
+		t.Fatalf("approx LIS %v far from exact %v", est, truth)
+	}
+	if approx.Bytes() >= exact.Bytes() {
+		t.Fatalf("approx (%dB) not smaller than exact (%dB)", approx.Bytes(), exact.Bytes())
+	}
+}
+
+func TestLCS(t *testing.T) {
+	cases := []struct {
+		a, b []uint64
+		want int
+	}{
+		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}, 3},
+		{[]uint64{1, 2, 3}, []uint64{4, 5, 6}, 0},
+		{[]uint64{1, 3, 5, 7}, []uint64{0, 3, 4, 7}, 2},
+		{nil, []uint64{1}, 0},
+		{[]uint64{2, 7, 1, 8, 2, 8}, []uint64{7, 1, 8}, 3},
+	}
+	for i, c := range cases {
+		if got := LCS(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: LCS=%d want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestLCSSymmetric(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ua := make([]uint64, len(a))
+		ub := make([]uint64, len(b))
+		for i, v := range a {
+			ua[i] = uint64(v % 8)
+		}
+		for i, v := range b {
+			ub[i] = uint64(v % 8)
+		}
+		return LCS(ua, ub) == LCS(ub, ua)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTWIdentityAndShift(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	if d := DTWDistance(a, a, -1); d != 0 {
+		t.Fatalf("self-distance %v", d)
+	}
+	// Time-warped copy (stretched) should be much closer under DTW than a
+	// different shape.
+	stretched := []float64{1, 1, 2, 2, 3, 3, 2, 2, 1, 1}
+	other := []float64{5, -3, 8, 0, 7}
+	if DTWDistance(a, stretched, -1) >= DTWDistance(a, other, -1) {
+		t.Fatal("DTW failed to prefer warped copy")
+	}
+	if !math.IsInf(DTWDistance(nil, a, -1), 1) {
+		t.Fatal("empty sequence distance not +inf")
+	}
+}
+
+func TestDTWBandRestricts(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{8, 7, 6, 5, 4, 3, 2, 1}
+	unbounded := DTWDistance(a, b, -1)
+	banded := DTWDistance(a, b, 1)
+	if banded < unbounded {
+		t.Fatalf("band lowered distance: %v < %v", banded, unbounded)
+	}
+}
+
+func TestMatcherFindsPlantedPattern(t *testing.T) {
+	// Plant a triangular pulse in noise at known positions.
+	query := []float64{0, 2, 4, 6, 4, 2, 0}
+	m, err := NewMatcher(query, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(3)
+	var matches []Match
+	plant := map[int]bool{300: true, 700: true}
+	pos := 0
+	for i := 0; i < 1000; i++ {
+		if plant[i] {
+			for _, q := range query {
+				if got := m.Update(q + rng.NormFloat64()*0.1); got != nil {
+					matches = append(matches, *got)
+				}
+				pos++
+			}
+			continue
+		}
+		if got := m.Update(rng.NormFloat64() * 0.3); got != nil {
+			matches = append(matches, *got)
+		}
+		pos++
+	}
+	if len(matches) < 2 {
+		t.Fatalf("found %d matches, want >= 2", len(matches))
+	}
+	if len(matches) > 6 {
+		t.Fatalf("too many spurious matches: %d", len(matches))
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	if _, err := NewMatcher(nil, 1, 0); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := NewMatcher([]float64{1}, 0, 0); err == nil {
+		t.Fatal("threshold=0 accepted")
+	}
+}
+
+func BenchmarkLISUpdate(b *testing.B) {
+	l := NewLIS()
+	for i := 0; i < b.N; i++ {
+		l.Update(uint64(i*2654435761) % 100000)
+	}
+}
+
+func BenchmarkDTW64x64(b *testing.B) {
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i % 7)
+		y[i] = float64(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DTWDistance(x, y, 8)
+	}
+}

@@ -1,0 +1,142 @@
+// Package wavelet implements the Haar-wavelet synopsis from Section 2 of
+// the tutorial: decompose a signal into Haar coefficients, keep the top-k
+// by (normalized) magnitude, and reconstruct — the retained coefficients
+// minimize the L2 reconstruction error among all k-coefficient choices,
+// which is the property the survey highlights.
+package wavelet
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Transform computes the (unnormalized) Haar wavelet decomposition of a
+// signal whose length is padded up to the next power of two with zeros.
+// The returned slice has the overall average at index 0 followed by detail
+// coefficients, standard Haar layout.
+func Transform(signal []float64) []float64 {
+	n := 1
+	for n < len(signal) {
+		n <<= 1
+	}
+	work := make([]float64, n)
+	copy(work, signal)
+	out := make([]float64, n)
+	for length := n; length > 1; length /= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			a, b := work[2*i], work[2*i+1]
+			out[i] = (a + b) / 2      // averages (next level input)
+			out[half+i] = (a - b) / 2 // details
+		}
+		copy(work[:length], out[:length])
+	}
+	return work
+}
+
+// Inverse reconstructs the signal from a full Haar coefficient vector.
+func Inverse(coeffs []float64) []float64 {
+	n := len(coeffs)
+	work := make([]float64, n)
+	copy(work, coeffs)
+	tmp := make([]float64, n)
+	for length := 2; length <= n; length *= 2 {
+		half := length / 2
+		for i := 0; i < half; i++ {
+			avg, det := work[i], work[half+i]
+			tmp[2*i] = avg + det
+			tmp[2*i+1] = avg - det
+		}
+		copy(work[:length], tmp[:length])
+	}
+	return work
+}
+
+// levelOf returns the Haar level of coefficient index i (0 for the
+// average), used to normalize magnitudes before thresholding: in the
+// unnormalized transform, a coefficient at a coarser level influences more
+// signal positions, so its effective L2 weight is sqrt of its support.
+func levelOf(i, n int) int {
+	if i == 0 {
+		return 0
+	}
+	level := 0
+	for p := 1; p <= i; p <<= 1 {
+		level++
+	}
+	return level
+}
+
+// Synopsis is a top-k Haar synopsis: the k largest (L2-normalized)
+// coefficients with their positions.
+type Synopsis struct {
+	N       int // padded signal length
+	Indexes []int
+	Values  []float64
+}
+
+// NewSynopsis builds a k-coefficient synopsis of the signal.
+func NewSynopsis(signal []float64, k int) (*Synopsis, error) {
+	if k <= 0 {
+		return nil, core.Errf("wavelet.Synopsis", "k", "%d must be positive", k)
+	}
+	coeffs := Transform(signal)
+	n := len(coeffs)
+	type scored struct {
+		idx   int
+		score float64
+	}
+	all := make([]scored, n)
+	for i, c := range coeffs {
+		// Normalized L2 contribution: |c| * sqrt(support size).
+		support := n
+		if i > 0 {
+			level := levelOf(i, n)
+			support = n >> uint(level-1)
+			if support == 0 {
+				support = 1
+			}
+		}
+		all[i] = scored{idx: i, score: math.Abs(c) * math.Sqrt(float64(support))}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].score > all[b].score })
+	if k > n {
+		k = n
+	}
+	s := &Synopsis{N: n, Indexes: make([]int, k), Values: make([]float64, k)}
+	for i := 0; i < k; i++ {
+		s.Indexes[i] = all[i].idx
+		s.Values[i] = coeffs[all[i].idx]
+	}
+	return s, nil
+}
+
+// Reconstruct expands the synopsis back to a full signal of length n
+// (zero-filled coefficients elsewhere).
+func (s *Synopsis) Reconstruct() []float64 {
+	coeffs := make([]float64, s.N)
+	for i, idx := range s.Indexes {
+		coeffs[idx] = s.Values[i]
+	}
+	return Inverse(coeffs)
+}
+
+// Bytes approximates the synopsis footprint.
+func (s *Synopsis) Bytes() int { return len(s.Indexes)*12 + 16 }
+
+// L2Error returns the L2 norm of (signal - approx) over the shorter of the
+// two, the metric the S2.2 experiment reports.
+func L2Error(signal, approx []float64) float64 {
+	n := len(signal)
+	if len(approx) < n {
+		n = len(approx)
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := signal[i] - approx[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

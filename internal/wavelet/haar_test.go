@@ -1,0 +1,134 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	signal := []float64{4, 2, 6, 8, 1, 3, 5, 7}
+	coeffs := Transform(signal)
+	back := Inverse(coeffs)
+	for i, v := range signal {
+		if math.Abs(back[i]-v) > 1e-9 {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, back[i], v)
+		}
+	}
+}
+
+func TestTransformPadsToPowerOfTwo(t *testing.T) {
+	signal := []float64{1, 2, 3, 4, 5} // pads to 8
+	coeffs := Transform(signal)
+	if len(coeffs) != 8 {
+		t.Fatalf("coeff length %d", len(coeffs))
+	}
+	back := Inverse(coeffs)
+	for i, v := range signal {
+		if math.Abs(back[i]-v) > 1e-9 {
+			t.Fatalf("padded round trip differs at %d", i)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if math.Abs(back[i]) > 1e-9 {
+			t.Fatalf("padding not zero at %d: %v", i, back[i])
+		}
+	}
+}
+
+func TestTransformConstantSignal(t *testing.T) {
+	signal := []float64{3, 3, 3, 3}
+	coeffs := Transform(signal)
+	if coeffs[0] != 3 {
+		t.Fatalf("average coefficient %v", coeffs[0])
+	}
+	for i := 1; i < len(coeffs); i++ {
+		if coeffs[i] != 0 {
+			t.Fatalf("detail %d nonzero: %v", i, coeffs[i])
+		}
+	}
+}
+
+func TestSynopsisCapturesStep(t *testing.T) {
+	// A step function is one average plus one detail coefficient: a k=2
+	// synopsis must reconstruct it exactly.
+	signal := make([]float64, 64)
+	for i := 32; i < 64; i++ {
+		signal[i] = 10
+	}
+	s, err := NewSynopsis(signal, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := s.Reconstruct()
+	if e := L2Error(signal, back); e > 1e-9 {
+		t.Fatalf("step not captured by 2 coefficients: L2 error %v", e)
+	}
+}
+
+func TestSynopsisErrorDecreasesWithK(t *testing.T) {
+	rng := workload.NewRNG(1)
+	spec := workload.SeriesSpec{N: 256, Base: 10, SeasonAmp: 5, SeasonLen: 64, NoiseSD: 1}
+	signal := spec.Generate(rng, nil).Values
+	prev := math.MaxFloat64
+	for _, k := range []int{2, 8, 32, 128, 256} {
+		s, err := NewSynopsis(signal, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := L2Error(signal, s.Reconstruct())
+		if e > prev+1e-9 {
+			t.Fatalf("error increased at k=%d: %v > %v", k, e, prev)
+		}
+		prev = e
+	}
+	// Full coefficient set reconstructs exactly.
+	if prev > 1e-6 {
+		t.Fatalf("full synopsis error %v", prev)
+	}
+}
+
+func TestSynopsisValidation(t *testing.T) {
+	if _, err := NewSynopsis([]float64{1, 2}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		signal := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			signal = append(signal, v)
+		}
+		if len(signal) == 0 {
+			return true
+		}
+		back := Inverse(Transform(signal))
+		for i, v := range signal {
+			// Relative tolerance: averaging loses a few ulps.
+			if math.Abs(back[i]-v) > 1e-6*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransform1024(b *testing.B) {
+	signal := make([]float64, 1024)
+	for i := range signal {
+		signal[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(signal)
+	}
+}

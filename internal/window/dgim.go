@@ -1,0 +1,151 @@
+// Package window implements sliding-window counting — the last two rows of
+// the tutorial's Table 1:
+//
+//   - Basic Counting (Datar–Gionis–Indyk–Motwani exponential histograms):
+//     estimate the number of 1-bits in the last n ticks within relative
+//     error eps using O((1/eps) log^2 n) bits.
+//   - Significant One Counting (Lee–Ting): the relaxation that only
+//     guarantees eps*m error when the window is at least theta-full of
+//     ones, buying a smaller summary — the paper's traffic-accounting
+//     application.
+//
+// The package also extends the exponential-histogram technique to sums and
+// to mean/variance over sliding windows, the "maintaining statistics"
+// problems Section 2 lists under sliding windows.
+package window
+
+import (
+	"repro/internal/core"
+)
+
+// DGIM maintains an exponential histogram over the last n ticks of a 0/1
+// stream. Buckets hold exponentially growing counts of ones; at most
+// ceil(1/eps)/2+2 buckets of each size are kept, so the oldest (half
+// counted) bucket bounds the relative error by eps.
+type DGIM struct {
+	window  uint64
+	maxSame int // buckets allowed per size before merging: ceil(1/(2eps))+2
+	now     uint64
+	buckets []dgimBucket // newest first
+	ones    uint64       // total ones ever seen (diagnostics)
+}
+
+type dgimBucket struct {
+	ts   uint64 // timestamp of the most recent 1 in the bucket
+	size uint64 // number of ones (power of two)
+}
+
+// NewDGIM returns an exponential histogram for windows of n ticks with
+// relative error at most eps.
+func NewDGIM(n uint64, eps float64) (*DGIM, error) {
+	if n == 0 {
+		return nil, core.Errf("DGIM", "n", "must be positive")
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("DGIM", "eps", "%v not in (0,1)", eps)
+	}
+	maxSame := int(1/(2*eps)) + 2
+	return &DGIM{window: n, maxSame: maxSame}, nil
+}
+
+// Update advances the window one tick, recording whether the bit was 1.
+func (d *DGIM) Update(bit bool) {
+	d.now++
+	// Expire buckets whose timestamp left the window.
+	for len(d.buckets) > 0 {
+		oldest := d.buckets[len(d.buckets)-1]
+		if oldest.ts+d.window <= d.now {
+			d.buckets = d.buckets[:len(d.buckets)-1]
+		} else {
+			break
+		}
+	}
+	if !bit {
+		return
+	}
+	d.ones++
+	// Prepend a size-1 bucket, then cascade merges.
+	d.buckets = append([]dgimBucket{{ts: d.now, size: 1}}, d.buckets...)
+	size := uint64(1)
+	for {
+		count := 0
+		lastIdx := -1
+		secondLastIdx := -1
+		for i, b := range d.buckets {
+			if b.size == size {
+				count++
+				secondLastIdx = lastIdx
+				lastIdx = i
+			}
+		}
+		if count <= d.maxSame {
+			break
+		}
+		// Merge the two oldest buckets of this size (they are the two with
+		// the largest indexes, i.e. lastIdx and secondLastIdx).
+		merged := dgimBucket{ts: d.buckets[secondLastIdx].ts, size: size * 2}
+		d.buckets[secondLastIdx] = merged
+		d.buckets = append(d.buckets[:lastIdx], d.buckets[lastIdx+1:]...)
+		size *= 2
+	}
+}
+
+// Estimate returns the estimated count of ones in the current window:
+// the full sizes of all but the oldest bucket, plus half the oldest.
+func (d *DGIM) Estimate() uint64 {
+	if len(d.buckets) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, b := range d.buckets {
+		total += b.size
+	}
+	oldest := d.buckets[len(d.buckets)-1].size
+	return total - oldest + (oldest+1)/2
+}
+
+// Buckets returns the current bucket count (the space bound experiments
+// track).
+func (d *DGIM) Buckets() int { return len(d.buckets) }
+
+// Bytes approximates the footprint.
+func (d *DGIM) Bytes() int { return len(d.buckets)*16 + 40 }
+
+// Now returns the current tick.
+func (d *DGIM) Now() uint64 { return d.now }
+
+// ExactWindowCounter is the exact baseline: a ring buffer of the last n
+// bits. Linear space, zero error.
+type ExactWindowCounter struct {
+	bits  []bool
+	pos   int
+	count uint64
+	full  bool
+}
+
+// NewExactWindowCounter returns an exact 1-bit counter over n ticks.
+func NewExactWindowCounter(n int) *ExactWindowCounter {
+	return &ExactWindowCounter{bits: make([]bool, n)}
+}
+
+// Update advances one tick with the given bit.
+func (e *ExactWindowCounter) Update(bit bool) {
+	if e.bits[e.pos] {
+		e.count--
+	}
+	e.bits[e.pos] = bit
+	if bit {
+		e.count++
+	}
+	e.pos++
+	if e.pos == len(e.bits) {
+		e.pos = 0
+		e.full = true
+	}
+}
+
+// Count returns the exact number of ones in the window.
+func (e *ExactWindowCounter) Count() uint64 { return e.count }
+
+// Bytes returns the ring footprint.
+func (e *ExactWindowCounter) Bytes() int { return len(e.bits) + 24 }

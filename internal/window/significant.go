@@ -1,0 +1,104 @@
+package window
+
+import (
+	"repro/internal/core"
+)
+
+// SignificantOnes implements Lee–Ting significant-one counting: estimate
+// the number m of 1-bits in a sliding window of n ticks such that the
+// error is at most eps*m whenever m >= theta*n ("maintaining significant
+// stream statistics over sliding windows", the survey's traffic-accounting
+// row). Below the significance threshold the answer may be arbitrary,
+// which is exactly what buys the space saving over DGIM: only
+// O((1/eps) log(1/theta)) buckets are needed instead of O((1/eps) log(eps n)).
+//
+// The implementation tracks ones in coarse lambda-sized groups
+// (lambda = theta*eps*n/2): groups are exact counts of lambda ones each, so
+// at most 2/(theta*eps) groups cover a significant window, and expiry
+// granularity — the only error source — is one group.
+type SignificantOnes struct {
+	window uint64
+	theta  float64
+	eps    float64
+	lambda uint64 // ones per group
+	now    uint64
+	groups []soGroup // newest first
+	cur    uint64    // ones accumulated toward the newest (open) group
+	curTS  uint64    // timestamp of the first 1 in the open group
+}
+
+type soGroup struct {
+	start uint64 // timestamp of the group's first 1
+	end   uint64 // timestamp of the group's last 1
+}
+
+// NewSignificantOnes returns a Lee–Ting counter for windows of n ticks,
+// significance threshold theta, and relative error eps.
+func NewSignificantOnes(n uint64, theta, eps float64) (*SignificantOnes, error) {
+	if n == 0 {
+		return nil, core.Errf("SignificantOnes", "n", "must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, core.Errf("SignificantOnes", "theta", "%v not in (0,1)", theta)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, core.Errf("SignificantOnes", "eps", "%v not in (0,1)", eps)
+	}
+	lambda := uint64(theta * eps * float64(n) / 2)
+	if lambda == 0 {
+		lambda = 1
+	}
+	return &SignificantOnes{window: n, theta: theta, eps: eps, lambda: lambda}, nil
+}
+
+// Update advances one tick with the given bit.
+func (s *SignificantOnes) Update(bit bool) {
+	s.now++
+	// Expire groups that ended before the window.
+	for len(s.groups) > 0 {
+		oldest := s.groups[len(s.groups)-1]
+		if oldest.end+s.window <= s.now {
+			s.groups = s.groups[:len(s.groups)-1]
+		} else {
+			break
+		}
+	}
+	if !bit {
+		return
+	}
+	if s.cur == 0 {
+		s.curTS = s.now
+	}
+	s.cur++
+	if s.cur == s.lambda {
+		s.groups = append([]soGroup{{start: s.curTS, end: s.now}}, s.groups...)
+		s.cur = 0
+	}
+}
+
+// Estimate returns the estimated number of ones in the window. The
+// guarantee |est - m| <= eps*m holds whenever m >= theta*n.
+func (s *SignificantOnes) Estimate() uint64 {
+	est := s.cur // open group is exact
+	for i, g := range s.groups {
+		if i == len(s.groups)-1 && g.start+s.window <= s.now {
+			// Oldest group straddles the window edge: count half.
+			est += (s.lambda + 1) / 2
+		} else {
+			est += s.lambda
+		}
+	}
+	return est
+}
+
+// Groups returns the number of closed groups retained.
+func (s *SignificantOnes) Groups() int { return len(s.groups) }
+
+// Bytes approximates the footprint.
+func (s *SignificantOnes) Bytes() int { return len(s.groups)*16 + 56 }
+
+// SignificanceThreshold returns theta*n, the ones-count above which the
+// error guarantee is in force.
+func (s *SignificantOnes) SignificanceThreshold() uint64 {
+	return uint64(s.theta * float64(s.window))
+}

@@ -1,0 +1,151 @@
+package window
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// EHSum extends the DGIM exponential histogram from bits to bounded
+// non-negative integer sums (the standard extension in the DGIM paper):
+// an arriving value v is treated as v ones arriving together. Relative
+// error for window sums follows the same eps bound.
+type EHSum struct {
+	inner *DGIM
+	maxV  uint64
+}
+
+// NewEHSum returns a sliding-window sum estimator for values in [0, maxV]
+// over windows of n ticks with relative error eps.
+func NewEHSum(n uint64, eps float64, maxV uint64) (*EHSum, error) {
+	if maxV == 0 {
+		return nil, core.Errf("EHSum", "maxV", "must be positive")
+	}
+	inner, err := NewDGIM(n, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &EHSum{inner: inner, maxV: maxV}, nil
+}
+
+// Update advances one tick with value v (clamped to maxV). The tick
+// consumes one window slot regardless of v; the v "ones" share the
+// arrival timestamp.
+func (e *EHSum) Update(v uint64) {
+	if v > e.maxV {
+		v = e.maxV
+	}
+	if v == 0 {
+		e.inner.Update(false)
+		return
+	}
+	// First unit advances time; the rest land on the same tick by
+	// replaying Update with a rolled-back clock.
+	e.inner.Update(true)
+	for i := uint64(1); i < v; i++ {
+		e.inner.now-- // same-timestamp insert
+		e.inner.Update(true)
+	}
+}
+
+// Estimate returns the estimated window sum.
+func (e *EHSum) Estimate() uint64 { return e.inner.Estimate() }
+
+// Bytes approximates the footprint.
+func (e *EHSum) Bytes() int { return e.inner.Bytes() + 8 }
+
+// SlidingStats maintains exact mean and variance over a sliding window of
+// fixed size using a ring buffer and running sums — the "maintaining
+// statistics like variance" problem Section 2 lists.
+//
+// The sums are kept on offset-shifted values (offset = first observed
+// sample, re-centered on periodic recomputation), which avoids the
+// catastrophic cancellation of the naive sum-of-squares formula when the
+// signal rides on a large level (e.g. microvolt noise on a gigahertz
+// counter).
+type SlidingStats struct {
+	vals       []float64
+	pos        int
+	filled     int
+	offset     float64
+	hasOffset  bool
+	sum        float64 // sum of (v - offset)
+	sumSq      float64 // sum of (v - offset)^2
+	sinceRecmp int
+}
+
+// NewSlidingStats returns a window-statistics tracker over n samples.
+func NewSlidingStats(n int) (*SlidingStats, error) {
+	if n <= 0 {
+		return nil, core.Errf("SlidingStats", "n", "%d must be positive", n)
+	}
+	return &SlidingStats{vals: make([]float64, n)}, nil
+}
+
+// Update pushes one sample, evicting the oldest when full.
+func (s *SlidingStats) Update(v float64) {
+	if !s.hasOffset {
+		s.offset = v
+		s.hasOffset = true
+	}
+	if s.filled == len(s.vals) {
+		old := s.vals[s.pos] - s.offset
+		s.sum -= old
+		s.sumSq -= old * old
+	} else {
+		s.filled++
+	}
+	s.vals[s.pos] = v
+	d := v - s.offset
+	s.sum += d
+	s.sumSq += d * d
+	s.pos = (s.pos + 1) % len(s.vals)
+
+	// Re-center the offset periodically so a drifting level does not
+	// slowly reintroduce cancellation.
+	s.sinceRecmp++
+	if s.sinceRecmp >= 4*len(s.vals) {
+		s.recompute()
+	}
+}
+
+func (s *SlidingStats) recompute() {
+	s.offset = s.Mean()
+	s.sum, s.sumSq = 0, 0
+	for i := 0; i < s.filled; i++ {
+		d := s.vals[i] - s.offset
+		s.sum += d
+		s.sumSq += d * d
+	}
+	s.sinceRecmp = 0
+}
+
+// Mean returns the window mean (0 when empty).
+func (s *SlidingStats) Mean() float64 {
+	if s.filled == 0 {
+		return 0
+	}
+	return s.offset + s.sum/float64(s.filled)
+}
+
+// Variance returns the population variance of the window (0 when empty).
+func (s *SlidingStats) Variance() float64 {
+	if s.filled == 0 {
+		return 0
+	}
+	mShift := s.sum / float64(s.filled)
+	v := s.sumSq/float64(s.filled) - mShift*mShift
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// StdDev returns the window standard deviation.
+func (s *SlidingStats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Len returns the number of samples currently in the window.
+func (s *SlidingStats) Len() int { return s.filled }
+
+// Full reports whether the window has reached capacity.
+func (s *SlidingStats) Full() bool { return s.filled == len(s.vals) }

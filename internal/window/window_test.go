@@ -1,0 +1,245 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestDGIMValidation(t *testing.T) {
+	if _, err := NewDGIM(0, 0.1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewDGIM(100, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewDGIM(100, 1); err == nil {
+		t.Fatal("eps=1 accepted")
+	}
+}
+
+func TestDGIMErrorBound(t *testing.T) {
+	const n = 10000
+	const eps = 0.1
+	d, _ := NewDGIM(n, eps)
+	exact := NewExactWindowCounter(n)
+	rng := workload.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		bit := rng.Float64() < 0.3
+		d.Update(bit)
+		exact.Update(bit)
+		if i%777 == 776 {
+			est := float64(d.Estimate())
+			truth := float64(exact.Count())
+			if truth > 0 && math.Abs(est-truth) > eps*truth+1 {
+				t.Fatalf("tick %d: est %v truth %v exceeds eps bound", i, est, truth)
+			}
+		}
+	}
+}
+
+func TestDGIMBurstyStream(t *testing.T) {
+	// Alternating dense and empty phases stress bucket expiry.
+	const n = 1000
+	d, _ := NewDGIM(n, 0.2)
+	exact := NewExactWindowCounter(n)
+	for phase := 0; phase < 20; phase++ {
+		dense := phase%2 == 0
+		for i := 0; i < 700; i++ {
+			d.Update(dense)
+			exact.Update(dense)
+		}
+		est := float64(d.Estimate())
+		truth := float64(exact.Count())
+		if math.Abs(est-truth) > 0.2*truth+2 {
+			t.Fatalf("phase %d: est %v truth %v", phase, est, truth)
+		}
+	}
+}
+
+func TestDGIMAllZeros(t *testing.T) {
+	d, _ := NewDGIM(100, 0.1)
+	for i := 0; i < 1000; i++ {
+		d.Update(false)
+	}
+	if d.Estimate() != 0 {
+		t.Fatalf("all-zero estimate %d", d.Estimate())
+	}
+	if d.Buckets() != 0 {
+		t.Fatalf("buckets retained for zeros: %d", d.Buckets())
+	}
+}
+
+func TestDGIMSpaceLogarithmic(t *testing.T) {
+	const n = 1 << 20
+	d, _ := NewDGIM(n, 0.1)
+	for i := 0; i < 2*n; i++ {
+		d.Update(true)
+	}
+	// Buckets per size = 7; sizes up to log2(n)=20 -> ~147 max.
+	if d.Buckets() > 200 {
+		t.Fatalf("DGIM holds %d buckets for all-ones window of %d", d.Buckets(), n)
+	}
+}
+
+func TestExactWindowCounter(t *testing.T) {
+	e := NewExactWindowCounter(5)
+	for i := 0; i < 5; i++ {
+		e.Update(true)
+	}
+	if e.Count() != 5 {
+		t.Fatalf("count %d", e.Count())
+	}
+	for i := 0; i < 3; i++ {
+		e.Update(false)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("after eviction count %d", e.Count())
+	}
+}
+
+func TestSignificantOnesValidation(t *testing.T) {
+	if _, err := NewSignificantOnes(0, 0.1, 0.1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewSignificantOnes(100, 0, 0.1); err == nil {
+		t.Fatal("theta=0 accepted")
+	}
+	if _, err := NewSignificantOnes(100, 0.1, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestSignificantOnesGuaranteeWhenSignificant(t *testing.T) {
+	const n = 10000
+	const theta = 0.1
+	const eps = 0.1
+	s, _ := NewSignificantOnes(n, theta, eps)
+	exact := NewExactWindowCounter(n)
+	rng := workload.NewRNG(2)
+	for i := 0; i < 100000; i++ {
+		// Ones density 0.4 >> theta: the guarantee must be in force.
+		bit := rng.Float64() < 0.4
+		s.Update(bit)
+		exact.Update(bit)
+		if i > n && i%999 == 0 {
+			m := float64(exact.Count())
+			if m < theta*n {
+				continue
+			}
+			est := float64(s.Estimate())
+			if math.Abs(est-m) > eps*m+float64(2*s.lambda) {
+				t.Fatalf("tick %d: est %v truth %v violates eps*m", i, est, m)
+			}
+		}
+	}
+}
+
+func TestSignificantOnesSmallerThanDGIM(t *testing.T) {
+	// The point of the relaxation: fewer buckets than DGIM at equal eps.
+	const n = 1 << 18
+	s, _ := NewSignificantOnes(n, 0.2, 0.1)
+	d, _ := NewDGIM(n, 0.1)
+	rng := workload.NewRNG(3)
+	for i := 0; i < 2*n; i++ {
+		bit := rng.Float64() < 0.5
+		s.Update(bit)
+		d.Update(bit)
+	}
+	if s.Groups() >= d.Buckets() {
+		t.Fatalf("significant-ones %d groups not below DGIM %d buckets", s.Groups(), d.Buckets())
+	}
+}
+
+func TestEHSumTracksWindowSum(t *testing.T) {
+	const n = 2000
+	e, err := NewEHSum(n, 0.15, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := make([]uint64, n)
+	var exact uint64
+	pos := 0
+	rng := workload.NewRNG(4)
+	for i := 0; i < 20000; i++ {
+		v := uint64(rng.Intn(20))
+		exact -= ring[pos]
+		ring[pos] = v
+		exact += v
+		pos = (pos + 1) % n
+		e.Update(v)
+		if i > n && i%501 == 0 {
+			est := float64(e.Estimate())
+			truth := float64(exact)
+			if truth > 0 && math.Abs(est-truth) > 0.15*truth+20 {
+				t.Fatalf("tick %d: sum est %v truth %v", i, est, truth)
+			}
+		}
+	}
+}
+
+func TestSlidingStatsExact(t *testing.T) {
+	s, _ := NewSlidingStats(4)
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Update(v)
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Variance() != 1.25 {
+		t.Fatalf("variance %v", s.Variance())
+	}
+	// Slide: window becomes {2,3,4,5}.
+	s.Update(5)
+	if s.Mean() != 3.5 {
+		t.Fatalf("slid mean %v", s.Mean())
+	}
+	if !s.Full() || s.Len() != 4 {
+		t.Fatal("window fill state wrong")
+	}
+}
+
+func TestSlidingStatsNumericalStability(t *testing.T) {
+	s, _ := NewSlidingStats(100)
+	// Large offset + small signal is the classic catastrophic-cancellation
+	// trap for running-sum variance.
+	base := 1e9
+	rng := workload.NewRNG(5)
+	for i := 0; i < 100000; i++ {
+		s.Update(base + rng.Float64())
+	}
+	v := s.Variance()
+	// Uniform(0,1) variance = 1/12 ~ 0.083.
+	if v < 0.05 || v > 0.12 {
+		t.Fatalf("variance %v drifted (want ~0.083)", v)
+	}
+}
+
+func TestSlidingStatsEmpty(t *testing.T) {
+	s, _ := NewSlidingStats(10)
+	if s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("empty stats nonzero")
+	}
+}
+
+func BenchmarkDGIMUpdate(b *testing.B) {
+	d, _ := NewDGIM(1<<20, 0.01)
+	for i := 0; i < b.N; i++ {
+		d.Update(i%3 == 0)
+	}
+}
+
+func BenchmarkSignificantOnesUpdate(b *testing.B) {
+	s, _ := NewSignificantOnes(1<<20, 0.1, 0.01)
+	for i := 0; i < b.N; i++ {
+		s.Update(i%3 == 0)
+	}
+}
+
+func BenchmarkSlidingStats(b *testing.B) {
+	s, _ := NewSlidingStats(1000)
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i % 100))
+	}
+}

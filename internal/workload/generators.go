@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws integer items in [0, n) with P(i) proportional to 1/(i+1)^s,
+// the canonical model for hashtag, URL and word frequencies that the
+// tutorial's "trending hashtags" and "heavy hitters" applications assume.
+//
+// It uses inverse-CDF sampling over a precomputed table, which is exact and
+// deterministic (unlike rejection sampling, whose draw count depends on the
+// rejection pattern).
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n items with exponent s >= 0.
+// s = 0 degenerates to uniform; s around 1.0-1.5 models web-like skew.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Draw returns the next item.
+func (z *Zipf) Draw() uint64 {
+	u := z.rng.Float64()
+	idx := sort.SearchFloat64s(z.cdf, u)
+	if idx >= len(z.cdf) {
+		idx = len(z.cdf) - 1
+	}
+	return uint64(idx)
+}
+
+// Stream draws m items.
+func (z *Zipf) Stream(m int) []uint64 {
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = z.Draw()
+	}
+	return out
+}
+
+// Uniform returns m items drawn uniformly from [0, n).
+func Uniform(rng *RNG, m, n int) []uint64 {
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = uint64(rng.Intn(n))
+	}
+	return out
+}
+
+// Distinct returns a stream containing each of n distinct keys exactly once,
+// in pseudo-random order. Cardinality experiments use it as ground truth.
+func Distinct(rng *RNG, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		// Spread keys over the full 64-bit space so hash-based sketches
+		// see realistic inputs rather than small consecutive integers.
+		out[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	rng.Shuffle(out)
+	return out
+}
+
+// ExactCounts tallies a stream; experiments use it as the ground truth for
+// frequency estimation.
+func ExactCounts(stream []uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, x := range stream {
+		m[x]++
+	}
+	return m
+}
+
+// ExactDistinct returns the true number of distinct items in a stream.
+func ExactDistinct(stream []uint64) int {
+	seen := make(map[uint64]struct{}, len(stream))
+	for _, x := range stream {
+		seen[x] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Keys renders integer items as short strings ("k123"), for components that
+// operate on string keys such as the topology engine and filters.
+func Keys(stream []uint64) []string {
+	out := make([]string, len(stream))
+	for i, x := range stream {
+		out[i] = fmt.Sprintf("k%d", x)
+	}
+	return out
+}
+
+// NearSorted returns 0..n-1 with a fraction of pseudo-random swaps applied,
+// producing streams of controllable "sortedness" for the inversion-counting
+// experiment (the paper's "measure sortedness of data" application).
+func NearSorted(rng *RNG, n int, swapFraction float64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	swaps := int(float64(n) * swapFraction)
+	for s := 0; s < swaps; s++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

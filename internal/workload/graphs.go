@@ -1,0 +1,89 @@
+package workload
+
+// Edge is an undirected graph-stream edge. Graph-stream algorithms in this
+// repository consume edges one at a time, in arrival order.
+type Edge struct {
+	U, V int
+}
+
+// RandomGraph returns m pseudo-random edges over n vertices (Erdős–Rényi
+// style, self-loops excluded, duplicates allowed as in real edge streams).
+func RandomGraph(rng *RNG, n, m int) []Edge {
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	return edges
+}
+
+// PreferentialGraph grows a Barabási–Albert style graph: each new vertex
+// attaches k edges to endpoints sampled proportionally to degree. This
+// models the heavy-tailed web/social graphs the tutorial's "web graph
+// analysis" application refers to.
+func PreferentialGraph(rng *RNG, n, k int) []Edge {
+	if n < 2 {
+		return nil
+	}
+	var edges []Edge
+	// endpoint multiset: a vertex appears once per incident edge,
+	// so sampling uniformly from it is degree-proportional sampling.
+	endpoints := []int{0, 1}
+	edges = append(edges, Edge{U: 0, V: 1})
+	for v := 2; v < n; v++ {
+		attach := k
+		if attach > v {
+			attach = v
+		}
+		chosen := map[int]bool{}
+		for len(chosen) < attach {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if u == v || chosen[u] {
+				continue
+			}
+			chosen[u] = true
+			edges = append(edges, Edge{U: u, V: v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return edges
+}
+
+// Communities generates a planted-partition graph stream: c communities of
+// size each, with intra-community edge probability pin and inter pout.
+// Used by clustering and correlation experiments over graph data.
+func Communities(rng *RNG, c, size int, pin, pout float64) []Edge {
+	n := c * size
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pout
+			if u/size == v/size {
+				p = pin
+			}
+			if rng.Float64() < p {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	// Stream order should not reveal structure.
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return edges
+}
+
+// PathGraph returns the edges of a simple path 0-1-2-...-n-1 in order,
+// the worst case for bounded-length reachability queries.
+func PathGraph(n int) []Edge {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1})
+	}
+	return edges
+}

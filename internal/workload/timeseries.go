@@ -1,0 +1,125 @@
+package workload
+
+import "math"
+
+// AnomalyKind labels the injected events in a generated series.
+type AnomalyKind int
+
+const (
+	// Spike is a single-point additive outlier.
+	Spike AnomalyKind = iota
+	// LevelShift is a persistent change in the series mean.
+	LevelShift
+	// VarianceBurst is a window of inflated noise.
+	VarianceBurst
+)
+
+// Anomaly records one injected event and where it lives in the series.
+type Anomaly struct {
+	Kind  AnomalyKind
+	Index int     // first affected sample
+	Len   int     // number of affected samples (1 for Spike)
+	Mag   float64 // magnitude in units of the base noise sigma
+}
+
+// SeriesSpec describes a synthetic labelled time series: a sinusoidal
+// seasonal component plus linear trend plus Gaussian noise, with anomalies
+// injected at known positions. This stands in for the sensor/operational
+// metric streams of the tutorial's anomaly-detection and prediction rows,
+// while giving experiments exact labels to score against.
+type SeriesSpec struct {
+	N         int     // number of samples
+	Base      float64 // mean level
+	Trend     float64 // per-sample drift
+	SeasonAmp float64 // amplitude of the seasonal sinusoid
+	SeasonLen int     // period in samples (0 disables seasonality)
+	NoiseSD   float64 // Gaussian noise sigma
+}
+
+// Series is a generated time series with its anomaly labels.
+type Series struct {
+	Values    []float64
+	Anomalies []Anomaly
+}
+
+// Generate builds the series described by spec, injecting the given
+// anomalies, using rng for the noise.
+func (spec SeriesSpec) Generate(rng *RNG, anomalies []Anomaly) Series {
+	vals := make([]float64, spec.N)
+	for i := range vals {
+		v := spec.Base + spec.Trend*float64(i)
+		if spec.SeasonLen > 0 {
+			v += spec.SeasonAmp * math.Sin(2*math.Pi*float64(i)/float64(spec.SeasonLen))
+		}
+		v += rng.NormFloat64() * spec.NoiseSD
+		vals[i] = v
+	}
+	for _, a := range anomalies {
+		switch a.Kind {
+		case Spike:
+			if a.Index >= 0 && a.Index < spec.N {
+				vals[a.Index] += a.Mag * spec.NoiseSD
+			}
+		case LevelShift:
+			for i := a.Index; i < spec.N && i < a.Index+a.Len; i++ {
+				vals[i] += a.Mag * spec.NoiseSD
+			}
+		case VarianceBurst:
+			for i := a.Index; i < spec.N && i < a.Index+a.Len; i++ {
+				vals[i] += rng.NormFloat64() * a.Mag * spec.NoiseSD
+			}
+		}
+	}
+	return Series{Values: vals, Anomalies: anomalies}
+}
+
+// IsAnomalous reports whether sample i falls inside any injected anomaly,
+// with a tolerance window of slack samples on each side (detectors that
+// fire slightly late on a level shift still count as correct).
+func (s Series) IsAnomalous(i, slack int) bool {
+	for _, a := range s.Anomalies {
+		lo := a.Index - slack
+		hi := a.Index + a.Len - 1 + slack
+		if a.Kind == Spike {
+			hi = a.Index + slack
+		}
+		if i >= lo && i <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// WithMissing masks a fraction of the series values, returning the masked
+// copy and the indexes removed. Prediction experiments impute these and
+// score RMSE against the originals.
+func WithMissing(rng *RNG, vals []float64, fraction float64) (masked []float64, missing []int) {
+	masked = make([]float64, len(vals))
+	copy(masked, vals)
+	for i := range masked {
+		if i > 0 && rng.Float64() < fraction {
+			masked[i] = math.NaN()
+			missing = append(missing, i)
+		}
+	}
+	return masked, missing
+}
+
+// CorrelatedPair generates two series of length n where y tracks x with the
+// given coupling in [0,1] (1 = identical up to noise, 0 = independent),
+// optionally lagged. Correlation-discovery experiments plant pairs this way.
+func CorrelatedPair(rng *RNG, n int, coupling float64, lag int) (x, y []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		src := 0.0
+		if j := i - lag; j >= 0 && j < n {
+			src = x[j]
+		}
+		y[i] = coupling*src + (1-coupling)*rng.NormFloat64()
+	}
+	return x, y
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 1000, 1.2)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Item 0 must dominate item 100 by roughly (101/1)^1.2; allow slack.
+	if counts[0] < 20*counts[100] {
+		t.Fatalf("zipf not skewed enough: c0=%d c100=%d", counts[0], counts[100])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(13)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Fatalf("s=0 not uniform at %d: %d", i, c)
+		}
+	}
+}
+
+func TestDistinctHasNDistinct(t *testing.T) {
+	r := NewRNG(17)
+	s := Distinct(r, 5000)
+	if got := ExactDistinct(s); got != 5000 {
+		t.Fatalf("Distinct produced %d distinct, want 5000", got)
+	}
+}
+
+func TestExactCounts(t *testing.T) {
+	stream := []uint64{1, 2, 2, 3, 3, 3}
+	c := ExactCounts(stream)
+	if c[1] != 1 || c[2] != 2 || c[3] != 3 {
+		t.Fatalf("bad counts: %v", c)
+	}
+}
+
+func TestNearSortedFractionZeroSorted(t *testing.T) {
+	r := NewRNG(19)
+	s := NearSorted(r, 100, 0)
+	for i := range s {
+		if s[i] != uint64(i) {
+			t.Fatal("zero swap fraction should be fully sorted")
+		}
+	}
+}
+
+func TestSeriesAnomalyLabels(t *testing.T) {
+	spec := SeriesSpec{N: 1000, Base: 10, NoiseSD: 1}
+	anoms := []Anomaly{
+		{Kind: Spike, Index: 100, Len: 1, Mag: 8},
+		{Kind: LevelShift, Index: 500, Len: 100, Mag: 5},
+	}
+	s := spec.Generate(NewRNG(23), anoms)
+	if len(s.Values) != 1000 {
+		t.Fatal("wrong length")
+	}
+	if !s.IsAnomalous(100, 0) || !s.IsAnomalous(550, 0) {
+		t.Fatal("labels missing injected anomalies")
+	}
+	if s.IsAnomalous(300, 0) {
+		t.Fatal("clean region labelled anomalous")
+	}
+	// The spike should be visibly larger than its neighbourhood.
+	if s.Values[100] < s.Values[99]+4 {
+		t.Fatalf("spike not injected: %v vs %v", s.Values[100], s.Values[99])
+	}
+}
+
+func TestSeriesSeasonality(t *testing.T) {
+	spec := SeriesSpec{N: 400, Base: 0, SeasonAmp: 10, SeasonLen: 100, NoiseSD: 0.01}
+	s := spec.Generate(NewRNG(29), nil)
+	// Peak near quarter period, trough near three quarters.
+	if s.Values[25] < 5 {
+		t.Fatalf("expected seasonal peak, got %v", s.Values[25])
+	}
+	if s.Values[75] > -5 {
+		t.Fatalf("expected seasonal trough, got %v", s.Values[75])
+	}
+}
+
+func TestWithMissing(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	masked, missing := WithMissing(NewRNG(31), vals, 0.2)
+	if len(missing) == 0 {
+		t.Fatal("no values masked")
+	}
+	for _, idx := range missing {
+		if !math.IsNaN(masked[idx]) {
+			t.Fatal("missing index not NaN")
+		}
+	}
+	if math.IsNaN(masked[0]) {
+		t.Fatal("index 0 must never be masked")
+	}
+}
+
+func TestCorrelatedPairCorrelation(t *testing.T) {
+	x, y := CorrelatedPair(NewRNG(37), 20000, 0.9, 0)
+	r := pearson(x, y)
+	if r < 0.7 {
+		t.Fatalf("planted correlation too weak: %v", r)
+	}
+	x2, y2 := CorrelatedPair(NewRNG(41), 20000, 0.0, 0)
+	if r2 := pearson(x2, y2); math.Abs(r2) > 0.05 {
+		t.Fatalf("independent pair shows correlation: %v", r2)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestRandomGraphNoSelfLoops(t *testing.T) {
+	edges := RandomGraph(NewRNG(43), 50, 500)
+	if len(edges) != 500 {
+		t.Fatalf("want 500 edges, got %d", len(edges))
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatal("self loop generated")
+		}
+	}
+}
+
+func TestPreferentialGraphDegreeSkew(t *testing.T) {
+	edges := PreferentialGraph(NewRNG(47), 2000, 2)
+	deg := map[int]int{}
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	// BA graphs have hubs: max degree far above the mean (~4).
+	if max < 20 {
+		t.Fatalf("no hubs formed, max degree %d", max)
+	}
+}
+
+func TestPathGraph(t *testing.T) {
+	edges := PathGraph(5)
+	if len(edges) != 4 {
+		t.Fatalf("want 4 edges, got %d", len(edges))
+	}
+	if edges[0] != (Edge{0, 1}) || edges[3] != (Edge{3, 4}) {
+		t.Fatalf("bad path edges: %v", edges)
+	}
+}
+
+func TestCommunitiesPlantedStructure(t *testing.T) {
+	edges := Communities(NewRNG(53), 2, 30, 0.5, 0.01)
+	intra, inter := 0, 0
+	for _, e := range edges {
+		if e.U/30 == e.V/30 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra < 5*inter {
+		t.Fatalf("structure not planted: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestQuickShufflePreservesMultiset(t *testing.T) {
+	f := func(seed uint64, raw []uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cp := append([]uint64(nil), raw...)
+		NewRNG(seed).Shuffle(cp)
+		a := ExactCounts(raw)
+		b := ExactCounts(cp)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,682 @@
+// Package repro is a production-quality Go toolkit for real-time
+// streaming analytics, reproducing the full landscape of the VLDB'15
+// tutorial "Real Time Analytics: Algorithms and Systems" (Kejariwal,
+// Kulkarni, Ramasamy — Twitter Inc.): every algorithm family of the
+// tutorial's Table 1, the synopsis structures of its Section 2, a
+// Storm/Heron-style topology engine and Kafka-like partitioned log
+// covering the platform design space of its Table 2/Section 3, and the
+// Lambda Architecture of its Figure 1.
+//
+// This root package is the public API: it re-exports the constructors and
+// types of the internal implementation packages under one import path, the
+// way a production sketch library (e.g. the DataSketches project the
+// tutorial cites) presents itself. Each alias points at a fully documented
+// implementation; see the internal package docs for algorithmic detail and
+// paper citations, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the reproduced experiments.
+//
+// # Quick start
+//
+//	hll, _ := repro.NewHyperLogLog(14, 42)
+//	topk, _ := repro.NewSpaceSaving(100)
+//	for _, tag := range tags {
+//	    hll.UpdateString(tag)
+//	    topk.Update(tag)
+//	}
+//	fmt.Println(hll.Estimate(), topk.TopK(10))
+package repro
+
+import (
+	"repro/internal/anomaly"
+	"repro/internal/cardinality"
+	"repro/internal/cluster"
+	"repro/internal/correlation"
+	"repro/internal/engine"
+	"repro/internal/filter"
+	"repro/internal/frequency"
+	"repro/internal/graphstream"
+	"repro/internal/histogram"
+	"repro/internal/inversions"
+	"repro/internal/lambda"
+	"repro/internal/moments"
+	"repro/internal/mqlog"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/quantile"
+	"repro/internal/sampling"
+	"repro/internal/subsequence"
+	"repro/internal/wavelet"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// ---- Cardinality estimation (Table 1: "Estimating Cardinality") ----
+
+// HyperLogLog estimates distinct counts in ~1.04/sqrt(2^p) relative error.
+type HyperLogLog = cardinality.HyperLogLog
+
+// SparseHLL is HLL++ with an automatic sparse-to-dense crossover.
+type SparseHLL = cardinality.SparseHLL
+
+// LinearCounter is occupancy-based distinct counting.
+type LinearCounter = cardinality.LinearCounter
+
+// PCSA is Flajolet–Martin probabilistic counting.
+type PCSA = cardinality.PCSA
+
+// LogLog is the Durand–Flajolet estimator.
+type LogLog = cardinality.LogLog
+
+// KMV is bottom-k distinct counting with Jaccard support.
+type KMV = cardinality.KMV
+
+// SlidingHLL answers distinct counts over sliding windows.
+type SlidingHLL = cardinality.SlidingHLL
+
+// NewHyperLogLog returns an HLL with 2^precision registers.
+func NewHyperLogLog(precision uint8, seed uint64) (*HyperLogLog, error) {
+	return cardinality.NewHyperLogLog(precision, seed)
+}
+
+// NewSparseHLL returns an HLL++-style sketch.
+func NewSparseHLL(precision uint8, seed uint64) (*SparseHLL, error) {
+	return cardinality.NewSparseHLL(precision, seed)
+}
+
+// NewLinearCounter returns a linear counter with nbits bits.
+func NewLinearCounter(nbits int, seed uint64) (*LinearCounter, error) {
+	return cardinality.NewLinearCounter(nbits, seed)
+}
+
+// NewPCSA returns a Flajolet–Martin sketch with nmaps bitmaps.
+func NewPCSA(nmaps int, seed uint64) (*PCSA, error) { return cardinality.NewPCSA(nmaps, seed) }
+
+// NewLogLog returns a LogLog sketch with 2^precision registers.
+func NewLogLog(precision uint8, seed uint64) (*LogLog, error) {
+	return cardinality.NewLogLog(precision, seed)
+}
+
+// NewKMV returns a bottom-k sketch of size k.
+func NewKMV(k int, seed uint64) (*KMV, error) { return cardinality.NewKMV(k, seed) }
+
+// NewSlidingHLL returns a sliding-window HLL for windows up to maxWindow.
+func NewSlidingHLL(precision uint8, maxWindow uint64, seed uint64) (*SlidingHLL, error) {
+	return cardinality.NewSlidingHLL(precision, maxWindow, seed)
+}
+
+// ---- Membership filters (Table 1: "Filtering") ----
+
+// Bloom is the classic Bloom filter.
+type Bloom = filter.Bloom
+
+// CountingBloom supports deletions via small counters.
+type CountingBloom = filter.CountingBloom
+
+// PartitionedBloom gives each hash its own bit slice.
+type PartitionedBloom = filter.PartitionedBloom
+
+// StableBloom decays over time for unbounded duplicate suppression.
+type StableBloom = filter.StableBloom
+
+// Cuckoo is the cuckoo filter (deletion + better space at low FPR).
+type Cuckoo = filter.Cuckoo
+
+// NewBloom sizes a Bloom filter for expectedItems at fpRate.
+func NewBloom(expectedItems int, fpRate float64, seed uint64) (*Bloom, error) {
+	return filter.NewBloom(expectedItems, fpRate, seed)
+}
+
+// NewBloomMK returns a Bloom filter with explicit geometry.
+func NewBloomMK(mBits int, k uint, seed uint64) (*Bloom, error) {
+	return filter.NewBloomMK(mBits, k, seed)
+}
+
+// NewCountingBloom returns a counting Bloom filter.
+func NewCountingBloom(m int, k uint, seed uint64) (*CountingBloom, error) {
+	return filter.NewCountingBloom(m, k, seed)
+}
+
+// NewPartitionedBloom returns a partitioned Bloom filter.
+func NewPartitionedBloom(sliceBits int, k uint, seed uint64) (*PartitionedBloom, error) {
+	return filter.NewPartitionedBloom(sliceBits, k, seed)
+}
+
+// NewStableBloom returns a time-decaying Bloom filter.
+func NewStableBloom(m int, k uint, max uint8, p int, seed uint64) (*StableBloom, error) {
+	return filter.NewStableBloom(m, k, max, p, seed)
+}
+
+// NewCuckoo returns a cuckoo filter sized for expectedItems.
+func NewCuckoo(expectedItems int, seed uint64) (*Cuckoo, error) {
+	return filter.NewCuckoo(expectedItems, seed)
+}
+
+// ---- Frequent elements (Table 1: "Finding Frequent Elements") ----
+
+// CountMin is the Count-Min sketch.
+type CountMin = frequency.CountMin
+
+// CountSketch is the signed median sketch (turnstile model).
+type CountSketch = frequency.CountSketch
+
+// MisraGries is the Frequent algorithm.
+type MisraGries = frequency.MisraGries
+
+// SpaceSaving is the Metwally et al. top-k summary.
+type SpaceSaving = frequency.SpaceSaving
+
+// LossyCounting is the Manku–Motwani deterministic summary.
+type LossyCounting = frequency.LossyCounting
+
+// StickySampling is the Manku–Motwani probabilistic summary.
+type StickySampling = frequency.StickySampling
+
+// HierarchicalHH finds hierarchical heavy hitters.
+type HierarchicalHH = frequency.HierarchicalHH
+
+// WindowTopK tracks top-k over a sliding window.
+type WindowTopK = frequency.WindowTopK
+
+// Counted is an item with its estimated count.
+type Counted = frequency.Counted
+
+// NewCountMin returns a width x depth Count-Min sketch.
+func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
+	return frequency.NewCountMin(width, depth, seed)
+}
+
+// NewCountMinWithError sizes a Count-Min sketch for (eps, delta).
+func NewCountMinWithError(eps, delta float64, seed uint64) (*CountMin, error) {
+	return frequency.NewCountMinWithError(eps, delta, seed)
+}
+
+// NewCountSketch returns a width x depth Count Sketch.
+func NewCountSketch(width, depth int, seed uint64) (*CountSketch, error) {
+	return frequency.NewCountSketch(width, depth, seed)
+}
+
+// NewMisraGries returns a Frequent summary with k counters.
+func NewMisraGries(k int) (*MisraGries, error) { return frequency.NewMisraGries(k) }
+
+// NewSpaceSaving returns a Space-Saving summary with k counters.
+func NewSpaceSaving(k int) (*SpaceSaving, error) { return frequency.NewSpaceSaving(k) }
+
+// NewLossyCounting returns a Lossy Counting summary with error eps.
+func NewLossyCounting(eps float64) (*LossyCounting, error) { return frequency.NewLossyCounting(eps) }
+
+// NewStickySampling returns a Sticky Sampling summary.
+func NewStickySampling(theta, eps, delta float64, seed uint64) (*StickySampling, error) {
+	return frequency.NewStickySampling(theta, eps, delta, seed)
+}
+
+// NewHierarchicalHH returns a hierarchical heavy-hitter summary.
+func NewHierarchicalHH(maxDepth, k int, sep string) (*HierarchicalHH, error) {
+	return frequency.NewHierarchicalHH(maxDepth, k, sep)
+}
+
+// NewWindowTopK returns a sliding-window top-k tracker.
+func NewWindowTopK(windowSize int) (*WindowTopK, error) { return frequency.NewWindowTopK(windowSize) }
+
+// ---- Quantiles (Table 1: "Estimating Quantiles") ----
+
+// GK is the Greenwald–Khanna summary.
+type GK = quantile.GK
+
+// QDigest is the mergeable q-digest over integer domains.
+type QDigest = quantile.QDigest
+
+// CKMS is the targeted/biased-quantile summary.
+type CKMS = quantile.CKMS
+
+// QuantileTarget declares a (phi, eps) objective for CKMS.
+type QuantileTarget = quantile.Target
+
+// Frugal1U estimates one quantile in one word of memory.
+type Frugal1U = quantile.Frugal1U
+
+// Frugal2U is the adaptive-step two-word variant.
+type Frugal2U = quantile.Frugal2U
+
+// ExactQuantile is the exact baseline.
+type ExactQuantile = quantile.Exact
+
+// NewGK returns a Greenwald–Khanna summary with rank error eps.
+func NewGK(eps float64) (*GK, error) { return quantile.NewGK(eps) }
+
+// NewQDigest returns a q-digest over [0, 2^logU) with compression k.
+func NewQDigest(logU uint8, k uint64) (*QDigest, error) { return quantile.NewQDigest(logU, k) }
+
+// NewCKMS returns a targeted-quantile summary.
+func NewCKMS(targets []QuantileTarget) (*CKMS, error) { return quantile.NewCKMS(targets) }
+
+// NewFrugal1U returns a one-word estimator of the phi-quantile.
+func NewFrugal1U(phi float64, seed uint64) (*Frugal1U, error) { return quantile.NewFrugal1U(phi, seed) }
+
+// NewFrugal2U returns a two-word adaptive estimator of the phi-quantile.
+func NewFrugal2U(phi float64, seed uint64) (*Frugal2U, error) { return quantile.NewFrugal2U(phi, seed) }
+
+// NewExactQuantile returns the exact baseline accumulator.
+func NewExactQuantile() *ExactQuantile { return quantile.NewExact() }
+
+// WindowedQuantile answers quantiles over the last W values (blocked GK).
+type WindowedQuantile = quantile.Windowed
+
+// NewWindowedQuantile returns a sliding-window quantile summary.
+func NewWindowedQuantile(windowSize int, eps float64) (*WindowedQuantile, error) {
+	return quantile.NewWindowed(windowSize, eps)
+}
+
+// ---- Sampling (Table 1: "Sampling") ----
+
+// NewReservoir returns a uniform reservoir sampler of size k (Vitter R).
+func NewReservoir[T any](k int, seed uint64) (*sampling.Reservoir[T], error) {
+	return sampling.NewReservoir[T](k, seed)
+}
+
+// NewReservoirL returns the skip-ahead variant (Algorithm L).
+func NewReservoirL[T any](k int, seed uint64) (*sampling.ReservoirL[T], error) {
+	return sampling.NewReservoirL[T](k, seed)
+}
+
+// NewWeightedReservoir returns an A-ES weighted sampler.
+func NewWeightedReservoir[T any](k int, seed uint64) (*sampling.WeightedReservoir[T], error) {
+	return sampling.NewWeightedReservoir[T](k, seed)
+}
+
+// NewBiasedReservoir returns Aggarwal's recency-biased sampler.
+func NewBiasedReservoir[T any](k int, seed uint64) (*sampling.BiasedReservoir[T], error) {
+	return sampling.NewBiasedReservoir[T](k, seed)
+}
+
+// NewChainSample returns a sliding-window uniform sampler.
+func NewChainSample[T any](k int, windowSize uint64, seed uint64) (*sampling.ChainSample[T], error) {
+	return sampling.NewChainSample[T](k, windowSize, seed)
+}
+
+// NewBernoulli returns an independent p-sampler.
+func NewBernoulli[T any](p float64, seed uint64) (*sampling.Bernoulli[T], error) {
+	return sampling.NewBernoulli[T](p, seed)
+}
+
+// ---- Moments, windows, histograms, wavelets (Table 1 + Section 2) ----
+
+// AMSF2 estimates the second frequency moment.
+type AMSF2 = moments.AMSF2
+
+// FkSampler estimates higher frequency moments.
+type FkSampler = moments.FkSampler
+
+// DGIM counts ones over sliding windows in polylog space.
+type DGIM = window.DGIM
+
+// SignificantOnes is the Lee–Ting relaxed window counter.
+type SignificantOnes = window.SignificantOnes
+
+// EHSum extends DGIM to bounded integer sums.
+type EHSum = window.EHSum
+
+// SlidingStats tracks windowed mean/variance exactly.
+type SlidingStats = window.SlidingStats
+
+// HistogramBucket is one histogram bucket.
+type HistogramBucket = histogram.Bucket
+
+// EquiWidthHistogram is the fixed-bucket baseline histogram.
+type EquiWidthHistogram = histogram.EquiWidth
+
+// EndBiasedHistogram keeps exact heads and a uniform tail.
+type EndBiasedHistogram = histogram.EndBiased
+
+// WaveletSynopsis is a top-k Haar coefficient synopsis.
+type WaveletSynopsis = wavelet.Synopsis
+
+// NewAMSF2 returns a tug-of-war sketch with rows x cols counters.
+func NewAMSF2(rows, cols int, seed uint64) (*AMSF2, error) { return moments.NewAMSF2(rows, cols, seed) }
+
+// NewFkSampler returns an F_k estimator with the given sampler count.
+func NewFkSampler(k, samplers int, seed uint64) (*FkSampler, error) {
+	return moments.NewFkSampler(k, samplers, seed)
+}
+
+// NewDGIM returns an exponential-histogram window counter.
+func NewDGIM(windowSize uint64, eps float64) (*DGIM, error) { return window.NewDGIM(windowSize, eps) }
+
+// NewSignificantOnes returns a Lee–Ting significant-one counter.
+func NewSignificantOnes(windowSize uint64, theta, eps float64) (*SignificantOnes, error) {
+	return window.NewSignificantOnes(windowSize, theta, eps)
+}
+
+// NewEHSum returns a sliding-window sum estimator.
+func NewEHSum(windowSize uint64, eps float64, maxV uint64) (*EHSum, error) {
+	return window.NewEHSum(windowSize, eps, maxV)
+}
+
+// NewSlidingStats returns an exact windowed mean/variance tracker.
+func NewSlidingStats(windowSize int) (*SlidingStats, error) {
+	return window.NewSlidingStats(windowSize)
+}
+
+// NewEquiWidthHistogram returns an equi-width histogram.
+func NewEquiWidthHistogram(lo, hi float64, buckets int) (*EquiWidthHistogram, error) {
+	return histogram.NewEquiWidth(lo, hi, buckets)
+}
+
+// VOptimalHistogram computes the SSE-optimal piecewise-constant histogram.
+func VOptimalHistogram(values []float64, buckets int) ([]HistogramBucket, float64, error) {
+	return histogram.VOptimal(values, buckets)
+}
+
+// NewEndBiasedHistogram returns an end-biased histogram.
+func NewEndBiasedHistogram(threshold uint64) (*EndBiasedHistogram, error) {
+	return histogram.NewEndBiased(threshold)
+}
+
+// NewWaveletSynopsis builds a k-coefficient Haar synopsis of a signal.
+func NewWaveletSynopsis(signal []float64, k int) (*WaveletSynopsis, error) {
+	return wavelet.NewSynopsis(signal, k)
+}
+
+// ---- Order statistics over sequences (Table 1 rows 8-9) ----
+
+// InversionCounter counts inversions exactly (Fenwick tree).
+type InversionCounter = inversions.ExactCounter
+
+// InversionEstimator approximates inversions in sublinear space.
+type InversionEstimator = inversions.Estimator
+
+// LIS tracks the longest increasing subsequence exactly.
+type LIS = subsequence.LIS
+
+// ApproxLIS bounds memory with weighted patience tails.
+type ApproxLIS = subsequence.ApproxLIS
+
+// DTWMatcher finds stream subsequences similar to a query.
+type DTWMatcher = subsequence.Matcher
+
+// NewInversionCounter returns an exact inversion counter over [0, universe).
+func NewInversionCounter(universe int) (*InversionCounter, error) {
+	return inversions.NewExactCounter(universe)
+}
+
+// NewInversionEstimator returns a sampling inversion estimator.
+func NewInversionEstimator(samplers int, seed uint64) (*InversionEstimator, error) {
+	return inversions.NewEstimator(samplers, seed)
+}
+
+// NewLIS returns an exact streaming LIS tracker.
+func NewLIS() *LIS { return subsequence.NewLIS() }
+
+// NewApproxLIS returns a bounded-memory LIS estimator.
+func NewApproxLIS(maxTails int) (*ApproxLIS, error) { return subsequence.NewApproxLIS(maxTails) }
+
+// NewDTWMatcher returns a query-similar subsequence matcher.
+func NewDTWMatcher(query []float64, threshold float64, radius int) (*DTWMatcher, error) {
+	return subsequence.NewMatcher(query, threshold, radius)
+}
+
+// ---- Graph streams (Table 1: "Graph analysis", "Path Analysis") ----
+
+// SpanningForest is one-pass streaming connectivity.
+type SpanningForest = graphstream.SpanningForest
+
+// GreedyMatching is the 2-approximate semi-streaming matcher.
+type GreedyMatching = graphstream.GreedyMatching
+
+// WeightedMatching is the one-pass weighted matcher.
+type WeightedMatching = graphstream.WeightedMatching
+
+// Spanner retains a (2k-1)-spanner of the edge stream.
+type Spanner = graphstream.Spanner
+
+// TriangleCounter counts triangles over edge streams.
+type TriangleCounter = graphstream.TriangleCounter
+
+// DynamicReach answers bounded-length path queries on dynamic graphs.
+type DynamicReach = graphstream.DynamicReach
+
+// GraphEdge is an undirected edge.
+type GraphEdge = workload.Edge
+
+// NewSpanningForest returns a streaming spanning forest.
+func NewSpanningForest(n int) (*SpanningForest, error) { return graphstream.NewSpanningForest(n) }
+
+// NewGreedyMatching returns a streaming maximal matcher.
+func NewGreedyMatching(n int) (*GreedyMatching, error) { return graphstream.NewGreedyMatching(n) }
+
+// NewWeightedMatching returns a one-pass weighted matcher.
+func NewWeightedMatching(n int, gamma float64) (*WeightedMatching, error) {
+	return graphstream.NewWeightedMatching(n, gamma)
+}
+
+// NewSpanner returns a streaming (2k-1)-spanner.
+func NewSpanner(n, k int) (*Spanner, error) { return graphstream.NewSpanner(n, k) }
+
+// NewTriangleCounter returns an exact streaming triangle counter.
+func NewTriangleCounter(n int) (*TriangleCounter, error) { return graphstream.NewTriangleCounter(n) }
+
+// NewDynamicReach returns a dynamic graph with <=l path queries.
+func NewDynamicReach(n int) (*DynamicReach, error) { return graphstream.NewDynamicReach(n) }
+
+// MinCut estimates global minimum cuts via repeated Karger contraction.
+type MinCut = graphstream.MinCut
+
+// NewMinCut returns a min-cut estimator over n vertices.
+func NewMinCut(n int, seed uint64) (*MinCut, error) { return graphstream.NewMinCut(n, seed) }
+
+// ---- Detection, prediction, clustering, correlation, patterns ----
+
+// AnomalyDetector scores observations; higher is more anomalous.
+type AnomalyDetector = anomaly.Detector
+
+// EWMADetector is the control-chart detector.
+type EWMADetector = anomaly.EWMA
+
+// MADDetector is the robust median/MAD detector.
+type MADDetector = anomaly.MAD
+
+// ChangeDetector detects distribution shifts (KS windows).
+type ChangeDetector = anomaly.ChangeDetector
+
+// HSTrees is the streaming half-space-trees ensemble.
+type HSTrees = anomaly.HSTrees
+
+// Kalman is a constant-velocity Kalman filter.
+type Kalman = predict.Kalman
+
+// Holt is double exponential smoothing.
+type Holt = predict.Holt
+
+// AR1 is an online AR(1) model.
+type AR1 = predict.AR1
+
+// OnlineKMeans is the sequential one-pass clusterer.
+type OnlineKMeans = cluster.OnlineKMeans
+
+// StreamKMedian is the STREAM chunked clusterer.
+type StreamKMedian = cluster.StreamKMedian
+
+// MicroClusters maintains CluStream CF vectors.
+type MicroClusters = cluster.MicroClusters
+
+// ClusterPoint is a dense point.
+type ClusterPoint = cluster.Point
+
+// WindowedCorrelation is incrementally-maintained windowed Pearson.
+type WindowedCorrelation = correlation.Windowed
+
+// PairScanner finds correlated stream pairs.
+type PairScanner = correlation.PairScanner
+
+// SAX symbolizes real-valued series.
+type SAX = pattern.SAX
+
+// ShapeDetector matches symbol patterns over SAX streams.
+type ShapeDetector = pattern.ShapeDetector
+
+// CEP is the condition/action + sequence rule engine.
+type CEP = pattern.CEP
+
+// CEPEvent is one CEP input event.
+type CEPEvent = pattern.Event
+
+// CEPRule is a simple condition/action rule.
+type CEPRule = pattern.Rule
+
+// CEPSequenceRule is a followed-by-within-window rule.
+type CEPSequenceRule = pattern.SequenceRule
+
+// NewEWMADetector returns an EWMA z-score detector.
+func NewEWMADetector(alpha float64) (*EWMADetector, error) { return anomaly.NewEWMA(alpha) }
+
+// NewMADDetector returns a median/MAD detector over a window.
+func NewMADDetector(windowSize int) (*MADDetector, error) { return anomaly.NewMAD(windowSize) }
+
+// NewChangeDetector returns a KS distribution-shift detector.
+func NewChangeDetector(windowSize int, threshold float64) (*ChangeDetector, error) {
+	return anomaly.NewChangeDetector(windowSize, threshold)
+}
+
+// NewHSTrees returns a half-space-trees ensemble.
+func NewHSTrees(trees, depth, dims, windowSize int, mins, maxs []float64, seed uint64) (*HSTrees, error) {
+	return anomaly.NewHSTrees(trees, depth, dims, windowSize, mins, maxs, seed)
+}
+
+// NewKalman returns a constant-velocity Kalman filter.
+func NewKalman(q, r float64) (*Kalman, error) { return predict.NewKalman(q, r) }
+
+// NewHolt returns a Holt double-exponential forecaster.
+func NewHolt(alpha, beta float64) (*Holt, error) { return predict.NewHolt(alpha, beta) }
+
+// NewAR1 returns an online AR(1) model.
+func NewAR1(lambda float64) (*AR1, error) { return predict.NewAR1(lambda) }
+
+// Predictor is the shared one-step-ahead forecasting contract.
+type Predictor = predict.Predictor
+
+// NewLastValue returns the persistence baseline forecaster.
+func NewLastValue() *predict.LastValue { return predict.NewLastValue() }
+
+// ImputeRMSE scores a predictor imputing NaN gaps against ground truth.
+func ImputeRMSE(p Predictor, truth, masked []float64) float64 {
+	return predict.ImputeRMSE(p, truth, masked)
+}
+
+// NewOnlineKMeans returns a sequential k-means clusterer.
+func NewOnlineKMeans(k, dim int) (*OnlineKMeans, error) { return cluster.NewOnlineKMeans(k, dim) }
+
+// NewStreamKMedian returns a STREAM-style chunked clusterer.
+func NewStreamKMedian(k, chunkSize int, seed uint64) (*StreamKMedian, error) {
+	return cluster.NewStreamKMedian(k, chunkSize, seed)
+}
+
+// NewMicroClusters returns a CluStream micro-cluster maintainer.
+func NewMicroClusters(max, dim int, radiusFactor float64) (*MicroClusters, error) {
+	return cluster.NewMicroClusters(max, dim, radiusFactor)
+}
+
+// NewWindowedCorrelation returns a windowed Pearson tracker.
+func NewWindowedCorrelation(windowSize int) (*WindowedCorrelation, error) {
+	return correlation.NewWindowed(windowSize)
+}
+
+// NewPairScanner returns a correlated-pair scanner over k streams.
+func NewPairScanner(k, windowSize int) (*PairScanner, error) {
+	return correlation.NewPairScanner(k, windowSize)
+}
+
+// NewSAX returns a SAX symbolizer.
+func NewSAX(alphabet, frame, normWindow int) (*SAX, error) {
+	return pattern.NewSAX(alphabet, frame, normWindow)
+}
+
+// NewShapeDetector returns a symbol-pattern detector ('.' wildcards).
+func NewShapeDetector(patternStr string) (*ShapeDetector, error) {
+	return pattern.NewShapeDetector(patternStr)
+}
+
+// NewCEP returns a complex-event-processing rule engine.
+func NewCEP(maxQueue int) (*CEP, error) { return pattern.NewCEP(maxQueue) }
+
+// ---- Platforms (Table 2 / Section 3) and Lambda (Figure 1) ----
+
+// TopologyBuilder assembles Storm/Heron-style dataflows.
+type TopologyBuilder = engine.Builder
+
+// Topology is a runnable dataflow.
+type Topology = engine.Topology
+
+// TopologyConfig tunes a run (semantics, queues, retries).
+type TopologyConfig = engine.Config
+
+// TopologyStats summarizes a run.
+type TopologyStats = engine.Stats
+
+// TupleMessage is one tuple.
+type TupleMessage = engine.Message
+
+// Bolt processes tuples.
+type Bolt = engine.Bolt
+
+// BoltFunc adapts a function to Bolt.
+type BoltFunc = engine.BoltFunc
+
+// Spout produces tuples.
+type Spout = engine.Spout
+
+// SpoutFunc adapts a function to Spout.
+type SpoutFunc = engine.SpoutFunc
+
+// Delivery semantics.
+const (
+	AtMostOnce  = engine.AtMostOnce
+	AtLeastOnce = engine.AtLeastOnce
+)
+
+// NewTopologyBuilder returns an empty topology builder.
+func NewTopologyBuilder() *TopologyBuilder { return engine.NewBuilder() }
+
+// ShuffleFrom / FieldsFrom / GlobalFrom / BroadcastFrom subscribe bolts to
+// upstream streams with the named grouping.
+var (
+	ShuffleFrom   = engine.ShuffleFrom
+	FieldsFrom    = engine.FieldsFrom
+	GlobalFrom    = engine.GlobalFrom
+	BroadcastFrom = engine.BroadcastFrom
+)
+
+// NewDedup wraps a bolt with replay suppression (effectively-once).
+func NewDedup(inner Bolt, idFn func(TupleMessage) uint64) (*engine.Dedup, error) {
+	return engine.NewDedup(inner, idFn)
+}
+
+// Broker is the Kafka-like partitioned log.
+type Broker = mqlog.Broker
+
+// LogTopic is a partitioned topic.
+type LogTopic = mqlog.Topic
+
+// ConsumerGroup coordinates partition-assigned consumers.
+type ConsumerGroup = mqlog.ConsumerGroup
+
+// NewBroker returns an empty log broker.
+func NewBroker() *Broker { return mqlog.NewBroker() }
+
+// NewConsumerGroup returns a consumer group over a topic.
+func NewConsumerGroup(b *Broker, t *LogTopic, name string) (*ConsumerGroup, error) {
+	return mqlog.NewConsumerGroup(b, t, name)
+}
+
+// Lambda is the Figure 1 architecture (batch + serving + speed + merge).
+type Lambda = lambda.Architecture
+
+// NewLambda returns a Lambda Architecture with an exact speed layer.
+func NewLambda() *Lambda { return lambda.New() }
+
+// NewLambdaApprox returns one with a Count-Min speed layer.
+func NewLambdaApprox(width, depth int, seed uint64) (*Lambda, error) {
+	sl, err := lambda.NewApproxSpeedLayer(width, depth, seed)
+	if err != nil {
+		return nil, err
+	}
+	return lambda.NewWithSpeedLayer(sl)
+}

@@ -1,0 +1,222 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// These tests exercise the public facade end to end — the integration
+// surface a downstream user sees — complementing the per-package unit
+// tests in internal/.
+
+func TestFacadeSketchRoundTrip(t *testing.T) {
+	hll, err := repro.NewHyperLogLog(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := repro.NewSpaceSaving(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk, err := repro.NewGK(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bloom, err := repro.NewBloom(10000, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("item-%d", i%1000)
+		hll.UpdateString(key)
+		ss.Update(key)
+		gk.Update(float64(i % 1000))
+		bloom.AddString(key)
+	}
+	if est := hll.Estimate(); math.Abs(est-1000) > 100 {
+		t.Fatalf("facade HLL estimate %v", est)
+	}
+	if top := ss.TopK(5); len(top) != 5 {
+		t.Fatalf("facade top-k %v", top)
+	}
+	if med := gk.Query(0.5); med < 400 || med > 600 {
+		t.Fatalf("facade median %v", med)
+	}
+	if !bloom.ContainsString("item-1") {
+		t.Fatal("facade bloom lost a key")
+	}
+}
+
+func TestFacadeGenericSamplers(t *testing.T) {
+	res, err := repro.NewReservoir[string](10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		res.Update(fmt.Sprintf("ev-%d", i))
+	}
+	if len(res.Sample()) != 10 {
+		t.Fatalf("facade reservoir size %d", len(res.Sample()))
+	}
+	wr, err := repro.NewWeightedReservoir[int](5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		wr.Update(i, float64(i+1))
+	}
+	if len(wr.Sample()) != 5 {
+		t.Fatalf("facade weighted reservoir size %d", len(wr.Sample()))
+	}
+}
+
+func TestFacadeTopologyWordcount(t *testing.T) {
+	sentences := []string{"a b", "b c", "c c"}
+	i := 0
+	spout := repro.SpoutFunc(func() (repro.TupleMessage, bool) {
+		if i >= len(sentences) {
+			return repro.TupleMessage{}, false
+		}
+		i++
+		return repro.TupleMessage{Value: sentences[i-1]}, true
+	})
+	counts := map[string]int{}
+	split := func(int) repro.Bolt {
+		return repro.BoltFunc(func(m repro.TupleMessage, emit func(repro.TupleMessage)) error {
+			for _, r := range m.Value.(string) {
+				if r != ' ' {
+					emit(repro.TupleMessage{Key: string(r), Value: 1})
+				}
+			}
+			return nil
+		})
+	}
+	count := func(int) repro.Bolt {
+		return repro.BoltFunc(func(m repro.TupleMessage, emit func(repro.TupleMessage)) error {
+			counts[m.Key]++
+			return nil
+		})
+	}
+	top, err := repro.NewTopologyBuilder().
+		AddSpout("src", spout).
+		AddBolt("split", split, 2, repro.ShuffleFrom("src")).
+		AddBolt("count", count, 1, repro.GlobalFrom("split")).
+		Build(repro.TopologyConfig{Semantics: repro.AtLeastOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := top.Run()
+	if counts["c"] != 3 || counts["b"] != 2 || counts["a"] != 1 {
+		t.Fatalf("facade wordcount %v", counts)
+	}
+	if stats.Acked != 3 {
+		t.Fatalf("facade acked %d", stats.Acked)
+	}
+}
+
+func TestFacadeLambda(t *testing.T) {
+	arch := repro.NewLambda()
+	arch.Append("k", 5)
+	arch.RunBatch()
+	arch.Append("k", 3)
+	if got := arch.Query("k"); got != 8 {
+		t.Fatalf("facade lambda query %d", got)
+	}
+	approx, err := repro.NewLambdaApprox(1024, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx.Append("k", 5)
+	if got := approx.Query("k"); got < 5 {
+		t.Fatalf("facade approx lambda undercounts: %d", got)
+	}
+}
+
+func TestFacadeBrokerConsumerGroup(t *testing.T) {
+	b := repro.NewBroker()
+	topic, err := b.CreateTopic("t", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		topic.Produce(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	g, err := repro.NewConsumerGroup(b, topic, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Join("w")
+	total := 0
+	for {
+		batches := g.Poll("w", 100)
+		if len(batches) == 0 {
+			break
+		}
+		for _, batch := range batches {
+			total += len(batch.Messages)
+			g.Commit(batch.Partition, batch.Next)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("facade consumer got %d", total)
+	}
+}
+
+func TestFacadeGraphAndWindows(t *testing.T) {
+	sf, err := repro.NewSpanningForest(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Update(repro.GraphEdge{U: 0, V: 1})
+	sf.Update(repro.GraphEdge{U: 1, V: 2})
+	if !sf.Connected(0, 2) {
+		t.Fatal("facade forest connectivity")
+	}
+	dg, err := repro.NewDGIM(100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		dg.Update(true)
+	}
+	if est := dg.Estimate(); est < 40 || est > 60 {
+		t.Fatalf("facade DGIM estimate %d", est)
+	}
+}
+
+func TestFacadeWindowedQuantileAndMinCut(t *testing.T) {
+	wq, err := repro.NewWindowedQuantile(1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		wq.Update(float64(i % 100))
+	}
+	if med := wq.Query(0.5); med < 30 || med > 70 {
+		t.Fatalf("facade windowed median %v", med)
+	}
+	mc, err := repro.NewMinCut(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Update(repro.GraphEdge{U: 0, V: 1})
+	mc.Update(repro.GraphEdge{U: 1, V: 2})
+	mc.Update(repro.GraphEdge{U: 2, V: 3})
+	if cut := mc.Estimate(50); cut != 1 {
+		t.Fatalf("facade path min cut %d", cut)
+	}
+}
+
+func TestFacadePredictors(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 5, 6}
+	masked := []float64{1, 2, math.NaN(), 4, math.NaN(), 6}
+	k, _ := repro.NewKalman(0.1, 1)
+	rmse := repro.ImputeRMSE(k, truth, masked)
+	base := repro.ImputeRMSE(repro.NewLastValue(), truth, masked)
+	if rmse < 0 || base < 0 {
+		t.Fatal("negative RMSE")
+	}
+}
