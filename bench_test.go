@@ -10,9 +10,12 @@
 package repro_test
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/store"
 )
 
 // benchTable runs an experiment table builder under the benchmark loop
@@ -55,7 +58,10 @@ func BenchmarkS2_2_Wavelets(b *testing.B)   { benchTable(b, experiments.S2_2_Wav
 func BenchmarkT2_1_Semantics(b *testing.B)  { benchTable(b, experiments.T2_1_Semantics) }
 func BenchmarkT2_2_Grouping(b *testing.B)   { benchTable(b, experiments.T2_2_Grouping) }
 func BenchmarkT2_3_Broker(b *testing.B)     { benchTable(b, experiments.T2_3_Broker) }
-func BenchmarkF1_Lambda(b *testing.B)       { benchTable(b, experiments.F1_Lambda) }
+func BenchmarkT2_4_SketchStore(b *testing.B) {
+	benchTable(b, experiments.T2_4_SketchStore)
+}
+func BenchmarkF1_Lambda(b *testing.B) { benchTable(b, experiments.F1_Lambda) }
 func BenchmarkA1_ConservativeUpdate(b *testing.B) {
 	benchTable(b, experiments.A1_ConservativeUpdate)
 }
@@ -65,3 +71,106 @@ func BenchmarkA2_SparseDenseCrossover(b *testing.B) {
 func BenchmarkA3_DoubleHashing(b *testing.B)  { benchTable(b, experiments.A3_DoubleHashing) }
 func BenchmarkA4_AckingOverhead(b *testing.B) { benchTable(b, experiments.A4_AckingOverhead) }
 func BenchmarkA5_GKCompression(b *testing.B)  { benchTable(b, experiments.A5_GKCompression) }
+
+// ---- Sketch store micro-benchmarks ----
+//
+// Unlike the T2.4 experiment table (fixed writer pool, wall-clock rates),
+// these measure per-operation cost under the standard testing.B parallel
+// harness, parameterized by shard count:
+//
+//	go test -bench=BenchmarkStore -benchmem
+//
+// SetParallelism(8) runs 8 goroutines per GOMAXPROCS processor, so shard
+// scaling is visible even on small containers; on a multi-core box add
+// -cpu 1,4,8 for the hardware-parallelism curve.
+
+var storeShardCounts = []int{1, 4, 16, 64}
+
+func newBenchStore(b *testing.B, shards int) *store.Store {
+	b.Helper()
+	st, err := store.New(store.Config{Shards: shards, BucketWidth: 50, RingBuckets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := store.NewDistinctProto(12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.RegisterMetric("uniq", proto); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	return keys
+}
+
+func BenchmarkStoreIngest(b *testing.B) {
+	keys := benchKeys(256)
+	items := benchKeys(64)
+	for _, shards := range storeShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newBenchStore(b, shards)
+			var seq atomic.Int64
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					st.Observe(store.Observation{
+						Metric: "uniq",
+						Key:    keys[int(i)%len(keys)],
+						Item:   items[int(i)%len(items)],
+						// One stream-time tick per full key sweep, so each
+						// (key, bucket) absorbs ~BucketWidth writes instead
+						// of opening a fresh synopsis per write.
+						Time: i / int64(len(keys)),
+					})
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkStoreQuery(b *testing.B) {
+	keys := benchKeys(256)
+	items := benchKeys(64)
+	for _, shards := range storeShardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := newBenchStore(b, shards)
+			// Populate ~16 buckets of history for every key.
+			const populate = 200000
+			for i := 0; i < populate; i++ {
+				st.Observe(store.Observation{
+					Metric: "uniq",
+					Key:    keys[i%len(keys)],
+					Item:   items[i%len(items)],
+					Time:   int64(i / len(keys)),
+				})
+			}
+			horizon := int64(populate / len(keys))
+			var seq atomic.Int64
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					from := horizon - 1000 // ~20 buckets
+					if from < 0 {
+						from = 0
+					}
+					if _, err := st.Query("uniq", keys[int(i*31)%len(keys)], from, horizon); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Command sketchstore demonstrates the sharded sketch store as a live
+// speed-layer serving system, end to end across the repo's subsystems:
+//
+//   - producers append Zipf-keyed events to an mqlog topic (the durable
+//     input log of the Lambda Architecture);
+//   - a topology consumes the topic through a consumer group and sinks it
+//     into the store via StoreBolt tasks (the speed layer);
+//   - concurrent query workers issue range merge-queries against the
+//     store the whole time (the serving path);
+//   - when ingest finishes, the log is replayed into a fresh store (the
+//     batch layer) and both layers' answers are compared per key.
+//
+// Usage:
+//
+//	go run ./cmd/sketchstore [-shards 16] [-events 200000] [-queriers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mqlog"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	shards := flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
+	events := flag.Int("events", 200000, "events to ingest")
+	queriers := flag.Int("queriers", 4, "concurrent query workers")
+	flag.Parse()
+
+	const (
+		keySpace    = 64
+		users       = 20000
+		bucketWidth = 100
+		ringBuckets = 64
+	)
+
+	protos := map[string]store.Prototype{}
+	mustProto := func(name string, p store.Prototype, err error) {
+		if err != nil {
+			panic(err)
+		}
+		protos[name] = p
+	}
+	hll, err := store.NewDistinctProto(12, 42)
+	mustProto("uniques", hll, err)
+	topk, err := store.NewTopKProto(64)
+	mustProto("top-pages", topk, err)
+	quant, err := store.NewQuantileProto(20, 128)
+	mustProto("latency-us", quant, err)
+
+	newStore := func() *store.Store {
+		st, err := store.New(store.Config{
+			Shards:      *shards,
+			BucketWidth: bucketWidth,
+			RingBuckets: ringBuckets,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for name, p := range protos {
+			if err := st.RegisterMetric(name, p); err != nil {
+				panic(err)
+			}
+		}
+		return st
+	}
+	speed := newStore()
+
+	// Durable input log.
+	broker := mqlog.NewBroker()
+	topic, err := broker.CreateTopic("events", 8, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	// Producers: Zipf-keyed page views with synthetic latency values,
+	// written to the log ahead of the topology (the log decouples them).
+	rng := workload.NewRNG(7)
+	zipfKey := workload.NewZipf(rng, keySpace, 1.2)
+	zipfUser := workload.NewZipf(rng, users, 1.05)
+	var clock atomic.Int64
+	fmt.Printf("producing %d events to mqlog topic %q (8 partitions)...\n", *events, "events")
+	for i := 0; i < *events; i++ {
+		page := fmt.Sprintf("page:/p%d", zipfKey.Draw())
+		user := fmt.Sprintf("u%d", zipfUser.Draw())
+		ts := clock.Add(1)
+		latency := uint64(50 + (ts*2654435761)%2000) // deterministic pseudo-latency
+		for _, obs := range []store.Observation{
+			{Metric: "uniques", Key: page, Item: user, Time: ts},
+			{Metric: "top-pages", Key: "global", Item: page, Time: ts},
+			{Metric: "latency-us", Key: page, Value: latency, Time: ts},
+		} {
+			topic.Produce(obs.Key, store.EncodeObservation(obs))
+		}
+	}
+
+	// Speed layer: consumer-group spout -> StoreBolt topology, with
+	// concurrent query workers hammering the store while it ingests.
+	group, err := mqlog.NewConsumerGroup(broker, topic, "speed-layer")
+	if err != nil {
+		panic(err)
+	}
+	group.Join("worker-0")
+	// The spout drains the consumer group through a local queue; spouts
+	// are pulled by a single feeder goroutine, so no locking is needed.
+	runTopology := func(st *store.Store) engine.Stats {
+		queue := []mqlog.Message(nil)
+		src := engine.SpoutFunc(func() (engine.Message, bool) {
+			for len(queue) == 0 {
+				batches := group.Poll("worker-0", 512)
+				if len(batches) == 0 {
+					return engine.Message{}, false
+				}
+				for _, b := range batches {
+					queue = append(queue, b.Messages...)
+					group.Commit(b.Partition, b.Next)
+				}
+			}
+			m := queue[0]
+			queue = queue[1:]
+			obs, ok := store.WireDecoder(m)
+			if !ok {
+				return engine.Message{Key: m.Key, Value: nil}, true
+			}
+			return engine.Message{Key: m.Key, Value: obs}, true
+		})
+		sink, err := engine.NewStoreBolt(st, nil)
+		if err != nil {
+			panic(err)
+		}
+		topo, err := engine.NewBuilder().
+			AddSpout("log", src).
+			AddBolt("store", sink.Factory(), 4, engine.FieldsFrom("log")).
+			Build(engine.Config{Semantics: engine.AtLeastOnce})
+		if err != nil {
+			panic(err)
+		}
+		return topo.Run()
+	}
+
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	var queries atomic.Uint64
+	for q := 0; q < *queriers; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := clock.Load()
+				from := now - 20*bucketWidth
+				if from < 0 {
+					from = 0
+				}
+				page := fmt.Sprintf("page:/p%d", (q*31+i)%keySpace+1)
+				if _, err := speed.Query("uniques", page, from, now); err != nil {
+					panic(err)
+				}
+				if _, err := speed.Query("latency-us", page, from, now); err != nil {
+					panic(err)
+				}
+				queries.Add(2)
+			}
+		}(q)
+	}
+
+	fmt.Printf("ingesting through StoreBolt topology (shards=%d) with %d concurrent queriers...\n",
+		speed.Shards(), *queriers)
+	start := time.Now()
+	topoStats := runTopology(speed)
+	ingestSecs := time.Since(start).Seconds()
+	close(stop)
+	qwg.Wait()
+
+	stats := speed.Stats()
+	fmt.Printf("\nspeed layer: %d observations in %.2fs (%.0f obs/sec), %d queries served concurrently\n",
+		stats.Observed, ingestSecs, float64(stats.Observed)/ingestSecs, queries.Load())
+	fmt.Printf("  store: %d entries, %d synopsis bytes, %d late drops; topology acked %d\n",
+		stats.Entries, stats.Bytes, stats.DroppedLate, topoStats.Acked)
+
+	// Serving snapshot: global top pages and per-page answers.
+	now := clock.Load()
+	syn, err := speed.Query("top-pages", "global", 0, now)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ntop pages (Space-Saving over all buckets):")
+	for _, c := range syn.(*store.TopK).Top(5) {
+		fmt.Printf("  %-12s ~%d views\n", c.Item, c.Count)
+	}
+
+	// Batch layer: rebuild from the log and compare per-key answers.
+	fmt.Println("\nrebuilding batch layer from mqlog (full replay)...")
+	rstart := time.Now()
+	batch, applied, err := store.Rebuild(store.Config{
+		Shards:      *shards,
+		BucketWidth: bucketWidth,
+		RingBuckets: ringBuckets,
+	}, protos, topic, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("replayed %d observations in %.2fs\n", applied, time.Since(rstart).Seconds())
+
+	fmt.Println("\nspeed vs batch (per-page uniques over the ring window):")
+	keys := speed.Keys("uniques")
+	sort.Strings(keys)
+	if len(keys) > 5 {
+		keys = keys[:5]
+	}
+	agree := true
+	for _, page := range keys {
+		a, _ := speed.Query("uniques", page, 0, now)
+		b, _ := batch.Query("uniques", page, 0, now)
+		sa, sb := a.(*store.Distinct).Estimate(), b.(*store.Distinct).Estimate()
+		match := "=="
+		if sa != sb {
+			match, agree = "!=", false
+		}
+		fmt.Printf("  %-12s speed %.0f %s batch %.0f\n", page, sa, match, sb)
+	}
+	if agree {
+		fmt.Println("layers agree: replaying the log reproduces the speed layer's state")
+	} else {
+		fmt.Println("layers diverge: investigate retention/ordering")
+	}
+}

@@ -2,7 +2,8 @@
 // reproduced paper's evaluation surface (Table 1 rows, Section 2
 // synopses, Table 2 platform comparisons, Figure 1 Lambda Architecture,
 // plus the design-choice ablations) and prints them as aligned text
-// tables. Run with an experiment id (e.g. "T1.4" or "F1") to print one.
+// tables. Run with an experiment id (e.g. "T1.4" or "F1") to print one —
+// only the selected experiment is executed.
 package main
 
 import (
@@ -19,17 +20,18 @@ func main() {
 		want = strings.ToUpper(os.Args[1])
 	}
 	printed := 0
-	for _, table := range experiments.All() {
-		if want != "" && strings.ToUpper(table.ID) != want {
+	for _, b := range experiments.Builders() {
+		if want != "" && strings.ToUpper(b.ID) != want {
 			continue
 		}
+		table := b.Build()
 		fmt.Println(table.String())
 		printed++
 	}
 	if printed == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known ids:\n", want)
-		for _, table := range experiments.All() {
-			fmt.Fprintf(os.Stderr, "  %-6s %s\n", table.ID, table.Title)
+		for _, b := range experiments.Builders() {
+			fmt.Fprintf(os.Stderr, "  %-6s %s\n", b.ID, b.Title)
 		}
 		os.Exit(1)
 	}

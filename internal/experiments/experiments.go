@@ -85,36 +85,55 @@ func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
 // d formats an integer.
 func d[T int | int64 | uint64](v T) string { return fmt.Sprintf("%d", v) }
 
+// Builder names one experiment without running it, so callers can list or
+// select experiments (cmd/streambench) without paying for the whole suite.
+type Builder struct {
+	ID    string
+	Title string
+	Build func() Table
+}
+
+// Builders returns every experiment in presentation order.
+func Builders() []Builder {
+	return []Builder{
+		{"T1.1", "Table 1 row: sampling", T1_01_Sampling},
+		{"T1.2", "Table 1 row: filtering", T1_02_Filtering},
+		{"T1.3", "Table 1 row: correlation", T1_03_Correlation},
+		{"T1.4", "Table 1 row: cardinality", T1_04_Cardinality},
+		{"T1.5", "Table 1 row: quantiles", T1_05_Quantiles},
+		{"T1.6", "Table 1 row: moments", T1_06_Moments},
+		{"T1.7", "Table 1 row: frequent elements", T1_07_FrequentElements},
+		{"T1.8", "Table 1 row: inversions", T1_08_Inversions},
+		{"T1.9", "Table 1 row: subsequences", T1_09_Subsequences},
+		{"T1.10", "Table 1 row: path analysis", T1_10_PathAnalysis},
+		{"T1.11", "Table 1 row: anomaly detection", T1_11_Anomaly},
+		{"T1.12", "Table 1 row: temporal patterns", T1_12_TemporalPatterns},
+		{"T1.13", "Table 1 row: prediction", T1_13_Prediction},
+		{"T1.14", "Table 1 row: clustering", T1_14_Clustering},
+		{"T1.15", "Table 1 row: graph analysis", T1_15_GraphAnalysis},
+		{"T1.16", "Table 1 row: basic counting", T1_16_BasicCounting},
+		{"T1.17", "Table 1 row: significant ones", T1_17_SignificantOnes},
+		{"S2.1", "Section 2: histograms", S2_1_Histograms},
+		{"S2.2", "Section 2: wavelets", S2_2_Wavelets},
+		{"T2.1", "Table 2: delivery semantics", T2_1_Semantics},
+		{"T2.2", "Table 2: stream groupings", T2_2_Grouping},
+		{"T2.3", "Table 2: partitioned log", T2_3_Broker},
+		{"T2.4", "Sharded sketch store serving", T2_4_SketchStore},
+		{"F1", "Figure 1: Lambda Architecture", F1_Lambda},
+		{"A1", "Ablation: conservative update", A1_ConservativeUpdate},
+		{"A2", "Ablation: sparse/dense crossover", A2_SparseDenseCrossover},
+		{"A3", "Ablation: double hashing", A3_DoubleHashing},
+		{"A4", "Ablation: acking overhead", A4_AckingOverhead},
+		{"A5", "Ablation: GK compression", A5_GKCompression},
+	}
+}
+
 // All runs every experiment and returns the tables in presentation order.
 func All() []Table {
-	return []Table{
-		T1_01_Sampling(),
-		T1_02_Filtering(),
-		T1_03_Correlation(),
-		T1_04_Cardinality(),
-		T1_05_Quantiles(),
-		T1_06_Moments(),
-		T1_07_FrequentElements(),
-		T1_08_Inversions(),
-		T1_09_Subsequences(),
-		T1_10_PathAnalysis(),
-		T1_11_Anomaly(),
-		T1_12_TemporalPatterns(),
-		T1_13_Prediction(),
-		T1_14_Clustering(),
-		T1_15_GraphAnalysis(),
-		T1_16_BasicCounting(),
-		T1_17_SignificantOnes(),
-		S2_1_Histograms(),
-		S2_2_Wavelets(),
-		T2_1_Semantics(),
-		T2_2_Grouping(),
-		T2_3_Broker(),
-		F1_Lambda(),
-		A1_ConservativeUpdate(),
-		A2_SparseDenseCrossover(),
-		A3_DoubleHashing(),
-		A4_AckingOverhead(),
-		A5_GKCompression(),
+	builders := Builders()
+	tables := make([]Table, 0, len(builders))
+	for _, b := range builders {
+		tables = append(tables, b.Build())
 	}
+	return tables
 }

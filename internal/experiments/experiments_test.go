@@ -75,3 +75,34 @@ func TestWaveletErrorMonotone(t *testing.T) {
 func sscan(s string, out *float64) (int, error) {
 	return fmt.Sscan(s, out)
 }
+
+// The Builders registry is what cmd/streambench selects and lists by, so
+// its IDs must be unique and must match the IDs of the tables they build
+// (checked on the fast builders; the slow ones share the same literal
+// convention).
+func TestBuildersRegistryConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	count := 0
+	fast := map[string]bool{
+		"T1.3": true, "T1.8": true, "T1.10": true, "T1.12": true,
+		"T1.13": true, "S2.1": true, "S2.2": true, "A2": true, "A5": true,
+	}
+	for _, b := range Builders() {
+		if b.ID == "" || b.Title == "" || b.Build == nil {
+			t.Fatalf("incomplete builder %+v", b)
+		}
+		if seen[b.ID] {
+			t.Fatalf("duplicate builder id %s", b.ID)
+		}
+		seen[b.ID] = true
+		count++
+		if fast[b.ID] {
+			if got := b.Build().ID; got != b.ID {
+				t.Fatalf("builder id %s builds table id %s", b.ID, got)
+			}
+		}
+	}
+	if count != 29 {
+		t.Fatalf("expected 29 experiments, registry has %d", count)
+	}
+}

@@ -281,6 +281,79 @@ func (ss *SpaceSaving) Items() uint64 { return ss.n }
 // Bytes approximates the summary footprint.
 func (ss *SpaceSaving) Bytes() int { return len(ss.elem)*96 + 32 }
 
+// Merge folds another Space-Saving summary into ss, following the
+// mergeable-summaries construction (Agarwal et al.): counts of items
+// present in both summaries add; an item present in only one side may have
+// occurred up to the other side's minimum count, so that floor is added to
+// both its count (keeping it an overestimate) and its error bound. The top
+// k of the combined candidates are kept and the Stream-Summary structure is
+// rebuilt. The usual guarantees survive merging: every estimate remains an
+// overestimate by at most its Err, and any item with true count > N/k in
+// the concatenated stream is tracked.
+func (ss *SpaceSaving) Merge(other *SpaceSaving) error {
+	if other == nil || ss.k != other.k {
+		return core.ErrIncompatible
+	}
+	// A summary that never filled up has seen every one of its items
+	// exactly; only a full summary can have silently dropped an item.
+	var floorA, floorB uint64
+	if len(ss.elem) == ss.k {
+		floorA = ss.MinCount()
+	}
+	if len(other.elem) == other.k {
+		floorB = other.MinCount()
+	}
+	merged := make(map[string]Counted, len(ss.elem)+len(other.elem))
+	for it, n := range ss.elem {
+		merged[it] = Counted{Item: it, Count: n.bucket.count, Err: n.err}
+	}
+	for it, n := range other.elem {
+		if c, ok := merged[it]; ok {
+			c.Count += n.bucket.count
+			c.Err += n.err
+			merged[it] = c
+		} else {
+			merged[it] = Counted{Item: it, Count: n.bucket.count + floorA, Err: n.err + floorA}
+		}
+	}
+	for it := range ss.elem {
+		if _, inB := other.elem[it]; !inB {
+			c := merged[it]
+			c.Count += floorB
+			c.Err += floorB
+			merged[it] = c
+		}
+	}
+	all := make([]Counted, 0, len(merged))
+	for _, c := range merged {
+		all = append(all, c)
+	}
+	sortCounted(all)
+	if len(all) > ss.k {
+		all = all[:ss.k]
+	}
+	ss.elem = make(map[string]*ssNode, ss.k)
+	ss.head = nil
+	// Attach in ascending count order so each attach search starts at the
+	// current tail's predecessor region and stays O(1) amortized.
+	var after *ssBucket
+	for i := len(all) - 1; i >= 0; i-- {
+		c := all[i]
+		n := &ssNode{item: c.Item, err: c.Err}
+		ss.elem[c.Item] = n
+		hint := after
+		if hint != nil && hint.count >= c.Count {
+			// attach searches strictly forward; equal counts must re-find
+			// the existing bucket from an earlier position.
+			hint = hint.prev
+		}
+		ss.attach(n, c.Count, hint)
+		after = n.bucket
+	}
+	ss.n += other.n
+	return nil
+}
+
 // MinCount returns the smallest tracked count — the global error bound.
 func (ss *SpaceSaving) MinCount() uint64 {
 	if ss.head == nil {

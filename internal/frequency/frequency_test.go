@@ -654,3 +654,80 @@ func TestCountMinSerializationRejectsBadInput(t *testing.T) {
 		t.Fatal("conservative flag lost in round trip")
 	}
 }
+
+func TestSpaceSavingMergeEqualsConcat(t *testing.T) {
+	a, _ := NewSpaceSaving(200)
+	b, _ := NewSpaceSaving(200)
+	sa := ZipfStrings(21, 50000, 5000, 1.2)
+	sb := ZipfStrings(22, 50000, 5000, 1.2)
+	truth := map[string]uint64{}
+	for _, it := range sa {
+		a.Update(it)
+		truth[it]++
+	}
+	for _, it := range sb {
+		b.Update(it)
+		truth[it]++
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Items() != 100000 {
+		t.Fatalf("merged items %d", a.Items())
+	}
+	if len(a.elem) > 200 {
+		t.Fatalf("merged summary exceeds k: %d", len(a.elem))
+	}
+	// Estimates stay overestimates bounded by Err, and every item above
+	// 2N/k in the concatenated stream is still tracked.
+	for _, c := range a.TopK(len(a.elem)) {
+		if tc := truth[c.Item]; c.Count < tc {
+			t.Fatalf("merged SS undercounted %s: %d < %d", c.Item, c.Count, tc)
+		} else if c.Count-c.Err > tc {
+			t.Fatalf("merged SS error bound violated for %s: %d-%d > %d", c.Item, c.Count, c.Err, tc)
+		}
+	}
+	bound := a.Items() / 200 * 2
+	for it, tc := range truth {
+		if tc > bound {
+			if c, _ := a.Estimate(it); c == 0 {
+				t.Fatalf("merged SS lost heavy item %s (true %d > %d)", it, tc, bound)
+			}
+		}
+	}
+	// The internal Stream-Summary structure must survive the rebuild:
+	// further updates and min lookups keep working.
+	for _, it := range ZipfStrings(23, 10000, 5000, 1.2) {
+		a.Update(it)
+	}
+	if a.MinCount() == 0 {
+		t.Fatal("min count zero after post-merge updates on a full summary")
+	}
+	other, _ := NewSpaceSaving(100)
+	if err := a.Merge(other); err == nil {
+		t.Fatal("merged different k")
+	}
+}
+
+func TestSpaceSavingMergeIntoEmptyPreservesCounts(t *testing.T) {
+	src, _ := NewSpaceSaving(8)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			src.Update(string(rune('a' + i)))
+		}
+	}
+	dst, _ := NewSpaceSaving(8)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	// Neither side was full, so the merge is exact.
+	for i := 0; i < 5; i++ {
+		c, e := dst.Estimate(string(rune('a' + i)))
+		if c != uint64(i+1) || e != 0 {
+			t.Fatalf("item %c: got (%d,%d), want (%d,0)", 'a'+i, c, e, i+1)
+		}
+	}
+	if dst.Items() != src.Items() {
+		t.Fatalf("items %d != %d", dst.Items(), src.Items())
+	}
+}

@@ -1,0 +1,141 @@
+// replay.go is the batch-layer half of the Lambda split: where Observe
+// ingests the live stream, Rebuild replays the retained prefix of an
+// mqlog topic into a fresh store. A speed-layer store fed by a topology
+// and a batch-layer store rebuilt from the log converge to the same
+// synopses over the log's retention window, which is exactly the
+// recomputation guarantee Figure 1 of the tutorial assigns to the batch
+// layer — and the recovery path when a speed-layer process is lost.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mqlog"
+)
+
+// EncodeObservation serializes an observation to the store's wire format
+// (length-prefixed strings plus varints), suitable as an mqlog message
+// value. Use the observation's Key as the mqlog message key so a series
+// always lands in one partition and replays in order.
+func EncodeObservation(obs Observation) []byte {
+	buf := make([]byte, 0, len(obs.Metric)+len(obs.Key)+len(obs.Item)+3*binary.MaxVarintLen64)
+	for _, s := range []string{obs.Metric, obs.Key, obs.Item} {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, obs.Value)
+	buf = binary.AppendVarint(buf, obs.Time)
+	return buf
+}
+
+// DecodeObservation parses the EncodeObservation wire format.
+func DecodeObservation(data []byte) (Observation, error) {
+	var obs Observation
+	fields := []*string{&obs.Metric, &obs.Key, &obs.Item}
+	for _, f := range fields {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || uint64(len(data)-sz) < n {
+			return Observation{}, fmt.Errorf("store: observation string field: %w", core.ErrCorrupt)
+		}
+		*f = string(data[sz : sz+int(n)])
+		data = data[sz+int(n):]
+	}
+	v, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return Observation{}, fmt.Errorf("store: observation value: %w", core.ErrCorrupt)
+	}
+	data = data[sz:]
+	t, sz := binary.Varint(data)
+	if sz <= 0 {
+		return Observation{}, fmt.Errorf("store: observation time: %w", core.ErrCorrupt)
+	}
+	obs.Value, obs.Time = v, t
+	return obs, nil
+}
+
+// Decoder maps a log message to an observation; returning false skips the
+// message (foreign payloads in a shared topic are not an error).
+type Decoder func(mqlog.Message) (Observation, bool)
+
+// WireDecoder decodes messages produced with EncodeObservation, skipping
+// any that fail to parse.
+func WireDecoder(m mqlog.Message) (Observation, bool) {
+	obs, err := DecodeObservation(m.Value)
+	return obs, err == nil
+}
+
+// Replay feeds the retained prefix of every partition of the topic into
+// the store, from each partition's oldest retained offset up to its end
+// offset as of the call (writes racing the replay are picked up by the
+// live ingest path, not the replay). It returns the number of decoded
+// observations fed to the store; observations older than an entry's ring
+// window are dropped by the store itself and show up in
+// Stats().DroppedLate, not as a reduced count here.
+func Replay(st *Store, topic *mqlog.Topic, decode Decoder) (uint64, error) {
+	if st == nil || topic == nil {
+		return 0, core.Errf("Replay", "store/topic", "must be non-nil")
+	}
+	if decode == nil {
+		decode = WireDecoder
+	}
+	var applied uint64
+	for pid := 0; pid < topic.Partitions(); pid++ {
+		off := topic.StartOffset(pid)
+		end := topic.EndOffset(pid)
+		for off < end {
+			batch := 1024
+			if remaining := int(end - off); remaining < batch {
+				// Clamp to the end snapshot so messages produced while the
+				// replay runs are left to the live ingest path.
+				batch = remaining
+			}
+			msgs, next, _, err := topic.Fetch(pid, off, batch)
+			if err != nil {
+				return applied, err
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				if m.Offset >= end {
+					// Retention truncated under us and the fetch resumed
+					// past the snapshot; the rest belongs to live ingest.
+					break
+				}
+				obs, ok := decode(m)
+				if !ok {
+					continue
+				}
+				if err := st.Observe(obs); err != nil {
+					return applied, fmt.Errorf("store: replay partition %d offset %d: %w", pid, m.Offset, err)
+				}
+				applied++
+			}
+			off = next
+		}
+	}
+	return applied, nil
+}
+
+// Rebuild constructs a fresh store with the given config and metric
+// prototypes and replays the topic into it — the batch-layer
+// recomputation. The returned store is independent of any live store
+// consuming the same topic.
+func Rebuild(cfg Config, protos map[string]Prototype, topic *mqlog.Topic, decode Decoder) (*Store, uint64, error) {
+	st, err := New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for name, proto := range protos {
+		if err := st.RegisterMetric(name, proto); err != nil {
+			return nil, 0, err
+		}
+	}
+	applied, err := Replay(st, topic, decode)
+	if err != nil {
+		return nil, applied, err
+	}
+	return st, applied, nil
+}

@@ -1,0 +1,478 @@
+// Package store is the speed-layer serving subsystem: a sharded,
+// concurrent, keyed store of time-bucketed synopses that absorbs
+// write-heavy streams while answering merge-queries — the partitioned
+// state store the tutorial's Section 3 platforms (Storm/Heron bolts,
+// Samza stores, MillWheel persistent state) all assume behind the
+// topology, and the serving half of its Figure 1 Lambda Architecture's
+// speed layer.
+//
+// Layout. Keys are (metric, key) pairs — e.g. ("uniques", "page:/home").
+// Entries are spread over a power-of-two number of shards by hash, each
+// shard guarded by its own sync.RWMutex, so writers on different shards
+// never contend and readers never block each other (the sharding scheme
+// of production in-memory caches). Each entry holds a fixed ring of time
+// buckets of configurable width; each bucket is one mergeable synopsis
+// (HyperLogLog, Count-Min, Space-Saving, q-digest — see synopsis.go)
+// built by the metric's registered Prototype.
+//
+// Concurrency. A write locks only its shard, for one sketch update. When
+// an entry's stream time advances to a new bucket, older buckets are
+// sealed; sealed synopses are immutable — a late write to a sealed bucket
+// clones the synopsis and swaps the pointer (copy-on-write), never
+// mutating in place. Range queries therefore RLock the shard only long
+// enough to snapshot bucket pointers (merging any still-open buckets
+// under the read lock), then merge the sealed buckets lock-free outside
+// it: a long query over mostly-sealed history does its heavy merging
+// without holding any lock at all.
+//
+// Retention. Three mechanisms bound memory, mirroring the mqlog
+// partition-retention design: the ring itself (a bucket falling out of
+// the ring window is dropped, and writes older than the window are
+// rejected and counted), per-shard byte budgets (least-recently-written
+// entries are evicted first), and idle-age eviction (entries whose last
+// write is older than MaxIdle stream-time units are reaped
+// opportunistically during writes).
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+)
+
+// Observation is one data point bound for the store: the metric names
+// which registered synopsis family absorbs it, the key selects the series,
+// and item/value carry the payload (see the Synopsis adapters for which of
+// the two each family consumes). Time is stream time in arbitrary integer
+// units (the bucket width is expressed in the same units).
+type Observation struct {
+	Metric string
+	Key    string
+	Item   string
+	Value  uint64
+	Time   int64
+}
+
+// Config tunes a Store.
+type Config struct {
+	// Shards is the shard count, rounded up to a power of two (default 16).
+	Shards int
+	// BucketWidth is the stream-time units each bucket spans (default 60).
+	BucketWidth int64
+	// RingBuckets is how many buckets each entry retains (default 60).
+	// Writes more than RingBuckets behind an entry's newest bucket are
+	// rejected and counted in Stats.DroppedLate.
+	RingBuckets int
+	// MaxShardBytes is the per-shard synopsis byte budget; when a write
+	// pushes a shard past it, least-recently-written entries are evicted
+	// until it fits (0 = unlimited).
+	MaxShardBytes int
+	// MaxIdle evicts entries whose last write is more than MaxIdle
+	// stream-time units behind the most recent write to their shard
+	// (0 = no idle eviction).
+	MaxIdle int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	// Round up to a power of two so routing is a mask, not a modulo.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 60
+	}
+	if c.RingBuckets <= 0 {
+		c.RingBuckets = 60
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Observed    uint64 // observations absorbed
+	DroppedLate uint64 // observations older than the ring window
+	Queries     uint64 // range queries served
+	EvictedSize uint64 // entries evicted by the byte budget
+	EvictedIdle uint64 // entries evicted by idle age
+	Entries     int    // live (metric, key) entries
+	Bytes       int    // synopsis bytes across all shards
+}
+
+// entryKey identifies one series.
+type entryKey struct {
+	metric string
+	key    string
+}
+
+// slot is one position of an entry's bucket ring.
+type slot struct {
+	idx    int64 // bucket index occupying the slot; -1 when empty
+	sealed bool  // immutable: late writes must copy-on-write
+	bytes  int   // last accounted footprint of syn
+	syn    Synopsis
+}
+
+// entry is the bucket ring of one (metric, key) series, plus its links in
+// the shard's recency list.
+type entry struct {
+	k         entryKey
+	slots     []slot
+	newest    int64 // highest bucket index written; -1 before first write
+	lastWrite int64 // stream time of the most recent write
+	bytes     int   // sum of slot footprints
+	prev      *entry
+	next      *entry
+}
+
+func (e *entry) slotFor(bkt int64) *slot {
+	return &e.slots[int(bkt%int64(len(e.slots)))]
+}
+
+// shard is one lock domain: a map of entries plus an intrusive
+// recency-of-write list (front = most recently written) driving both
+// eviction policies.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[entryKey]*entry
+	head    *entry // most recently written
+	tail    *entry // least recently written
+	bytes   int
+	maxTime int64 // newest observation time seen by the shard
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) touch(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// remove drops the entry from the shard. Callers hold sh.mu.
+func (sh *shard) remove(e *entry) {
+	sh.unlink(e)
+	delete(sh.entries, e.k)
+	sh.bytes -= e.bytes
+}
+
+// Store is the sharded synopsis store.
+type Store struct {
+	cfg    Config
+	mask   uint64
+	seed   uint64
+	shards []*shard
+
+	mu      sync.RWMutex
+	metrics map[string]Prototype
+
+	observed    atomic.Uint64
+	droppedLate atomic.Uint64
+	queries     atomic.Uint64
+	evictedSize atomic.Uint64
+	evictedIdle atomic.Uint64
+}
+
+// New returns an empty store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Shards < 0 {
+		return nil, core.Errf("Store", "Shards", "%d must be >= 0", cfg.Shards)
+	}
+	if cfg.MaxShardBytes < 0 {
+		return nil, core.Errf("Store", "MaxShardBytes", "%d must be >= 0", cfg.MaxShardBytes)
+	}
+	if cfg.MaxIdle < 0 {
+		return nil, core.Errf("Store", "MaxIdle", "%d must be >= 0", cfg.MaxIdle)
+	}
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		mask:    uint64(cfg.Shards - 1),
+		seed:    hashutil.Sum64String("store", 0),
+		shards:  make([]*shard, cfg.Shards),
+		metrics: make(map[string]Prototype),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{entries: make(map[entryKey]*entry)}
+	}
+	return s, nil
+}
+
+// RegisterMetric binds a metric name to the Prototype that builds its
+// bucket synopses. Metrics must be registered before the first write or
+// query that names them; re-registering is an error.
+func (s *Store) RegisterMetric(name string, proto Prototype) error {
+	if name == "" {
+		return core.Errf("Store", "metric", "name must be non-empty")
+	}
+	if proto == nil {
+		return core.Errf("Store", "proto", "prototype for %q is nil", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.metrics[name]; exists {
+		return fmt.Errorf("store: metric %q already registered", name)
+	}
+	s.metrics[name] = proto
+	return nil
+}
+
+// Metrics returns the registered metric names (unordered).
+func (s *Store) Metrics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (s *Store) proto(metric string) (Prototype, error) {
+	s.mu.RLock()
+	p, ok := s.metrics[metric]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown metric %q", metric)
+	}
+	return p, nil
+}
+
+func (s *Store) shardFor(metric, key string) *shard {
+	h := hashutil.Sum64String(key, hashutil.Sum64String(metric, s.seed))
+	return s.shards[h&s.mask]
+}
+
+// Observe absorbs one observation. Unknown metrics and negative times are
+// errors; observations older than the entry's ring window are silently
+// dropped and counted in Stats.DroppedLate (the caller cannot usefully
+// retry them, which is the Kafka-consumer convention for truncated reads).
+func (s *Store) Observe(obs Observation) error {
+	proto, err := s.proto(obs.Metric)
+	if err != nil {
+		return err
+	}
+	if obs.Time < 0 {
+		return core.Errf("Store", "Time", "%d must be >= 0", obs.Time)
+	}
+	bkt := obs.Time / s.cfg.BucketWidth
+	sh := s.shardFor(obs.Metric, obs.Key)
+	k := entryKey{metric: obs.Metric, key: obs.Key}
+
+	sh.mu.Lock()
+	if obs.Time > sh.maxTime {
+		sh.maxTime = obs.Time
+	}
+	e, ok := sh.entries[k]
+	if !ok {
+		e = &entry{k: k, slots: make([]slot, s.cfg.RingBuckets), newest: -1}
+		for i := range e.slots {
+			e.slots[i].idx = -1
+		}
+		sh.entries[k] = e
+		sh.pushFront(e)
+	}
+	if e.newest >= 0 && bkt <= e.newest-int64(len(e.slots)) {
+		sh.mu.Unlock()
+		s.droppedLate.Add(1)
+		return nil
+	}
+	if bkt > e.newest {
+		// Advancing stream time seals everything older than the new
+		// bucket (including clones produced by earlier late writes) and
+		// drops buckets that fell out of the retention window, so queries
+		// never serve history the write path would reject. The ring is
+		// small and this runs once per bucket advance per entry.
+		horizon := bkt - int64(len(e.slots))
+		for i := range e.slots {
+			sl := &e.slots[i]
+			if sl.idx < 0 {
+				continue
+			}
+			if sl.idx <= horizon {
+				e.bytes -= sl.bytes
+				sh.bytes -= sl.bytes
+				*sl = slot{idx: -1}
+			} else if sl.idx < bkt {
+				sl.sealed = true
+			}
+		}
+		e.newest = bkt
+	}
+	sl := e.slotFor(bkt)
+	switch {
+	case sl.idx != bkt:
+		// Empty slot, or the ring rotating over a bucket that has fallen
+		// out of the retention window. The fresh synopsis starts unsealed
+		// even for a late bucket; the next time advance re-seals it.
+		sl.idx = bkt
+		sl.sealed = false
+		sl.syn = proto()
+		e.bytes -= sl.bytes
+		sh.bytes -= sl.bytes
+		sl.bytes = 0
+	case sl.sealed:
+		// Late write to a sealed bucket: a reader may hold the sealed
+		// pointer outside the shard lock, so mutate a private clone and
+		// swap it in. The clone stays unsealed until time next advances.
+		clone := proto()
+		if err := clone.Merge(sl.syn); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("store: copy-on-write clone of %q/%q: %w", obs.Metric, obs.Key, err)
+		}
+		sl.syn = clone
+		sl.sealed = false
+	}
+	if sl.sealed {
+		// Writes only land on unsealed synopses; a sealed slot here means
+		// the bookkeeping above has a bug, so fail loudly in tests.
+		panic("store: write to sealed bucket")
+	}
+	sl.syn.Observe(obs.Item, obs.Value)
+	nb := sl.syn.Bytes()
+	e.bytes += nb - sl.bytes
+	sh.bytes += nb - sl.bytes
+	sl.bytes = nb
+	e.lastWrite = obs.Time
+	sh.touch(e)
+	s.evict(sh)
+	sh.mu.Unlock()
+
+	s.observed.Add(1)
+	return nil
+}
+
+// evict applies the byte budget and idle-age policies to one shard.
+// Callers hold sh.mu.
+func (s *Store) evict(sh *shard) {
+	if max := s.cfg.MaxShardBytes; max > 0 {
+		for sh.bytes > max && len(sh.entries) > 1 {
+			sh.remove(sh.tail)
+			s.evictedSize.Add(1)
+		}
+	}
+	if idle := s.cfg.MaxIdle; idle > 0 {
+		for sh.tail != nil && len(sh.entries) > 1 && sh.maxTime-sh.tail.lastWrite > idle {
+			sh.remove(sh.tail)
+			s.evictedIdle.Add(1)
+		}
+	}
+}
+
+// Query merges the entry's buckets overlapping stream-time range
+// [from, to] into a fresh synopsis and returns it. The result is private
+// to the caller and reflects a consistent snapshot: sealed buckets are
+// merged outside the shard lock (they are immutable), and still-open
+// buckets are merged under the read lock. Querying a series the store has
+// never seen returns an empty synopsis, not an error — absence of writes
+// is a valid answer.
+func (s *Store) Query(metric, key string, from, to int64) (Synopsis, error) {
+	proto, err := s.proto(metric)
+	if err != nil {
+		return nil, err
+	}
+	if from > to {
+		return nil, core.Errf("Store", "range", "from %d > to %d", from, to)
+	}
+	result := proto()
+	fromB, toB := from/s.cfg.BucketWidth, to/s.cfg.BucketWidth
+	sh := s.shardFor(metric, key)
+
+	var sealed []Synopsis
+	sh.mu.RLock()
+	if e, ok := sh.entries[entryKey{metric: metric, key: key}]; ok {
+		for i := range e.slots {
+			sl := &e.slots[i]
+			if sl.idx < fromB || sl.idx > toB || sl.syn == nil {
+				continue
+			}
+			if sl.sealed {
+				sealed = append(sealed, sl.syn)
+			} else if err := result.Merge(sl.syn); err != nil {
+				sh.mu.RUnlock()
+				return nil, err
+			}
+		}
+	}
+	sh.mu.RUnlock()
+
+	for _, syn := range sealed {
+		if err := result.Merge(syn); err != nil {
+			return nil, err
+		}
+	}
+	s.queries.Add(1)
+	return result, nil
+}
+
+// Keys returns every key of the metric currently resident in the store,
+// across all shards (unordered).
+func (s *Store) Keys(metric string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.entries {
+			if k.metric == metric {
+				out = append(out, k.key)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Observed:    s.observed.Load(),
+		DroppedLate: s.droppedLate.Load(),
+		Queries:     s.queries.Load(),
+		EvictedSize: s.evictedSize.Load(),
+		EvictedIdle: s.evictedIdle.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Shards returns the (rounded) shard count the store is running with.
+func (s *Store) Shards() int { return s.cfg.Shards }
+
+// BucketWidth returns the stream-time units each bucket spans.
+func (s *Store) BucketWidth() int64 { return s.cfg.BucketWidth }

@@ -1,0 +1,216 @@
+// synopsis.go defines the bucket contract of the sketch store and the
+// adapters that put the library's mergeable synopsis structures behind it.
+//
+// The store is deliberately agnostic about what a time bucket summarizes:
+// a bucket is anything that can absorb observations, report its footprint,
+// and merge with another bucket of the same shape (the tutorial's
+// "algorithms should be able to scale out" requirement, reduced to one
+// interface). Each metric registered with the store picks its synopsis by
+// supplying a Prototype; range queries merge bucket synopses into a fresh
+// prototype instance and return it.
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/cardinality"
+	"repro/internal/core"
+	"repro/internal/frequency"
+	"repro/internal/quantile"
+)
+
+// Synopsis is the contract a time bucket's summary must satisfy. Merging
+// two synopses must be equivalent (within the sketch's error guarantee) to
+// summarizing the concatenated observation streams.
+type Synopsis interface {
+	// Observe folds one observation into the summary. Which of item and
+	// value an implementation uses is part of its contract: distinct and
+	// top-k synopses consume the item, frequency synopses consume the item
+	// weighted by value, quantile synopses consume the value alone.
+	Observe(item string, value uint64)
+	// Merge folds another synopsis of the same concrete type and
+	// parameters into the receiver.
+	Merge(other Synopsis) error
+	// Items reports how many observations the summary has absorbed.
+	Items() uint64
+	// Bytes approximates the in-memory footprint, used by the store's
+	// size-based retention accounting.
+	Bytes() int
+}
+
+// Prototype constructs a fresh, empty Synopsis. The store calls it when a
+// new time bucket opens, when a sealed bucket needs a copy-on-write clone,
+// and to build the merge target of a range query, so a Prototype must
+// return independent instances with identical parameters (including hash
+// seeds, or merges will fail).
+type Prototype func() Synopsis
+
+// ---- Distinct counting (HyperLogLog) ----
+
+// Distinct is a bucket synopsis counting unique items with a HyperLogLog.
+// The observation value is ignored.
+type Distinct struct {
+	h *cardinality.HyperLogLog
+}
+
+// NewDistinctProto returns a Prototype of HyperLogLog synopses with 2^p
+// registers. The constructor is validated once, eagerly, so a bad
+// precision fails at registration time rather than on first write.
+func NewDistinctProto(precision uint8, seed uint64) (Prototype, error) {
+	if _, err := cardinality.NewHyperLogLog(precision, seed); err != nil {
+		return nil, err
+	}
+	return func() Synopsis {
+		h, _ := cardinality.NewHyperLogLog(precision, seed)
+		return &Distinct{h: h}
+	}, nil
+}
+
+// Observe implements Synopsis.
+func (d *Distinct) Observe(item string, _ uint64) { d.h.UpdateString(item) }
+
+// Merge implements Synopsis.
+func (d *Distinct) Merge(other Synopsis) error {
+	o, ok := other.(*Distinct)
+	if !ok {
+		return fmt.Errorf("store: cannot merge %T into *store.Distinct: %w", other, core.ErrIncompatible)
+	}
+	return d.h.Merge(o.h)
+}
+
+// Items implements Synopsis.
+func (d *Distinct) Items() uint64 { return d.h.Items() }
+
+// Bytes implements Synopsis.
+func (d *Distinct) Bytes() int { return d.h.Bytes() }
+
+// Estimate returns the estimated distinct count.
+func (d *Distinct) Estimate() float64 { return d.h.Estimate() }
+
+// ---- Item frequencies (Count-Min) ----
+
+// Freq is a bucket synopsis estimating per-item counts with a Count-Min
+// sketch. The observation value is the occurrence weight (0 counts as 1).
+type Freq struct {
+	cm *frequency.CountMin
+}
+
+// NewFreqProto returns a Prototype of width x depth Count-Min synopses.
+func NewFreqProto(width, depth int, seed uint64) (Prototype, error) {
+	if _, err := frequency.NewCountMin(width, depth, seed); err != nil {
+		return nil, err
+	}
+	return func() Synopsis {
+		cm, _ := frequency.NewCountMin(width, depth, seed)
+		return &Freq{cm: cm}
+	}, nil
+}
+
+// Observe implements Synopsis.
+func (f *Freq) Observe(item string, value uint64) {
+	if value == 0 {
+		value = 1
+	}
+	f.cm.UpdateString(item, value)
+}
+
+// Merge implements Synopsis.
+func (f *Freq) Merge(other Synopsis) error {
+	o, ok := other.(*Freq)
+	if !ok {
+		return fmt.Errorf("store: cannot merge %T into *store.Freq: %w", other, core.ErrIncompatible)
+	}
+	return f.cm.Merge(o.cm)
+}
+
+// Items implements Synopsis.
+func (f *Freq) Items() uint64 { return f.cm.Items() }
+
+// Bytes implements Synopsis.
+func (f *Freq) Bytes() int { return f.cm.Bytes() }
+
+// Count returns the estimated count of item.
+func (f *Freq) Count(item string) uint64 { return f.cm.EstimateString(item) }
+
+// ---- Top-k (Space-Saving) ----
+
+// TopK is a bucket synopsis tracking heavy hitters with a Space-Saving
+// summary. Each observation is one occurrence; the value is ignored.
+type TopK struct {
+	ss *frequency.SpaceSaving
+}
+
+// NewTopKProto returns a Prototype of k-counter Space-Saving synopses.
+func NewTopKProto(k int) (Prototype, error) {
+	if _, err := frequency.NewSpaceSaving(k); err != nil {
+		return nil, err
+	}
+	return func() Synopsis {
+		ss, _ := frequency.NewSpaceSaving(k)
+		return &TopK{ss: ss}
+	}, nil
+}
+
+// Observe implements Synopsis.
+func (t *TopK) Observe(item string, _ uint64) { t.ss.Update(item) }
+
+// Merge implements Synopsis.
+func (t *TopK) Merge(other Synopsis) error {
+	o, ok := other.(*TopK)
+	if !ok {
+		return fmt.Errorf("store: cannot merge %T into *store.TopK: %w", other, core.ErrIncompatible)
+	}
+	return t.ss.Merge(o.ss)
+}
+
+// Items implements Synopsis.
+func (t *TopK) Items() uint64 { return t.ss.Items() }
+
+// Bytes implements Synopsis.
+func (t *TopK) Bytes() int { return t.ss.Bytes() }
+
+// Top returns the k highest-count items seen by the bucket(s).
+func (t *TopK) Top(k int) []frequency.Counted { return t.ss.TopK(k) }
+
+// ---- Quantiles (q-digest) ----
+
+// Quantiles is a bucket synopsis summarizing the distribution of the
+// observation values with a mergeable q-digest. The item is ignored.
+type Quantiles struct {
+	q *quantile.QDigest
+}
+
+// NewQuantileProto returns a Prototype of q-digest synopses over values in
+// [0, 2^logU) with compression factor k.
+func NewQuantileProto(logU uint8, k uint64) (Prototype, error) {
+	if _, err := quantile.NewQDigest(logU, k); err != nil {
+		return nil, err
+	}
+	return func() Synopsis {
+		q, _ := quantile.NewQDigest(logU, k)
+		return &Quantiles{q: q}
+	}, nil
+}
+
+// Observe implements Synopsis. Values beyond the digest's universe are
+// clamped by the digest itself, so out-of-range outliers still land in
+// the top leaf rather than being dropped.
+func (qs *Quantiles) Observe(_ string, value uint64) { qs.q.Update(value, 1) }
+
+// Merge implements Synopsis.
+func (qs *Quantiles) Merge(other Synopsis) error {
+	o, ok := other.(*Quantiles)
+	if !ok {
+		return fmt.Errorf("store: cannot merge %T into *store.Quantiles: %w", other, core.ErrIncompatible)
+	}
+	return qs.q.Merge(o.q)
+}
+
+// Items implements Synopsis.
+func (qs *Quantiles) Items() uint64 { return qs.q.Count() }
+
+// Bytes implements Synopsis.
+func (qs *Quantiles) Bytes() int { return qs.q.Bytes() }
+
+// Quantile returns the estimated phi-quantile of the observed values.
+func (qs *Quantiles) Quantile(phi float64) uint64 { return qs.q.Query(phi) }

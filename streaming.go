@@ -44,6 +44,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/quantile"
 	"repro/internal/sampling"
+	"repro/internal/store"
 	"repro/internal/subsequence"
 	"repro/internal/wavelet"
 	"repro/internal/window"
@@ -664,6 +665,88 @@ func NewBroker() *Broker { return mqlog.NewBroker() }
 // NewConsumerGroup returns a consumer group over a topic.
 func NewConsumerGroup(b *Broker, t *LogTopic, name string) (*ConsumerGroup, error) {
 	return mqlog.NewConsumerGroup(b, t, name)
+}
+
+// ---- Sketch store (sharded speed-layer serving subsystem) ----
+
+// SketchStore is the sharded, concurrent store of keyed, time-bucketed
+// synopses — the speed-layer serving subsystem (see internal/store).
+type SketchStore = store.Store
+
+// SketchStoreConfig tunes a SketchStore (shards, bucket geometry,
+// retention budgets).
+type SketchStoreConfig = store.Config
+
+// StoreObservation is one data point bound for a SketchStore.
+type StoreObservation = store.Observation
+
+// StoreSynopsis is the mergeable bucket contract of the SketchStore.
+type StoreSynopsis = store.Synopsis
+
+// StorePrototype constructs fresh bucket synopses for a registered metric.
+type StorePrototype = store.Prototype
+
+// SketchStoreStats is a snapshot of a SketchStore's counters.
+type SketchStoreStats = store.Stats
+
+// DistinctSynopsis / FreqSynopsis / TopKSynopsis / QuantileSynopsis are
+// the concrete bucket synopsis families a Query result can be asserted to.
+type (
+	DistinctSynopsis = store.Distinct
+	FreqSynopsis     = store.Freq
+	TopKSynopsis     = store.TopK
+	QuantileSynopsis = store.Quantiles
+)
+
+// NewSketchStore returns an empty sharded sketch store.
+func NewSketchStore(cfg SketchStoreConfig) (*SketchStore, error) { return store.New(cfg) }
+
+// NewDistinctProto returns a HyperLogLog bucket prototype (2^p registers).
+func NewDistinctProto(precision uint8, seed uint64) (StorePrototype, error) {
+	return store.NewDistinctProto(precision, seed)
+}
+
+// NewFreqProto returns a Count-Min bucket prototype.
+func NewFreqProto(width, depth int, seed uint64) (StorePrototype, error) {
+	return store.NewFreqProto(width, depth, seed)
+}
+
+// NewTopKProto returns a Space-Saving bucket prototype with k counters.
+func NewTopKProto(k int) (StorePrototype, error) { return store.NewTopKProto(k) }
+
+// NewQuantileProto returns a q-digest bucket prototype over [0, 2^logU).
+func NewQuantileProto(logU uint8, k uint64) (StorePrototype, error) {
+	return store.NewQuantileProto(logU, k)
+}
+
+// EncodeObservation serializes an observation in the store's mqlog wire
+// format.
+func EncodeObservation(obs StoreObservation) []byte { return store.EncodeObservation(obs) }
+
+// DecodeObservation parses the EncodeObservation wire format.
+func DecodeObservation(data []byte) (StoreObservation, error) {
+	return store.DecodeObservation(data)
+}
+
+// StoreBolt sinks a topology stream into a SketchStore.
+type StoreBolt = engine.StoreBolt
+
+// NewStoreBolt returns a bolt sinking into st; extract maps messages to
+// observations (nil accepts Message.Value of type StoreObservation).
+func NewStoreBolt(st *SketchStore, extract func(TupleMessage) (StoreObservation, bool)) (*StoreBolt, error) {
+	return engine.NewStoreBolt(st, extract)
+}
+
+// ReplayLog feeds the retained prefix of an mqlog topic into the store —
+// the Lambda batch-layer recomputation (decode nil uses the wire codec).
+func ReplayLog(st *SketchStore, topic *LogTopic, decode store.Decoder) (uint64, error) {
+	return store.Replay(st, topic, decode)
+}
+
+// RebuildStore builds a fresh store from cfg and protos and replays the
+// topic into it.
+func RebuildStore(cfg SketchStoreConfig, protos map[string]StorePrototype, topic *LogTopic, decode store.Decoder) (*SketchStore, uint64, error) {
+	return store.Rebuild(cfg, protos, topic, decode)
 }
 
 // Lambda is the Figure 1 architecture (batch + serving + speed + merge).

@@ -220,3 +220,115 @@ func TestFacadePredictors(t *testing.T) {
 		t.Fatal("negative RMSE")
 	}
 }
+
+// The sketch-store facade covers the full speed/batch loop: ingest via a
+// StoreBolt topology, concurrent range queries, and a rebuild from the
+// log that matches the live store.
+func TestFacadeSketchStore(t *testing.T) {
+	protos := map[string]repro.StorePrototype{}
+	hll, err := repro.NewDistinctProto(12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topk, err := repro.NewTopKProto(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos["uniques"], protos["top"] = hll, topk
+	cfg := repro.SketchStoreConfig{Shards: 8, BucketWidth: 10, RingBuckets: 100}
+	st, err := repro.NewSketchStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range protos {
+		if err := st.RegisterMetric(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	broker := repro.NewBroker()
+	topic, err := broker.CreateTopic("events", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 3000
+	for i := 0; i < events; i++ {
+		obs := repro.StoreObservation{
+			Metric: "uniques",
+			Key:    fmt.Sprintf("page%d", i%4),
+			Item:   fmt.Sprintf("user%d", i%800),
+			Time:   int64(i % 500),
+		}
+		topic.Produce(obs.Key, repro.EncodeObservation(obs))
+	}
+
+	// Speed layer: topology ingest from the log.
+	var pos int
+	var queue []repro.StoreObservation
+	spout := repro.SpoutFunc(func() (repro.TupleMessage, bool) {
+		for len(queue) == 0 {
+			if pos >= topic.Partitions() {
+				return repro.TupleMessage{}, false
+			}
+			off := topic.StartOffset(pos)
+			msgs, next, _, err := topic.Fetch(pos, off, events)
+			if err != nil || len(msgs) == 0 {
+				pos++
+				continue
+			}
+			for _, m := range msgs {
+				if obs, err := repro.DecodeObservation(m.Value); err == nil {
+					queue = append(queue, obs)
+				}
+			}
+			_ = next
+			pos++
+		}
+		obs := queue[0]
+		queue = queue[1:]
+		return repro.TupleMessage{Key: obs.Key, Value: obs}, true
+	})
+	sink, err := repro.NewStoreBolt(st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := repro.NewTopologyBuilder().
+		AddSpout("log", spout).
+		AddBolt("store", sink.Factory(), 4, repro.FieldsFrom("log")).
+		Build(repro.TopologyConfig{Semantics: repro.AtLeastOnce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.Run()
+	if got := st.Stats().Observed; got != events {
+		t.Fatalf("speed layer observed %d, want %d", got, events)
+	}
+
+	// Batch layer: rebuild from the log and compare.
+	batch, applied, err := repro.RebuildStore(cfg, protos, topic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != events {
+		t.Fatalf("replayed %d, want %d", applied, events)
+	}
+	for k := 0; k < 4; k++ {
+		key := fmt.Sprintf("page%d", k)
+		a, err := st.Query("uniques", key, 0, 499)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batch.Query("uniques", key, 0, 499)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := a.(*repro.DistinctSynopsis).Estimate()
+		sb := b.(*repro.DistinctSynopsis).Estimate()
+		if sa != sb {
+			t.Fatalf("%s: speed %f != batch %f", key, sa, sb)
+		}
+		if sa < 150 || sa > 250 {
+			t.Fatalf("%s: implausible estimate %f", key, sa)
+		}
+	}
+}
