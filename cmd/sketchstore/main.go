@@ -33,6 +33,7 @@ func main() {
 	shards := flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
 	events := flag.Int("events", 200000, "events to ingest")
 	queriers := flag.Int("queriers", 4, "concurrent query workers")
+	hotReplicas := flag.Int("hotreplicas", 8, "sub-entries per detected hot key (0 disables hot-key splaying)")
 	flag.Parse()
 
 	const (
@@ -61,6 +62,10 @@ func main() {
 			Shards:      *shards,
 			BucketWidth: bucketWidth,
 			RingBuckets: ringBuckets,
+			// The Zipf page keys are exactly the traffic hot-key write
+			// combining is for: detected keys batch lock-free and splay
+			// across shards, and the batch rebuild below still converges.
+			HotKey: store.HotKeyConfig{Replicas: *hotReplicas},
 		})
 		if err != nil {
 			panic(err)
@@ -184,11 +189,19 @@ func main() {
 	close(stop)
 	qwg.Wait()
 
+	speed.FlushHot() // settle pending hot-key batches before reporting
 	stats := speed.Stats()
 	fmt.Printf("\nspeed layer: %d observations in %.2fs (%.0f obs/sec), %d queries served concurrently\n",
 		stats.Observed, ingestSecs, float64(stats.Observed)/ingestSecs, queries.Load())
 	fmt.Printf("  store: %d entries, %d synopsis bytes, %d late drops; topology acked %d\n",
 		stats.Entries, stats.Bytes, stats.DroppedLate, topoStats.Acked)
+	if stats.Promotions > 0 {
+		fmt.Printf("  hot keys: %d splayed now (%d promotions, %d demotions), %d writes combined+splayed\n",
+			stats.HotKeys, stats.Promotions, stats.Demotions, stats.SplayedWrites)
+		for _, hk := range speed.HotKeys() {
+			fmt.Printf("    %s/%s\n", hk.Metric, hk.Key)
+		}
+	}
 
 	// Serving snapshot: global top pages and per-page answers.
 	now := clock.Load()
@@ -208,6 +221,7 @@ func main() {
 		Shards:      *shards,
 		BucketWidth: bucketWidth,
 		RingBuckets: ringBuckets,
+		HotKey:      store.HotKeyConfig{Replicas: *hotReplicas},
 	}, protos, topic, nil)
 	if err != nil {
 		panic(err)

@@ -1,6 +1,7 @@
 package cardinality
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -474,5 +475,25 @@ func BenchmarkSlidingHLLUpdate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.UpdateUint64(uint64(i))
 		s.Advance()
+	}
+}
+
+func TestHLLReset(t *testing.T) {
+	h, _ := NewHyperLogLog(10, 5)
+	for i := 0; i < 5000; i++ {
+		h.UpdateString(fmt.Sprintf("u%d", i))
+	}
+	h.Reset()
+	if h.Items() != 0 || h.Estimate() != 0 {
+		t.Fatalf("reset HLL not empty: items %d, estimate %f", h.Items(), h.Estimate())
+	}
+	// A reset sketch answers exactly like a fresh one (same seed).
+	fresh, _ := NewHyperLogLog(10, 5)
+	for i := 0; i < 3000; i++ {
+		h.UpdateString(fmt.Sprintf("v%d", i))
+		fresh.UpdateString(fmt.Sprintf("v%d", i))
+	}
+	if h.Estimate() != fresh.Estimate() {
+		t.Fatalf("reset %f != fresh %f", h.Estimate(), fresh.Estimate())
 	}
 }

@@ -110,6 +110,16 @@ func (h *HyperLogLog) Estimate() float64 {
 // Items returns the number of updates absorbed.
 func (h *HyperLogLog) Items() uint64 { return h.items }
 
+// Reset returns the sketch to its freshly-constructed state, reusing the
+// register array. Zeroing 2^precision bytes in place is far cheaper than
+// allocating (and later garbage-collecting) a replacement, which is what
+// makes pooling HLL buckets worthwhile for high-churn callers like the
+// sketch store's splayed hot keys.
+func (h *HyperLogLog) Reset() {
+	clear(h.registers)
+	h.items = 0
+}
+
 // Bytes returns the register array footprint.
 func (h *HyperLogLog) Bytes() int { return len(h.registers) + 16 }
 

@@ -354,6 +354,16 @@ func (ss *SpaceSaving) Merge(other *SpaceSaving) error {
 	return nil
 }
 
+// Reset returns the summary to its freshly-constructed state, reusing the
+// counter map's allocation. Callers that track traffic in epochs (e.g. the
+// sketch store's per-shard hot-key detectors) reset at each boundary
+// instead of reallocating.
+func (ss *SpaceSaving) Reset() {
+	ss.n = 0
+	ss.head = nil
+	clear(ss.elem)
+}
+
 // MinCount returns the smallest tracked count — the global error bound.
 func (ss *SpaceSaving) MinCount() uint64 {
 	if ss.head == nil {

@@ -128,6 +128,16 @@ func (cm *CountMin) EstimateString(item string) uint64 { return cm.Estimate([]by
 // Items returns the total count mass absorbed.
 func (cm *CountMin) Items() uint64 { return cm.n }
 
+// Reset returns the sketch to its freshly-constructed state, reusing the
+// counter matrix, so epoch- or bucket-scoped callers can recycle sketches
+// instead of reallocating width x depth counters.
+func (cm *CountMin) Reset() {
+	for i := range cm.counts {
+		clear(cm.counts[i])
+	}
+	cm.n = 0
+}
+
 // Width returns the sketch's column count.
 func (cm *CountMin) Width() int { return cm.width }
 

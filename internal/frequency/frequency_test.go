@@ -731,3 +731,53 @@ func TestSpaceSavingMergeIntoEmptyPreservesCounts(t *testing.T) {
 		t.Fatalf("items %d != %d", dst.Items(), src.Items())
 	}
 }
+
+// Reset must return a summary to its freshly-constructed behavior while
+// reusing allocations — the sketch store's per-shard hot-key trackers
+// reset at every detection epoch.
+func TestSpaceSavingReset(t *testing.T) {
+	ss, _ := NewSpaceSaving(8)
+	for i := 0; i < 500; i++ {
+		ss.Update(fmt.Sprintf("i%d", i%20))
+	}
+	ss.Reset()
+	if ss.Items() != 0 || ss.MinCount() != 0 || len(ss.TopK(8)) != 0 {
+		t.Fatalf("reset summary not empty: items %d, min %d", ss.Items(), ss.MinCount())
+	}
+	// Behaves exactly like a fresh summary afterwards.
+	fresh, _ := NewSpaceSaving(8)
+	for i := 0; i < 300; i++ {
+		item := fmt.Sprintf("j%d", i%10)
+		ss.Update(item)
+		fresh.Update(item)
+	}
+	got, want := ss.TopK(8), fresh.TopK(8)
+	if len(got) != len(want) {
+		t.Fatalf("topk sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm, _ := NewCountMin(64, 3, 9)
+	for i := 0; i < 200; i++ {
+		cm.UpdateString(fmt.Sprintf("i%d", i%10), 2)
+	}
+	cm.Reset()
+	if cm.Items() != 0 {
+		t.Fatalf("items %d after reset", cm.Items())
+	}
+	for i := 0; i < 10; i++ {
+		if c := cm.EstimateString(fmt.Sprintf("i%d", i)); c != 0 {
+			t.Fatalf("count %d after reset", c)
+		}
+	}
+	cm.UpdateString("x", 3)
+	if c := cm.EstimateString("x"); c != 3 {
+		t.Fatalf("post-reset update counted %d, want 3", c)
+	}
+}

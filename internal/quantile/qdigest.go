@@ -156,6 +156,13 @@ func (q *QDigest) Merge(other *QDigest) error {
 // Count returns the total inserted weight.
 func (q *QDigest) Count() uint64 { return q.n }
 
+// Reset returns the digest to its freshly-constructed state, reusing the
+// node map's allocation.
+func (q *QDigest) Reset() {
+	clear(q.counts)
+	q.n = 0
+}
+
 // Nodes returns the number of stored tree nodes.
 func (q *QDigest) Nodes() int { return len(q.counts) }
 

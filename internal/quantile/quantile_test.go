@@ -333,3 +333,18 @@ func BenchmarkFrugal2U(b *testing.B) {
 		f.Update(float64(i % 1000))
 	}
 }
+
+func TestQDigestReset(t *testing.T) {
+	q, _ := NewQDigest(10, 16)
+	for i := uint64(0); i < 500; i++ {
+		q.Update(i%1000, 1)
+	}
+	q.Reset()
+	if q.Count() != 0 || q.Nodes() != 0 {
+		t.Fatalf("reset digest not empty: count %d, nodes %d", q.Count(), q.Nodes())
+	}
+	q.Update(7, 3)
+	if q.Count() != 3 || q.Query(0.5) != 7 {
+		t.Fatalf("post-reset digest wrong: count %d, median %d", q.Count(), q.Query(0.5))
+	}
+}

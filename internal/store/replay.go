@@ -116,6 +116,10 @@ func Replay(st *Store, topic *mqlog.Topic, decode Decoder) (uint64, error) {
 			off = next
 		}
 	}
+	// Settle any hot-key write-combining batches the replay filled, so the
+	// rebuilt store answers queries (and reports stats) for everything the
+	// log contained before Replay returns.
+	st.FlushHot()
 	return applied, nil
 }
 

@@ -25,13 +25,20 @@
 // it: a long query over mostly-sealed history does its heavy merging
 // without holding any lock at all.
 //
+// Hot keys. Skewed (Zipfian) streams serialize their hottest keys on one
+// shard lock; with HotKeyConfig enabled the store detects such keys with
+// per-shard Space-Saving trackers and splays their writes across several
+// shards, merging the sub-entries back together at query time and on
+// demotion — see hot.go.
+//
 // Retention. Three mechanisms bound memory, mirroring the mqlog
 // partition-retention design: the ring itself (a bucket falling out of
 // the ring window is dropped, and writes older than the window are
 // rejected and counted), per-shard byte budgets (least-recently-written
 // entries are evicted first), and idle-age eviction (entries whose last
 // write is older than MaxIdle stream-time units are reaped
-// opportunistically during writes).
+// opportunistically during writes). Splayed sub-entries are ordinary
+// entries of their shards, so they count against the same budgets.
 package store
 
 import (
@@ -40,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/frequency"
 	"repro/internal/hashutil"
 )
 
@@ -74,6 +82,9 @@ type Config struct {
 	// stream-time units behind the most recent write to their shard
 	// (0 = no idle eviction).
 	MaxIdle int64
+	// HotKey enables and tunes hot-key detection and write splaying
+	// (see hot.go); the zero value disables it.
+	HotKey HotKeyConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -92,18 +103,30 @@ func (c Config) withDefaults() Config {
 	if c.RingBuckets <= 0 {
 		c.RingBuckets = 60
 	}
+	c.HotKey = c.HotKey.withDefaults()
+	if c.HotKey.Replicas > c.Shards {
+		c.HotKey.Replicas = c.Shards
+	}
+	if c.HotKey.Replicas < 2 {
+		// Splaying within a single shard buys nothing; run the plain path.
+		c.HotKey = HotKeyConfig{}
+	}
 	return c
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Observed    uint64 // observations absorbed
-	DroppedLate uint64 // observations older than the ring window
-	Queries     uint64 // range queries served
-	EvictedSize uint64 // entries evicted by the byte budget
-	EvictedIdle uint64 // entries evicted by idle age
-	Entries     int    // live (metric, key) entries
-	Bytes       int    // synopsis bytes across all shards
+	Observed      uint64 // observations absorbed
+	DroppedLate   uint64 // observations older than the ring window
+	Queries       uint64 // range queries served
+	EvictedSize   uint64 // entries evicted by the byte budget
+	EvictedIdle   uint64 // entries evicted by idle age
+	SplayedWrites uint64 // observations routed through a hot-key splay
+	Promotions    uint64 // cold -> splayed transitions
+	Demotions     uint64 // splayed -> cold transitions
+	HotKeys       int    // currently splayed keys
+	Entries       int    // live entries, including splayed sub-entries
+	Bytes         int    // synopsis bytes across all shards
 }
 
 // entryKey identifies one series.
@@ -121,24 +144,64 @@ type slot struct {
 }
 
 // entry is the bucket ring of one (metric, key) series, plus its links in
-// the shard's recency list.
+// the shard's recency list. A replica entry is one splayed sub-entry of a
+// hot key, resident on a shard other than the key's home shard.
 type entry struct {
 	k         entryKey
 	slots     []slot
 	newest    int64 // highest bucket index written; -1 before first write
 	lastWrite int64 // stream time of the most recent write
 	bytes     int   // sum of slot footprints
-	prev      *entry
-	next      *entry
+	replica   bool  // splayed sub-entry (excluded from Keys)
+	// spare is a recycled synopsis awaiting reuse, populated only on
+	// replica entries: replica buckets are read exclusively under the
+	// hot-key and shard locks, so a synopsis expiring from a replica ring
+	// is provably unreferenced and can be Reset in place instead of
+	// handed to the garbage collector. Home and cold entries never
+	// recycle — their sealed buckets escape to lock-free readers.
+	spare Synopsis
+	prev  *entry
+	next  *entry
 }
 
 func (e *entry) slotFor(bkt int64) *slot {
 	return &e.slots[int(bkt%int64(len(e.slots)))]
 }
 
+// advance moves the entry's newest bucket forward to bkt: everything
+// older than bkt is sealed (including clones produced by earlier late
+// writes) and buckets that fell out of the retention window are dropped,
+// so queries never serve history the write path would reject. The ring is
+// small and this runs once per bucket advance per entry. Callers hold the
+// shard lock.
+func (e *entry) advance(bkt int64, sh *shard) {
+	horizon := bkt - int64(len(e.slots))
+	for i := range e.slots {
+		sl := &e.slots[i]
+		if sl.idx < 0 {
+			continue
+		}
+		if sl.idx <= horizon {
+			e.bytes -= sl.bytes
+			sh.bytes -= sl.bytes
+			if e.replica && e.spare == nil && sl.syn != nil {
+				if r, ok := sl.syn.(Resettable); ok {
+					r.Reset()
+					e.spare = sl.syn
+				}
+			}
+			*sl = slot{idx: -1}
+		} else if sl.idx < bkt {
+			sl.sealed = true
+		}
+	}
+	e.newest = bkt
+}
+
 // shard is one lock domain: a map of entries plus an intrusive
 // recency-of-write list (front = most recently written) driving both
-// eviction policies.
+// eviction policies, and — when hot-key handling is on — the detection
+// epoch state.
 type shard struct {
 	mu      sync.RWMutex
 	entries map[entryKey]*entry
@@ -146,6 +209,10 @@ type shard struct {
 	tail    *entry // least recently written
 	bytes   int
 	maxTime int64 // newest observation time seen by the shard
+
+	epochWrites int                    // writes since the last epoch boundary
+	epochSeq    uint64                 // completed detection epochs
+	tracker     *frequency.SpaceSaving // hot-key candidates (nil when disabled)
 }
 
 func (sh *shard) unlink(e *entry) {
@@ -188,6 +255,21 @@ func (sh *shard) remove(e *entry) {
 	sh.bytes -= e.bytes
 }
 
+// getOrCreate returns the shard's entry for k, creating an empty ring if
+// absent. Callers hold sh.mu.
+func (sh *shard) getOrCreate(k entryKey, ring int, replica bool) *entry {
+	e, ok := sh.entries[k]
+	if !ok {
+		e = &entry{k: k, slots: make([]slot, ring), newest: -1, replica: replica}
+		for i := range e.slots {
+			e.slots[i].idx = -1
+		}
+		sh.entries[k] = e
+		sh.pushFront(e)
+	}
+	return e
+}
+
 // Store is the sharded synopsis store.
 type Store struct {
 	cfg    Config
@@ -198,11 +280,22 @@ type Store struct {
 	mu      sync.RWMutex
 	metrics map[string]Prototype
 
+	// Hot-key state (hot.go): the table of splayed keys, swapped
+	// atomically; hotMu serializes table edits; hotRW excludes queries
+	// from gathering replica buckets while a demotion drains them.
+	hot      atomic.Pointer[hotTable]
+	hotMu    sync.Mutex
+	hotRW    sync.RWMutex
+	hotStale int64 // stream-time age at which a pending batch force-seals
+
 	observed    atomic.Uint64
 	droppedLate atomic.Uint64
 	queries     atomic.Uint64
 	evictedSize atomic.Uint64
 	evictedIdle atomic.Uint64
+	splayed     atomic.Uint64
+	promotions  atomic.Uint64
+	demotions   atomic.Uint64
 }
 
 // New returns an empty store.
@@ -216,6 +309,9 @@ func New(cfg Config) (*Store, error) {
 	if cfg.MaxIdle < 0 {
 		return nil, core.Errf("Store", "MaxIdle", "%d must be >= 0", cfg.MaxIdle)
 	}
+	if err := cfg.HotKey.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	s := &Store{
 		cfg:     cfg,
@@ -224,11 +320,26 @@ func New(cfg Config) (*Store, error) {
 		shards:  make([]*shard, cfg.Shards),
 		metrics: make(map[string]Prototype),
 	}
+	s.hotStale = cfg.BucketWidth * int64(cfg.RingBuckets) / 4
+	if s.hotStale < cfg.BucketWidth {
+		s.hotStale = cfg.BucketWidth
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{entries: make(map[entryKey]*entry)}
+		if s.hotEnabled() {
+			tr, err := frequency.NewSpaceSaving(cfg.HotKey.TrackerK)
+			if err != nil {
+				return nil, err
+			}
+			s.shards[i].tracker = tr
+		}
 	}
 	return s, nil
 }
+
+// hotEnabled reports whether hot-key splaying is configured on (Replicas
+// is clamped and zeroed by withDefaults, so >= 2 means fully enabled).
+func (s *Store) hotEnabled() bool { return s.cfg.HotKey.Replicas >= 2 }
 
 // RegisterMetric binds a metric name to the Prototype that builds its
 // bucket synopses. Metrics must be registered before the first write or
@@ -270,9 +381,10 @@ func (s *Store) proto(metric string) (Prototype, error) {
 	return p, nil
 }
 
-func (s *Store) shardFor(metric, key string) *shard {
-	h := hashutil.Sum64String(key, hashutil.Sum64String(metric, s.seed))
-	return s.shards[h&s.mask]
+// shardIndex routes a series to its home shard.
+func (s *Store) shardIndex(k entryKey) uint32 {
+	h := hashutil.Sum64String(k.key, hashutil.Sum64String(k.metric, s.seed))
+	return uint32(h & s.mask)
 }
 
 // Observe absorbs one observation. Unknown metrics and negative times are
@@ -280,56 +392,43 @@ func (s *Store) shardFor(metric, key string) *shard {
 // dropped and counted in Stats.DroppedLate (the caller cannot usefully
 // retry them, which is the Kafka-consumer convention for truncated reads).
 func (s *Store) Observe(obs Observation) error {
+	if obs.Time < 0 {
+		return core.Errf("Store", "Time", "%d must be >= 0", obs.Time)
+	}
+	k := entryKey{metric: obs.Metric, key: obs.Key}
+	// Hot keys route before the metric-table lookup: a published route
+	// proves the metric is registered (it was promoted from real writes),
+	// and the flush resolves the prototype once per batch instead.
+	if r := s.hotRouteFor(k); r != nil {
+		if s.observeHot(obs, k, r) {
+			return nil
+		}
+		// The route was demoted mid-flight or the batch is mid-seal; fall
+		// through to the home path, anchored to the route's high water.
+		proto, err := s.proto(obs.Metric)
+		if err != nil {
+			return err
+		}
+		return s.observeHome(obs, proto, k, r)
+	}
 	proto, err := s.proto(obs.Metric)
 	if err != nil {
 		return err
 	}
-	if obs.Time < 0 {
-		return core.Errf("Store", "Time", "%d must be >= 0", obs.Time)
-	}
-	bkt := obs.Time / s.cfg.BucketWidth
-	sh := s.shardFor(obs.Metric, obs.Key)
-	k := entryKey{metric: obs.Metric, key: obs.Key}
+	return s.observeHome(obs, proto, k, nil)
+}
 
-	sh.mu.Lock()
-	if obs.Time > sh.maxTime {
-		sh.maxTime = obs.Time
-	}
-	e, ok := sh.entries[k]
-	if !ok {
-		e = &entry{k: k, slots: make([]slot, s.cfg.RingBuckets), newest: -1}
-		for i := range e.slots {
-			e.slots[i].idx = -1
-		}
-		sh.entries[k] = e
-		sh.pushFront(e)
-	}
+// writeLocked lands one observation in the entry's ring: late-drop check,
+// bucket advance (sealing + window expiry), slot (re)initialization or
+// copy-on-write, the sketch update, and byte accounting. Callers hold
+// sh.mu and handle counters/eviction/epochs.
+func (s *Store) writeLocked(sh *shard, e *entry, obs Observation, proto Prototype) (dropped bool, err error) {
+	bkt := obs.Time / s.cfg.BucketWidth
 	if e.newest >= 0 && bkt <= e.newest-int64(len(e.slots)) {
-		sh.mu.Unlock()
-		s.droppedLate.Add(1)
-		return nil
+		return true, nil
 	}
 	if bkt > e.newest {
-		// Advancing stream time seals everything older than the new
-		// bucket (including clones produced by earlier late writes) and
-		// drops buckets that fell out of the retention window, so queries
-		// never serve history the write path would reject. The ring is
-		// small and this runs once per bucket advance per entry.
-		horizon := bkt - int64(len(e.slots))
-		for i := range e.slots {
-			sl := &e.slots[i]
-			if sl.idx < 0 {
-				continue
-			}
-			if sl.idx <= horizon {
-				e.bytes -= sl.bytes
-				sh.bytes -= sl.bytes
-				*sl = slot{idx: -1}
-			} else if sl.idx < bkt {
-				sl.sealed = true
-			}
-		}
-		e.newest = bkt
+		e.advance(bkt, sh)
 	}
 	sl := e.slotFor(bkt)
 	switch {
@@ -349,8 +448,7 @@ func (s *Store) Observe(obs Observation) error {
 		// swap it in. The clone stays unsealed until time next advances.
 		clone := proto()
 		if err := clone.Merge(sl.syn); err != nil {
-			sh.mu.Unlock()
-			return fmt.Errorf("store: copy-on-write clone of %q/%q: %w", obs.Metric, obs.Key, err)
+			return false, fmt.Errorf("store: copy-on-write clone of %q/%q: %w", obs.Metric, obs.Key, err)
 		}
 		sl.syn = clone
 		sl.sealed = false
@@ -367,11 +465,145 @@ func (s *Store) Observe(obs Observation) error {
 	sl.bytes = nb
 	e.lastWrite = obs.Time
 	sh.touch(e)
+	return false, nil
+}
+
+// observeHome is the plain write path: the series' home shard, with
+// hot-key tracking when enabled. r, when non-nil, is the key's hot route
+// (the write was diverted): the home ring advances to the route's bucket
+// high water first, so retention decisions match an unsplayed store's.
+func (s *Store) observeHome(obs Observation, proto Prototype, k entryKey, r *hotRoute) error {
+	idx := s.shardIndex(k)
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	if obs.Time > sh.maxTime {
+		sh.maxTime = obs.Time
+	}
+	e := sh.getOrCreate(k, s.cfg.RingBuckets, false)
+	if r != nil {
+		if anchor := r.newest.Load(); anchor > e.newest {
+			e.advance(anchor, sh)
+		}
+	}
+	dropped, err := s.writeLocked(sh, e, obs, proto)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	if dropped {
+		sh.mu.Unlock()
+		s.droppedLate.Add(1)
+		return nil
+	}
+	var promote []entryKey
+	var seq uint64
+	sweep := false
+	if s.hotEnabled() {
+		sh.epochWrites++
+		if sh.epochWrites%s.cfg.HotKey.SampleEvery == 0 {
+			sh.tracker.Update(packHotKey(k))
+		}
+		if sh.epochWrites >= s.cfg.HotKey.EpochWrites {
+			promote, seq = s.harvestLocked(sh)
+			sweep = true
+		}
+	}
 	s.evict(sh)
 	sh.mu.Unlock()
-
 	s.observed.Add(1)
+	// Sweep before promoting so a just-promoted route is not immediately
+	// judged on an empty epoch.
+	if sweep {
+		s.sweepRoutes(idx, seq)
+	}
+	for _, pk := range promote {
+		s.promote(pk)
+	}
 	return nil
+}
+
+// applyLocked lands one hot key's sealed batch in the entry's ring. It
+// follows writeLocked's semantics observation-for-observation (in claim
+// order) but amortizes the bookkeeping: slot setup, copy-on-write checks
+// and byte accounting run once per run of same-bucket observations, and
+// the recency touch once per batch. Callers hold sh.mu.
+func (s *Store) applyLocked(sh *shard, e *entry, obs []hotObs, proto Prototype) (applied, dropped uint64) {
+	var sl *slot
+	cur := int64(-2) // bucket the run is writing; -2 = none yet
+	maxT := int64(-1)
+	settle := func() {
+		if sl == nil {
+			return
+		}
+		nb := sl.syn.Bytes()
+		e.bytes += nb - sl.bytes
+		sh.bytes += nb - sl.bytes
+		sl.bytes = nb
+	}
+	for i := range obs {
+		o := &obs[i]
+		bkt := o.time / s.cfg.BucketWidth
+		if bkt != cur {
+			settle()
+			cur, sl = bkt, nil
+			if e.newest >= 0 && bkt <= e.newest-int64(len(e.slots)) {
+				dropped++ // sl stays nil: the run is behind the window
+				continue
+			}
+			if bkt > e.newest {
+				e.advance(bkt, sh)
+			}
+			sl = e.slotFor(bkt)
+			switch {
+			case sl.idx != bkt:
+				sl.idx = bkt
+				sl.sealed = false
+				if e.spare != nil {
+					sl.syn = e.spare
+					e.spare = nil
+				} else {
+					sl.syn = proto()
+				}
+				e.bytes -= sl.bytes
+				sh.bytes -= sl.bytes
+				sl.bytes = 0
+			case sl.sealed:
+				// Copy-on-write for symmetry with writeLocked; on a replica
+				// the displaced synopsis is lock-protected, so it recycles.
+				clone := proto()
+				if clone.Merge(sl.syn) != nil {
+					// Families cannot mismatch within one metric; treat a
+					// failed clone like a dropped run rather than panic.
+					dropped++
+					sl = nil
+					continue
+				}
+				if e.replica && e.spare == nil {
+					if r, ok := sl.syn.(Resettable); ok {
+						r.Reset()
+						e.spare = sl.syn
+					}
+				}
+				sl.syn = clone
+				sl.sealed = false
+			}
+		} else if sl == nil {
+			dropped++
+			continue
+		}
+		sl.syn.Observe(o.item, o.value)
+		applied++
+		e.lastWrite = o.time
+		if o.time > maxT {
+			maxT = o.time
+		}
+	}
+	settle()
+	if maxT > sh.maxTime {
+		sh.maxTime = maxT
+	}
+	sh.touch(e)
+	return applied, dropped
 }
 
 // evict applies the byte budget and idle-age policies to one shard.
@@ -391,13 +623,41 @@ func (s *Store) evict(sh *shard) {
 	}
 }
 
+// gather collects one shard's buckets of k overlapping [fromB, toB]:
+// still-open buckets merge into result under the read lock; sealed
+// buckets are returned for the caller to merge lock-free (they are
+// immutable). In eager mode sealed buckets merge under the read lock too
+// — hot-key gathers require it, because replica synopses are recycled
+// and must never be referenced outside the hot-key and shard locks.
+func (s *Store) gather(sh *shard, k entryKey, fromB, toB int64, result Synopsis, sealed []Synopsis, eager bool) ([]Synopsis, error) {
+	sh.mu.RLock()
+	if e, ok := sh.entries[k]; ok {
+		for i := range e.slots {
+			sl := &e.slots[i]
+			if sl.idx < fromB || sl.idx > toB || sl.syn == nil {
+				continue
+			}
+			if sl.sealed && !eager {
+				sealed = append(sealed, sl.syn)
+			} else if err := result.Merge(sl.syn); err != nil {
+				sh.mu.RUnlock()
+				return sealed, err
+			}
+		}
+	}
+	sh.mu.RUnlock()
+	return sealed, nil
+}
+
 // Query merges the entry's buckets overlapping stream-time range
 // [from, to] into a fresh synopsis and returns it. The result is private
 // to the caller and reflects a consistent snapshot: sealed buckets are
 // merged outside the shard lock (they are immutable), and still-open
-// buckets are merged under the read lock. Querying a series the store has
-// never seen returns an empty synopsis, not an error — absence of writes
-// is a valid answer.
+// buckets are merged under the read lock. For a splayed hot key the
+// gather spans all replica shards (under the hot-key read lock, so a
+// concurrent demotion cannot double-count a bucket mid-drain). Querying a
+// series the store has never seen returns an empty synopsis, not an error
+// — absence of writes is a valid answer.
 func (s *Store) Query(metric, key string, from, to int64) (Synopsis, error) {
 	proto, err := s.proto(metric)
 	if err != nil {
@@ -408,25 +668,52 @@ func (s *Store) Query(metric, key string, from, to int64) (Synopsis, error) {
 	}
 	result := proto()
 	fromB, toB := from/s.cfg.BucketWidth, to/s.cfg.BucketWidth
-	sh := s.shardFor(metric, key)
+	k := entryKey{metric: metric, key: key}
 
 	var sealed []Synopsis
-	sh.mu.RLock()
-	if e, ok := sh.entries[entryKey{metric: metric, key: key}]; ok {
-		for i := range e.slots {
-			sl := &e.slots[i]
-			if sl.idx < fromB || sl.idx > toB || sl.syn == nil {
-				continue
-			}
-			if sl.sealed {
-				sealed = append(sealed, sl.syn)
-			} else if err := result.Merge(sl.syn); err != nil {
-				sh.mu.RUnlock()
-				return nil, err
-			}
+	gathered := false
+	if r := s.hotRouteFor(k); r != nil {
+		// Settle the key's pending write-combining batch first, so a
+		// single-writer flow reads its own writes.
+		if b := r.cur.Load(); b != nil && b.pos.Load() > 0 {
+			s.sealAndFlush(r, b, true)
 		}
 	}
-	sh.mu.RUnlock()
+	if s.hotRouteFor(k) != nil {
+		s.hotRW.RLock()
+		if r := s.hotRouteFor(k); r != nil { // re-check: demotion may have won
+			// A replica that hasn't absorbed a flush recently can retain
+			// buckets an unsplayed ring would have expired; clamp the
+			// range to the window anchored at the key's overall high
+			// water so splaying never serves extra history.
+			maxNewest := r.newest.Load()
+			for _, idx := range r.shards {
+				sh := s.shards[idx]
+				sh.mu.RLock()
+				if e, ok := sh.entries[k]; ok && e.newest > maxNewest {
+					maxNewest = e.newest
+				}
+				sh.mu.RUnlock()
+			}
+			hotFromB := fromB
+			if minB := maxNewest - int64(s.cfg.RingBuckets); hotFromB <= minB {
+				hotFromB = minB + 1
+			}
+			for _, idx := range r.shards {
+				if sealed, err = s.gather(s.shards[idx], k, hotFromB, toB, result, sealed, true); err != nil {
+					s.hotRW.RUnlock()
+					return nil, err
+				}
+			}
+			gathered = true
+		}
+		s.hotRW.RUnlock()
+	}
+	if !gathered {
+		if sealed, err = s.gather(s.shards[s.shardIndex(k)], k, fromB, toB, result, sealed, false); err != nil {
+			return nil, err
+		}
+	}
 
 	for _, syn := range sealed {
 		if err := result.Merge(syn); err != nil {
@@ -438,13 +725,14 @@ func (s *Store) Query(metric, key string, from, to int64) (Synopsis, error) {
 }
 
 // Keys returns every key of the metric currently resident in the store,
-// across all shards (unordered).
+// across all shards (unordered). Splayed sub-entries are skipped so a hot
+// key appears once.
 func (s *Store) Keys(metric string) []string {
 	var out []string
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for k := range sh.entries {
-			if k.metric == metric {
+		for k, e := range sh.entries {
+			if k.metric == metric && !e.replica {
 				out = append(out, k.key)
 			}
 		}
@@ -456,11 +744,15 @@ func (s *Store) Keys(metric string) []string {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Observed:    s.observed.Load(),
-		DroppedLate: s.droppedLate.Load(),
-		Queries:     s.queries.Load(),
-		EvictedSize: s.evictedSize.Load(),
-		EvictedIdle: s.evictedIdle.Load(),
+		Observed:      s.observed.Load(),
+		DroppedLate:   s.droppedLate.Load(),
+		Queries:       s.queries.Load(),
+		EvictedSize:   s.evictedSize.Load(),
+		EvictedIdle:   s.evictedIdle.Load(),
+		SplayedWrites: s.splayed.Load(),
+		Promotions:    s.promotions.Load(),
+		Demotions:     s.demotions.Load(),
+		HotKeys:       lenHot(s.hot.Load()),
 	}
 	for _, sh := range s.shards {
 		sh.mu.RLock()

@@ -38,6 +38,14 @@ type Synopsis interface {
 	Bytes() int
 }
 
+// Resettable is the optional synopsis extension the store's bucket
+// recycling uses: a synopsis that can return to its empty state in place,
+// keeping its allocations. All four built-in adapters implement it; a
+// custom Synopsis that does not is simply never recycled.
+type Resettable interface {
+	Reset()
+}
+
 // Prototype constructs a fresh, empty Synopsis. The store calls it when a
 // new time bucket opens, when a sealed bucket needs a copy-on-write clone,
 // and to build the merge target of a range query, so a Prototype must
@@ -77,6 +85,9 @@ func (d *Distinct) Merge(other Synopsis) error {
 	}
 	return d.h.Merge(o.h)
 }
+
+// Reset implements Resettable.
+func (d *Distinct) Reset() { d.h.Reset() }
 
 // Items implements Synopsis.
 func (d *Distinct) Items() uint64 { return d.h.Items() }
@@ -123,6 +134,9 @@ func (f *Freq) Merge(other Synopsis) error {
 	return f.cm.Merge(o.cm)
 }
 
+// Reset implements Resettable.
+func (f *Freq) Reset() { f.cm.Reset() }
+
 // Items implements Synopsis.
 func (f *Freq) Items() uint64 { return f.cm.Items() }
 
@@ -162,6 +176,9 @@ func (t *TopK) Merge(other Synopsis) error {
 	}
 	return t.ss.Merge(o.ss)
 }
+
+// Reset implements Resettable.
+func (t *TopK) Reset() { t.ss.Reset() }
 
 // Items implements Synopsis.
 func (t *TopK) Items() uint64 { return t.ss.Items() }
@@ -205,6 +222,9 @@ func (qs *Quantiles) Merge(other Synopsis) error {
 	}
 	return qs.q.Merge(o.q)
 }
+
+// Reset implements Resettable.
+func (qs *Quantiles) Reset() { qs.q.Reset() }
 
 // Items implements Synopsis.
 func (qs *Quantiles) Items() uint64 { return qs.q.Count() }

@@ -1,0 +1,334 @@
+// Property tests for the Synopsis merge laws. Every bucket synopsis the
+// store serves must satisfy, for random streams:
+//
+//   - commutativity:   merge(A, B) answers like merge(B, A)
+//   - associativity:   merge(merge(A, B), C) answers like merge(A, merge(B, C))
+//   - split/unsplit:   merging the synopses of a randomly split stream
+//     answers like one synopsis fed the whole stream
+//
+// within each family's error model. HyperLogLog (register max) and
+// Count-Min (counter addition) are *exactly* invariant — the laws are
+// checked with equality. Space-Saving and q-digest reorganize state on
+// merge, so their laws are checked against each sketch's published
+// guarantee (overestimate bounded by Err; rank error bounded by
+// logU/k per constituent). The split/unsplit property is precisely the
+// invariant hot-key splaying leans on: a splayed entry is a split stream
+// whose parts merge at query time.
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const propTrials = 20
+
+// splitStream deals a stream into n parts using the rng, returning the
+// parts; every element lands in exactly one part.
+func splitStream[T any](rng *workload.RNG, stream []T, n int) [][]T {
+	parts := make([][]T, n)
+	for _, x := range stream {
+		i := int(rng.Uint64() % uint64(n))
+		parts[i] = append(parts[i], x)
+	}
+	return parts
+}
+
+func mustMerge(t *testing.T, dst, src Synopsis) {
+	t.Helper()
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyOf clones a synopsis by merging it into a fresh prototype instance.
+func copyOf(t *testing.T, proto Prototype, s Synopsis) Synopsis {
+	t.Helper()
+	c := proto()
+	mustMerge(t, c, s)
+	return c
+}
+
+func TestDistinctMergeLaws(t *testing.T) {
+	proto, err := NewDistinctProto(10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(1)
+	for trial := 0; trial < propTrials; trial++ {
+		n := 200 + int(rng.Uint64()%2000)
+		universe := 1 + int(rng.Uint64()%1500)
+		stream := make([]string, n)
+		for i := range stream {
+			stream[i] = fmt.Sprintf("u%d", rng.Uint64()%uint64(universe))
+		}
+		whole := proto()
+		parts := splitStream(rng, stream, 3)
+		abc := []Synopsis{proto(), proto(), proto()}
+		for i, part := range parts {
+			for _, item := range part {
+				abc[i].Observe(item, 1)
+			}
+		}
+		for _, item := range stream {
+			whole.Observe(item, 1)
+		}
+		a, b, c := abc[0], abc[1], abc[2]
+
+		// Commutativity, exactly: register-wise max has no order.
+		ab := copyOf(t, proto, a)
+		mustMerge(t, ab, b)
+		ba := copyOf(t, proto, b)
+		mustMerge(t, ba, a)
+		if ab.(*Distinct).Estimate() != ba.(*Distinct).Estimate() {
+			t.Fatalf("trial %d: merge not commutative: %f != %f",
+				trial, ab.(*Distinct).Estimate(), ba.(*Distinct).Estimate())
+		}
+		// Associativity, exactly.
+		abThenC := copyOf(t, proto, ab)
+		mustMerge(t, abThenC, c)
+		bc := copyOf(t, proto, b)
+		mustMerge(t, bc, c)
+		aThenBC := copyOf(t, proto, a)
+		mustMerge(t, aThenBC, bc)
+		if abThenC.(*Distinct).Estimate() != aThenBC.(*Distinct).Estimate() {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+		// Split stream == unsplit stream, exactly.
+		if got, want := abThenC.(*Distinct).Estimate(), whole.(*Distinct).Estimate(); got != want {
+			t.Fatalf("trial %d: split-merge %f != whole %f", trial, got, want)
+		}
+		if abThenC.Items() != whole.Items() {
+			t.Fatalf("trial %d: items %d != %d", trial, abThenC.Items(), whole.Items())
+		}
+	}
+}
+
+func TestFreqMergeLaws(t *testing.T) {
+	proto, err := NewFreqProto(256, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(2)
+	for trial := 0; trial < propTrials; trial++ {
+		n := 200 + int(rng.Uint64()%2000)
+		z := workload.NewZipf(rng, 100, 1.2)
+		type wobs struct {
+			item string
+			w    uint64
+		}
+		stream := make([]wobs, n)
+		for i := range stream {
+			stream[i] = wobs{item: fmt.Sprintf("i%d", z.Draw()), w: 1 + rng.Uint64()%5}
+		}
+		whole := proto()
+		for _, o := range stream {
+			whole.Observe(o.item, o.w)
+		}
+		parts := splitStream(rng, stream, 3)
+		syns := make([]Synopsis, 3)
+		for i, part := range parts {
+			syns[i] = proto()
+			for _, o := range part {
+				syns[i].Observe(o.item, o.w)
+			}
+		}
+		a, b, c := syns[0], syns[1], syns[2]
+		probe := func(s Synopsis, item string) uint64 { return s.(*Freq).Count(item) }
+
+		ab := copyOf(t, proto, a)
+		mustMerge(t, ab, b)
+		ba := copyOf(t, proto, b)
+		mustMerge(t, ba, a)
+		abThenC := copyOf(t, proto, ab)
+		mustMerge(t, abThenC, c)
+		bc := copyOf(t, proto, b)
+		mustMerge(t, bc, c)
+		aThenBC := copyOf(t, proto, a)
+		mustMerge(t, aThenBC, bc)
+		for u := 0; u < 100; u++ {
+			item := fmt.Sprintf("i%d", u)
+			if probe(ab, item) != probe(ba, item) {
+				t.Fatalf("trial %d: count-min merge not commutative on %s", trial, item)
+			}
+			if probe(abThenC, item) != probe(aThenBC, item) {
+				t.Fatalf("trial %d: count-min merge not associative on %s", trial, item)
+			}
+			// Counter addition is linear: split == unsplit, exactly.
+			if probe(abThenC, item) != probe(whole, item) {
+				t.Fatalf("trial %d: split-merge count %d != whole %d on %s",
+					trial, probe(abThenC, item), probe(whole, item), item)
+			}
+		}
+		if abThenC.Items() != whole.Items() {
+			t.Fatalf("trial %d: items %d != %d", trial, abThenC.Items(), whole.Items())
+		}
+	}
+}
+
+func TestTopKMergeLaws(t *testing.T) {
+	const k = 24
+	proto, err := NewTopKProto(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(3)
+	for trial := 0; trial < propTrials; trial++ {
+		n := 500 + int(rng.Uint64()%3000)
+		z := workload.NewZipf(rng, 200, 1.3)
+		stream := make([]string, n)
+		exact := map[string]uint64{}
+		for i := range stream {
+			stream[i] = fmt.Sprintf("i%d", z.Draw())
+			exact[stream[i]]++
+		}
+		parts := splitStream(rng, stream, 3)
+		syns := make([]Synopsis, 3)
+		for i, part := range parts {
+			syns[i] = proto()
+			for _, item := range part {
+				syns[i].Observe(item, 1)
+			}
+		}
+		a, b, c := syns[0], syns[1], syns[2]
+
+		// checkGuarantees asserts the Space-Saving contract on a merged
+		// summary over the full stream: every tracked estimate brackets
+		// the true count (count-err <= true <= count), the stream length
+		// is exact, and every item with true count > n/k is tracked.
+		checkGuarantees := func(s Synopsis, label string) {
+			t.Helper()
+			tk := s.(*TopK)
+			if tk.Items() != uint64(n) {
+				t.Fatalf("trial %d %s: items %d != %d", trial, label, tk.Items(), n)
+			}
+			tracked := map[string]bool{}
+			for _, cand := range tk.Top(k) {
+				tracked[cand.Item] = true
+				truth := exact[cand.Item]
+				if cand.Count < truth {
+					t.Fatalf("trial %d %s: %s underestimated: %d < true %d",
+						trial, label, cand.Item, cand.Count, truth)
+				}
+				if cand.Count-cand.Err > truth {
+					t.Fatalf("trial %d %s: %s over error bound: %d - err %d > true %d",
+						trial, label, cand.Item, cand.Count, cand.Err, truth)
+				}
+			}
+			for item, cnt := range exact {
+				if cnt > uint64(n)/uint64(k) && !tracked[item] {
+					t.Fatalf("trial %d %s: heavy hitter %s (count %d > n/k) untracked",
+						trial, label, item, cnt)
+				}
+			}
+		}
+		ab := copyOf(t, proto, a)
+		mustMerge(t, ab, b)
+		mustMerge(t, ab, c)
+		checkGuarantees(ab, "(a+b)+c")
+		ba := copyOf(t, proto, b)
+		mustMerge(t, ba, a)
+		mustMerge(t, ba, c)
+		checkGuarantees(ba, "(b+a)+c")
+		bc := copyOf(t, proto, b)
+		mustMerge(t, bc, c)
+		aThenBC := copyOf(t, proto, a)
+		mustMerge(t, aThenBC, bc)
+		checkGuarantees(aThenBC, "a+(b+c)")
+	}
+}
+
+func TestQuantilesMergeLaws(t *testing.T) {
+	const (
+		logU = 12
+		kq   = 64
+	)
+	proto, err := NewQuantileProto(logU, kq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(4)
+	for trial := 0; trial < propTrials; trial++ {
+		n := 500 + int(rng.Uint64()%3000)
+		stream := make([]uint64, n)
+		for i := range stream {
+			stream[i] = rng.Uint64() % (1 << logU)
+		}
+		parts := splitStream(rng, stream, 3)
+		syns := make([]Synopsis, 3)
+		for i, part := range parts {
+			syns[i] = proto()
+			for _, v := range part {
+				syns[i].Observe("", v)
+			}
+		}
+		a, b, c := syns[0], syns[1], syns[2]
+
+		// rankOf counts stream values <= v — the exact rank the q-digest
+		// answer is judged against.
+		rankOf := func(v uint64) int {
+			r := 0
+			for _, x := range stream {
+				if x <= v {
+					r++
+				}
+			}
+			return r
+		}
+		// A q-digest answers phi with rank error <= logU/k * n; merging
+		// adds the constituents' errors, so three parts allow 3x that,
+		// plus one more bound for the compression of the merge target.
+		tol := float64(4) * float64(logU) / float64(kq) * float64(n)
+		checkRanks := func(s Synopsis, label string) {
+			t.Helper()
+			qs := s.(*Quantiles)
+			if qs.Items() != uint64(n) {
+				t.Fatalf("trial %d %s: items %d != %d", trial, label, qs.Items(), n)
+			}
+			for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				v := qs.Quantile(phi)
+				rank := float64(rankOf(v))
+				want := phi * float64(n)
+				if rank < want-tol || rank > want+tol {
+					t.Fatalf("trial %d %s: phi=%.2f answered %d with rank %f, want %f +/- %f",
+						trial, label, phi, v, rank, want, tol)
+				}
+			}
+		}
+		ab := copyOf(t, proto, a)
+		mustMerge(t, ab, b)
+		mustMerge(t, ab, c)
+		checkRanks(ab, "(a+b)+c")
+		ba := copyOf(t, proto, b)
+		mustMerge(t, ba, a)
+		mustMerge(t, ba, c)
+		checkRanks(ba, "(b+a)+c")
+		bc := copyOf(t, proto, b)
+		mustMerge(t, bc, c)
+		aThenBC := copyOf(t, proto, a)
+		mustMerge(t, aThenBC, bc)
+		checkRanks(aThenBC, "a+(b+c)")
+	}
+}
+
+// Cross-family merges must fail for every adapter pair, not silently
+// absorb — the store's copy-on-write and drain paths rely on it.
+func TestCrossFamilyMergeRejected(t *testing.T) {
+	hll, _ := NewDistinctProto(10, 1)
+	cm, _ := NewFreqProto(64, 2, 1)
+	tk, _ := NewTopKProto(4)
+	qd, _ := NewQuantileProto(8, 16)
+	protos := []Prototype{hll, cm, tk, qd}
+	for i, pa := range protos {
+		for j, pb := range protos {
+			if i == j {
+				continue
+			}
+			if err := pa().Merge(pb()); err == nil {
+				t.Fatalf("adapter %d absorbed adapter %d", i, j)
+			}
+		}
+	}
+}
