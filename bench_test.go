@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/dstore"
 	"repro/internal/experiments"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -64,6 +65,9 @@ func BenchmarkT2_4_SketchStore(b *testing.B) {
 }
 func BenchmarkT2_5_HotKeySplay(b *testing.B) {
 	benchTable(b, experiments.T2_5_HotKeySplay)
+}
+func BenchmarkT3_1_ClusterStore(b *testing.B) {
+	benchTable(b, experiments.T3_1_ClusterStore)
 }
 func BenchmarkF1_Lambda(b *testing.B) { benchTable(b, experiments.F1_Lambda) }
 func BenchmarkA1_ConservativeUpdate(b *testing.B) {
@@ -239,5 +243,125 @@ func BenchmarkStoreQuery(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// ---- Partitioned store cluster micro-benchmarks ----
+//
+// End-to-end per-observation and per-query cost of the multi-node
+// serving layer (internal/dstore), parameterized by node count:
+//
+//	go test -bench=BenchmarkCluster -benchmem
+//
+// Ingest cost covers the whole pipeline — router encode + batched log
+// append + node consume + store apply — amortized per observation by
+// draining the cluster inside the timed section. Query cost is the
+// owner-routed point query; the merged variant scatter-gathers a key set
+// across every node and combines the partials.
+
+var clusterNodeCounts = []int{1, 4, 8}
+
+func newBenchCluster(b *testing.B, nodes int) *dstore.Cluster {
+	b.Helper()
+	c, err := dstore.New(dstore.Config{
+		Partitions: 8,
+		Store:      store.Config{Shards: 4, BucketWidth: 50, RingBuckets: 64},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	proto, err := store.NewDistinctProto(12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterMetric("uniq", proto); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if _, err := c.StartNode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkClusterIngest(b *testing.B) {
+	keys := benchKeys(256)
+	items := benchKeys(64)
+	for _, nodes := range clusterNodeCounts {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			c := newBenchCluster(b, nodes)
+			r := c.Router()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Observe(store.Observation{
+					Metric: "uniq",
+					Key:    keys[i%len(keys)],
+					Item:   items[i%len(items)],
+					Time:   int64(i / len(keys)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Drain inside the timer so ns/op is end-to-end (applied by
+			// the owning nodes), not just the producer-side append.
+			if err := c.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkClusterQuery(b *testing.B) {
+	keys := benchKeys(256)
+	items := benchKeys(64)
+	for _, nodes := range clusterNodeCounts {
+		c := newBenchCluster(b, nodes)
+		r := c.Router()
+		const populate = 100000
+		for i := 0; i < populate; i++ {
+			if err := r.Observe(store.Observation{
+				Metric: "uniq",
+				Key:    keys[i%len(keys)],
+				Item:   items[i%len(items)],
+				Time:   int64(i / len(keys)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		horizon := int64(populate / len(keys))
+		from := horizon - 1000 // ~20 buckets
+		if from < 0 {
+			from = 0
+		}
+		b.Run(fmt.Sprintf("point/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Query("uniq", keys[(i*31)%len(keys)], from, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("merged16/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.QueryMerged("uniq", keys[:16], from, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Close before the next node count's sub-benchmarks run, so an
+		// earlier cluster's idle node loops don't add scheduler noise to
+		// later measurements (Close is idempotent; the b.Cleanup from
+		// newBenchCluster becomes a no-op).
+		c.Close()
 	}
 }

@@ -1,0 +1,227 @@
+// Command dstore demonstrates the partitioned store cluster as a live
+// multi-node serving system, end to end across the repo's subsystems:
+//
+//   - a topology produces Zipf-keyed events through a ClusterBolt, whose
+//     router partitions them by key onto the cluster's mqlog ingest topic
+//     (batched appends);
+//   - N single-threaded node event loops consume their assigned
+//     partitions through a consumer group, each into its own sketch
+//     store (the scale-out speed layer);
+//   - queries are answered by owner routing and by scatter-gather
+//     (site-wide uniques merged across every node);
+//   - a node is killed — the survivors recover its partitions by
+//     replaying the log — and later rejoins, and after each membership
+//     change the cluster's answers are compared to a single-store oracle
+//     rebuilt from the same log.
+//
+// Usage:
+//
+//	go run ./cmd/dstore [-nodes 4] [-events 200000] [-partitions 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dstore"
+	"repro/internal/engine"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	events := flag.Int("events", 200000, "events to ingest")
+	partitions := flag.Int("partitions", 8, "ingest topic partitions")
+	flag.Parse()
+
+	const (
+		keySpace    = 64
+		users       = 20000
+		bucketWidth = 100
+		ringBuckets = 64
+	)
+
+	protos := map[string]store.Prototype{}
+	mustProto := func(name string, p store.Prototype, err error) {
+		if err != nil {
+			panic(err)
+		}
+		protos[name] = p
+	}
+	hll, err := store.NewDistinctProto(12, 42)
+	mustProto("uniques", hll, err)
+	topk, err := store.NewTopKProto(64)
+	mustProto("top-pages", topk, err)
+	quant, err := store.NewQuantileProto(20, 128)
+	mustProto("latency-us", quant, err)
+
+	storeCfg := store.Config{Shards: 8, BucketWidth: bucketWidth, RingBuckets: ringBuckets}
+	cluster, err := dstore.New(dstore.Config{Partitions: *partitions, Store: storeCfg})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	for name, p := range protos {
+		if err := cluster.RegisterMetric(name, p); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < *nodes; i++ {
+		if _, err := cluster.StartNode(); err != nil {
+			panic(err)
+		}
+	}
+
+	// Producers: a topology feeding the cluster through a ClusterBolt —
+	// the router behind it partitions by key onto the ingest log.
+	rng := workload.NewRNG(7)
+	zipfKey := workload.NewZipf(rng, keySpace, 1.2)
+	zipfUser := workload.NewZipf(rng, users, 1.05)
+	var now int64
+	emitted := 0
+	spout := engine.SpoutFunc(func() (engine.Message, bool) {
+		if emitted >= *events {
+			return engine.Message{}, false
+		}
+		// Each event carries three observations; rotate through them so
+		// one spout emits a single metric per tuple.
+		i := emitted
+		emitted++
+		now = int64(i / 3)
+		page := fmt.Sprintf("page:/p%d", zipfKey.Draw())
+		var obs store.Observation
+		switch i % 3 {
+		case 0:
+			obs = store.Observation{Metric: "uniques", Key: page, Item: fmt.Sprintf("u%d", zipfUser.Draw()), Time: now}
+		case 1:
+			obs = store.Observation{Metric: "top-pages", Key: "global", Item: page, Time: now}
+		default:
+			obs = store.Observation{Metric: "latency-us", Key: page, Value: uint64(50 + (now*2654435761)%2000), Time: now}
+		}
+		return engine.Message{Key: obs.Key, Value: obs}, true
+	})
+	sink, err := engine.NewClusterBolt(cluster.Router(), nil)
+	if err != nil {
+		panic(err)
+	}
+	topo, err := engine.NewBuilder().
+		AddSpout("events", spout).
+		AddBolt("cluster", sink.Factory(), 4, engine.FieldsFrom("events")).
+		Build(engine.Config{Semantics: engine.AtLeastOnce})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("ingesting %d events through a ClusterBolt topology into %d nodes over %d partitions...\n",
+		*events, *nodes, *partitions)
+	start := time.Now()
+	topoStats := topo.Run()
+	sink.Flush()
+	if err := cluster.Drain(); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	cstats := cluster.Stats()
+	fmt.Printf("\ncluster: %d observations consumed in %.2fs (%.0f obs/sec); topology acked %d\n",
+		cstats.Applied+cstats.Replayed, elapsed,
+		float64(cstats.Applied+cstats.Replayed)/elapsed, topoStats.Acked)
+	ends := cluster.Topic().EndOffsets()
+	var logged uint64
+	for _, e := range ends {
+		logged += e
+	}
+	fmt.Printf("  ingest log: %d messages over %d partitions %v\n", logged, len(ends), ends)
+	fmt.Printf("  %d nodes, %d recoveries, %d entries, %d synopsis bytes, lag %d\n",
+		cstats.Nodes, cstats.Recoveries, cstats.Store.Entries, cstats.Store.Bytes, cstats.Lag)
+
+	// Scatter-gather: site-wide uniques over every page, combined across
+	// nodes through Synopsis.Merge.
+	router := cluster.Router()
+	pages := router.Keys("uniques")
+	union, err := router.QueryMerged("uniques", pages, 0, now)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nscatter-gather: site-wide uniques over %d pages ~= %.0f users\n",
+		len(pages), union.(*store.Distinct).Estimate())
+	syn, err := router.Query("top-pages", "global", 0, now)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("top pages (Space-Saving, owner-routed):")
+	for _, c := range syn.(*store.TopK).Top(5) {
+		fmt.Printf("  %-12s ~%d views\n", c.Item, c.Count)
+	}
+
+	// Oracle: one store rebuilt from the same log.
+	oracle, _, err := store.Rebuild(storeCfg, protos, cluster.Topic(), nil)
+	if err != nil {
+		panic(err)
+	}
+	compare := func(context string) {
+		keys := oracle.Keys("uniques")
+		sort.Strings(keys)
+		mismatch := 0
+		for _, page := range keys {
+			a, err := router.Query("uniques", page, 0, now)
+			if err != nil {
+				panic(err)
+			}
+			b, err := oracle.Query("uniques", page, 0, now)
+			if err != nil {
+				panic(err)
+			}
+			if a.(*store.Distinct).Estimate() != b.(*store.Distinct).Estimate() {
+				mismatch++
+			}
+		}
+		verdict := "all answers equal the single-store oracle"
+		if mismatch > 0 {
+			verdict = fmt.Sprintf("%d answers DIVERGE from the oracle", mismatch)
+		}
+		fmt.Printf("%s: checked %d keys — %s\n", context, len(keys), verdict)
+	}
+	compare("\nsteady state")
+
+	victim := cluster.NodeNames()[0]
+	fmt.Printf("\nkilling %s (its store is discarded; survivors replay its partitions from the log)...\n", victim)
+	start = time.Now()
+	if err := cluster.StopNode(victim); err != nil {
+		panic(err)
+	}
+	if err := cluster.Drain(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rebalanced + recovered in %.2fs (%d nodes)\n", time.Since(start).Seconds(), len(cluster.NodeNames()))
+	compare("after kill")
+
+	fmt.Println("\nrejoining a node (everyone rebuilds for the new assignment)...")
+	start = time.Now()
+	if _, err := cluster.StartNode(); err != nil {
+		panic(err)
+	}
+	if err := cluster.Drain(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rebalanced + recovered in %.2fs (%d nodes)\n", time.Since(start).Seconds(), len(cluster.NodeNames()))
+	compare("after rejoin")
+
+	fmt.Println("\nper-node state:")
+	for _, name := range cluster.NodeNames() {
+		n := cluster.Node(name)
+		if n == nil {
+			continue
+		}
+		st, ok := n.StoreStats()
+		if !ok {
+			fmt.Printf("  %-8s recovering\n", name)
+			continue
+		}
+		fmt.Printf("  %-8s partitions %v: %d entries, %d synopsis bytes, %d observations\n",
+			name, cluster.Assignment(name), st.Entries, st.Bytes, st.Observed)
+	}
+}

@@ -1,0 +1,413 @@
+// Package dstore is the partitioned store cluster: multi-node serving
+// over the mqlog partitioned log, with scatter-gather queries and
+// log-based recovery. It is the step the tutorial's Section 3 platforms
+// all take to scale the speed layer past one process — Storm/Heron
+// partition bolt state across workers, Samza pins a local store to each
+// Kafka partition, MillWheel hangs per-key state off a sharded log — and
+// the step ROADMAP's "Distribution" item names: partition internal/store
+// across nodes using mqlog as the transport, with the store's replay
+// machinery as the recovery story.
+//
+// Shape. One Cluster owns an ingest Topic (N partitions), a ConsumerGroup
+// over it, and a set of Nodes. Each Node is a deliberately single-threaded
+// event loop — Samza's container model, the scale-out unit is the node,
+// not a thread pool — that polls the partitions the group assigns it,
+// decodes observations with the store wire codec, and applies them to its
+// own store.Store. Producers never talk to nodes: the Router partitions
+// Observe traffic by key onto the topic (batched appends via
+// Topic.ProduceBatch), so the log decouples producers from consumers
+// exactly as in Figure 1's Lambda input dispatch.
+//
+// Ownership and recovery. Keys hash to partitions (Topic.PartitionFor)
+// and partitions to nodes (the consumer group's range assignment), so
+// every series has exactly one serving node between rebalances. Any
+// membership change bumps the group generation; each node notices and
+// runs the recovery state machine:
+//
+//	serving ──(generation changed)──► recovering: build a fresh store,
+//	   ▲                              replay every now-owned partition's
+//	   │                              retained prefix up to an end-offset
+//	   │                              snapshot (store.ReplayPartition),
+//	   │                              commit the replay ends (fenced)
+//	   └──────(replay complete)────── and swap the store in.
+//
+// Rebuilding from scratch — rather than patching the previous store —
+// keeps one invariant that makes scatter-gather trivially correct: a
+// serving node's store contains exactly the observations of its currently
+// owned partitions, nothing else. A node that lost partitions holds no
+// stale copy of them (no double counting when fanning out), and a node
+// that gained partitions has their full retained history (no gaps).
+// Commits use generation fencing (ConsumerGroup.CommitFenced), so a
+// preempted former owner can never clobber the new owner's position.
+//
+// Queries. Router.Query routes to the key's owner; Router.QueryMerged
+// fans a key set out to the owning nodes, each node combines its keys
+// locally, and the partials merge through store.CombineSnapshots — the
+// mergeable-synopsis property is what makes the cluster answer equal a
+// single store fed the same log (experiment T3.1 checks this equality
+// through a kill-and-rejoin cycle).
+package dstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mqlog"
+	"repro/internal/store"
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// Partitions is the ingest topic's partition count (default 8). It
+	// bounds the useful node count: partitions are the unit of ownership.
+	Partitions int
+	// Retention is the per-partition retention limit in messages
+	// (0 = unlimited). Recovery replays the retained prefix, so retention
+	// bounds how much history a rejoining node can restore — the same
+	// tradeoff Kafka-backed state stores make.
+	Retention int
+	// Topic and Group name the ingest topic and consumer group
+	// (defaults "dstore-ingest", "dstore").
+	Topic string
+	Group string
+	// Store configures each node's local store. Per-node budgets
+	// (MaxShardBytes) model per-node memory: adding nodes multiplies the
+	// cluster's aggregate synopsis budget, which is the scaling story
+	// T3.1 measures.
+	Store store.Config
+	// PollBatch is the max messages a node takes per poll (default 512).
+	PollBatch int
+	// BatchSize is how many observations the Router buffers per partition
+	// before one batched append (default 64; 1 = unbatched).
+	BatchSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.Topic == "" {
+		c.Topic = "dstore-ingest"
+	}
+	if c.Group == "" {
+		c.Group = "dstore"
+	}
+	if c.PollBatch <= 0 {
+		c.PollBatch = 512
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// Stats aggregates the cluster's counters.
+type Stats struct {
+	Nodes      int    // live nodes
+	Recoveries uint64 // completed node recoveries (includes first starts)
+	Applied    uint64 // observations applied by live node event loops
+	Replayed   uint64 // observations applied by recovery replays
+	Rejected   uint64 // messages dropped by decode or store errors
+	Lag        uint64 // unconsumed messages across the group
+	Store      store.Stats
+}
+
+// Cluster is a set of store nodes behind one partitioned ingest log.
+type Cluster struct {
+	cfg    Config
+	broker *mqlog.Broker
+	topic  *mqlog.Topic
+	group  *mqlog.ConsumerGroup
+	router *Router
+
+	// protos is the registered metric table, swapped copy-on-write under
+	// mu and read lock-free: Router.Observe validates every observation
+	// against it, and a mutex there would serialize all producers.
+	protos atomic.Pointer[map[string]store.Prototype]
+
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	nextID int
+	closed bool
+}
+
+// New returns a cluster with no nodes. Register metrics, then StartNode.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Retention < 0 {
+		return nil, core.Errf("Cluster", "Retention", "%d must be >= 0", cfg.Retention)
+	}
+	// Validate the per-node store config now: node recovery builds stores
+	// from it forever after, and a config that cannot construct would
+	// otherwise leave every node retrying recovery and Drain hanging.
+	if _, err := store.New(cfg.Store); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	broker := mqlog.NewBroker()
+	topic, err := broker.CreateTopic(cfg.Topic, cfg.Partitions, cfg.Retention)
+	if err != nil {
+		return nil, err
+	}
+	group, err := mqlog.NewConsumerGroup(broker, topic, cfg.Group)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		broker: broker,
+		topic:  topic,
+		group:  group,
+		nodes:  make(map[string]*Node),
+	}
+	empty := make(map[string]store.Prototype)
+	c.protos.Store(&empty)
+	c.router = newRouter(c)
+	return c, nil
+}
+
+// RegisterMetric binds a metric name to the prototype every node's store
+// will build buckets with. Metrics must be registered before the first
+// node starts: node stores are rebuilt from the registered set on every
+// recovery, and a metric appearing mid-flight would leave already-serving
+// nodes unable to absorb its observations.
+func (c *Cluster) RegisterMetric(name string, proto store.Prototype) error {
+	if name == "" {
+		return core.Errf("Cluster", "metric", "name must be non-empty")
+	}
+	if proto == nil {
+		return core.Errf("Cluster", "proto", "prototype for %q is nil", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.nodes) > 0 {
+		return fmt.Errorf("dstore: register metric %q before starting nodes", name)
+	}
+	cur := *c.protos.Load()
+	if _, exists := cur[name]; exists {
+		return fmt.Errorf("dstore: metric %q already registered", name)
+	}
+	next := make(map[string]store.Prototype, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[name] = proto
+	c.protos.Store(&next)
+	return nil
+}
+
+// metricTable returns the registered metric table (read-only; swapped
+// copy-on-write by RegisterMetric).
+func (c *Cluster) metricTable() map[string]store.Prototype { return *c.protos.Load() }
+
+// Metrics returns the registered metric names, sorted.
+func (c *Cluster) Metrics() []string {
+	table := c.metricTable()
+	out := make([]string, 0, len(table))
+	for name := range table {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Cluster) proto(metric string) (store.Prototype, error) {
+	p, ok := c.metricTable()[metric]
+	if !ok {
+		return nil, fmt.Errorf("dstore: unknown metric %q", metric)
+	}
+	return p, nil
+}
+
+// newNodeStore builds one node's empty local store with every registered
+// metric bound.
+func (c *Cluster) newNodeStore() (*store.Store, error) {
+	st, err := store.New(c.cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	for name, proto := range c.metricTable() {
+		if err := st.RegisterMetric(name, proto); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// StartNode adds a node to the cluster and returns its name. The join
+// rebalances the consumer group; the new node (and every node whose
+// assignment changed) recovers its partitions from the log before
+// serving.
+func (c *Cluster) StartNode() (string, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", fmt.Errorf("dstore: cluster closed")
+	}
+	name := fmt.Sprintf("node-%d", c.nextID)
+	c.nextID++
+	n := newNode(c, name)
+	c.nodes[name] = n
+	// Join under the cluster lock: registering the node first lets a
+	// router fanning out by ownership always resolve the member, and
+	// joining before the lock drops means a concurrent Close cannot slip
+	// between them and leave a ghost member the group owns partitions
+	// for but no goroutine serves.
+	c.group.Join(name)
+	c.mu.Unlock()
+	go n.run()
+	return name, nil
+}
+
+// StopNode kills a node: it leaves the group (survivors rebalance and
+// recover its partitions from the log) and its local store is discarded —
+// the crash model, not a graceful handoff, because log-based recovery
+// must not depend on the dead node's state.
+func (c *Cluster) StopNode(name string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if ok {
+		delete(c.nodes, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dstore: unknown node %q", name)
+	}
+	c.group.Leave(name)
+	n.stop()
+	return nil
+}
+
+// node resolves a member name to its live node.
+func (c *Cluster) node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// Node returns the live node with the given name, or nil.
+func (c *Cluster) Node(name string) *Node { return c.node(name) }
+
+// Assignment returns the partitions currently owned by the named node.
+func (c *Cluster) Assignment(name string) []int { return c.group.Assignment(name) }
+
+// liveNodes returns the live nodes in deterministic (name) order — the
+// fan-out order scatter-gather combines partials in.
+func (c *Cluster) liveNodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Node, len(names))
+	for i, name := range names {
+		out[i] = c.nodes[name]
+	}
+	return out
+}
+
+// NodeNames returns the live node names, sorted.
+func (c *Cluster) NodeNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Router returns the cluster's ingest/query router.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Topic returns the ingest topic — the durable input log, shared with the
+// batch layer (store.Rebuild over this topic is the cluster's oracle).
+func (c *Cluster) Topic() *mqlog.Topic { return c.topic }
+
+// Lag returns unconsumed messages across the group (router buffers not
+// included; Flush first for an end-to-end figure).
+func (c *Cluster) Lag() uint64 { return c.broker.Lag(c.cfg.Group, c.topic) }
+
+// Drain flushes the router and blocks until every live node is serving
+// its current assignment and the group lag is zero — the quiesced state
+// experiments query in. It requires at least one live node (an empty
+// cluster can never drain a non-empty log).
+func (c *Cluster) Drain() error {
+	c.router.Flush()
+	for {
+		c.mu.Lock()
+		closed, n := c.closed, len(c.nodes)
+		c.mu.Unlock()
+		if closed {
+			return fmt.Errorf("dstore: cluster closed while draining")
+		}
+		if n == 0 {
+			return fmt.Errorf("dstore: no live nodes to drain %d lagging messages", c.Lag())
+		}
+		gen := c.group.Generation()
+		settled := true
+		for _, node := range c.liveNodes() {
+			if g, serving := node.serving(); !serving || g != gen {
+				settled = false
+				break
+			}
+		}
+		if settled && c.group.Generation() == gen && c.Lag() == 0 {
+			return nil
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// FlushHot settles pending hot-key batches on every serving node, as
+// store.FlushHot does for one store.
+func (c *Cluster) FlushHot() {
+	for _, n := range c.liveNodes() {
+		if st := n.currentStore(); st != nil {
+			st.FlushHot()
+		}
+	}
+}
+
+// Stats aggregates node counters and store stats across the cluster.
+func (c *Cluster) Stats() Stats {
+	nodes := c.liveNodes()
+	out := Stats{Nodes: len(nodes), Lag: c.Lag()}
+	for _, n := range nodes {
+		out.Recoveries += n.recoveries.Load()
+		out.Applied += n.applied.Load()
+		out.Replayed += n.replayed.Load()
+		out.Rejected += n.rejected.Load()
+		if st := n.currentStore(); st != nil {
+			out.Store.Add(st.Stats())
+		}
+	}
+	return out
+}
+
+// Close stops every node. The broker and topic survive (a closed
+// cluster's log can still be replayed into a batch store).
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.nodes = make(map[string]*Node)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		c.group.Leave(n.name)
+		n.stop()
+	}
+}

@@ -1,0 +1,435 @@
+package dstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// newTestCluster builds a cluster with three metric families registered
+// (distinct, frequency, quantiles) and no per-node budgets, so cluster
+// answers are exactly comparable to a single-store oracle.
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Store.BucketWidth == 0 {
+		cfg.Store = store.Config{Shards: 4, BucketWidth: 100, RingBuckets: 64}
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for name, mk := range testProtos(t) {
+		if err := c.RegisterMetric(name, mk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func testProtos(t testing.TB) map[string]store.Prototype {
+	t.Helper()
+	protos := map[string]store.Prototype{}
+	hll, err := store.NewDistinctProto(12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos["uniq"] = hll
+	cm, err := store.NewFreqProto(256, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos["hits"] = cm
+	qd, err := store.NewQuantileProto(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos["lat"] = qd
+	return protos
+}
+
+// feed produces a deterministic Zipf-keyed stream through the router
+// across all three metrics and returns the stream-time high water.
+func feed(t *testing.T, c *Cluster, events int, seed uint64) int64 {
+	t.Helper()
+	rng := workload.NewRNG(seed)
+	z := workload.NewZipf(rng, 48, 1.2)
+	r := c.Router()
+	var now int64
+	for i := 0; i < events; i++ {
+		now = int64(i)
+		key := fmt.Sprintf("k%d", z.Draw())
+		item := fmt.Sprintf("u%d", rng.Uint64()%4096)
+		val := rng.Uint64() % 50000
+		for _, obs := range []store.Observation{
+			{Metric: "uniq", Key: key, Item: item, Time: now},
+			{Metric: "hits", Key: key, Item: item, Value: 1 + val%5, Time: now},
+			{Metric: "lat", Key: key, Value: val, Time: now},
+		} {
+			if err := r.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return now
+}
+
+// oracle rebuilds a single store from the cluster's ingest log — the
+// same stream, one process.
+func oracle(t *testing.T, c *Cluster) *store.Store {
+	t.Helper()
+	st, _, err := store.Rebuild(c.cfg.Store, testProtos(t), c.Topic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// assertMatchesOracle compares every key's cardinality, per-item
+// frequency, and quantile answers between the cluster and the oracle.
+// Per-key observation order is identical on both sides (one key = one
+// partition = one log order), so the sketch answers must be *equal*, not
+// merely close.
+func assertMatchesOracle(t *testing.T, c *Cluster, o *store.Store, to int64, context string) int {
+	t.Helper()
+	r := c.Router()
+	keys := o.Keys("uniq")
+	if len(keys) == 0 {
+		t.Fatalf("%s: oracle has no keys", context)
+	}
+	clusterKeys := r.Keys("uniq")
+	if len(clusterKeys) != len(keys) {
+		t.Fatalf("%s: cluster serves %d keys, oracle has %d", context, len(clusterKeys), len(keys))
+	}
+	checked := 0
+	for _, key := range keys {
+		cu, err := r.Query("uniq", key, 0, to)
+		if err != nil {
+			t.Fatalf("%s: cluster uniq query %s: %v", context, key, err)
+		}
+		ou, err := o.Query("uniq", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := cu.(*store.Distinct).Estimate(), ou.(*store.Distinct).Estimate(); got != want {
+			t.Fatalf("%s: uniq[%s] cluster %v != oracle %v", context, key, got, want)
+		}
+		ch, err := r.Query("hits", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oh, err := o.Query("hits", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 16; u++ {
+			item := fmt.Sprintf("u%d", u)
+			if got, want := ch.(*store.Freq).Count(item), oh.(*store.Freq).Count(item); got != want {
+				t.Fatalf("%s: hits[%s][%s] cluster %d != oracle %d", context, key, item, got, want)
+			}
+		}
+		cl, err := r.Query("lat", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ol, err := o.Query("lat", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phi := range []float64{0.5, 0.9, 0.99} {
+			if got, want := cl.(*store.Quantiles).Quantile(phi), ol.(*store.Quantiles).Quantile(phi); got != want {
+				t.Fatalf("%s: lat[%s] p%v cluster %d != oracle %d", context, key, phi, got, want)
+			}
+		}
+		checked++
+	}
+	return checked
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{Retention: -1}); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+	c := newTestCluster(t, Config{Partitions: 2})
+	if err := c.RegisterMetric("", nil); err == nil {
+		t.Fatal("empty metric accepted")
+	}
+	if err := c.RegisterMetric("x", nil); err == nil {
+		t.Fatal("nil prototype accepted")
+	}
+	if err := c.RegisterMetric("uniq", testProtos(t)["uniq"]); err == nil {
+		t.Fatal("duplicate metric accepted")
+	}
+	if _, err := c.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterMetric("late", testProtos(t)["uniq"]); err == nil {
+		t.Fatal("metric registered after nodes started")
+	}
+	if err := c.StopNode("node-99"); err == nil {
+		t.Fatal("unknown node stop accepted")
+	}
+	if err := c.Router().Observe(store.Observation{Metric: "nope", Key: "k", Time: 1}); err == nil {
+		t.Fatal("unregistered metric observed")
+	}
+	if err := c.Router().Observe(store.Observation{Metric: "uniq", Key: "k", Time: -1}); err == nil {
+		t.Fatal("negative time observed")
+	}
+	// An empty key would round-robin by value hash in the log, scattering
+	// one series across partitions owned by different nodes.
+	if err := c.Router().Observe(store.Observation{Metric: "uniq", Key: "", Item: "x", Time: 1}); err == nil {
+		t.Fatal("empty key observed")
+	}
+}
+
+func TestClusterServesAndMatchesOracle(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 8})
+	for i := 0; i < 4; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to := feed(t, c, 4000, 21)
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	o := oracle(t, c)
+	if n := assertMatchesOracle(t, c, o, to, "steady state"); n == 0 {
+		t.Fatal("nothing checked")
+	}
+	st := c.Stats()
+	if st.Nodes != 4 || st.Applied+st.Replayed == 0 || st.Lag != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+// TestClusterKillRejoinMatchesOracle is T3.1's correctness half and this
+// package's race-suite anchor: ingest a stream, kill a node (survivors
+// recover its partitions from the log), verify every query still matches
+// the single-store oracle, rejoin a node (everyone rebalances and
+// recovers), and verify again.
+func TestClusterKillRejoinMatchesOracle(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 8})
+	for i := 0; i < 4; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to := feed(t, c, 3000, 33)
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	o := oracle(t, c)
+	assertMatchesOracle(t, c, o, to, "before kill")
+
+	victim := c.NodeNames()[1]
+	if err := c.StopNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.NodeNames()); got != 3 {
+		t.Fatalf("%d nodes after kill, want 3", got)
+	}
+	assertMatchesOracle(t, c, o, to, "after kill")
+
+	if _, err := c.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, c, o, to, "after rejoin")
+
+	// And the cluster keeps ingesting correctly after the cycle.
+	to = feed(t, c, 1500, 34)
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, c, oracle(t, c), to, "after rejoin + more ingest")
+}
+
+// TestClusterKillUnderIngest races a node kill against live producers:
+// at-least-once consumption plus rebuild-from-log recovery must neither
+// lose nor double-count a single observation.
+func TestClusterKillUnderIngest(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 8})
+	for i := 0; i < 3; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const (
+		producers   = 4
+		perProducer = 2000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := c.Router()
+			for i := 0; i < perProducer; i++ {
+				key := fmt.Sprintf("k%d", (p*perProducer+i)%64)
+				if err := r.Observe(store.Observation{
+					Metric: "uniq",
+					Key:    key,
+					Item:   fmt.Sprintf("u%d-%d", p, i),
+					Time:   int64(i),
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}(p)
+	}
+	// Kill and rejoin mid-stream.
+	victim := c.NodeNames()[0]
+	if err := c.StopNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	o := oracle(t, c)
+	assertMatchesOracle(t, c, o, int64(perProducer), "kill under ingest")
+}
+
+// TestQueryMergedScattersAcrossNodes pins the scatter-gather path: a
+// multi-key union answered by per-node partials combined through
+// CombineSnapshots must equal the oracle's own multi-key combine.
+func TestQueryMergedScattersAcrossNodes(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 8})
+	for i := 0; i < 4; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to := feed(t, c, 3000, 55)
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	o := oracle(t, c)
+	keys := o.Keys("uniq")
+	if len(keys) < 8 {
+		t.Fatalf("only %d keys", len(keys))
+	}
+
+	got, err := c.Router().QueryMerged("uniq", keys, 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]store.Synopsis, 0, len(keys))
+	for _, key := range keys {
+		syn, err := o.Query("uniq", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, syn)
+	}
+	proto := testProtos(t)["uniq"]
+	want, err := store.CombineSnapshots(proto, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.(*store.Distinct).Estimate(), want.(*store.Distinct).Estimate(); g != w {
+		t.Fatalf("scatter-gather union %v != oracle union %v", g, w)
+	}
+
+	// A union contains each series once: duplicated input keys must not
+	// change the answer (merging a key twice doubles additive counts).
+	doubled := append(append([]string(nil), keys...), keys...)
+	again, err := c.Router().QueryMerged("uniq", doubled, 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := again.(*store.Distinct).Estimate(), want.(*store.Distinct).Estimate(); g != w {
+		t.Fatalf("duplicated-keys union %v != deduplicated union %v", g, w)
+	}
+	hitsOnce, err := c.Router().QueryMerged("hits", keys[:4], 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsTwice, err := c.Router().QueryMerged("hits", append(append([]string(nil), keys[:4]...), keys[:4]...), 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 8; u++ {
+		item := fmt.Sprintf("u%d", u)
+		if a, b := hitsOnce.(*store.Freq).Count(item), hitsTwice.(*store.Freq).Count(item); a != b {
+			t.Fatalf("duplicate keys doubled additive count for %s: %d vs %d", item, a, b)
+		}
+	}
+
+	if _, err := c.Router().QueryMerged("nope", keys, 0, to); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := c.Router().QueryMerged("uniq", keys, 5, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+// TestPerNodeBudgetsPartitionState pins the scale-out motivation: the
+// keyspace's working set overflows one node's byte budget but fits the
+// aggregate budget of eight, so the single node evicts constantly while
+// the cluster holds every series (T3.1 measures the throughput side of
+// this; here we pin the state side deterministically).
+func TestPerNodeBudgetsPartitionState(t *testing.T) {
+	// Per-node budget 4 x 128 KB = 512 KB: the ~2 MB working set below
+	// overflows one node 4x but fits eight nodes (~256 KB each) with 2x
+	// slack for hash skew across partitions and shards.
+	budgeted := store.Config{Shards: 4, BucketWidth: 1 << 20, RingBuckets: 2, MaxShardBytes: 128 << 10}
+	run := func(nodes int) Stats {
+		c := newTestCluster(t, Config{Partitions: 8, Store: budgeted})
+		for i := 0; i < nodes; i++ {
+			if _, err := c.StartNode(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := c.Router()
+		// ~512 HLL series at 4 KB each = ~2 MB of working set vs a
+		// 256 KB per-node budget.
+		for i := 0; i < 4096; i++ {
+			if err := r.Observe(store.Observation{
+				Metric: "uniq",
+				Key:    fmt.Sprintf("k%d", i%512),
+				Item:   fmt.Sprintf("u%d", i),
+				Time:   1,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats()
+	}
+	one, eight := run(1), run(8)
+	if one.Store.EvictedSize == 0 {
+		t.Fatal("single node never evicted despite an overflowing working set")
+	}
+	if eight.Store.EvictedSize != 0 {
+		t.Fatalf("8-node cluster evicted %d entries despite 8x aggregate budget", eight.Store.EvictedSize)
+	}
+	if eight.Store.Entries != 512 {
+		t.Fatalf("8-node cluster holds %d series, want all 512", eight.Store.Entries)
+	}
+}
+
+// A store config that cannot construct must fail at New, not leave every
+// node retrying recovery forever with Drain hanging.
+func TestClusterRejectsInvalidStoreConfig(t *testing.T) {
+	if _, err := New(Config{Store: store.Config{Shards: -1}}); err == nil {
+		t.Fatal("invalid per-node store config accepted")
+	}
+	if _, err := New(Config{Store: store.Config{MaxShardBytes: -1}}); err == nil {
+		t.Fatal("invalid byte budget accepted")
+	}
+}

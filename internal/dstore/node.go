@@ -1,0 +1,307 @@
+// node.go is the cluster's scale-out unit: a single-threaded event loop
+// (the Samza container model) owning one local store and the partitions
+// the consumer group assigns it, with log-based recovery on every
+// ownership change. See the package comment for the recovery state
+// machine and the invariant it maintains.
+package dstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mqlog"
+	"repro/internal/store"
+)
+
+// idleBackoff is how long a node sleeps after an empty poll. It bounds
+// the busy-poll cost of caught-up nodes without adding meaningful
+// end-to-end latency (a batch is never more than one backoff away).
+const idleBackoff = 50 * time.Microsecond
+
+// Node is one cluster member: an event-loop goroutine, its local store,
+// and its recovery state.
+type Node struct {
+	c    *Cluster
+	name string
+
+	mu      sync.RWMutex
+	st      *store.Store  // serving store; nil while recovering
+	gen     int           // group generation st was recovered for
+	serveCh chan struct{} // closed when st is non-nil
+
+	stopCh chan struct{}
+	done   chan struct{}
+
+	recoveries atomic.Uint64
+	applied    atomic.Uint64
+	replayed   atomic.Uint64
+	rejected   atomic.Uint64
+}
+
+func newNode(c *Cluster, name string) *Node {
+	return &Node{
+		c:       c,
+		name:    name,
+		gen:     -1, // force recovery before first serve
+		serveCh: make(chan struct{}),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Name returns the node's consumer-group member name.
+func (n *Node) Name() string { return n.name }
+
+func (n *Node) stop() {
+	close(n.stopCh)
+	<-n.done
+}
+
+func (n *Node) stopped() bool {
+	select {
+	case <-n.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// serving reports whether the node has a recovered store and for which
+// group generation.
+func (n *Node) serving() (gen int, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.gen, n.st != nil
+}
+
+// currentStore returns the serving store, or nil while recovering.
+func (n *Node) currentStore() *store.Store {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.st
+}
+
+// StoreStats returns the serving store's counters; ok is false while the
+// node is recovering.
+func (n *Node) StoreStats() (st store.Stats, ok bool) {
+	s := n.currentStore()
+	if s == nil {
+		return store.Stats{}, false
+	}
+	return s.Stats(), true
+}
+
+// run is the event loop: recover on generation change, otherwise poll the
+// assigned partitions, apply, and commit with generation fencing.
+func (n *Node) run() {
+	defer close(n.done)
+	for !n.stopped() {
+		gen := n.c.group.Generation()
+		n.mu.RLock()
+		current := n.gen
+		recovered := n.st != nil
+		n.mu.RUnlock()
+		if !recovered || current != gen {
+			n.recover(gen)
+			continue
+		}
+
+		batches := n.c.group.Poll(n.name, n.c.cfg.PollBatch)
+		if len(batches) == 0 {
+			// Caught up (or unassigned): yield rather than spin on the
+			// broker locks. A plain Sleep (not time.After in a select)
+			// keeps the idle loop allocation-free; the loop condition
+			// re-checks stopCh, bounding stop latency to one backoff.
+			time.Sleep(idleBackoff)
+			continue
+		}
+		st := n.currentStore()
+		for _, b := range batches {
+			for _, m := range b.Messages {
+				obs, ok := store.WireDecoder(m)
+				if !ok {
+					n.rejected.Add(1)
+					continue
+				}
+				if err := st.Observe(obs); err != nil {
+					// A poison message (unregistered metric, negative
+					// time) must not wedge the partition: count and move
+					// on, the log-consumer convention.
+					n.rejected.Add(1)
+					continue
+				}
+				n.applied.Add(1)
+			}
+			if !n.c.group.CommitFenced(n.name, gen, b.Partition, b.Next) {
+				// A rebalance won mid-batch. The batch already landed in
+				// our store, which may now hold rows for partitions we no
+				// longer own — the next loop iteration rebuilds it from
+				// the log, which also re-reads the uncommitted batch, so
+				// nothing is double-counted or lost.
+				break
+			}
+		}
+	}
+}
+
+// recover rebuilds the node's store for the given generation: a fresh
+// store, the full retained prefix of every now-owned partition replayed
+// up to an end-offset snapshot, the replay ends committed (fenced), and
+// only then the store swapped in for serving. If the generation moves
+// again mid-recovery the attempt is abandoned; the event loop retries
+// against the new assignment.
+func (n *Node) recover(gen int) {
+	// Leave serving mode: queries block on serveCh until the swap.
+	n.mu.Lock()
+	if n.st != nil {
+		n.st = nil
+		n.serveCh = make(chan struct{})
+	}
+	n.mu.Unlock()
+
+	st, err := n.c.newNodeStore()
+	if err != nil {
+		// Config errors are permanent; park until stopped rather than
+		// hot-loop (New validated the same store config up front, so
+		// this is effectively unreachable).
+		n.rejected.Add(1)
+		select {
+		case <-n.stopCh:
+		case <-time.After(time.Millisecond):
+		}
+		return
+	}
+	// Replay through a filtering decoder: a poison message (undecodable,
+	// unregistered metric, negative time) is counted and skipped, exactly
+	// as the live loop treats it — an Observe error inside ReplayPartition
+	// would otherwise wedge recovery in a retry loop.
+	metrics := n.c.metricTable()
+	decode := func(m mqlog.Message) (store.Observation, bool) {
+		obs, ok := store.WireDecoder(m)
+		if !ok || obs.Time < 0 || metrics[obs.Metric] == nil {
+			n.rejected.Add(1)
+			return store.Observation{}, false
+		}
+		return obs, true
+	}
+	for _, pid := range n.c.group.Assignment(n.name) {
+		// From offset 0: fetch resumes at the oldest retained message, so
+		// this is "replay the whole retained prefix" regardless of where
+		// retention has truncated — the history before that horizon is
+		// unrecoverable by construction, for every layer equally.
+		var next uint64
+		for {
+			if n.stopped() || n.c.group.Generation() != gen {
+				return
+			}
+			end, applied, _, err := store.ReplayPartition(st, n.c.topic, pid, next, decode)
+			n.replayed.Add(applied)
+			if err == nil {
+				next = end
+				break
+			}
+			// A store error the decode filter did not anticipate (e.g. a
+			// misbehaving custom Prototype): treat the failing offset as
+			// poison like the live loop would — count it, step past it,
+			// resume — rather than rebuilding and rehitting it forever.
+			n.rejected.Add(1)
+			next = end + 1
+		}
+		if !n.c.group.CommitFenced(n.name, gen, pid, next) {
+			return
+		}
+	}
+	st.FlushHot()
+	if n.c.group.Generation() != gen {
+		return
+	}
+	n.mu.Lock()
+	n.st = st
+	n.gen = gen
+	close(n.serveCh)
+	n.mu.Unlock()
+	n.recoveries.Add(1)
+}
+
+// waitServing blocks until the node has a recovered store (or was
+// stopped) and returns it.
+func (n *Node) waitServing() (*store.Store, bool) {
+	return n.waitServingAt(-1)
+}
+
+// waitServingAt blocks until the node serves at group generation >= gen
+// (or was stopped) and returns the serving store. A node serving an
+// older generation simply hasn't noticed the rebalance yet — there is no
+// recovery channel to wait on in that state, so the wait yields on the
+// idle backoff until the event loop catches up. A node's generation
+// never exceeds the group's, so callers that snapshot the group
+// generation, wait here, and see the group unchanged afterwards have a
+// store built for exactly that assignment.
+func (n *Node) waitServingAt(gen int) (*store.Store, bool) {
+	for {
+		n.mu.RLock()
+		st, g, ch := n.st, n.gen, n.serveCh
+		n.mu.RUnlock()
+		if st != nil && g >= gen {
+			return st, true
+		}
+		if st != nil {
+			if n.stopped() {
+				return nil, false
+			}
+			time.Sleep(idleBackoff)
+			continue
+		}
+		select {
+		case <-ch:
+		case <-n.stopCh:
+			return nil, false
+		}
+	}
+}
+
+// Query answers a range merge-query from the node's local store, waiting
+// out an in-flight recovery first (callers route here because the node
+// owns the key's partition; an answer from a half-recovered store would
+// undercount). Router.Query additionally fences the answer against the
+// group generation; direct callers get the node's current serving store.
+func (n *Node) Query(metric, key string, from, to int64) (store.Synopsis, error) {
+	st, ok := n.waitServing()
+	if !ok {
+		return nil, errNodeStopped(n.name)
+	}
+	return st.Query(metric, key, from, to)
+}
+
+// queryMerged answers for a set of keys out of the store recovered for
+// generation >= gen, combined node-side so the router's scatter-gather
+// moves one partial synopsis per node, not one per key.
+func (n *Node) queryMerged(gen int, metric string, keys []string, from, to int64) (store.Synopsis, error) {
+	proto, err := n.c.proto(metric)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := n.waitServingAt(gen)
+	if !ok {
+		return nil, errNodeStopped(n.name)
+	}
+	parts := make([]store.Synopsis, 0, len(keys))
+	for _, key := range keys {
+		syn, err := st.Query(metric, key, from, to)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, syn)
+	}
+	return store.CombineSnapshots(proto, parts...)
+}
+
+// keys returns the metric's keys resident on this node.
+func (n *Node) keys(metric string) []string {
+	st, ok := n.waitServing()
+	if !ok {
+		return nil
+	}
+	return st.Keys(metric)
+}

@@ -1,0 +1,216 @@
+// router.go is the cluster's client surface: it partitions Observe
+// traffic by key onto the ingest topic (batched appends, one partition
+// lock acquisition per batch) and answers queries by routing to the
+// owning node or scatter-gathering across nodes and combining the
+// partial synopses.
+package dstore
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mqlog"
+	"repro/internal/store"
+)
+
+func errNodeStopped(name string) error {
+	return fmt.Errorf("dstore: node %s stopped", name)
+}
+
+// routerPart is one partition's producer-side buffer. The lock is held
+// across the batched append so batches reach the log in buffer order and
+// per-key ordering survives concurrent producers on the same partition.
+type routerPart struct {
+	mu  sync.Mutex
+	buf []mqlog.Record
+}
+
+// Router is the cluster's ingest and query front end. One Router is safe
+// for concurrent use; Observe buffers per partition and appends in
+// batches, so call Flush when a producer finishes (Drain does).
+type Router struct {
+	c     *Cluster
+	parts []routerPart
+}
+
+func newRouter(c *Cluster) *Router {
+	return &Router{c: c, parts: make([]routerPart, c.cfg.Partitions)}
+}
+
+// Observe encodes the observation onto the ingest topic, partitioned by
+// key — the same hash Produce uses, so a series always lands in one
+// partition and replays in order. Unknown metrics, empty keys and
+// negative times fail here, producer-side, rather than poisoning the
+// consumers (an empty key would round-robin by value hash in the log,
+// scattering one series across partitions that different nodes own).
+func (r *Router) Observe(obs store.Observation) error {
+	if obs.Time < 0 {
+		return core.Errf("Router", "Time", "%d must be >= 0", obs.Time)
+	}
+	if obs.Key == "" {
+		return core.Errf("Router", "Key", "must be non-empty (keys are the unit of partition ownership)")
+	}
+	if _, err := r.c.proto(obs.Metric); err != nil {
+		return err
+	}
+	rec := mqlog.Record{Key: obs.Key, Value: store.EncodeObservation(obs)}
+	pid := r.c.topic.PartitionFor(obs.Key)
+	p := &r.parts[pid]
+	p.mu.Lock()
+	p.buf = append(p.buf, rec)
+	if len(p.buf) >= r.c.cfg.BatchSize {
+		r.c.topic.ProduceBatchTo(pid, p.buf)
+		p.buf = p.buf[:0]
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Flush appends every buffered observation to the log.
+func (r *Router) Flush() {
+	for pid := range r.parts {
+		p := &r.parts[pid]
+		p.mu.Lock()
+		if len(p.buf) > 0 {
+			r.c.topic.ProduceBatchTo(pid, p.buf)
+			p.buf = p.buf[:0]
+		}
+		p.mu.Unlock()
+	}
+}
+
+// owner resolves a key to the node currently serving its partition, plus
+// the group generation the assignment was read at (the fence value for
+// generation-checked queries — Owner returns both atomically).
+func (r *Router) owner(key string) (*Node, int, error) {
+	pid := r.c.topic.PartitionFor(key)
+	member, gen, ok := r.c.group.Owner(pid)
+	if !ok {
+		return nil, gen, fmt.Errorf("dstore: partition %d unowned (no live nodes)", pid)
+	}
+	n := r.c.node(member)
+	if n == nil {
+		// The member left between the Owner read and the node lookup; the
+		// group has rebalanced (or will momentarily). Retrying resolves
+		// against the new assignment.
+		return nil, gen, fmt.Errorf("dstore: partition %d owner %s is gone (rebalance in flight)", pid, member)
+	}
+	return n, gen, nil
+}
+
+// Query answers a range merge-query for one series by routing to the
+// node that owns the key's partition. The answer is generation-fenced:
+// the group generation is snapshotted, the owner must serve a store
+// recovered for at least that generation (waiting out an in-flight
+// recovery), and if a rebalance moved the generation meanwhile the
+// routing is redone — so the answer never comes from a store whose
+// assignment predates the ownership lookup (which could silently miss
+// the key's partition). Sustained membership churn surfaces as the
+// unowned/gone errors below, never as a wrong answer.
+func (r *Router) Query(metric, key string, from, to int64) (store.Synopsis, error) {
+	for {
+		n, gen, err := r.owner(key)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := n.waitServingAt(gen)
+		if !ok {
+			// The node stopped while we waited; re-resolve ownership.
+			continue
+		}
+		if r.c.group.Generation() == gen {
+			// The group did not rebalance across the lookup+wait, so the
+			// store we hold was recovered for exactly the assignment the
+			// routing decision used. It stays valid even if a rebalance
+			// lands during the merge below: a recovered store is never
+			// mutated into a different assignment, only replaced.
+			return st.Query(metric, key, from, to)
+		}
+	}
+}
+
+// QueryMerged answers for the union of the given keys — e.g. site-wide
+// uniques over a set of pages — by scatter-gather: keys group by owning
+// node, each node combines its keys locally into one partial, and the
+// partials merge through store.CombineSnapshots in deterministic node
+// order. Duplicate keys are deduplicated first (a union contains each
+// series once; merging a key twice would double additive counts). The
+// merge is exact for merge-invariant synopses (HLL, Count-Min) and
+// within the usual sketch guarantees for the rest, which is the
+// tutorial's "algorithms should scale out" property end to end. Like
+// Query, the fan-out is generation-fenced and redone if a rebalance
+// races it.
+func (r *Router) QueryMerged(metric string, keys []string, from, to int64) (store.Synopsis, error) {
+	proto, err := r.c.proto(metric)
+	if err != nil {
+		return nil, err
+	}
+	if from > to {
+		return nil, core.Errf("Router", "range", "from %d > to %d", from, to)
+	}
+	dedup := append([]string(nil), keys...)
+	slices.Sort(dedup)
+	dedup = slices.Compact(dedup)
+
+	for {
+		// One assignment snapshot resolves every key: per-key Owner calls
+		// would rescan the member list under the group lock once per key.
+		owners, gen := r.c.group.Owners()
+		byNode := make(map[*Node][]string)
+		var order []*Node
+		for _, key := range dedup {
+			pid := r.c.topic.PartitionFor(key)
+			member := owners[pid]
+			if member == "" {
+				return nil, fmt.Errorf("dstore: partition %d unowned (no live nodes)", pid)
+			}
+			n := r.c.node(member)
+			if n == nil {
+				return nil, fmt.Errorf("dstore: partition %d owner %s is gone (rebalance in flight)", pid, member)
+			}
+			if _, seen := byNode[n]; !seen {
+				order = append(order, n)
+			}
+			byNode[n] = append(byNode[n], key)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].name < order[j].name })
+
+		partials := make([]store.Synopsis, len(order))
+		errs := make([]error, len(order))
+		var wg sync.WaitGroup
+		for i, n := range order {
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				partials[i], errs[i] = n.queryMerged(gen, metric, byNode[n], from, to)
+			}(i, n)
+		}
+		wg.Wait()
+		if r.c.group.Generation() != gen {
+			// A rebalance raced the fan-out; the grouping (and possibly
+			// some partials) reflect a stale assignment. Redo the routing.
+			continue
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return store.CombineSnapshots(proto, partials...)
+	}
+}
+
+// Keys returns every key of the metric resident in the cluster: the
+// union of the live nodes' key sets, sorted and deduplicated (a key can
+// transiently appear on two nodes around a rebalance).
+func (r *Router) Keys(metric string) []string {
+	var out []string
+	for _, n := range r.c.liveNodes() {
+		out = append(out, n.keys(metric)...)
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}

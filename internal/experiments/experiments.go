@@ -120,6 +120,7 @@ func Builders() []Builder {
 		{"T2.3", "Table 2: partitioned log", T2_3_Broker},
 		{"T2.4", "Sharded sketch store serving", T2_4_SketchStore},
 		{"T2.5", "Hot-key write splaying", T2_5_HotKeySplay},
+		{"T3.1", "Partitioned store cluster", T3_1_ClusterStore},
 		{"F1", "Figure 1: Lambda Architecture", F1_Lambda},
 		{"A1", "Ablation: conservative update", A1_ConservativeUpdate},
 		{"A2", "Ablation: sparse/dense crossover", A2_SparseDenseCrossover},

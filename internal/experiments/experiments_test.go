@@ -102,7 +102,7 @@ func TestBuildersRegistryConsistent(t *testing.T) {
 			}
 		}
 	}
-	if count != 30 {
-		t.Fatalf("expected 30 experiments, registry has %d", count)
+	if count != 31 {
+		t.Fatalf("expected 31 experiments, registry has %d", count)
 	}
 }

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/dstore"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// T3_1_ClusterStore measures the partitioned store cluster (internal/
+// dstore) on the two axes that justify going multi-node, per the
+// tutorial's Section 3 platforms:
+//
+// Scale-out ingest. Every node gets the same fixed synopsis byte budget —
+// per-node memory, the resource a real deployment adds machines to get
+// more of. The uniform-key workload's working set overflows one node's
+// budget several times over but fits the aggregate budget of eight, so
+// the single node churns — every write to an evicted series pays an
+// eviction plus a fresh synopsis allocation — while the eight-node
+// cluster absorbs the same stream into resident entries. The speedup
+// column is the acceptance gate (>= 3x at 8 nodes); note this is a
+// memory-capacity win, visible even on one core, not a CPU-parallelism
+// win (nodes are single-threaded event loops, the Samza container model,
+// so on a multi-core box the same rows also gain core parallelism).
+//
+// Log-based recovery. The second phase ingests a Zipf stream across all
+// three synopsis families, kills a node (the survivors recover its
+// partitions by replaying the log), verifies every per-key cardinality /
+// frequency / quantile answer against a single-store oracle rebuilt from
+// the same log, rejoins a node (another rebalance + recovery), and
+// verifies again. The mismatch column must be zero: scatter-gathered
+// cluster answers equal one store fed the same stream, through the whole
+// kill-and-rejoin cycle.
+func T3_1_ClusterStore() Table {
+	t := Table{
+		ID:     "T3.1",
+		Title:  "Partitioned store cluster: scale-out ingest + kill/rejoin recovery",
+		Claim:  "fixed per-node budgets scale out: 8 nodes ingest >= 3x one node on uniform keys; after kill+rejoin every query equals a single-store oracle",
+		Header: []string{"phase", "nodes", "obs/sec", "speedup", "evictions", "checked", "mismatch"},
+	}
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	// ---- Phase 1: ingest scaling under fixed per-node budgets ----
+	const (
+		events   = 120000
+		keySpace = 2048 // x 4 KB HLL = ~8 MB working set
+		trials   = 3
+	)
+	// 4 shards x 512 KB = 2 MB per node: 8 nodes hold the working set
+	// with 2x slack, 1 node overflows it 4x.
+	nodeStore := store.Config{Shards: 4, BucketWidth: 1 << 30, RingBuckets: 2, MaxShardBytes: 512 << 10}
+	keys := make([]string, keySpace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	items := make([]string, 64)
+	for i := range items {
+		items[i] = fmt.Sprintf("u%d", i)
+	}
+
+	ingest := func(nodes int) (float64, uint64) {
+		c, err := dstore.New(dstore.Config{Partitions: 8, Store: nodeStore})
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		proto, err := store.NewDistinctProto(12, 7)
+		if err != nil {
+			panic(err)
+		}
+		if err := c.RegisterMetric("uniq", proto); err != nil {
+			panic(err)
+		}
+		for i := 0; i < nodes; i++ {
+			if _, err := c.StartNode(); err != nil {
+				panic(err)
+			}
+		}
+		// Settle all join rebalances on an empty log so the timed section
+		// measures ingest, not membership churn.
+		if err := c.Drain(); err != nil {
+			panic(err)
+		}
+		r := c.Router()
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < events; i++ {
+			if err := r.Observe(store.Observation{
+				Metric: "uniq",
+				Key:    keys[i%keySpace],
+				Item:   items[i%len(items)],
+				Time:   1,
+			}); err != nil {
+				panic(err)
+			}
+		}
+		if err := c.Drain(); err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		return float64(events) / elapsed, c.Stats().Store.EvictedSize
+	}
+
+	var base float64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		rates := make([]float64, trials)
+		evicted := make([]uint64, trials)
+		for i := 0; i < trials; i++ {
+			rates[i], evicted[i] = ingest(nodes)
+		}
+		// Report the median-rate trial as one consistent row: its rate
+		// AND its eviction count, so the columns describe the same run.
+		order := make([]int, trials)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return rates[order[a]] < rates[order[b]] })
+		mid := order[trials/2]
+		rate := rates[mid]
+		if nodes == 1 {
+			base = rate
+		}
+		t.AddRow(
+			"ingest",
+			d(nodes),
+			f(rate),
+			fmt.Sprintf("%.2fx", rate/base),
+			d(evicted[mid]),
+			"-", "-",
+		)
+	}
+
+	// ---- Phase 2: kill-and-rejoin recovery vs a single-store oracle ----
+	exact := store.Config{Shards: 4, BucketWidth: 100, RingBuckets: 64}
+	protos := map[string]store.Prototype{}
+	mk := func(name string, p store.Prototype, err error) {
+		if err != nil {
+			panic(err)
+		}
+		protos[name] = p
+	}
+	hll, err := store.NewDistinctProto(12, 11)
+	mk("uniq", hll, err)
+	cm, err := store.NewFreqProto(256, 4, 11)
+	mk("hits", cm, err)
+	qd, err := store.NewQuantileProto(16, 64)
+	mk("lat", qd, err)
+
+	c, err := dstore.New(dstore.Config{Partitions: 8, Store: exact})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	for name, p := range protos {
+		if err := c.RegisterMetric(name, p); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.StartNode(); err != nil {
+			panic(err)
+		}
+	}
+	rng := workload.NewRNG(909)
+	z := workload.NewZipf(rng, 48, 1.2)
+	r := c.Router()
+	var to int64
+	for i := 0; i < 4000; i++ {
+		to = int64(i)
+		key := fmt.Sprintf("k%d", z.Draw())
+		item := fmt.Sprintf("u%d", rng.Uint64()%4096)
+		val := rng.Uint64() % 50000
+		for _, obs := range []store.Observation{
+			{Metric: "uniq", Key: key, Item: item, Time: to},
+			{Metric: "hits", Key: key, Item: item, Value: 1 + val%5, Time: to},
+			{Metric: "lat", Key: key, Value: val, Time: to},
+		} {
+			if err := r.Observe(obs); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := c.Drain(); err != nil {
+		panic(err)
+	}
+	oracle, _, err := store.Rebuild(exact, protos, c.Topic(), nil)
+	if err != nil {
+		panic(err)
+	}
+
+	compare := func() (checked, mismatch int) {
+		for _, key := range oracle.Keys("uniq") {
+			cu, err := r.Query("uniq", key, 0, to)
+			if err != nil {
+				panic(err)
+			}
+			ou, _ := oracle.Query("uniq", key, 0, to)
+			if cu.(*store.Distinct).Estimate() != ou.(*store.Distinct).Estimate() {
+				mismatch++
+			}
+			checked++
+			ch, err := r.Query("hits", key, 0, to)
+			if err != nil {
+				panic(err)
+			}
+			oh, _ := oracle.Query("hits", key, 0, to)
+			for u := 0; u < 8; u++ {
+				item := fmt.Sprintf("u%d", u)
+				if ch.(*store.Freq).Count(item) != oh.(*store.Freq).Count(item) {
+					mismatch++
+				}
+				checked++
+			}
+			cl, err := r.Query("lat", key, 0, to)
+			if err != nil {
+				panic(err)
+			}
+			ol, _ := oracle.Query("lat", key, 0, to)
+			for _, phi := range []float64{0.5, 0.9, 0.99} {
+				if cl.(*store.Quantiles).Quantile(phi) != ol.(*store.Quantiles).Quantile(phi) {
+					mismatch++
+				}
+				checked++
+			}
+		}
+		return checked, mismatch
+	}
+
+	phase := func(label string, nodes int) {
+		checked, mismatch := compare()
+		t.AddRow(label, d(nodes), "-", "-", "-", d(checked), d(mismatch))
+	}
+	phase("steady", 4)
+
+	victim := c.NodeNames()[1]
+	if err := c.StopNode(victim); err != nil {
+		panic(err)
+	}
+	if err := c.Drain(); err != nil {
+		panic(err)
+	}
+	phase("after kill", 3)
+
+	if _, err := c.StartNode(); err != nil {
+		panic(err)
+	}
+	if err := c.Drain(); err != nil {
+		panic(err)
+	}
+	phase("after rejoin", 4)
+
+	return t
+}

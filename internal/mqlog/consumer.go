@@ -22,6 +22,9 @@ type ConsumerGroup struct {
 	// assignment[member] = partition ids
 	assignment map[string][]int
 	generation int
+	// cursors[member] rotates each Poll's partition scan start, so when
+	// the budget is smaller than the assignment no partition is starved.
+	cursors map[string]int
 }
 
 // NewConsumerGroup returns a consumer group over the topic.
@@ -37,6 +40,7 @@ func NewConsumerGroup(broker *Broker, topic *Topic, name string) (*ConsumerGroup
 		topic:      topic,
 		name:       name,
 		assignment: make(map[string][]int),
+		cursors:    make(map[string]int),
 	}, nil
 }
 
@@ -60,6 +64,7 @@ func (g *ConsumerGroup) Leave(member string) {
 	for i, m := range g.members {
 		if m == member {
 			g.members = append(g.members[:i], g.members[i+1:]...)
+			delete(g.cursors, member)
 			g.rebalance()
 			return
 		}
@@ -90,6 +95,48 @@ func (g *ConsumerGroup) Assignment(member string) []int {
 	return append([]int(nil), g.assignment[member]...)
 }
 
+// Owner returns the member currently assigned the partition and the
+// generation of that assignment — the inverse of Assignment, used by
+// query routers to find which consumer serves a key's partition.
+func (g *ConsumerGroup) Owner(partitionID int) (member string, generation int, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for m, parts := range g.assignment {
+		for _, pid := range parts {
+			if pid == partitionID {
+				return m, g.generation, true
+			}
+		}
+	}
+	return "", g.generation, false
+}
+
+// Owners returns the whole partition -> member assignment, indexed by
+// partition id ("" = unowned), plus the generation it was read at — one
+// lock acquisition for callers resolving many keys (a scatter-gather
+// router), where per-key Owner calls would rescan the assignment each
+// time.
+func (g *ConsumerGroup) Owners() (byPartition []string, generation int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, g.topic.Partitions())
+	for m, parts := range g.assignment {
+		for _, pid := range parts {
+			out[pid] = m
+		}
+	}
+	return out, g.generation
+}
+
+// Members returns the current member names, sorted.
+func (g *ConsumerGroup) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := append([]string(nil), g.members...)
+	sort.Strings(out)
+	return out
+}
+
 // Generation returns the rebalance generation, bumped on every membership
 // change.
 func (g *ConsumerGroup) Generation() int {
@@ -99,25 +146,64 @@ func (g *ConsumerGroup) Generation() int {
 }
 
 // Poll fetches up to max messages for the member from its assigned
-// partitions, starting at the group's committed offsets. It does NOT
-// commit; pair with Commit after processing for at-least-once semantics.
+// partitions, starting at the group's committed offsets. The budget is
+// divided fairly across the assigned partitions (Kafka's per-partition
+// fetch cap), so one backlogged partition cannot starve the others and a
+// consumer behind on several partitions sees them interleaved, not
+// drained one partition at a time; any unused share is then offered to
+// partitions with more backlog. The scan start rotates across calls, so
+// even a budget smaller than the assignment (share clamped to 1) reaches
+// every partition within a few polls instead of always feeding the first
+// few. It does NOT commit; pair with Commit after processing for
+// at-least-once semantics.
 func (g *ConsumerGroup) Poll(member string, max int) []PartitionBatch {
 	g.mu.Lock()
 	parts := append([]int(nil), g.assignment[member]...)
+	if n := len(parts); n > 0 {
+		rot := g.cursors[member] % n
+		g.cursors[member] = rot + 1
+		parts = append(parts[rot:], parts[:rot]...)
+	}
 	g.mu.Unlock()
+	if len(parts) == 0 || max <= 0 {
+		return nil
+	}
 
+	share := max / len(parts)
+	if share < 1 {
+		share = 1
+	}
 	var out []PartitionBatch
 	remaining := max
 	for _, pid := range parts {
 		if remaining <= 0 {
 			break
 		}
+		cap := share
+		if cap > remaining {
+			cap = remaining
+		}
 		offset := g.broker.Committed(g.name, g.topic.name, pid)
-		msgs, next, _, err := g.topic.Fetch(pid, offset, remaining)
+		msgs, next, _, err := g.topic.Fetch(pid, offset, cap)
 		if err != nil || len(msgs) == 0 {
 			continue
 		}
 		out = append(out, PartitionBatch{Partition: pid, Messages: msgs, Next: next})
+		remaining -= len(msgs)
+	}
+	// Second pass: hand the leftover budget to partitions that still have
+	// backlog beyond their fair share.
+	for i := range out {
+		if remaining <= 0 {
+			break
+		}
+		b := &out[i]
+		msgs, next, _, err := g.topic.Fetch(b.Partition, b.Next, remaining)
+		if err != nil || len(msgs) == 0 {
+			continue
+		}
+		b.Messages = append(b.Messages, msgs...)
+		b.Next = next
 		remaining -= len(msgs)
 	}
 	return out
@@ -126,6 +212,35 @@ func (g *ConsumerGroup) Poll(member string, max int) []PartitionBatch {
 // Commit advances the group's offset for one partition (after processing).
 func (g *ConsumerGroup) Commit(partitionID int, next uint64) {
 	g.broker.Commit(g.name, g.topic.name, partitionID, next)
+}
+
+// CommitFenced advances the group's offset for one partition only if the
+// member still owns it at the given generation, and reports whether the
+// commit was applied. This is Kafka's generation fencing: a consumer that
+// processed a batch, was preempted, and lost the partition in a rebalance
+// must not clobber the new owner's position — a stale commit past the new
+// owner's recovery point would silently skip messages. The ownership check
+// and the broker commit happen under the group lock, which rebalances also
+// hold, so a commit observed at generation G is ordered before any
+// generation G+1 assignment.
+func (g *ConsumerGroup) CommitFenced(member string, generation, partitionID int, next uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.generation != generation {
+		return false
+	}
+	owned := false
+	for _, pid := range g.assignment[member] {
+		if pid == partitionID {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		return false
+	}
+	g.broker.Commit(g.name, g.topic.name, partitionID, next)
+	return true
 }
 
 // PartitionBatch is one partition's slice of a Poll result.

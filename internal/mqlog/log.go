@@ -41,6 +41,11 @@ type partition struct {
 func (p *partition) append(key string, value []byte) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.appendLocked(key, value)
+}
+
+// appendLocked lands one message and applies retention. Callers hold p.mu.
+func (p *partition) appendLocked(key string, value []byte) uint64 {
 	off := p.base + uint64(len(p.msgs)-p.head)
 	p.msgs = append(p.msgs, Message{Key: key, Value: value, Offset: off})
 	if p.limit > 0 && len(p.msgs)-p.head > p.limit {
@@ -56,9 +61,30 @@ func (p *partition) append(key string, value []byte) uint64 {
 	return off
 }
 
+// appendBatch lands a batch of records under one lock acquisition and
+// returns the offset of the first record (they are assigned contiguously).
+func (p *partition) appendBatch(recs []Record) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	first := p.base + uint64(len(p.msgs)-p.head)
+	for _, r := range recs {
+		p.appendLocked(r.Key, r.Value)
+	}
+	return first
+}
+
 // fetch returns up to max messages starting at offset. When offset has been
 // truncated by retention, reading resumes at the oldest retained message
 // (Kafka's "earliest" reset semantics) and truncated reports the condition.
+//
+// Aliasing audit: the Message headers MUST be copied out (the returned
+// slice must not alias p.msgs) because retention compaction in
+// appendLocked shifts the live suffix down with copy(p.msgs, ...), which
+// would rewrite a returned subslice in place under a concurrent append.
+// Message.Value byte slices, by contrast, are safely shared: the broker
+// never mutates a value after append, and producers hand over ownership
+// (see Produce) — so fetch is zero-copy for payloads and copying for
+// headers, deliberately.
 func (p *partition) fetch(offset uint64, max int) (msgs []Message, next uint64, truncated bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -156,16 +182,80 @@ func (t *Topic) Partitions() int { return len(t.parts) }
 
 // Produce appends a message, routing by key hash (empty keys round-robin
 // via the value hash, matching Kafka's sticky-less default closely enough
-// for experiments).
+// for experiments). The broker takes ownership of value: it is aliased,
+// not copied, and must not be mutated by the producer afterwards.
 func (t *Topic) Produce(key string, value []byte) (partitionID int, offset uint64) {
+	pid := t.route(key, value)
+	return pid, t.parts[pid].append(key, value)
+}
+
+// route picks the partition Produce would append (key, value) to.
+func (t *Topic) route(key string, value []byte) int {
 	var h uint64
 	if key != "" {
 		h = hashutil.Sum64String(key, t.seed)
 	} else {
 		h = hashutil.Sum64(value, t.seed)
 	}
-	pid := int(h % uint64(len(t.parts)))
-	return pid, t.parts[pid].append(key, value)
+	return int(h % uint64(len(t.parts)))
+}
+
+// PartitionFor returns the partition a keyed message routes to — the
+// ownership map a partition-aware client (e.g. a scatter-gather router)
+// shares with Produce.
+func (t *Topic) PartitionFor(key string) int {
+	return int(hashutil.Sum64String(key, t.seed) % uint64(len(t.parts)))
+}
+
+// Record is one key/value pair bound for a topic, the unit of batch
+// production. As with Produce, the broker aliases Value rather than
+// copying it.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// ProduceBatch appends a batch of records, routing each by key exactly as
+// Produce does, but grouping the batch per partition so every partition's
+// lock is acquired once per call instead of once per record — the batched
+// forwarding path a producer-side router should use. It returns the
+// number of records appended (always len(recs)).
+func (t *Topic) ProduceBatch(recs []Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	// Fast path: batches from a partition-aware router are usually
+	// single-partition already; detect that without allocating.
+	first := t.route(recs[0].Key, recs[0].Value)
+	single := true
+	for i := 1; i < len(recs) && single; i++ {
+		single = t.route(recs[i].Key, recs[i].Value) == first
+	}
+	if single {
+		t.parts[first].appendBatch(recs)
+		return len(recs)
+	}
+	byPart := make(map[int][]Record, len(t.parts))
+	for _, r := range recs {
+		pid := t.route(r.Key, r.Value)
+		byPart[pid] = append(byPart[pid], r)
+	}
+	for pid, group := range byPart {
+		t.parts[pid].appendBatch(group)
+	}
+	return len(recs)
+}
+
+// ProduceBatchTo appends a batch of records to an explicit partition
+// under one lock acquisition and returns the first assigned offset —
+// the -To form of ProduceBatch, for producers that already partitioned
+// (a router that routed by PartitionFor must not pay a second hash per
+// record here).
+func (t *Topic) ProduceBatchTo(partitionID int, recs []Record) (uint64, error) {
+	if partitionID < 0 || partitionID >= len(t.parts) {
+		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
+	}
+	return t.parts[partitionID].appendBatch(recs), nil
 }
 
 // ProduceTo appends a message to an explicit partition.
@@ -187,6 +277,20 @@ func (t *Topic) Fetch(partitionID int, offset uint64, max int) (msgs []Message, 
 
 // EndOffset returns the next offset to be written to the partition.
 func (t *Topic) EndOffset(partitionID int) uint64 { return t.parts[partitionID].endOffset() }
+
+// EndOffsets returns a snapshot of every partition's end offset, indexed
+// by partition id. Each entry is read under its partition's lock, so the
+// snapshot is per-partition exact; across partitions it is only monotone
+// (a concurrent producer may land between reads), which is what log-based
+// recovery needs: replaying up to a snapshot taken after an ownership
+// change covers everything produced before it.
+func (t *Topic) EndOffsets() []uint64 {
+	out := make([]uint64, len(t.parts))
+	for pid, p := range t.parts {
+		out[pid] = p.endOffset()
+	}
+	return out
+}
 
 // StartOffset returns the oldest retained offset of the partition.
 func (t *Topic) StartOffset(partitionID int) uint64 { return t.parts[partitionID].startOffset() }

@@ -249,3 +249,248 @@ func BenchmarkFetch100(b *testing.B) {
 		topic.Fetch(0, uint64(i*100%90000), 100)
 	}
 }
+
+func TestProduceBatchMatchesProduceRouting(t *testing.T) {
+	b1, b2 := NewBroker(), NewBroker()
+	t1, _ := b1.CreateTopic("t", 4, 0)
+	t2, _ := b2.CreateTopic("t", 4, 0)
+	var recs []Record
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i%17)
+		val := []byte(fmt.Sprintf("v%d", i))
+		t1.Produce(key, val)
+		recs = append(recs, Record{Key: key, Value: val})
+	}
+	if n := t2.ProduceBatch(recs); n != len(recs) {
+		t.Fatalf("ProduceBatch appended %d of %d", n, len(recs))
+	}
+	for pid := 0; pid < 4; pid++ {
+		if t1.EndOffset(pid) != t2.EndOffset(pid) {
+			t.Fatalf("partition %d: Produce end %d != ProduceBatch end %d",
+				pid, t1.EndOffset(pid), t2.EndOffset(pid))
+		}
+		m1, _, _, _ := t1.Fetch(pid, 0, 1000)
+		m2, _, _, _ := t2.Fetch(pid, 0, 1000)
+		for i := range m1 {
+			if m1[i].Key != m2[i].Key || string(m1[i].Value) != string(m2[i].Value) || m1[i].Offset != m2[i].Offset {
+				t.Fatalf("partition %d message %d differs: %+v vs %+v", pid, i, m1[i], m2[i])
+			}
+		}
+	}
+}
+
+func TestPartitionForAgreesWithProduce(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 8, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		pid, _ := topic.Produce(key, []byte("v"))
+		if got := topic.PartitionFor(key); got != pid {
+			t.Fatalf("PartitionFor(%q) = %d, Produce routed to %d", key, got, pid)
+		}
+	}
+}
+
+func TestEndOffsetsSnapshot(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 3, 0)
+	for i := 0; i < 50; i++ {
+		topic.Produce(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	ends := topic.EndOffsets()
+	if len(ends) != 3 {
+		t.Fatalf("EndOffsets returned %d entries", len(ends))
+	}
+	var total uint64
+	for pid, end := range ends {
+		if end != topic.EndOffset(pid) {
+			t.Fatalf("partition %d snapshot %d != EndOffset %d", pid, end, topic.EndOffset(pid))
+		}
+		total += end
+	}
+	if total != 50 {
+		t.Fatalf("snapshot totals %d messages, produced 50", total)
+	}
+}
+
+func TestFetchCopiesOutOfCompaction(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 1, 4)
+	for i := 0; i < 4; i++ {
+		topic.ProduceTo(0, "k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	msgs, _, _, _ := topic.Fetch(0, 0, 4)
+	// Push retention far enough that the backing slice compacts (head
+	// crosses the halfway mark and the live suffix is shifted down).
+	for i := 4; i < 40; i++ {
+		topic.ProduceTo(0, "k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i, m := range msgs {
+		if want := fmt.Sprintf("v%d", i); string(m.Value) != want || m.Offset != uint64(i) {
+			t.Fatalf("fetched message %d rewritten under compaction: %+v (want value %q)", i, m, want)
+		}
+	}
+}
+
+func TestOwnerInverseOfAssignment(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 8, 0)
+	g, _ := NewConsumerGroup(b, topic, "g")
+	if _, _, ok := g.Owner(0); ok {
+		t.Fatal("empty group reported an owner")
+	}
+	g.Join("a")
+	g.Join("b")
+	g.Join("c")
+	if got := g.Members(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Members() = %v", got)
+	}
+	owned := map[string]int{}
+	for pid := 0; pid < 8; pid++ {
+		member, gen, ok := g.Owner(pid)
+		if !ok {
+			t.Fatalf("partition %d unowned", pid)
+		}
+		if gen != g.Generation() {
+			t.Fatalf("Owner generation %d != group generation %d", gen, g.Generation())
+		}
+		owned[member]++
+		found := false
+		for _, p := range g.Assignment(member) {
+			if p == pid {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Owner(%d)=%s but Assignment(%s) lacks it", pid, member, member)
+		}
+	}
+	if len(owned) != 3 {
+		t.Fatalf("partitions spread over %d members, want 3", len(owned))
+	}
+}
+
+func TestCommitFencedRejectsStaleOwner(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 2, 0)
+	g, _ := NewConsumerGroup(b, topic, "g")
+	g.Join("a")
+	gen := g.Generation()
+	if !g.CommitFenced("a", gen, 0, 5) {
+		t.Fatal("current owner's commit rejected")
+	}
+	if got := b.Committed("g", "t", 0); got != 5 {
+		t.Fatalf("committed %d, want 5", got)
+	}
+	// A rebalance bumps the generation; commits from the old one must be
+	// fenced out even if the member still owns the partition.
+	g.Join("b")
+	if g.CommitFenced("a", gen, 0, 9) {
+		t.Fatal("stale-generation commit accepted")
+	}
+	if got := b.Committed("g", "t", 0); got != 5 {
+		t.Fatalf("stale commit clobbered offset: %d", got)
+	}
+	// And a member cannot commit a partition assigned to someone else.
+	gen = g.Generation()
+	var foreign int = -1
+	for pid := 0; pid < 2; pid++ {
+		if member, _, _ := g.Owner(pid); member != "a" {
+			foreign = pid
+		}
+	}
+	if foreign < 0 {
+		t.Fatal("expected b to own a partition after joining")
+	}
+	if g.CommitFenced("a", gen, foreign, 1) {
+		t.Fatal("commit to foreign partition accepted")
+	}
+}
+
+func TestPollRotatesUnderSmallBudget(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 8, 0)
+	g, _ := NewConsumerGroup(b, topic, "g")
+	g.Join("a")
+	for pid := 0; pid < 8; pid++ {
+		for i := 0; i < 4; i++ {
+			topic.ProduceTo(pid, "k", []byte(fmt.Sprintf("p%d-%d", pid, i)))
+		}
+	}
+	// Budget far below the assignment size: without scan rotation the
+	// first partitions would absorb every poll and the tail would starve.
+	seen := map[int]bool{}
+	for poll := 0; poll < 16; poll++ {
+		for _, batch := range g.Poll("a", 2) {
+			seen[batch.Partition] = true
+			g.Commit(batch.Partition, batch.Next)
+		}
+	}
+	for pid := 0; pid < 8; pid++ {
+		if !seen[pid] {
+			t.Fatalf("partition %d starved across rotating polls (saw %v)", pid, seen)
+		}
+	}
+	if lag := b.Lag("g", topic); lag != 0 {
+		t.Fatalf("lag %d after enough polls to drain everything", lag)
+	}
+}
+
+func TestProduceBatchToExplicitPartition(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 4, 0)
+	recs := []Record{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}}
+	first, err := topic.ProduceBatchTo(2, recs)
+	if err != nil || first != 0 {
+		t.Fatalf("first batch: offset %d err %v", first, err)
+	}
+	first, err = topic.ProduceBatchTo(2, recs)
+	if err != nil || first != 2 {
+		t.Fatalf("second batch: offset %d err %v (offsets must be contiguous)", first, err)
+	}
+	if end := topic.EndOffset(2); end != 4 {
+		t.Fatalf("end offset %d, want 4", end)
+	}
+	msgs, _, _, _ := topic.Fetch(2, 0, 10)
+	if len(msgs) != 4 || msgs[1].Key != "b" || string(msgs[3].Value) != "2" {
+		t.Fatalf("fetched %+v", msgs)
+	}
+	if _, err := topic.ProduceBatchTo(9, recs); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestOwnersSnapshotAndCursorCleanup(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 6, 0)
+	g, _ := NewConsumerGroup(b, topic, "g")
+	g.Join("a")
+	g.Join("b")
+	owners, gen := g.Owners()
+	if gen != g.Generation() || len(owners) != 6 {
+		t.Fatalf("Owners() = %v gen %d", owners, gen)
+	}
+	for pid, member := range owners {
+		want, _, _ := g.Owner(pid)
+		if member != want {
+			t.Fatalf("Owners()[%d] = %q, Owner = %q", pid, member, want)
+		}
+	}
+	// Polling creates a scan cursor; leaving must clean it up, or a
+	// churned group (monotonic member names) leaks an entry per member.
+	g.Poll("a", 4)
+	g.Poll("b", 4)
+	g.Leave("a")
+	g.mu.Lock()
+	_, leaked := g.cursors["a"]
+	g.mu.Unlock()
+	if leaked {
+		t.Fatal("Leave left the member's poll cursor behind")
+	}
+	owners, _ = g.Owners()
+	for pid, member := range owners {
+		if member != "b" {
+			t.Fatalf("partition %d owned by %q after sole-survivor rebalance", pid, member)
+		}
+	}
+}

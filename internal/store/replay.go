@@ -66,6 +66,62 @@ func WireDecoder(m mqlog.Message) (Observation, bool) {
 	return obs, err == nil
 }
 
+// ReplayPartition feeds one partition's messages in [from, end) into the
+// store, where end is the partition's end offset as of the call (writes
+// racing the replay are left to the live ingest path) and a from older
+// than the retained prefix resumes at the oldest retained message —
+// Kafka's "earliest" reset — with truncated reporting that messages were
+// lost to retention. It returns the next offset to consume (commit this
+// to resume exactly where the replay stopped) and the number of decoded
+// observations applied. Unlike Replay it does NOT settle hot-key batches;
+// callers replaying several partitions flush once at the end.
+func ReplayPartition(st *Store, topic *mqlog.Topic, pid int, from uint64, decode Decoder) (next uint64, applied uint64, truncated bool, err error) {
+	if st == nil || topic == nil {
+		return 0, 0, false, core.Errf("ReplayPartition", "store/topic", "must be non-nil")
+	}
+	if pid < 0 || pid >= topic.Partitions() {
+		return 0, 0, false, core.Errf("ReplayPartition", "pid", "%d out of range", pid)
+	}
+	if decode == nil {
+		decode = WireDecoder
+	}
+	end := topic.EndOffset(pid)
+	off := from
+	for off < end {
+		batch := 1024
+		if remaining := int(end - off); remaining < batch {
+			// Clamp to the end snapshot so messages produced while the
+			// replay runs are left to the live ingest path.
+			batch = remaining
+		}
+		msgs, fnext, trunc, ferr := topic.Fetch(pid, off, batch)
+		if ferr != nil {
+			return off, applied, truncated, ferr
+		}
+		truncated = truncated || trunc
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			if m.Offset >= end {
+				// Retention truncated under us and the fetch resumed
+				// past the snapshot; the rest belongs to live ingest.
+				return m.Offset, applied, truncated, nil
+			}
+			obs, ok := decode(m)
+			if !ok {
+				continue
+			}
+			if oerr := st.Observe(obs); oerr != nil {
+				return m.Offset, applied, truncated, fmt.Errorf("store: replay partition %d offset %d: %w", pid, m.Offset, oerr)
+			}
+			applied++
+		}
+		off = fnext
+	}
+	return off, applied, truncated, nil
+}
+
 // Replay feeds the retained prefix of every partition of the topic into
 // the store, from each partition's oldest retained offset up to its end
 // offset as of the call (writes racing the replay are picked up by the
@@ -77,43 +133,12 @@ func Replay(st *Store, topic *mqlog.Topic, decode Decoder) (uint64, error) {
 	if st == nil || topic == nil {
 		return 0, core.Errf("Replay", "store/topic", "must be non-nil")
 	}
-	if decode == nil {
-		decode = WireDecoder
-	}
 	var applied uint64
 	for pid := 0; pid < topic.Partitions(); pid++ {
-		off := topic.StartOffset(pid)
-		end := topic.EndOffset(pid)
-		for off < end {
-			batch := 1024
-			if remaining := int(end - off); remaining < batch {
-				// Clamp to the end snapshot so messages produced while the
-				// replay runs are left to the live ingest path.
-				batch = remaining
-			}
-			msgs, next, _, err := topic.Fetch(pid, off, batch)
-			if err != nil {
-				return applied, err
-			}
-			if len(msgs) == 0 {
-				break
-			}
-			for _, m := range msgs {
-				if m.Offset >= end {
-					// Retention truncated under us and the fetch resumed
-					// past the snapshot; the rest belongs to live ingest.
-					break
-				}
-				obs, ok := decode(m)
-				if !ok {
-					continue
-				}
-				if err := st.Observe(obs); err != nil {
-					return applied, fmt.Errorf("store: replay partition %d offset %d: %w", pid, m.Offset, err)
-				}
-				applied++
-			}
-			off = next
+		_, n, _, err := ReplayPartition(st, topic, pid, topic.StartOffset(pid), decode)
+		applied += n
+		if err != nil {
+			return applied, err
 		}
 	}
 	// Settle any hot-key write-combining batches the replay filled, so the

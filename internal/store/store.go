@@ -114,7 +114,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a point-in-time snapshot of the store's counters.
+// Stats is a point-in-time snapshot of the store's counters. Add sums
+// snapshots from several stores; keep it in sync when adding fields.
 type Stats struct {
 	Observed      uint64 // observations absorbed
 	DroppedLate   uint64 // observations older than the ring window
@@ -127,6 +128,23 @@ type Stats struct {
 	HotKeys       int    // currently splayed keys
 	Entries       int    // live entries, including splayed sub-entries
 	Bytes         int    // synopsis bytes across all shards
+}
+
+// Add accumulates another snapshot into s — the aggregation a cluster of
+// stores reports. Defined next to the struct so the field list lives in
+// exactly one place.
+func (s *Stats) Add(o Stats) {
+	s.Observed += o.Observed
+	s.DroppedLate += o.DroppedLate
+	s.Queries += o.Queries
+	s.EvictedSize += o.EvictedSize
+	s.EvictedIdle += o.EvictedIdle
+	s.SplayedWrites += o.SplayedWrites
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+	s.HotKeys += o.HotKeys
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
 }
 
 // entryKey identifies one series.

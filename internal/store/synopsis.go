@@ -53,6 +53,29 @@ type Resettable interface {
 // seeds, or merges will fail).
 type Prototype func() Synopsis
 
+// CombineSnapshots merges partial query answers into one fresh synopsis —
+// the scatter-gather combiner: each part is typically one node's (or one
+// key's) Query result, and the combined synopsis answers for their union.
+// Parts are merged in argument order into a new proto() instance, so the
+// combination is deterministic for a deterministic part order; nil parts
+// are skipped (an absent partial is an empty answer, matching Query's
+// never-seen-this-series semantics). The inputs are not mutated.
+func CombineSnapshots(proto Prototype, parts ...Synopsis) (Synopsis, error) {
+	if proto == nil {
+		return nil, core.Errf("CombineSnapshots", "proto", "must be non-nil")
+	}
+	out := proto()
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if err := out.Merge(p); err != nil {
+			return nil, fmt.Errorf("store: combine snapshots: %w", err)
+		}
+	}
+	return out, nil
+}
+
 // ---- Distinct counting (HyperLogLog) ----
 
 // Distinct is a bucket synopsis counting unique items with a HyperLogLog.

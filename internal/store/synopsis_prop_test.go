@@ -332,3 +332,83 @@ func TestCrossFamilyMergeRejected(t *testing.T) {
 		}
 	}
 }
+
+// TestCombineSnapshotsMatchesManualMerge pins the scatter-gather combiner:
+// combining a split stream's per-part synopses must answer exactly like
+// one synopsis fed the whole stream (HLL is exactly merge-invariant), the
+// inputs must come back untouched, and nil parts must combine as empties.
+func TestCombineSnapshotsMatchesManualMerge(t *testing.T) {
+	proto, err := NewDistinctProto(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := workload.NewRNG(77)
+	stream := make([]string, 5000)
+	for i := range stream {
+		stream[i] = fmt.Sprintf("u%d", rng.Uint64()%3000)
+	}
+	whole := proto()
+	for _, it := range stream {
+		whole.Observe(it, 0)
+	}
+	parts := splitStream(rng, stream, 4)
+	syns := make([]Synopsis, len(parts))
+	for i, p := range parts {
+		syns[i] = proto()
+		for _, it := range p {
+			syns[i].Observe(it, 0)
+		}
+	}
+	before := make([]uint64, len(syns))
+	for i, s := range syns {
+		before[i] = s.Items()
+	}
+
+	combined, err := CombineSnapshots(proto, syns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := combined.(*Distinct).Estimate(), whole.(*Distinct).Estimate(); got != want {
+		t.Fatalf("combined estimate %v != whole-stream estimate %v", got, want)
+	}
+	for i, s := range syns {
+		if s.Items() != before[i] {
+			t.Fatalf("CombineSnapshots mutated input %d: items %d -> %d", i, before[i], s.Items())
+		}
+	}
+
+	withNils, err := CombineSnapshots(proto, nil, syns[0], nil, syns[1], syns[2], syns[3], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := withNils.(*Distinct).Estimate(), whole.(*Distinct).Estimate(); got != want {
+		t.Fatalf("nil-tolerant combine %v != %v", got, want)
+	}
+
+	empty, err := CombineSnapshots(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Items() != 0 {
+		t.Fatalf("empty combine absorbed %d items", empty.Items())
+	}
+}
+
+// TestCombineSnapshotsErrors pins the failure surface: nil prototype and
+// cross-family parts must error, not panic or silently drop.
+func TestCombineSnapshotsErrors(t *testing.T) {
+	if _, err := CombineSnapshots(nil); err == nil {
+		t.Fatal("nil prototype accepted")
+	}
+	hll, err := NewDistinctProto(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewFreqProto(64, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CombineSnapshots(hll, hll(), cm()); err == nil {
+		t.Fatal("cross-family combine accepted")
+	}
+}

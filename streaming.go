@@ -31,6 +31,7 @@ import (
 	"repro/internal/cardinality"
 	"repro/internal/cluster"
 	"repro/internal/correlation"
+	"repro/internal/dstore"
 	"repro/internal/engine"
 	"repro/internal/filter"
 	"repro/internal/frequency"
@@ -656,6 +657,9 @@ type Broker = mqlog.Broker
 // LogTopic is a partitioned topic.
 type LogTopic = mqlog.Topic
 
+// LogRecord is one key/value pair for batched appends (LogTopic.ProduceBatch).
+type LogRecord = mqlog.Record
+
 // ConsumerGroup coordinates partition-assigned consumers.
 type ConsumerGroup = mqlog.ConsumerGroup
 
@@ -745,6 +749,54 @@ type StoreBolt = engine.StoreBolt
 // observations (nil accepts Message.Value of type StoreObservation).
 func NewStoreBolt(st *SketchStore, extract func(TupleMessage) (StoreObservation, bool)) (*StoreBolt, error) {
 	return engine.NewStoreBolt(st, extract)
+}
+
+// CombineSnapshots merges partial query answers (e.g. per-node or per-key
+// snapshots) into one fresh synopsis, deterministically — the
+// scatter-gather combiner (see internal/store).
+func CombineSnapshots(proto StorePrototype, parts ...StoreSynopsis) (StoreSynopsis, error) {
+	return store.CombineSnapshots(proto, parts...)
+}
+
+// ReplayLogPartition feeds one partition's messages in [from, end) into
+// the store and returns the next offset to consume — the building block
+// of log-based recovery (ReplayLog covers the whole-topic batch rebuild).
+func ReplayLogPartition(st *SketchStore, topic *LogTopic, pid int, from uint64, decode store.Decoder) (next uint64, applied uint64, truncated bool, err error) {
+	return store.ReplayPartition(st, topic, pid, from, decode)
+}
+
+// ---- Partitioned store cluster (multi-node serving over mqlog) ----
+
+// StoreCluster is the partitioned store cluster: N single-threaded store
+// nodes behind one mqlog ingest topic, with consumer-group ownership,
+// scatter-gather queries and log-based recovery (see internal/dstore).
+type StoreCluster = dstore.Cluster
+
+// StoreClusterConfig tunes a StoreCluster (partitions, retention,
+// per-node store config, batch sizes).
+type StoreClusterConfig = dstore.Config
+
+// StoreClusterStats aggregates a cluster's counters.
+type StoreClusterStats = dstore.Stats
+
+// ClusterNode is one cluster member: an event loop plus its local store.
+type ClusterNode = dstore.Node
+
+// ClusterRouter partitions Observe traffic onto the ingest log and
+// answers queries by owner routing or scatter-gather.
+type ClusterRouter = dstore.Router
+
+// NewStoreCluster returns a cluster with no nodes; register metrics,
+// then StartNode.
+func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) { return dstore.New(cfg) }
+
+// ClusterBolt forwards a topology stream into a cluster's router.
+type ClusterBolt = engine.ClusterBolt
+
+// NewClusterBolt returns a bolt forwarding into r; extract maps messages
+// to observations (nil accepts Message.Value of type StoreObservation).
+func NewClusterBolt(r *ClusterRouter, extract func(TupleMessage) (StoreObservation, bool)) (*ClusterBolt, error) {
+	return engine.NewClusterBolt(r, extract)
 }
 
 // ReplayLog feeds the retained prefix of an mqlog topic into the store —

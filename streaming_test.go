@@ -332,3 +332,94 @@ func TestFacadeSketchStore(t *testing.T) {
 		}
 	}
 }
+
+// The partitioned store cluster through the facade: cluster up, ingest
+// through the router, scatter-gather a union, survive a kill/rejoin, and
+// agree with a single-store rebuild of the same log.
+func TestFacadeStoreCluster(t *testing.T) {
+	storeCfg := repro.SketchStoreConfig{Shards: 4, BucketWidth: 10, RingBuckets: 100}
+	c, err := repro.NewStoreCluster(repro.StoreClusterConfig{Partitions: 8, Store: storeCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	proto, err := repro.NewDistinctProto(12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterMetric("uniques", proto); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const events = 3000
+	r := c.Router()
+	for i := 0; i < events; i++ {
+		if err := r.Observe(repro.StoreObservation{
+			Metric: "uniques",
+			Key:    fmt.Sprintf("page%d", i%8),
+			Item:   fmt.Sprintf("user%d", i%700),
+			Time:   int64(i % 500),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill + rejoin: survivors and the joiner recover from the log.
+	if err := c.StopNode(c.NodeNames()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, applied, err := repro.RebuildStore(storeCfg, map[string]repro.StorePrototype{"uniques": proto}, c.Topic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != events {
+		t.Fatalf("replayed %d, want %d", applied, events)
+	}
+	keys := r.Keys("uniques")
+	if len(keys) != 8 {
+		t.Fatalf("cluster serves %d keys, want 8", len(keys))
+	}
+	var parts []repro.StoreSynopsis
+	for _, key := range keys {
+		a, err := r.Query("uniques", key, 0, 499)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batch.Query("uniques", key, 0, 499)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := a.(*repro.DistinctSynopsis).Estimate()
+		sb := b.(*repro.DistinctSynopsis).Estimate()
+		if sa != sb {
+			t.Fatalf("%s: cluster %f != batch rebuild %f", key, sa, sb)
+		}
+		parts = append(parts, b)
+	}
+	// Scatter-gather union vs a manual combine of the oracle's parts.
+	union, err := r.QueryMerged("uniques", keys, 0, 499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.CombineSnapshots(proto, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := union.(*repro.DistinctSynopsis).Estimate(), want.(*repro.DistinctSynopsis).Estimate(); g != w {
+		t.Fatalf("scatter-gather union %f != combined oracle %f", g, w)
+	}
+}
