@@ -70,6 +70,9 @@ func BenchmarkT3_1_ClusterStore(b *testing.B) {
 	benchTable(b, experiments.T3_1_ClusterStore)
 }
 func BenchmarkF1_Lambda(b *testing.B) { benchTable(b, experiments.F1_Lambda) }
+func BenchmarkF1_2_StoreLambda(b *testing.B) {
+	benchTable(b, experiments.F1_2_StoreLambda)
+}
 func BenchmarkA1_ConservativeUpdate(b *testing.B) {
 	benchTable(b, experiments.A1_ConservativeUpdate)
 }

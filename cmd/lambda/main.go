@@ -1,0 +1,144 @@
+// Command lambda drives the store-backed Lambda Architecture (Figure 1)
+// through its whole cycle on the real subsystems:
+//
+//  1. a topology streams observations through a LambdaBolt, which
+//     dispatches every tuple to the immutable mqlog master topic and the
+//     sketch-store speed layer;
+//  2. a batch recompute freezes the log's end offsets and rebuilds a
+//     sealed batch view from the master dataset alone;
+//  3. merged queries combine the sealed view with the live speed
+//     snapshot across all four synopsis families;
+//  4. the speed layer is truncated to the uncovered log suffix at every
+//     handoff — watch its observation count collapse to the tail.
+//
+// Run with -cluster to swap the single speed store for a partitioned
+// dstore cluster consuming the same master topic through its router.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	clusterMode := flag.Bool("cluster", false, "serve the speed layer from a partitioned store cluster")
+	flag.Parse()
+
+	geom := repro.SketchStoreConfig{Shards: 8, BucketWidth: 1000, RingBuckets: 64}
+	cfg := repro.LambdaConfig{Partitions: 4, Batch: geom, Speed: geom}
+	// The single-store speed layer runs the hot-key write-combining path,
+	// as a production speed layer under Zipf traffic would.
+	cfg.Speed.HotKey = repro.SketchStoreHotKeyConfig{Replicas: 8, MaxHot: 64, PromotePct: 2, EpochWrites: 512}
+	if *clusterMode {
+		cfg = repro.LambdaConfig{
+			Batch:        geom,
+			Cluster:      &repro.StoreClusterConfig{Partitions: 8, Store: geom},
+			ClusterNodes: 3,
+		}
+	}
+	arch, err := repro.NewLambda(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer arch.Close()
+
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	hits, err := repro.NewFreqProto(1024, 4, 7)
+	must(err)
+	uniq, err := repro.NewDistinctProto(12, 7)
+	must(err)
+	top, err := repro.NewTopKProto(64)
+	must(err)
+	lat, err := repro.NewQuantileProto(16, 256)
+	must(err)
+	must(arch.RegisterMetric("hits", hits))
+	must(arch.RegisterMetric("uniq", uniq))
+	must(arch.RegisterMetric("top", top))
+	must(arch.RegisterMetric("lat", lat))
+
+	// ---- 1. Append: a topology streams into both layers at once ----
+	const tuples = 30000
+	rng := workload.NewRNG(21)
+	z := workload.NewZipf(rng, 64, 1.3)
+	emitted := 0
+	var now int64
+	spout := repro.SpoutFunc(func() (repro.TupleMessage, bool) {
+		if emitted >= tuples {
+			return repro.TupleMessage{}, false
+		}
+		now = int64(emitted)
+		emitted++
+		key := fmt.Sprintf("page:/p%d", z.Draw())
+		return repro.TupleMessage{Key: key, Value: repro.StoreObservation{
+			Metric: "hits", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%48), Value: 1, Time: now,
+		}}, true
+	})
+	bolt, err := repro.NewLambdaBolt(arch, nil)
+	must(err)
+	topo, err := repro.NewTopologyBuilder().
+		AddSpout("events", spout).
+		AddBolt("lambda", bolt.Factory(), 4, repro.FieldsFrom("events")).
+		Build(repro.TopologyConfig{Semantics: repro.AtLeastOnce})
+	must(err)
+	stats := topo.Run()
+	must(arch.Drain())
+	fmt.Printf("topology streamed %d tuples into both layers (acked=%d)\n", tuples, stats.Acked)
+	fmt.Printf("  master log: %d messages  staleness: %d  speed layer holds: %d\n\n",
+		arch.MasterLen(), arch.Staleness(), arch.SpeedStats().Observed)
+
+	probe := "page:/p0"
+	count := func(syn repro.StoreSynopsis, err error) uint64 {
+		must(err)
+		return syn.(*repro.FreqSynopsis).Count("u0")
+	}
+
+	// ---- 2+3. Batch recompute, then merged queries ----
+	fmt.Printf("before batch: batch-only(%s)=%d merged=%d\n",
+		probe, count(arch.BatchOnlyQuery("hits", probe, 0, now)), count(arch.Query("hits", probe, 0, now)))
+	info, err := arch.RunBatch()
+	must(err)
+	fmt.Printf("batch v%d recomputed from the log: %d observations up to offsets %v\n",
+		info.Version, info.Applied, info.Ends)
+
+	// ---- 4. Speed-layer truncation: only the post-freeze tail remains ----
+	fmt.Printf("after handoff: speed layer holds %d observations (truncated to the fence)\n",
+		arch.SpeedStats().Observed)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("page:/p%d", z.Draw())
+		must(arch.Append(repro.StoreObservation{Metric: "hits", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%48), Value: 1, Time: now}))
+		must(arch.Append(repro.StoreObservation{Metric: "uniq", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%4096), Time: now}))
+		must(arch.Append(repro.StoreObservation{Metric: "top", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%48), Time: now}))
+		must(arch.Append(repro.StoreObservation{Metric: "lat", Key: key, Value: rng.Uint64() % 50000, Time: now}))
+		now++
+	}
+	must(arch.Drain())
+	fmt.Printf("5k fresh events later: staleness=%d  speed layer holds %d\n",
+		arch.Staleness(), arch.SpeedStats().Observed)
+	fmt.Printf("  batch-only(%s)=%d merged=%d (speed layer compensates batch latency)\n\n",
+		probe, count(arch.BatchOnlyQuery("hits", probe, 0, now)), count(arch.Query("hits", probe, 0, now)))
+
+	// One merged code path answers every family.
+	u, err := arch.Query("uniq", probe, 0, now)
+	must(err)
+	tk, err := arch.Query("top", probe, 0, now)
+	must(err)
+	l, err := arch.Query("lat", probe, 0, now)
+	must(err)
+	fmt.Printf("merged families for %s: distinct~%.0f  top1=%v  p99=%d\n",
+		probe, u.(*repro.DistinctSynopsis).Estimate(), tk.(*repro.TopKSynopsis).Top(1), l.(*repro.QuantileSynopsis).Quantile(0.99))
+
+	// A second boundary: the offset fence advances, nothing double counts.
+	pre := count(arch.Query("hits", probe, 0, now))
+	info, err = arch.RunBatch()
+	must(err)
+	post := count(arch.Query("hits", probe, 0, now))
+	fmt.Printf("batch v%d: merged answer %d -> %d across the boundary (fence moved, no double count)\n",
+		info.Version, pre, post)
+}

@@ -186,11 +186,13 @@ func (n *Node) recover(gen int) {
 		return obs, true
 	}
 	for _, pid := range n.c.group.Assignment(n.name) {
-		// From offset 0: fetch resumes at the oldest retained message, so
-		// this is "replay the whole retained prefix" regardless of where
-		// retention has truncated — the history before that horizon is
-		// unrecoverable by construction, for every layer equally.
-		var next uint64
+		// From the partition's offset floor (0 when no TruncateBelow has
+		// fenced the cluster): fetch resumes at the oldest retained
+		// message above it, so this is "replay the whole retained, owned
+		// prefix" regardless of where retention has truncated — the
+		// history below the horizon is unrecoverable by construction, and
+		// the history below the floor belongs to the batch layer.
+		next := n.c.floor(pid)
 		for {
 			if n.stopped() || n.c.group.Generation() != gen {
 				return

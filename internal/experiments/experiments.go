@@ -122,6 +122,7 @@ func Builders() []Builder {
 		{"T2.5", "Hot-key write splaying", T2_5_HotKeySplay},
 		{"T3.1", "Partitioned store cluster", T3_1_ClusterStore},
 		{"F1", "Figure 1: Lambda Architecture", F1_Lambda},
+		{"F1.2", "Store-backed Lambda vs oracle", F1_2_StoreLambda},
 		{"A1", "Ablation: conservative update", A1_ConservativeUpdate},
 		{"A2", "Ablation: sparse/dense crossover", A2_SparseDenseCrossover},
 		{"A3", "Ablation: double hashing", A3_DoubleHashing},

@@ -1,294 +1,536 @@
 // Package lambda implements the Lambda Architecture of the tutorial's
-// Figure 1, with each numbered stage of the figure as an explicit
-// component:
+// Figure 1 on the repo's real subsystems, with each numbered stage of the
+// figure as an explicit component:
 //
-//  1. incoming data is dispatched to both the batch layer and the speed
-//     layer (Append),
-//  2. the batch layer manages the immutable, append-only master dataset
-//     and recomputes batch views from scratch (RunBatch),
-//  3. the serving layer indexes batch views for low-latency queries
-//     (ServingLayer),
-//  4. the speed layer maintains realtime views over recent data only,
-//     compensating for batch latency (SpeedLayer),
-//  5. queries merge batch views and realtime views (Query).
+//  1. incoming data is dispatched to both the batch and speed layers
+//     (Append): the master dataset is an immutable mqlog topic — every
+//     observation is encoded with the store wire codec and appended,
+//     keyed so a series always lands in one partition — and the same
+//     observation feeds the speed layer;
+//  2. the batch layer recomputes batch views from the master dataset
+//     alone (RunBatch): a fresh sketch store replayed up to a frozen
+//     end-offset snapshot (store.FreezeAt over an end-offset-bounded
+//     mqlog reader), never patched incrementally;
+//  3. the serving layer indexes the batch view for low-latency reads:
+//     the sealed store.FrozenView, swapped in atomically;
+//  4. the speed layer absorbs what the batch view does not yet cover: a
+//     sharded store.Store (hot-key splaying and all) fed synchronously by
+//     Append, or — behind Config.Cluster — a partitioned dstore cluster
+//     consuming the master topic through its router;
+//  5. queries merge the batch and realtime views (Query): the two
+//     synopsis snapshots combine through store.CombineSnapshots, so one
+//     code path answers counters, cardinality, quantiles and top-k.
 //
-// Views here are keyed counters — the canonical Summingbird-style
-// aggregation the tutorial's Lambda discussion (and Twitter's production
-// use) centers on. The speed layer can run exactly (map) or approximately
-// (Count-Min sketch), reproducing the accuracy/memory trade the speed
-// layer exists to make.
+// # Offset fencing
+//
+// The two layers partition the log by offset, per partition: a batch view
+// frozen at end-offset snapshot E answers exactly for [0, E), and the
+// speed layer is truncated to [E, ...) at every batch handoff — a fresh
+// speed store replayed from the fence (single-store mode, atomically
+// under the append lock) or dstore.TruncateBelow + rebuild (cluster
+// mode). Merged answers therefore cover every appended observation
+// exactly once; TestMergedMatchesOracleAcrossBoundaries and experiment
+// F1.2 pin this against a replay-everything oracle across batch
+// boundaries. Retention on the master topic bounds recomputation the
+// usual way: history the log has dropped is gone for every layer equally
+// (FrozenView.Truncated reports it).
+//
+// The old package-local master dataset (an event slice) and keyed-counter
+// speed layer are gone: the same store/mqlog/dstore seams the rest of the
+// repo serves production traffic through are the only implementation.
 package lambda
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/frequency"
+	"repro/internal/dstore"
+	"repro/internal/mqlog"
+	"repro/internal/store"
 )
 
-// Event is one raw datum: a key and an additive delta.
-type Event struct {
-	Key   string
-	Delta int64
-	// Seq is assigned by the master dataset on append (position in the
-	// immutable log).
-	Seq uint64
+// Config tunes an Architecture.
+type Config struct {
+	// Topic names the master-dataset topic (default "lambda-master").
+	// Ignored in cluster mode, where the cluster's ingest topic — named,
+	// partitioned and retained by Cluster's own config — is the master.
+	Topic string
+	// Partitions is the master topic's partition count (default 4).
+	// Ignored in cluster mode (see Topic).
+	Partitions int
+	// Retention is the per-partition retention limit in messages
+	// (0 = unlimited). Batch recomputation replays the retained prefix,
+	// so retention bounds how far back a batch view can reach. Ignored in
+	// cluster mode (see Topic): set Cluster.Retention instead.
+	Retention int
+	// Batch is the batch-layer store geometry views are recomputed with.
+	Batch store.Config
+	// Speed is the speed-layer store geometry (single-store mode). Enable
+	// Speed.HotKey to run the T2.5 write-combining path under Lambda.
+	Speed store.Config
+	// Cluster, when non-nil, replaces the single speed store with a
+	// partitioned dstore cluster: Appends route through the cluster's
+	// Router onto its ingest topic (which becomes the master dataset) and
+	// speed queries are owner-routed. Cluster.Store supplies the per-node
+	// geometry; Config.Speed is ignored.
+	Cluster *dstore.Config
+	// ClusterNodes is how many nodes to start in cluster mode (default 2).
+	ClusterNodes int
 }
 
-// MasterDataset is the immutable, append-only store of raw events (Figure
-// 1's "master dataset"). Nothing is ever updated or deleted; batch views
-// are always recomputed from the full log (or from a position).
-type MasterDataset struct {
-	mu     sync.RWMutex
-	events []Event
-}
-
-// NewMasterDataset returns an empty master dataset.
-func NewMasterDataset() *MasterDataset { return &MasterDataset{} }
-
-// Append stores a raw event and returns its sequence number.
-func (m *MasterDataset) Append(e Event) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e.Seq = uint64(len(m.events))
-	m.events = append(m.events, e)
-	return e.Seq
-}
-
-// Len returns the number of stored events.
-func (m *MasterDataset) Len() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return uint64(len(m.events))
-}
-
-// Scan calls fn for every event with Seq in [from, to).
-func (m *MasterDataset) Scan(from, to uint64, fn func(Event)) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if to > uint64(len(m.events)) {
-		to = uint64(len(m.events))
+func (c Config) withDefaults() Config {
+	if c.Topic == "" {
+		c.Topic = "lambda-master"
 	}
-	for i := from; i < to; i++ {
-		fn(m.events[i])
+	if c.Partitions <= 0 {
+		c.Partitions = 4
 	}
+	if c.ClusterNodes <= 0 {
+		c.ClusterNodes = 2
+	}
+	return c
 }
 
-// BatchView is an immutable keyed aggregate over the master dataset's
-// prefix [0, Watermark).
-type BatchView struct {
-	Counts    map[string]int64
-	Watermark uint64 // events with Seq < Watermark are included
-	Version   uint64
+// BatchInfo describes one completed batch run.
+type BatchInfo struct {
+	Version   uint64   // 1 for the first batch view, then increasing
+	Ends      []uint64 // per-partition frozen end offsets the view covers
+	Applied   uint64   // observations the recompute replayed
+	Truncated bool     // part of the covered range was lost to retention
 }
 
-// ServingLayer indexes the latest batch view for low-latency reads.
-// Swapping in a new view is atomic; readers always see a consistent view.
-type ServingLayer struct {
-	mu   sync.RWMutex
-	view *BatchView
+// Architecture wires the layers together per Figure 1.
+type Architecture struct {
+	cfg   Config
+	topic *mqlog.Topic
+
+	// protoMu guards protos; the map is read on every Append/Query in
+	// single-store mode, so reads go through an RLock (cluster mode reads
+	// the cluster's lock-free table instead).
+	protoMu sync.RWMutex
+	protos  map[string]store.Prototype
+
+	// speedMu is the handoff lock: Append dispatches under RLock, RunBatch
+	// swaps the truncated speed store under Lock, so a batch cutover sees
+	// a drained, frozen log tail. Cluster mode never takes it on the write
+	// path (the router is the synchronization point).
+	speedMu sync.RWMutex
+	speed   *store.Store
+
+	cluster *dstore.Cluster
+	started atomic.Bool
+	startMu sync.Mutex
+
+	// batch is the serving layer: the latest sealed view, swapped
+	// atomically; nil before the first RunBatch.
+	batch   atomic.Pointer[store.FrozenView]
+	batchMu sync.Mutex // serializes batch runs
+	version atomic.Uint64
+
+	appended atomic.Uint64
 }
 
-// NewServingLayer returns a serving layer with an empty view.
-func NewServingLayer() *ServingLayer {
-	return &ServingLayer{view: &BatchView{Counts: map[string]int64{}}}
-}
-
-// Load atomically installs a new batch view.
-func (s *ServingLayer) Load(v *BatchView) {
-	s.mu.Lock()
-	s.view = v
-	s.mu.Unlock()
-}
-
-// Get returns the batch value for key and the view's watermark.
-func (s *ServingLayer) Get(key string) (int64, uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.view.Counts[key], s.view.Watermark
-}
-
-// Watermark returns the current view's watermark.
-func (s *ServingLayer) Watermark() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.view.Watermark
-}
-
-// SpeedLayer maintains the realtime view: aggregates over events NOT yet
-// covered by the serving layer's batch view. It stores per-event deltas in
-// a seq-ordered buffer so the covered prefix can be expired exactly when a
-// new batch view lands.
-type SpeedLayer struct {
-	mu     sync.Mutex
-	approx *frequency.CountMin // non-nil in approximate mode
-	counts map[string]int64
-	buf    []Event // events awaiting batch absorption, seq-ordered
-}
-
-// NewSpeedLayer returns an exact speed layer.
-func NewSpeedLayer() *SpeedLayer {
-	return &SpeedLayer{counts: map[string]int64{}}
-}
-
-// NewApproxSpeedLayer returns a Count-Min-backed speed layer with the
-// given sketch geometry; realtime reads overestimate by at most the
-// sketch's eps*N bound, and memory stays constant regardless of key
-// cardinality — the trade the tutorial's speed-layer discussion motivates.
-func NewApproxSpeedLayer(width, depth int, seed uint64) (*SpeedLayer, error) {
-	cm, err := frequency.NewCountMin(width, depth, seed)
+// New returns a store-backed Lambda Architecture. Register metrics, then
+// Append/Query; RunBatch whenever the batch cadence fires.
+func New(cfg Config) (*Architecture, error) {
+	if cfg.Retention < 0 {
+		return nil, core.Errf("Lambda", "Retention", "%d must be >= 0", cfg.Retention)
+	}
+	cfg = cfg.withDefaults()
+	a := &Architecture{cfg: cfg, protos: make(map[string]store.Prototype)}
+	// Validate both layer geometries eagerly: a config that cannot build a
+	// store must fail here, not at the first batch run.
+	if _, err := store.New(cfg.Batch); err != nil {
+		return nil, fmt.Errorf("lambda: batch store config: %w", err)
+	}
+	if cfg.Cluster != nil {
+		cl, err := dstore.New(*cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("lambda: cluster speed layer: %w", err)
+		}
+		a.cluster = cl
+		a.topic = cl.Topic()
+		return a, nil
+	}
+	speed, err := store.New(cfg.Speed)
+	if err != nil {
+		return nil, fmt.Errorf("lambda: speed store config: %w", err)
+	}
+	a.speed = speed
+	topic, err := mqlog.NewBroker().CreateTopic(cfg.Topic, cfg.Partitions, cfg.Retention)
 	if err != nil {
 		return nil, err
 	}
-	return &SpeedLayer{approx: cm, counts: map[string]int64{}}, nil
+	a.topic = topic
+	return a, nil
 }
 
-// Record adds one event to the realtime view.
-func (s *SpeedLayer) Record(e Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.buf = append(s.buf, e)
-	if s.approx != nil {
-		if e.Delta > 0 {
-			s.approx.UpdateString(e.Key, uint64(e.Delta))
+// RegisterMetric binds a metric name to the synopsis prototype both
+// layers build buckets with. Register every metric before the first
+// Append (cluster nodes rebuild stores from the registered set, and a
+// batch view recomputed without a metric could not absorb its history).
+func (a *Architecture) RegisterMetric(name string, proto store.Prototype) error {
+	if a.started.Load() {
+		return fmt.Errorf("lambda: register metric %q before the first append", name)
+	}
+	if a.cluster != nil {
+		if err := a.cluster.RegisterMetric(name, proto); err != nil {
+			return err
 		}
-		return
-	}
-	s.counts[e.Key] += e.Delta
-}
-
-// Get returns the realtime contribution for key.
-func (s *SpeedLayer) Get(key string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.approx != nil {
-		return int64(s.approx.EstimateString(key))
-	}
-	return s.counts[key]
-}
-
-// Expire drops all events with Seq < watermark — they are now covered by
-// the batch view. In approximate mode the sketch is rebuilt from the
-// surviving buffer (Count-Min supports no deletion), which is exactly the
-// "realtime views are small and disposable" property Lambda relies on.
-func (s *SpeedLayer) Expire(watermark uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keep := s.buf[:0]
-	for _, e := range s.buf {
-		if e.Seq >= watermark {
-			keep = append(keep, e)
+	} else {
+		if err := a.speed.RegisterMetric(name, proto); err != nil {
+			return err
 		}
 	}
-	s.buf = keep
-	if s.approx != nil {
-		fresh, err := frequency.NewCountMin(sketchWidth(s.approx), sketchDepth(s.approx), 0xa17a)
-		if err == nil {
-			for _, e := range s.buf {
-				if e.Delta > 0 {
-					fresh.UpdateString(e.Key, uint64(e.Delta))
-				}
+	a.protoMu.Lock()
+	a.protos[name] = proto
+	a.protoMu.Unlock()
+	return nil
+}
+
+// Metrics returns the registered metric names (unordered).
+func (a *Architecture) Metrics() []string {
+	a.protoMu.RLock()
+	defer a.protoMu.RUnlock()
+	out := make([]string, 0, len(a.protos))
+	for name := range a.protos {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (a *Architecture) proto(metric string) (store.Prototype, error) {
+	a.protoMu.RLock()
+	p, ok := a.protos[metric]
+	a.protoMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lambda: unknown metric %q", metric)
+	}
+	return p, nil
+}
+
+// protoTable snapshots the registered metrics for a batch recompute.
+func (a *Architecture) protoTable() map[string]store.Prototype {
+	a.protoMu.RLock()
+	defer a.protoMu.RUnlock()
+	out := make(map[string]store.Prototype, len(a.protos))
+	for name, p := range a.protos {
+		out[name] = p
+	}
+	return out
+}
+
+// ensureStarted performs the lazy cluster-node start on the first append
+// or query, after which the metric set is immutable.
+func (a *Architecture) ensureStarted() error {
+	if a.started.Load() {
+		return nil
+	}
+	a.startMu.Lock()
+	defer a.startMu.Unlock()
+	if a.started.Load() {
+		return nil
+	}
+	if a.cluster != nil {
+		for i := 0; i < a.cfg.ClusterNodes; i++ {
+			if _, err := a.cluster.StartNode(); err != nil {
+				return err
 			}
-			s.approx = fresh
 		}
-		return
 	}
-	s.counts = map[string]int64{}
-	for _, e := range s.buf {
-		s.counts[e.Key] += e.Delta
+	a.started.Store(true)
+	return nil
+}
+
+// Append dispatches one observation to both layers (Figure 1, step 1):
+// the wire-encoded observation is appended to the master topic — keyed by
+// obs.Key, so a series replays in append order — and the same observation
+// lands in the speed layer. In single-store mode the speed write is
+// synchronous (read-your-writes); in cluster mode the router batches onto
+// the log and the owning node applies it (Drain the architecture's
+// Cluster for read-your-writes).
+func (a *Architecture) Append(obs store.Observation) error {
+	if err := a.ensureStarted(); err != nil {
+		return err
 	}
-}
-
-// PendingEvents returns the number of events not yet absorbed by batch.
-func (s *SpeedLayer) PendingEvents() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.buf)
-}
-
-// The sketch geometry accessors keep SpeedLayer decoupled from the
-// CountMin internals while letting Expire rebuild an identical sketch.
-func sketchWidth(cm *frequency.CountMin) int { return cm.Width() }
-func sketchDepth(cm *frequency.CountMin) int { return cm.Depth() }
-
-// Architecture wires the four layers together per Figure 1.
-type Architecture struct {
-	master  *MasterDataset
-	serving *ServingLayer
-	speed   *SpeedLayer
-	version uint64
-	mu      sync.Mutex // serializes batch runs
-}
-
-// New returns a Lambda Architecture with an exact speed layer.
-func New() *Architecture {
-	return &Architecture{
-		master:  NewMasterDataset(),
-		serving: NewServingLayer(),
-		speed:   NewSpeedLayer(),
+	if a.cluster != nil {
+		// The router validates, encodes, and appends; nodes consume. One
+		// dispatch reaches both layers because both read the same log.
+		if err := a.cluster.Router().Observe(obs); err != nil {
+			return err
+		}
+		a.appended.Add(1)
+		return nil
 	}
-}
-
-// NewWithSpeedLayer returns an architecture with a custom speed layer
-// (e.g. the approximate one).
-func NewWithSpeedLayer(sl *SpeedLayer) (*Architecture, error) {
-	if sl == nil {
-		return nil, core.Errf("lambda.Architecture", "speed", "must be non-nil")
+	// Validate before producing: the master dataset is immutable, so a
+	// rejected observation must not have been appended. The checks mirror
+	// the cluster router's, so a program can switch speed-layer modes
+	// without its accepted-input surface moving.
+	if obs.Time < 0 {
+		return core.Errf("Lambda", "Time", "%d must be >= 0", obs.Time)
 	}
-	return &Architecture{
-		master:  NewMasterDataset(),
-		serving: NewServingLayer(),
-		speed:   sl,
-	}, nil
+	if obs.Key == "" {
+		return core.Errf("Lambda", "Key", "must be non-empty (keys route the master log's partitions)")
+	}
+	if _, err := a.proto(obs.Metric); err != nil {
+		return err
+	}
+	a.speedMu.RLock()
+	defer a.speedMu.RUnlock()
+	a.topic.Produce(obs.Key, store.EncodeObservation(obs))
+	a.appended.Add(1)
+	return a.speed.Observe(obs)
 }
 
-// Append dispatches one event to both the batch and speed layers
-// (Figure 1, step 1).
-func (a *Architecture) Append(key string, delta int64) {
-	e := Event{Key: key, Delta: delta}
-	seq := a.master.Append(e)
-	e.Seq = seq
-	a.speed.Record(e)
+// RunBatch recomputes the batch view from the master dataset alone
+// (step 2), installs it in the serving layer (step 3), and truncates the
+// speed layer to the uncovered suffix (step 4). The freeze point is an
+// end-offset snapshot taken at entry; appends keep flowing into the old
+// speed layer while the recompute runs, and the cutover — install view,
+// swap in a speed store replayed from the fence — is atomic under the
+// append lock (single-store mode) or handed to the cluster's truncation
+// rebuild (cluster mode; exact once RunBatch returns, because it drains).
+func (a *Architecture) RunBatch() (BatchInfo, error) {
+	if err := a.ensureStarted(); err != nil {
+		return BatchInfo{}, err
+	}
+	a.batchMu.Lock()
+	defer a.batchMu.Unlock()
+
+	if a.cluster != nil {
+		// Settle producer-side batches so the freeze covers them.
+		a.cluster.Router().Flush()
+	}
+	ends := a.topic.EndOffsets()
+	view, err := store.FreezeAt(a.cfg.Batch, a.protoTable(), a.topic, ends, nil)
+	if err != nil {
+		return BatchInfo{}, err
+	}
+
+	if a.cluster != nil {
+		// Install the view first, then shed the covered prefix: the brief
+		// overlap double-covers (never drops) history, and the drain below
+		// restores exactness before RunBatch returns. The version bumps
+		// with the install, so even an error from the truncation or drain
+		// below leaves BatchVersion counting the views actually serving.
+		a.batch.Store(view)
+		a.version.Add(1)
+		if err := a.cluster.TruncateBelow(ends); err != nil {
+			return BatchInfo{}, err
+		}
+		if err := a.cluster.Drain(); err != nil {
+			return BatchInfo{}, err
+		}
+	} else {
+		// Single-store cutover: block appends, replay the post-freeze
+		// suffix [ends, live end) into a fresh speed store, swap both
+		// pointers. The replay cost is one inter-batch delta — the same
+		// work the old buffer-expiry rebuild paid, against the log.
+		fresh, err := store.New(a.cfg.Speed)
+		if err != nil {
+			return BatchInfo{}, err
+		}
+		for name, proto := range a.protoTable() {
+			if err := fresh.RegisterMetric(name, proto); err != nil {
+				return BatchInfo{}, err
+			}
+		}
+		a.speedMu.Lock()
+		for pid := 0; pid < a.topic.Partitions(); pid++ {
+			if _, _, _, err := store.ReplayPartitionTo(fresh, a.topic, pid, ends[pid], a.topic.EndOffset(pid), nil); err != nil {
+				a.speedMu.Unlock()
+				return BatchInfo{}, err
+			}
+		}
+		fresh.FlushHot()
+		a.speed = fresh
+		a.batch.Store(view)
+		a.version.Add(1)
+		a.speedMu.Unlock()
+	}
+	return BatchInfo{Version: a.version.Load(), Ends: view.EndOffsets(), Applied: view.Applied(), Truncated: view.Truncated()}, nil
 }
 
-// RunBatch recomputes the batch view from the entire master dataset (step
-// 2), installs it in the serving layer (step 3), and expires the covered
-// prefix from the speed layer (step 4). It returns the new view's
-// watermark. Deliberately a full recompute: Lambda's robustness argument
-// is that batch views are re-derivable from raw data alone.
-func (a *Architecture) RunBatch() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	watermark := a.master.Len()
-	counts := map[string]int64{}
-	a.master.Scan(0, watermark, func(e Event) {
-		counts[e.Key] += e.Delta
-	})
-	a.version++
-	a.serving.Load(&BatchView{Counts: counts, Watermark: watermark, Version: a.version})
-	a.speed.Expire(watermark)
-	return watermark
-}
-
-// Query answers a key lookup by merging the batch and realtime views
-// (step 5).
-func (a *Architecture) Query(key string) int64 {
-	batch, _ := a.serving.Get(key)
-	return batch + a.speed.Get(key)
+// Query answers a range merge-query by combining the batch and realtime
+// views (step 5): the sealed batch snapshot and the live speed snapshot
+// merge through store.CombineSnapshots into one synopsis, whatever the
+// metric's family. Before the first batch run the answer is the speed
+// layer's alone. In single-store mode the (batch view, speed store) pair
+// is snapshotted under the same read lock RunBatch's cutover writes both
+// sides under, so a query can never pair an old speed store with a new
+// batch view (which would double-count the inter-batch delta) or the
+// reverse (which would drop it).
+func (a *Architecture) Query(metric, key string, from, to int64) (store.Synopsis, error) {
+	if err := a.ensureStarted(); err != nil {
+		return nil, err
+	}
+	proto, err := a.proto(metric)
+	if err != nil {
+		return nil, err
+	}
+	var view *store.FrozenView
+	var speedSyn store.Synopsis
+	if a.cluster != nil {
+		// Cluster mode: the handoff is install-view-then-truncate, so a
+		// query racing a rebuild transiently double-covers (never drops)
+		// history; RunBatch drains before returning to restore exactness.
+		view = a.batch.Load()
+		if speedSyn, err = a.cluster.Router().Query(metric, key, from, to); err != nil {
+			return nil, err
+		}
+	} else {
+		a.speedMu.RLock()
+		view = a.batch.Load()
+		speedSyn, err = a.speed.Query(metric, key, from, to)
+		a.speedMu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var batchSyn store.Synopsis
+	if view != nil {
+		// The view is sealed, so querying it outside the lock is safe.
+		if batchSyn, err = view.Query(metric, key, from, to); err != nil {
+			return nil, err
+		}
+	}
+	return store.CombineSnapshots(proto, batchSyn, speedSyn)
 }
 
 // BatchOnlyQuery answers from the serving layer alone — the stale answer
-// a batch-only system would give, used by the F1 staleness experiment.
-func (a *Architecture) BatchOnlyQuery(key string) int64 {
-	batch, _ := a.serving.Get(key)
-	return batch
+// a batch-only system would give between recomputes, used by the F1
+// staleness experiment. Before the first batch run it answers empty.
+func (a *Architecture) BatchOnlyQuery(metric, key string, from, to int64) (store.Synopsis, error) {
+	if view := a.batch.Load(); view != nil {
+		return view.Query(metric, key, from, to)
+	}
+	proto, err := a.proto(metric)
+	if err != nil {
+		return nil, err
+	}
+	return proto(), nil
 }
 
-// Staleness returns the number of events not yet reflected in the batch
-// view — the speed layer's raison d'être.
+// Keys returns the union of keys for the metric across the batch and
+// speed layers (unordered, deduplicated). As in Query, single-store mode
+// snapshots the layer pair under the cutover's read lock.
+func (a *Architecture) Keys(metric string) []string {
+	seen := make(map[string]struct{})
+	var view *store.FrozenView
+	if a.cluster != nil {
+		view = a.batch.Load()
+		for _, k := range a.cluster.Router().Keys(metric) {
+			seen[k] = struct{}{}
+		}
+	} else {
+		a.speedMu.RLock()
+		view = a.batch.Load()
+		for _, k := range a.speed.Keys(metric) {
+			seen[k] = struct{}{}
+		}
+		a.speedMu.RUnlock()
+	}
+	if view != nil {
+		for _, k := range view.Keys(metric) {
+			seen[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	return out
+}
+
+// BatchView returns the current sealed batch view (nil before the first
+// RunBatch).
+func (a *Architecture) BatchView() *store.FrozenView { return a.batch.Load() }
+
+// BatchVersion returns how many batch views have been installed.
+func (a *Architecture) BatchVersion() uint64 { return a.version.Load() }
+
+// Staleness returns the number of appended observations not yet covered
+// by the batch view — the speed layer's raison d'être. It counts against
+// Appended rather than the log's end offsets so cluster-mode router
+// buffers (appended from the caller's point of view, not yet flushed to
+// the log) are included.
 func (a *Architecture) Staleness() uint64 {
-	return a.master.Len() - a.serving.Watermark()
+	var covered uint64
+	if view := a.batch.Load(); view != nil {
+		for _, e := range view.EndOffsets() {
+			covered += e
+		}
+	}
+	appended := a.appended.Load()
+	if appended < covered {
+		// Producers writing to the master topic directly (not through
+		// Append) inflate coverage past our own count; clamp.
+		return 0
+	}
+	return appended - covered
 }
 
-// MasterLen returns the master dataset size.
-func (a *Architecture) MasterLen() uint64 { return a.master.Len() }
+// MasterLen returns the total number of messages ever appended to the
+// master topic (per-partition end offsets are monotone, so this counts
+// through retention).
+func (a *Architecture) MasterLen() uint64 {
+	var total uint64
+	for _, end := range a.topic.EndOffsets() {
+		total += end
+	}
+	return total
+}
+
+// Appended returns the observations dispatched through Append.
+func (a *Architecture) Appended() uint64 { return a.appended.Load() }
+
+// Topic returns the master-dataset topic (the cluster's ingest topic in
+// cluster mode) — the replay surface oracles and audits rebuild from.
+func (a *Architecture) Topic() *mqlog.Topic { return a.topic }
+
+// Cluster returns the cluster speed layer, or nil in single-store mode.
+func (a *Architecture) Cluster() *dstore.Cluster { return a.cluster }
+
+// SpeedStats returns the speed layer's store counters (aggregated across
+// nodes in cluster mode) — how much the realtime view currently absorbs.
+func (a *Architecture) SpeedStats() store.Stats {
+	if a.cluster != nil {
+		return a.cluster.Stats().Store
+	}
+	a.speedMu.RLock()
+	defer a.speedMu.RUnlock()
+	return a.speed.Stats()
+}
+
+// FlushSpeedHot settles pending hot-key write-combining batches in the
+// speed layer (a per-key Query already settles that key's batch; this is
+// the whole-store form stats snapshots want).
+func (a *Architecture) FlushSpeedHot() {
+	if a.cluster != nil {
+		a.cluster.FlushHot()
+		return
+	}
+	a.speedMu.RLock()
+	defer a.speedMu.RUnlock()
+	a.speed.FlushHot()
+}
+
+// Drain blocks until the speed layer has absorbed everything appended so
+// far: a no-op in single-store mode (appends are synchronous), the
+// cluster drain otherwise. Call before exact comparisons in cluster mode.
+func (a *Architecture) Drain() error {
+	if a.cluster != nil {
+		return a.cluster.Drain()
+	}
+	return nil
+}
+
+// Close releases the architecture (stops cluster nodes). The master
+// topic survives: a closed architecture's log can still be replayed.
+func (a *Architecture) Close() {
+	if a.cluster != nil {
+		a.cluster.Close()
+	}
+}

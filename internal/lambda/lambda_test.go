@@ -2,205 +2,627 @@ package lambda
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
+	"repro/internal/dstore"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
-func TestMasterDatasetAppendOnly(t *testing.T) {
-	m := NewMasterDataset()
-	s0 := m.Append(Event{Key: "a", Delta: 1})
-	s1 := m.Append(Event{Key: "b", Delta: 2})
-	if s0 != 0 || s1 != 1 || m.Len() != 2 {
-		t.Fatalf("seqs %d %d len %d", s0, s1, m.Len())
+func storeGeom() store.Config {
+	return store.Config{Shards: 4, BucketWidth: 100, RingBuckets: 64}
+}
+
+func testConfig() Config {
+	return Config{Partitions: 4, Batch: storeGeom(), Speed: storeGeom()}
+}
+
+// testProtos returns the four synopsis families one Lambda code path must
+// serve: counters, cardinality, top-k, quantiles.
+func testProtos(t testing.TB) map[string]store.Prototype {
+	t.Helper()
+	protos := map[string]store.Prototype{}
+	mk := func(name string, p store.Prototype, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[name] = p
 	}
-	var seen []string
-	m.Scan(0, 100, func(e Event) { seen = append(seen, e.Key) })
-	if len(seen) != 2 || seen[0] != "a" {
-		t.Fatalf("scan %v", seen)
+	cm, err := store.NewFreqProto(256, 4, 11)
+	mk("hits", cm, err)
+	hll, err := store.NewDistinctProto(12, 11)
+	mk("uniq", hll, err)
+	// k=64 counters over a <=48-key item universe: Space-Saving runs in
+	// its exact regime, so merged halves must equal a one-pass summary.
+	ss, err := store.NewTopKProto(64)
+	mk("top", ss, err)
+	qd, err := store.NewQuantileProto(16, 256)
+	mk("lat", qd, err)
+	return protos
+}
+
+func newArch(t testing.TB, cfg Config) *Architecture {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	for name, proto := range testProtos(t) {
+		if err := a.RegisterMetric(name, proto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+func TestLambdaValidation(t *testing.T) {
+	if _, err := New(Config{Retention: -1}); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+	if _, err := New(Config{Batch: store.Config{Shards: -1}}); err == nil {
+		t.Fatal("invalid batch store config accepted")
+	}
+	if _, err := New(Config{Speed: store.Config{MaxIdle: -1}}); err == nil {
+		t.Fatal("invalid speed store config accepted")
+	}
+	if _, err := New(Config{Cluster: &dstore.Config{Retention: -1}}); err == nil {
+		t.Fatal("invalid cluster config accepted")
+	}
+	a := newArch(t, testConfig())
+	if err := a.Append(store.Observation{Metric: "nope", Key: "k", Time: 0}); err == nil {
+		t.Fatal("unregistered metric accepted")
+	}
+	if err := a.Append(store.Observation{Metric: "hits", Key: "k", Time: -1}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := a.Append(store.Observation{Metric: "hits", Key: "", Item: "u", Time: 0}); err == nil {
+		t.Fatal("empty key accepted (cluster mode rejects it; modes must agree)")
+	}
+	if got := a.MasterLen(); got != 0 {
+		t.Fatalf("rejected appends reached the master dataset: %d", got)
+	}
+	if err := a.Append(store.Observation{Metric: "hits", Key: "k", Item: "u", Value: 1, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterMetric("late", testProtos(t)["hits"]); err == nil {
+		t.Fatal("metric registration after first append accepted")
+	}
+	if _, err := a.Query("nope", "k", 0, 10); err == nil {
+		t.Fatal("query on unregistered metric accepted")
 	}
 }
 
+func hitCount(t *testing.T, syn store.Synopsis, item string) uint64 {
+	t.Helper()
+	return syn.(*store.Freq).Count(item)
+}
+
 func TestQueryMergesBatchAndSpeed(t *testing.T) {
-	a := New()
-	// Ten events, batch over them, then five more.
+	a := newArch(t, testConfig())
 	for i := 0; i < 10; i++ {
-		a.Append("clicks", 1)
+		if err := a.Append(store.Observation{Metric: "hits", Key: "clicks", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	a.RunBatch()
-	for i := 0; i < 5; i++ {
-		a.Append("clicks", 1)
+	info, err := a.RunBatch()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := a.Query("clicks"); got != 15 {
-		t.Fatalf("merged query %d, want 15", got)
+	if info.Version != 1 || info.Applied != 10 {
+		t.Fatalf("batch info %+v", info)
 	}
-	if got := a.BatchOnlyQuery("clicks"); got != 10 {
-		t.Fatalf("batch-only %d, want 10", got)
+	for i := 10; i < 15; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: "clicks", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := a.Query("hits", "clicks", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hitCount(t, merged, "u"); got != 15 {
+		t.Fatalf("merged count %d, want 15", got)
+	}
+	batchOnly, err := a.BatchOnlyQuery("hits", "clicks", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hitCount(t, batchOnly, "u"); got != 10 {
+		t.Fatalf("batch-only count %d, want 10", got)
 	}
 	if s := a.Staleness(); s != 5 {
 		t.Fatalf("staleness %d, want 5", s)
 	}
+	if a.MasterLen() != 15 || a.Appended() != 15 {
+		t.Fatalf("master len %d appended %d, want 15", a.MasterLen(), a.Appended())
+	}
 }
 
-func TestRunBatchExpiresSpeedLayer(t *testing.T) {
-	a := New()
+func TestRunBatchTruncatesSpeedLayer(t *testing.T) {
+	a := newArch(t, testConfig())
 	for i := 0; i < 100; i++ {
-		a.Append(fmt.Sprintf("k%d", i%10), 1)
+		if err := a.Append(store.Observation{Metric: "hits", Key: fmt.Sprintf("k%d", i%10), Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	a.RunBatch()
-	if p := a.speed.PendingEvents(); p != 0 {
-		t.Fatalf("speed layer retains %d events after batch", p)
+	if _, err := a.RunBatch(); err != nil {
+		t.Fatal(err)
+	}
+	// The speed layer holds exactly the uncovered suffix: nothing.
+	if obs := a.SpeedStats().Observed; obs != 0 {
+		t.Fatalf("speed layer retains %d observations after batch handoff", obs)
 	}
 	// Merged query must not double count.
-	if got := a.Query("k0"); got != 10 {
-		t.Fatalf("double counting: %d", got)
+	syn, err := a.Query("hits", "k0", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hitCount(t, syn, "u"); got != 10 {
+		t.Fatalf("double counting: %d, want 10", got)
+	}
+	// A second boundary with a live tail: only the tail stays realtime.
+	for i := 100; i < 130; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: "k0", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.RunBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 130; i < 140; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: "k0", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obs := a.SpeedStats().Observed; obs != 10 {
+		t.Fatalf("speed layer holds %d, want the 10-event tail", obs)
+	}
+	if s := a.Staleness(); s != 10 {
+		t.Fatalf("staleness %d, want 10", s)
 	}
 }
 
-func TestMergedAlwaysEqualsExact(t *testing.T) {
-	// The F1 correctness invariant: at every point, for every key,
-	// merged query == exact count over all appended events, regardless of
-	// when batches run.
-	a := New()
-	exact := map[string]int64{}
-	rng := workload.NewRNG(1)
-	for i := 0; i < 5000; i++ {
-		key := fmt.Sprintf("k%d", rng.Intn(50))
-		a.Append(key, 1)
-		exact[key]++
-		if i%777 == 776 {
-			a.RunBatch()
+func TestBatchOnlyGoesStale(t *testing.T) {
+	a := newArch(t, testConfig())
+	if err := a.Append(store.Observation{Metric: "hits", Key: "x", Item: "u", Value: 1, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RunBatch(); err != nil {
+		t.Fatal(err)
+	}
+	stale := 0
+	for i := 1; i <= 50; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: "x", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
 		}
-		if i%501 == 500 {
-			probe := fmt.Sprintf("k%d", rng.Intn(50))
-			if got := a.Query(probe); got != exact[probe] {
-				t.Fatalf("at %d: merged %d != exact %d for %s", i, got, exact[probe], probe)
+		b, err := a.BatchOnlyQuery("hits", "x", 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := a.Query("hits", "x", 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hitCount(t, b, "u") != hitCount(t, m, "u") {
+			stale++
+		}
+	}
+	if stale != 50 {
+		t.Fatalf("batch-only should lag merged for all 50 post-batch appends, got %d", stale)
+	}
+}
+
+// oracleStore rebuilds a single store from the whole master log — the
+// replay-everything oracle merged answers must match.
+func oracleStore(t testing.TB, a *Architecture) *store.Store {
+	t.Helper()
+	st, _, err := store.Rebuild(a.cfg.Batch, testProtos(t), a.Topic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// assertParity compares merged lambda answers against the oracle for
+// every key: counters, cardinality and top-k exactly, quantiles within a
+// merged q-digest's rank-error bound against the exact value list.
+func assertParity(t *testing.T, a *Architecture, o *store.Store, values map[string][]uint64, to int64, context string) {
+	t.Helper()
+	keys := o.Keys("hits")
+	if len(keys) == 0 {
+		t.Fatalf("%s: oracle has no keys", context)
+	}
+	for _, key := range keys {
+		merged, err := a.Query("hits", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.Query("hits", key, 0, to)
+		for u := 0; u < 8; u++ {
+			item := fmt.Sprintf("u%d", u)
+			if g, w := hitCount(t, merged, item), want.(*store.Freq).Count(item); g != w {
+				t.Fatalf("%s: key %s item %s: merged count %d != oracle %d", context, key, item, g, w)
+			}
+		}
+		mu, err := a.Query("uniq", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wu, _ := o.Query("uniq", key, 0, to)
+		if g, w := mu.(*store.Distinct).Estimate(), wu.(*store.Distinct).Estimate(); g != w {
+			t.Fatalf("%s: key %s: merged cardinality %v != oracle %v", context, key, g, w)
+		}
+		mt, err := a.Query("top", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, _ := o.Query("top", key, 0, to)
+		if g, w := topCounts(mt), topCounts(wt); !sameCounts(g, w) {
+			t.Fatalf("%s: key %s: merged top-k %v != oracle %v", context, key, g, w)
+		}
+		ml, err := a.Query("lat", key, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := values[key]
+		if len(vals) == 0 {
+			continue
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		n := len(sorted)
+		// Rank tolerance: each constituent q-digest guarantees ~logU/k
+		// rank error; the batch+speed merge doubles the constituents, so
+		// accept 2x with slack. k=256, logU=16 -> 0.0625 per digest.
+		tol := int(0.2*float64(n)) + 1
+		for _, phi := range []float64{0.5, 0.9, 0.99} {
+			got := ml.(*store.Quantiles).Quantile(phi)
+			lo, hi := rankRange(sorted, got)
+			target := int(phi * float64(n))
+			if lo-tol > target || hi+tol < target {
+				t.Fatalf("%s: key %s phi %.2f: answer %d has rank [%d,%d], target %d +/- %d",
+					context, key, phi, got, lo, hi, target, tol)
 			}
 		}
 	}
-	a.RunBatch()
-	for k, v := range exact {
-		if got := a.Query(k); got != v {
-			t.Fatalf("final: %s merged %d != %d", k, got, v)
+}
+
+func topCounts(syn store.Synopsis) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, c := range syn.(*store.TopK).Top(64) {
+		out[c.Item] = c.Count
+	}
+	return out
+}
+
+func sameCounts(a, b map[string]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
 		}
+	}
+	return true
+}
+
+// rankRange returns the index range [lo, hi) positions of x in sorted.
+func rankRange(sorted []uint64, x uint64) (int, int) {
+	lo, hi := 0, len(sorted)
+	for i, v := range sorted {
+		if v < x {
+			lo = i + 1
+		}
+		if v <= x {
+			hi = i + 1
+		}
+	}
+	return lo, hi
+}
+
+// TestMergedMatchesOracleAcrossBoundaries is the batch/speed boundary
+// property test (the F1.2 invariant, synopsis_prop_test.go style): after
+// an arbitrary interleaving of appends and batch recomputes, Query equals
+// a replay-everything oracle for every family, at every checkpoint.
+func TestMergedMatchesOracleAcrossBoundaries(t *testing.T) {
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			a := newArch(t, testConfig())
+			rng := workload.NewRNG(uint64(1000 + trial))
+			z := workload.NewZipf(rng, 24, 1.2)
+			values := map[string][]uint64{}
+			now := int64(0)
+			boundaries := 0
+			for i := 0; i < 4000; i++ {
+				key := fmt.Sprintf("k%d", z.Draw())
+				item := fmt.Sprintf("u%d", rng.Uint64()%48)
+				val := rng.Uint64() % 40000
+				now = int64(i)
+				for _, obs := range []store.Observation{
+					{Metric: "hits", Key: key, Item: item, Value: 1 + val%5, Time: now},
+					{Metric: "uniq", Key: key, Item: item, Time: now},
+					{Metric: "top", Key: key, Item: item, Time: now},
+					{Metric: "lat", Key: key, Value: val, Time: now},
+				} {
+					if err := a.Append(obs); err != nil {
+						t.Fatal(err)
+					}
+				}
+				values[key] = append(values[key], val)
+				// Arbitrary interleaving: batch runs fire randomly, ~1/500.
+				if rng.Uint64()%500 == 0 {
+					if _, err := a.RunBatch(); err != nil {
+						t.Fatal(err)
+					}
+					boundaries++
+					assertParity(t, a, oracleStore(t, a), values, now, fmt.Sprintf("post-batch %d", boundaries))
+				}
+				if i%1499 == 1498 {
+					assertParity(t, a, oracleStore(t, a), values, now, "mid-stream")
+				}
+			}
+			for ; boundaries < 3; boundaries++ {
+				if _, err := a.RunBatch(); err != nil {
+					t.Fatal(err)
+				}
+				assertParity(t, a, oracleStore(t, a), values, now, "final boundary")
+			}
+		})
 	}
 }
 
-func TestBatchOnlyStalenessGrows(t *testing.T) {
-	a := New()
-	a.Append("x", 1)
-	a.RunBatch()
-	errs := 0
-	for i := 0; i < 100; i++ {
-		a.Append("x", 1)
-		if a.BatchOnlyQuery("x") != a.Query("x") {
-			errs++
-		}
-	}
-	if errs != 100 {
-		t.Fatalf("batch-only answer should be stale for all 100 post-batch events, got %d", errs)
-	}
-}
-
-func TestApproxSpeedLayerBounds(t *testing.T) {
-	sl, err := NewApproxSpeedLayer(2048, 4, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := NewWithSpeedLayer(sl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	exact := map[string]int64{}
-	rng := workload.NewRNG(2)
-	z := workload.NewZipf(rng, 500, 1.1)
-	for i := 0; i < 20000; i++ {
+// TestLambdaParityHotKeySpeedLayer runs the boundary invariant with the
+// T2.5 hot-key write-combining path enabled on the speed store, and
+// checks the path actually engaged (writes were splayed).
+func TestLambdaParityHotKeySpeedLayer(t *testing.T) {
+	cfg := testConfig()
+	cfg.Speed.HotKey = store.HotKeyConfig{Replicas: 4, MaxHot: 64, PromotePct: 2, EpochWrites: 256}
+	a := newArch(t, cfg)
+	rng := workload.NewRNG(42)
+	z := workload.NewZipf(rng, 24, 1.4)
+	values := map[string][]uint64{}
+	now := int64(0)
+	var splayed uint64
+	for i := 0; i < 9000; i++ {
 		key := fmt.Sprintf("k%d", z.Draw())
-		a.Append(key, 1)
-		exact[key]++
+		item := fmt.Sprintf("u%d", rng.Uint64()%48)
+		val := rng.Uint64() % 40000
+		now = int64(i)
+		for _, obs := range []store.Observation{
+			{Metric: "hits", Key: key, Item: item, Value: 1 + val%5, Time: now},
+			{Metric: "uniq", Key: key, Item: item, Time: now},
+			{Metric: "top", Key: key, Item: item, Time: now},
+			{Metric: "lat", Key: key, Value: val, Time: now},
+		} {
+			if err := a.Append(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		values[key] = append(values[key], val)
+		if i%3000 == 2999 {
+			// Sample the splay counter before the boundary wipes the
+			// speed store (its stats reset with the truncation).
+			a.FlushSpeedHot()
+			splayed += a.SpeedStats().SplayedWrites
+			if _, err := a.RunBatch(); err != nil {
+				t.Fatal(err)
+			}
+			assertParity(t, a, oracleStore(t, a), values, now, fmt.Sprintf("hot boundary %d", i/3000))
+		}
 	}
-	// Approximate speed layer never undercounts and overestimates within
-	// the Count-Min bound (eps ~ e/2048 of N=20000 -> ~27).
-	for k, v := range exact {
-		got := a.Query(k)
-		if got < v {
-			t.Fatalf("approx merged undercounts %s: %d < %d", k, got, v)
-		}
-		if got > v+100 {
-			t.Fatalf("approx overestimate too large for %s: %d vs %d", k, got, v)
-		}
-	}
-	// After a batch run the sketch resets: answers become exact.
-	a.RunBatch()
-	for k, v := range exact {
-		if got := a.Query(k); got != v {
-			t.Fatalf("post-batch %s: %d != %d", k, got, v)
-		}
+	if splayed == 0 {
+		t.Fatal("hot-key path never engaged: no splayed writes")
 	}
 }
 
-func TestConcurrentAppendsAndQueries(t *testing.T) {
-	a := New()
-	var wg sync.WaitGroup
+// TestLambdaParityUnderConcurrentIngest is the named -race CI target (the
+// F1.2 concurrency leg): writers append while batch recomputes and
+// queries run; after the dust settles, merged answers equal the oracle
+// for the order-independent families (counters, cardinality).
+func TestLambdaParityUnderConcurrentIngest(t *testing.T) {
+	a := newArch(t, testConfig())
 	const writers = 4
-	const perWriter = 2500
+	const perWriter = 3000
+	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			rng := workload.NewRNG(uint64(7000 + w))
 			for i := 0; i < perWriter; i++ {
-				a.Append("hot", 1)
+				key := fmt.Sprintf("k%d", rng.Uint64()%16)
+				obs := store.Observation{Metric: "hits", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%8), Value: 1, Time: int64(i)}
+				if err := a.Append(obs); err != nil {
+					t.Error(err)
+					return
+				}
+				obs.Metric = "uniq"
+				if err := a.Append(obs); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		}()
 	}
-	// Concurrent batch runs and queries must not panic or corrupt.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < 20; i++ {
-			a.RunBatch()
-			a.Query("hot")
+		for i := 0; i < 10; i++ {
+			if _, err := a.RunBatch(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := a.Query("hits", "k0", 0, int64(perWriter)); err != nil {
+				t.Error(err)
+				return
+			}
 		}
 	}()
 	wg.Wait()
-	a.RunBatch()
-	if got := a.Query("hot"); got != writers*perWriter {
-		t.Fatalf("final count %d, want %d", got, writers*perWriter)
+	if t.Failed() {
+		return
 	}
-}
-
-func TestNegativeDeltas(t *testing.T) {
-	a := New()
-	a.Append("bal", 100)
-	a.Append("bal", -30)
-	if got := a.Query("bal"); got != 70 {
-		t.Fatalf("net %d, want 70", got)
+	if _, err := a.RunBatch(); err != nil {
+		t.Fatal(err)
 	}
-	a.RunBatch()
-	a.Append("bal", -20)
-	if got := a.Query("bal"); got != 50 {
-		t.Fatalf("post-batch net %d, want 50", got)
-	}
-}
-
-func BenchmarkAppendQuery(b *testing.B) {
-	a := New()
-	for i := 0; i < b.N; i++ {
-		a.Append("k", 1)
-		if i%1000 == 999 {
-			a.Query("k")
+	o := oracleStore(t, a)
+	for k := 0; k < 16; k++ {
+		key := fmt.Sprintf("k%d", k)
+		merged, err := a.Query("hits", key, 0, perWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.Query("hits", key, 0, perWriter)
+		for u := 0; u < 8; u++ {
+			item := fmt.Sprintf("u%d", u)
+			if g, w := hitCount(t, merged, item), want.(*store.Freq).Count(item); g != w {
+				t.Fatalf("key %s item %s: merged %d != oracle %d", key, item, g, w)
+			}
+		}
+		mu, err := a.Query("uniq", key, 0, perWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wu, _ := o.Query("uniq", key, 0, perWriter)
+		if g, w := mu.(*store.Distinct).Estimate(), wu.(*store.Distinct).Estimate(); g != w {
+			t.Fatalf("key %s: merged cardinality %v != oracle %v", key, g, w)
 		}
 	}
 }
 
-func BenchmarkRunBatch100k(b *testing.B) {
-	a := New()
+// TestClusterSpeedLayerParity runs the architecture with the dstore
+// cluster as the speed layer: appends route through the cluster's router
+// onto the shared master topic, batch handoffs truncate the cluster, and
+// merged answers equal the oracle once drained.
+func TestClusterSpeedLayerParity(t *testing.T) {
+	cfg := Config{
+		Batch:        storeGeom(),
+		Cluster:      &dstore.Config{Partitions: 8, Store: storeGeom(), Topic: "lambda-cluster"},
+		ClusterNodes: 3,
+	}
+	a := newArch(t, cfg)
+	rng := workload.NewRNG(99)
+	z := workload.NewZipf(rng, 24, 1.2)
+	values := map[string][]uint64{}
+	now := int64(0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 1200; i++ {
+			key := fmt.Sprintf("k%d", z.Draw())
+			item := fmt.Sprintf("u%d", rng.Uint64()%48)
+			val := rng.Uint64() % 40000
+			now = int64(round*1200 + i)
+			for _, obs := range []store.Observation{
+				{Metric: "hits", Key: key, Item: item, Value: 1 + val%5, Time: now},
+				{Metric: "uniq", Key: key, Item: item, Time: now},
+				{Metric: "top", Key: key, Item: item, Time: now},
+				{Metric: "lat", Key: key, Value: val, Time: now},
+			} {
+				if err := a.Append(obs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			values[key] = append(values[key], val)
+		}
+		if _, err := a.RunBatch(); err != nil {
+			t.Fatal(err)
+		}
+		// The cluster speed layer holds only the uncovered suffix, which
+		// right after a drained batch handoff is nothing.
+		if obs := a.SpeedStats().Observed; obs != 0 {
+			t.Fatalf("round %d: cluster speed layer retains %d observations", round, obs)
+		}
+		assertParity(t, a, oracleStore(t, a), values, now, fmt.Sprintf("cluster round %d", round))
+	}
+	// Post-boundary tail served by the speed layer alone.
+	if err := a.Append(store.Observation{Metric: "hits", Key: "k0", Item: "u0", Value: 3, Time: now}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, a, oracleStore(t, a), values, now, "cluster tail")
+}
+
+func TestQueryBeforeFirstBatchServesSpeedOnly(t *testing.T) {
+	a := newArch(t, testConfig())
+	for i := 0; i < 20; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: "k", Item: "u", Value: 1, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syn, err := a.Query("hits", "k", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hitCount(t, syn, "u"); got != 20 {
+		t.Fatalf("pre-batch merged count %d, want 20", got)
+	}
+	b, err := a.BatchOnlyQuery("hits", "k", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hitCount(t, b, "u"); got != 0 {
+		t.Fatalf("batch-only before first batch %d, want 0", got)
+	}
+	if a.BatchView() != nil {
+		t.Fatal("batch view exists before RunBatch")
+	}
+	if s := a.Staleness(); s != 20 {
+		t.Fatalf("staleness %d, want 20", s)
+	}
+}
+
+func BenchmarkLambdaAppend(b *testing.B) {
+	a := newArch(b, testConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: fmt.Sprintf("k%d", i%64), Item: "u", Value: 1, Time: int64(i / 64)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLambdaQueryMerged(b *testing.B) {
+	a := newArch(b, testConfig())
+	for i := 0; i < 50000; i++ {
+		if err := a.Append(store.Observation{Metric: "hits", Key: fmt.Sprintf("k%d", i%64), Item: fmt.Sprintf("u%d", i%8), Value: 1, Time: int64(i / 64)}); err != nil {
+			b.Fatal(err)
+		}
+		if i == 25000 {
+			if _, err := a.RunBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	to := int64(50000 / 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Query("hits", fmt.Sprintf("k%d", i%64), 0, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLambdaRunBatch100k(b *testing.B) {
+	a := newArch(b, testConfig())
 	for i := 0; i < 100000; i++ {
-		a.Append(fmt.Sprintf("k%d", i%1000), 1)
+		if err := a.Append(store.Observation{Metric: "hits", Key: fmt.Sprintf("k%d", i%1000), Item: "u", Value: 1, Time: int64(i / 1000)}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.RunBatch()
+		if _, err := a.RunBatch(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -76,50 +76,51 @@ func WireDecoder(m mqlog.Message) (Observation, bool) {
 // observations applied. Unlike Replay it does NOT settle hot-key batches;
 // callers replaying several partitions flush once at the end.
 func ReplayPartition(st *Store, topic *mqlog.Topic, pid int, from uint64, decode Decoder) (next uint64, applied uint64, truncated bool, err error) {
-	if st == nil || topic == nil {
-		return 0, 0, false, core.Errf("ReplayPartition", "store/topic", "must be non-nil")
+	if topic == nil {
+		return 0, 0, false, core.Errf("ReplayPartition", "topic", "must be non-nil")
 	}
 	if pid < 0 || pid >= topic.Partitions() {
 		return 0, 0, false, core.Errf("ReplayPartition", "pid", "%d out of range", pid)
 	}
+	return ReplayPartitionTo(st, topic, pid, from, topic.EndOffset(pid), decode)
+}
+
+// ReplayPartitionTo is ReplayPartition with an explicit exclusive end
+// bound — the offset-fenced form batch-view recomputation is built on: a
+// batch view is defined by the log prefix [.., ends) it covers, so its
+// replay must stop at the frozen bound no matter how far producers have
+// advanced the partition since the freeze (an mqlog.Reader enforces the
+// bound even when retention truncates the range mid-replay). A speed
+// layer resuming after a batch handoff is the same call with from = the
+// batch view's end offset.
+func ReplayPartitionTo(st *Store, topic *mqlog.Topic, pid int, from, end uint64, decode Decoder) (next uint64, applied uint64, truncated bool, err error) {
+	if st == nil || topic == nil {
+		return 0, 0, false, core.Errf("ReplayPartitionTo", "store/topic", "must be non-nil")
+	}
 	if decode == nil {
 		decode = WireDecoder
 	}
-	end := topic.EndOffset(pid)
-	off := from
-	for off < end {
-		batch := 1024
-		if remaining := int(end - off); remaining < batch {
-			// Clamp to the end snapshot so messages produced while the
-			// replay runs are left to the live ingest path.
-			batch = remaining
-		}
-		msgs, fnext, trunc, ferr := topic.Fetch(pid, off, batch)
-		if ferr != nil {
-			return off, applied, truncated, ferr
-		}
-		truncated = truncated || trunc
-		if len(msgs) == 0 {
+	reader, err := topic.NewReader(pid, from, end)
+	if err != nil {
+		return from, 0, false, err
+	}
+	for {
+		msgs := reader.Next(1024)
+		if msgs == nil {
 			break
 		}
 		for _, m := range msgs {
-			if m.Offset >= end {
-				// Retention truncated under us and the fetch resumed
-				// past the snapshot; the rest belongs to live ingest.
-				return m.Offset, applied, truncated, nil
-			}
 			obs, ok := decode(m)
 			if !ok {
 				continue
 			}
 			if oerr := st.Observe(obs); oerr != nil {
-				return m.Offset, applied, truncated, fmt.Errorf("store: replay partition %d offset %d: %w", pid, m.Offset, oerr)
+				return m.Offset, applied, reader.Truncated(), fmt.Errorf("store: replay partition %d offset %d: %w", pid, m.Offset, oerr)
 			}
 			applied++
 		}
-		off = fnext
 	}
-	return off, applied, truncated, nil
+	return reader.Offset(), applied, reader.Truncated(), nil
 }
 
 // Replay feeds the retained prefix of every partition of the topic into

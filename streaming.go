@@ -811,17 +811,55 @@ func RebuildStore(cfg SketchStoreConfig, protos map[string]StorePrototype, topic
 	return store.Rebuild(cfg, protos, topic, decode)
 }
 
-// Lambda is the Figure 1 architecture (batch + serving + speed + merge).
+// ---- Lambda Architecture (Figure 1), store-backed ----
+
+// Lambda is the Figure 1 architecture on the real subsystems: the master
+// dataset is an mqlog topic, batch views are sealed stores recomputed up
+// to frozen end-offset snapshots, the speed layer is a SketchStore (or,
+// behind LambdaConfig.Cluster, a StoreCluster), and queries merge the two
+// through CombineSnapshots — one code path for counters, cardinality,
+// quantiles and top-k.
 type Lambda = lambda.Architecture
 
-// NewLambda returns a Lambda Architecture with an exact speed layer.
-func NewLambda() *Lambda { return lambda.New() }
+// LambdaConfig tunes a Lambda (master topic geometry, batch/speed store
+// configs, optional cluster speed layer).
+type LambdaConfig = lambda.Config
 
-// NewLambdaApprox returns one with a Count-Min speed layer.
-func NewLambdaApprox(width, depth int, seed uint64) (*Lambda, error) {
-	sl, err := lambda.NewApproxSpeedLayer(width, depth, seed)
-	if err != nil {
-		return nil, err
-	}
-	return lambda.NewWithSpeedLayer(sl)
+// LambdaBatchInfo describes one completed batch recompute (version,
+// frozen end offsets, applied count, retention truncation).
+type LambdaBatchInfo = lambda.BatchInfo
+
+// NewLambda returns a store-backed Lambda Architecture. Register metrics,
+// then Append/Query; RunBatch on the batch cadence.
+func NewLambda(cfg LambdaConfig) (*Lambda, error) { return lambda.New(cfg) }
+
+// FrozenStoreView is a sealed batch view: a store recomputed from the log
+// prefix up to a frozen end-offset snapshot, closed to writes.
+type FrozenStoreView = store.FrozenView
+
+// FreezeStoreAt recomputes a sealed batch view of the topic's prefix
+// [0, ends) — the Lambda batch layer as a standalone helper.
+func FreezeStoreAt(cfg SketchStoreConfig, protos map[string]StorePrototype, topic *LogTopic, ends []uint64, decode store.Decoder) (*FrozenStoreView, error) {
+	return store.FreezeAt(cfg, protos, topic, ends, decode)
+}
+
+// ReplayLogPartitionTo is ReplayLogPartition with an explicit exclusive
+// end bound — the offset-fenced replay batch views and speed-layer
+// truncation are built on.
+func ReplayLogPartitionTo(st *SketchStore, topic *LogTopic, pid int, from, end uint64, decode store.Decoder) (next uint64, applied uint64, truncated bool, err error) {
+	return store.ReplayPartitionTo(st, topic, pid, from, end, decode)
+}
+
+// LogReader is an end-offset-bounded sequential reader over one log
+// partition (LogTopic.NewReader).
+type LogReader = mqlog.Reader
+
+// LambdaBolt sinks a topology stream into a Lambda architecture,
+// dispatching every tuple to both the master log and the speed layer.
+type LambdaBolt = engine.LambdaBolt
+
+// NewLambdaBolt returns a bolt sinking into arch; extract maps messages
+// to observations (nil accepts Message.Value of type StoreObservation).
+func NewLambdaBolt(arch *Lambda, extract func(TupleMessage) (StoreObservation, bool)) (*LambdaBolt, error) {
+	return engine.NewLambdaBolt(arch, extract)
 }

@@ -118,20 +118,53 @@ func TestFacadeTopologyWordcount(t *testing.T) {
 }
 
 func TestFacadeLambda(t *testing.T) {
-	arch := repro.NewLambda()
-	arch.Append("k", 5)
-	arch.RunBatch()
-	arch.Append("k", 3)
-	if got := arch.Query("k"); got != 8 {
-		t.Fatalf("facade lambda query %d", got)
-	}
-	approx, err := repro.NewLambdaApprox(1024, 4, 1)
+	geom := repro.SketchStoreConfig{Shards: 4, BucketWidth: 10, RingBuckets: 64}
+	arch, err := repro.NewLambda(repro.LambdaConfig{Partitions: 2, Batch: geom, Speed: geom})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx.Append("k", 5)
-	if got := approx.Query("k"); got < 5 {
-		t.Fatalf("facade approx lambda undercounts: %d", got)
+	defer arch.Close()
+	proto, err := repro.NewFreqProto(256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.RegisterMetric("hits", proto); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Append(repro.StoreObservation{Metric: "hits", Key: "k", Item: "u", Value: 5, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := arch.RunBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Applied != 1 {
+		t.Fatalf("facade batch info %+v", info)
+	}
+	if err := arch.Append(repro.StoreObservation{Metric: "hits", Key: "k", Item: "u", Value: 3, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	syn, err := arch.Query("hits", "k", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := syn.(*repro.FreqSynopsis).Count("u"); got != 8 {
+		t.Fatalf("facade lambda merged count %d, want 8", got)
+	}
+	if arch.Staleness() != 1 {
+		t.Fatalf("facade staleness %d, want 1", arch.Staleness())
+	}
+	// The standalone batch-layer helpers compose over the same topic.
+	view, err := repro.FreezeStoreAt(geom, map[string]repro.StorePrototype{"hits": proto}, arch.Topic(), arch.Topic().EndOffsets(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := view.Query("hits", "k", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vs.(*repro.FreqSynopsis).Count("u"); got != 8 {
+		t.Fatalf("facade frozen view count %d, want 8", got)
 	}
 }
 
