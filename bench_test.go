@@ -240,7 +240,7 @@ func BenchmarkStoreQuery(b *testing.B) {
 					if from < 0 {
 						from = 0
 					}
-					if _, err := st.Query("uniq", keys[int(i*31)%len(keys)], from, horizon); err != nil {
+					if _, err := st.QueryPoint("uniq", keys[int(i*31)%len(keys)], from, horizon); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -348,7 +348,18 @@ func BenchmarkClusterQuery(b *testing.B) {
 		b.Run(fmt.Sprintf("point/nodes=%d", nodes), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := r.Query("uniq", keys[(i*31)%len(keys)], from, horizon); err != nil {
+				if _, err := r.QueryPoint("uniq", keys[(i*31)%len(keys)], from, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// The typed single-key request must not regress the point path:
+		// both route to one owner and run the same single-shard gather.
+		b.Run(fmt.Sprintf("typed-point/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := store.QueryRequest{Metric: "uniq", Key: keys[(i*31)%len(keys)], From: from, To: horizon + 1}
+				if _, err := r.Query(req); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -357,6 +368,16 @@ func BenchmarkClusterQuery(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := r.QueryMerged("uniq", keys[:16], from, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// One batched 16-key request vs 16 owner-routed round-trips.
+		b.Run(fmt.Sprintf("batched16/nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			req := store.QueryRequest{Metric: "uniq", Keys: keys[:16], From: from, To: horizon + 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Query(req); err != nil {
 					b.Fatal(err)
 				}
 			}

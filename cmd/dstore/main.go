@@ -1,7 +1,7 @@
 // Command dstore demonstrates the partitioned store cluster as a live
 // multi-node serving system, end to end across the repo's subsystems:
 //
-//   - a topology produces Zipf-keyed events through a ClusterBolt, whose
+//   - a topology produces Zipf-keyed events through a SinkBolt, whose
 //     router partitions them by key onto the cluster's mqlog ingest topic
 //     (batched appends);
 //   - N single-threaded node event loops consume their assigned
@@ -75,7 +75,7 @@ func main() {
 		}
 	}
 
-	// Producers: a topology feeding the cluster through a ClusterBolt —
+	// Producers: a topology feeding the cluster through a SinkBolt —
 	// the router behind it partitions by key onto the ingest log.
 	rng := workload.NewRNG(7)
 	zipfKey := workload.NewZipf(rng, keySpace, 1.2)
@@ -103,7 +103,9 @@ func main() {
 		}
 		return engine.Message{Key: obs.Key, Value: obs}, true
 	})
-	sink, err := engine.NewClusterBolt(cluster.Router(), nil)
+	// The router is an analytics.Backend, so the generic serving sink
+	// drives it — the same bolt would drive a single store or a Lambda.
+	sink, err := engine.NewSinkBolt(cluster.Router(), nil)
 	if err != nil {
 		panic(err)
 	}
@@ -115,7 +117,7 @@ func main() {
 		panic(err)
 	}
 
-	fmt.Printf("ingesting %d events through a ClusterBolt topology into %d nodes over %d partitions...\n",
+	fmt.Printf("ingesting %d events through a SinkBolt topology into %d nodes over %d partitions...\n",
 		*events, *nodes, *partitions)
 	start := time.Now()
 	topoStats := topo.Run()
@@ -138,22 +140,26 @@ func main() {
 	fmt.Printf("  %d nodes, %d recoveries, %d entries, %d synopsis bytes, lag %d\n",
 		cstats.Nodes, cstats.Recoveries, cstats.Store.Entries, cstats.Store.Bytes, cstats.Lag)
 
-	// Scatter-gather: site-wide uniques over every page, combined across
-	// nodes through Synopsis.Merge.
+	// Scatter-gather through the typed serving API: one aggregate request
+	// over every page fans out to the owning nodes (each node range-merges
+	// its keys in a single batched store query) and combines the partials
+	// — no per-key query loop, no synopsis type assertions.
 	router := cluster.Router()
 	pages := router.Keys("uniques")
-	union, err := router.QueryMerged("uniques", pages, 0, now)
+	union, err := router.Query(store.QueryRequest{
+		Metric: "uniques", Keys: pages, From: 0, To: now + 1, Aggregate: true,
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nscatter-gather: site-wide uniques over %d pages ~= %.0f users\n",
-		len(pages), union.(*store.Distinct).Estimate())
-	syn, err := router.Query("top-pages", "global", 0, now)
+	fmt.Printf("\nscatter-gather: site-wide uniques over %d pages ~= %d users\n",
+		len(pages), union.Distinct())
+	top, err := router.Query(store.QueryRequest{Metric: "top-pages", Key: "global", From: 0, To: now + 1})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("top pages (Space-Saving, owner-routed):")
-	for _, c := range syn.(*store.TopK).Top(5) {
+	for _, c := range top.TopK(5) {
 		fmt.Printf("  %-12s ~%d views\n", c.Item, c.Count)
 	}
 
@@ -165,17 +171,21 @@ func main() {
 	compare := func(context string) {
 		keys := oracle.Keys("uniques")
 		sort.Strings(keys)
+		// One multi-key request per side replaces a per-key query loop:
+		// the cluster fans out to owning nodes, the oracle gathers each
+		// shard's keys under one lock.
+		req := store.QueryRequest{Metric: "uniques", Keys: keys, From: 0, To: now + 1}
+		got, err := router.Query(req)
+		if err != nil {
+			panic(err)
+		}
+		want, err := oracle.Query(req)
+		if err != nil {
+			panic(err)
+		}
 		mismatch := 0
-		for _, page := range keys {
-			a, err := router.Query("uniques", page, 0, now)
-			if err != nil {
-				panic(err)
-			}
-			b, err := oracle.Query("uniques", page, 0, now)
-			if err != nil {
-				panic(err)
-			}
-			if a.(*store.Distinct).Estimate() != b.(*store.Distinct).Estimate() {
+		for i, a := range got.Answers() {
+			if a.Distinct() != want.Answers()[i].Distinct() {
 				mismatch++
 			}
 		}

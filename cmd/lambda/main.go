@@ -1,7 +1,8 @@
 // Command lambda drives the store-backed Lambda Architecture (Figure 1)
 // through its whole cycle on the real subsystems:
 //
-//  1. a topology streams observations through a LambdaBolt, which
+//  1. a topology streams observations through the generic serving sink
+//     (engine.SinkBolt over the architecture's Backend face), which
 //     dispatches every tuple to the immutable mqlog master topic and the
 //     sketch-store speed layer;
 //  2. a batch recompute freezes the log's end offsets and rebuilds a
@@ -80,7 +81,9 @@ func main() {
 			Metric: "hits", Key: key, Item: fmt.Sprintf("u%d", rng.Uint64()%48), Value: 1, Time: now,
 		}}, true
 	})
-	bolt, err := repro.NewLambdaBolt(arch, nil)
+	// The architecture is a repro.Backend, so the generic serving sink
+	// drives it — the same bolt would drive a store or a cluster router.
+	bolt, err := repro.NewSinkBolt(arch, nil)
 	must(err)
 	topo, err := repro.NewTopologyBuilder().
 		AddSpout("events", spout).
@@ -94,14 +97,21 @@ func main() {
 		arch.MasterLen(), arch.Staleness(), arch.SpeedStats().Observed)
 
 	probe := "page:/p0"
-	count := func(syn repro.StoreSynopsis, err error) uint64 {
+	countStale := func(syn repro.StoreSynopsis, err error) uint64 {
 		must(err)
 		return syn.(*repro.FreqSynopsis).Count("u0")
+	}
+	// Merged answers come through the typed serving API: no type
+	// assertion, just the Count accessor on the result.
+	count := func() uint64 {
+		res, err := arch.Query(repro.QueryRequest{Metric: "hits", Key: probe, From: 0, To: now + 1})
+		must(err)
+		return res.Count("u0")
 	}
 
 	// ---- 2+3. Batch recompute, then merged queries ----
 	fmt.Printf("before batch: batch-only(%s)=%d merged=%d\n",
-		probe, count(arch.BatchOnlyQuery("hits", probe, 0, now)), count(arch.Query("hits", probe, 0, now)))
+		probe, countStale(arch.BatchOnlyQuery("hits", probe, 0, now)), count())
 	info, err := arch.RunBatch()
 	must(err)
 	fmt.Printf("batch v%d recomputed from the log: %d observations up to offsets %v\n",
@@ -122,23 +132,26 @@ func main() {
 	fmt.Printf("5k fresh events later: staleness=%d  speed layer holds %d\n",
 		arch.Staleness(), arch.SpeedStats().Observed)
 	fmt.Printf("  batch-only(%s)=%d merged=%d (speed layer compensates batch latency)\n\n",
-		probe, count(arch.BatchOnlyQuery("hits", probe, 0, now)), count(arch.Query("hits", probe, 0, now)))
+		probe, countStale(arch.BatchOnlyQuery("hits", probe, 0, now)), count())
 
-	// One merged code path answers every family.
-	u, err := arch.Query("uniq", probe, 0, now)
+	// One merged request answers every family at once: a multi-metric
+	// QueryRequest fans out inside the architecture and comes back as one
+	// typed answer per (metric, key) cell.
+	res, err := arch.Query(repro.QueryRequest{
+		Metrics: []string{"uniq", "top", "lat"}, Key: probe, From: 0, To: now + 1,
+	})
 	must(err)
-	tk, err := arch.Query("top", probe, 0, now)
-	must(err)
-	l, err := arch.Query("lat", probe, 0, now)
-	must(err)
-	fmt.Printf("merged families for %s: distinct~%.0f  top1=%v  p99=%d\n",
-		probe, u.(*repro.DistinctSynopsis).Estimate(), tk.(*repro.TopKSynopsis).Top(1), l.(*repro.QuantileSynopsis).Quantile(0.99))
+	u, _ := res.At("uniq", probe)
+	tk, _ := res.At("top", probe)
+	l, _ := res.At("lat", probe)
+	fmt.Printf("merged families for %s: distinct~%d  top1=%v  p99=%d\n",
+		probe, u.Distinct(), tk.TopK(1), l.Quantile(0.99))
 
 	// A second boundary: the offset fence advances, nothing double counts.
-	pre := count(arch.Query("hits", probe, 0, now))
+	pre := count()
 	info, err = arch.RunBatch()
 	must(err)
-	post := count(arch.Query("hits", probe, 0, now))
+	post := count()
 	fmt.Printf("batch v%d: merged answer %d -> %d across the boundary (fence moved, no double count)\n",
 		info.Version, pre, post)
 }

@@ -4,7 +4,7 @@
 //   - producers append Zipf-keyed events to an mqlog topic (the durable
 //     input log of the Lambda Architecture);
 //   - a topology consumes the topic through a consumer group and sinks it
-//     into the store via StoreBolt tasks (the speed layer);
+//     into the store via SinkBolt tasks (the speed layer);
 //   - concurrent query workers issue range merge-queries against the
 //     store the whole time (the serving path);
 //   - when ingest finishes, the log is replayed into a fresh store (the
@@ -107,7 +107,7 @@ func main() {
 		}
 	}
 
-	// Speed layer: consumer-group spout -> StoreBolt topology, with
+	// Speed layer: consumer-group spout -> SinkBolt topology, with
 	// concurrent query workers hammering the store while it ingests.
 	group, err := mqlog.NewConsumerGroup(broker, topic, "speed-layer")
 	if err != nil {
@@ -137,7 +137,7 @@ func main() {
 			}
 			return engine.Message{Key: m.Key, Value: obs}, true
 		})
-		sink, err := engine.NewStoreBolt(st, nil)
+		sink, err := engine.NewSinkBolt(st, nil)
 		if err != nil {
 			panic(err)
 		}
@@ -170,10 +170,10 @@ func main() {
 					from = 0
 				}
 				page := fmt.Sprintf("page:/p%d", (q*31+i)%keySpace+1)
-				if _, err := speed.Query("uniques", page, from, now); err != nil {
-					panic(err)
-				}
-				if _, err := speed.Query("latency-us", page, from, now); err != nil {
+				// One multi-metric request replaces two point queries.
+				if _, err := speed.Query(store.QueryRequest{
+					Metrics: []string{"uniques", "latency-us"}, Key: page, From: from, To: now + 1,
+				}); err != nil {
 					panic(err)
 				}
 				queries.Add(2)
@@ -181,7 +181,7 @@ func main() {
 		}(q)
 	}
 
-	fmt.Printf("ingesting through StoreBolt topology (shards=%d) with %d concurrent queriers...\n",
+	fmt.Printf("ingesting through SinkBolt topology (shards=%d) with %d concurrent queriers...\n",
 		speed.Shards(), *queriers)
 	start := time.Now()
 	topoStats := runTopology(speed)
@@ -205,12 +205,12 @@ func main() {
 
 	// Serving snapshot: global top pages and per-page answers.
 	now := clock.Load()
-	syn, err := speed.Query("top-pages", "global", 0, now)
+	top, err := speed.Query(store.QueryRequest{Metric: "top-pages", Key: "global", From: 0, To: now + 1})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("\ntop pages (Space-Saving over all buckets):")
-	for _, c := range syn.(*store.TopK).Top(5) {
+	for _, c := range top.TopK(5) {
 		fmt.Printf("  %-12s ~%d views\n", c.Item, c.Count)
 	}
 
@@ -235,15 +235,22 @@ func main() {
 		keys = keys[:5]
 	}
 	agree := true
-	for _, page := range keys {
-		a, _ := speed.Query("uniques", page, 0, now)
-		b, _ := batch.Query("uniques", page, 0, now)
-		sa, sb := a.(*store.Distinct).Estimate(), b.(*store.Distinct).Estimate()
+	req := store.QueryRequest{Metric: "uniques", Keys: keys, From: 0, To: now + 1}
+	speedRes, err := speed.Query(req)
+	if err != nil {
+		panic(err)
+	}
+	batchRes, err := batch.Query(req)
+	if err != nil {
+		panic(err)
+	}
+	for i, a := range speedRes.Answers() {
+		sa, sb := a.Distinct(), batchRes.Answers()[i].Distinct()
 		match := "=="
 		if sa != sb {
 			match, agree = "!=", false
 		}
-		fmt.Printf("  %-12s speed %.0f %s batch %.0f\n", page, sa, match, sb)
+		fmt.Printf("  %-12s speed %d %s batch %d\n", a.Key, sa, match, sb)
 	}
 	if agree {
 		fmt.Println("layers agree: replaying the log reproduces the speed layer's state")

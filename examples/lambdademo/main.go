@@ -47,17 +47,26 @@ func main() {
 	}
 
 	probe := "metric-0"
-	count := func(syn repro.StoreSynopsis, err error) uint64 {
+	countStale := func(syn repro.StoreSynopsis, err error) uint64 {
 		if err != nil {
 			panic(err)
 		}
 		return syn.(*repro.FreqSynopsis).Count("hit")
 	}
+	// Merged answers come through the typed serving API: the Count
+	// accessor replaces the *FreqSynopsis type assertion.
+	count := func(key string) uint64 {
+		res, err := arch.Query(repro.QueryRequest{Metric: "hits", Key: key, From: 0, To: now + 1})
+		if err != nil {
+			panic(err)
+		}
+		return res.Count("hit")
+	}
 	report := func(stage string) {
 		fmt.Printf("%-28s master=%-7d staleness=%-6d batch-only(%s)=%-6d merged=%-6d exact=%-6d\n",
 			stage, arch.MasterLen(), arch.Staleness(), probe,
-			count(arch.BatchOnlyQuery("hits", probe, 0, now)),
-			count(arch.Query("hits", probe, 0, now)), exact[probe])
+			countStale(arch.BatchOnlyQuery("hits", probe, 0, now)),
+			count(probe), exact[probe])
 	}
 
 	appendBurst(20000)
@@ -84,7 +93,7 @@ func main() {
 	// answers are exact, and the offset fence guarantees no double count).
 	mismatches := 0
 	for k, v := range exact {
-		if count(arch.Query("hits", k, 0, now)) != v {
+		if count(k) != v {
 			mismatches++
 		}
 	}

@@ -1,0 +1,121 @@
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The root package is the public API; removing an export is a breaking
+// change for every downstream import. This golden test pins the exported
+// surface: an unintended removal (e.g. facade churn during a refactor)
+// fails with the missing names listed, and an intended addition or
+// removal is recorded explicitly by regenerating the golden file:
+//
+//	go test -run TestRootExportsGolden . -update-exports
+var updateExports = flag.Bool("update-exports", false, "rewrite testdata/exports.golden from the current API surface")
+
+const exportsGolden = "testdata/exports.golden"
+
+// rootExports parses the root package (non-test files) and returns its
+// exported top-level identifiers, one per kind-tagged line, sorted.
+func rootExports(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["repro"]
+	if !ok {
+		t.Fatalf("package repro not found in %v", pkgs)
+	}
+	var names []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			names = append(names, kind+" "+name)
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					add("func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", s.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestRootExportsGolden(t *testing.T) {
+	got := rootExports(t)
+	if *updateExports {
+		if err := os.WriteFile(exportsGolden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d exports to %s", len(got), exportsGolden)
+		return
+	}
+	raw, err := os.ReadFile(exportsGolden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-exports to create it): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+
+	gotSet := make(map[string]bool, len(got))
+	for _, n := range got {
+		gotSet[n] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, n := range want {
+		wantSet[n] = true
+	}
+	var removed, added []string
+	for _, n := range want {
+		if !gotSet[n] {
+			removed = append(removed, n)
+		}
+	}
+	for _, n := range got {
+		if !wantSet[n] {
+			added = append(added, n)
+		}
+	}
+	if len(removed) > 0 {
+		t.Errorf("root API exports REMOVED (breaking change — if intended, regenerate with -update-exports):\n  %s",
+			strings.Join(removed, "\n  "))
+	}
+	if len(added) > 0 {
+		t.Errorf("root API exports added but not recorded (regenerate with -update-exports):\n  %s",
+			strings.Join(added, "\n  "))
+	}
+	if t.Failed() {
+		fmt.Println("golden file:", exportsGolden)
+	}
+}

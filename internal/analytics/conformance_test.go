@@ -1,0 +1,341 @@
+// The Backend conformance suite: one set of assertions, run against
+// every serving implementation (sharded store, partitioned cluster
+// router, Lambda in both speed-layer modes), pinning the cross-backend
+// contract the package comment documents — identical unknown-metric
+// errors, identical empty-answer semantics, typed accessors per synopsis
+// family, half-open range bounds, and aggregate-equals-combined answers.
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dstore"
+	"repro/internal/lambda"
+	"repro/internal/store"
+)
+
+// Compile-time contract checks: dropping a Backend (or PointQuerier, or
+// the router's Flusher) method from any serving layer fails here, not at
+// a distant call site.
+var (
+	_ Backend = (*store.Store)(nil)
+	_ Backend = (*dstore.Router)(nil)
+	_ Backend = (*lambda.Architecture)(nil)
+
+	_ PointQuerier = (*store.Store)(nil)
+	_ PointQuerier = (*dstore.Router)(nil)
+	_ PointQuerier = (*lambda.Architecture)(nil)
+
+	_ Flusher = (*dstore.Router)(nil)
+	_ Flusher = (*lambda.Architecture)(nil)
+)
+
+// harness is one Backend under conformance: the implementation plus a
+// drain to reach read-your-writes (teardowns are t.Cleanup's).
+type harness struct {
+	name  string
+	be    Backend
+	drain func() error
+}
+
+func storeGeom() store.Config {
+	return store.Config{Shards: 4, BucketWidth: 10, RingBuckets: 64}
+}
+
+func newHarnesses(t *testing.T) []harness {
+	t.Helper()
+	st, err := store.New(storeGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := dstore.New(dstore.Config{Partitions: 4, Store: storeGeom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	single, err := lambda.New(lambda.Config{Partitions: 2, Batch: storeGeom(), Speed: storeGeom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(single.Close)
+
+	clustered, err := lambda.New(lambda.Config{
+		Batch:        storeGeom(),
+		Cluster:      &dstore.Config{Partitions: 4, Store: storeGeom()},
+		ClusterNodes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(clustered.Close)
+
+	none := func() error { return nil }
+	return []harness{
+		{name: "store", be: st, drain: none},
+		{name: "cluster-router", be: cl.Router(), drain: func() error {
+			if len(cl.NodeNames()) == 0 {
+				for i := 0; i < 2; i++ {
+					if _, err := cl.StartNode(); err != nil {
+						return err
+					}
+				}
+			}
+			return cl.Drain()
+		}},
+		{name: "lambda-single", be: single, drain: single.Drain},
+		{name: "lambda-cluster", be: clustered, drain: clustered.Drain},
+	}
+}
+
+// registerFamilies binds one metric per synopsis family. Identical
+// prototypes across backends, so answers must agree exactly.
+func registerFamilies(t *testing.T, be Backend) map[string]store.Prototype {
+	t.Helper()
+	hll, _ := store.NewDistinctProto(12, 7)
+	cm, _ := store.NewFreqProto(512, 4, 7)
+	topk, _ := store.NewTopKProto(32)
+	qd, _ := store.NewQuantileProto(16, 64)
+	protos := map[string]store.Prototype{"uniq": hll, "hits": cm, "top": topk, "lat": qd}
+	for name, p := range protos {
+		if err := be.RegisterMetric(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return protos
+}
+
+// feed streams the deterministic conformance dataset: keys k0..k3, times
+// [0, span), one observation per family per tick.
+func feed(t *testing.T, be Backend, span int64) {
+	t.Helper()
+	for i := int64(0); i < span; i++ {
+		key := fmt.Sprintf("k%d", i%4)
+		item := fmt.Sprintf("u%d", i%13)
+		for _, obs := range []store.Observation{
+			{Metric: "uniq", Key: key, Item: item, Time: i},
+			{Metric: "hits", Key: key, Item: item, Value: 2, Time: i},
+			{Metric: "top", Key: key, Item: item, Time: i},
+			{Metric: "lat", Key: key, Value: uint64(i), Time: i},
+		} {
+			if err := be.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+const conformanceSpan = 400
+
+func TestBackendConformance(t *testing.T) {
+	for _, h := range newHarnesses(t) {
+		t.Run(h.name, func(t *testing.T) {
+			protos := registerFamilies(t, h.be)
+			feed(t, h.be, conformanceSpan)
+			if err := h.drain(); err != nil {
+				t.Fatal(err)
+			}
+
+			t.Run("unknown-metric", func(t *testing.T) {
+				_, err := h.be.Query(store.QueryRequest{Metric: "nope", Key: "k0", From: 0, To: 10})
+				if !errors.Is(err, store.ErrUnknownMetric) {
+					t.Fatalf("query error %v, want ErrUnknownMetric", err)
+				}
+				err = h.be.Observe(store.Observation{Metric: "nope", Key: "k0", Item: "x", Time: 0})
+				if !errors.Is(err, store.ErrUnknownMetric) {
+					t.Fatalf("observe error %v, want ErrUnknownMetric", err)
+				}
+				if keys := h.be.Keys("nope"); len(keys) != 0 {
+					t.Fatalf("keys of unknown metric %v, want none (discovery, not validation)", keys)
+				}
+			})
+
+			t.Run("empty-not-error", func(t *testing.T) {
+				res, err := h.be.Query(store.QueryRequest{Metric: "uniq", Key: "ghost", From: 0, To: 10})
+				if err != nil {
+					t.Fatalf("known metric, absent key: %v", err)
+				}
+				if res.Len() != 1 || res.Items() != 0 {
+					t.Fatalf("ghost answer cells=%d items=%d, want 1 empty cell", res.Len(), res.Items())
+				}
+				if res.Raw() == nil {
+					t.Fatal("ghost answer has no synopsis")
+				}
+				// A range beyond the data is equally empty, equally not an error.
+				res, err = h.be.Query(store.QueryRequest{Metric: "uniq", Key: "k0", From: 10 * conformanceSpan, To: 20 * conformanceSpan})
+				if err != nil || res.Items() != 0 {
+					t.Fatalf("out-of-range answer items=%d err=%v", res.Items(), err)
+				}
+			})
+
+			t.Run("typed-accessors", func(t *testing.T) {
+				res, err := h.be.Query(store.QueryRequest{
+					Metrics: []string{"uniq", "hits", "top", "lat"},
+					Key:     "k1",
+					From:    0, To: conformanceSpan,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Len() != 4 {
+					t.Fatalf("cells %d, want 4", res.Len())
+				}
+				u, _ := res.At("uniq", "k1")
+				if u.Family() != store.FamilyDistinct {
+					t.Fatalf("uniq family %v", u.Family())
+				}
+				if got := u.Distinct(); got < 11 || got > 15 {
+					t.Fatalf("distinct %d, want ~13", got)
+				}
+				hc, _ := res.At("hits", "k1")
+				if hc.Family() != store.FamilyFreq || hc.Count("u1") == 0 {
+					t.Fatalf("hits family %v count %d", hc.Family(), hc.Count("u1"))
+				}
+				tk, _ := res.At("top", "k1")
+				if tk.Family() != store.FamilyTopK || len(tk.TopK(3)) != 3 {
+					t.Fatalf("top family %v topk %v", tk.Family(), tk.TopK(3))
+				}
+				l, _ := res.At("lat", "k1")
+				if l.Family() != store.FamilyQuantile {
+					t.Fatalf("lat family %v", l.Family())
+				}
+				// k1 sees values 1, 5, ..., 397: the median sits near 199.
+				if med := l.Quantile(0.5); med < 150 || med > 250 {
+					t.Fatalf("median %d", med)
+				}
+			})
+
+			t.Run("range-half-open", func(t *testing.T) {
+				// Bucket width 10; [0, 10) must exclude the tick-10 bucket.
+				narrow, err := h.be.Query(store.QueryRequest{Metric: "hits", Key: "k0", From: 0, To: 10})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wide, err := h.be.Query(store.QueryRequest{Metric: "hits", Key: "k0", From: 0, To: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if narrow.Items() >= wide.Items() {
+					t.Fatalf("[0,10) items %d not below [0,11) items %d", narrow.Items(), wide.Items())
+				}
+				if _, err := h.be.Query(store.QueryRequest{Metric: "hits", Key: "k0", From: 5, To: 5}); err == nil {
+					t.Fatal("empty range accepted")
+				}
+			})
+
+			t.Run("aggregate-vs-per-key", func(t *testing.T) {
+				keys := []string{"k2", "k0", "k3"}
+				for metric, proto := range protos {
+					agg, err := h.be.Query(store.QueryRequest{Metric: metric, Keys: keys, From: 0, To: conformanceSpan, Aggregate: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					perKey, err := h.be.Query(store.QueryRequest{Metric: metric, Keys: keys, From: 0, To: conformanceSpan})
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := store.CombineSnapshots(proto, perKey.RawSynopses()...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(agg.Raw(), want) {
+						t.Fatalf("%s: aggregate differs from per-key + CombineSnapshots", metric)
+					}
+				}
+			})
+
+			t.Run("all-keys", func(t *testing.T) {
+				res, err := h.be.Query(store.QueryRequest{Metric: "uniq", AllKeys: true, From: 0, To: conformanceSpan})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Len() != 4 {
+					t.Fatalf("cells %d, want 4", res.Len())
+				}
+				for i, a := range res.Answers() {
+					if want := fmt.Sprintf("k%d", i); a.Key != want || a.Items() == 0 {
+						t.Fatalf("cell %d: key %s items %d", i, a.Key, a.Items())
+					}
+				}
+				if keys := h.be.Keys("uniq"); len(keys) != 4 {
+					t.Fatalf("keys %v", keys)
+				}
+			})
+
+			t.Run("register-dup", func(t *testing.T) {
+				if err := h.be.RegisterMetric("uniq", protos["uniq"]); err == nil {
+					t.Fatal("re-registering a metric succeeded")
+				}
+			})
+
+			if h.be.Stats().Observed == 0 {
+				t.Fatal("stats report no observations")
+			}
+		})
+	}
+}
+
+// Every backend fed the same stream must answer the same numbers — the
+// platform design space differs in partitioning and staleness tradeoffs,
+// never in what a query means.
+func TestBackendsAgreeExactly(t *testing.T) {
+	hs := newHarnesses(t)
+	for _, h := range hs {
+		registerFamilies(t, h.be)
+		feed(t, h.be, conformanceSpan)
+		if err := h.drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := store.QueryRequest{
+		Metrics: []string{"uniq", "hits", "top", "lat"},
+		AllKeys: true,
+		From:    0, To: conformanceSpan,
+	}
+	base, err := hs[0].be.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs[1:] {
+		res, err := h.be.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != base.Len() {
+			t.Fatalf("%s: %d cells vs %d", h.name, res.Len(), base.Len())
+		}
+		for i, a := range res.Answers() {
+			b := base.Answers()[i]
+			if a.Metric != b.Metric || a.Key != b.Key {
+				t.Fatalf("%s: cell %d is %s/%s vs %s/%s", h.name, i, a.Metric, a.Key, b.Metric, b.Key)
+			}
+			switch a.Metric {
+			case "uniq":
+				if a.Distinct() != b.Distinct() {
+					t.Errorf("%s: %s/%s distinct %d vs %d", h.name, a.Metric, a.Key, a.Distinct(), b.Distinct())
+				}
+			case "hits":
+				for u := 0; u < 13; u++ {
+					item := fmt.Sprintf("u%d", u)
+					if a.Count(item) != b.Count(item) {
+						t.Errorf("%s: %s/%s count(%s) %d vs %d", h.name, a.Metric, a.Key, item, a.Count(item), b.Count(item))
+					}
+				}
+			case "top":
+				if !reflect.DeepEqual(a.TopK(5), b.TopK(5)) {
+					t.Errorf("%s: %s/%s topk diverges", h.name, a.Metric, a.Key)
+				}
+			case "lat":
+				for _, phi := range []float64{0.5, 0.9, 0.99} {
+					if a.Quantile(phi) != b.Quantile(phi) {
+						t.Errorf("%s: %s/%s q%.2f %d vs %d", h.name, a.Metric, a.Key, phi, a.Quantile(phi), b.Quantile(phi))
+					}
+				}
+			}
+		}
+	}
+}

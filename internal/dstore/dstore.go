@@ -223,7 +223,7 @@ func (c *Cluster) Metrics() []string {
 func (c *Cluster) proto(metric string) (store.Prototype, error) {
 	p, ok := c.metricTable()[metric]
 	if !ok {
-		return nil, fmt.Errorf("dstore: unknown metric %q", metric)
+		return nil, fmt.Errorf("dstore: %w %q", store.ErrUnknownMetric, metric)
 	}
 	return p, nil
 }

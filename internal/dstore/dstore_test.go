@@ -2,6 +2,8 @@ package dstore
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -106,22 +108,22 @@ func assertMatchesOracle(t *testing.T, c *Cluster, o *store.Store, to int64, con
 	}
 	checked := 0
 	for _, key := range keys {
-		cu, err := r.Query("uniq", key, 0, to)
+		cu, err := r.QueryPoint("uniq", key, 0, to)
 		if err != nil {
 			t.Fatalf("%s: cluster uniq query %s: %v", context, key, err)
 		}
-		ou, err := o.Query("uniq", key, 0, to)
+		ou, err := o.QueryPoint("uniq", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got, want := cu.(*store.Distinct).Estimate(), ou.(*store.Distinct).Estimate(); got != want {
 			t.Fatalf("%s: uniq[%s] cluster %v != oracle %v", context, key, got, want)
 		}
-		ch, err := r.Query("hits", key, 0, to)
+		ch, err := r.QueryPoint("hits", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
-		oh, err := o.Query("hits", key, 0, to)
+		oh, err := o.QueryPoint("hits", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,11 +133,11 @@ func assertMatchesOracle(t *testing.T, c *Cluster, o *store.Store, to int64, con
 				t.Fatalf("%s: hits[%s][%s] cluster %d != oracle %d", context, key, item, got, want)
 			}
 		}
-		cl, err := r.Query("lat", key, 0, to)
+		cl, err := r.QueryPoint("lat", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ol, err := o.Query("lat", key, 0, to)
+		ol, err := o.QueryPoint("lat", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -328,7 +330,7 @@ func TestQueryMergedScattersAcrossNodes(t *testing.T) {
 	}
 	parts := make([]store.Synopsis, 0, len(keys))
 	for _, key := range keys {
-		syn, err := o.Query("uniq", key, 0, to)
+		syn, err := o.QueryPoint("uniq", key, 0, to)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -431,5 +433,82 @@ func TestClusterRejectsInvalidStoreConfig(t *testing.T) {
 	}
 	if _, err := New(Config{Store: store.Config{MaxShardBytes: -1}}); err == nil {
 		t.Fatal("invalid byte budget accepted")
+	}
+}
+
+// The acceptance contract of the batched serving API: a multi-key
+// aggregate QueryRequest over the cluster answers byte-identically to
+// issuing per-key queries and combining them through CombineSnapshots in
+// sorted key order — for every synopsis family, across several nodes.
+func TestClusterAggregateByteIdenticalToPerKeyCombine(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 8})
+	for i := 0; i < 3; i++ {
+		if _, err := c.StartNode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to := feed(t, c, 6000, 31)
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Router()
+	keys := r.Keys("uniq") // sorted, deduplicated
+	if len(keys) < 8 {
+		t.Fatalf("only %d keys", len(keys))
+	}
+	protos := testProtos(t)
+	for metric, proto := range protos {
+		agg, err := r.Query(store.QueryRequest{Metric: metric, Keys: keys, From: 0, To: to + 1, Aggregate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []store.Synopsis
+		for _, key := range keys {
+			syn, err := r.QueryPoint(metric, key, 0, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, syn)
+		}
+		want, err := store.CombineSnapshots(proto, parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(agg.Raw(), want) {
+			t.Fatalf("%s: aggregate answer differs from per-key Query + CombineSnapshots", metric)
+		}
+	}
+	// QueryMerged is the same path through the legacy spelling.
+	merged, err := r.QueryMerged("uniq", keys, 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := r.Query(store.QueryRequest{Metric: "uniq", Keys: keys, From: 0, To: to + 1, Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, agg.Raw()) {
+		t.Fatal("QueryMerged diverges from the aggregate Query it wraps")
+	}
+}
+
+// A fan-out that cannot resolve its owners must say which partitions and
+// nodes were unreachable, not fail opaquely.
+func TestQueryReportsUnreachableNodes(t *testing.T) {
+	c := newTestCluster(t, Config{Partitions: 4})
+	// No nodes at all: every partition is unowned, and the error names the
+	// partitions the requested keys hash to.
+	_, err := c.Router().Query(store.QueryRequest{
+		Metric: "uniq", Keys: []string{"a", "b", "c", "d", "e", "f"}, From: 0, To: 10, Aggregate: true,
+	})
+	if err == nil {
+		t.Fatal("query on an empty cluster succeeded")
+	}
+	if !strings.Contains(err.Error(), "unowned") || !strings.Contains(err.Error(), "partitions") {
+		t.Fatalf("error does not name unowned partitions: %v", err)
+	}
+	if _, err := c.Router().QueryMerged("uniq", []string{"a", "b"}, 0, 10); err == nil ||
+		!strings.Contains(err.Error(), "unowned") {
+		t.Fatalf("QueryMerged error does not name unreachable state: %v", err)
 	}
 }

@@ -263,40 +263,35 @@ func (n *Node) waitServingAt(gen int) (*store.Store, bool) {
 	}
 }
 
-// Query answers a range merge-query from the node's local store, waiting
-// out an in-flight recovery first (callers route here because the node
-// owns the key's partition; an answer from a half-recovered store would
-// undercount). Router.Query additionally fences the answer against the
-// group generation; direct callers get the node's current serving store.
+// Query answers a legacy point query (inclusive [from, to]) from the
+// node's local store, waiting out an in-flight recovery first (callers
+// route here because the node owns the key's partition; an answer from a
+// half-recovered store would undercount). Router queries additionally
+// fence the answer against the group generation; direct callers get the
+// node's current serving store.
 func (n *Node) Query(metric, key string, from, to int64) (store.Synopsis, error) {
 	st, ok := n.waitServing()
 	if !ok {
 		return nil, errNodeStopped(n.name)
 	}
-	return st.Query(metric, key, from, to)
+	return st.QueryPoint(metric, key, from, to)
 }
 
-// queryMerged answers for a set of keys out of the store recovered for
-// generation >= gen, combined node-side so the router's scatter-gather
-// moves one partial synopsis per node, not one per key.
-func (n *Node) queryMerged(gen int, metric string, keys []string, from, to int64) (store.Synopsis, error) {
-	proto, err := n.c.proto(metric)
-	if err != nil {
-		return nil, err
-	}
+// queryKeys answers for a set of keys (sorted, deduplicated by the
+// router) out of the store recovered for generation >= gen: one batched
+// store query per node — the store groups the keys by shard and gathers
+// each shard under a single lock acquisition — returning one synopsis per
+// key, in key order.
+func (n *Node) queryKeys(gen int, metric string, keys []string, from, to int64) ([]store.Synopsis, error) {
 	st, ok := n.waitServingAt(gen)
 	if !ok {
 		return nil, errNodeStopped(n.name)
 	}
-	parts := make([]store.Synopsis, 0, len(keys))
-	for _, key := range keys {
-		syn, err := st.Query(metric, key, from, to)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, syn)
+	res, err := st.Query(store.QueryRequest{Metric: metric, Keys: keys, From: from, To: to})
+	if err != nil {
+		return nil, err
 	}
-	return store.CombineSnapshots(proto, parts...)
+	return res.RawSynopses(), nil
 }
 
 // keys returns the metric's keys resident on this node.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -82,111 +83,159 @@ func (r *Router) Flush() {
 	}
 }
 
-// owner resolves a key to the node currently serving its partition, plus
-// the group generation the assignment was read at (the fence value for
-// generation-checked queries — Owner returns both atomically).
-func (r *Router) owner(key string) (*Node, int, error) {
-	pid := r.c.topic.PartitionFor(key)
-	member, gen, ok := r.c.group.Owner(pid)
-	if !ok {
-		return nil, gen, fmt.Errorf("dstore: partition %d unowned (no live nodes)", pid)
-	}
-	n := r.c.node(member)
-	if n == nil {
-		// The member left between the Owner read and the node lookup; the
-		// group has rebalanced (or will momentarily). Retrying resolves
-		// against the new assignment.
-		return nil, gen, fmt.Errorf("dstore: partition %d owner %s is gone (rebalance in flight)", pid, member)
-	}
-	return n, gen, nil
+// RegisterMetric binds a metric on the cluster (see
+// Cluster.RegisterMetric) — the router is the cluster's analytics.Backend
+// face, so registration is reachable through it too.
+func (r *Router) RegisterMetric(name string, proto store.Prototype) error {
+	return r.c.RegisterMetric(name, proto)
 }
 
-// Query answers a range merge-query for one series by routing to the
-// node that owns the key's partition. The answer is generation-fenced:
-// the group generation is snapshotted, the owner must serve a store
-// recovered for at least that generation (waiting out an in-flight
-// recovery), and if a rebalance moved the generation meanwhile the
-// routing is redone — so the answer never comes from a store whose
-// assignment predates the ownership lookup (which could silently miss
-// the key's partition). Sustained membership churn surfaces as the
-// unowned/gone errors below, never as a wrong answer.
-func (r *Router) Query(metric, key string, from, to int64) (store.Synopsis, error) {
-	for {
-		n, gen, err := r.owner(key)
+// Stats snapshots the cluster's aggregated store counters — the
+// analytics.Backend form of Cluster.Stats (which additionally reports
+// node/recovery/lag counters).
+func (r *Router) Stats() store.Stats {
+	return r.c.Stats().Store
+}
+
+// unreachableError names exactly which partitions and members a fan-out
+// could not resolve — the difference between "the cluster is down" and
+// "node-3 is mid-rebalance" when a multi-key query fails.
+func unreachableError(op string, unowned []int, gone []string) error {
+	switch {
+	case len(unowned) > 0 && len(gone) > 0:
+		return fmt.Errorf("dstore: %s: partitions %v unowned and owners %v gone (rebalance in flight)", op, unowned, gone)
+	case len(unowned) > 0:
+		return fmt.Errorf("dstore: %s: partitions %v unowned (no live nodes)", op, unowned)
+	default:
+		return fmt.Errorf("dstore: %s: owners %v gone (rebalance in flight)", op, gone)
+	}
+}
+
+// nodeErrors composes the per-node failures of a scatter-gather into one
+// error naming every unreachable node, instead of surfacing whichever
+// partial failed first.
+func nodeErrors(op string, names []string, errs []error) error {
+	var parts []string
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
-		}
-		st, ok := n.waitServingAt(gen)
-		if !ok {
-			// The node stopped while we waited; re-resolve ownership.
-			continue
-		}
-		if r.c.group.Generation() == gen {
-			// The group did not rebalance across the lookup+wait, so the
-			// store we hold was recovered for exactly the assignment the
-			// routing decision used. It stays valid even if a rebalance
-			// lands during the merge below: a recovered store is never
-			// mutated into a different assignment, only replaced.
-			return st.Query(metric, key, from, to)
+			parts = append(parts, fmt.Sprintf("%s: %v", names[i], err))
 		}
 	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("dstore: %s: %d of %d nodes failed: %s", op, len(parts), len(names), strings.Join(parts, "; "))
 }
 
-// QueryMerged answers for the union of the given keys — e.g. site-wide
-// uniques over a set of pages — by scatter-gather: keys group by owning
-// node, each node combines its keys locally into one partial, and the
-// partials merge through store.CombineSnapshots in deterministic node
-// order. Duplicate keys are deduplicated first (a union contains each
-// series once; merging a key twice would double additive counts). The
-// merge is exact for merge-invariant synopses (HLL, Count-Min) and
-// within the usual sketch guarantees for the rest, which is the
-// tutorial's "algorithms should scale out" property end to end. Like
-// Query, the fan-out is generation-fenced and redone if a rebalance
-// races it.
-func (r *Router) QueryMerged(metric string, keys []string, from, to int64) (store.Synopsis, error) {
-	proto, err := r.c.proto(metric)
+// Query answers one serving-API request by scatter-gather: every
+// requested (metric, key) cell is grouped by owning node under ONE
+// assignment snapshot, the owning nodes are fanned out in parallel —
+// each node range-merges its keys per metric in batched store queries —
+// and the per-key partials come back in sorted key order, metric by
+// metric. The whole round is generation-fenced once: if a rebalance
+// moves the group generation across the gather, the routing is redone
+// against the new assignment, so an answer never comes from a store
+// whose assignment predates the ownership lookup, and a multi-metric
+// answer never mixes assignments across metrics. Sustained membership
+// churn surfaces as errors naming the unreachable partitions and nodes,
+// never as a wrong answer. Aggregate answers merge the per-key partials
+// in sorted key order through store.CombineSnapshots, byte-identical to
+// issuing per-key queries and combining them caller-side.
+func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
+	req, err := req.Normalize()
 	if err != nil {
-		return nil, err
+		return store.QueryResult{}, err
 	}
-	if from > to {
-		return nil, core.Errf("Router", "range", "from %d > to %d", from, to)
-	}
-	dedup := append([]string(nil), keys...)
-	slices.Sort(dedup)
-	dedup = slices.Compact(dedup)
-
-	for {
-		// One assignment snapshot resolves every key: per-key Owner calls
-		// would rescan the member list under the group lock once per key.
-		owners, gen := r.c.group.Owners()
-		byNode := make(map[*Node][]string)
-		var order []*Node
-		for _, key := range dedup {
-			pid := r.c.topic.PartitionFor(key)
-			member := owners[pid]
-			if member == "" {
-				return nil, fmt.Errorf("dstore: partition %d unowned (no live nodes)", pid)
-			}
-			n := r.c.node(member)
-			if n == nil {
-				return nil, fmt.Errorf("dstore: partition %d owner %s is gone (rebalance in flight)", pid, member)
-			}
-			if _, seen := byNode[n]; !seen {
-				order = append(order, n)
-			}
-			byNode[n] = append(byNode[n], key)
+	protos := make([]store.Prototype, len(req.Metrics))
+	for i, metric := range req.Metrics {
+		if protos[i], err = r.c.proto(metric); err != nil {
+			return store.QueryResult{}, err
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i].name < order[j].name })
+	}
+	// nodeReq is one node's slice of the fan-out: for each metric index,
+	// the node's keys (ascending request positions — grouping preserves
+	// the sorted key order) and where their answers scatter back to.
+	type nodeReq struct {
+		n    *Node
+		keys [][]string
+		pos  [][]int
+	}
+	for {
+		// One assignment snapshot resolves every cell of every metric:
+		// per-key Owner calls would rescan the member list under the group
+		// lock once per key, and per-metric snapshots could fence different
+		// metrics against different assignments.
+		owners, gen := r.c.group.Owners()
+		keysPer := make([][]string, len(req.Metrics))
+		for i, metric := range req.Metrics {
+			if req.AllKeys {
+				keysPer[i] = r.Keys(metric) // sorted and deduplicated
+			} else {
+				keysPer[i] = req.Keys
+			}
+		}
+		byName := make(map[string]*nodeReq)
+		var order []*nodeReq
+		var unowned []int
+		var gone []string
+		for mi := range req.Metrics {
+			for ki, key := range keysPer[mi] {
+				pid := r.c.topic.PartitionFor(key)
+				member := owners[pid]
+				if member == "" {
+					if !slices.Contains(unowned, pid) {
+						unowned = append(unowned, pid)
+					}
+					continue
+				}
+				nq, seen := byName[member]
+				if !seen {
+					n := r.c.node(member)
+					if n == nil {
+						if !slices.Contains(gone, member) {
+							gone = append(gone, member)
+						}
+						continue
+					}
+					nq = &nodeReq{n: n, keys: make([][]string, len(req.Metrics)), pos: make([][]int, len(req.Metrics))}
+					byName[member] = nq
+					order = append(order, nq)
+				}
+				nq.keys[mi] = append(nq.keys[mi], key)
+				nq.pos[mi] = append(nq.pos[mi], ki)
+			}
+		}
+		if len(unowned) > 0 || len(gone) > 0 {
+			sort.Ints(unowned)
+			sort.Strings(gone)
+			return store.QueryResult{}, unreachableError("query", unowned, gone)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].n.name < order[j].n.name })
 
-		partials := make([]store.Synopsis, len(order))
+		// One parallel round: each owning node answers all of its metrics'
+		// key slices (one batched store query per metric) in one goroutine.
+		names := make([]string, len(order))
+		partials := make([][][]store.Synopsis, len(order)) // [node][metric][key]
 		errs := make([]error, len(order))
 		var wg sync.WaitGroup
-		for i, n := range order {
+		for i, nq := range order {
+			names[i] = nq.n.name
+			partials[i] = make([][]store.Synopsis, len(req.Metrics))
 			wg.Add(1)
-			go func(i int, n *Node) {
+			go func(i int, nq *nodeReq) {
 				defer wg.Done()
-				partials[i], errs[i] = n.queryMerged(gen, metric, byNode[n], from, to)
-			}(i, n)
+				for mi, keys := range nq.keys {
+					if len(keys) == 0 {
+						continue
+					}
+					syns, err := nq.n.queryKeys(gen, req.Metrics[mi], keys, req.From, req.To)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					partials[i][mi] = syns
+				}
+			}(i, nq)
 		}
 		wg.Wait()
 		if r.c.group.Generation() != gen {
@@ -194,13 +243,77 @@ func (r *Router) QueryMerged(metric string, keys []string, from, to int64) (stor
 			// some partials) reflect a stale assignment. Redo the routing.
 			continue
 		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		if err := nodeErrors("query", names, errs); err != nil {
+			return store.QueryResult{}, err
+		}
+
+		// Scatter the partials back into per-metric, key-ordered slices and
+		// build the answer cells.
+		var answers []store.Answer
+		for mi, metric := range req.Metrics {
+			syns := make([]store.Synopsis, len(keysPer[mi]))
+			for i, nq := range order {
+				for j, pos := range nq.pos[mi] {
+					syns[pos] = partials[i][mi][j]
+				}
+			}
+			if req.Aggregate {
+				comb, err := store.CombineSnapshots(protos[mi], syns...)
+				if err != nil {
+					return store.QueryResult{}, err
+				}
+				answers = append(answers, store.NewAggregateAnswer(metric, comb))
+				continue
+			}
+			for j, key := range keysPer[mi] {
+				answers = append(answers, store.NewAnswer(metric, key, syns[j]))
 			}
 		}
-		return store.CombineSnapshots(proto, partials...)
+		return store.NewQueryResult(answers), nil
 	}
+}
+
+// QueryPoint answers a legacy point query (inclusive [from, to]) for one
+// series by routing to the node that owns the key's partition — a thin
+// wrapper over Query; see its fencing contract.
+func (r *Router) QueryPoint(metric, key string, from, to int64) (store.Synopsis, error) {
+	res, err := r.Query(store.PointRequest(metric, key, from, to))
+	if err != nil {
+		return nil, err
+	}
+	return res.Raw(), nil
+}
+
+// QueryMerged answers for the union of the given keys over the inclusive
+// range [from, to] — e.g. site-wide uniques over a set of pages — as an
+// aggregate Query: keys deduplicate and sort, owning nodes range-merge
+// their keys locally, and the per-key partials combine in sorted key
+// order through store.CombineSnapshots. The merge is exact for
+// merge-invariant synopses (HLL, Count-Min) and within the usual sketch
+// guarantees for the rest, which is the tutorial's "algorithms should
+// scale out" property end to end. A failed fan-out reports which
+// partitions were unowned or which nodes were unreachable by name.
+func (r *Router) QueryMerged(metric string, keys []string, from, to int64) (store.Synopsis, error) {
+	if len(keys) == 0 {
+		// The union over no series is the empty synopsis; skip the fan-out
+		// (and its validation of an arbitrary placeholder key).
+		proto, err := r.c.proto(metric)
+		if err != nil {
+			return nil, err
+		}
+		if from > to {
+			return nil, core.Errf("Router", "range", "from %d > to %d", from, to)
+		}
+		return proto(), nil
+	}
+	req := store.PointRequest(metric, "", from, to)
+	req.Keys = keys
+	req.Aggregate = true
+	res, err := r.Query(req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Raw(), nil
 }
 
 // Keys returns every key of the metric resident in the cluster: the

@@ -1,11 +1,11 @@
-// clusterbolt.go sinks topology streams into the partitioned store
-// cluster — the multi-node sibling of StoreBolt. Where a StoreBolt
-// applies observations to one local store, a ClusterBolt forwards them to
-// a dstore.Router, which partitions them by key onto the cluster's ingest
-// log in batched appends; the cluster's nodes consume and serve them.
-// This is the Section 3 shape end to end: topology -> log -> partitioned
-// state, with the log (not the bolt) as the durability and recovery
-// boundary.
+// clusterbolt.go is the partitioned-cluster face of the generic serving
+// sink — kept as a deprecated alias now that SinkBolt sinks into any
+// analytics.Backend. A cluster-backed SinkBolt forwards observations to a
+// dstore.Router, which partitions them by key onto the cluster's ingest
+// log in batched appends; a processed tuple is durable once appended and
+// becomes queryable when the owning node consumes it (Drain the cluster
+// for read-your-writes), and SinkBolt.Flush settles the router's
+// producer-side batches after a topology run.
 package engine
 
 import (
@@ -15,47 +15,21 @@ import (
 )
 
 // ClusterBolt forwards each message's observation to a cluster Router.
-type ClusterBolt struct {
-	r       *dstore.Router
-	extract func(Message) (store.Observation, bool)
-}
+//
+// Deprecated: ClusterBolt is SinkBolt; use NewSinkBolt with any
+// analytics.Backend.
+type ClusterBolt = SinkBolt
 
 // NewClusterBolt returns a bolt forwarding into r. extract maps a message
 // to an observation, returning false to skip the message; nil uses
-// DefaultExtract. One ClusterBolt is safe to share across tasks (via a
-// BoltFactory returning the same instance): the router buffers per
-// partition under its own locks.
+// DefaultExtract.
+//
+// Deprecated: use NewSinkBolt — a dstore.Router is an analytics.Backend.
 func NewClusterBolt(r *dstore.Router, extract func(Message) (store.Observation, bool)) (*ClusterBolt, error) {
 	if r == nil {
+		// Checked here, not in NewSinkBolt: a typed nil pointer would
+		// otherwise hide inside a non-nil interface value.
 		return nil, core.Errf("ClusterBolt", "router", "must be non-nil")
 	}
-	if extract == nil {
-		extract = DefaultExtract
-	}
-	return &ClusterBolt{r: r, extract: extract}, nil
-}
-
-// Process implements Bolt. A router error (unregistered metric, negative
-// time) fails the tuple tree, so under at-least-once semantics the tuple
-// is replayed; skipped messages (extract false) are not failures. Note
-// the bolt observes into the ingest log, not a store: a processed tuple
-// is durable once appended, and becomes queryable when the owning node
-// consumes it (Drain the cluster for read-your-writes).
-func (b *ClusterBolt) Process(m Message, _ func(Message)) error {
-	obs, ok := b.extract(m)
-	if !ok {
-		return nil
-	}
-	return b.r.Observe(obs)
-}
-
-// Flush appends the router's buffered observations to the log. Call it
-// after a topology run completes so the tail of the stream is not left
-// sitting in producer-side batches.
-func (b *ClusterBolt) Flush() { b.r.Flush() }
-
-// Factory returns a BoltFactory handing every task this same bolt,
-// the common parallelism-N wiring for a ClusterBolt.
-func (b *ClusterBolt) Factory() BoltFactory {
-	return func(int) Bolt { return b }
+	return NewSinkBolt(r, extract)
 }

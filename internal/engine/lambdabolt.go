@@ -1,10 +1,10 @@
-// lambdabolt.go sinks topology streams into the Lambda Architecture —
-// Figure 1's step 1 (dispatch to both layers) as a terminal bolt. Where a
-// StoreBolt feeds one speed-layer store and a ClusterBolt feeds a
-// partitioned cluster's log, a LambdaBolt feeds lambda.Architecture's
-// Append, which appends to the immutable master topic AND lands the
-// observation in the speed layer in one call — so one topology stream
-// drives batch recomputation and realtime serving from the same wire.
+// lambdabolt.go is the Lambda-Architecture face of the generic serving
+// sink — kept as a deprecated alias now that SinkBolt sinks into any
+// analytics.Backend. A Lambda-backed SinkBolt drives Figure 1's step 1:
+// every tuple's observation reaches Architecture.Observe, which appends
+// to the immutable master topic AND lands the observation in the speed
+// layer in one call — and because a rejected observation never reaches
+// the master log, an at-least-once replay cannot double-append.
 package engine
 
 import (
@@ -15,41 +15,22 @@ import (
 
 // LambdaBolt dispatches each message's observation into a Lambda
 // architecture (master log + speed layer).
-type LambdaBolt struct {
-	arch    *lambda.Architecture
-	extract func(Message) (store.Observation, bool)
-}
+//
+// Deprecated: LambdaBolt is SinkBolt; use NewSinkBolt with any
+// analytics.Backend.
+type LambdaBolt = SinkBolt
 
 // NewLambdaBolt returns a bolt sinking into arch. extract maps a message
 // to an observation, returning false to skip the message; nil uses
-// DefaultExtract. One LambdaBolt is safe to share across tasks (via a
-// BoltFactory returning the same instance): Append is safe for concurrent
-// writers in both speed-layer modes.
+// DefaultExtract.
+//
+// Deprecated: use NewSinkBolt — a lambda.Architecture is an
+// analytics.Backend.
 func NewLambdaBolt(arch *lambda.Architecture, extract func(Message) (store.Observation, bool)) (*LambdaBolt, error) {
 	if arch == nil {
+		// Checked here, not in NewSinkBolt: a typed nil pointer would
+		// otherwise hide inside a non-nil interface value.
 		return nil, core.Errf("LambdaBolt", "arch", "must be non-nil")
 	}
-	if extract == nil {
-		extract = DefaultExtract
-	}
-	return &LambdaBolt{arch: arch, extract: extract}, nil
-}
-
-// Process implements Bolt. An append error (unregistered metric, negative
-// time) fails the tuple tree, so under at-least-once semantics the tuple
-// is replayed — and because a rejected observation never reaches the
-// master log, the replay cannot double-append. Skipped messages (extract
-// false) are not failures.
-func (b *LambdaBolt) Process(m Message, _ func(Message)) error {
-	obs, ok := b.extract(m)
-	if !ok {
-		return nil
-	}
-	return b.arch.Append(obs)
-}
-
-// Factory returns a BoltFactory handing every task this same bolt,
-// the common parallelism-N wiring for a LambdaBolt.
-func (b *LambdaBolt) Factory() BoltFactory {
-	return func(int) Bolt { return b }
+	return NewSinkBolt(arch, extract)
 }

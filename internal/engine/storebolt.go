@@ -1,11 +1,7 @@
-// storebolt.go sinks topology streams into the sharded sketch store —
-// the glue between the processing layer (this engine) and the serving
-// layer (internal/store), playing the role Samza's local state stores or
-// MillWheel's persistent per-key state play in the tutorial's Section 3
-// platforms. A StoreBolt is a terminal bolt: it emits nothing downstream,
-// it only applies observations to the store, which concurrent query
-// traffic reads directly (the store's sharding makes the write path of
-// many bolt tasks and the read path of many queriers safe together).
+// storebolt.go is the sharded-store face of the generic serving sink —
+// kept as a deprecated alias now that SinkBolt sinks into any
+// analytics.Backend (the store, the cluster router, or a Lambda
+// architecture) through one implementation.
 package engine
 
 import (
@@ -14,54 +10,21 @@ import (
 )
 
 // StoreBolt applies each message's observation to a Store.
-type StoreBolt struct {
-	st      *store.Store
-	extract func(Message) (store.Observation, bool)
-}
+//
+// Deprecated: StoreBolt is SinkBolt; use NewSinkBolt with any
+// analytics.Backend.
+type StoreBolt = SinkBolt
 
 // NewStoreBolt returns a bolt sinking into st. extract maps a message to
 // an observation, returning false to skip the message; nil uses
-// DefaultExtract. One StoreBolt is safe to share across tasks (via a
-// BoltFactory returning the same instance): the store does its own
-// locking, per shard.
+// DefaultExtract.
+//
+// Deprecated: use NewSinkBolt — a store.Store is an analytics.Backend.
 func NewStoreBolt(st *store.Store, extract func(Message) (store.Observation, bool)) (*StoreBolt, error) {
 	if st == nil {
+		// Checked here, not in NewSinkBolt: a typed nil pointer would
+		// otherwise hide inside a non-nil interface value.
 		return nil, core.Errf("StoreBolt", "store", "must be non-nil")
 	}
-	if extract == nil {
-		extract = DefaultExtract
-	}
-	return &StoreBolt{st: st, extract: extract}, nil
-}
-
-// DefaultExtract accepts messages whose Value already is a
-// store.Observation (by value or pointer).
-func DefaultExtract(m Message) (store.Observation, bool) {
-	switch v := m.Value.(type) {
-	case store.Observation:
-		return v, true
-	case *store.Observation:
-		if v != nil {
-			return *v, true
-		}
-	}
-	return store.Observation{}, false
-}
-
-// Process implements Bolt. A store error fails the tuple tree, so under
-// at-least-once semantics a transient failure is replayed; skipped
-// messages (extract false) and late drops (counted by the store) are not
-// failures.
-func (b *StoreBolt) Process(m Message, _ func(Message)) error {
-	obs, ok := b.extract(m)
-	if !ok {
-		return nil
-	}
-	return b.st.Observe(obs)
-}
-
-// Factory returns a BoltFactory handing every task this same bolt,
-// the common parallelism-N wiring for a StoreBolt.
-func (b *StoreBolt) Factory() BoltFactory {
-	return func(int) Bolt { return b }
+	return NewSinkBolt(st, extract)
 }

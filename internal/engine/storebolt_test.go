@@ -92,7 +92,7 @@ func TestStoreBoltSinksTopologyStream(t *testing.T) {
 		t.Fatalf("entries %d, want 8", got.Entries)
 	}
 	for k := 0; k < 8; k++ {
-		syn, err := st.Query("uniques", fmt.Sprintf("page%d", k), 0, 299)
+		syn, err := st.QueryPoint("uniques", fmt.Sprintf("page%d", k), 0, 299)
 		if err != nil {
 			t.Fatal(err)
 		}

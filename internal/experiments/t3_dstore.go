@@ -194,38 +194,46 @@ func T3_1_ClusterStore() Table {
 	}
 
 	compare := func() (checked, mismatch int) {
-		for _, key := range oracle.Keys("uniq") {
-			cu, err := r.Query("uniq", key, 0, to)
-			if err != nil {
-				panic(err)
-			}
-			ou, _ := oracle.Query("uniq", key, 0, to)
-			if cu.(*store.Distinct).Estimate() != ou.(*store.Distinct).Estimate() {
-				mismatch++
-			}
-			checked++
-			ch, err := r.Query("hits", key, 0, to)
-			if err != nil {
-				panic(err)
-			}
-			oh, _ := oracle.Query("hits", key, 0, to)
-			for u := 0; u < 8; u++ {
-				item := fmt.Sprintf("u%d", u)
-				if ch.(*store.Freq).Count(item) != oh.(*store.Freq).Count(item) {
+		// One multi-metric, multi-key request per side replaces 3 x N point
+		// queries: the cluster side fans out to owning nodes (one batched
+		// store query each), the oracle side gathers per shard.
+		req := store.QueryRequest{
+			Metrics: []string{"uniq", "hits", "lat"},
+			Keys:    oracle.Keys("uniq"),
+			From:    0, To: to + 1,
+		}
+		cres, err := r.Query(req)
+		if err != nil {
+			panic(err)
+		}
+		ores, err := oracle.Query(req)
+		if err != nil {
+			panic(err)
+		}
+		ca, oa := cres.Answers(), ores.Answers()
+		for i, c := range ca {
+			o := oa[i]
+			switch c.Metric {
+			case "uniq":
+				if c.Distinct() != o.Distinct() {
 					mismatch++
 				}
 				checked++
-			}
-			cl, err := r.Query("lat", key, 0, to)
-			if err != nil {
-				panic(err)
-			}
-			ol, _ := oracle.Query("lat", key, 0, to)
-			for _, phi := range []float64{0.5, 0.9, 0.99} {
-				if cl.(*store.Quantiles).Quantile(phi) != ol.(*store.Quantiles).Quantile(phi) {
-					mismatch++
+			case "hits":
+				for u := 0; u < 8; u++ {
+					item := fmt.Sprintf("u%d", u)
+					if c.Count(item) != o.Count(item) {
+						mismatch++
+					}
+					checked++
 				}
-				checked++
+			case "lat":
+				for _, phi := range []float64{0.5, 0.9, 0.99} {
+					if c.Quantile(phi) != o.Quantile(phi) {
+						mismatch++
+					}
+					checked++
+				}
 			}
 		}
 		return checked, mismatch

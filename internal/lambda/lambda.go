@@ -42,6 +42,8 @@ package lambda
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -206,7 +208,7 @@ func (a *Architecture) proto(metric string) (store.Prototype, error) {
 	p, ok := a.protos[metric]
 	a.protoMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("lambda: unknown metric %q", metric)
+		return nil, fmt.Errorf("lambda: %w %q", store.ErrUnknownMetric, metric)
 	}
 	return p, nil
 }
@@ -353,58 +355,162 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 	return BatchInfo{Version: a.version.Load(), Ends: view.EndOffsets(), Applied: view.Applied(), Truncated: view.Truncated()}, nil
 }
 
-// Query answers a range merge-query by combining the batch and realtime
-// views (step 5): the sealed batch snapshot and the live speed snapshot
-// merge through store.CombineSnapshots into one synopsis, whatever the
-// metric's family. Before the first batch run the answer is the speed
-// layer's alone. In single-store mode the (batch view, speed store) pair
-// is snapshotted under the same read lock RunBatch's cutover writes both
-// sides under, so a query can never pair an old speed store with a new
-// batch view (which would double-count the inter-batch delta) or the
-// reverse (which would drop it).
-func (a *Architecture) Query(metric, key string, from, to int64) (store.Synopsis, error) {
+// Observe absorbs one observation — the analytics.Backend spelling of
+// Append (every observation a Lambda absorbs is dispatched to both
+// layers, so "observe" and "append to the master dataset" are the same
+// act here).
+func (a *Architecture) Observe(obs store.Observation) error { return a.Append(obs) }
+
+// Query answers one serving-API request by combining the batch and
+// realtime views (step 5): for every requested (metric, key) cell the
+// sealed batch snapshot and the live speed snapshot merge through
+// store.CombineSnapshots, whatever the metric's family; aggregate
+// requests then merge the per-key cells in sorted key order. Before the
+// first batch run the answer is the speed layer's alone. In single-store
+// mode the (batch view, speed store) pair is snapshotted under the same
+// read lock RunBatch's cutover writes both sides under, so a query can
+// never pair an old speed store with a new batch view (which would
+// double-count the inter-batch delta) or the reverse (which would drop
+// it); the speed side of every requested cell is gathered under that one
+// read lock, so a multi-key query costs one handoff-lock round-trip, not
+// one per key. In cluster mode the speed side is one generation-fenced
+// scatter-gather per metric.
+func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) {
 	if err := a.ensureStarted(); err != nil {
-		return nil, err
+		return store.QueryResult{}, err
 	}
-	proto, err := a.proto(metric)
+	req, err := req.Normalize()
 	if err != nil {
-		return nil, err
+		return store.QueryResult{}, err
 	}
+	protos := make([]store.Prototype, len(req.Metrics))
+	for i, metric := range req.Metrics {
+		if protos[i], err = a.proto(metric); err != nil {
+			return store.QueryResult{}, err
+		}
+	}
+
+	// Phase 1: snapshot the (batch view, speed layer) pair and gather the
+	// speed side of every cell. AllKeys resolves against the union of both
+	// layers' resident keys, so a key only the batch view still holds is
+	// answered too.
 	var view *store.FrozenView
-	var speedSyn store.Synopsis
+	keysPerMetric := make([][]string, len(req.Metrics))
+	speedPerMetric := make([][]store.Synopsis, len(req.Metrics))
+	gather := func(speed func(store.QueryRequest) (store.QueryResult, error), speedKeys func(string) []string) error {
+		for i, metric := range req.Metrics {
+			keys := req.Keys
+			if req.AllKeys {
+				keys = unionKeys(speedKeys(metric), viewKeys(view, metric))
+			}
+			keysPerMetric[i] = keys
+			if len(keys) == 0 {
+				continue
+			}
+			res, err := speed(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To})
+			if err != nil {
+				return err
+			}
+			speedPerMetric[i] = res.RawSynopses()
+		}
+		return nil
+	}
 	if a.cluster != nil {
 		// Cluster mode: the handoff is install-view-then-truncate, so a
 		// query racing a rebuild transiently double-covers (never drops)
 		// history; RunBatch drains before returning to restore exactness.
 		view = a.batch.Load()
-		if speedSyn, err = a.cluster.Router().Query(metric, key, from, to); err != nil {
-			return nil, err
+		r := a.cluster.Router()
+		if err := gather(r.Query, r.Keys); err != nil {
+			return store.QueryResult{}, err
 		}
 	} else {
 		a.speedMu.RLock()
 		view = a.batch.Load()
-		speedSyn, err = a.speed.Query(metric, key, from, to)
+		err := gather(a.speed.Query, a.speed.Keys)
 		a.speedMu.RUnlock()
 		if err != nil {
-			return nil, err
+			return store.QueryResult{}, err
 		}
 	}
-	var batchSyn store.Synopsis
-	if view != nil {
-		// The view is sealed, so querying it outside the lock is safe.
-		if batchSyn, err = view.Query(metric, key, from, to); err != nil {
-			return nil, err
+
+	// Phase 2: the view is sealed, so querying it outside the lock is
+	// safe; merge batch and speed cell-wise, then aggregate if asked.
+	var answers []store.Answer
+	for i, metric := range req.Metrics {
+		keys := keysPerMetric[i]
+		var batchSyns []store.Synopsis
+		if view != nil && len(keys) > 0 {
+			res, err := view.Query(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To})
+			if err != nil {
+				return store.QueryResult{}, err
+			}
+			batchSyns = res.RawSynopses()
+		}
+		merged := make([]store.Synopsis, len(keys))
+		for j := range keys {
+			var batchSyn, speedSyn store.Synopsis
+			if batchSyns != nil {
+				batchSyn = batchSyns[j]
+			}
+			if speedPerMetric[i] != nil {
+				speedSyn = speedPerMetric[i][j]
+			}
+			if merged[j], err = store.CombineSnapshots(protos[i], batchSyn, speedSyn); err != nil {
+				return store.QueryResult{}, err
+			}
+		}
+		if req.Aggregate {
+			comb, err := store.CombineSnapshots(protos[i], merged...)
+			if err != nil {
+				return store.QueryResult{}, err
+			}
+			answers = append(answers, store.NewAggregateAnswer(metric, comb))
+			continue
+		}
+		for j, key := range keys {
+			answers = append(answers, store.NewAnswer(metric, key, merged[j]))
 		}
 	}
-	return store.CombineSnapshots(proto, batchSyn, speedSyn)
+	return store.NewQueryResult(answers), nil
+}
+
+// viewKeys returns the metric's keys resident in the batch view (nil
+// before the first batch run).
+func viewKeys(view *store.FrozenView, metric string) []string {
+	if view == nil {
+		return nil
+	}
+	return view.Keys(metric)
+}
+
+// unionKeys merges key slices into one sorted, deduplicated union.
+func unionKeys(parts ...[]string) []string {
+	var out []string
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Strings(out)
+	return slices.Compact(out)
+}
+
+// QueryPoint answers a legacy point query (inclusive [from, to]) for one
+// series — a thin wrapper over Query; see its layer-pairing contract.
+func (a *Architecture) QueryPoint(metric, key string, from, to int64) (store.Synopsis, error) {
+	res, err := a.Query(store.PointRequest(metric, key, from, to))
+	if err != nil {
+		return nil, err
+	}
+	return res.Raw(), nil
 }
 
 // BatchOnlyQuery answers from the serving layer alone — the stale answer
 // a batch-only system would give between recomputes, used by the F1
 // staleness experiment. Before the first batch run it answers empty.
+// The range is inclusive, as in QueryPoint.
 func (a *Architecture) BatchOnlyQuery(metric, key string, from, to int64) (store.Synopsis, error) {
 	if view := a.batch.Load(); view != nil {
-		return view.Query(metric, key, from, to)
+		return view.QueryPoint(metric, key, from, to)
 	}
 	proto, err := a.proto(metric)
 	if err != nil {
@@ -502,6 +608,21 @@ func (a *Architecture) SpeedStats() store.Stats {
 	a.speedMu.RLock()
 	defer a.speedMu.RUnlock()
 	return a.speed.Stats()
+}
+
+// Stats snapshots the speed layer's store counters — the
+// analytics.Backend form of SpeedStats (the sealed batch view reports
+// separately via BatchView().Stats()).
+func (a *Architecture) Stats() store.Stats { return a.SpeedStats() }
+
+// Flush settles producer-side buffers: in cluster mode the router's
+// per-partition append batches reach the ingest log; in single-store mode
+// appends are synchronous and Flush is a no-op. engine.SinkBolt calls it
+// when a topology run completes.
+func (a *Architecture) Flush() {
+	if a.cluster != nil {
+		a.cluster.Router().Flush()
+	}
 }
 
 // FlushSpeedHot settles pending hot-key write-combining batches in the

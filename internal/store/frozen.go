@@ -87,10 +87,17 @@ func FreezeAt(cfg Config, protos map[string]Prototype, topic *mqlog.Topic, ends 
 	return v, nil
 }
 
-// Query answers a range merge-query from the sealed view; see Store.Query
-// for the semantics (a series the view never saw answers empty).
-func (v *FrozenView) Query(metric, key string, from, to int64) (Synopsis, error) {
-	return v.st.Query(metric, key, from, to)
+// Query answers a serving-API request from the sealed view; see
+// Store.Query for the semantics (a series the view never saw answers
+// empty).
+func (v *FrozenView) Query(req QueryRequest) (QueryResult, error) {
+	return v.st.Query(req)
+}
+
+// QueryPoint answers a legacy point query (inclusive [from, to]) from the
+// sealed view; see Store.QueryPoint.
+func (v *FrozenView) QueryPoint(metric, key string, from, to int64) (Synopsis, error) {
+	return v.st.QueryPoint(metric, key, from, to)
 }
 
 // Keys returns the metric's keys resident in the view.

@@ -1,0 +1,560 @@
+// query.go is the store's half of the unified serving API: the typed
+// request/response model every serving layer in this repository answers
+// through (analytics.Backend). A QueryRequest names one or more metrics,
+// one/many/all keys, a half-open [From, To) stream-time range and an
+// aggregate-vs-per-key flag; a QueryResult carries one Answer per
+// requested cell with typed accessors per synopsis family, so callers
+// stop type-asserting store.Synopsis at every call site.
+//
+// Batching is the point, not a convenience: a multi-key request against
+// the store groups its cold keys by home shard and gathers every key of a
+// shard under ONE read-lock acquisition (fanning the shards out in
+// parallel when more than one is involved), where N point queries would
+// pay N lock round-trips. Hot (splayed) keys take the same settle+gather
+// path a point query takes, key by key, because their buckets live under
+// the hot-key lock. The per-key answers a batched gather produces are
+// byte-identical to the point path's: same prototype construction, same
+// slot visit order, same open-under-lock / sealed-outside merge split.
+//
+// Aggregate answers merge the per-key synopses in sorted key order
+// through CombineSnapshots, so Aggregate is deterministically equal to
+// "per-key Query + CombineSnapshots" — the property the cluster's
+// scatter-gather parity test pins byte for byte.
+package store
+
+import (
+	"errors"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frequency"
+)
+
+// ErrUnknownMetric is the sentinel every serving backend (store, cluster
+// router, Lambda) wraps when a request names a metric that was never
+// registered. The unified contract (see analytics.Backend): an unknown
+// metric is an error carrying this sentinel; a registered metric with no
+// data for the requested key/range is an empty answer, never an error.
+var ErrUnknownMetric = errors.New("unknown metric")
+
+// QueryRequest describes one serving-API query. The zero value is not
+// valid: a request must name at least one metric (Metric or Metrics) and
+// a non-empty time range.
+type QueryRequest struct {
+	// Metric names the single metric to query. Ignored when Metrics is
+	// non-empty.
+	Metric string
+	// Metrics names several metrics to query in one request; answers come
+	// back grouped per metric, in this order (duplicates removed).
+	Metrics []string
+
+	// Key names the single key to query. Ignored when Keys is non-empty
+	// or AllKeys is set.
+	Key string
+	// Keys names several keys; answers come back in sorted key order,
+	// duplicates removed (a union names each series once).
+	Keys []string
+	// AllKeys queries every key currently resident for each metric,
+	// overriding Key/Keys.
+	AllKeys bool
+
+	// From and To bound the stream-time range, half-open: [From, To).
+	From int64
+	To   int64
+
+	// Aggregate collapses each metric's per-key answers into one combined
+	// answer (per-key synopses merged in sorted key order through
+	// CombineSnapshots) instead of returning one answer per key.
+	Aggregate bool
+}
+
+// Normalize returns the canonical form of the request — Metrics populated
+// (Metric folded in, duplicates dropped, order preserved), Keys sorted and
+// deduplicated (nil when AllKeys) — after validating the range. Backends
+// normalize on entry; calling it again is a no-op.
+func (r QueryRequest) Normalize() (QueryRequest, error) {
+	if r.To <= r.From {
+		return r, core.Errf("QueryRequest", "range", "[%d, %d) is empty", r.From, r.To)
+	}
+	metrics := r.Metrics
+	if len(metrics) == 0 {
+		metrics = []string{r.Metric}
+	}
+	seen := make(map[string]struct{}, len(metrics))
+	dedup := make([]string, 0, len(metrics))
+	for _, m := range metrics {
+		if _, dup := seen[m]; dup {
+			continue
+		}
+		seen[m] = struct{}{}
+		dedup = append(dedup, m)
+	}
+	r.Metrics, r.Metric = dedup, ""
+	if r.AllKeys {
+		r.Keys, r.Key = nil, ""
+		return r, nil
+	}
+	keys := r.Keys
+	if len(keys) == 0 {
+		keys = []string{r.Key}
+	}
+	keys = append([]string(nil), keys...)
+	slices.Sort(keys)
+	r.Keys, r.Key = slices.Compact(keys), ""
+	return r, nil
+}
+
+// PointRequest is the QueryRequest a legacy point query maps to: one
+// metric, one key, the inclusive range [from, to] widened to the half-open
+// [from, to+1) the new API speaks (clamped at the int64 horizon).
+func PointRequest(metric, key string, from, to int64) QueryRequest {
+	if to != math.MaxInt64 {
+		to++
+	}
+	return QueryRequest{Metric: metric, Key: key, From: from, To: to}
+}
+
+// Family identifies which synopsis family an Answer holds, and therefore
+// which typed accessors are meaningful on it.
+type Family uint8
+
+const (
+	// FamilyOther is any custom Synopsis the store has no typed view for;
+	// use Answer.Raw.
+	FamilyOther Family = iota
+	// FamilyDistinct is a cardinality synopsis (*Distinct): Distinct().
+	FamilyDistinct
+	// FamilyFreq is a per-item frequency synopsis (*Freq): Count(item).
+	FamilyFreq
+	// FamilyTopK is a heavy-hitter synopsis (*TopK): TopK(k), Count(item).
+	FamilyTopK
+	// FamilyQuantile is a value-distribution synopsis (*Quantiles):
+	// Quantile(phi).
+	FamilyQuantile
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyDistinct:
+		return "distinct"
+	case FamilyFreq:
+		return "freq"
+	case FamilyTopK:
+		return "topk"
+	case FamilyQuantile:
+		return "quantile"
+	default:
+		return "other"
+	}
+}
+
+// familyOf classifies a synopsis by its concrete adapter type.
+func familyOf(s Synopsis) Family {
+	switch s.(type) {
+	case *Distinct:
+		return FamilyDistinct
+	case *Freq:
+		return FamilyFreq
+	case *TopK:
+		return FamilyTopK
+	case *Quantiles:
+		return FamilyQuantile
+	default:
+		return FamilyOther
+	}
+}
+
+// Answer is one cell of a QueryResult: the merged synopsis for one
+// (metric, key) series, or — when the request aggregated — for the union
+// of a metric's requested keys. The typed accessors answer zero values
+// when asked a question the underlying family cannot answer (check
+// Family, or use Raw for the escape hatch); an Answer whose series was
+// never written is an empty synopsis, not an error.
+type Answer struct {
+	// Metric is the metric this answer belongs to.
+	Metric string
+	// Key is the series key, or "" for an aggregate answer.
+	Key string
+	// Aggregate marks the combined answer of a metric's key union.
+	Aggregate bool
+
+	syn Synopsis
+}
+
+// NewAnswer assembles one per-key answer cell — the constructor backend
+// implementations outside this package build QueryResults with.
+func NewAnswer(metric, key string, syn Synopsis) Answer {
+	return Answer{Metric: metric, Key: key, syn: syn}
+}
+
+// NewAggregateAnswer assembles one aggregate answer cell.
+func NewAggregateAnswer(metric string, syn Synopsis) Answer {
+	return Answer{Metric: metric, Aggregate: true, syn: syn}
+}
+
+// Raw returns the merged synopsis itself — the escape hatch for custom
+// families and for callers that need Merge/Bytes. Nil only on the zero
+// Answer.
+func (a Answer) Raw() Synopsis { return a.syn }
+
+// Family reports which synopsis family the answer holds.
+func (a Answer) Family() Family {
+	if a.syn == nil {
+		return FamilyOther
+	}
+	return familyOf(a.syn)
+}
+
+// Items reports how many observations the answer's synopsis absorbed
+// (0 for a never-written series).
+func (a Answer) Items() uint64 {
+	if a.syn == nil {
+		return 0
+	}
+	return a.syn.Items()
+}
+
+// Distinct returns the estimated distinct count for a FamilyDistinct
+// answer, rounded to the nearest integer; 0 for other families.
+func (a Answer) Distinct() uint64 {
+	if d, ok := a.syn.(*Distinct); ok {
+		return uint64(math.Round(d.Estimate()))
+	}
+	return 0
+}
+
+// Count returns the estimated occurrence count of item for FamilyFreq and
+// FamilyTopK answers; 0 for other families.
+func (a Answer) Count(item string) uint64 {
+	switch s := a.syn.(type) {
+	case *Freq:
+		return s.Count(item)
+	case *TopK:
+		return s.Count(item)
+	default:
+		return 0
+	}
+}
+
+// TopK returns the k highest-count items of a FamilyTopK answer; nil for
+// other families.
+func (a Answer) TopK(k int) []frequency.Counted {
+	if t, ok := a.syn.(*TopK); ok {
+		return t.Top(k)
+	}
+	return nil
+}
+
+// Quantile returns the estimated phi-quantile of a FamilyQuantile
+// answer's observed values; 0 for other families.
+func (a Answer) Quantile(phi float64) uint64 {
+	if q, ok := a.syn.(*Quantiles); ok {
+		return q.Quantile(phi)
+	}
+	return 0
+}
+
+// QueryResult is the typed response of a serving-API query: one Answer
+// per requested (metric, key) cell — or per metric when the request
+// aggregated — ordered by the request's metric order, then sorted key
+// order. For the common single-cell request the accessors on QueryResult
+// itself delegate to the first (only) answer, so
+//
+//	res, _ := be.Query(store.QueryRequest{Metric: "uniques", Key: "home", From: 0, To: 60})
+//	res.Distinct()
+//
+// reads exactly like the old point query, minus the type assertion.
+type QueryResult struct {
+	answers []Answer
+}
+
+// NewQueryResult assembles a result from answer cells — the constructor
+// backend implementations outside this package use.
+func NewQueryResult(answers []Answer) QueryResult { return QueryResult{answers: answers} }
+
+// Answers returns every answer cell, in request order (metrics in request
+// order, keys sorted). The slice is the result's backing array; treat it
+// as read-only.
+func (r QueryResult) Answers() []Answer { return r.answers }
+
+// RawSynopses unwraps every answer cell into its merged synopsis, in
+// answer order — the bridge for code (backend internals, combiners)
+// that moves synopses rather than typed answers.
+func (r QueryResult) RawSynopses() []Synopsis {
+	out := make([]Synopsis, len(r.answers))
+	for i, a := range r.answers {
+		out[i] = a.syn
+	}
+	return out
+}
+
+// Len returns the number of answer cells.
+func (r QueryResult) Len() int { return len(r.answers) }
+
+// At returns the answer for one (metric, key) cell. For aggregate
+// requests, key is "" (see Aggregate on Answer).
+func (r QueryResult) At(metric, key string) (Answer, bool) {
+	for _, a := range r.answers {
+		if a.Metric == metric && a.Key == key {
+			return a, true
+		}
+	}
+	return Answer{}, false
+}
+
+// first returns the first answer cell, or the zero Answer.
+func (r QueryResult) first() Answer {
+	if len(r.answers) == 0 {
+		return Answer{}
+	}
+	return r.answers[0]
+}
+
+// Raw returns the first answer's synopsis (see Answer.Raw).
+func (r QueryResult) Raw() Synopsis { return r.first().Raw() }
+
+// Family returns the first answer's synopsis family.
+func (r QueryResult) Family() Family { return r.first().Family() }
+
+// Items returns the first answer's absorbed-observation count.
+func (r QueryResult) Items() uint64 { return r.first().Items() }
+
+// Distinct returns the first answer's estimated distinct count.
+func (r QueryResult) Distinct() uint64 { return r.first().Distinct() }
+
+// Count returns the first answer's estimated count of item.
+func (r QueryResult) Count(item string) uint64 { return r.first().Count(item) }
+
+// TopK returns the first answer's k heaviest items.
+func (r QueryResult) TopK(k int) []frequency.Counted { return r.first().TopK(k) }
+
+// Quantile returns the first answer's estimated phi-quantile.
+func (r QueryResult) Quantile(phi float64) uint64 { return r.first().Quantile(phi) }
+
+// ---- Store implementation ----
+
+// Query answers one serving-API request (see QueryRequest): every
+// requested (metric, key) cell is range-merged exactly as QueryPoint
+// would, but cold keys sharing a shard are gathered under one read-lock
+// acquisition and distinct shards gather in parallel, so a multi-key
+// request costs one lock round-trip per touched shard instead of one per
+// key. Unknown metrics fail with ErrUnknownMetric; series the store never
+// saw answer empty synopses.
+func (s *Store) Query(req QueryRequest) (QueryResult, error) {
+	req, err := req.Normalize()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	fromB := req.From / s.cfg.BucketWidth
+	toB := (req.To - 1) / s.cfg.BucketWidth
+	var answers []Answer
+	for _, metric := range req.Metrics {
+		proto, err := s.proto(metric)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		keys := req.Keys
+		if req.AllKeys {
+			keys = append([]string(nil), s.Keys(metric)...)
+			slices.Sort(keys)
+			keys = slices.Compact(keys)
+		}
+		syns, err := s.queryKeys(metric, proto, keys, fromB, toB)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		s.queries.Add(uint64(len(keys)))
+		if req.Aggregate {
+			comb, err := CombineSnapshots(proto, syns...)
+			if err != nil {
+				return QueryResult{}, err
+			}
+			answers = append(answers, NewAggregateAnswer(metric, comb))
+			continue
+		}
+		for i, key := range keys {
+			answers = append(answers, NewAnswer(metric, key, syns[i]))
+		}
+	}
+	return NewQueryResult(answers), nil
+}
+
+// QueryPoint answers a range merge-query for one series over the
+// inclusive stream-time range [from, to] and returns the merged synopsis
+// — the legacy point query, now a thin wrapper over Query. The result is
+// private to the caller and reflects a consistent snapshot; querying a
+// series the store has never seen returns an empty synopsis, not an error
+// — absence of writes is a valid answer.
+func (s *Store) QueryPoint(metric, key string, from, to int64) (Synopsis, error) {
+	res, err := s.Query(PointRequest(metric, key, from, to))
+	if err != nil {
+		return nil, err
+	}
+	return res.Raw(), nil
+}
+
+// keyGather accumulates one key's bucket merge during a batched gather.
+type keyGather struct {
+	k      entryKey
+	pos    int // index into the request's key slice
+	result Synopsis
+	sealed []Synopsis
+}
+
+// queryKeys range-merges the metric's buckets of every key over bucket
+// range [fromB, toB] and returns one synopsis per key, in key order.
+// Hot (splayed) keys take the point path's settle+gather; cold keys are
+// grouped by home shard and gathered with one read-lock acquisition per
+// shard, shards fanning out in parallel when more than one is involved.
+func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, toB int64) ([]Synopsis, error) {
+	out := make([]Synopsis, len(keys))
+	perShard := make(map[uint32][]*keyGather)
+	for i, key := range keys {
+		k := entryKey{metric: metric, key: key}
+		if s.hotRouteFor(k) != nil {
+			// The hot gather settles the key's pending batch and reads the
+			// replica rings under the hot-key lock; it cannot batch with
+			// cold shard gathers. Promotion racing this check is benign:
+			// both paths serve the same history (see queryOne).
+			syn, err := s.queryOne(proto, k, fromB, toB)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = syn
+			continue
+		}
+		idx := s.shardIndex(k)
+		perShard[idx] = append(perShard[idx], &keyGather{k: k, pos: i, result: proto()})
+	}
+	gatherShard := func(idx uint32, cells []*keyGather) error {
+		sh := s.shards[idx]
+		sh.mu.RLock()
+		for _, c := range cells {
+			e, ok := sh.entries[c.k]
+			if !ok {
+				continue
+			}
+			for j := range e.slots {
+				sl := &e.slots[j]
+				if sl.idx < fromB || sl.idx > toB || sl.syn == nil {
+					continue
+				}
+				if sl.sealed {
+					c.sealed = append(c.sealed, sl.syn)
+				} else if err := c.result.Merge(sl.syn); err != nil {
+					sh.mu.RUnlock()
+					return err
+				}
+			}
+		}
+		sh.mu.RUnlock()
+		// Sealed synopses are immutable; merge them lock-free, in the same
+		// slot order the point path uses, so answers match byte for byte.
+		for _, c := range cells {
+			for _, syn := range c.sealed {
+				if err := c.result.Merge(syn); err != nil {
+					return err
+				}
+			}
+			out[c.pos] = c.result
+		}
+		return nil
+	}
+	switch len(perShard) {
+	case 0:
+	case 1:
+		// The single-shard case (every point query lands here) runs inline:
+		// no goroutine, no WaitGroup, nothing the old point path didn't pay.
+		for idx, cells := range perShard {
+			if err := gatherShard(idx, cells); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		var wg sync.WaitGroup
+		errs := make([]error, 0, len(perShard))
+		var errMu sync.Mutex
+		for idx, cells := range perShard {
+			wg.Add(1)
+			go func(idx uint32, cells []*keyGather) {
+				defer wg.Done()
+				if err := gatherShard(idx, cells); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+			}(idx, cells)
+		}
+		wg.Wait()
+		if len(errs) > 0 {
+			return nil, errs[0]
+		}
+	}
+	return out, nil
+}
+
+// queryOne merges one series' buckets overlapping bucket range
+// [fromB, toB] into a fresh synopsis. Sealed buckets merge outside the
+// shard lock (they are immutable); still-open buckets merge under the
+// read lock. For a splayed hot key the gather spans all replica shards
+// under the hot-key read lock, so a concurrent demotion cannot
+// double-count a bucket mid-drain.
+func (s *Store) queryOne(proto Prototype, k entryKey, fromB, toB int64) (Synopsis, error) {
+	result := proto()
+
+	var sealed []Synopsis
+	var err error
+	gathered := false
+	if r := s.hotRouteFor(k); r != nil {
+		// Settle the key's pending write-combining batch first, so a
+		// single-writer flow reads its own writes.
+		if b := r.cur.Load(); b != nil && b.pos.Load() > 0 {
+			s.sealAndFlush(r, b, true)
+		}
+	}
+	if s.hotRouteFor(k) != nil {
+		s.hotRW.RLock()
+		if r := s.hotRouteFor(k); r != nil { // re-check: demotion may have won
+			// A replica that hasn't absorbed a flush recently can retain
+			// buckets an unsplayed ring would have expired; clamp the
+			// range to the window anchored at the key's overall high
+			// water so splaying never serves extra history.
+			maxNewest := r.newest.Load()
+			for _, idx := range r.shards {
+				sh := s.shards[idx]
+				sh.mu.RLock()
+				if e, ok := sh.entries[k]; ok && e.newest > maxNewest {
+					maxNewest = e.newest
+				}
+				sh.mu.RUnlock()
+			}
+			hotFromB := fromB
+			if minB := maxNewest - int64(s.cfg.RingBuckets); hotFromB <= minB {
+				hotFromB = minB + 1
+			}
+			for _, idx := range r.shards {
+				if sealed, err = s.gather(s.shards[idx], k, hotFromB, toB, result, sealed, true); err != nil {
+					s.hotRW.RUnlock()
+					return nil, err
+				}
+			}
+			gathered = true
+		}
+		s.hotRW.RUnlock()
+	}
+	if !gathered {
+		if sealed, err = s.gather(s.shards[s.shardIndex(k)], k, fromB, toB, result, sealed, false); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, syn := range sealed {
+		if err := result.Merge(syn); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}

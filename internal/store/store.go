@@ -394,7 +394,7 @@ func (s *Store) proto(metric string) (Prototype, error) {
 	p, ok := s.metrics[metric]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("store: unknown metric %q", metric)
+		return nil, fmt.Errorf("store: %w %q", ErrUnknownMetric, metric)
 	}
 	return p, nil
 }
@@ -665,81 +665,6 @@ func (s *Store) gather(sh *shard, k entryKey, fromB, toB int64, result Synopsis,
 	}
 	sh.mu.RUnlock()
 	return sealed, nil
-}
-
-// Query merges the entry's buckets overlapping stream-time range
-// [from, to] into a fresh synopsis and returns it. The result is private
-// to the caller and reflects a consistent snapshot: sealed buckets are
-// merged outside the shard lock (they are immutable), and still-open
-// buckets are merged under the read lock. For a splayed hot key the
-// gather spans all replica shards (under the hot-key read lock, so a
-// concurrent demotion cannot double-count a bucket mid-drain). Querying a
-// series the store has never seen returns an empty synopsis, not an error
-// — absence of writes is a valid answer.
-func (s *Store) Query(metric, key string, from, to int64) (Synopsis, error) {
-	proto, err := s.proto(metric)
-	if err != nil {
-		return nil, err
-	}
-	if from > to {
-		return nil, core.Errf("Store", "range", "from %d > to %d", from, to)
-	}
-	result := proto()
-	fromB, toB := from/s.cfg.BucketWidth, to/s.cfg.BucketWidth
-	k := entryKey{metric: metric, key: key}
-
-	var sealed []Synopsis
-	gathered := false
-	if r := s.hotRouteFor(k); r != nil {
-		// Settle the key's pending write-combining batch first, so a
-		// single-writer flow reads its own writes.
-		if b := r.cur.Load(); b != nil && b.pos.Load() > 0 {
-			s.sealAndFlush(r, b, true)
-		}
-	}
-	if s.hotRouteFor(k) != nil {
-		s.hotRW.RLock()
-		if r := s.hotRouteFor(k); r != nil { // re-check: demotion may have won
-			// A replica that hasn't absorbed a flush recently can retain
-			// buckets an unsplayed ring would have expired; clamp the
-			// range to the window anchored at the key's overall high
-			// water so splaying never serves extra history.
-			maxNewest := r.newest.Load()
-			for _, idx := range r.shards {
-				sh := s.shards[idx]
-				sh.mu.RLock()
-				if e, ok := sh.entries[k]; ok && e.newest > maxNewest {
-					maxNewest = e.newest
-				}
-				sh.mu.RUnlock()
-			}
-			hotFromB := fromB
-			if minB := maxNewest - int64(s.cfg.RingBuckets); hotFromB <= minB {
-				hotFromB = minB + 1
-			}
-			for _, idx := range r.shards {
-				if sealed, err = s.gather(s.shards[idx], k, hotFromB, toB, result, sealed, true); err != nil {
-					s.hotRW.RUnlock()
-					return nil, err
-				}
-			}
-			gathered = true
-		}
-		s.hotRW.RUnlock()
-	}
-	if !gathered {
-		if sealed, err = s.gather(s.shards[s.shardIndex(k)], k, fromB, toB, result, sealed, false); err != nil {
-			return nil, err
-		}
-	}
-
-	for _, syn := range sealed {
-		if err := result.Merge(syn); err != nil {
-			return nil, err
-		}
-	}
-	s.queries.Add(1)
-	return result, nil
 }
 
 // Keys returns every key of the metric currently resident in the store,

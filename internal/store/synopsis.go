@@ -212,6 +212,13 @@ func (t *TopK) Bytes() int { return t.ss.Bytes() }
 // Top returns the k highest-count items seen by the bucket(s).
 func (t *TopK) Top(k int) []frequency.Counted { return t.ss.TopK(k) }
 
+// Count returns the estimated occurrence count of item (0 when the item
+// fell out of the summary's k counters).
+func (t *TopK) Count(item string) uint64 {
+	c, _ := t.ss.Estimate(item)
+	return c
+}
+
 // ---- Quantiles (q-digest) ----
 
 // Quantiles is a bucket synopsis summarizing the distribution of the

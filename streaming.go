@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"repro/internal/analytics"
 	"repro/internal/anomaly"
 	"repro/internal/cardinality"
 	"repro/internal/cluster"
@@ -743,10 +744,14 @@ func DecodeObservation(data []byte) (StoreObservation, error) {
 }
 
 // StoreBolt sinks a topology stream into a SketchStore.
+//
+// Deprecated: StoreBolt is SinkBolt; use NewSinkBolt with any Backend.
 type StoreBolt = engine.StoreBolt
 
 // NewStoreBolt returns a bolt sinking into st; extract maps messages to
 // observations (nil accepts Message.Value of type StoreObservation).
+//
+// Deprecated: use NewSinkBolt — a SketchStore is a Backend.
 func NewStoreBolt(st *SketchStore, extract func(TupleMessage) (StoreObservation, bool)) (*StoreBolt, error) {
 	return engine.NewStoreBolt(st, extract)
 }
@@ -763,6 +768,66 @@ func CombineSnapshots(proto StorePrototype, parts ...StoreSynopsis) (StoreSynops
 // of log-based recovery (ReplayLog covers the whole-topic batch rebuild).
 func ReplayLogPartition(st *SketchStore, topic *LogTopic, pid int, from uint64, decode store.Decoder) (next uint64, applied uint64, truncated bool, err error) {
 	return store.ReplayPartition(st, topic, pid, from, decode)
+}
+
+// ---- Unified serving API (analytics.Backend) ----
+
+// Backend is the unified serving contract: SketchStore, ClusterRouter and
+// Lambda all satisfy it, so one call site can query the speed store, the
+// partitioned cluster or the Lambda batch+speed merge interchangeably.
+// See internal/analytics for the exact cross-backend semantics (unknown
+// metrics error with ErrUnknownMetric; registered metrics with no data
+// answer empty cells).
+type Backend = analytics.Backend
+
+// QueryRequest is one typed serving query: metric(s), one/many/all keys,
+// a half-open [From, To) stream-time range, and an aggregate-vs-per-key
+// flag. Multi-key requests fan out in parallel inside each backend
+// (per-shard gather in the store, per owning node in the cluster), and
+// the cluster answers a whole multi-metric request in one
+// generation-fenced parallel round.
+type QueryRequest = store.QueryRequest
+
+// QueryResult is the typed response: one QueryAnswer per requested cell,
+// with typed accessors (Distinct, Count, TopK, Quantile, Raw) replacing
+// caller-side synopsis type assertions.
+type QueryResult = store.QueryResult
+
+// QueryAnswer is one cell of a QueryResult: the merged synopsis of one
+// (metric, key) series or of a metric's aggregated key union.
+type QueryAnswer = store.Answer
+
+// SynopsisFamily identifies which synopsis family an answer holds and
+// therefore which typed accessors are meaningful on it.
+type SynopsisFamily = store.Family
+
+// The synopsis families a QueryAnswer can report.
+const (
+	FamilyOther    = store.FamilyOther
+	FamilyDistinct = store.FamilyDistinct
+	FamilyFreq     = store.FamilyFreq
+	FamilyTopK     = store.FamilyTopK
+	FamilyQuantile = store.FamilyQuantile
+)
+
+// ErrUnknownMetric is the sentinel every Backend wraps when a request or
+// observation names a metric that was never registered.
+var ErrUnknownMetric = store.ErrUnknownMetric
+
+// PointRequest maps a legacy point query (one metric, one key, inclusive
+// [from, to]) onto the QueryRequest it is equivalent to.
+func PointRequest(metric, key string, from, to int64) QueryRequest {
+	return store.PointRequest(metric, key, from, to)
+}
+
+// SinkBolt sinks a topology stream into any serving Backend — the one
+// terminal bolt that replaces StoreBolt/ClusterBolt/LambdaBolt.
+type SinkBolt = engine.SinkBolt
+
+// NewSinkBolt returns a bolt sinking into be; extract maps messages to
+// observations (nil accepts Message.Value of type StoreObservation).
+func NewSinkBolt(be Backend, extract func(TupleMessage) (StoreObservation, bool)) (*SinkBolt, error) {
+	return engine.NewSinkBolt(be, extract)
 }
 
 // ---- Partitioned store cluster (multi-node serving over mqlog) ----
@@ -791,10 +856,14 @@ type ClusterRouter = dstore.Router
 func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) { return dstore.New(cfg) }
 
 // ClusterBolt forwards a topology stream into a cluster's router.
+//
+// Deprecated: ClusterBolt is SinkBolt; use NewSinkBolt with any Backend.
 type ClusterBolt = engine.ClusterBolt
 
 // NewClusterBolt returns a bolt forwarding into r; extract maps messages
 // to observations (nil accepts Message.Value of type StoreObservation).
+//
+// Deprecated: use NewSinkBolt — a ClusterRouter is a Backend.
 func NewClusterBolt(r *ClusterRouter, extract func(TupleMessage) (StoreObservation, bool)) (*ClusterBolt, error) {
 	return engine.NewClusterBolt(r, extract)
 }
@@ -856,10 +925,14 @@ type LogReader = mqlog.Reader
 
 // LambdaBolt sinks a topology stream into a Lambda architecture,
 // dispatching every tuple to both the master log and the speed layer.
+//
+// Deprecated: LambdaBolt is SinkBolt; use NewSinkBolt with any Backend.
 type LambdaBolt = engine.LambdaBolt
 
 // NewLambdaBolt returns a bolt sinking into arch; extract maps messages
 // to observations (nil accepts Message.Value of type StoreObservation).
+//
+// Deprecated: use NewSinkBolt — a Lambda is a Backend.
 func NewLambdaBolt(arch *Lambda, extract func(TupleMessage) (StoreObservation, bool)) (*LambdaBolt, error) {
 	return engine.NewLambdaBolt(arch, extract)
 }

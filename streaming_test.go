@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -144,7 +145,7 @@ func TestFacadeLambda(t *testing.T) {
 	if err := arch.Append(repro.StoreObservation{Metric: "hits", Key: "k", Item: "u", Value: 3, Time: 1}); err != nil {
 		t.Fatal(err)
 	}
-	syn, err := arch.Query("hits", "k", 0, 10)
+	syn, err := arch.QueryPoint("hits", "k", 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,12 +160,100 @@ func TestFacadeLambda(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs, err := view.Query("hits", "k", 0, 10)
+	vs, err := view.QueryPoint("hits", "k", 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := vs.(*repro.FreqSynopsis).Count("u"); got != 8 {
 		t.Fatalf("facade frozen view count %d, want 8", got)
+	}
+}
+
+// The unified serving API through the facade: all three serving layers
+// satisfy repro.Backend, answer typed QueryRequests, and agree on the
+// unknown-metric sentinel.
+func TestFacadeBackend(t *testing.T) {
+	geom := repro.SketchStoreConfig{Shards: 4, BucketWidth: 10, RingBuckets: 64}
+	proto, err := repro.NewDistinctProto(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := repro.NewSketchStore(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := repro.NewStoreCluster(repro.StoreClusterConfig{Partitions: 4, Store: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	arch, err := repro.NewLambda(repro.LambdaConfig{Partitions: 2, Batch: geom, Speed: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+
+	backends := []repro.Backend{st, cl.Router(), arch}
+	for _, be := range backends {
+		if err := be.RegisterMetric("uniques", proto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.StartNode(); err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range backends {
+		for i := 0; i < 100; i++ {
+			if err := be.Observe(repro.StoreObservation{
+				Metric: "uniques", Key: "home", Item: fmt.Sprintf("u%d", i%40), Time: int64(i % 50),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, be := range backends {
+		res, err := be.Query(repro.QueryRequest{Metric: "uniques", Key: "home", From: 0, To: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Family() != repro.FamilyDistinct {
+			t.Fatalf("family %v, want distinct", res.Family())
+		}
+		if got := res.Distinct(); got < 35 || got > 45 {
+			t.Fatalf("typed distinct %d, want ~40", got)
+		}
+		// The typed path equals the legacy point wrapper.
+		syn, err := be.(interface {
+			QueryPoint(metric, key string, from, to int64) (repro.StoreSynopsis, error)
+		}).QueryPoint("uniques", "home", 0, 49)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := syn.(*repro.DistinctSynopsis).Estimate(); float64(res.Distinct()) != math.Round(want) {
+			t.Fatalf("typed %d != point %f", res.Distinct(), want)
+		}
+		// Unified error semantics: unknown metrics carry the sentinel...
+		if _, err := be.Query(repro.QueryRequest{Metric: "nope", Key: "home", From: 0, To: 50}); !errors.Is(err, repro.ErrUnknownMetric) {
+			t.Fatalf("unknown metric error %v, want ErrUnknownMetric", err)
+		}
+		// ...and a known metric with no data answers empty, not an error.
+		res, err = be.Query(repro.QueryRequest{Metric: "uniques", Key: "ghost", From: 0, To: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Items() != 0 {
+			t.Fatalf("ghost key items %d, want 0", res.Items())
+		}
+		if got := be.Keys("uniques"); len(got) != 1 || got[0] != "home" {
+			t.Fatalf("keys %v, want [home]", got)
+		}
+		if be.Stats().Observed == 0 {
+			t.Fatal("stats observed 0")
+		}
 	}
 }
 
@@ -255,7 +344,7 @@ func TestFacadePredictors(t *testing.T) {
 }
 
 // The sketch-store facade covers the full speed/batch loop: ingest via a
-// StoreBolt topology, concurrent range queries, and a rebuild from the
+// SinkBolt topology, concurrent range queries, and a rebuild from the
 // log that matches the live store.
 func TestFacadeSketchStore(t *testing.T) {
 	protos := map[string]repro.StorePrototype{}
@@ -321,7 +410,7 @@ func TestFacadeSketchStore(t *testing.T) {
 		queue = queue[1:]
 		return repro.TupleMessage{Key: obs.Key, Value: obs}, true
 	})
-	sink, err := repro.NewStoreBolt(st, nil)
+	sink, err := repro.NewSinkBolt(st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,11 +436,11 @@ func TestFacadeSketchStore(t *testing.T) {
 	}
 	for k := 0; k < 4; k++ {
 		key := fmt.Sprintf("page%d", k)
-		a, err := st.Query("uniques", key, 0, 499)
+		a, err := st.QueryPoint("uniques", key, 0, 499)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := batch.Query("uniques", key, 0, 499)
+		b, err := batch.QueryPoint("uniques", key, 0, 499)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -428,11 +517,11 @@ func TestFacadeStoreCluster(t *testing.T) {
 	}
 	var parts []repro.StoreSynopsis
 	for _, key := range keys {
-		a, err := r.Query("uniques", key, 0, 499)
+		a, err := r.QueryPoint("uniques", key, 0, 499)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := batch.Query("uniques", key, 0, 499)
+		b, err := batch.QueryPoint("uniques", key, 0, 499)
 		if err != nil {
 			t.Fatal(err)
 		}
