@@ -1,0 +1,166 @@
+// Command benchjson runs the serving-layer benchmarks (`go test -bench`
+// over the store, mqlog and lambda packages plus the root experiment
+// benchmarks) and renders the results as stable, diff-friendly JSON —
+// the regenerator behind the checked-in BENCH_store.json baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson > BENCH_store.json
+//	go run ./cmd/benchjson -bench 'StoreIngest' -pkg ./internal/store
+//	go run ./cmd/benchjson -file bench.txt        # parse an existing run
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in machine-readable form. Extra holds
+// custom b.ReportMetric columns (e.g. "obs/sec") verbatim.
+type Result struct {
+	Package     string             `json:"package,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the whole JSON document: enough machine context to judge
+// whether a delta is hardware or code.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Command   string   `json:"command"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+	pkgs := flag.String("pkg", "./internal/store,./internal/mqlog,./internal/lambda,.", "comma-separated packages to benchmark")
+	benchtime := flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
+	count := flag.Int("count", 1, "runs per benchmark (go test -count)")
+	file := flag.String("file", "", "parse this `go test -bench` output instead of running anything (\"-\" for stdin)")
+	flag.Parse()
+
+	var out string
+	var cmdline string
+	if *file != "" {
+		b, err := readInput(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		out, cmdline = b, "parsed from "+*file
+	} else {
+		args := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, strings.Split(*pkgs, ",")...)
+		cmdline = "go " + strings.Join(args, " ")
+		fmt.Fprintf(os.Stderr, "benchjson: %s\n", cmdline)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		b, err := cmd.Output()
+		if err != nil {
+			fatal("%s: %v", cmdline, err)
+		}
+		out = string(b)
+	}
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Command:   cmdline,
+	}
+	report.CPU, report.Results = parse(out)
+	if len(report.Results) == 0 {
+		fatal("no benchmark lines in output")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func readInput(file string) (string, error) {
+	if file == "-" {
+		var sb strings.Builder
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		return sb.String(), sc.Err()
+	}
+	b, err := os.ReadFile(file)
+	return string(b), err
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse walks `go test -bench` output: pkg:/cpu: context lines set the
+// current package and machine, Benchmark lines become Results.
+func parse(out string) (cpu string, results []Result) {
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Package: pkg, Name: m[1], Iterations: iters}
+		// The tail alternates "<value> <unit>" pairs: ns/op, B/op,
+		// allocs/op, then any ReportMetric extras.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return cpu, results
+}

@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/dstore [-nodes 4] [-events 200000] [-partitions 8]
+//	go run ./cmd/dstore [-nodes 4] [-events 200000] [-partitions 8] [-metrics :9090]
 package main
 
 import (
@@ -25,9 +25,11 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/dstore"
 	"repro/internal/engine"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -35,7 +37,19 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	events := flag.Int("events", 200000, "events to ingest")
 	partitions := flag.Int("partitions", 8, "ingest topic partitions")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
+	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
 	flag.Parse()
+
+	// Telemetry is opt-in: with no -metrics flag, reg stays nil and the
+	// SetTelemetry/Instrument calls below are no-ops.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New()
+		srv := telemetry.Serve(*metricsAddr, reg)
+		defer srv.Close()
+		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+	}
 
 	const (
 		keySpace    = 64
@@ -69,6 +83,10 @@ func main() {
 			panic(err)
 		}
 	}
+	// One call wires the whole cluster: ingest topic, consumer group,
+	// fan-out/recovery histograms, and every node store (including the
+	// stores rebuilt by the kill/rejoin rebalances below).
+	cluster.SetTelemetry(reg)
 	for i := 0; i < *nodes; i++ {
 		if _, err := cluster.StartNode(); err != nil {
 			panic(err)
@@ -105,7 +123,7 @@ func main() {
 	})
 	// The router is an analytics.Backend, so the generic serving sink
 	// drives it — the same bolt would drive a single store or a Lambda.
-	sink, err := engine.NewSinkBolt(cluster.Router(), nil)
+	sink, err := engine.NewSinkBolt(analytics.Instrument(cluster.Router(), reg, "cluster"), nil)
 	if err != nil {
 		panic(err)
 	}
@@ -233,5 +251,10 @@ func main() {
 		}
 		fmt.Printf("  %-8s partitions %v: %d entries, %d synopsis bytes, %d observations\n",
 			name, cluster.Assignment(name), st.Entries, st.Bytes, st.Observed)
+	}
+
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Printf("\nserving metrics on %s for %s (scrape now)...\n", *metricsAddr, *linger)
+		time.Sleep(*linger)
 	}
 }

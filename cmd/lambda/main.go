@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -26,7 +27,21 @@ import (
 
 func main() {
 	clusterMode := flag.Bool("cluster", false, "serve the speed layer from a partitioned store cluster")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
+	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
 	flag.Parse()
+
+	// Telemetry is opt-in: with no -metrics flag, reg stays nil and the
+	// SetTelemetry/Instrument calls below are no-ops. With -cluster the
+	// scrape covers all four layers at once: lambda, dstore, the store
+	// underneath each node, and the mqlog master topic.
+	var reg *repro.Telemetry
+	if *metricsAddr != "" {
+		reg = repro.NewTelemetry()
+		srv := repro.ServeMetrics(*metricsAddr, reg)
+		defer srv.Close()
+		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+	}
 
 	geom := repro.SketchStoreConfig{Shards: 8, BucketWidth: 1000, RingBuckets: 64}
 	cfg := repro.LambdaConfig{Partitions: 4, Batch: geom, Speed: geom}
@@ -63,6 +78,7 @@ func main() {
 	must(arch.RegisterMetric("uniq", uniq))
 	must(arch.RegisterMetric("top", top))
 	must(arch.RegisterMetric("lat", lat))
+	arch.SetTelemetry(reg)
 
 	// ---- 1. Append: a topology streams into both layers at once ----
 	const tuples = 30000
@@ -83,7 +99,7 @@ func main() {
 	})
 	// The architecture is a repro.Backend, so the generic serving sink
 	// drives it — the same bolt would drive a store or a cluster router.
-	bolt, err := repro.NewSinkBolt(arch, nil)
+	bolt, err := repro.NewSinkBolt(repro.Instrument(arch, reg, "lambda"), nil)
 	must(err)
 	topo, err := repro.NewTopologyBuilder().
 		AddSpout("events", spout).
@@ -154,4 +170,9 @@ func main() {
 	post := count()
 	fmt.Printf("batch v%d: merged answer %d -> %d across the boundary (fence moved, no double count)\n",
 		info.Version, pre, post)
+
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Printf("\nserving metrics on %s for %s (scrape now)...\n", *metricsAddr, *linger)
+		time.Sleep(*linger)
+	}
 }

@@ -1,0 +1,254 @@
+// Command metricslint scrapes a Prometheus text-exposition payload (from
+// a URL, a file, or stdin) and lints it: every line must be valid
+// exposition syntax, every metric family must carry HELP and TYPE
+// comments, and every family name must match the repo's telemetry
+// convention ^analytics_[a-z_]+$ (histogram _bucket/_sum/_count series
+// are attributed to their family). CI runs it against a live demo's
+// -metrics endpoint, so -retries polls until the server is up.
+//
+// Usage:
+//
+//	go run ./cmd/metricslint -url http://localhost:9090/metrics [-retries 30]
+//	go run ./cmd/metricslint -file scrape.txt [-require store,mqlog]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var namePat = regexp.MustCompile(`^analytics_[a-z_]+$`)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL")
+	file := flag.String("file", "", "read this file instead of scraping (\"-\" for stdin)")
+	retries := flag.Int("retries", 30, "URL fetch attempts, one second apart (a demo may still be starting)")
+	minSamples := flag.Int("min-samples", 1, "fail unless the payload has at least this many samples")
+	require := flag.String("require", "", "comma-separated layer names; fail unless analytics_<layer>_ metrics are present for each")
+	flag.Parse()
+
+	payload, err := fetch(*url, *file, *retries)
+	if err != nil {
+		fail("%v", err)
+	}
+	families, samples, errs := lint(payload)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metricslint: %s\n", e)
+	}
+	if len(errs) > 0 {
+		fail("%d lint errors in %d lines", len(errs), strings.Count(payload, "\n"))
+	}
+	if samples < *minSamples {
+		fail("only %d samples (< %d)", samples, *minSamples)
+	}
+	if *require != "" {
+		var missing []string
+		for _, layer := range strings.Split(*require, ",") {
+			layer = strings.TrimSpace(layer)
+			prefix := "analytics_" + layer + "_"
+			found := false
+			for name := range families {
+				if strings.HasPrefix(name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = append(missing, layer)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			fail("no metrics from required layers: %s", strings.Join(missing, ", "))
+		}
+	}
+	fmt.Printf("metricslint: OK — %d families, %d samples\n", len(families), samples)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricslint: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func fetch(url, file string, retries int) (string, error) {
+	switch {
+	case url != "" && file != "":
+		return "", fmt.Errorf("-url and -file are mutually exclusive")
+	case file == "-":
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	case file != "":
+		b, err := os.ReadFile(file)
+		return string(b), err
+	case url == "":
+		return "", fmt.Errorf("one of -url or -file is required")
+	}
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(time.Second)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("%s: status %d", url, resp.StatusCode)
+			continue
+		}
+		return string(b), nil
+	}
+	return "", fmt.Errorf("%s unreachable after %d attempts: %v", url, retries, lastErr)
+}
+
+// family accumulates what the linter learned about one metric family.
+type family struct {
+	help, typ string
+	samples   int
+}
+
+// lint walks the payload line by line; it returns the families seen, the
+// total sample count, and one message per violation.
+func lint(payload string) (map[string]*family, int, []string) {
+	families := map[string]*family{}
+	fam := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	var errs []string
+	samples := 0
+	for i, line := range strings.Split(payload, "\n") {
+		bad := func(format string, args ...any) {
+			errs = append(errs, fmt.Sprintf("line %d: %s: %q", i+1, fmt.Sprintf(format, args...), line))
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				bad("comment is neither HELP nor TYPE")
+				continue
+			}
+			name := fields[2]
+			if !namePat.MatchString(name) {
+				bad("family %q does not match ^analytics_[a-z_]+$", name)
+			}
+			if fields[1] == "HELP" {
+				fam(name).help = fields[3]
+				continue
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				fam(name).typ = fields[3]
+			default:
+				bad("unknown TYPE %q", fields[3])
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			bad("%v", err)
+			continue
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && families[b] != nil {
+				base = b
+				break
+			}
+		}
+		if !namePat.MatchString(base) {
+			bad("metric %q does not match ^analytics_[a-z_]+$", base)
+		}
+		f, ok := families[base]
+		if !ok {
+			bad("sample for %q precedes its HELP/TYPE comments", base)
+			continue
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err != nil {
+			bad("value %q is not a float", rest)
+			continue
+		}
+		f.samples++
+		samples++
+	}
+	for name, f := range families {
+		if f.help == "" {
+			errs = append(errs, fmt.Sprintf("family %s has no HELP", name))
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Sprintf("family %s has no TYPE", name))
+		}
+		if f.samples == 0 {
+			errs = append(errs, fmt.Sprintf("family %s has no samples", name))
+		}
+	}
+	return families, samples, errs
+}
+
+// splitSample splits `name{labels} value` (or `name value`) into the
+// metric name and the value text, validating the label block's syntax.
+func splitSample(line string) (name, value string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return "", "", fmt.Errorf("no value")
+		}
+		return name, value, nil
+	}
+	name = line[:brace]
+	rest := line[brace+1:]
+	// Walk the label pairs, honoring \" escapes inside quoted values.
+	for {
+		if strings.HasPrefix(rest, "}") {
+			return name, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return "", "", fmt.Errorf("malformed label block")
+		}
+		labelName := rest[:eq]
+		if labelName == "" || strings.ContainsAny(labelName, `{}" `) {
+			return "", "", fmt.Errorf("malformed label name %q", labelName)
+		}
+		rest = rest[eq+2:]
+		for {
+			q := strings.IndexByte(rest, '"')
+			if q < 0 {
+				return "", "", fmt.Errorf("unterminated label value")
+			}
+			// Count the backslashes before the quote: an odd run escapes it.
+			bs := 0
+			for j := q - 1; j >= 0 && rest[j] == '\\'; j-- {
+				bs++
+			}
+			if bs%2 == 0 {
+				rest = rest[q+1:]
+				break
+			}
+			rest = rest[q+1:]
+		}
+		rest = strings.TrimPrefix(rest, ",")
+	}
+}

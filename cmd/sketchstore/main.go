@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/sketchstore [-shards 16] [-events 200000] [-queriers 4]
+//	go run ./cmd/sketchstore [-shards 16] [-events 200000] [-queriers 4] [-metrics :9090]
 package main
 
 import (
@@ -23,9 +23,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/engine"
 	"repro/internal/mqlog"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -34,7 +36,19 @@ func main() {
 	events := flag.Int("events", 200000, "events to ingest")
 	queriers := flag.Int("queriers", 4, "concurrent query workers")
 	hotReplicas := flag.Int("hotreplicas", 8, "sub-entries per detected hot key (0 disables hot-key splaying)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
+	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
 	flag.Parse()
+
+	// Telemetry is opt-in: with no -metrics flag, reg stays nil and every
+	// SetTelemetry/Instrument call below is a no-op.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New()
+		srv := telemetry.Serve(*metricsAddr, reg)
+		defer srv.Close()
+		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+	}
 
 	const (
 		keySpace    = 64
@@ -78,6 +92,7 @@ func main() {
 		return st
 	}
 	speed := newStore()
+	speed.SetTelemetry(reg)
 
 	// Durable input log.
 	broker := mqlog.NewBroker()
@@ -85,6 +100,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	topic.SetTelemetry(reg)
 
 	// Producers: Zipf-keyed page views with synthetic latency values,
 	// written to the log ahead of the topology (the log decouples them).
@@ -113,6 +129,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	group.SetTelemetry(reg)
 	group.Join("worker-0")
 	// The spout drains the consumer group through a local queue; spouts
 	// are pulled by a single feeder goroutine, so no locking is needed.
@@ -137,7 +154,9 @@ func main() {
 			}
 			return engine.Message{Key: m.Key, Value: obs}, true
 		})
-		sink, err := engine.NewSinkBolt(st, nil)
+		// Instrument gives the sink per-metric Observe counters and latency
+		// histograms on top of the store's own telemetry (no-op on nil reg).
+		sink, err := engine.NewSinkBolt(analytics.Instrument(st, reg, "store"), nil)
 		if err != nil {
 			panic(err)
 		}
@@ -256,5 +275,10 @@ func main() {
 		fmt.Println("layers agree: replaying the log reproduces the speed layer's state")
 	} else {
 		fmt.Println("layers diverge: investigate retention/ordering")
+	}
+
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Printf("\nserving metrics on %s for %s (scrape now)...\n", *metricsAddr, *linger)
+		time.Sleep(*linger)
 	}
 }

@@ -1,0 +1,172 @@
+// instrument.go is the generic telemetry decorator over the Backend
+// contract: wrap any serving backend and every Observe and Query is
+// counted per metric and timed, without the backend knowing. It lives
+// in this package (not internal/telemetry) because the decorator speaks
+// the Backend contract and telemetry must stay a leaf package the store
+// itself can import; the facade re-exports it as Instrument.
+package analytics
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// Instrument wraps be so every Observe and Query is recorded in reg:
+// per-backend/per-metric operation counters
+// (analytics_backend_observe_total, analytics_backend_query_total,
+// labeled backend=<name>, metric=<metric>), per-backend latency
+// histograms (analytics_backend_observe_seconds,
+// analytics_backend_query_seconds) and per-operation error counters
+// (analytics_backend_errors_total, labeled op=observe|query). The
+// wrapper delegates verbatim — answers are byte-identical to the bare
+// backend's, which the conformance suite pins — and implements
+// PointQuerier and Flusher: QueryPoint and Flush delegate when the
+// underlying backend has them, and otherwise fall back to the contract
+// equivalents (QueryPoint via Query on a PointRequest, Flush as a
+// no-op), matching the semantics every backend already guarantees.
+//
+// A nil registry returns be unchanged, so call sites can wire
+// instrumentation unconditionally.
+func Instrument(be Backend, reg *telemetry.Registry, backend string) Backend {
+	if reg == nil {
+		return be
+	}
+	return &instrumented{
+		be:      be,
+		reg:     reg,
+		backend: backend,
+		obsLat: reg.Histogram("analytics_backend_observe_seconds",
+			"Observe latency through the Backend contract.",
+			0, 1e-3, 64, "backend", backend),
+		qryLat: reg.Histogram("analytics_backend_query_seconds",
+			"Query latency through the Backend contract.",
+			0, 50e-3, 64, "backend", backend),
+		obsErrs: reg.Counter("analytics_backend_errors_total",
+			"Backend operations that returned an error.",
+			"backend", backend, "op", "observe"),
+		qryErrs: reg.Counter("analytics_backend_errors_total",
+			"Backend operations that returned an error.",
+			"backend", backend, "op", "query"),
+		obsCount: make(map[string]*telemetry.Counter),
+		qryCount: make(map[string]*telemetry.Counter),
+	}
+}
+
+type instrumented struct {
+	be      Backend
+	reg     *telemetry.Registry
+	backend string
+
+	obsLat  *telemetry.Histogram
+	qryLat  *telemetry.Histogram
+	obsErrs *telemetry.Counter
+	qryErrs *telemetry.Counter
+
+	// Per-metric operation counters, pre-created on RegisterMetric (the
+	// contract requires registration before first use) and created
+	// lazily for anything that slips past — e.g. a backend wrapped
+	// after its metrics were registered.
+	mu       sync.RWMutex
+	obsCount map[string]*telemetry.Counter
+	qryCount map[string]*telemetry.Counter
+}
+
+// counterFor returns the per-metric counter from m, registering the
+// series on first sight. family is the metric family name.
+func (in *instrumented) counterFor(m map[string]*telemetry.Counter, family, metric string) *telemetry.Counter {
+	in.mu.RLock()
+	c, ok := m[metric]
+	in.mu.RUnlock()
+	if ok {
+		return c
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c, ok = m[metric]; ok {
+		return c
+	}
+	c = in.reg.Counter(family, "Backend operations by metric.",
+		"backend", in.backend, "metric", metric)
+	m[metric] = c
+	return c
+}
+
+func (in *instrumented) RegisterMetric(name string, proto store.Prototype) error {
+	if err := in.be.RegisterMetric(name, proto); err != nil {
+		return err
+	}
+	// Pre-create the metric's series so the hot paths take the RLock.
+	in.counterFor(in.obsCount, "analytics_backend_observe_total", name)
+	in.counterFor(in.qryCount, "analytics_backend_query_total", name)
+	return nil
+}
+
+func (in *instrumented) Observe(obs store.Observation) error {
+	t0 := time.Now()
+	err := in.be.Observe(obs)
+	in.obsLat.ObserveSince(t0)
+	if err != nil {
+		in.obsErrs.Inc()
+		return err
+	}
+	in.counterFor(in.obsCount, "analytics_backend_observe_total", obs.Metric).Inc()
+	return nil
+}
+
+func (in *instrumented) Query(req store.QueryRequest) (store.QueryResult, error) {
+	t0 := time.Now()
+	res, err := in.be.Query(req)
+	in.qryLat.ObserveSince(t0)
+	if err != nil {
+		in.qryErrs.Inc()
+		return res, err
+	}
+	if len(req.Metrics) == 0 {
+		in.counterFor(in.qryCount, "analytics_backend_query_total", req.Metric).Inc()
+	} else {
+		for _, m := range req.Metrics {
+			in.counterFor(in.qryCount, "analytics_backend_query_total", m).Inc()
+		}
+	}
+	return res, nil
+}
+
+func (in *instrumented) Keys(metric string) []string { return in.be.Keys(metric) }
+
+func (in *instrumented) Stats() store.Stats { return in.be.Stats() }
+
+// QueryPoint counts as a query against the metric; it delegates to the
+// backend's own PointQuerier when it has one and otherwise takes the
+// contract-equivalent Query path (every backend's QueryPoint is pinned
+// to be a thin wrapper over Query, so the answers are identical).
+func (in *instrumented) QueryPoint(metric, key string, from, to int64) (store.Synopsis, error) {
+	if pq, ok := in.be.(PointQuerier); ok {
+		t0 := time.Now()
+		syn, err := pq.QueryPoint(metric, key, from, to)
+		in.qryLat.ObserveSince(t0)
+		if err != nil {
+			in.qryErrs.Inc()
+			return syn, err
+		}
+		in.counterFor(in.qryCount, "analytics_backend_query_total", metric).Inc()
+		return syn, nil
+	}
+	res, err := in.Query(store.PointRequest(metric, key, from, to))
+	if err != nil {
+		return nil, err
+	}
+	return res.Raw(), nil
+}
+
+// Flush settles the backend's producer-side buffers when it has any.
+func (in *instrumented) Flush() {
+	if f, ok := in.be.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap returns the wrapped backend.
+func (in *instrumented) Unwrap() Backend { return in.be }

@@ -135,6 +135,14 @@ type Cluster struct {
 	// floor are excluded from every store rebuilt after the fence moved.
 	floors atomic.Pointer[[]uint64]
 
+	// tel is the cluster's telemetry wiring (telemetry.go), swapped
+	// atomically because SetTelemetry may race already-running node
+	// event loops. fenceRejected and unreachable are always-on atomics:
+	// generation-fence commit rejections and failed query fan-outs.
+	tel           atomic.Pointer[clusterTel]
+	fenceRejected atomic.Uint64
+	unreachable   atomic.Uint64
+
 	mu     sync.Mutex
 	nodes  map[string]*Node
 	nextID int

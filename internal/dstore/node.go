@@ -139,6 +139,7 @@ func (n *Node) run() {
 				// longer own — the next loop iteration rebuilds it from
 				// the log, which also re-reads the uncommitted batch, so
 				// nothing is double-counted or lost.
+				n.c.fenceRejected.Add(1)
 				break
 			}
 		}
@@ -152,6 +153,7 @@ func (n *Node) run() {
 // again mid-recovery the attempt is abandoned; the event loop retries
 // against the new assignment.
 func (n *Node) recover(gen int) {
+	start := time.Now()
 	// Leave serving mode: queries block on serveCh until the swap.
 	n.mu.Lock()
 	if n.st != nil {
@@ -171,6 +173,11 @@ func (n *Node) recover(gen int) {
 		case <-time.After(time.Millisecond):
 		}
 		return
+	}
+	if t := n.c.tel.Load(); t != nil {
+		// Wire the fresh store before it serves: re-registration re-binds
+		// the node's metric series to the rebuilt store's counters.
+		st.SetTelemetry(t.reg, "layer", "dstore", "node", n.name)
 	}
 	// Replay through a filtering decoder: a poison message (undecodable,
 	// unregistered metric, negative time) is counted and skipped, exactly
@@ -211,6 +218,7 @@ func (n *Node) recover(gen int) {
 			next = end + 1
 		}
 		if !n.c.group.CommitFenced(n.name, gen, pid, next) {
+			n.c.fenceRejected.Add(1)
 			return
 		}
 	}
@@ -224,6 +232,7 @@ func (n *Node) recover(gen int) {
 	close(n.serveCh)
 	n.mu.Unlock()
 	n.recoveries.Add(1)
+	n.c.observeRecovery(start)
 }
 
 // waitServing blocks until the node has a recovered store (or was

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mqlog"
@@ -208,6 +209,7 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		if len(unowned) > 0 || len(gone) > 0 {
 			sort.Ints(unowned)
 			sort.Strings(gone)
+			r.c.unreachable.Add(1)
 			return store.QueryResult{}, unreachableError("query", unowned, gone)
 		}
 		sort.Slice(order, func(i, j int) bool { return order[i].n.name < order[j].n.name })
@@ -217,6 +219,11 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		names := make([]string, len(order))
 		partials := make([][][]store.Synopsis, len(order)) // [node][metric][key]
 		errs := make([]error, len(order))
+		var fanStart time.Time
+		tel := r.c.tel.Load()
+		if tel != nil {
+			fanStart = time.Now()
+		}
 		var wg sync.WaitGroup
 		for i, nq := range order {
 			names[i] = nq.n.name
@@ -238,12 +245,16 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 			}(i, nq)
 		}
 		wg.Wait()
+		if tel != nil {
+			tel.scatter.ObserveSince(fanStart)
+		}
 		if r.c.group.Generation() != gen {
 			// A rebalance raced the fan-out; the grouping (and possibly
 			// some partials) reflect a stale assignment. Redo the routing.
 			continue
 		}
 		if err := nodeErrors("query", names, errs); err != nil {
+			r.c.unreachable.Add(1)
 			return store.QueryResult{}, err
 		}
 

@@ -1,0 +1,86 @@
+// telemetry.go wires the cluster into a telemetry.Registry: aggregate
+// node counters and lag at scrape time, recovery-replay and
+// scatter-gather latency histograms on the hot paths (nil-gated), the
+// ingest topic's and consumer group's mqlog metrics, and per-node store
+// metrics (layer="dstore", node=<name>) re-bound on every recovery
+// rebuild.
+package dstore
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// clusterTel is the cluster's published telemetry wiring; nodes and the
+// router read it through an atomic pointer so SetTelemetry can be
+// called while the cluster is live.
+type clusterTel struct {
+	reg      *telemetry.Registry
+	recovery *telemetry.Histogram
+	scatter  *telemetry.Histogram
+}
+
+// SetTelemetry registers the cluster's metrics with reg. Safe to call
+// on a live cluster: node event loops pick the wiring up atomically,
+// and each node's store is (re-)instrumented when it is next rebuilt —
+// stores already serving are wired immediately. A nil registry is a
+// no-op.
+func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	labels := []string{"layer", "dstore"}
+	reg.GaugeFunc("analytics_dstore_nodes",
+		"Live cluster nodes.",
+		func() float64 { return float64(len(c.liveNodes())) }, labels...)
+	reg.GaugeFunc("analytics_dstore_lag",
+		"Unconsumed ingest-log messages across the group.",
+		func() float64 { return float64(c.Lag()) }, labels...)
+	reg.CounterFunc("analytics_dstore_recoveries_total",
+		"Completed node recoveries across live nodes (includes first starts).",
+		func() uint64 { return c.Stats().Recoveries }, labels...)
+	reg.CounterFunc("analytics_dstore_applied_total",
+		"Observations applied by live node event loops.",
+		func() uint64 { return c.Stats().Applied }, labels...)
+	reg.CounterFunc("analytics_dstore_replayed_total",
+		"Observations applied by recovery replays on live nodes.",
+		func() uint64 { return c.Stats().Replayed }, labels...)
+	reg.CounterFunc("analytics_dstore_rejected_total",
+		"Messages dropped by decode or store errors on live nodes.",
+		func() uint64 { return c.Stats().Rejected }, labels...)
+	reg.CounterFunc("analytics_dstore_fence_rejections_total",
+		"Generation-fenced commits refused (stale owner or mid-rebalance).",
+		func() uint64 { return c.fenceRejected.Load() }, labels...)
+	reg.CounterFunc("analytics_dstore_unreachable_total",
+		"Query fan-outs failed on unowned partitions or unreachable nodes.",
+		func() uint64 { return c.unreachable.Load() }, labels...)
+
+	tel := &clusterTel{
+		reg: reg,
+		recovery: reg.Histogram("analytics_dstore_recovery_seconds",
+			"Duration of completed node recoveries (store rebuild + replay).",
+			0, 1.0, 64, labels...),
+		scatter: reg.Histogram("analytics_dstore_scatter_gather_seconds",
+			"Scatter-gather fan-out duration of router queries.",
+			0, 10e-3, 64, labels...),
+	}
+	c.tel.Store(tel)
+
+	c.topic.SetTelemetry(reg)
+	c.group.SetTelemetry(reg)
+	// Instrument stores already serving; recovering nodes wire their
+	// fresh store themselves when the rebuild completes.
+	for _, n := range c.liveNodes() {
+		if st := n.currentStore(); st != nil {
+			st.SetTelemetry(reg, "layer", "dstore", "node", n.name)
+		}
+	}
+}
+
+// observeRecovery records a completed recovery's duration.
+func (c *Cluster) observeRecovery(start time.Time) {
+	if t := c.tel.Load(); t != nil {
+		t.recovery.ObserveSince(start)
+	}
+}

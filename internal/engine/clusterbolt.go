@@ -17,14 +17,16 @@ import (
 // ClusterBolt forwards each message's observation to a cluster Router.
 //
 // Deprecated: ClusterBolt is SinkBolt; use NewSinkBolt with any
-// analytics.Backend.
+// analytics.Backend (wrap it with analytics.Instrument for serving
+// telemetry).
 type ClusterBolt = SinkBolt
 
 // NewClusterBolt returns a bolt forwarding into r. extract maps a message
 // to an observation, returning false to skip the message; nil uses
 // DefaultExtract.
 //
-// Deprecated: use NewSinkBolt — a dstore.Router is an analytics.Backend.
+// Deprecated: use NewSinkBolt — a dstore.Router is an analytics.Backend, and
+// analytics.Instrument adds telemetry to any of them.
 func NewClusterBolt(r *dstore.Router, extract func(Message) (store.Observation, bool)) (*ClusterBolt, error) {
 	if r == nil {
 		// Checked here, not in NewSinkBolt: a typed nil pointer would

@@ -17,7 +17,8 @@ import (
 // architecture (master log + speed layer).
 //
 // Deprecated: LambdaBolt is SinkBolt; use NewSinkBolt with any
-// analytics.Backend.
+// analytics.Backend (wrap it with analytics.Instrument for serving
+// telemetry).
 type LambdaBolt = SinkBolt
 
 // NewLambdaBolt returns a bolt sinking into arch. extract maps a message
@@ -25,7 +26,8 @@ type LambdaBolt = SinkBolt
 // DefaultExtract.
 //
 // Deprecated: use NewSinkBolt — a lambda.Architecture is an
-// analytics.Backend.
+// analytics.Backend, and analytics.Instrument adds telemetry to any of
+// them.
 func NewLambdaBolt(arch *lambda.Architecture, extract func(Message) (store.Observation, bool)) (*LambdaBolt, error) {
 	if arch == nil {
 		// Checked here, not in NewSinkBolt: a typed nil pointer would

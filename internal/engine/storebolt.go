@@ -12,14 +12,16 @@ import (
 // StoreBolt applies each message's observation to a Store.
 //
 // Deprecated: StoreBolt is SinkBolt; use NewSinkBolt with any
-// analytics.Backend.
+// analytics.Backend (wrap it with analytics.Instrument for serving
+// telemetry).
 type StoreBolt = SinkBolt
 
 // NewStoreBolt returns a bolt sinking into st. extract maps a message to
 // an observation, returning false to skip the message; nil uses
 // DefaultExtract.
 //
-// Deprecated: use NewSinkBolt — a store.Store is an analytics.Backend.
+// Deprecated: use NewSinkBolt — a store.Store is an analytics.Backend, and
+// analytics.Instrument adds telemetry to any of them.
 func NewStoreBolt(st *store.Store, extract func(Message) (store.Observation, bool)) (*StoreBolt, error) {
 	if st == nil {
 		// Checked here, not in NewSinkBolt: a typed nil pointer would

@@ -46,6 +46,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dstore"
@@ -132,6 +133,10 @@ type Architecture struct {
 	version atomic.Uint64
 
 	appended atomic.Uint64
+
+	// tel is the architecture's telemetry wiring (telemetry.go), swapped
+	// atomically so SetTelemetry can be called on a live architecture.
+	tel atomic.Pointer[archTel]
 }
 
 // New returns a store-backed Lambda Architecture. Register metrics, then
@@ -301,14 +306,30 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 	a.batchMu.Lock()
 	defer a.batchMu.Unlock()
 
+	tel := a.tel.Load()
+	var handoffStart time.Time
+	if tel != nil {
+		handoffStart = time.Now()
+	}
 	if a.cluster != nil {
 		// Settle producer-side batches so the freeze covers them.
 		a.cluster.Router().Flush()
 	}
 	ends := a.topic.EndOffsets()
+	var freezeStart time.Time
+	if tel != nil {
+		freezeStart = time.Now()
+	}
 	view, err := store.FreezeAt(a.cfg.Batch, a.protoTable(), a.topic, ends, nil)
 	if err != nil {
 		return BatchInfo{}, err
+	}
+	if tel != nil {
+		tel.freeze.ObserveSince(freezeStart)
+	}
+	var truncStart time.Time
+	if tel != nil {
+		truncStart = time.Now()
 	}
 
 	if a.cluster != nil {
@@ -339,6 +360,11 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 				return BatchInfo{}, err
 			}
 		}
+		if tel != nil {
+			// Re-bind the speed layer's metric series to the replacement
+			// store before it serves (re-registration swaps the callbacks).
+			fresh.SetTelemetry(tel.reg, "layer", "lambda_speed")
+		}
 		a.speedMu.Lock()
 		for pid := 0; pid < a.topic.Partitions(); pid++ {
 			if _, _, _, err := store.ReplayPartitionTo(fresh, a.topic, pid, ends[pid], a.topic.EndOffset(pid), nil); err != nil {
@@ -351,6 +377,10 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 		a.batch.Store(view)
 		a.version.Add(1)
 		a.speedMu.Unlock()
+	}
+	if tel != nil {
+		tel.truncate.ObserveSince(truncStart)
+		tel.handoff.ObserveSince(handoffStart)
 	}
 	return BatchInfo{Version: a.version.Load(), Ends: view.EndOffsets(), Applied: view.Applied(), Truncated: view.Truncated()}, nil
 }
@@ -459,6 +489,9 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 			if merged[j], err = store.CombineSnapshots(protos[i], batchSyn, speedSyn); err != nil {
 				return store.QueryResult{}, err
 			}
+		}
+		if t := a.tel.Load(); t != nil {
+			t.merges.Add(uint64(len(keys)))
 		}
 		if req.Aggregate {
 			comb, err := store.CombineSnapshots(protos[i], merged...)

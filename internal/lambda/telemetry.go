@@ -1,0 +1,66 @@
+// telemetry.go wires the Lambda Architecture into a telemetry.Registry:
+// batch-handoff, frozen-view-build and speed-truncation latency
+// histograms on the RunBatch path, batch/speed merge counts on the
+// query path, staleness and batch-version gauges at scrape time — plus
+// the master topic's mqlog metrics and the speed layer's own wiring
+// (the single store labeled layer="lambda_speed", or the whole dstore
+// cluster).
+package lambda
+
+import "repro/internal/telemetry"
+
+// archTel is the architecture's published telemetry wiring; the append,
+// query and batch paths read it through an atomic pointer so
+// SetTelemetry can be called on a live architecture.
+type archTel struct {
+	reg      *telemetry.Registry // for re-wiring the swapped speed store
+	handoff  *telemetry.Histogram
+	freeze   *telemetry.Histogram
+	truncate *telemetry.Histogram
+	merges   *telemetry.Counter
+}
+
+// SetTelemetry registers the architecture's metrics with reg and wires
+// the layers underneath it (master topic, speed store or cluster). A
+// nil registry is a no-op; calling again re-binds the callbacks.
+func (a *Architecture) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	labels := []string{"layer", "lambda"}
+	reg.CounterFunc("analytics_lambda_appended_total",
+		"Observations dispatched through Append to both layers.",
+		func() uint64 { return a.appended.Load() }, labels...)
+	reg.GaugeFunc("analytics_lambda_batch_version",
+		"Batch views installed in the serving layer.",
+		func() float64 { return float64(a.version.Load()) }, labels...)
+	reg.GaugeFunc("analytics_lambda_staleness_records",
+		"Appended observations not yet covered by the batch view.",
+		func() float64 { return float64(a.Staleness()) }, labels...)
+
+	tel := &archTel{
+		reg: reg,
+		handoff: reg.Histogram("analytics_lambda_batch_handoff_seconds",
+			"Total RunBatch duration: freeze, install, truncate, drain.",
+			0, 5.0, 64, labels...),
+		freeze: reg.Histogram("analytics_lambda_freeze_seconds",
+			"Frozen batch view build time (replay of the master dataset).",
+			0, 5.0, 64, labels...),
+		truncate: reg.Histogram("analytics_lambda_truncate_seconds",
+			"Speed-layer truncation: suffix replay and swap, or cluster rebuild.",
+			0, 5.0, 64, labels...),
+		merges: reg.Counter("analytics_lambda_merges_total",
+			"Per-cell batch+speed snapshot merges performed by queries.",
+			labels...),
+	}
+	a.tel.Store(tel)
+
+	a.topic.SetTelemetry(reg)
+	if a.cluster != nil {
+		a.cluster.SetTelemetry(reg)
+		return
+	}
+	a.speedMu.RLock()
+	a.speed.SetTelemetry(reg, "layer", "lambda_speed")
+	a.speedMu.RUnlock()
+}

@@ -1,0 +1,179 @@
+package lambda
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dstore"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryCoversAllLayers wires a cluster-mode architecture — which
+// contains every subsystem: the lambda dispatch itself, the dstore
+// cluster, a sketch store per node, and the mqlog master topic — into
+// one registry, runs a full ingest/batch/query cycle, and requires the
+// scrape to expose at least one counter, one gauge and one histogram
+// from each of the four layers, with real traffic behind the counters.
+func TestTelemetryCoversAllLayers(t *testing.T) {
+	geom := store.Config{Shards: 4, BucketWidth: 10, RingBuckets: 64}
+	arch, err := New(Config{
+		Batch:        geom,
+		Cluster:      &dstore.Config{Partitions: 4, Store: geom},
+		ClusterNodes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	hll, err := store.NewDistinctProto(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.RegisterMetric("uniq", hll); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	arch.SetTelemetry(reg)
+
+	const span = 200
+	for i := int64(0); i < span; i++ {
+		obs := store.Observation{
+			Metric: "uniq",
+			Key:    fmt.Sprintf("k%d", i%4),
+			Item:   fmt.Sprintf("u%d", i%13),
+			Time:   i,
+		}
+		if err := arch.Append(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arch.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.RunBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.Query(store.QueryRequest{Metric: "uniq", AllKeys: true, From: 0, To: span}); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	// Family kinds, from the TYPE comments the encoder emits per family.
+	typeLine := regexp.MustCompile(`(?m)^# TYPE (analytics_[a-z_]+) (counter|gauge|histogram)$`)
+	kinds := map[string]map[string]bool{} // layer -> kind -> present
+	for _, m := range typeLine.FindAllStringSubmatch(text, -1) {
+		layer := strings.SplitN(strings.TrimPrefix(m[1], "analytics_"), "_", 2)[0]
+		if kinds[layer] == nil {
+			kinds[layer] = map[string]bool{}
+		}
+		kinds[layer][m[2]] = true
+	}
+	for _, layer := range []string{"store", "mqlog", "dstore", "lambda"} {
+		for _, kind := range []string{"counter", "gauge", "histogram"} {
+			if !kinds[layer][kind] {
+				t.Errorf("scrape has no %s from layer %q", kind, layer)
+			}
+		}
+	}
+
+	// The counters carry the actual traffic, not just registrations.
+	sample := func(name, labels string) float64 {
+		pat := regexp.MustCompile(`(?m)^` + name + `\{` + labels + `\} (\S+)$`)
+		m := pat.FindStringSubmatch(text)
+		if m == nil {
+			t.Fatalf("scrape is missing %s{%s}", name, labels)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("%s{%s}: %v", name, labels, err)
+		}
+		return v
+	}
+	if got := sample("analytics_lambda_appended_total", `layer="lambda"`); got != span {
+		t.Errorf("appended_total %v, want %d", got, span)
+	}
+	// In cluster mode the master dataset IS the cluster's ingest topic.
+	if got := sample("analytics_mqlog_produced_records_total", `topic="dstore-ingest"`); got < span {
+		t.Errorf("produced_records_total %v, want >= %d", got, span)
+	}
+	// RunBatch rebuilds every node store from the log, so the pre-handoff
+	// live-applied counters reset; the traffic reappears as replays.
+	applied := sample("analytics_dstore_applied_total", `layer="dstore"`)
+	replayed := sample("analytics_dstore_replayed_total", `layer="dstore"`)
+	if applied+replayed <= 0 {
+		t.Errorf("dstore applied %v + replayed %v, want > 0", applied, replayed)
+	}
+	if got := sample("analytics_lambda_merges_total", `layer="lambda"`); got <= 0 {
+		t.Errorf("merges_total %v, want > 0 after a merged query", got)
+	}
+	// The cluster's node stores registered under their own label sets.
+	if !strings.Contains(text, `analytics_store_observations_total{layer="dstore",node=`) {
+		t.Error("scrape has no per-node store counters from the cluster")
+	}
+	// Histograms saw the batch handoff.
+	if got := sample("analytics_lambda_batch_handoff_seconds_count", `layer="lambda"`); got != 1 {
+		t.Errorf("batch_handoff count %v, want 1", got)
+	}
+}
+
+// TestTelemetryRebindsAcrossHandoff pins the speed-store swap: after
+// RunBatch replaces the single-mode speed store, the scrape must follow
+// the fresh store (its counters reset to the uncovered tail) rather than
+// keep reading the retired one.
+func TestTelemetryRebindsAcrossHandoff(t *testing.T) {
+	geom := store.Config{Shards: 4, BucketWidth: 10, RingBuckets: 64}
+	arch, err := New(Config{Partitions: 2, Batch: geom, Speed: geom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	hll, err := store.NewDistinctProto(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.RegisterMetric("uniq", hll); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	arch.SetTelemetry(reg)
+
+	for i := int64(0); i < 100; i++ {
+		if err := arch.Append(store.Observation{Metric: "uniq", Key: "k", Item: fmt.Sprintf("u%d", i), Time: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arch.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	observed := func() string {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		m := regexp.MustCompile(`(?m)^analytics_store_observations_total\{layer="lambda_speed"\} (\d+)$`).FindStringSubmatch(sb.String())
+		if m == nil {
+			t.Fatal("scrape has no lambda_speed store counter")
+		}
+		return m[1]
+	}
+	if got := observed(); got != "100" {
+		t.Fatalf("pre-handoff speed observations %s, want 100", got)
+	}
+	if _, err := arch.RunBatch(); err != nil {
+		t.Fatal(err)
+	}
+	// The batch view now covers everything: the swapped-in speed store
+	// replayed an empty suffix, and the scrape must say 0, not 100.
+	if got := observed(); got != "0" {
+		t.Fatalf("post-handoff speed observations %s, want 0 (fresh store)", got)
+	}
+}

@@ -14,9 +14,11 @@ package mqlog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hashutil"
+	"repro/internal/telemetry"
 )
 
 // Message is one log entry.
@@ -122,6 +124,15 @@ type Topic struct {
 	name  string
 	parts []*partition
 	seed  uint64
+
+	// Telemetry (telemetry.go). The record counters are always-on
+	// atomics (one add per call, batched paths pay one add per batch);
+	// the fetch-batch histogram is nil until SetTelemetry wires it, and
+	// is an atomic pointer because wiring may race in-flight fetches
+	// (e.g. a cluster instrumented while its nodes are polling).
+	produced      atomic.Uint64
+	fetched       atomic.Uint64
+	telFetchBatch atomic.Pointer[telemetry.Histogram]
 }
 
 // Broker hosts topics and consumer-group offsets.
@@ -186,6 +197,7 @@ func (t *Topic) Partitions() int { return len(t.parts) }
 // not copied, and must not be mutated by the producer afterwards.
 func (t *Topic) Produce(key string, value []byte) (partitionID int, offset uint64) {
 	pid := t.route(key, value)
+	t.produced.Add(1)
 	return pid, t.parts[pid].append(key, value)
 }
 
@@ -224,6 +236,7 @@ func (t *Topic) ProduceBatch(recs []Record) int {
 	if len(recs) == 0 {
 		return 0
 	}
+	t.produced.Add(uint64(len(recs)))
 	// Fast path: batches from a partition-aware router are usually
 	// single-partition already; detect that without allocating.
 	first := t.route(recs[0].Key, recs[0].Value)
@@ -255,6 +268,7 @@ func (t *Topic) ProduceBatchTo(partitionID int, recs []Record) (uint64, error) {
 	if partitionID < 0 || partitionID >= len(t.parts) {
 		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
 	}
+	t.produced.Add(uint64(len(recs)))
 	return t.parts[partitionID].appendBatch(recs), nil
 }
 
@@ -263,6 +277,7 @@ func (t *Topic) ProduceTo(partitionID int, key string, value []byte) (uint64, er
 	if partitionID < 0 || partitionID >= len(t.parts) {
 		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
 	}
+	t.produced.Add(1)
 	return t.parts[partitionID].append(key, value), nil
 }
 
@@ -272,6 +287,12 @@ func (t *Topic) Fetch(partitionID int, offset uint64, max int) (msgs []Message, 
 		return nil, 0, false, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
 	}
 	msgs, next, truncated = t.parts[partitionID].fetch(offset, max)
+	if len(msgs) > 0 {
+		t.fetched.Add(uint64(len(msgs)))
+		if h := t.telFetchBatch.Load(); h != nil {
+			h.Observe(float64(len(msgs)))
+		}
+	}
 	return msgs, next, truncated, nil
 }
 

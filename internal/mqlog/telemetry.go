@@ -1,0 +1,55 @@
+// telemetry.go wires the broker substrate into a telemetry.Registry:
+// produce/fetch throughput and per-partition end offsets per topic, and
+// consumer-group lag and rebalance counts per group. Everything except
+// the fetch-batch histogram is a scrape-time read of state the log
+// already maintains. Wire before serving traffic.
+package mqlog
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// SetTelemetry registers the topic's metrics with reg, labeled by topic
+// name (and partition id for the end-offset gauges). A nil registry is
+// a no-op; calling again re-binds the callbacks to this topic.
+func (t *Topic) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("analytics_mqlog_produced_records_total",
+		"Records appended to the topic across all produce paths.",
+		func() uint64 { return t.produced.Load() }, "topic", t.name)
+	reg.CounterFunc("analytics_mqlog_fetched_records_total",
+		"Records returned by fetches against the topic.",
+		func() uint64 { return t.fetched.Load() }, "topic", t.name)
+	for pid := range t.parts {
+		p := t.parts[pid]
+		reg.GaugeFunc("analytics_mqlog_end_offset",
+			"Next offset to be written to the partition.",
+			func() float64 { return float64(p.endOffset()) },
+			"topic", t.name, "partition", strconv.Itoa(pid))
+	}
+	t.telFetchBatch.Store(reg.Histogram("analytics_mqlog_fetch_batch_records",
+		"Records per non-empty fetch (poll efficiency).",
+		0, 512, 64, "topic", t.name))
+}
+
+// SetTelemetry registers the group's health metrics with reg: total
+// unconsumed lag (end offset minus committed, summed over partitions)
+// and the rebalance count (the group generation — bumped on every
+// membership change or forced rebalance). A nil registry is a no-op.
+func (g *ConsumerGroup) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("analytics_mqlog_group_lag",
+		"Unconsumed records for the group across the topic's partitions.",
+		func() float64 { return float64(g.broker.Lag(g.name, g.topic)) },
+		"group", g.name, "topic", g.topic.name)
+	reg.CounterFunc("analytics_mqlog_rebalances_total",
+		"Group rebalances (the group generation).",
+		func() uint64 { return uint64(g.Generation()) },
+		"group", g.name, "topic", g.topic.name)
+}

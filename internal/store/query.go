@@ -27,6 +27,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/frequency"
@@ -362,7 +363,14 @@ func (s *Store) Query(req QueryRequest) (QueryResult, error) {
 			slices.Sort(keys)
 			keys = slices.Compact(keys)
 		}
-		syns, err := s.queryKeys(metric, proto, keys, fromB, toB)
+		var syns []Synopsis
+		if h := s.telGather; h != nil {
+			t0 := time.Now()
+			syns, err = s.queryKeys(metric, proto, keys, fromB, toB)
+			h.ObserveSince(t0)
+		} else {
+			syns, err = s.queryKeys(metric, proto, keys, fromB, toB)
+		}
 		if err != nil {
 			return QueryResult{}, err
 		}

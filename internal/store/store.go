@@ -45,10 +45,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/frequency"
 	"repro/internal/hashutil"
+	"repro/internal/telemetry"
 )
 
 // Observation is one data point bound for the store: the metric names
@@ -210,6 +212,9 @@ func (e *entry) advance(bkt int64, sh *shard) {
 			}
 			*sl = slot{idx: -1}
 		} else if sl.idx < bkt {
+			if !sl.sealed {
+				sh.seals++
+			}
 			sl.sealed = true
 		}
 	}
@@ -226,7 +231,8 @@ type shard struct {
 	head    *entry // most recently written
 	tail    *entry // least recently written
 	bytes   int
-	maxTime int64 // newest observation time seen by the shard
+	maxTime int64  // newest observation time seen by the shard
+	seals   uint64 // buckets sealed by time advancing (telemetry)
 
 	epochWrites int                    // writes since the last epoch boundary
 	epochSeq    uint64                 // completed detection epochs
@@ -314,6 +320,13 @@ type Store struct {
 	splayed     atomic.Uint64
 	promotions  atomic.Uint64
 	demotions   atomic.Uint64
+
+	// Telemetry hooks (telemetry.go). Nil when no registry is wired;
+	// the write and query paths gate their time.Now() pairs on these,
+	// so an uninstrumented store pays one pointer check per hot-path
+	// operation.
+	telLockWait *telemetry.Histogram
+	telGather   *telemetry.Histogram
 }
 
 // New returns an empty store.
@@ -493,7 +506,13 @@ func (s *Store) writeLocked(sh *shard, e *entry, obs Observation, proto Prototyp
 func (s *Store) observeHome(obs Observation, proto Prototype, k entryKey, r *hotRoute) error {
 	idx := s.shardIndex(k)
 	sh := s.shards[idx]
-	sh.mu.Lock()
+	if h := s.telLockWait; h != nil {
+		t0 := time.Now()
+		sh.mu.Lock()
+		h.ObserveSince(t0)
+	} else {
+		sh.mu.Lock()
+	}
 	if obs.Time > sh.maxTime {
 		sh.maxTime = obs.Time
 	}

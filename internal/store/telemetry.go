@@ -1,0 +1,94 @@
+// telemetry.go wires the store into a telemetry.Registry. All counters
+// and gauges are scrape-time reads of atomics and shard state the store
+// already maintains — instrumentation adds zero hot-path work for them.
+// The only hot-path additions are the two latency histograms (shard
+// lock-wait on the write path, gather on the query path), and those are
+// gated on a nil check so an unwired store is unaffected.
+package store
+
+import "repro/internal/telemetry"
+
+// SetTelemetry registers the store's metrics with reg under the given
+// label pairs (default layer="store"); pass distinguishing labels
+// (e.g. layer="dstore", node="n1") when several stores share one
+// registry. Safe to call again — re-registration re-binds the scrape
+// callbacks to this store, which is exactly what a rebuilt cluster
+// node store needs. A nil registry is a no-op.
+func (s *Store) SetTelemetry(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	if len(labels) == 0 {
+		labels = []string{"layer", "store"}
+	}
+	reg.CounterFunc("analytics_store_observations_total",
+		"Observations absorbed by the store.",
+		func() uint64 { return s.observed.Load() }, labels...)
+	reg.CounterFunc("analytics_store_dropped_late_total",
+		"Observations rejected for falling behind the ring retention window.",
+		func() uint64 { return s.droppedLate.Load() }, labels...)
+	reg.CounterFunc("analytics_store_queries_total",
+		"Per-key range queries served.",
+		func() uint64 { return s.queries.Load() }, labels...)
+	reg.CounterFunc("analytics_store_evicted_size_total",
+		"Entries evicted by the per-shard byte budget.",
+		func() uint64 { return s.evictedSize.Load() }, labels...)
+	reg.CounterFunc("analytics_store_evicted_idle_total",
+		"Entries evicted by idle age.",
+		func() uint64 { return s.evictedIdle.Load() }, labels...)
+	reg.CounterFunc("analytics_store_splayed_writes_total",
+		"Observations routed through a hot-key splay.",
+		func() uint64 { return s.splayed.Load() }, labels...)
+	reg.CounterFunc("analytics_store_hot_promotions_total",
+		"Cold-to-splayed hot-key promotions.",
+		func() uint64 { return s.promotions.Load() }, labels...)
+	reg.CounterFunc("analytics_store_hot_demotions_total",
+		"Splayed-to-cold hot-key demotions.",
+		func() uint64 { return s.demotions.Load() }, labels...)
+	reg.CounterFunc("analytics_store_bucket_seals_total",
+		"Ring buckets sealed by stream time advancing.",
+		func() uint64 { return s.sealCount() }, labels...)
+	reg.GaugeFunc("analytics_store_entries",
+		"Live entries, including splayed sub-entries.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				sh.mu.RLock()
+				n += len(sh.entries)
+				sh.mu.RUnlock()
+			}
+			return float64(n)
+		}, labels...)
+	reg.GaugeFunc("analytics_store_bytes",
+		"Synopsis bytes resident across all shards.",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				sh.mu.RLock()
+				n += sh.bytes
+				sh.mu.RUnlock()
+			}
+			return float64(n)
+		}, labels...)
+	reg.GaugeFunc("analytics_store_hot_keys",
+		"Keys currently splayed across shards.",
+		func() float64 { return float64(lenHot(s.hot.Load())) }, labels...)
+
+	s.telLockWait = reg.Histogram("analytics_store_lock_wait_seconds",
+		"Time spent acquiring the home shard write lock.",
+		0, 1e-3, 64, labels...)
+	s.telGather = reg.Histogram("analytics_store_gather_seconds",
+		"Per-metric gather time of a range query (all requested keys).",
+		0, 10e-3, 64, labels...)
+}
+
+// sealCount sums the per-shard sealed-bucket counters.
+func (s *Store) sealCount() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.seals
+		sh.mu.RUnlock()
+	}
+	return n
+}

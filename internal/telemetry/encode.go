@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in the
+// Prometheus text exposition format (version 0.0.4): families sorted
+// by name, series sorted by label set, one HELP and TYPE line per
+// family. Histograms emit cumulative le buckets (final bucket +Inf),
+// then _sum and _count. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, fam := range r.families {
+		names = append(names, name)
+		fams[name] = fam
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		fam := fams[name]
+		sb.Reset()
+		fmt.Fprintf(&sb, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, ch := range fam.sortedChildren() {
+			switch fam.kind {
+			case KindCounter:
+				fmt.Fprintf(&sb, "%s%s %d\n", fam.name, braced(ch.labelKey), ch.counter.Value())
+			case KindGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", fam.name, braced(ch.labelKey), formatFloat(ch.gauge.Value()))
+			case KindHistogram:
+				writeHistogram(&sb, fam.name, ch)
+			}
+		}
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the series labels plus le, then _sum and _count.
+func writeHistogram(sb *strings.Builder, name string, ch *child) {
+	h := ch.hist
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds)-1 {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, braced(joinLabels(ch.labelKey, `le="`+le+`"`)), cum)
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, braced(ch.labelKey), formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, braced(ch.labelKey), cum)
+}
+
+// sortedChildren snapshots the family's series sorted by label key.
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	out := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		out = append(out, ch)
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].labelKey < out[b].labelKey })
+	return out
+}
+
+func braced(body string) string {
+	if body == "" {
+		return ""
+	}
+	return "{" + body + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line per the text format: backslash and
+// newline (double quotes are legal in HELP text).
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// SnapshotBucket is one cumulative histogram bucket in a Snapshot.
+type SnapshotBucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// SnapshotSeries is one series in a Snapshot: its labels plus either a
+// scalar value (counter, gauge) or the histogram aggregate.
+type SnapshotSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	P50     *float64          `json:"p50,omitempty"`
+	P95     *float64          `json:"p95,omitempty"`
+	P99     *float64          `json:"p99,omitempty"`
+	Buckets []SnapshotBucket  `json:"buckets,omitempty"`
+}
+
+// SnapshotFamily is one metric family in a Snapshot.
+type SnapshotFamily struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help"`
+	Series []SnapshotSeries `json:"series"`
+}
+
+// Snapshot renders the registry as a JSON-marshalable structure, the
+// payload behind /debug/analytics. Families sort by name, series by
+// label set; histogram series carry count, sum, p50/p95/p99 and the
+// cumulative buckets. A nil registry snapshots empty.
+func (r *Registry) Snapshot() []SnapshotFamily {
+	if r == nil {
+		return []SnapshotFamily{}
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, fam := range r.families {
+		names = append(names, name)
+		fams[name] = fam
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	out := make([]SnapshotFamily, 0, len(names))
+	for _, name := range names {
+		fam := fams[name]
+		sf := SnapshotFamily{Name: fam.name, Type: fam.kind.String(), Help: fam.help}
+		for _, ch := range fam.sortedChildren() {
+			var labels map[string]string
+			if len(ch.labels) > 0 {
+				labels = make(map[string]string, len(ch.labels)/2)
+				for i := 0; i < len(ch.labels); i += 2 {
+					labels[ch.labels[i]] = ch.labels[i+1]
+				}
+			}
+			ss := SnapshotSeries{Labels: labels}
+			switch fam.kind {
+			case KindCounter:
+				v := float64(ch.counter.Value())
+				ss.Value = &v
+			case KindGauge:
+				v := ch.gauge.Value()
+				ss.Value = &v
+			case KindHistogram:
+				h := ch.hist
+				count, sum := h.Count(), h.Sum()
+				p50, p95, p99 := h.P50(), h.P95(), h.P99()
+				ss.Count, ss.Sum, ss.P50, ss.P95, ss.P99 = &count, &sum, &p50, &p95, &p99
+				var cum uint64
+				for i := range h.counts {
+					cum += h.counts[i].Load()
+					le := "+Inf"
+					if i < len(h.bounds)-1 {
+						le = formatFloat(h.bounds[i])
+					}
+					ss.Buckets = append(ss.Buckets, SnapshotBucket{Le: le, Count: cum})
+				}
+			}
+			sf.Series = append(sf.Series, ss)
+		}
+		out = append(out, sf)
+	}
+	return out
+}

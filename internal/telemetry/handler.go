@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry's two surfaces:
+//
+//   - /metrics          — Prometheus text exposition (version 0.0.4)
+//   - /debug/analytics  — JSON snapshot with histogram quantiles
+//
+// A nil registry serves an empty (but valid) payload on both, so demos
+// can mount the handler unconditionally.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/analytics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Families []SnapshotFamily `json:"families"`
+		}{Families: r.Snapshot()})
+	})
+	return mux
+}
+
+// Serve starts an HTTP server on addr exposing Handler(r) and returns
+// immediately; errors after startup (e.g. the listener closing) are
+// dropped. It is the one-liner the cmd demos use for their -metrics
+// flag. Returns the server so callers can Close it.
+func Serve(addr string, r *Registry) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}

@@ -27,6 +27,8 @@
 package repro
 
 import (
+	"net/http"
+
 	"repro/internal/analytics"
 	"repro/internal/anomaly"
 	"repro/internal/cardinality"
@@ -48,6 +50,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/store"
 	"repro/internal/subsequence"
+	"repro/internal/telemetry"
 	"repro/internal/wavelet"
 	"repro/internal/window"
 	"repro/internal/workload"
@@ -745,13 +748,15 @@ func DecodeObservation(data []byte) (StoreObservation, error) {
 
 // StoreBolt sinks a topology stream into a SketchStore.
 //
-// Deprecated: StoreBolt is SinkBolt; use NewSinkBolt with any Backend.
+// Deprecated: StoreBolt is SinkBolt; use NewSinkBolt with any Backend
+// (wrap it with Instrument for serving telemetry).
 type StoreBolt = engine.StoreBolt
 
 // NewStoreBolt returns a bolt sinking into st; extract maps messages to
 // observations (nil accepts Message.Value of type StoreObservation).
 //
-// Deprecated: use NewSinkBolt — a SketchStore is a Backend.
+// Deprecated: use NewSinkBolt — a SketchStore is a Backend, and
+// Instrument adds telemetry to any of them.
 func NewStoreBolt(st *SketchStore, extract func(TupleMessage) (StoreObservation, bool)) (*StoreBolt, error) {
 	return engine.NewStoreBolt(st, extract)
 }
@@ -830,6 +835,51 @@ func NewSinkBolt(be Backend, extract func(TupleMessage) (StoreObservation, bool)
 	return engine.NewSinkBolt(be, extract)
 }
 
+// ---- Telemetry (self-instrumentation) ----
+
+// Telemetry is the metrics registry every subsystem can report into:
+// atomic counters, gauges and fixed-bucket latency histograms with
+// p50/p95/p99 accessors, encoded in the Prometheus text exposition
+// format. Wire a registry into a subsystem with its SetTelemetry method
+// (SketchStore, LogTopic, LogConsumerGroup, StoreCluster, Lambda), wrap
+// any Backend with Instrument, and serve the scrape surface with
+// MetricsHandler. A nil *Telemetry everywhere means "telemetry off":
+// instruments become no-ops and hot paths pay one pointer check.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TelemetryCounter is a monotonically increasing counter instrument.
+type TelemetryCounter = telemetry.Counter
+
+// TelemetryGauge is a float gauge instrument.
+type TelemetryGauge = telemetry.Gauge
+
+// TelemetryHistogram is a fixed-bucket latency histogram instrument
+// with Quantile/P50/P95/P99 accessors.
+type TelemetryHistogram = telemetry.Histogram
+
+// MetricsHandler returns an http.Handler serving reg on two routes:
+// /metrics (Prometheus text exposition) and /debug/analytics (a JSON
+// snapshot including histogram quantiles). A nil registry serves valid
+// empty payloads.
+func MetricsHandler(reg *Telemetry) http.Handler { return telemetry.Handler(reg) }
+
+// ServeMetrics starts an HTTP server on addr exposing MetricsHandler
+// and returns it (callers Close it on shutdown) — the one-liner behind
+// the cmd demos' -metrics flag.
+func ServeMetrics(addr string, reg *Telemetry) *http.Server { return telemetry.Serve(addr, reg) }
+
+// Instrument wraps a Backend so every Observe and Query is counted per
+// metric and timed into reg, labeled backend=name — SinkBolt topologies
+// and demo drivers get serving telemetry without the backend knowing.
+// Answers are byte-identical to the bare backend's (the conformance
+// suite pins this); a nil registry returns be unchanged.
+func Instrument(be Backend, reg *Telemetry, name string) Backend {
+	return analytics.Instrument(be, reg, name)
+}
+
 // ---- Partitioned store cluster (multi-node serving over mqlog) ----
 
 // StoreCluster is the partitioned store cluster: N single-threaded store
@@ -857,13 +907,15 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) { return dst
 
 // ClusterBolt forwards a topology stream into a cluster's router.
 //
-// Deprecated: ClusterBolt is SinkBolt; use NewSinkBolt with any Backend.
+// Deprecated: ClusterBolt is SinkBolt; use NewSinkBolt with any Backend
+// (wrap it with Instrument for serving telemetry).
 type ClusterBolt = engine.ClusterBolt
 
 // NewClusterBolt returns a bolt forwarding into r; extract maps messages
 // to observations (nil accepts Message.Value of type StoreObservation).
 //
-// Deprecated: use NewSinkBolt — a ClusterRouter is a Backend.
+// Deprecated: use NewSinkBolt — a ClusterRouter is a Backend, and
+// Instrument adds telemetry to any of them.
 func NewClusterBolt(r *ClusterRouter, extract func(TupleMessage) (StoreObservation, bool)) (*ClusterBolt, error) {
 	return engine.NewClusterBolt(r, extract)
 }
@@ -926,13 +978,15 @@ type LogReader = mqlog.Reader
 // LambdaBolt sinks a topology stream into a Lambda architecture,
 // dispatching every tuple to both the master log and the speed layer.
 //
-// Deprecated: LambdaBolt is SinkBolt; use NewSinkBolt with any Backend.
+// Deprecated: LambdaBolt is SinkBolt; use NewSinkBolt with any Backend
+// (wrap it with Instrument for serving telemetry).
 type LambdaBolt = engine.LambdaBolt
 
 // NewLambdaBolt returns a bolt sinking into arch; extract maps messages
 // to observations (nil accepts Message.Value of type StoreObservation).
 //
-// Deprecated: use NewSinkBolt — a Lambda is a Backend.
+// Deprecated: use NewSinkBolt — a Lambda is a Backend, and Instrument
+// adds telemetry to any of them.
 func NewLambdaBolt(arch *Lambda, extract func(TupleMessage) (StoreObservation, bool)) (*LambdaBolt, error) {
 	return engine.NewLambdaBolt(arch, extract)
 }
