@@ -273,7 +273,7 @@ func newBenchCluster(b *testing.B, nodes int) *dstore.Cluster {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(c.Close)
+	b.Cleanup(func() { c.Close() })
 	proto, err := store.NewDistinctProto(12, 7)
 	if err != nil {
 		b.Fatal(err)

@@ -16,18 +16,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/dstore [-nodes 4] [-events 200000] [-partitions 8] [-metrics :9090]
+//	go run ./cmd/dstore [-nodes 4] [-events 200000] [-partitions 8] [-dir /tmp/dstore] [-metrics :9090]
+//
+// With -dir, the ingest log persists as segmented on-disk files and node
+// stores checkpoint there: rerunning over the same directory recovers the
+// log (torn tail truncated), and node recoveries whose assignment still
+// matches a checkpoint restore the snapshot and replay only the suffix.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/dstore"
 	"repro/internal/engine"
+	"repro/internal/mqlog"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -37,6 +44,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	events := flag.Int("events", 200000, "events to ingest")
 	partitions := flag.Int("partitions", 8, "ingest topic partitions")
+	dir := flag.String("dir", "", "persist the ingest log and node checkpoints under this directory (empty = in-memory)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
 	flag.Parse()
@@ -73,11 +81,25 @@ func main() {
 	mustProto("latency-us", quant, err)
 
 	storeCfg := store.Config{Shards: 8, BucketWidth: bucketWidth, RingBuckets: ringBuckets}
-	cluster, err := dstore.New(dstore.Config{Partitions: *partitions, Store: storeCfg})
+	clusterCfg := dstore.Config{Partitions: *partitions, Store: storeCfg}
+	if *dir != "" {
+		clusterCfg.Durable = &mqlog.DurableConfig{Dir: filepath.Join(*dir, "log")}
+		clusterCfg.CheckpointDir = filepath.Join(*dir, "ckpt")
+	}
+	cluster, err := dstore.New(clusterCfg)
 	if err != nil {
 		panic(err)
 	}
 	defer cluster.Close()
+	if *dir != "" {
+		ds := cluster.Topic().DurabilityStats()
+		if ds.RecoveredRecords > 0 {
+			fmt.Printf("restart: recovered %d log records from %s (recovery scan %.1fms)\n",
+				ds.RecoveredRecords, *dir, float64(ds.RecoveryNanos)/1e6)
+		} else {
+			fmt.Printf("durable ingest log at %s (kill and rerun to watch recovery)\n", *dir)
+		}
+	}
 	for name, p := range protos {
 		if err := cluster.RegisterMetric(name, p); err != nil {
 			panic(err)
@@ -215,6 +237,16 @@ func main() {
 	}
 	compare("\nsteady state")
 
+	if *dir != "" {
+		// Snapshot every node now: recoveries below whose assignment still
+		// matches restore from the checkpoint instead of replaying the
+		// whole owned prefix.
+		if err := cluster.Checkpoint(); err != nil {
+			panic(err)
+		}
+		fmt.Println("checkpointed every node's store (recoveries now replay only the suffix)")
+	}
+
 	victim := cluster.NodeNames()[0]
 	fmt.Printf("\nkilling %s (its store is discarded; survivors replay its partitions from the log)...\n", victim)
 	start = time.Now()
@@ -237,6 +269,11 @@ func main() {
 	}
 	fmt.Printf("rebalanced + recovered in %.2fs (%d nodes)\n", time.Since(start).Seconds(), len(cluster.NodeNames()))
 	compare("after rejoin")
+
+	if *dir != "" {
+		final := cluster.Stats()
+		fmt.Printf("\ncheckpoint-seeded recoveries: %d (suffix-only replays)\n", final.CheckpointRestores)
+	}
 
 	fmt.Println("\nper-node state:")
 	for _, name := range cluster.NodeNames() {

@@ -14,11 +14,18 @@
 //
 // Run with -cluster to swap the single speed store for a partitioned
 // dstore cluster consuming the same master topic through its router.
+//
+// Run with -dir to persist the master dataset (segmented on-disk log)
+// and the batch view's checkpoint there: kill the process — even
+// mid-write — and rerun with the same -dir, and the architecture reopens
+// the log (truncating a torn tail), seeds the next batch view from the
+// checkpoint, and replays only the log suffix past it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro"
@@ -27,6 +34,7 @@ import (
 
 func main() {
 	clusterMode := flag.Bool("cluster", false, "serve the speed layer from a partitioned store cluster")
+	dir := flag.String("dir", "", "persist the master log and batch checkpoint under this directory (empty = in-memory)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
 	flag.Parse()
@@ -55,11 +63,25 @@ func main() {
 			ClusterNodes: 3,
 		}
 	}
+	if *dir != "" {
+		cfg.Durable = &repro.LogDurableConfig{Dir: filepath.Join(*dir, "log")}
+		cfg.CheckpointDir = filepath.Join(*dir, "batch")
+		if cfg.Cluster != nil {
+			cfg.Cluster.CheckpointDir = filepath.Join(*dir, "nodes")
+		}
+	}
 	arch, err := repro.NewLambda(cfg)
 	if err != nil {
 		panic(err)
 	}
 	defer arch.Close()
+	if *dir != "" {
+		if recovered := arch.MasterLen(); recovered > 0 {
+			fmt.Printf("restart: recovered %d messages from the durable master log in %s\n", recovered, *dir)
+		} else {
+			fmt.Printf("durable master log at %s (kill and rerun to watch recovery)\n", *dir)
+		}
+	}
 
 	must := func(err error) {
 		if err != nil {
@@ -130,8 +152,13 @@ func main() {
 		probe, countStale(arch.BatchOnlyQuery("hits", probe, 0, now)), count())
 	info, err := arch.RunBatch()
 	must(err)
-	fmt.Printf("batch v%d recomputed from the log: %d observations up to offsets %v\n",
-		info.Version, info.Applied, info.Ends)
+	if info.FromCheckpoint {
+		fmt.Printf("batch v%d seeded from checkpoint (%d bucket records restored) + %d replayed from the log suffix, up to offsets %v\n",
+			info.Version, info.Restored, info.Applied, info.Ends)
+	} else {
+		fmt.Printf("batch v%d recomputed from the log: %d observations up to offsets %v\n",
+			info.Version, info.Applied, info.Ends)
+	}
 
 	// ---- 4. Speed-layer truncation: only the post-freeze tail remains ----
 	fmt.Printf("after handoff: speed layer holds %d observations (truncated to the fence)\n",

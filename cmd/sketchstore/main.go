@@ -12,12 +12,18 @@
 //
 // Usage:
 //
-//	go run ./cmd/sketchstore [-shards 16] [-events 200000] [-queriers 4] [-metrics :9090]
+//	go run ./cmd/sketchstore [-shards 16] [-events 200000] [-queriers 4] [-dir /tmp/sketch] [-metrics :9090]
+//
+// With -dir, the input log persists as segmented on-disk files and the
+// speed store is checkpointed at the end of the run: rerunning over the
+// same directory recovers the log (torn tail truncated) and appends on
+// top of it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +41,7 @@ func main() {
 	shards := flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
 	events := flag.Int("events", 200000, "events to ingest")
 	queriers := flag.Int("queriers", 4, "concurrent query workers")
+	dir := flag.String("dir", "", "persist the input log and a store checkpoint under this directory (empty = in-memory)")
 	hotReplicas := flag.Int("hotreplicas", 8, "sub-entries per detected hot key (0 disables hot-key splaying)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
@@ -94,13 +101,26 @@ func main() {
 	speed := newStore()
 	speed.SetTelemetry(reg)
 
-	// Durable input log.
+	// Input log: in-memory by default, segmented on-disk with -dir (a
+	// rerun over the same directory recovers the persisted prefix and
+	// appends after it).
+	var durable *mqlog.DurableConfig
+	if *dir != "" {
+		durable = &mqlog.DurableConfig{Dir: filepath.Join(*dir, "log")}
+	}
 	broker := mqlog.NewBroker()
-	topic, err := broker.CreateTopic("events", 8, 0)
+	topic, err := broker.CreateTopicDurable("events", 8, 0, durable)
 	if err != nil {
 		panic(err)
 	}
+	defer topic.Close()
 	topic.SetTelemetry(reg)
+	if *dir != "" {
+		if ds := topic.DurabilityStats(); ds.RecoveredRecords > 0 {
+			fmt.Printf("restart: recovered %d log records from %s (recovery scan %.1fms)\n",
+				ds.RecoveredRecords, *dir, float64(ds.RecoveryNanos)/1e6)
+		}
+	}
 
 	// Producers: Zipf-keyed page views with synthetic latency values,
 	// written to the log ahead of the topology (the log decouples them).
@@ -275,6 +295,20 @@ func main() {
 		fmt.Println("layers agree: replaying the log reproduces the speed layer's state")
 	} else {
 		fmt.Println("layers diverge: investigate retention/ordering")
+	}
+
+	if *dir != "" {
+		// Snapshot the speed store next to the log: a consumer restarting
+		// over this pair restores the snapshot and replays only the log
+		// suffix past the recorded offsets (store.RestoreCheckpoint).
+		info, err := store.WriteCheckpoint(speed, filepath.Join(*dir, "ckpt"),
+			store.CheckpointMeta{Offsets: topic.EndOffsets()})
+		if err != nil {
+			panic(err)
+		}
+		ds := topic.DurabilityStats()
+		fmt.Printf("\ndurability: log %d segments / %d bytes on disk (%d fsyncs); checkpoint %d records / %d bytes\n",
+			ds.Segments, ds.DiskBytes, ds.Fsyncs, info.Records, info.Bytes)
 	}
 
 	if *metricsAddr != "" && *linger > 0 {

@@ -56,13 +56,13 @@ func newHarnesses(t *testing.T) []harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cl.Close)
+	t.Cleanup(func() { cl.Close() })
 
 	single, err := lambda.New(lambda.Config{Partitions: 2, Batch: storeGeom(), Speed: storeGeom()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(single.Close)
+	t.Cleanup(func() { single.Close() })
 
 	clustered, err := lambda.New(lambda.Config{
 		Batch:        storeGeom(),
@@ -72,7 +72,7 @@ func newHarnesses(t *testing.T) []harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(clustered.Close)
+	t.Cleanup(func() { clustered.Close() })
 
 	none := func() error { return nil }
 	return []harness{

@@ -84,6 +84,17 @@ type Config struct {
 	// BatchSize is how many observations the Router buffers per partition
 	// before one batched append (default 64; 1 = unbatched).
 	BatchSize int
+	// Durable, when non-nil, backs the ingest topic with segmented on-disk
+	// persistence (see mqlog.DurableConfig): the log survives a process
+	// restart, and a cluster rebuilt over the same directory recovers its
+	// nodes from the persisted prefix. Nil keeps the in-memory topic.
+	Durable *mqlog.DurableConfig
+	// CheckpointDir, when non-empty, enables store snapshots: Checkpoint
+	// writes each serving node's store into CheckpointDir/<node name>, and
+	// node recovery seeds its rebuilt store from a still-valid snapshot,
+	// replaying only the log suffix past it instead of the full retained
+	// prefix.
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -107,13 +118,14 @@ func (c Config) withDefaults() Config {
 
 // Stats aggregates the cluster's counters.
 type Stats struct {
-	Nodes      int    // live nodes
-	Recoveries uint64 // completed node recoveries (includes first starts)
-	Applied    uint64 // observations applied by live node event loops
-	Replayed   uint64 // observations applied by recovery replays
-	Rejected   uint64 // messages dropped by decode or store errors
-	Lag        uint64 // unconsumed messages across the group
-	Store      store.Stats
+	Nodes              int    // live nodes
+	Recoveries         uint64 // completed node recoveries (includes first starts)
+	Applied            uint64 // observations applied by live node event loops
+	Replayed           uint64 // observations applied by recovery replays
+	Rejected           uint64 // messages dropped by decode or store errors
+	Lag                uint64 // unconsumed messages across the group
+	CheckpointRestores uint64 // recoveries seeded from a checkpoint (suffix replay)
+	Store              store.Stats
 }
 
 // Cluster is a set of store nodes behind one partitioned ingest log.
@@ -162,12 +174,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	cfg = cfg.withDefaults()
 	broker := mqlog.NewBroker()
-	topic, err := broker.CreateTopic(cfg.Topic, cfg.Partitions, cfg.Retention)
+	// CreateTopicDurable with a nil DurableConfig is exactly CreateTopic,
+	// so the in-memory path is untouched; with one, the ingest log is
+	// recovered from disk before the first node starts.
+	topic, err := broker.CreateTopicDurable(cfg.Topic, cfg.Partitions, cfg.Retention, cfg.Durable)
 	if err != nil {
 		return nil, err
 	}
 	group, err := mqlog.NewConsumerGroup(broker, topic, cfg.Group)
 	if err != nil {
+		topic.Close()
 		return nil, err
 	}
 	c := &Cluster{
@@ -430,6 +446,28 @@ func (c *Cluster) floor(pid int) uint64 {
 	return (*p)[pid]
 }
 
+// Checkpoint snapshots every live node's store into
+// CheckpointDir/<node name> (manifest + data pair, see
+// store.WriteCheckpoint), stamped with the node's committed offsets, its
+// partition assignment, and the floors in force. Each snapshot is taken
+// on the owning node's event loop — the store's only writer — so it
+// captures exactly the committed state, and a later recovery with the
+// same assignment and floors restores it and replays only the log suffix
+// past the recorded offsets. Returns the first node error; nodes after a
+// failing one are still attempted.
+func (c *Cluster) Checkpoint() error {
+	if c.cfg.CheckpointDir == "" {
+		return fmt.Errorf("dstore: Checkpoint requires Config.CheckpointDir")
+	}
+	var first error
+	for _, n := range c.liveNodes() {
+		if err := n.requestCheckpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // FlushHot settles pending hot-key batches on every serving node, as
 // store.FlushHot does for one store.
 func (c *Cluster) FlushHot() {
@@ -449,6 +487,7 @@ func (c *Cluster) Stats() Stats {
 		out.Applied += n.applied.Load()
 		out.Replayed += n.replayed.Load()
 		out.Rejected += n.rejected.Load()
+		out.CheckpointRestores += n.ckptRestores.Load()
 		if st := n.currentStore(); st != nil {
 			out.Store.Add(st.Stats())
 		}
@@ -456,13 +495,16 @@ func (c *Cluster) Stats() Stats {
 	return out
 }
 
-// Close stops every node. The broker and topic survive (a closed
-// cluster's log can still be replayed into a batch store).
-func (c *Cluster) Close() {
+// Close stops every node, then closes the ingest topic — for a durable
+// topic that is the final flush+fsync of its segment files. The broker
+// and topic's in-memory state survive (a closed cluster's log can still
+// be replayed into a batch store). Returns the topic's close error, if
+// any.
+func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return
+		return nil
 	}
 	c.closed = true
 	nodes := make([]*Node, 0, len(c.nodes))
@@ -475,4 +517,5 @@ func (c *Cluster) Close() {
 		c.group.Leave(n.name)
 		n.stop()
 	}
+	return c.topic.Close()
 }

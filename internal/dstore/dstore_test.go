@@ -23,7 +23,7 @@ func newTestCluster(t *testing.T, cfg Config) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	for name, mk := range testProtos(t) {
 		if err := c.RegisterMetric(name, mk); err != nil {
 			t.Fatal(err)

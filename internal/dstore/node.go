@@ -6,6 +6,9 @@
 package dstore
 
 import (
+	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,10 +36,16 @@ type Node struct {
 	stopCh chan struct{}
 	done   chan struct{}
 
-	recoveries atomic.Uint64
-	applied    atomic.Uint64
-	replayed   atomic.Uint64
-	rejected   atomic.Uint64
+	// ckptReq hands snapshot requests to the event loop: the loop is the
+	// store's only writer, so a checkpoint taken there captures exactly
+	// the state the committed offsets describe.
+	ckptReq chan chan error
+
+	recoveries   atomic.Uint64
+	applied      atomic.Uint64
+	replayed     atomic.Uint64
+	rejected     atomic.Uint64
+	ckptRestores atomic.Uint64
 }
 
 func newNode(c *Cluster, name string) *Node {
@@ -47,6 +56,7 @@ func newNode(c *Cluster, name string) *Node {
 		serveCh: make(chan struct{}),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
+		ckptReq: make(chan chan error),
 	}
 }
 
@@ -107,6 +117,18 @@ func (n *Node) run() {
 			continue
 		}
 
+		// Service a checkpoint request only here — serving, at the current
+		// generation, with every applied batch committed (a fence rejection
+		// implies a generation change, which the check above routes to
+		// recovery first). The snapshot therefore equals the committed
+		// offsets exactly.
+		select {
+		case reply := <-n.ckptReq:
+			reply <- n.writeCheckpoint(gen)
+			continue
+		default:
+		}
+
 		batches := n.c.group.Poll(n.name, n.c.cfg.PollBatch)
 		if len(batches) == 0 {
 			// Caught up (or unassigned): yield rather than spin on the
@@ -162,22 +184,30 @@ func (n *Node) recover(gen int) {
 	}
 	n.mu.Unlock()
 
-	st, err := n.c.newNodeStore()
-	if err != nil {
-		// Config errors are permanent; park until stopped rather than
-		// hot-loop (New validated the same store config up front, so
-		// this is effectively unreachable).
-		n.rejected.Add(1)
-		select {
-		case <-n.stopCh:
-		case <-time.After(time.Millisecond):
+	freshStore := func() (*store.Store, bool) {
+		st, err := n.c.newNodeStore()
+		if err != nil {
+			// Config errors are permanent; park until stopped rather than
+			// hot-loop (New validated the same store config up front, so
+			// this is effectively unreachable).
+			n.rejected.Add(1)
+			select {
+			case <-n.stopCh:
+			case <-time.After(time.Millisecond):
+			}
+			return nil, false
 		}
-		return
+		if t := n.c.tel.Load(); t != nil {
+			// Wire the fresh store before it serves: re-registration
+			// re-binds the node's metric series to the rebuilt store's
+			// counters.
+			st.SetTelemetry(t.reg, "layer", "dstore", "node", n.name)
+		}
+		return st, true
 	}
-	if t := n.c.tel.Load(); t != nil {
-		// Wire the fresh store before it serves: re-registration re-binds
-		// the node's metric series to the rebuilt store's counters.
-		st.SetTelemetry(t.reg, "layer", "dstore", "node", n.name)
+	st, ok := freshStore()
+	if !ok {
+		return
 	}
 	// Replay through a filtering decoder: a poison message (undecodable,
 	// unregistered metric, negative time) is counted and skipped, exactly
@@ -192,14 +222,39 @@ func (n *Node) recover(gen int) {
 		}
 		return obs, true
 	}
-	for _, pid := range n.c.group.Assignment(n.name) {
-		// From the partition's offset floor (0 when no TruncateBelow has
-		// fenced the cluster): fetch resumes at the oldest retained
-		// message above it, so this is "replay the whole retained, owned
-		// prefix" regardless of where retention has truncated — the
-		// history below the horizon is unrecoverable by construction, and
-		// the history below the floor belongs to the batch layer.
-		next := n.c.floor(pid)
+	// Each partition replays from its offset floor (0 when no
+	// TruncateBelow has fenced the cluster): fetch resumes at the oldest
+	// retained message above it, so this is "replay the whole retained,
+	// owned prefix" regardless of where retention has truncated — the
+	// history below the horizon is unrecoverable by construction, and the
+	// history below the floor belongs to the batch layer. A still-valid
+	// checkpoint raises the start to its recorded offset: the snapshot
+	// already holds [floor, offset), so only the suffix replays.
+	assignment := n.c.group.Assignment(n.name)
+	starts := make([]uint64, len(assignment))
+	for i, pid := range assignment {
+		starts[i] = n.c.floor(pid)
+	}
+	if n.c.cfg.CheckpointDir != "" {
+		offs, restored, dirty := n.tryRestore(st, assignment)
+		switch {
+		case restored:
+			n.ckptRestores.Add(1)
+			for i, pid := range assignment {
+				if offs[pid] > starts[i] {
+					starts[i] = offs[pid]
+				}
+			}
+		case dirty:
+			// The restore failed mid-flight and left partial state: fall
+			// back to a full replay into a rebuilt store.
+			if st, ok = freshStore(); !ok {
+				return
+			}
+		}
+	}
+	for i, pid := range assignment {
+		next := starts[i]
 		for {
 			if n.stopped() || n.c.group.Generation() != gen {
 				return
@@ -301,6 +356,116 @@ func (n *Node) queryKeys(gen int, metric string, keys []string, from, to int64) 
 		return nil, err
 	}
 	return res.RawSynopses(), nil
+}
+
+// checkpointDir is the node's private snapshot directory.
+func (n *Node) checkpointDir() string {
+	return filepath.Join(n.c.cfg.CheckpointDir, n.name)
+}
+
+// requestCheckpoint hands a snapshot request to the event loop and waits
+// for the result. The request is serviced only between fully committed
+// batches (see run), so the snapshot never captures applied-but-
+// uncommitted state.
+func (n *Node) requestCheckpoint() error {
+	reply := make(chan error, 1)
+	select {
+	case n.ckptReq <- reply:
+	case <-n.stopCh:
+		return errNodeStopped(n.name)
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-n.stopCh:
+		return errNodeStopped(n.name)
+	}
+}
+
+// writeCheckpoint snapshots the serving store, stamped with the committed
+// offsets of the owned partitions, the assignment itself, and the floors
+// in force — everything a later recovery needs to decide whether the
+// snapshot still matches its world. Runs on the event loop; gen is the
+// generation the loop is serving at, and a rebalance racing the write
+// invalidates it (the manifest would describe an assignment the data does
+// not match), so the pair is removed and the call fails.
+func (n *Node) writeCheckpoint(gen int) error {
+	st := n.currentStore()
+	if st == nil {
+		return fmt.Errorf("dstore: node %s has no serving store", n.name)
+	}
+	parts := n.c.group.Assignment(n.name)
+	offsets := make([]uint64, n.c.topic.Partitions())
+	for _, pid := range parts {
+		offsets[pid] = n.c.broker.Committed(n.c.cfg.Group, n.c.cfg.Topic, pid)
+	}
+	dir := n.checkpointDir()
+	if _, err := store.WriteCheckpoint(st, dir, store.CheckpointMeta{
+		Offsets:    offsets,
+		Partitions: parts,
+		Floors:     n.c.Floors(),
+	}); err != nil {
+		return err
+	}
+	if n.c.group.Generation() != gen {
+		store.RemoveCheckpoint(dir)
+		return fmt.Errorf("dstore: node %s rebalanced during checkpoint", n.name)
+	}
+	return nil
+}
+
+// tryRestore seeds st from the node's checkpoint when the snapshot still
+// matches this recovery's world: the same owned-partition set, the same
+// offset floors as when it was written (a moved floor bakes in history
+// the batch layer now owns, which no replay can subtract), and geometry
+// the restore itself verifies. On success it returns the full
+// per-partition offset array replay resumes from. A restore that fails
+// mid-flight leaves partial state in st; dirty tells the caller to
+// rebuild the store before falling back to the full replay.
+func (n *Node) tryRestore(st *store.Store, assignment []int) (offsets []uint64, ok, dirty bool) {
+	dir := n.checkpointDir()
+	man, err := store.ReadCheckpointManifest(dir)
+	if err != nil {
+		return nil, false, false
+	}
+	if len(man.Offsets) != n.c.topic.Partitions() || !sameIntSet(man.Partitions, assignment) {
+		return nil, false, false
+	}
+	for _, pid := range assignment {
+		if floorAt(man.Floors, pid) != n.c.floor(pid) {
+			return nil, false, false
+		}
+	}
+	if _, err := store.RestoreCheckpoint(st, dir); err != nil {
+		return nil, false, true
+	}
+	return man.Offsets, true, false
+}
+
+// sameIntSet reports whether a and b hold the same partition ids,
+// ignoring order.
+func sameIntSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// floorAt reads a manifest floor array (nil or short = no fence).
+func floorAt(floors []uint64, pid int) uint64 {
+	if pid < len(floors) {
+		return floors[pid]
+	}
+	return 0
 }
 
 // keys returns the metric's keys resident on this node.

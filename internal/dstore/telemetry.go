@@ -49,6 +49,9 @@ func (c *Cluster) SetTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("analytics_dstore_rejected_total",
 		"Messages dropped by decode or store errors on live nodes.",
 		func() uint64 { return c.Stats().Rejected }, labels...)
+	reg.CounterFunc("analytics_dstore_checkpoint_restores_total",
+		"Node recoveries seeded from a checkpoint (suffix replay) on live nodes.",
+		func() uint64 { return c.Stats().CheckpointRestores }, labels...)
 	reg.CounterFunc("analytics_dstore_fence_rejections_total",
 		"Generation-fenced commits refused (stale owner or mid-rebalance).",
 		func() uint64 { return c.fenceRejected.Load() }, labels...)

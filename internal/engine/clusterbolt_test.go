@@ -17,7 +17,7 @@ func clusterWithUniques(t *testing.T, nodes int) *dstore.Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	proto, err := store.NewDistinctProto(12, 42)
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ func lambdaWithHits(t *testing.T) *lambda.Architecture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a.Close)
+	t.Cleanup(func() { a.Close() })
 	proto, err := store.NewFreqProto(256, 4, 42)
 	if err != nil {
 		t.Fatal(err)

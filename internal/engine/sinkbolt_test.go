@@ -30,12 +30,12 @@ func sinkBackends(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(cl.Close)
+	t.Cleanup(func() { cl.Close() })
 	arch, err := lambda.New(lambda.Config{Partitions: 2, Batch: sinkGeom(), Speed: sinkGeom()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(arch.Close)
+	t.Cleanup(func() { arch.Close() })
 	return []struct {
 		name  string
 		be    analytics.Backend

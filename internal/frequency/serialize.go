@@ -43,6 +43,39 @@ func (cm *CountMin) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
+// UnmarshalBinary decodes into the receiver, which must already be
+// constructed with the encoder's geometry and seed (the checkpoint
+// restore path: the store rehydrates into a fresh Prototype instance, so
+// the receiver carries the configuration and the bytes must match it).
+// A width/depth mismatch or a different hash family is ErrIncompatible,
+// not silently-wrong estimates.
+func (cm *CountMin) UnmarshalBinary(data []byte) error {
+	if len(data) < 29 || binary.LittleEndian.Uint32(data[0:]) != cmMagic {
+		return core.ErrCorrupt
+	}
+	width := int(binary.LittleEndian.Uint32(data[4:]))
+	depth := int(binary.LittleEndian.Uint32(data[8:]))
+	if width <= 0 || depth <= 0 || len(data) != 29+width*depth*8 {
+		return core.ErrCorrupt
+	}
+	if width != cm.width || depth != cm.depth {
+		return core.ErrIncompatible
+	}
+	if binary.LittleEndian.Uint64(data[21:]) != cm.fam.Seed(0) {
+		return core.ErrIncompatible
+	}
+	cm.conservative = data[12]&cmFlagConservative != 0
+	cm.n = binary.LittleEndian.Uint64(data[13:])
+	pos := 29
+	for d := 0; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			cm.counts[d][w] = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		}
+	}
+	return nil
+}
+
 // UnmarshalCountMin decodes a sketch serialized by MarshalBinary. seed
 // must be the construction seed of the encoder; a mismatch is detected
 // and rejected, because a sketch queried under the wrong hash family
@@ -76,4 +109,93 @@ func UnmarshalCountMin(data []byte, seed uint64) (*CountMin, error) {
 		}
 	}
 	return cm, nil
+}
+
+// Space-Saving binary layout:
+//
+//	[magic u32][k u32][n u64][entries u32]
+//	[entries x: count u64, err u64, itemLen u32, item bytes]
+//
+// Entries are written in ascending count order (ties by item) so decode
+// can rebuild the Stream-Summary bucket list with the same O(1)-amortized
+// tail-hint attach the Merge rebuild uses — and so equal summaries
+// marshal to equal bytes.
+const ssMagic = 0x53534156 // "SSAV"
+
+// MarshalBinary encodes the summary. Space-Saving has no hash seeds, so
+// unlike Count-Min the bytes are self-contained up to k.
+func (ss *SpaceSaving) MarshalBinary() ([]byte, error) {
+	entries := ss.TopK(len(ss.elem)) // descending; reversed on write
+	size := 4 + 4 + 8 + 4
+	for _, e := range entries {
+		size += 8 + 8 + 4 + len(e.Item)
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, ssMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(ss.k))
+	out = binary.LittleEndian.AppendUint64(out, ss.n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		out = binary.LittleEndian.AppendUint64(out, e.Count)
+		out = binary.LittleEndian.AppendUint64(out, e.Err)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Item)))
+		out = append(out, e.Item...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes into the receiver, replacing its contents. The
+// receiver's k must match the encoder's — a k mismatch would silently
+// change the summary's error guarantee, so it is ErrIncompatible.
+func (ss *SpaceSaving) UnmarshalBinary(data []byte) error {
+	if len(data) < 20 || binary.LittleEndian.Uint32(data[0:]) != ssMagic {
+		return core.ErrCorrupt
+	}
+	if int(binary.LittleEndian.Uint32(data[4:])) != ss.k {
+		return core.ErrIncompatible
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	entries := int(binary.LittleEndian.Uint32(data[16:]))
+	if entries > ss.k {
+		return core.ErrCorrupt
+	}
+	ss.Reset()
+	ss.n = n
+	pos := 20
+	var after *ssBucket
+	var prevCount uint64
+	for i := 0; i < entries; i++ {
+		if pos+20 > len(data) {
+			return core.ErrCorrupt
+		}
+		count := binary.LittleEndian.Uint64(data[pos:])
+		errBound := binary.LittleEndian.Uint64(data[pos+8:])
+		itemLen := int(binary.LittleEndian.Uint32(data[pos+16:]))
+		pos += 20
+		if pos+itemLen > len(data) {
+			return core.ErrCorrupt
+		}
+		item := string(data[pos : pos+itemLen])
+		pos += itemLen
+		if i > 0 && count < prevCount {
+			return core.ErrCorrupt // ascending order is part of the format
+		}
+		prevCount = count
+		if _, dup := ss.elem[item]; dup {
+			return core.ErrCorrupt
+		}
+		node := &ssNode{item: item, err: errBound}
+		ss.elem[item] = node
+		hint := after
+		if hint != nil && hint.count >= count {
+			hint = hint.prev
+		}
+		ss.attach(node, count, hint)
+		after = node.bucket
+	}
+	if pos != len(data) {
+		return core.ErrCorrupt
+	}
+	return nil
 }

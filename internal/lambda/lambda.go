@@ -81,6 +81,18 @@ type Config struct {
 	Cluster *dstore.Config
 	// ClusterNodes is how many nodes to start in cluster mode (default 2).
 	ClusterNodes int
+	// Durable, when non-nil, backs the master topic with segmented
+	// on-disk persistence (see mqlog.DurableConfig), so the master
+	// dataset survives a process restart. In cluster mode it is copied
+	// into the cluster config (unless Cluster.Durable is already set),
+	// since the cluster's ingest topic is the master.
+	Durable *mqlog.DurableConfig
+	// CheckpointDir, when non-empty, makes batch recomputation
+	// incremental across restarts: RunBatch writes each installed view's
+	// checkpoint there, and the next RunBatch (in this process or a
+	// restarted one) seeds its view from the snapshot and replays only
+	// the log suffix past it (store.FreezeAtFrom).
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -98,10 +110,12 @@ func (c Config) withDefaults() Config {
 
 // BatchInfo describes one completed batch run.
 type BatchInfo struct {
-	Version   uint64   // 1 for the first batch view, then increasing
-	Ends      []uint64 // per-partition frozen end offsets the view covers
-	Applied   uint64   // observations the recompute replayed
-	Truncated bool     // part of the covered range was lost to retention
+	Version        uint64   // 1 for the first batch view, then increasing
+	Ends           []uint64 // per-partition frozen end offsets the view covers
+	Applied        uint64   // observations the recompute replayed (suffix only when FromCheckpoint)
+	Truncated      bool     // part of the covered range was lost to retention
+	Restored       uint64   // bucket records rehydrated from a checkpoint
+	FromCheckpoint bool     // the view was seeded from a checkpoint
 }
 
 // Architecture wires the layers together per Figure 1.
@@ -153,7 +167,13 @@ func New(cfg Config) (*Architecture, error) {
 		return nil, fmt.Errorf("lambda: batch store config: %w", err)
 	}
 	if cfg.Cluster != nil {
-		cl, err := dstore.New(*cfg.Cluster)
+		ccfg := *cfg.Cluster
+		if ccfg.Durable == nil {
+			// The cluster's ingest topic is the master dataset, so the
+			// architecture's durability setting belongs to it.
+			ccfg.Durable = cfg.Durable
+		}
+		cl, err := dstore.New(ccfg)
 		if err != nil {
 			return nil, fmt.Errorf("lambda: cluster speed layer: %w", err)
 		}
@@ -166,7 +186,7 @@ func New(cfg Config) (*Architecture, error) {
 		return nil, fmt.Errorf("lambda: speed store config: %w", err)
 	}
 	a.speed = speed
-	topic, err := mqlog.NewBroker().CreateTopic(cfg.Topic, cfg.Partitions, cfg.Retention)
+	topic, err := mqlog.NewBroker().CreateTopicDurable(cfg.Topic, cfg.Partitions, cfg.Retention, cfg.Durable)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +340,11 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 	if tel != nil {
 		freezeStart = time.Now()
 	}
-	view, err := store.FreezeAt(a.cfg.Batch, a.protoTable(), a.topic, ends, nil)
+	// With a CheckpointDir the recompute is incremental: the previous
+	// run's snapshot (possibly from a previous process) seeds the view
+	// and only the log suffix past it replays. Without one, or when the
+	// snapshot no longer fits, this is the full [0, ends) recompute.
+	view, err := store.FreezeAtFrom(a.cfg.Batch, a.protoTable(), a.topic, ends, nil, a.cfg.CheckpointDir)
 	if err != nil {
 		return BatchInfo{}, err
 	}
@@ -382,7 +406,24 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 		tel.truncate.ObserveSince(truncStart)
 		tel.handoff.ObserveSince(handoffStart)
 	}
-	return BatchInfo{Version: a.version.Load(), Ends: view.EndOffsets(), Applied: view.Applied(), Truncated: view.Truncated()}, nil
+	info := BatchInfo{
+		Version:        a.version.Load(),
+		Ends:           view.EndOffsets(),
+		Applied:        view.Applied(),
+		Truncated:      view.Truncated(),
+		Restored:       view.Restored(),
+		FromCheckpoint: view.FromCheckpoint(),
+	}
+	if a.cfg.CheckpointDir != "" {
+		// Persist the just-installed view after the handoff completes: a
+		// write failure costs only the next run's fast path, but the
+		// caller should know — the view is serving either way (Version
+		// already counts it).
+		if _, err := view.WriteCheckpoint(a.cfg.CheckpointDir); err != nil {
+			return info, fmt.Errorf("lambda: batch checkpoint: %w", err)
+		}
+	}
+	return info, nil
 }
 
 // Observe absorbs one observation — the analytics.Backend spelling of
@@ -681,10 +722,13 @@ func (a *Architecture) Drain() error {
 	return nil
 }
 
-// Close releases the architecture (stops cluster nodes). The master
-// topic survives: a closed architecture's log can still be replayed.
-func (a *Architecture) Close() {
+// Close releases the architecture: cluster nodes stop, and the master
+// topic is closed — for a durable topic that is the final flush+fsync
+// of its segment files. The topic's in-memory state survives: a closed
+// architecture's log can still be replayed.
+func (a *Architecture) Close() error {
 	if a.cluster != nil {
-		a.cluster.Close()
+		return a.cluster.Close()
 	}
+	return a.topic.Close()
 }

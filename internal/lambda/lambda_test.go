@@ -49,7 +49,7 @@ func newArch(t testing.TB, cfg Config) *Architecture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(a.Close)
+	t.Cleanup(func() { a.Close() })
 	for name, proto := range testProtos(t) {
 		if err := a.RegisterMetric(name, proto); err != nil {
 			t.Fatal(err)

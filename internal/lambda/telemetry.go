@@ -37,6 +37,14 @@ func (a *Architecture) SetTelemetry(reg *telemetry.Registry) {
 	reg.GaugeFunc("analytics_lambda_staleness_records",
 		"Appended observations not yet covered by the batch view.",
 		func() float64 { return float64(a.Staleness()) }, labels...)
+	reg.GaugeFunc("analytics_lambda_batch_restored_records",
+		"Checkpoint records the current batch view was seeded from (0 = full recompute).",
+		func() float64 {
+			if v := a.batch.Load(); v != nil {
+				return float64(v.Restored())
+			}
+			return 0
+		}, labels...)
 
 	tel := &archTel{
 		reg: reg,

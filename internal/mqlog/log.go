@@ -12,6 +12,7 @@
 package mqlog
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,17 @@ import (
 	"repro/internal/hashutil"
 	"repro/internal/telemetry"
 )
+
+// ErrEmptyBatch is returned by the batch produce paths when the record
+// slice is empty: there is no "first assigned offset" for a batch that
+// assigned nothing, and returning the current end offset instead would
+// hand callers a fence anchored on a record they never wrote.
+var ErrEmptyBatch = errors.New("mqlog: empty record batch")
+
+// ErrInvalidFetchMax is returned by Fetch when max <= 0. Without it a
+// zero max yields an empty batch indistinguishable from "caught up",
+// and raw Fetch poll loops spin forever.
+var ErrInvalidFetchMax = errors.New("mqlog: fetch max must be positive")
 
 // Message is one log entry.
 type Message struct {
@@ -37,7 +49,8 @@ type partition struct {
 	base  uint64 // offset of msgs[head]
 	head  int    // index of the oldest retained message in msgs
 	msgs  []Message
-	limit int // max retained messages (0 = unlimited)
+	limit int           // max retained messages (0 = unlimited)
+	dur   *durPartition // disk write-through state; nil for in-memory topics
 }
 
 func (p *partition) append(key string, value []byte) uint64 {
@@ -50,6 +63,9 @@ func (p *partition) append(key string, value []byte) uint64 {
 func (p *partition) appendLocked(key string, value []byte) uint64 {
 	off := p.base + uint64(len(p.msgs)-p.head)
 	p.msgs = append(p.msgs, Message{Key: key, Value: value, Offset: off})
+	if p.dur != nil {
+		p.durAppendLocked(key, value, off)
+	}
 	if p.limit > 0 && len(p.msgs)-p.head > p.limit {
 		drop := len(p.msgs) - p.head - p.limit
 		p.head += drop
@@ -64,15 +80,18 @@ func (p *partition) appendLocked(key string, value []byte) uint64 {
 }
 
 // appendBatch lands a batch of records under one lock acquisition and
-// returns the offset of the first record (they are assigned contiguously).
-func (p *partition) appendBatch(recs []Record) uint64 {
+// returns the offset of the first record (they are assigned
+// contiguously). An empty batch assigns nothing and reports ok=false:
+// the returned offset is the partition's current end, which is NOT the
+// offset of any record in this batch and must not be used as a fence.
+func (p *partition) appendBatch(recs []Record) (first uint64, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	first := p.base + uint64(len(p.msgs)-p.head)
+	first = p.base + uint64(len(p.msgs)-p.head)
 	for _, r := range recs {
 		p.appendLocked(r.Key, r.Value)
 	}
-	return first
+	return first, len(recs) > 0
 }
 
 // fetch returns up to max messages starting at offset. When offset has been
@@ -133,6 +152,21 @@ type Topic struct {
 	produced      atomic.Uint64
 	fetched       atomic.Uint64
 	telFetchBatch atomic.Pointer[telemetry.Histogram]
+
+	// Durability (durable.go). dur is set once at creation and never
+	// mutated; nil means in-memory. The counters are always-on atomics;
+	// the fsync-latency histogram is wired by SetTelemetry.
+	dur              *DurableConfig
+	stopSync         chan struct{}
+	syncDone         chan struct{}
+	closeOnce        sync.Once
+	fsyncs           atomic.Uint64
+	segRolls         atomic.Uint64
+	tornTruncations  atomic.Uint64
+	recoveredRecords atomic.Uint64
+	recoveryNanos    atomic.Int64
+	diskErrors       atomic.Uint64
+	telFsync         atomic.Pointer[telemetry.Histogram]
 }
 
 // Broker hosts topics and consumer-group offsets.
@@ -263,13 +297,20 @@ func (t *Topic) ProduceBatch(recs []Record) int {
 // under one lock acquisition and returns the first assigned offset —
 // the -To form of ProduceBatch, for producers that already partitioned
 // (a router that routed by PartitionFor must not pay a second hash per
-// record here).
+// record here). An empty batch is ErrEmptyBatch: it assigns no offsets,
+// so there is no first offset to return, and silently handing back the
+// current end offset would let a caller fence on a record it never
+// wrote.
 func (t *Topic) ProduceBatchTo(partitionID int, recs []Record) (uint64, error) {
 	if partitionID < 0 || partitionID >= len(t.parts) {
 		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
 	}
+	if len(recs) == 0 {
+		return 0, ErrEmptyBatch
+	}
 	t.produced.Add(uint64(len(recs)))
-	return t.parts[partitionID].appendBatch(recs), nil
+	first, _ := t.parts[partitionID].appendBatch(recs)
+	return first, nil
 }
 
 // ProduceTo appends a message to an explicit partition.
@@ -282,9 +323,15 @@ func (t *Topic) ProduceTo(partitionID int, key string, value []byte) (uint64, er
 }
 
 // Fetch reads up to max messages from one partition starting at offset.
+// max must be positive: a non-positive max can never return messages,
+// which is indistinguishable from "caught up" and spins raw poll loops
+// forever — it is rejected with ErrInvalidFetchMax instead.
 func (t *Topic) Fetch(partitionID int, offset uint64, max int) (msgs []Message, next uint64, truncated bool, err error) {
 	if partitionID < 0 || partitionID >= len(t.parts) {
 		return nil, 0, false, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
+	}
+	if max <= 0 {
+		return nil, offset, false, ErrInvalidFetchMax
 	}
 	msgs, next, truncated = t.parts[partitionID].fetch(offset, max)
 	if len(msgs) > 0 {
@@ -349,14 +396,26 @@ func (b *Broker) Committed(group, topic string, partitionID int) uint64 {
 }
 
 // Lag returns the total unconsumed messages for a group across a topic's
-// partitions — the standard consumer health metric.
+// partitions — the standard consumer health metric. The group's
+// committed offsets are snapshotted once under one broker lock before
+// any end offset is read: interleaving per-partition Committed calls
+// with end-offset reads would let a commit landing mid-scan shift the
+// baseline between partitions and double-count in-flight ones.
 func (b *Broker) Lag(group string, t *Topic) uint64 {
+	b.mu.Lock()
+	var committed []uint64
+	if byTopic, ok := b.groupOffsets[group]; ok {
+		committed = append(committed, byTopic[t.name]...)
+	}
+	b.mu.Unlock()
 	var total uint64
-	for pid := range t.parts {
-		end := t.EndOffset(pid)
-		committed := b.Committed(group, t.name, pid)
-		if end > committed {
-			total += end - committed
+	for pid, p := range t.parts {
+		var c uint64
+		if pid < len(committed) {
+			c = committed[pid]
+		}
+		if end := p.endOffset(); end > c {
+			total += end - c
 		}
 	}
 	return total

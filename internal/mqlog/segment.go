@@ -1,0 +1,215 @@
+// segment.go is the on-disk unit of the durable log: one append-only
+// file per contiguous offset range, named by its base offset, holding
+// length-prefixed CRC-framed records. The format is deliberately dumb —
+// no index, no compression — because partitions are replayed front to
+// back on open and served from memory afterwards; the file's only jobs
+// are surviving the process and making torn tails detectable.
+//
+// Layout:
+//
+//	header  [4]magic "MQSG"  [4]version  [8]base offset        (16 bytes)
+//	record  [4]payload len   [4]crc32(payload)  [payload]      (repeated)
+//	payload [4]key len       [key bytes]        [value bytes]
+//
+// All integers are little-endian. A record whose frame is incomplete or
+// whose CRC does not match ends the readable log; recovery truncates the
+// file there (a torn tail from a crash mid-write) and everything before
+// it is intact by construction.
+package mqlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segMagic      uint32 = 0x4d515347 // "MQSG"
+	segVersion    uint32 = 1
+	segHeaderSize        = 16
+	recFrameSize         = 8 // payload length + crc32
+	segSuffix            = ".seg"
+)
+
+// segmentName renders a base offset as the segment's file name; zero-
+// padding keeps lexicographic order equal to numeric order.
+func segmentName(base uint64) string {
+	return fmt.Sprintf("%020d%s", base, segSuffix)
+}
+
+// parseSegmentName recovers the base offset from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	s, ok := strings.CutSuffix(name, segSuffix)
+	if !ok || len(s) != 20 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// appendSegmentHeader appends the 16-byte segment header to buf.
+func appendSegmentHeader(buf []byte, base uint64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, segMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, base)
+	return buf
+}
+
+// appendRecord appends one framed record to buf and returns the extended
+// slice — the single encode path shared by the writer and by tests that
+// construct segment files directly.
+func appendRecord(buf []byte, key string, value []byte) []byte {
+	payloadLen := 4 + len(key) + len(value)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc placeholder
+	payloadAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	crc := crc32.ChecksumIEEE(buf[payloadAt:])
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc)
+	return buf
+}
+
+// recordSize is the on-disk footprint of one record.
+func recordSize(key string, value []byte) int64 {
+	return int64(recFrameSize + 4 + len(key) + len(value))
+}
+
+// segmentScan is the result of reading one segment file front to back.
+type segmentScan struct {
+	base     uint64    // base offset from the header
+	msgs     []Message // decoded records, offsets assigned from base
+	validEnd int64     // file offset just past the last intact record
+	torn     bool      // the file extended past validEnd with a bad frame
+}
+
+// scanSegment reads and validates an entire segment file. It never
+// modifies the file; the caller decides whether to truncate a torn tail.
+// Frame errors (short header, impossible length, CRC mismatch) end the
+// scan rather than failing it — everything before the first bad frame is
+// intact and usable. Only a corrupt segment header is a hard error.
+func scanSegment(path string) (segmentScan, error) {
+	var sc segmentScan
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if len(data) < segHeaderSize {
+		return sc, fmt.Errorf("mqlog: segment %s: short header (%d bytes)", filepath.Base(path), len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:4]); magic != segMagic {
+		return sc, fmt.Errorf("mqlog: segment %s: bad magic %#x", filepath.Base(path), magic)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
+		return sc, fmt.Errorf("mqlog: segment %s: unsupported version %d", filepath.Base(path), v)
+	}
+	sc.base = binary.LittleEndian.Uint64(data[8:16])
+	if wantBase, ok := parseSegmentName(filepath.Base(path)); ok && wantBase != sc.base {
+		return sc, fmt.Errorf("mqlog: segment %s: header base %d does not match file name", filepath.Base(path), sc.base)
+	}
+	pos := int64(segHeaderSize)
+	off := sc.base
+	for {
+		rest := data[pos:]
+		if len(rest) == 0 {
+			break // clean end of file
+		}
+		if len(rest) < recFrameSize {
+			sc.torn = true
+			break
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		if payloadLen < 4 || recFrameSize+payloadLen > int64(len(rest)) {
+			sc.torn = true
+			break
+		}
+		payload := rest[recFrameSize : recFrameSize+payloadLen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			sc.torn = true
+			break
+		}
+		keyLen := int64(binary.LittleEndian.Uint32(payload[0:4]))
+		if 4+keyLen > payloadLen {
+			sc.torn = true
+			break
+		}
+		key := string(payload[4 : 4+keyLen])
+		value := make([]byte, payloadLen-4-keyLen)
+		copy(value, payload[4+keyLen:])
+		sc.msgs = append(sc.msgs, Message{Key: key, Value: value, Offset: off})
+		off++
+		pos += recFrameSize + payloadLen
+	}
+	sc.validEnd = pos
+	return sc, nil
+}
+
+// listSegments returns the segment files in dir sorted by base offset.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSegmentName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded names: lexicographic == numeric
+	return names, nil
+}
+
+// createSegment creates a fresh segment file for base and leaves the file
+// positioned for appends, header written but not yet synced.
+func createSegment(dir string, base uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(appendSegmentHeader(make([]byte, 0, segHeaderSize), base)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncIgnoringClosed fsyncs f, treating a concurrently closed handle as
+// success: the group-commit syncer fsyncs outside the partition lock, so
+// a segment roll can close the file between flush and sync — and the
+// roll path itself syncs before closing, so the data is already down.
+func syncIgnoringClosed(f *os.File) error {
+	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// discardLater removes segment files with a base at or above from —
+// recovery's answer to a torn or missing middle segment: the log's
+// readable prefix ends at the tear, and anything after it would leave an
+// offset gap, so it is unlinked rather than served.
+func discardLater(dir string, names []string, from int) error {
+	for _, name := range names[from:] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,6 +34,34 @@ func (t *Topic) SetTelemetry(reg *telemetry.Registry) {
 	t.telFetchBatch.Store(reg.Histogram("analytics_mqlog_fetch_batch_records",
 		"Records per non-empty fetch (poll efficiency).",
 		0, 512, 64, "topic", t.name))
+	if t.dur != nil {
+		reg.CounterFunc("analytics_mqlog_fsyncs_total",
+			"Fsyncs issued against the topic's segment files.",
+			func() uint64 { return t.fsyncs.Load() }, "topic", t.name)
+		reg.CounterFunc("analytics_mqlog_segment_rolls_total",
+			"Active-segment rolls across the topic's partitions.",
+			func() uint64 { return t.segRolls.Load() }, "topic", t.name)
+		reg.CounterFunc("analytics_mqlog_torn_truncations_total",
+			"Torn tail records truncated during recovery scans.",
+			func() uint64 { return t.tornTruncations.Load() }, "topic", t.name)
+		reg.CounterFunc("analytics_mqlog_recovered_records_total",
+			"Records replayed from segment files at topic open.",
+			func() uint64 { return t.recoveredRecords.Load() }, "topic", t.name)
+		reg.CounterFunc("analytics_mqlog_disk_errors_total",
+			"Latched disk failures (durability degraded, serving continues).",
+			func() uint64 { return t.diskErrors.Load() }, "topic", t.name)
+		reg.GaugeFunc("analytics_mqlog_recovery_scan_seconds",
+			"Wall time of the open-time segment recovery scan.",
+			func() float64 { return float64(t.recoveryNanos.Load()) / 1e9 },
+			"topic", t.name)
+		reg.GaugeFunc("analytics_mqlog_disk_bytes",
+			"On-disk footprint of the topic's segment files.",
+			func() float64 { return float64(t.DurabilityStats().DiskBytes) },
+			"topic", t.name)
+		t.telFsync.Store(reg.Histogram("analytics_mqlog_fsync_seconds",
+			"Latency of segment fsyncs (group commits and explicit Syncs).",
+			0, 0.05, 50, "topic", t.name))
+	}
 }
 
 // SetTelemetry registers the group's health metrics with reg: total

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mqlog"
+)
+
+func ckptGeom() Config {
+	return Config{Shards: 4, BucketWidth: 100, RingBuckets: 64}
+}
+
+// ckptProtos returns all four synopsis families — a checkpoint must round-
+// trip every codec the store can hold.
+func ckptProtos(t testing.TB) map[string]Prototype {
+	t.Helper()
+	protos := map[string]Prototype{}
+	mk := func(name string, p Prototype, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[name] = p
+	}
+	cm, err := NewFreqProto(256, 4, 11)
+	mk("hits", cm, err)
+	hll, err := NewDistinctProto(12, 11)
+	mk("uniq", hll, err)
+	ss, err := NewTopKProto(64)
+	mk("top", ss, err)
+	qd, err := NewQuantileProto(16, 64)
+	mk("lat", qd, err)
+	return protos
+}
+
+func ckptStore(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range ckptProtos(t) {
+		if err := st.RegisterMetric(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// ckptObs is the deterministic four-family workload the checkpoint tests
+// feed: i indexes the stream, keys skew so hot-key promotion fires.
+func ckptObs(i int) []Observation {
+	key := fmt.Sprintf("k%d", i*i%13)
+	now := int64(i)
+	item := fmt.Sprintf("u%d", i%97)
+	return []Observation{
+		{Metric: "hits", Key: key, Item: item, Value: 1 + uint64(i)%5, Time: now},
+		{Metric: "uniq", Key: key, Item: item, Time: now},
+		{Metric: "top", Key: "global", Item: key, Time: now},
+		{Metric: "lat", Key: key, Value: uint64(i*2654435761) % 50000, Time: now},
+	}
+}
+
+// assertCheckpointAgree compares every key's answers across all four families
+// and two time ranges. Observation order is identical on both sides, so
+// the sketch answers must be exactly equal, not merely close.
+func assertCheckpointAgree(t *testing.T, got, want interface {
+	Query(QueryRequest) (QueryResult, error)
+	Keys(string) []string
+}, to int64, context string) {
+	t.Helper()
+	keys := want.Keys("hits")
+	if len(keys) == 0 {
+		t.Fatalf("%s: reference store has no keys", context)
+	}
+	for _, r := range [][2]int64{{0, to + 1}, {to / 3, 2 * to / 3}} {
+		req := QueryRequest{Metrics: []string{"hits", "uniq", "lat"}, Keys: keys, From: r[0], To: r[1]}
+		gr, err := got.Query(req)
+		if err != nil {
+			t.Fatalf("%s: %v", context, err)
+		}
+		wr, err := want.Query(req)
+		if err != nil {
+			t.Fatalf("%s: %v", context, err)
+		}
+		ga, wa := gr.Answers(), wr.Answers()
+		if len(ga) != len(wa) {
+			t.Fatalf("%s: %d answers vs %d", context, len(ga), len(wa))
+		}
+		for i := range ga {
+			for u := 0; u < 8; u++ {
+				item := fmt.Sprintf("u%d", u)
+				if g, w := ga[i].Count(item), wa[i].Count(item); g != w {
+					t.Fatalf("%s: range %v %s/%s count[%s] %d != %d", context, r, ga[i].Metric, ga[i].Key, item, g, w)
+				}
+			}
+			if g, w := ga[i].Distinct(), wa[i].Distinct(); g != w {
+				t.Fatalf("%s: range %v %s/%s distinct %d != %d", context, r, ga[i].Metric, ga[i].Key, g, w)
+			}
+			for _, phi := range []float64{0.5, 0.99} {
+				if g, w := ga[i].Quantile(phi), wa[i].Quantile(phi); g != w {
+					t.Fatalf("%s: range %v %s/%s p%v %d != %d", context, r, ga[i].Metric, ga[i].Key, phi, g, w)
+				}
+			}
+		}
+		gt, err := got.Query(QueryRequest{Metric: "top", Key: "global", From: r[0], To: r[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, err := want.Query(QueryRequest{Metric: "top", Key: "global", From: r[0], To: r[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, c := range wt.TopK(5) {
+			if g := gt.TopK(5)[j]; g != c {
+				t.Fatalf("%s: range %v top[%d] %+v != %+v", context, r, j, g, c)
+			}
+		}
+	}
+}
+
+func TestCheckpointRestoreParity(t *testing.T) {
+	// Hot-key splaying on: WriteCheckpoint must quiesce replica sub-entries
+	// back into their home series before serializing.
+	cfg := ckptGeom()
+	cfg.HotKey = HotKeyConfig{Replicas: 4, MaxHot: 8, PromotePct: 1, EpochWrites: 128, SampleEvery: 1}
+	src := ckptStore(t, cfg)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		for _, obs := range ckptObs(i) {
+			if err := src.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	src.FlushHot()
+
+	dir := t.TempDir()
+	meta := CheckpointMeta{Offsets: []uint64{7, 11}, Partitions: []int{0, 3}, Floors: []uint64{2, 5}}
+	info, err := WriteCheckpoint(src, dir, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records == 0 || info.Bytes == 0 {
+		t.Fatalf("empty checkpoint written: %+v", info)
+	}
+
+	dst := ckptStore(t, cfg)
+	man, err := RestoreCheckpoint(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manifest carries the caller's log position verbatim.
+	for i, off := range meta.Offsets {
+		if man.Offsets[i] != off {
+			t.Fatalf("manifest offsets %v, want %v", man.Offsets, meta.Offsets)
+		}
+	}
+	if len(man.Partitions) != 2 || man.Partitions[1] != 3 || len(man.Floors) != 2 || man.Floors[1] != 5 {
+		t.Fatalf("manifest partitions %v floors %v, want %v %v", man.Partitions, man.Floors, meta.Partitions, meta.Floors)
+	}
+	if man.Records != info.Records {
+		t.Fatalf("manifest records %d, checkpoint wrote %d", man.Records, info.Records)
+	}
+	assertCheckpointAgree(t, dst, src, n-1, "restore parity")
+
+	// A restored store keeps absorbing: sealing must match what advance
+	// would have left, so later writes land normally.
+	late := ckptObs(n)
+	for _, obs := range late {
+		if err := dst.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertCheckpointAgree(t, dst, src, n, "post-restore writes")
+}
+
+// TestCheckpointSuffixReplayEqualsFullReplay is the crash-recovery oracle:
+// a store restored from a mid-stream checkpoint and fed only the log
+// suffix past its recorded offsets must equal a store that replayed the
+// whole log — the exact contract node recovery and FreezeAtFrom rely on.
+func TestCheckpointSuffixReplayEqualsFullReplay(t *testing.T) {
+	topic, err := mqlog.NewBroker().CreateTopic("log", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 1000
+	produce := func(from, to int) {
+		for i := from; i < to; i++ {
+			for _, obs := range ckptObs(i) {
+				topic.Produce(obs.Key, EncodeObservation(obs))
+			}
+		}
+	}
+	produce(0, half)
+	cut := topic.EndOffsets()
+	produce(half, 2*half)
+
+	// Prefix store: replay [0, cut), checkpoint stamped with cut.
+	prefix := ckptStore(t, ckptGeom())
+	for pid := 0; pid < topic.Partitions(); pid++ {
+		if _, _, _, err := ReplayPartitionTo(prefix, topic, pid, 0, cut[pid], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prefix.FlushHot()
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(prefix, dir, CheckpointMeta{Offsets: cut}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovered store: restore + suffix replay only.
+	recovered := ckptStore(t, ckptGeom())
+	man, err := RestoreCheckpoint(recovered, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suffix uint64
+	for pid := 0; pid < topic.Partitions(); pid++ {
+		_, applied, _, err := ReplayPartitionTo(recovered, topic, pid, man.Offsets[pid], topic.EndOffset(pid), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suffix += applied
+	}
+	recovered.FlushHot()
+	if want := uint64(half * 4); suffix != want {
+		t.Fatalf("suffix replay applied %d observations, want exactly the suffix %d", suffix, want)
+	}
+
+	oracle, _, err := Rebuild(ckptGeom(), ckptProtos(t), topic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointAgree(t, recovered, oracle, 2*half-1, "suffix replay vs full replay")
+}
+
+func TestCheckpointRestoreValidation(t *testing.T) {
+	src := ckptStore(t, ckptGeom())
+	for i := 0; i < 200; i++ {
+		for _, obs := range ckptObs(i) {
+			if err := src.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dir := t.TempDir()
+	if _, err := WriteCheckpoint(src, dir, CheckpointMeta{Offsets: []uint64{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Geometry mismatch: restoring into different bucketing would merge
+	// observations into wrong time ranges silently, so it must refuse.
+	narrow := ckptGeom()
+	narrow.BucketWidth = 50
+	if _, err := RestoreCheckpoint(ckptStore(t, narrow), dir); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("geometry mismatch: got %v, want ErrIncompatible", err)
+	}
+
+	// Non-empty store.
+	dirty := ckptStore(t, ckptGeom())
+	if err := dirty.Observe(ckptObs(0)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCheckpoint(dirty, dir); err == nil {
+		t.Fatal("restore into a non-empty store accepted")
+	}
+
+	// Corrupt data file: flip one byte past the frame headers.
+	data := filepath.Join(dir, "checkpoint.dat")
+	raw, err := os.ReadFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(data, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCheckpoint(ckptStore(t, ckptGeom()), dir); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("corrupt data: got %v, want ErrCorrupt", err)
+	}
+
+	// RemoveCheckpoint deletes the pair and is idempotent.
+	if err := RemoveCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointManifest(dir); !os.IsNotExist(err) {
+		t.Fatalf("manifest survives removal: %v", err)
+	}
+	if _, err := os.Stat(data); !os.IsNotExist(err) {
+		t.Fatalf("data file survives removal: %v", err)
+	}
+	if err := RemoveCheckpoint(dir); err != nil {
+		t.Fatalf("second removal: %v", err)
+	}
+}
+
+func TestFreezeAtFromCheckpointSeedsSuffix(t *testing.T) {
+	topic, err := mqlog.NewBroker().CreateTopic("log", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const first, extra = 800, 300
+	produce := func(from, to int) {
+		for i := from; i < to; i++ {
+			for _, obs := range ckptObs(i) {
+				topic.Produce(obs.Key, EncodeObservation(obs))
+			}
+		}
+	}
+	produce(0, first)
+
+	dir := t.TempDir()
+	v1, err := FreezeAt(ckptGeom(), ckptProtos(t), topic, topic.EndOffsets(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.FromCheckpoint() || v1.Restored() != 0 {
+		t.Fatalf("first freeze claims a checkpoint: %+v", v1)
+	}
+	if _, err := v1.WriteCheckpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	produce(first, first+extra)
+	ends := topic.EndOffsets()
+	v2, err := FreezeAtFrom(ckptGeom(), ckptProtos(t), topic, ends, nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.FromCheckpoint() || v2.Restored() == 0 {
+		t.Fatalf("second freeze ignored the checkpoint: restored=%d from=%v", v2.Restored(), v2.FromCheckpoint())
+	}
+	if want := uint64(extra * 4); v2.Applied() != want {
+		t.Fatalf("seeded freeze applied %d, want exactly the suffix %d", v2.Applied(), want)
+	}
+	oracleView, err := FreezeAt(ckptGeom(), ckptProtos(t), topic, ends, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointAgree(t, v2, oracleView, int64(first+extra-1), "seeded freeze vs full recompute")
+
+	// A checkpoint restricted to an owned partition subset, or written
+	// under an offset floor, covers [floor, off) per partition — a batch
+	// view claims [0, ends), so both must be rejected, not restored.
+	st := ckptStore(t, ckptGeom())
+	for i := 0; i < 50; i++ {
+		for _, obs := range ckptObs(i) {
+			if err := st.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, meta := range map[string]CheckpointMeta{
+		"owned-subset": {Offsets: ends, Partitions: []int{0, 1}},
+		"floored":      {Offsets: ends, Floors: []uint64{1, 1, 1, 1}},
+	} {
+		sub := t.TempDir()
+		if _, err := WriteCheckpoint(st, sub, meta); err != nil {
+			t.Fatal(err)
+		}
+		v, err := FreezeAtFrom(ckptGeom(), ckptProtos(t), topic, ends, nil, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.FromCheckpoint() {
+			t.Fatalf("%s checkpoint seeded a batch view", name)
+		}
+	}
+}

@@ -74,6 +74,11 @@ func TestReplayResumesFromCommittedOffsets(t *testing.T) {
 	// with the store intact and the positions durable in the broker.
 	for pid := 0; pid < topic.Partitions(); pid++ {
 		mid := topic.EndOffset(pid) / 2
+		if mid == 0 {
+			// Nothing routed here (or a single message): Fetch rejects
+			// max <= 0 by contract, so there is no half-consumed leg.
+			continue
+		}
 		msgs, next, _, err := topic.Fetch(pid, 0, int(mid))
 		if err != nil {
 			t.Fatal(err)

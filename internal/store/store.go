@@ -321,6 +321,12 @@ type Store struct {
 	promotions  atomic.Uint64
 	demotions   atomic.Uint64
 
+	// Checkpoint counters (checkpoint.go): the last written snapshot's
+	// size and the records rehydrated into this store at restore.
+	ckptRecords atomic.Uint64
+	ckptBytes   atomic.Uint64
+	restored    atomic.Uint64
+
 	// Telemetry hooks (telemetry.go). Nil when no registry is wired;
 	// the write and query paths gate their time.Now() pairs on these,
 	// so an uninstrumented store pays one pointer check per hot-path

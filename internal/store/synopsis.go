@@ -11,6 +11,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/cardinality"
@@ -264,3 +265,52 @@ func (qs *Quantiles) Bytes() int { return qs.q.Bytes() }
 
 // Quantile returns the estimated phi-quantile of the observed values.
 func (qs *Quantiles) Quantile(phi float64) uint64 { return qs.q.Query(phi) }
+
+// ---- Binary codecs (checkpoint/restore) ----
+//
+// All four built-in adapters implement encoding.BinaryMarshaler and
+// encoding.BinaryUnmarshaler by delegating to their sketches — the
+// optional extension the store's checkpoint writer requires of a
+// Prototype's synopses. Unmarshal always decodes into a receiver the
+// restoring store constructed from its own registered Prototype, so the
+// receiver carries the configuration (widths, seeds, universes) and the
+// codecs verify the bytes against it where the underlying sketch can.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (d *Distinct) MarshalBinary() ([]byte, error) { return d.h.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The
+// HyperLogLog's own decoder adopts whatever precision and seed the bytes
+// carry, so the adapter first checks them against the receiver's — a
+// checkpoint written under a different hash seed must not silently
+// rehydrate into this prototype.
+func (d *Distinct) UnmarshalBinary(data []byte) error {
+	if len(data) >= 9 {
+		cur, err := d.h.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if cur[0] != data[0] || !bytes.Equal(cur[1:9], data[1:9]) {
+			return fmt.Errorf("store: distinct synopsis: %w", core.ErrIncompatible)
+		}
+	}
+	return d.h.UnmarshalBinary(data)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (f *Freq) MarshalBinary() ([]byte, error) { return f.cm.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (f *Freq) UnmarshalBinary(data []byte) error { return f.cm.UnmarshalBinary(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t *TopK) MarshalBinary() ([]byte, error) { return t.ss.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *TopK) UnmarshalBinary(data []byte) error { return t.ss.UnmarshalBinary(data) }
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (qs *Quantiles) MarshalBinary() ([]byte, error) { return qs.q.MarshalBinary() }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (qs *Quantiles) UnmarshalBinary(data []byte) error { return qs.q.UnmarshalBinary(data) }

@@ -73,6 +73,15 @@ func (s *Store) SetTelemetry(reg *telemetry.Registry, labels ...string) {
 	reg.GaugeFunc("analytics_store_hot_keys",
 		"Keys currently splayed across shards.",
 		func() float64 { return float64(lenHot(s.hot.Load())) }, labels...)
+	reg.GaugeFunc("analytics_store_checkpoint_bytes",
+		"Data bytes of the last checkpoint written from this store.",
+		func() float64 { return float64(s.ckptBytes.Load()) }, labels...)
+	reg.GaugeFunc("analytics_store_checkpoint_records",
+		"Bucket records in the last checkpoint written from this store.",
+		func() float64 { return float64(s.ckptRecords.Load()) }, labels...)
+	reg.CounterFunc("analytics_store_restored_records_total",
+		"Bucket records rehydrated into this store from a checkpoint.",
+		func() uint64 { return s.restored.Load() }, labels...)
 
 	s.telLockWait = reg.Histogram("analytics_store_lock_wait_seconds",
 		"Time spent acquiring the home shard write lock.",

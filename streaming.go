@@ -675,6 +675,24 @@ func NewConsumerGroup(b *Broker, t *LogTopic, name string) (*ConsumerGroup, erro
 	return mqlog.NewConsumerGroup(b, t, name)
 }
 
+// LogDurableConfig enables segmented on-disk persistence for a topic:
+// pass it to Broker.CreateTopicDurable (or via LambdaConfig.Durable /
+// StoreClusterConfig.Durable) and the topic's partitions persist as
+// chains of CRC-framed append-only segment files, recovered — torn tail
+// truncated — when a broker reopens the same directory.
+type LogDurableConfig = mqlog.DurableConfig
+
+// LogDurabilityStats snapshots a durable topic's disk-side counters
+// (segments, bytes, fsyncs, recovery figures); see LogTopic.DurabilityStats.
+type LogDurabilityStats = mqlog.DurabilityStats
+
+// ErrLogEmptyBatch is returned by LogTopic.ProduceBatchTo for an empty
+// record batch — there is no "first assigned offset" to report.
+var ErrLogEmptyBatch = mqlog.ErrEmptyBatch
+
+// ErrLogInvalidFetchMax is returned by LogTopic.Fetch for max <= 0.
+var ErrLogInvalidFetchMax = mqlog.ErrInvalidFetchMax
+
 // ---- Sketch store (sharded speed-layer serving subsystem) ----
 
 // SketchStore is the sharded, concurrent store of keyed, time-bucketed
@@ -962,6 +980,43 @@ type FrozenStoreView = store.FrozenView
 // [0, ends) — the Lambda batch layer as a standalone helper.
 func FreezeStoreAt(cfg SketchStoreConfig, protos map[string]StorePrototype, topic *LogTopic, ends []uint64, decode store.Decoder) (*FrozenStoreView, error) {
 	return store.FreezeAt(cfg, protos, topic, ends, decode)
+}
+
+// FreezeStoreAtFrom is FreezeStoreAt with a checkpoint fast path: a
+// compatible snapshot in checkpointDir seeds the view and only the log
+// suffix past its offsets replays (empty dir = full recompute).
+func FreezeStoreAtFrom(cfg SketchStoreConfig, protos map[string]StorePrototype, topic *LogTopic, ends []uint64, decode store.Decoder, checkpointDir string) (*FrozenStoreView, error) {
+	return store.FreezeAtFrom(cfg, protos, topic, ends, decode, checkpointDir)
+}
+
+// StoreCheckpointMeta stamps a checkpoint with the log position it
+// covers (offsets, optional owned-partition set, optional floors).
+type StoreCheckpointMeta = store.CheckpointMeta
+
+// StoreCheckpointManifest describes a written checkpoint (geometry,
+// record/byte counts, CRC, and its StoreCheckpointMeta fields).
+type StoreCheckpointManifest = store.CheckpointManifest
+
+// StoreCheckpointInfo summarizes a completed checkpoint write.
+type StoreCheckpointInfo = store.CheckpointInfo
+
+// WriteStoreCheckpoint snapshots every resident bucket of st into dir as
+// a manifest + data file pair (atomic via temp+rename, CRC-framed).
+func WriteStoreCheckpoint(st *SketchStore, dir string, meta StoreCheckpointMeta) (StoreCheckpointInfo, error) {
+	return store.WriteCheckpoint(st, dir, meta)
+}
+
+// RestoreStoreCheckpoint rehydrates a checkpoint into an empty store
+// with matching geometry and registered metrics; replay the log suffix
+// past the manifest's offsets to catch up.
+func RestoreStoreCheckpoint(st *SketchStore, dir string) (*StoreCheckpointManifest, error) {
+	return store.RestoreCheckpoint(st, dir)
+}
+
+// ReadStoreCheckpointManifest loads dir's manifest without touching the
+// data file — the cheap compatibility probe before a restore.
+func ReadStoreCheckpointManifest(dir string) (*StoreCheckpointManifest, error) {
+	return store.ReadCheckpointManifest(dir)
 }
 
 // ReplayLogPartitionTo is ReplayLogPartition with an explicit exclusive
