@@ -37,6 +37,7 @@ import (
 	"repro/internal/mqlog"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -47,16 +48,30 @@ func main() {
 	dir := flag.String("dir", "", "persist the ingest log and node checkpoints under this directory (empty = in-memory)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
+	traceRate := flag.Float64("trace", 0, "trace sample rate in [0,1]; with -metrics also serves /debug/traces and /debug/slow")
+	slowThresh := flag.Duration("slow", 2*time.Millisecond, "queries at or over this duration are kept and slow-logged (needs -trace)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -metrics address")
 	flag.Parse()
 
-	// Telemetry is opt-in: with no -metrics flag, reg stays nil and the
-	// SetTelemetry/Instrument calls below are no-ops.
+	// Telemetry and tracing are opt-in: with no -metrics flag, reg stays
+	// nil and the SetTelemetry/Instrument calls below are no-ops; with no
+	// -trace flag, trc stays nil the same way.
 	var reg *telemetry.Registry
+	var trc *trace.Tracer
+	if *traceRate > 0 {
+		trc = trace.NewTracer(trace.Config{SampleRate: *traceRate, SlowThreshold: *slowThresh})
+	}
 	if *metricsAddr != "" {
 		reg = telemetry.New()
-		srv := telemetry.Serve(*metricsAddr, reg)
+		srv := telemetry.ServeWith(*metricsAddr, reg, telemetry.DebugOptions{Tracer: trc, Pprof: *pprofOn})
 		defer srv.Close()
 		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+		if trc != nil {
+			fmt.Printf("tracing: http://localhost%s/debug/traces (chrome://tracing) and /debug/slow\n", *metricsAddr)
+		}
+		if *pprofOn {
+			fmt.Printf("pprof: http://localhost%s/debug/pprof/\n", *metricsAddr)
+		}
 	}
 
 	const (
@@ -107,8 +122,10 @@ func main() {
 	}
 	// One call wires the whole cluster: ingest topic, consumer group,
 	// fan-out/recovery histograms, and every node store (including the
-	// stores rebuilt by the kill/rejoin rebalances below).
+	// stores rebuilt by the kill/rejoin rebalances below). SetTracer
+	// follows the same discipline for spans and trace-context headers.
 	cluster.SetTelemetry(reg)
+	cluster.SetTracer(trc)
 	for i := 0; i < *nodes; i++ {
 		if _, err := cluster.StartNode(); err != nil {
 			panic(err)
@@ -145,7 +162,7 @@ func main() {
 	})
 	// The router is an analytics.Backend, so the generic serving sink
 	// drives it — the same bolt would drive a single store or a Lambda.
-	sink, err := engine.NewSinkBolt(analytics.Instrument(cluster.Router(), reg, "cluster"), nil)
+	sink, err := engine.NewSinkBolt(analytics.Instrument(cluster.Router(), reg, "cluster", analytics.WithTracer(trc)), nil)
 	if err != nil {
 		panic(err)
 	}

@@ -37,18 +37,33 @@ func main() {
 	dir := flag.String("dir", "", "persist the master log and batch checkpoint under this directory (empty = in-memory)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
+	traceRate := flag.Float64("trace", 0, "trace sample rate in [0,1]; with -metrics also serves /debug/traces and /debug/slow")
+	slowThresh := flag.Duration("slow", 2*time.Millisecond, "queries at or over this duration are kept and slow-logged (needs -trace)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -metrics address")
 	flag.Parse()
 
-	// Telemetry is opt-in: with no -metrics flag, reg stays nil and the
-	// SetTelemetry/Instrument calls below are no-ops. With -cluster the
-	// scrape covers all four layers at once: lambda, dstore, the store
-	// underneath each node, and the mqlog master topic.
+	// Telemetry and tracing are opt-in: with no -metrics flag, reg stays
+	// nil and the SetTelemetry/Instrument calls below are no-ops; with no
+	// -trace flag, trc stays nil the same way. With -cluster the scrape
+	// covers all four layers at once: lambda, dstore, the store underneath
+	// each node, and the mqlog master topic — and a sampled trace spans
+	// them all, stitched across the master log.
 	var reg *repro.Telemetry
+	var trc *repro.Tracer
+	if *traceRate > 0 {
+		trc = repro.NewTracer(repro.TraceConfig{SampleRate: *traceRate, SlowThreshold: *slowThresh})
+	}
 	if *metricsAddr != "" {
 		reg = repro.NewTelemetry()
-		srv := repro.ServeMetrics(*metricsAddr, reg)
+		srv := repro.ServeMetricsWith(*metricsAddr, reg, repro.DebugOptions{Tracer: trc, Pprof: *pprofOn})
 		defer srv.Close()
 		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+		if trc != nil {
+			fmt.Printf("tracing: http://localhost%s/debug/traces (chrome://tracing) and /debug/slow\n", *metricsAddr)
+		}
+		if *pprofOn {
+			fmt.Printf("pprof: http://localhost%s/debug/pprof/\n", *metricsAddr)
+		}
 	}
 
 	geom := repro.SketchStoreConfig{Shards: 8, BucketWidth: 1000, RingBuckets: 64}
@@ -101,6 +116,9 @@ func main() {
 	must(arch.RegisterMetric("top", top))
 	must(arch.RegisterMetric("lat", lat))
 	arch.SetTelemetry(reg)
+	if trc != nil {
+		arch.SetTracer(trc)
+	}
 
 	// ---- 1. Append: a topology streams into both layers at once ----
 	const tuples = 30000
@@ -121,7 +139,11 @@ func main() {
 	})
 	// The architecture is a repro.Backend, so the generic serving sink
 	// drives it — the same bolt would drive a store or a cluster router.
-	bolt, err := repro.NewSinkBolt(repro.Instrument(arch, reg, "lambda"), nil)
+	// be is the architecture behind the instrumented serving edge: the
+	// sink streams through it, and the demo's queries below use it too,
+	// so with -trace every request roots a span (slow ones hit /debug/slow).
+	be := repro.Instrument(arch, reg, "lambda", repro.WithTracer(trc))
+	bolt, err := repro.NewSinkBolt(be, nil)
 	must(err)
 	topo, err := repro.NewTopologyBuilder().
 		AddSpout("events", spout).
@@ -142,7 +164,7 @@ func main() {
 	// Merged answers come through the typed serving API: no type
 	// assertion, just the Count accessor on the result.
 	count := func() uint64 {
-		res, err := arch.Query(repro.QueryRequest{Metric: "hits", Key: probe, From: 0, To: now + 1})
+		res, err := be.Query(repro.QueryRequest{Metric: "hits", Key: probe, From: 0, To: now + 1})
 		must(err)
 		return res.Count("u0")
 	}
@@ -180,7 +202,7 @@ func main() {
 	// One merged request answers every family at once: a multi-metric
 	// QueryRequest fans out inside the architecture and comes back as one
 	// typed answer per (metric, key) cell.
-	res, err := arch.Query(repro.QueryRequest{
+	res, err := be.Query(repro.QueryRequest{
 		Metrics: []string{"uniq", "top", "lat"}, Key: probe, From: 0, To: now + 1,
 	})
 	must(err)

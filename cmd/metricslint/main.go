@@ -6,13 +6,22 @@
 // are attributed to their family). CI runs it against a live demo's
 // -metrics endpoint, so -retries polls until the server is up.
 //
+// It also lints the tracing surface: -traceurl (or -tracefile) reads a
+// /debug/traces payload and validates it against the Chrome trace-event
+// schema the repo emits — a top-level traceEvents array of complete
+// ("X"-phase) events with microsecond timestamps, pid/tid lanes and
+// string-valued args, with no unknown fields. Both lints can run in one
+// invocation.
+//
 // Usage:
 //
 //	go run ./cmd/metricslint -url http://localhost:9090/metrics [-retries 30]
 //	go run ./cmd/metricslint -file scrape.txt [-require store,mqlog]
+//	go run ./cmd/metricslint -traceurl http://localhost:9090/debug/traces [-min-events 1]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +42,31 @@ func main() {
 	retries := flag.Int("retries", 30, "URL fetch attempts, one second apart (a demo may still be starting)")
 	minSamples := flag.Int("min-samples", 1, "fail unless the payload has at least this many samples")
 	require := flag.String("require", "", "comma-separated layer names; fail unless analytics_<layer>_ metrics are present for each")
+	traceURL := flag.String("traceurl", "", "also lint a /debug/traces payload scraped from this URL")
+	traceFile := flag.String("tracefile", "", "also lint this /debug/traces payload file (\"-\" for stdin)")
+	minEvents := flag.Int("min-events", 0, "fail unless the trace payload has at least this many events")
 	flag.Parse()
+
+	if *traceURL != "" || *traceFile != "" {
+		payload, err := fetch(*traceURL, *traceFile, *retries)
+		if err != nil {
+			fail("%v", err)
+		}
+		events, errs := tracelint(payload)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "tracelint: %s\n", e)
+		}
+		if len(errs) > 0 {
+			fail("%d trace-event schema errors", len(errs))
+		}
+		if events < *minEvents {
+			fail("only %d trace events (< %d)", events, *minEvents)
+		}
+		fmt.Printf("tracelint: OK — %d events\n", events)
+		if *url == "" && *file == "" {
+			return
+		}
+	}
 
 	payload, err := fetch(*url, *file, *retries)
 	if err != nil {
@@ -204,6 +237,74 @@ func lint(payload string) (map[string]*family, int, []string) {
 		}
 	}
 	return families, samples, errs
+}
+
+// tracelint validates a /debug/traces payload against the Chrome
+// trace-event schema the tracer exports: a JSON object whose
+// traceEvents array holds complete ("X"-phase) events — non-empty name,
+// non-negative microsecond ts/dur, pid 1, a per-trace tid lane, and
+// string-valued args carrying at least the trace_id/span_id pair — and
+// whose only other member is the tracer's stats metadata. Events are
+// decoded with unknown fields disallowed, so schema drift fails loudly.
+func tracelint(payload string) (int, []string) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		Metadata    json.RawMessage   `json:"metadata"`
+	}
+	dec := json.NewDecoder(strings.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return 0, []string{fmt.Sprintf("payload is not a trace-event document: %v", err)}
+	}
+	if doc.TraceEvents == nil {
+		return 0, []string{"no traceEvents array (an empty tracer must still emit one)"}
+	}
+	var errs []string
+	idPat := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for i, raw := range doc.TraceEvents {
+		bad := func(format string, args ...any) {
+			errs = append(errs, fmt.Sprintf("event %d: %s", i, fmt.Sprintf(format, args...)))
+		}
+		var ev struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  *int              `json:"pid"`
+			Tid  *uint64           `json:"tid"`
+			Args map[string]string `json:"args"`
+		}
+		d := json.NewDecoder(strings.NewReader(string(raw)))
+		d.DisallowUnknownFields()
+		if err := d.Decode(&ev); err != nil {
+			bad("not a trace event: %v", err)
+			continue
+		}
+		if ev.Name == "" {
+			bad("empty name")
+		}
+		if ev.Ph != "X" {
+			bad("phase %q, want complete event %q", ev.Ph, "X")
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			bad("missing or negative ts")
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			bad("missing or negative dur")
+		}
+		if ev.Pid == nil || *ev.Pid != 1 {
+			bad("pid is not the tracer's single process lane")
+		}
+		if ev.Tid == nil {
+			bad("missing tid lane")
+		}
+		for _, key := range []string{"trace_id", "span_id"} {
+			if !idPat.MatchString(ev.Args[key]) {
+				bad("args[%s] %q is not 16 hex digits", key, ev.Args[key])
+			}
+		}
+	}
+	return len(doc.TraceEvents), errs
 }
 
 // splitSample splits `name{labels} value` (or `name value`) into the

@@ -34,6 +34,7 @@ import (
 	"repro/internal/mqlog"
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -45,16 +46,30 @@ func main() {
 	hotReplicas := flag.Int("hotreplicas", 8, "sub-entries per detected hot key (0 disables hot-key splaying)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/analytics on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the demo finishes")
+	traceRate := flag.Float64("trace", 0, "trace sample rate in [0,1]; with -metrics also serves /debug/traces and /debug/slow")
+	slowThresh := flag.Duration("slow", 2*time.Millisecond, "queries at or over this duration are kept and slow-logged (needs -trace)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -metrics address")
 	flag.Parse()
 
-	// Telemetry is opt-in: with no -metrics flag, reg stays nil and every
-	// SetTelemetry/Instrument call below is a no-op.
+	// Telemetry and tracing are opt-in: with no -metrics flag, reg stays
+	// nil and every SetTelemetry/Instrument call below is a no-op; with no
+	// -trace flag, trc stays nil the same way.
 	var reg *telemetry.Registry
+	var trc *trace.Tracer
+	if *traceRate > 0 {
+		trc = trace.NewTracer(trace.Config{SampleRate: *traceRate, SlowThreshold: *slowThresh})
+	}
 	if *metricsAddr != "" {
 		reg = telemetry.New()
-		srv := telemetry.Serve(*metricsAddr, reg)
+		srv := telemetry.ServeWith(*metricsAddr, reg, telemetry.DebugOptions{Tracer: trc, Pprof: *pprofOn})
 		defer srv.Close()
 		fmt.Printf("telemetry: http://localhost%s/metrics and /debug/analytics\n", *metricsAddr)
+		if trc != nil {
+			fmt.Printf("tracing: http://localhost%s/debug/traces (chrome://tracing) and /debug/slow\n", *metricsAddr)
+		}
+		if *pprofOn {
+			fmt.Printf("pprof: http://localhost%s/debug/pprof/\n", *metricsAddr)
+		}
 	}
 
 	const (
@@ -100,6 +115,7 @@ func main() {
 	}
 	speed := newStore()
 	speed.SetTelemetry(reg)
+	speed.SetTracer(trc)
 
 	// Input log: in-memory by default, segmented on-disk with -dir (a
 	// rerun over the same directory recovers the persisted prefix and
@@ -175,8 +191,9 @@ func main() {
 			return engine.Message{Key: m.Key, Value: obs}, true
 		})
 		// Instrument gives the sink per-metric Observe counters and latency
-		// histograms on top of the store's own telemetry (no-op on nil reg).
-		sink, err := engine.NewSinkBolt(analytics.Instrument(st, reg, "store"), nil)
+		// histograms on top of the store's own telemetry (no-op on nil reg),
+		// and with -trace it is also the span root for sampled ingests.
+		sink, err := engine.NewSinkBolt(analytics.Instrument(st, reg, "store", analytics.WithTracer(trc)), nil)
 		if err != nil {
 			panic(err)
 		}
@@ -193,6 +210,10 @@ func main() {
 	stop := make(chan struct{})
 	var qwg sync.WaitGroup
 	var queries atomic.Uint64
+	// The query workers go through the same instrumented edge as the
+	// sink: with -trace every request opens a root span, so anything over
+	// -slow shows up in /debug/slow with its per-shard gather stages.
+	qbe := analytics.Instrument(speed, reg, "store", analytics.WithTracer(trc))
 	for q := 0; q < *queriers; q++ {
 		qwg.Add(1)
 		go func(q int) {
@@ -210,7 +231,7 @@ func main() {
 				}
 				page := fmt.Sprintf("page:/p%d", (q*31+i)%keySpace+1)
 				// One multi-metric request replaces two point queries.
-				if _, err := speed.Query(store.QueryRequest{
+				if _, err := qbe.Query(store.QueryRequest{
 					Metrics: []string{"uniques", "latency-us"}, Key: page, From: from, To: now + 1,
 				}); err != nil {
 					panic(err)

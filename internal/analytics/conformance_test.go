@@ -15,6 +15,7 @@ import (
 	"repro/internal/dstore"
 	"repro/internal/lambda"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Compile-time contract checks: dropping a Backend (or PointQuerier, or
@@ -34,11 +35,14 @@ var (
 )
 
 // harness is one Backend under conformance: the implementation plus a
-// drain to reach read-your-writes (teardowns are t.Cleanup's).
+// drain to reach read-your-writes (teardowns are t.Cleanup's) and a
+// wire hook handing a tracer to the layer underneath (trace_test.go
+// runs the suite with tracing on).
 type harness struct {
 	name  string
 	be    Backend
 	drain func() error
+	wire  func(*trace.Tracer)
 }
 
 func storeGeom() store.Config {
@@ -76,7 +80,7 @@ func newHarnesses(t *testing.T) []harness {
 
 	none := func() error { return nil }
 	return []harness{
-		{name: "store", be: st, drain: none},
+		{name: "store", be: st, drain: none, wire: st.SetTracer},
 		{name: "cluster-router", be: cl.Router(), drain: func() error {
 			if len(cl.NodeNames()) == 0 {
 				for i := 0; i < 2; i++ {
@@ -86,9 +90,9 @@ func newHarnesses(t *testing.T) []harness {
 				}
 			}
 			return cl.Drain()
-		}},
-		{name: "lambda-single", be: single, drain: single.Drain},
-		{name: "lambda-cluster", be: clustered, drain: clustered.Drain},
+		}, wire: cl.SetTracer},
+		{name: "lambda-single", be: single, drain: single.Drain, wire: single.SetTracer},
+		{name: "lambda-cluster", be: clustered, drain: clustered.Drain, wire: clustered.SetTracer},
 	}
 }
 

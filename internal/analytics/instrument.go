@@ -7,12 +7,33 @@
 package analytics
 
 import (
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/store"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// Option configures an Instrument wrapper beyond its registry.
+type Option func(*options)
+
+type options struct {
+	tracer *trace.Tracer
+}
+
+// WithTracer makes the wrapper the tracing root of the serving stack:
+// every Observe opens a head-sampled ingest root (analytics.observe)
+// whose context rides the observation into the backend — through the
+// store's shard spans or, in cluster mode, across the log via record
+// headers — and every Query opens an always-started root
+// (analytics.query) carrying the request summary as attributes, kept
+// at Finish when sampled or over the tracer's slow threshold (the
+// latter also lands in the slow-query log). A nil tracer is a no-op.
+func WithTracer(tr *trace.Tracer) Option {
+	return func(o *options) { o.tracer = tr }
+}
 
 // Instrument wraps be so every Observe and Query is recorded in reg:
 // per-backend/per-metric operation counters
@@ -28,16 +49,23 @@ import (
 // equivalents (QueryPoint via Query on a PointRequest, Flush as a
 // no-op), matching the semantics every backend already guarantees.
 //
-// A nil registry returns be unchanged, so call sites can wire
-// instrumentation unconditionally.
-func Instrument(be Backend, reg *telemetry.Registry, backend string) Backend {
-	if reg == nil {
+// A nil registry with no options returns be unchanged, so call sites
+// can wire instrumentation unconditionally; with WithTracer the wrapper
+// also traces (a nil registry then just mutes the metrics — every
+// telemetry handle is nil-safe).
+func Instrument(be Backend, reg *telemetry.Registry, backend string, opts ...Option) Backend {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if reg == nil && o.tracer == nil {
 		return be
 	}
 	return &instrumented{
 		be:      be,
 		reg:     reg,
 		backend: backend,
+		trc:     o.tracer,
 		obsLat: reg.Histogram("analytics_backend_observe_seconds",
 			"Observe latency through the Backend contract.",
 			0, 1e-3, 64, "backend", backend),
@@ -59,6 +87,7 @@ type instrumented struct {
 	be      Backend
 	reg     *telemetry.Registry
 	backend string
+	trc     *trace.Tracer // nil when tracing is off
 
 	obsLat  *telemetry.Histogram
 	qryLat  *telemetry.Histogram
@@ -72,6 +101,24 @@ type instrumented struct {
 	mu       sync.RWMutex
 	obsCount map[string]*telemetry.Counter
 	qryCount map[string]*telemetry.Counter
+}
+
+// queryAttrs summarizes a request for the query root span — and so for
+// the slow-query log, which snapshots the root's attributes.
+func (in *instrumented) queryAttrs(req store.QueryRequest) []trace.Attr {
+	metrics := req.Metrics
+	if len(metrics) == 0 && req.Metric != "" {
+		metrics = []string{req.Metric}
+	}
+	return []trace.Attr{
+		trace.Str("backend", in.backend),
+		trace.Str("metrics", strings.Join(metrics, ",")),
+		trace.Int("keys", int64(len(req.Keys))),
+		trace.Int("from", req.From),
+		trace.Int("to", req.To),
+		trace.Bool("aggregate", req.Aggregate),
+		trace.Bool("all_keys", req.AllKeys),
+	}
 }
 
 // counterFor returns the per-metric counter from m, registering the
@@ -105,6 +152,14 @@ func (in *instrumented) RegisterMetric(name string, proto store.Prototype) error
 }
 
 func (in *instrumented) Observe(obs store.Observation) error {
+	if sp := in.trc.StartSampled("analytics.observe"); sp != nil {
+		// Head-sampled ingest root: the context rides the observation so
+		// every layer underneath stitches child spans onto this trace.
+		obs.Trace = sp.Context()
+		sp.SetAttrs(trace.Str("backend", in.backend),
+			trace.Str("metric", obs.Metric), trace.Str("key", obs.Key))
+		defer sp.Finish()
+	}
 	t0 := time.Now()
 	err := in.be.Observe(obs)
 	in.obsLat.ObserveSince(t0)
@@ -117,6 +172,15 @@ func (in *instrumented) Observe(obs store.Observation) error {
 }
 
 func (in *instrumented) Query(req store.QueryRequest) (store.QueryResult, error) {
+	if sp := in.trc.StartRoot("analytics.query"); sp != nil {
+		// Query roots always start; the tail decision at Finish keeps the
+		// trace when head-sampled or over the slow threshold, and a slow
+		// root lands in the slow-query log with these summary attributes
+		// plus the per-stage child durations.
+		req.Trace = sp.Context()
+		sp.SetAttrs(in.queryAttrs(req)...)
+		defer sp.Finish()
+	}
 	t0 := time.Now()
 	res, err := in.be.Query(req)
 	in.qryLat.ObserveSince(t0)
@@ -143,7 +207,11 @@ func (in *instrumented) Stats() store.Stats { return in.be.Stats() }
 // contract-equivalent Query path (every backend's QueryPoint is pinned
 // to be a thin wrapper over Query, so the answers are identical).
 func (in *instrumented) QueryPoint(metric, key string, from, to int64) (store.Synopsis, error) {
-	if pq, ok := in.be.(PointQuerier); ok {
+	// When tracing, take the Query path even if the backend has its own
+	// PointQuerier: the point-querier signature has nowhere to carry the
+	// trace context, and the contract pins both paths to identical
+	// answers, so tracing costs no fidelity.
+	if pq, ok := in.be.(PointQuerier); ok && in.trc == nil {
 		t0 := time.Now()
 		syn, err := pq.QueryPoint(metric, key, from, to)
 		in.qryLat.ObserveSince(t0)

@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mqlog"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Config tunes a Cluster.
@@ -154,6 +155,10 @@ type Cluster struct {
 	tel           atomic.Pointer[clusterTel]
 	fenceRejected atomic.Uint64
 	unreachable   atomic.Uint64
+
+	// trc is the cluster's tracer (trace_wire.go), atomic for the same
+	// reason tel is: SetTracer may race running node event loops.
+	trc atomic.Pointer[trace.Tracer]
 
 	mu     sync.Mutex
 	nodes  map[string]*Node

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/mqlog"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // idleBackoff is how long a node sleeps after an empty poll. It bounds
@@ -139,14 +140,37 @@ func (n *Node) run() {
 			continue
 		}
 		st := n.currentStore()
+		trc := n.c.tracer()
 		for _, b := range batches {
 			for _, m := range b.Messages {
+				// A record carrying a trace header is a sampled ingest:
+				// stitch its consume (fetch) and apply onto the trace the
+				// router started on the far side of the log. Untraced
+				// records (the common case) pay a nil check and an empty
+				// header scan.
+				var fsp *trace.Span
+				if trc != nil {
+					if ctx := headerContext(m.Headers); ctx.Valid() {
+						fsp = trc.StartRemote(ctx, "mqlog.fetch")
+						fsp.SetAttrs(trace.Str("node", n.name),
+							trace.Int("partition", int64(b.Partition)),
+							trace.Int("offset", int64(m.Offset)))
+					}
+				}
 				obs, ok := store.WireDecoder(m)
 				if !ok {
 					n.rejected.Add(1)
+					fsp.Finish()
 					continue
 				}
-				if err := st.Observe(obs); err != nil {
+				asp := fsp.Child("dstore.apply")
+				if asp != nil {
+					obs.Trace = asp.Context()
+				}
+				err := st.Observe(obs)
+				asp.Finish()
+				fsp.Finish()
+				if err != nil {
 					// A poison message (unregistered metric, negative
 					// time) must not wedge the partition: count and move
 					// on, the log-consumer convention.
@@ -202,6 +226,9 @@ func (n *Node) recover(gen int) {
 			// re-binds the node's metric series to the rebuilt store's
 			// counters.
 			st.SetTelemetry(t.reg, "layer", "dstore", "node", n.name)
+		}
+		if tr := n.c.tracer(); tr != nil {
+			st.SetTracer(tr)
 		}
 		return st, true
 	}
@@ -345,13 +372,14 @@ func (n *Node) Query(metric, key string, from, to int64) (store.Synopsis, error)
 // router) out of the store recovered for generation >= gen: one batched
 // store query per node — the store groups the keys by shard and gathers
 // each shard under a single lock acquisition — returning one synopsis per
-// key, in key order.
-func (n *Node) queryKeys(gen int, metric string, keys []string, from, to int64) ([]store.Synopsis, error) {
+// key, in key order. tctx, when valid, is the router's per-node scatter
+// span; the store hangs its per-shard gather spans off it.
+func (n *Node) queryKeys(gen int, metric string, keys []string, from, to int64, tctx trace.Context) ([]store.Synopsis, error) {
 	st, ok := n.waitServingAt(gen)
 	if !ok {
 		return nil, errNodeStopped(n.name)
 	}
-	res, err := st.Query(store.QueryRequest{Metric: metric, Keys: keys, From: from, To: to})
+	res, err := st.Query(store.QueryRequest{Metric: metric, Keys: keys, From: from, To: to, Trace: tctx})
 	if err != nil {
 		return nil, err
 	}

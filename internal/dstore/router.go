@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mqlog"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 func errNodeStopped(name string) error {
@@ -59,16 +60,43 @@ func (r *Router) Observe(obs store.Observation) error {
 		return err
 	}
 	rec := mqlog.Record{Key: obs.Key, Value: store.EncodeObservation(obs)}
+	if obs.Trace.Valid() && r.c.tracer() != nil {
+		// The wire codec doesn't carry trace context; a sampled
+		// observation crosses the log as a record header instead, where
+		// the owning node's event loop stitches it back (trace_wire.go).
+		rec.Headers = []mqlog.Header{{Key: trace.HeaderKey, Value: trace.EncodeContext(obs.Trace)}}
+	}
 	pid := r.c.topic.PartitionFor(obs.Key)
 	p := &r.parts[pid]
 	p.mu.Lock()
 	p.buf = append(p.buf, rec)
 	if len(p.buf) >= r.c.cfg.BatchSize {
-		r.c.topic.ProduceBatchTo(pid, p.buf)
+		r.appendBatch(pid, p.buf)
 		p.buf = p.buf[:0]
 	}
 	p.mu.Unlock()
 	return nil
+}
+
+// appendBatch lands one partition buffer on the log. When the batch
+// carries sampled records, the first one's trace gets an append-side
+// span — one per flush, not per record, matching the batch being the
+// unit of producer work. Callers hold the partition buffer lock.
+func (r *Router) appendBatch(pid int, buf []mqlog.Record) {
+	var sp *trace.Span
+	if tr := r.c.tracer(); tr != nil {
+		if ctx := firstTracedContext(buf); ctx.Valid() {
+			sp = tr.StartRemote(ctx, "mqlog.append")
+		}
+	}
+	first, err := r.c.topic.ProduceBatchTo(pid, buf)
+	if sp != nil {
+		sp.SetAttrs(trace.Int("partition", int64(pid)), trace.Int("records", int64(len(buf))))
+		if err == nil {
+			sp.SetAttrs(trace.Int("first_offset", int64(first)))
+		}
+		sp.Finish()
+	}
 }
 
 // Flush appends every buffered observation to the log.
@@ -77,7 +105,7 @@ func (r *Router) Flush() {
 		p := &r.parts[pid]
 		p.mu.Lock()
 		if len(p.buf) > 0 {
-			r.c.topic.ProduceBatchTo(pid, p.buf)
+			r.appendBatch(pid, p.buf)
 			p.buf = p.buf[:0]
 		}
 		p.mu.Unlock()
@@ -224,6 +252,15 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		if tel != nil {
 			fanStart = time.Now()
 		}
+		// A traced request records one span per fan-out round (a fenced
+		// retry records another) with one child per node; the node hangs
+		// its store's per-shard gather spans off its child via the
+		// sub-request's Trace context.
+		var ssp *trace.Span
+		if tr := r.c.tracer(); tr != nil && req.Trace.Valid() {
+			ssp = tr.StartRemote(req.Trace, "dstore.scatter")
+			ssp.SetAttrs(trace.Int("nodes", int64(len(order))), trace.Int("generation", int64(gen)))
+		}
 		var wg sync.WaitGroup
 		for i, nq := range order {
 			names[i] = nq.n.name
@@ -231,11 +268,14 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 			wg.Add(1)
 			go func(i int, nq *nodeReq) {
 				defer wg.Done()
+				nsp := ssp.Child("dstore.node")
+				nsp.SetAttrs(trace.Str("node", nq.n.name))
+				defer nsp.Finish()
 				for mi, keys := range nq.keys {
 					if len(keys) == 0 {
 						continue
 					}
-					syns, err := nq.n.queryKeys(gen, req.Metrics[mi], keys, req.From, req.To)
+					syns, err := nq.n.queryKeys(gen, req.Metrics[mi], keys, req.From, req.To, nsp.Context())
 					if err != nil {
 						errs[i] = err
 						return
@@ -251,8 +291,11 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		if r.c.group.Generation() != gen {
 			// A rebalance raced the fan-out; the grouping (and possibly
 			// some partials) reflect a stale assignment. Redo the routing.
+			ssp.SetAttrs(trace.Bool("refenced", true))
+			ssp.Finish()
 			continue
 		}
+		ssp.Finish()
 		if err := nodeErrors("query", names, errs); err != nil {
 			r.c.unreachable.Add(1)
 			return store.QueryResult{}, err

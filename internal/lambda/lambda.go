@@ -52,6 +52,7 @@ import (
 	"repro/internal/dstore"
 	"repro/internal/mqlog"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Config tunes an Architecture.
@@ -151,6 +152,10 @@ type Architecture struct {
 	// tel is the architecture's telemetry wiring (telemetry.go), swapped
 	// atomically so SetTelemetry can be called on a live architecture.
 	tel atomic.Pointer[archTel]
+
+	// trc is the architecture's tracer (trace_wire.go), same live-wiring
+	// discipline as tel; nil means tracing is off.
+	trc atomic.Pointer[trace.Tracer]
 }
 
 // New returns a store-backed Lambda Architecture. Register metrics, then
@@ -389,6 +394,9 @@ func (a *Architecture) RunBatch() (BatchInfo, error) {
 			// store before it serves (re-registration swaps the callbacks).
 			fresh.SetTelemetry(tel.reg, "layer", "lambda_speed")
 		}
+		if tr := a.trc.Load(); tr != nil {
+			fresh.SetTracer(tr)
+		}
 		a.speedMu.Lock()
 		for pid := 0; pid < a.topic.Partitions(); pid++ {
 			if _, _, _, err := store.ReplayPartitionTo(fresh, a.topic, pid, ends[pid], a.topic.EndOffset(pid), nil); err != nil {
@@ -461,10 +469,24 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 		}
 	}
 
+	// A traced request records one child span per merge stage — speed
+	// gather, batch-view read, cell-wise merge — parented on the caller's
+	// context; an untraced request pays one Valid check. The deferred
+	// finishes only matter on error returns (Finish is idempotent).
+	var tr *trace.Tracer
+	if req.Trace.Valid() {
+		tr = a.trc.Load()
+	}
+
 	// Phase 1: snapshot the (batch view, speed layer) pair and gather the
 	// speed side of every cell. AllKeys resolves against the union of both
 	// layers' resident keys, so a key only the batch view still holds is
 	// answered too.
+	var ssp *trace.Span
+	if tr != nil {
+		ssp = tr.StartRemote(req.Trace, "lambda.speed")
+		defer ssp.Finish()
+	}
 	var view *store.FrozenView
 	keysPerMetric := make([][]string, len(req.Metrics))
 	speedPerMetric := make([][]store.Synopsis, len(req.Metrics))
@@ -478,7 +500,10 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 			if len(keys) == 0 {
 				continue
 			}
-			res, err := speed(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To})
+			// The sub-request carries the speed span's context, so the
+			// store's per-shard gather spans (and, in cluster mode, the
+			// router's scatter spans) nest under lambda.speed.
+			res, err := speed(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To, Trace: ssp.Context()})
 			if err != nil {
 				return err
 			}
@@ -504,20 +529,52 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 			return store.QueryResult{}, err
 		}
 	}
+	if ssp != nil {
+		cells := 0
+		for _, keys := range keysPerMetric {
+			cells += len(keys)
+		}
+		ssp.SetAttrs(trace.Int("metrics", int64(len(req.Metrics))), trace.Int("cells", int64(cells)))
+		ssp.Finish()
+	}
 
-	// Phase 2: the view is sealed, so querying it outside the lock is
-	// safe; merge batch and speed cell-wise, then aggregate if asked.
-	var answers []store.Answer
-	for i, metric := range req.Metrics {
-		keys := keysPerMetric[i]
-		var batchSyns []store.Synopsis
-		if view != nil && len(keys) > 0 {
+	// Phase 2a: the view is sealed, so querying it outside the lock is
+	// safe; read the batch side of every cell.
+	var bsp *trace.Span
+	if tr != nil {
+		bsp = tr.StartRemote(req.Trace, "lambda.batch")
+		defer bsp.Finish()
+	}
+	batchPerMetric := make([][]store.Synopsis, len(req.Metrics))
+	if view != nil {
+		for i, metric := range req.Metrics {
+			keys := keysPerMetric[i]
+			if len(keys) == 0 {
+				continue
+			}
 			res, err := view.Query(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To})
 			if err != nil {
 				return store.QueryResult{}, err
 			}
-			batchSyns = res.RawSynopses()
+			batchPerMetric[i] = res.RawSynopses()
 		}
+	}
+	if bsp != nil {
+		bsp.SetAttrs(trace.Bool("view", view != nil), trace.Int("version", int64(a.version.Load())))
+		bsp.Finish()
+	}
+
+	// Phase 2b: merge batch and speed cell-wise, then aggregate if asked.
+	var msp *trace.Span
+	if tr != nil {
+		msp = tr.StartRemote(req.Trace, "lambda.merge")
+		defer msp.Finish()
+	}
+	var answers []store.Answer
+	mergedCells := 0
+	for i, metric := range req.Metrics {
+		keys := keysPerMetric[i]
+		batchSyns := batchPerMetric[i]
 		merged := make([]store.Synopsis, len(keys))
 		for j := range keys {
 			var batchSyn, speedSyn store.Synopsis
@@ -534,6 +591,7 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 		if t := a.tel.Load(); t != nil {
 			t.merges.Add(uint64(len(keys)))
 		}
+		mergedCells += len(keys)
 		if req.Aggregate {
 			comb, err := store.CombineSnapshots(protos[i], merged...)
 			if err != nil {
@@ -545,6 +603,10 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 		for j, key := range keys {
 			answers = append(answers, store.NewAnswer(metric, key, merged[j]))
 		}
+	}
+	if msp != nil {
+		msp.SetAttrs(trace.Int("cells", int64(mergedCells)))
+		msp.Finish()
 	}
 	return store.NewQueryResult(answers), nil
 }

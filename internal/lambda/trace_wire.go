@@ -1,0 +1,32 @@
+// trace_wire.go wires the Lambda Architecture into a trace.Tracer,
+// mirroring SetTelemetry's live-wiring discipline (telemetry.go): the
+// tracer lands in an atomic pointer, the speed layer underneath is
+// wired immediately, and RunBatch re-wires every replacement speed
+// store before it serves. A traced Query records three stage spans —
+// lambda.speed (realtime gather), lambda.batch (sealed-view read),
+// lambda.merge (cell-wise CombineSnapshots) — parented on the
+// request's trace context, with the store and cluster layers hanging
+// their own child spans off lambda.speed.
+package lambda
+
+import "repro/internal/trace"
+
+// SetTracer wires the architecture's query and ingest paths to tr.
+// Safe to call on a live architecture; a nil tracer is a no-op. In
+// cluster mode this also wires the cluster (router trace headers, node
+// consume spans, per-node stores); in single-store mode it wires the
+// current speed store, and each batch cutover's fresh store is wired
+// before it serves.
+func (a *Architecture) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	a.trc.Store(tr)
+	if a.cluster != nil {
+		a.cluster.SetTracer(tr)
+		return
+	}
+	a.speedMu.RLock()
+	a.speed.SetTracer(tr)
+	a.speedMu.RUnlock()
+}

@@ -33,11 +33,28 @@ var ErrEmptyBatch = errors.New("mqlog: empty record batch")
 // and raw Fetch poll loops spin forever.
 var ErrInvalidFetchMax = errors.New("mqlog: fetch max must be positive")
 
+// Header is one key/value metadata pair attached to a message —
+// Kafka-style record headers. The broker is deliberately agnostic to
+// header contents (dstore uses them to carry trace context across the
+// log); like Value, a header's Value bytes are aliased under the
+// producer-ownership contract, never copied or mutated by the broker.
+//
+// Headers are in-memory only: the durable write-through (durable.go)
+// persists key+value framing only, so headers do not survive a restart.
+// That is the right trade for their one consumer today — trace context
+// is ephemeral by nature (the tracer's ring won't outlive the process
+// either) — and keeps the on-disk format stable.
+type Header struct {
+	Key   string
+	Value []byte
+}
+
 // Message is one log entry.
 type Message struct {
-	Key    string
-	Value  []byte
-	Offset uint64
+	Key     string
+	Value   []byte
+	Headers []Header
+	Offset  uint64
 }
 
 // partition is a single append-only sequence with retention. Retention
@@ -53,16 +70,18 @@ type partition struct {
 	dur   *durPartition // disk write-through state; nil for in-memory topics
 }
 
-func (p *partition) append(key string, value []byte) uint64 {
+func (p *partition) append(key string, value []byte, hdrs []Header) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.appendLocked(key, value)
+	return p.appendLocked(key, value, hdrs)
 }
 
 // appendLocked lands one message and applies retention. Callers hold p.mu.
-func (p *partition) appendLocked(key string, value []byte) uint64 {
+// Headers ride along in memory only; the durable write-through persists
+// key+value framing and deliberately drops them (see Header).
+func (p *partition) appendLocked(key string, value []byte, hdrs []Header) uint64 {
 	off := p.base + uint64(len(p.msgs)-p.head)
-	p.msgs = append(p.msgs, Message{Key: key, Value: value, Offset: off})
+	p.msgs = append(p.msgs, Message{Key: key, Value: value, Headers: hdrs, Offset: off})
 	if p.dur != nil {
 		p.durAppendLocked(key, value, off)
 	}
@@ -89,7 +108,7 @@ func (p *partition) appendBatch(recs []Record) (first uint64, ok bool) {
 	defer p.mu.Unlock()
 	first = p.base + uint64(len(p.msgs)-p.head)
 	for _, r := range recs {
-		p.appendLocked(r.Key, r.Value)
+		p.appendLocked(r.Key, r.Value, r.Headers)
 	}
 	return first, len(recs) > 0
 }
@@ -98,14 +117,19 @@ func (p *partition) appendBatch(recs []Record) (first uint64, ok bool) {
 // truncated by retention, reading resumes at the oldest retained message
 // (Kafka's "earliest" reset semantics) and truncated reports the condition.
 //
-// Aliasing audit: the Message headers MUST be copied out (the returned
+// Aliasing audit: the Message structs MUST be copied out (the returned
 // slice must not alias p.msgs) because retention compaction in
 // appendLocked shifts the live suffix down with copy(p.msgs, ...), which
 // would rewrite a returned subslice in place under a concurrent append.
 // Message.Value byte slices, by contrast, are safely shared: the broker
 // never mutates a value after append, and producers hand over ownership
 // (see Produce) — so fetch is zero-copy for payloads and copying for
-// headers, deliberately.
+// struct headers, deliberately. Message.Headers follows the same split:
+// the struct copy duplicates the []Header slice header, moving it out
+// of compaction's way (compaction relocates Message structs, never the
+// header backing array), while the Header entries and their Value bytes
+// stay shared under the producer-ownership contract — trace-context
+// headers cross the log zero-copy. Regression: TestFetchHeadersSurviveCompaction.
 func (p *partition) fetch(offset uint64, max int) (msgs []Message, next uint64, truncated bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -232,7 +256,7 @@ func (t *Topic) Partitions() int { return len(t.parts) }
 func (t *Topic) Produce(key string, value []byte) (partitionID int, offset uint64) {
 	pid := t.route(key, value)
 	t.produced.Add(1)
-	return pid, t.parts[pid].append(key, value)
+	return pid, t.parts[pid].append(key, value, nil)
 }
 
 // route picks the partition Produce would append (key, value) to.
@@ -254,11 +278,12 @@ func (t *Topic) PartitionFor(key string) int {
 }
 
 // Record is one key/value pair bound for a topic, the unit of batch
-// production. As with Produce, the broker aliases Value rather than
-// copying it.
+// production. As with Produce, the broker aliases Value (and any
+// Headers) rather than copying them.
 type Record struct {
-	Key   string
-	Value []byte
+	Key     string
+	Value   []byte
+	Headers []Header
 }
 
 // ProduceBatch appends a batch of records, routing each by key exactly as
@@ -319,7 +344,7 @@ func (t *Topic) ProduceTo(partitionID int, key string, value []byte) (uint64, er
 		return 0, core.Errf("Topic", "partitionID", "%d out of range", partitionID)
 	}
 	t.produced.Add(1)
-	return t.parts[partitionID].append(key, value), nil
+	return t.parts[partitionID].append(key, value, nil), nil
 }
 
 // Fetch reads up to max messages from one partition starting at offset.

@@ -332,6 +332,43 @@ func TestFetchCopiesOutOfCompaction(t *testing.T) {
 	}
 }
 
+// TestFetchHeadersSurviveCompaction pins the header half of fetch's
+// aliasing audit: record headers (the trace-context carrier) fetched
+// before retention compaction must stay intact while later appends
+// shift the partition's backing slice down in place.
+func TestFetchHeadersSurviveCompaction(t *testing.T) {
+	b := NewBroker()
+	topic, _ := b.CreateTopic("t", 1, 4)
+	for i := 0; i < 4; i++ {
+		topic.ProduceBatchTo(0, []Record{{
+			Key:   "k",
+			Value: []byte(fmt.Sprintf("v%d", i)),
+			Headers: []Header{
+				{Key: "trace", Value: []byte(fmt.Sprintf("ctx%d", i))},
+				{Key: "other", Value: []byte{byte(i)}},
+			},
+		}})
+	}
+	msgs, _, _, _ := topic.Fetch(0, 0, 4)
+	// Headerless appends push retention past the halfway mark so the
+	// live suffix compacts over the slots the fetch snapshotted.
+	for i := 4; i < 40; i++ {
+		topic.ProduceTo(0, "k", []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i, m := range msgs {
+		if len(m.Headers) != 2 {
+			t.Fatalf("message %d has %d headers after compaction, want 2", i, len(m.Headers))
+		}
+		h := m.Headers[0]
+		if h.Key != "trace" || string(h.Value) != fmt.Sprintf("ctx%d", i) {
+			t.Fatalf("message %d trace header rewritten under compaction: %q=%q", i, h.Key, h.Value)
+		}
+		if m.Headers[1].Key != "other" || m.Headers[1].Value[0] != byte(i) {
+			t.Fatalf("message %d second header corrupted: %+v", i, m.Headers[1])
+		}
+	}
+}
+
 func TestOwnerInverseOfAssignment(t *testing.T) {
 	b := NewBroker()
 	topic, _ := b.CreateTopic("t", 8, 0)

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/frequency"
+	"repro/internal/trace"
 )
 
 // ErrUnknownMetric is the sentinel every serving backend (store, cluster
@@ -69,6 +70,12 @@ type QueryRequest struct {
 	// answer (per-key synopses merged in sorted key order through
 	// CombineSnapshots) instead of returning one answer per key.
 	Aggregate bool
+
+	// Trace carries the request's trace context when the request is
+	// being traced (zero otherwise). Backends attach their stage spans
+	// — per-shard gathers, scatter rounds, layer merges — as children
+	// of it. Normalize preserves it; it is not part of any wire format.
+	Trace trace.Context
 }
 
 // Normalize returns the canonical form of the request — Metrics populated
@@ -366,10 +373,10 @@ func (s *Store) Query(req QueryRequest) (QueryResult, error) {
 		var syns []Synopsis
 		if h := s.telGather; h != nil {
 			t0 := time.Now()
-			syns, err = s.queryKeys(metric, proto, keys, fromB, toB)
+			syns, err = s.queryKeys(metric, proto, keys, fromB, toB, req.Trace)
 			h.ObserveSince(t0)
 		} else {
-			syns, err = s.queryKeys(metric, proto, keys, fromB, toB)
+			syns, err = s.queryKeys(metric, proto, keys, fromB, toB, req.Trace)
 		}
 		if err != nil {
 			return QueryResult{}, err
@@ -417,7 +424,10 @@ type keyGather struct {
 // Hot (splayed) keys take the point path's settle+gather; cold keys are
 // grouped by home shard and gathered with one read-lock acquisition per
 // shard, shards fanning out in parallel when more than one is involved.
-func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, toB int64) ([]Synopsis, error) {
+// A valid tctx (a traced request) hangs one child span off it per shard
+// gather and per hot-key gather; spans from parallel shard goroutines
+// attach concurrently, which StartRemote permits.
+func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, toB int64, tctx trace.Context) ([]Synopsis, error) {
 	out := make([]Synopsis, len(keys))
 	perShard := make(map[uint32][]*keyGather)
 	for i, key := range keys {
@@ -427,7 +437,10 @@ func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, 
 			// replica rings under the hot-key lock; it cannot batch with
 			// cold shard gathers. Promotion racing this check is benign:
 			// both paths serve the same history (see queryOne).
-			syn, err := s.queryOne(proto, k, fromB, toB)
+			hsp := s.traceGather(tctx, "store.hot_gather")
+			hsp.SetAttrs(trace.Str("metric", metric), trace.Str("key", key))
+			syn, err := s.queryOne(proto, k, fromB, toB, hsp)
+			hsp.Finish()
 			if err != nil {
 				return nil, err
 			}
@@ -439,7 +452,18 @@ func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, 
 	}
 	gatherShard := func(idx uint32, cells []*keyGather) error {
 		sh := s.shards[idx]
+		sp := s.traceGather(tctx, "store.gather")
+		defer sp.Finish()
+		var t0 time.Time
+		if sp != nil {
+			sp.SetAttrs(trace.Str("metric", metric),
+				trace.Int("shard", int64(idx)), trace.Int("keys", int64(len(cells))))
+			t0 = time.Now()
+		}
 		sh.mu.RLock()
+		if sp != nil {
+			sp.SetAttrs(trace.Int("lock_wait_ns", int64(time.Since(t0))))
+		}
 		for _, c := range cells {
 			e, ok := sh.entries[c.k]
 			if !ok {
@@ -509,8 +533,10 @@ func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, 
 // shard lock (they are immutable); still-open buckets merge under the
 // read lock. For a splayed hot key the gather spans all replica shards
 // under the hot-key read lock, so a concurrent demotion cannot
-// double-count a bucket mid-drain.
-func (s *Store) queryOne(proto Prototype, k entryKey, fromB, toB int64) (Synopsis, error) {
+// double-count a bucket mid-drain. psp, when non-nil, is the traced
+// request's hot-gather span; the settle of the key's pending
+// write-combining batch records a child under it.
+func (s *Store) queryOne(proto Prototype, k entryKey, fromB, toB int64, psp *trace.Span) (Synopsis, error) {
 	result := proto()
 
 	var sealed []Synopsis
@@ -520,7 +546,9 @@ func (s *Store) queryOne(proto Prototype, k entryKey, fromB, toB int64) (Synopsi
 		// Settle the key's pending write-combining batch first, so a
 		// single-writer flow reads its own writes.
 		if b := r.cur.Load(); b != nil && b.pos.Load() > 0 {
+			ssp := psp.Child("store.hot_settle")
 			s.sealAndFlush(r, b, true)
+			ssp.Finish()
 		}
 	}
 	if s.hotRouteFor(k) != nil {

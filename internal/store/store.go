@@ -51,6 +51,7 @@ import (
 	"repro/internal/frequency"
 	"repro/internal/hashutil"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Observation is one data point bound for the store: the metric names
@@ -64,6 +65,15 @@ type Observation struct {
 	Item   string
 	Value  uint64
 	Time   int64
+
+	// Trace carries the observation's trace context when the ingest was
+	// sampled (zero otherwise — the common case). It rides the in-process
+	// struct only: the wire codec (EncodeObservation) does not serialize
+	// it; across the log it travels as a mqlog record header instead
+	// (see dstore). Hot-key write combining batches per-key and drops
+	// per-record contexts — a sampled write to a splayed key traces its
+	// route decision, not the deferred sketch update.
+	Trace trace.Context
 }
 
 // Config tunes a Store.
@@ -333,6 +343,12 @@ type Store struct {
 	// operation.
 	telLockWait *telemetry.Histogram
 	telGather   *telemetry.Histogram
+
+	// Tracer hook (trace_wire.go). Same discipline as the histograms:
+	// nil when unwired, set before serving; traced paths additionally
+	// gate on the request/observation carrying a valid trace context,
+	// so an unwired or unsampled operation pays one pointer check.
+	trc *trace.Tracer
 }
 
 // New returns an empty store.
@@ -512,10 +528,21 @@ func (s *Store) writeLocked(sh *shard, e *entry, obs Observation, proto Prototyp
 func (s *Store) observeHome(obs Observation, proto Prototype, k entryKey, r *hotRoute) error {
 	idx := s.shardIndex(k)
 	sh := s.shards[idx]
-	if h := s.telLockWait; h != nil {
+	var sp *trace.Span
+	if s.trc != nil && obs.Trace.Valid() {
+		sp = s.traceObserve(obs, idx)
+		defer sp.Finish()
+	}
+	h := s.telLockWait
+	if h != nil || sp != nil {
 		t0 := time.Now()
 		sh.mu.Lock()
-		h.ObserveSince(t0)
+		if h != nil {
+			h.ObserveSince(t0)
+		}
+		if sp != nil {
+			sp.SetAttrs(trace.Int("lock_wait_ns", int64(time.Since(t0))))
+		}
 	} else {
 		sh.mu.Lock()
 	}

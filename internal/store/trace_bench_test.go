@@ -1,0 +1,68 @@
+// trace_bench_test.go pins the ingest-path cost of the tracing hooks —
+// the numbers behind the checked-in BENCH_trace.json. The contract: a
+// store with no tracer wired pays nothing measurable over the pre-trace
+// baseline (0 extra allocs, ~1 pointer check per observe), a wired
+// tracer with an untraced observation pays only the Context.Valid
+// check, and only a sampled observation buys the span machinery.
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// benchIngestTraced is benchIngest with a tracer wired and a fraction
+// of observations carrying a sampled trace context (sampleEvery == 0
+// means none do).
+func benchIngestTraced(b *testing.B, tr *trace.Tracer, sampleEvery int) {
+	b.Helper()
+	st, err := New(Config{Shards: 8, BucketWidth: 10, RingBuckets: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hll, err := NewDistinctProto(12, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.RegisterMetric("uniq", hll); err != nil {
+		b.Fatal(err)
+	}
+	st.SetTracer(tr)
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	items := make([]string, 128)
+	for i := range items {
+		items[i] = fmt.Sprintf("u%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := Observation{Metric: "uniq", Key: keys[i&15], Item: items[i&127], Time: int64(i)}
+		if sampleEvery > 0 && i%sampleEvery == 0 {
+			root := tr.StartSampled("analytics.observe")
+			obs.Trace = root.Context()
+			err = st.Observe(obs)
+			root.Finish()
+		} else {
+			err = st.Observe(obs)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreIngestTraced is the tracing cost ladder. "off" must
+// match BenchmarkStoreIngest/bare (same harness, nil tracer): that pair
+// is the 0-extra-allocs, <=1% ns/op acceptance BENCH_trace.json pins.
+func BenchmarkStoreIngestTraced(b *testing.B) {
+	cfg := trace.Config{SampleRate: 1, Seed: 7}
+	b.Run("off", func(b *testing.B) { benchIngestTraced(b, nil, 0) })
+	b.Run("wired-untraced", func(b *testing.B) { benchIngestTraced(b, trace.NewTracer(cfg), 0) })
+	b.Run("sampled-1-in-1024", func(b *testing.B) { benchIngestTraced(b, trace.NewTracer(cfg), 1024) })
+	b.Run("sampled-every", func(b *testing.B) { benchIngestTraced(b, trace.NewTracer(cfg), 1) })
+}

@@ -1,0 +1,36 @@
+// trace_wire.go wires the store into a trace.Tracer, mirroring the
+// SetTelemetry discipline: nil tracer = no-op everywhere, wire before
+// serving. The store never starts root spans — sampling decisions
+// belong to the request edge (analytics.Instrument) or the ingest edge
+// (the cluster router) — it only attaches child spans to contexts the
+// caller already carries on Observation.Trace / QueryRequest.Trace.
+package store
+
+import "repro/internal/trace"
+
+// SetTracer wires the store's observe and gather paths to tr; nil
+// detaches. Like the telemetry histograms, the field is a plain
+// pointer: set it before the store starts serving.
+func (s *Store) SetTracer(tr *trace.Tracer) { s.trc = tr }
+
+// traceObserve opens the store-side child span of a sampled write, or
+// nil for the (overwhelmingly common) untraced one.
+func (s *Store) traceObserve(obs Observation, shard uint32) *trace.Span {
+	tr := s.trc
+	if tr == nil || !obs.Trace.Valid() {
+		return nil
+	}
+	sp := tr.StartRemote(obs.Trace, "store.observe")
+	sp.SetAttrs(trace.Str("metric", obs.Metric), trace.Int("shard", int64(shard)))
+	return sp
+}
+
+// traceGather opens one per-shard (or per-hot-key) gather child span on
+// the query path; nil when untraced.
+func (s *Store) traceGather(tctx trace.Context, name string) *trace.Span {
+	tr := s.trc
+	if tr == nil || !tctx.Valid() {
+		return nil
+	}
+	return tr.StartRemote(tctx, name)
+}

@@ -3,7 +3,25 @@ package telemetry
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/trace"
 )
+
+// DebugOptions selects the optional debug surfaces HandlerWith mounts
+// next to /metrics. The zero value mounts nothing extra, making
+// Handler(r) == HandlerWith(r, DebugOptions{}).
+type DebugOptions struct {
+	// Tracer, when non-nil, mounts /debug/traces (Chrome trace-event
+	// JSON of the retained trace ring — load it in chrome://tracing or
+	// Perfetto) and /debug/slow (the slow-query log).
+	Tracer *trace.Tracer
+	// Pprof mounts net/http/pprof under /debug/pprof/. Opt-in because
+	// profiles expose process internals and a 30s CPU profile holds a
+	// handler goroutine for its full window.
+	Pprof bool
+}
 
 // Handler returns an http.Handler serving the registry's two surfaces:
 //
@@ -13,6 +31,18 @@ import (
 // A nil registry serves an empty (but valid) payload on both, so demos
 // can mount the handler unconditionally.
 func Handler(r *Registry) http.Handler {
+	return HandlerWith(r, DebugOptions{})
+}
+
+// HandlerWith is Handler plus the opt-in debug surfaces:
+//
+//   - /debug/traces — Chrome trace-event JSON (when opts.Tracer != nil)
+//   - /debug/slow   — slow-query log entries, oldest first
+//   - /debug/pprof/ — the standard pprof index (when opts.Pprof)
+//
+// The trace surfaces serve empty-but-valid payloads for a nil tracer,
+// matching the registry's contract.
+func HandlerWith(r *Registry, opts DebugOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -26,6 +56,33 @@ func Handler(r *Registry) http.Handler {
 			Families []SnapshotFamily `json:"families"`
 		}{Families: r.Snapshot()})
 	})
+	if opts.Tracer != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = opts.Tracer.WriteChrome(w)
+		})
+		mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			slow := opts.Tracer.Slow()
+			if slow == nil {
+				slow = []trace.SlowEntry{}
+			}
+			_ = enc.Encode(struct {
+				Slow []trace.SlowEntry `json:"slow"`
+			}{Slow: slow})
+		})
+	}
+	if opts.Pprof {
+		// Mount the pprof handlers explicitly: the package's init only
+		// registers them on http.DefaultServeMux, which we don't serve.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -34,7 +91,23 @@ func Handler(r *Registry) http.Handler {
 // dropped. It is the one-liner the cmd demos use for their -metrics
 // flag. Returns the server so callers can Close it.
 func Serve(addr string, r *Registry) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	return ServeWith(addr, r, DebugOptions{})
+}
+
+// ServeWith is Serve over HandlerWith. The server carries defensive
+// timeouts — ReadHeaderTimeout above all, since a zero value leaves the
+// listener open to slowloris header dribbling — sized so the slowest
+// legitimate responses (30s pprof CPU profiles, 60s execution traces)
+// still fit inside WriteTimeout.
+func ServeWith(addr string, r *Registry, opts DebugOptions) *http.Server {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           HandlerWith(r, opts),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.ListenAndServe() }()
 	return srv
 }

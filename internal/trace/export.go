@@ -1,0 +1,214 @@
+// export.go renders the tracer's retained state for humans and tools:
+// the Chrome trace-event JSON consumed by chrome://tracing and
+// Perfetto (served at /debug/traces), the slow-query log (served at
+// /debug/slow), and structured snapshots for tests.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SlowStage is one per-stage duration inside a slow-query entry — a
+// direct child of the slow root span.
+type SlowStage struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// SlowEntry is one slow-query log record: the request summary (the
+// root span's attributes) plus per-stage durations.
+type SlowEntry struct {
+	Time       time.Time         `json:"time"`
+	TraceID    string            `json:"trace_id"`
+	Name       string            `json:"name"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Stages     []SlowStage       `json:"stages,omitempty"`
+}
+
+// buildSlowEntry summarises b's root span and its direct children.
+// Stages reflect the spans recorded before the root finished; remote
+// spans stitched in later appear in the exported trace but not here.
+func (t *Tracer) buildSlowEntry(b *traceBuf, root spanRec) SlowEntry {
+	e := SlowEntry{
+		Time:       root.start,
+		TraceID:    idString(uint64(b.id)),
+		Name:       root.name,
+		DurationMS: durMS(root.dur),
+	}
+	if len(root.attrs) > 0 {
+		e.Attrs = make(map[string]string, len(root.attrs))
+		for _, a := range root.attrs {
+			e.Attrs[a.Key] = attrString(a)
+		}
+	}
+	b.mu.Lock()
+	for _, s := range b.spans {
+		if s.parent == root.id {
+			e.Stages = append(e.Stages, SlowStage{Name: s.name, DurationMS: durMS(s.dur)})
+		}
+	}
+	b.mu.Unlock()
+	sort.SliceStable(e.Stages, func(i, j int) bool { return e.Stages[i].Name < e.Stages[j].Name })
+	return e
+}
+
+// Slow returns the slow-query log, oldest first. Nil on a nil tracer.
+func (t *Tracer) Slow() []SlowEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SlowEntry, 0, len(t.slow))
+	out = append(out, t.slow[t.slowAt:]...)
+	out = append(out, t.slow[:t.slowAt]...)
+	return out
+}
+
+// SpanSnapshot is one finished span in a structured trace snapshot.
+type SpanSnapshot struct {
+	ID       SpanID
+	Parent   SpanID
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// TraceSnapshot is one retained trace: its spans in finish order.
+type TraceSnapshot struct {
+	ID      TraceID
+	Sampled bool
+	Dropped int
+	Spans   []SpanSnapshot
+}
+
+// Traces snapshots every trace currently retained in the ring, oldest
+// first. Nil on a nil tracer.
+func (t *Tracer) Traces() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	bufs := make([]*traceBuf, 0, len(t.ring))
+	bufs = append(bufs, t.ring[t.head:]...)
+	bufs = append(bufs, t.ring[:t.head]...)
+	t.mu.Unlock()
+
+	out := make([]TraceSnapshot, 0, len(bufs))
+	for _, b := range bufs {
+		b.mu.Lock()
+		ts := TraceSnapshot{
+			ID:      b.id,
+			Sampled: b.sampled,
+			Dropped: b.dropped,
+			Spans:   make([]SpanSnapshot, 0, len(b.spans)),
+		}
+		for _, s := range b.spans {
+			ts.Spans = append(ts.Spans, SpanSnapshot{
+				ID:       s.id,
+				Parent:   s.parent,
+				Name:     s.name,
+				Start:    s.start,
+				Duration: s.dur,
+				Attrs:    append([]Attr(nil), s.attrs...),
+			})
+		}
+		b.mu.Unlock()
+		out = append(out, ts)
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event object. We emit only complete
+// events (ph "X"): name, microsecond timestamp + duration, and a
+// pid/tid lane per trace so chrome://tracing stacks each trace's spans
+// together.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace-event format.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Meta        *Stats        `json:"metadata,omitempty"`
+}
+
+// WriteChrome writes every retained trace as Chrome trace-event JSON.
+// Timestamps are microseconds since the tracer's epoch, taken from the
+// spans' monotonic clock readings. Safe to call while spans are still
+// finishing; each trace's spans are snapshotted under its own lock. A
+// nil tracer writes an empty document.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}}
+	if t != nil {
+		st := t.Stats()
+		doc.Meta = &st
+		for _, ts := range t.Traces() {
+			lane := laneOf(t, ts.ID)
+			for _, s := range ts.Spans {
+				ev := chromeEvent{
+					Name: s.Name,
+					Ph:   "X",
+					Ts:   float64(s.Start.Sub(t.epoch)) / float64(time.Microsecond),
+					Dur:  float64(s.Duration) / float64(time.Microsecond),
+					Pid:  1,
+					Tid:  lane,
+					Args: map[string]string{
+						"trace_id": idString(uint64(ts.ID)),
+						"span_id":  idString(uint64(s.ID)),
+					},
+				}
+				if s.Parent != 0 {
+					ev.Args["parent_id"] = idString(uint64(s.Parent))
+				}
+				for _, a := range s.Attrs {
+					ev.Args[a.Key] = attrString(a)
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ev)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// laneOf returns the trace's stable export lane (its tid).
+func laneOf(t *Tracer, id TraceID) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.active[id]; ok {
+		return b.lane
+	}
+	return 0
+}
+
+// idString renders a trace or span id as fixed-width hex.
+func idString(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// attrString renders an attribute value for JSON maps.
+func attrString(a Attr) string {
+	switch a.Kind {
+	case KindInt:
+		return strconv.FormatInt(a.Int, 10)
+	case KindBool:
+		return strconv.FormatBool(a.Bool)
+	default:
+		return a.Str
+	}
+}
+
+// durMS converts a duration to fractional milliseconds.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,356 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if s := tr.StartRoot("q"); s != nil {
+		t.Fatal("nil tracer StartRoot returned non-nil span")
+	}
+	if s := tr.StartSampled("o"); s != nil {
+		t.Fatal("nil tracer StartSampled returned non-nil span")
+	}
+	if s := tr.StartRemote(Context{Trace: 1, Span: 1}, "r"); s != nil {
+		t.Fatal("nil tracer StartRemote returned non-nil span")
+	}
+	if got := tr.Stats(); got != (Stats{}) {
+		t.Fatalf("nil tracer Stats = %+v, want zero", got)
+	}
+	if tr.Slow() != nil || tr.Traces() != nil {
+		t.Fatal("nil tracer Slow/Traces returned non-nil")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChrome: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer WriteChrome emitted invalid JSON: %v", err)
+	}
+
+	var sp *Span
+	sp.SetAttrs(Str("k", "v"))
+	sp.Finish()
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span Child returned non-nil")
+	}
+	if ctx := sp.Context(); ctx.Valid() {
+		t.Fatal("nil span Context is valid")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	c := Context{Trace: 0xdeadbeefcafe, Span: 0x1234}
+	got := DecodeContext(EncodeContext(c))
+	if got != c {
+		t.Fatalf("round trip = %+v, want %+v", got, c)
+	}
+	if DecodeContext(nil).Valid() || DecodeContext([]byte{1, 2, 3}).Valid() {
+		t.Fatal("malformed input decoded to a valid context")
+	}
+	if (Context{}).Valid() {
+		t.Fatal("zero context reported valid")
+	}
+}
+
+// TestSamplerDeterminism: two tracers with the same seed and rate make
+// identical head-sampling decisions; a different seed diverges.
+func TestSamplerDeterminism(t *testing.T) {
+	const n = 4096
+	draw := func(seed uint64, rate float64) []bool {
+		tr := NewTracer(Config{SampleRate: rate, Seed: seed})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = tr.StartSampled("o") != nil
+		}
+		return out
+	}
+	a, b := draw(42, 0.25), draw(42, 0.25)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed tracers diverged at draw %d", i)
+		}
+	}
+	c := draw(7, 0.25)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+
+	kept := 0
+	for _, k := range a {
+		if k {
+			kept++
+		}
+	}
+	// 0.25 rate over 4096 draws: expect ~1024; allow a generous band.
+	if kept < 800 || kept > 1250 {
+		t.Fatalf("kept %d of %d at rate 0.25, outside plausible band", kept, n)
+	}
+
+	if tr := NewTracer(Config{SampleRate: 1}); tr.StartSampled("o") == nil {
+		t.Fatal("rate 1 dropped a trace")
+	}
+	if tr := NewTracer(Config{SampleRate: 0}); tr.StartSampled("o") != nil {
+		t.Fatal("rate 0 kept a trace")
+	}
+}
+
+func TestRootKeptWhenSlowEvenAtRateZero(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 0, SlowThreshold: time.Nanosecond})
+	sp := tr.StartRoot("query")
+	sp.SetAttrs(Str("metric", "latency"), Int("keys", 3))
+	st := sp.Child("store.gather")
+	time.Sleep(time.Millisecond)
+	st.Finish()
+	sp.Finish()
+
+	stats := tr.Stats()
+	if stats.Slow != 1 || stats.Kept != 1 || stats.Resident != 1 {
+		t.Fatalf("stats = %+v, want slow=kept=resident=1", stats)
+	}
+	slow := tr.Slow()
+	if len(slow) != 1 {
+		t.Fatalf("slow log has %d entries, want 1", len(slow))
+	}
+	e := slow[0]
+	if e.Name != "query" || e.Attrs["metric"] != "latency" || e.Attrs["keys"] != "3" {
+		t.Fatalf("slow entry = %+v", e)
+	}
+	if len(e.Stages) != 1 || e.Stages[0].Name != "store.gather" || e.Stages[0].DurationMS <= 0 {
+		t.Fatalf("slow stages = %+v", e.Stages)
+	}
+
+	// A fast root at rate 0 is discarded entirely.
+	tr2 := NewTracer(Config{SampleRate: 0, SlowThreshold: time.Hour})
+	tr2.StartRoot("fast").Finish()
+	if st2 := tr2.Stats(); st2.Kept != 0 || st2.Resident != 0 || st2.Slow != 0 {
+		t.Fatalf("fast unsampled root retained: %+v", st2)
+	}
+}
+
+func TestRemoteStitching(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1})
+	root := tr.StartSampled("observe")
+	ctx := root.Context()
+	root.Finish() // ingest root finishes before the consume side runs
+
+	hdr := EncodeContext(ctx)
+	remote := tr.StartRemote(DecodeContext(hdr), "mqlog.fetch")
+	apply := remote.Child("dstore.apply")
+	apply.Finish()
+	remote.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1 stitched trace", len(traces))
+	}
+	spans := traces[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (root+fetch+apply)", len(spans))
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["mqlog.fetch"].Parent != ctx.Span {
+		t.Fatal("remote span not parented to the propagated context")
+	}
+	if byName["dstore.apply"].Parent != byName["mqlog.fetch"].ID {
+		t.Fatal("child of remote span mis-parented")
+	}
+	if st := tr.Stats(); st.Stitched != 1 {
+		t.Fatalf("stitched = %d, want 1", st.Stitched)
+	}
+
+	// Unknown trace: dropped and counted.
+	if sp := tr.StartRemote(Context{Trace: 0x999, Span: 0x1}, "late"); sp != nil {
+		t.Fatal("StartRemote attached to an unknown trace")
+	}
+	if st := tr.Stats(); st.DroppedLate != 1 {
+		t.Fatalf("dropped_late = %d, want 1", st.DroppedLate)
+	}
+}
+
+func TestRingEvictionRetiresTraceID(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, Capacity: 2})
+	first := tr.StartSampled("a")
+	firstCtx := first.Context()
+	first.Finish()
+	for i := 0; i < 2; i++ {
+		tr.StartSampled("b").Finish()
+	}
+	// first was evicted by the two later traces; stitching must fail.
+	if sp := tr.StartRemote(firstCtx, "late"); sp != nil {
+		t.Fatal("StartRemote attached to an evicted trace")
+	}
+	if st := tr.Stats(); st.Resident != 2 || st.DroppedLate != 1 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+}
+
+func TestMaxSpansBound(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, MaxSpans: 4})
+	root := tr.StartSampled("r")
+	for i := 0; i < 10; i++ {
+		root.Child("c").Finish()
+	}
+	root.Finish() // root itself is dropped too: 10 children beat it to the cap
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 4 {
+		t.Fatalf("spans retained = %d, want 4", len(traces[0].Spans))
+	}
+	if traces[0].Dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", traces[0].Dropped)
+	}
+	if st := tr.Stats(); st.DroppedSpans != 7 {
+		t.Fatalf("stats dropped_spans = %d, want 7", st.DroppedSpans)
+	}
+}
+
+func TestSlowLogBounded(t *testing.T) {
+	tr := NewTracer(Config{SlowThreshold: time.Nanosecond, SlowCapacity: 3})
+	for i := 0; i < 5; i++ {
+		sp := tr.StartRoot("q")
+		sp.SetAttrs(Int("i", int64(i)))
+		sp.Finish()
+	}
+	slow := tr.Slow()
+	if len(slow) != 3 {
+		t.Fatalf("slow log = %d entries, want 3", len(slow))
+	}
+	// Oldest-first: entries 2, 3, 4 survive.
+	for i, e := range slow {
+		if want := int64(i + 2); e.Attrs["i"] != jsonInt(want) {
+			t.Fatalf("slow[%d].i = %q, want %d", i, e.Attrs["i"], want)
+		}
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestWriteChromeSchema(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1})
+	root := tr.StartRoot("query")
+	root.SetAttrs(Str("backend", "store"))
+	child := root.Child("store.gather")
+	child.SetAttrs(Int("shard", 3))
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Pid  *int              `json:"pid"`
+			Tid  *uint64           `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		Metadata *Stats `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph != "X" || ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 ||
+			ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event fails chrome trace-event shape: %+v", ev)
+		}
+		if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
+			t.Fatalf("event missing id args: %+v", ev)
+		}
+	}
+	if doc.Metadata == nil || doc.Metadata.Kept != 1 {
+		t.Fatalf("metadata = %+v", doc.Metadata)
+	}
+}
+
+// TestConcurrentFinishDuringExport hammers span finishing, remote
+// stitching and WriteChrome/Slow/Stats concurrently; run under -race
+// it proves export never reads a trace buffer without its lock.
+func TestConcurrentFinishDuringExport(t *testing.T) {
+	tr := NewTracer(Config{SampleRate: 1, SlowThreshold: time.Nanosecond, Capacity: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				root := tr.StartRoot("query")
+				root.SetAttrs(Int("i", int64(i)))
+				ctx := root.Context()
+				c := root.Child("gather")
+				c.Finish()
+				root.Finish()
+				if r := tr.StartRemote(ctx, "late"); r != nil {
+					r.Finish()
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sink.Reset()
+				if err := tr.WriteChrome(&sink); err != nil {
+					t.Errorf("WriteChrome: %v", err)
+					return
+				}
+				tr.Slow()
+				tr.Stats()
+				tr.Traces()
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkStartSampledUnsampled(b *testing.B) {
+	tr := NewTracer(Config{SampleRate: 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := tr.StartSampled("observe"); sp != nil {
+			sp.Finish()
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/subsequence"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wavelet"
 	"repro/internal/window"
 	"repro/internal/workload"
@@ -893,9 +894,84 @@ func ServeMetrics(addr string, reg *Telemetry) *http.Server { return telemetry.S
 // metric and timed into reg, labeled backend=name — SinkBolt topologies
 // and demo drivers get serving telemetry without the backend knowing.
 // Answers are byte-identical to the bare backend's (the conformance
-// suite pins this); a nil registry returns be unchanged.
-func Instrument(be Backend, reg *Telemetry, name string) Backend {
-	return analytics.Instrument(be, reg, name)
+// suite pins this); a nil registry with no options returns be
+// unchanged. Pass WithTracer to also open a root span per operation.
+func Instrument(be Backend, reg *Telemetry, name string, opts ...InstrumentOption) Backend {
+	return analytics.Instrument(be, reg, name, opts...)
+}
+
+// InstrumentOption configures an Instrument wrapper beyond its
+// registry (currently: WithTracer).
+type InstrumentOption = analytics.Option
+
+// ---- Tracing (request spans and the slow-query log) ----
+
+// Tracer samples, records and exports request traces: bounded in-memory
+// rings of finished spans (Chrome trace-event JSON on /debug/traces)
+// plus a slow-query log (/debug/slow). A nil *Tracer everywhere means
+// "tracing off"; unsampled requests pay roughly a pointer check and one
+// atomic increment per root.
+type Tracer = trace.Tracer
+
+// TraceConfig tunes a Tracer: SampleRate (0..1 head sampling),
+// SlowThreshold (tail-keep + slow-log), ring capacities and the sampler
+// seed (seeded runs sample deterministically).
+type TraceConfig = trace.Config
+
+// TraceContext is the portable (trace, span) reference that crosses
+// layer and log boundaries — observations and query requests carry one,
+// and the cluster router encodes it into log record headers.
+type TraceContext = trace.Context
+
+// TraceSpan is one timed operation within a trace.
+type TraceSpan = trace.Span
+
+// TraceAttr is one typed span attribute (TraceStr/TraceInt/TraceBool).
+type TraceAttr = trace.Attr
+
+// SlowQueryEntry is one slow-query log record: the root's name,
+// duration and attributes plus per-stage child durations.
+type SlowQueryEntry = trace.SlowEntry
+
+// NewTracer returns a Tracer for cfg. Wire it with a subsystem's
+// SetTracer method (SketchStore, StoreCluster, Lambda) and hand it to
+// Instrument via WithTracer so roots open at the serving boundary.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.NewTracer(cfg) }
+
+// WithTracer makes an Instrument wrapper open a root span per backend
+// operation: head-sampled ingest roots whose context rides the
+// observation through every layer (and across the cluster's log), and
+// always-started query roots kept when sampled or slow.
+func WithTracer(tr *Tracer) InstrumentOption { return analytics.WithTracer(tr) }
+
+// TraceStr returns a string-valued span attribute.
+func TraceStr(key, value string) TraceAttr { return trace.Str(key, value) }
+
+// TraceInt returns an int-valued span attribute.
+func TraceInt(key string, value int64) TraceAttr { return trace.Int(key, value) }
+
+// TraceBool returns a bool-valued span attribute.
+func TraceBool(key string, value bool) TraceAttr { return trace.Bool(key, value) }
+
+// DebugOptions selects the optional debug surfaces MetricsHandlerWith
+// mounts next to /metrics: a Tracer (adds /debug/traces and
+// /debug/slow) and net/http/pprof (adds /debug/pprof/...).
+type DebugOptions = telemetry.DebugOptions
+
+// MetricsHandlerWith is MetricsHandler plus the optional debug
+// surfaces: /debug/traces (Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto), /debug/slow (the slow-query log) and,
+// when opts.Pprof is set, the standard pprof endpoints.
+func MetricsHandlerWith(reg *Telemetry, opts DebugOptions) http.Handler {
+	return telemetry.HandlerWith(reg, opts)
+}
+
+// ServeMetricsWith is ServeMetrics with debug surfaces — the one-liner
+// behind the cmd demos' -trace and -pprof flags. The returned server
+// has hardened timeouts (slowloris-resistant header/read deadlines, a
+// write deadline long enough for 30s CPU profiles).
+func ServeMetricsWith(addr string, reg *Telemetry, opts DebugOptions) *http.Server {
+	return telemetry.ServeWith(addr, reg, opts)
 }
 
 // ---- Partitioned store cluster (multi-node serving over mqlog) ----
