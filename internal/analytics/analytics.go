@@ -41,7 +41,11 @@
 //     sealed batch view reports separately via BatchView().Stats()).
 package analytics
 
-import "repro/internal/store"
+import (
+	"context"
+
+	"repro/internal/store"
+)
 
 // Backend is the unified serving API. store.Store, dstore.Router and
 // lambda.Architecture satisfy it; engine.SinkBolt sinks topology streams
@@ -75,4 +79,30 @@ type PointQuerier interface {
 // simply don't implement it.
 type Flusher interface {
 	Flush()
+}
+
+// ContextQuerier is the optional deadline-aware query surface: a
+// backend that can abort an in-flight gather when the caller's context
+// is cancelled or its deadline passes. store.Store, dstore.Router and
+// lambda.Architecture all implement it (ctx threads through the store's
+// per-shard fan-out and the cluster's scatter-gather), and the serving
+// daemon drives every request through it. QueryContext with a live
+// context answers exactly what Query would; a cancelled context yields
+// an error wrapping ctx.Err(), never a partial answer.
+type ContextQuerier interface {
+	QueryContext(ctx context.Context, req store.QueryRequest) (store.QueryResult, error)
+}
+
+// QueryContext answers req through be honoring ctx: backends that
+// implement ContextQuerier get the context threaded through their
+// gathers; for the rest, ctx is checked once up front and the plain
+// Query runs to completion (the contract every Backend already keeps).
+func QueryContext(ctx context.Context, be Backend, req store.QueryRequest) (store.QueryResult, error) {
+	if cq, ok := be.(ContextQuerier); ok {
+		return cq.QueryContext(ctx, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return store.QueryResult{}, err
+	}
+	return be.Query(req)
 }

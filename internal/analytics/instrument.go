@@ -7,6 +7,7 @@
 package analytics
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"time"
@@ -172,6 +173,14 @@ func (in *instrumented) Observe(obs store.Observation) error {
 }
 
 func (in *instrumented) Query(req store.QueryRequest) (store.QueryResult, error) {
+	return in.QueryContext(context.Background(), req)
+}
+
+// QueryContext instruments exactly like Query while threading ctx into
+// the backend (see the package-level QueryContext helper); the wrapper
+// itself adds no cancellation points, so answers stay byte-identical
+// to the bare backend's.
+func (in *instrumented) QueryContext(ctx context.Context, req store.QueryRequest) (store.QueryResult, error) {
 	if sp := in.trc.StartRoot("analytics.query"); sp != nil {
 		// Query roots always start; the tail decision at Finish keeps the
 		// trace when head-sampled or over the slow threshold, and a slow
@@ -182,7 +191,7 @@ func (in *instrumented) Query(req store.QueryRequest) (store.QueryResult, error)
 		defer sp.Finish()
 	}
 	t0 := time.Now()
-	res, err := in.be.Query(req)
+	res, err := QueryContext(ctx, in.be, req)
 	in.qryLat.ObserveSince(t0)
 	if err != nil {
 		in.qryErrs.Inc()

@@ -6,6 +6,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -320,7 +321,7 @@ func (n *Node) recover(gen int) {
 // waitServing blocks until the node has a recovered store (or was
 // stopped) and returns it.
 func (n *Node) waitServing() (*store.Store, bool) {
-	return n.waitServingAt(-1)
+	return n.waitServingAt(context.Background(), -1)
 }
 
 // waitServingAt blocks until the node serves at group generation >= gen
@@ -330,14 +331,20 @@ func (n *Node) waitServing() (*store.Store, bool) {
 // idle backoff until the event loop catches up. A node's generation
 // never exceeds the group's, so callers that snapshot the group
 // generation, wait here, and see the group unchanged afterwards have a
-// store built for exactly that assignment.
-func (n *Node) waitServingAt(gen int) (*store.Store, bool) {
+// store built for exactly that assignment. A cancelled ctx abandons the
+// wait (false) without touching node state — the event loop and any
+// in-flight recovery continue unaffected, so an impatient caller cannot
+// poison the node for the next one.
+func (n *Node) waitServingAt(ctx context.Context, gen int) (*store.Store, bool) {
 	for {
 		n.mu.RLock()
 		st, g, ch := n.st, n.gen, n.serveCh
 		n.mu.RUnlock()
 		if st != nil && g >= gen {
 			return st, true
+		}
+		if ctx.Err() != nil {
+			return nil, false
 		}
 		if st != nil {
 			if n.stopped() {
@@ -349,6 +356,8 @@ func (n *Node) waitServingAt(gen int) (*store.Store, bool) {
 		select {
 		case <-ch:
 		case <-n.stopCh:
+			return nil, false
+		case <-ctx.Done():
 			return nil, false
 		}
 	}
@@ -373,13 +382,19 @@ func (n *Node) Query(metric, key string, from, to int64) (store.Synopsis, error)
 // store query per node — the store groups the keys by shard and gathers
 // each shard under a single lock acquisition — returning one synopsis per
 // key, in key order. tctx, when valid, is the router's per-node scatter
-// span; the store hangs its per-shard gather spans off it.
-func (n *Node) queryKeys(gen int, metric string, keys []string, from, to int64, tctx trace.Context) ([]store.Synopsis, error) {
-	st, ok := n.waitServingAt(gen)
+// span; the store hangs its per-shard gather spans off it. ctx bounds
+// both the wait for a recovered store and the store gather itself; a
+// cancelled sub-query surfaces the context error, which the router
+// reports without retrying.
+func (n *Node) queryKeys(ctx context.Context, gen int, metric string, keys []string, from, to int64, tctx trace.Context) ([]store.Synopsis, error) {
+	st, ok := n.waitServingAt(ctx, gen)
 	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, errNodeStopped(n.name)
 	}
-	res, err := st.Query(store.QueryRequest{Metric: metric, Keys: keys, From: from, To: to, Trace: tctx})
+	res, err := st.QueryContext(ctx, store.QueryRequest{Metric: metric, Keys: keys, From: from, To: to, Trace: tctx})
 	if err != nil {
 		return nil, err
 	}

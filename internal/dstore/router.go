@@ -6,6 +6,7 @@
 package dstore
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -21,6 +22,12 @@ import (
 
 func errNodeStopped(name string) error {
 	return fmt.Errorf("dstore: node %s stopped", name)
+}
+
+// queryCancelled wraps a context error so errors.Is still sees
+// context.Canceled / context.DeadlineExceeded through the wrap.
+func queryCancelled(err error) error {
+	return fmt.Errorf("dstore: query cancelled: %w", err)
 }
 
 // routerPart is one partition's producer-side buffer. The lock is held
@@ -171,6 +178,18 @@ func nodeErrors(op string, names []string, errs []error) error {
 // in sorted key order through store.CombineSnapshots, byte-identical to
 // issuing per-key queries and combining them caller-side.
 func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
+	return r.QueryContext(context.Background(), req)
+}
+
+// QueryContext is Query honoring a deadline: ctx threads through the
+// scatter-gather into every owning node's store gather (and the wait
+// for a node still mid-recovery), so a cancelled or expired context
+// aborts the round with an error wrapping ctx.Err() instead of fanning
+// out work nobody is waiting for. Cancellation never poisons node
+// state — the query path is read-only and each node's event loop is
+// untouched — and a cancelled round is never retried, even when a
+// rebalance raced it. context.Background() recovers plain Query.
+func (r *Router) QueryContext(ctx context.Context, req store.QueryRequest) (store.QueryResult, error) {
 	req, err := req.Normalize()
 	if err != nil {
 		return store.QueryResult{}, err
@@ -190,6 +209,11 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		pos  [][]int
 	}
 	for {
+		// A fenced retry re-enters here; a cancelled request stops instead
+		// of re-routing against the new assignment.
+		if err := ctx.Err(); err != nil {
+			return store.QueryResult{}, queryCancelled(err)
+		}
 		// One assignment snapshot resolves every cell of every metric:
 		// per-key Owner calls would rescan the member list under the group
 		// lock once per key, and per-metric snapshots could fence different
@@ -275,7 +299,7 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 					if len(keys) == 0 {
 						continue
 					}
-					syns, err := nq.n.queryKeys(gen, req.Metrics[mi], keys, req.From, req.To, nsp.Context())
+					syns, err := nq.n.queryKeys(ctx, gen, req.Metrics[mi], keys, req.From, req.To, nsp.Context())
 					if err != nil {
 						errs[i] = err
 						return
@@ -287,6 +311,13 @@ func (r *Router) Query(req store.QueryRequest) (store.QueryResult, error) {
 		wg.Wait()
 		if tel != nil {
 			tel.scatter.ObserveSince(fanStart)
+		}
+		if err := ctx.Err(); err != nil {
+			// The context died mid-round; the partials are incomplete and
+			// the per-node errors would just echo the cancellation.
+			ssp.SetAttrs(trace.Bool("cancelled", true))
+			ssp.Finish()
+			return store.QueryResult{}, queryCancelled(err)
 		}
 		if r.c.group.Generation() != gen {
 			// A rebalance raced the fan-out; the grouping (and possibly

@@ -41,6 +41,7 @@
 package lambda
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -455,6 +456,23 @@ func (a *Architecture) Observe(obs store.Observation) error { return a.Append(ob
 // one per key. In cluster mode the speed side is one generation-fenced
 // scatter-gather per metric.
 func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) {
+	return a.QueryContext(context.Background(), req)
+}
+
+// queryCancelled wraps a context error so errors.Is still sees
+// context.Canceled / context.DeadlineExceeded through the wrap.
+func queryCancelled(err error) error {
+	return fmt.Errorf("lambda: query cancelled: %w", err)
+}
+
+// QueryContext is Query honoring a deadline: ctx threads into the speed
+// layer's gather (the store's per-shard fan-out, or the cluster's
+// scatter-gather in cluster mode) and is re-checked between the merge
+// phases, so a cancelled or expired context aborts the request with an
+// error wrapping ctx.Err(). The batch view is sealed and the merge
+// allocates only private state, so an aborted query leaves nothing to
+// clean up. context.Background() recovers plain Query exactly.
+func (a *Architecture) QueryContext(ctx context.Context, req store.QueryRequest) (store.QueryResult, error) {
 	if err := a.ensureStarted(); err != nil {
 		return store.QueryResult{}, err
 	}
@@ -517,13 +535,15 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 		// history; RunBatch drains before returning to restore exactness.
 		view = a.batch.Load()
 		r := a.cluster.Router()
-		if err := gather(r.Query, r.Keys); err != nil {
+		speed := func(q store.QueryRequest) (store.QueryResult, error) { return r.QueryContext(ctx, q) }
+		if err := gather(speed, r.Keys); err != nil {
 			return store.QueryResult{}, err
 		}
 	} else {
 		a.speedMu.RLock()
 		view = a.batch.Load()
-		err := gather(a.speed.Query, a.speed.Keys)
+		speed := func(q store.QueryRequest) (store.QueryResult, error) { return a.speed.QueryContext(ctx, q) }
+		err := gather(speed, a.speed.Keys)
 		a.speedMu.RUnlock()
 		if err != nil {
 			return store.QueryResult{}, err
@@ -552,6 +572,9 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 			if len(keys) == 0 {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return store.QueryResult{}, queryCancelled(err)
+			}
 			res, err := view.Query(store.QueryRequest{Metric: metric, Keys: keys, From: req.From, To: req.To})
 			if err != nil {
 				return store.QueryResult{}, err
@@ -573,6 +596,9 @@ func (a *Architecture) Query(req store.QueryRequest) (store.QueryResult, error) 
 	var answers []store.Answer
 	mergedCells := 0
 	for i, metric := range req.Metrics {
+		if err := ctx.Err(); err != nil {
+			return store.QueryResult{}, queryCancelled(err)
+		}
 		keys := keysPerMetric[i]
 		batchSyns := batchPerMetric[i]
 		merged := make([]store.Synopsis, len(keys))

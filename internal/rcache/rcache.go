@@ -1,0 +1,386 @@
+// Package rcache is the serving tier's sharded read-path cache for
+// query results over fully-sealed time ranges.
+//
+// The store's bucket discipline makes exact read caching possible: a
+// bucket below the stream's current open bucket is sealed, and sealed
+// synopses only change when a late write lands inside the retention
+// window (copy-on-write in the store). So a cached answer for a
+// half-open range [From, To) that lies entirely below the open bucket
+// is exact as long as no bucket advance and no late write touched the
+// metric since the answer was computed. The cache tracks exactly that:
+// a per-metric version that bumps when an observation advances the
+// open bucket or lands below it, and every cached entry is stamped
+// with the versions of its metrics at lookup time. A hit requires the
+// stamps to match the current versions; anything else is a miss and
+// the stale entry is dropped lazily.
+//
+// The contract requires every write to pass through NoteObserve — the
+// serving daemon sits on the only ingest path, so it calls NoteObserve
+// per observation before handing it to the backend. Writes that bypass
+// the daemon bypass invalidation, exactly like any look-aside cache.
+//
+// AllKeys requests are never cached: the resident key set grows with
+// writes to the open bucket (which bump no version), so the answer's
+// cell list is not a pure function of sealed history.
+//
+// Entries shard by key hash, each shard holding an independent map and
+// FIFO eviction ring under its own mutex, so concurrent lookups on a
+// busy edge don't serialize. Cached results are shared across readers:
+// treat the answers as read-only (the serving tier only encodes them).
+package rcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashutil"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// Config tunes a Cache.
+type Config struct {
+	// BucketWidth is the backend store's bucket width in stream-time
+	// units — the cache needs the same geometry to know where the open
+	// bucket starts. Required (New fails on <= 0).
+	BucketWidth int64
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16).
+	Shards int
+	// MaxEntries bounds the total cached results, split evenly across
+	// shards; a full shard evicts its oldest entry (default 4096).
+	MaxEntries int
+}
+
+// Cache is a sharded sealed-range read cache. Safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	mask  uint32
+	shard []cshard
+
+	mu      sync.RWMutex
+	metrics map[string]*metricState
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// metricState is one metric's write watermark: the current open bucket
+// index and a version that bumps whenever sealed history may have
+// changed (bucket advance, or a late write below the open bucket).
+type metricState struct {
+	open    atomic.Int64
+	version atomic.Uint64
+}
+
+// cshard is one cache shard: a keyed map plus a FIFO ring of keys for
+// eviction in insertion order.
+type cshard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string
+	head    int
+}
+
+// entry is one cached result with the metric versions it was computed
+// under.
+type entry struct {
+	res     store.QueryResult
+	metrics []string
+	stamp   []uint64
+}
+
+// New builds a Cache for stores with the given bucket geometry.
+func New(cfg Config) (*Cache, error) {
+	if cfg.BucketWidth <= 0 {
+		return nil, fmt.Errorf("rcache: BucketWidth %d must be > 0", cfg.BucketWidth)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	cfg.Shards = n
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 4096
+	}
+	per := cfg.MaxEntries / cfg.Shards
+	if per < 1 {
+		per = 1
+	}
+	cfg.MaxEntries = per * cfg.Shards
+	c := &Cache{
+		cfg:     cfg,
+		mask:    uint32(cfg.Shards - 1),
+		shard:   make([]cshard, cfg.Shards),
+		metrics: make(map[string]*metricState),
+	}
+	for i := range c.shard {
+		c.shard[i].entries = make(map[string]*entry, per)
+		c.shard[i].order = make([]string, 0, per)
+	}
+	return c, nil
+}
+
+// perShard is the per-shard entry budget.
+func (c *Cache) perShard() int { return c.cfg.MaxEntries / c.cfg.Shards }
+
+// state returns the metric's watermark, creating it on first sight.
+func (c *Cache) state(metric string) *metricState {
+	c.mu.RLock()
+	st := c.metrics[metric]
+	c.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st = c.metrics[metric]; st != nil {
+		return st
+	}
+	st = &metricState{}
+	st.open.Store(-1 << 62) // nothing observed: no range is sealed yet
+	c.metrics[metric] = st
+	return st
+}
+
+// peek returns the metric's watermark without creating it.
+func (c *Cache) peek(metric string) *metricState {
+	c.mu.RLock()
+	st := c.metrics[metric]
+	c.mu.RUnlock()
+	return st
+}
+
+// NoteObserve records that an observation for metric at stream time t
+// is about to reach the backend. An observation landing in the current
+// open bucket changes nothing cacheable; one advancing the open bucket
+// seals the buckets behind it and invalidates the metric's entries
+// (they may predate the seal); one landing below the open bucket is a
+// late write into sealed history and invalidates likewise. Call it on
+// every write the serving edge forwards — it is two atomic loads on
+// the common in-open-bucket path.
+func (c *Cache) NoteObserve(metric string, t int64) {
+	if t < 0 {
+		return // the backend will reject it; nothing to invalidate
+	}
+	b := t / c.cfg.BucketWidth
+	st := c.state(metric)
+	for {
+		open := st.open.Load()
+		switch {
+		case b == open:
+			return
+		case b > open:
+			if !st.open.CompareAndSwap(open, b) {
+				continue // another writer moved it; re-read
+			}
+		}
+		// Advance (b > open) or late write (b < open): sealed history
+		// for this metric may differ from any cached answer.
+		st.version.Add(1)
+		c.invalidations.Add(1)
+		return
+	}
+}
+
+// Token carries a Lookup's fill-eligibility between Lookup and Fill.
+// The zero Token is ineligible, so a caller can thread it through
+// unconditionally.
+type Token struct {
+	key     string
+	idx     uint32
+	metrics []string
+	stamp   []uint64
+	ok      bool
+}
+
+// Cacheable reports whether a Fill with this token could store the
+// result (the request was eligible at Lookup time).
+func (t Token) Cacheable() bool { return t.ok }
+
+// Lookup checks the cache for req's answer. It returns (result, true)
+// on an exact hit. On a miss it returns a Token: run the query against
+// the backend and hand the result to Fill with the token, which stores
+// it only if no invalidating write raced the query. Requests that are
+// not cacheable — malformed, AllKeys, or ranges not yet fully sealed —
+// return an ineligible token and are not counted as misses.
+func (c *Cache) Lookup(req store.QueryRequest) (store.QueryResult, bool, Token) {
+	req, err := req.Normalize()
+	if err != nil || req.AllKeys {
+		return store.QueryResult{}, false, Token{}
+	}
+	// The range must lie entirely below every metric's open bucket.
+	metrics := req.Metrics
+	stamp := make([]uint64, len(metrics))
+	for i, m := range metrics {
+		st := c.peek(m)
+		if st == nil {
+			return store.QueryResult{}, false, Token{}
+		}
+		if req.To > st.open.Load()*c.cfg.BucketWidth {
+			return store.QueryResult{}, false, Token{}
+		}
+		stamp[i] = st.version.Load()
+	}
+	key := cacheKey(req)
+	idx := uint32(hashutil.Sum64String(key, 0)) & c.mask
+	tok := Token{key: key, idx: idx, metrics: metrics, stamp: stamp, ok: true}
+
+	sh := &c.shard[idx]
+	sh.mu.Lock()
+	e := sh.entries[key]
+	if e != nil && stampEqual(e.stamp, stamp) {
+		res := e.res
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return res, true, tok
+	}
+	if e != nil {
+		// Stale under the current versions; drop it lazily (the FIFO
+		// slot stays and is skipped at eviction time).
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return store.QueryResult{}, false, tok
+}
+
+// Fill stores res under the token's key, unless an invalidating write
+// for one of its metrics raced the backend query (the version stamp
+// moved since Lookup), in which case the result is silently discarded
+// — the next lookup recomputes.
+func (c *Cache) Fill(tok Token, res store.QueryResult) {
+	if !tok.ok {
+		return
+	}
+	for i, m := range tok.metrics {
+		st := c.peek(m)
+		if st == nil || st.version.Load() != tok.stamp[i] {
+			return
+		}
+	}
+	sh := &c.shard[tok.idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.entries[tok.key]; !dup && len(sh.entries) >= c.perShard() {
+		// Evict in FIFO order, skipping ring slots whose entries were
+		// already dropped by a stale lookup.
+		for len(sh.order) > 0 && len(sh.entries) >= c.perShard() {
+			old := sh.order[sh.head]
+			sh.order[sh.head] = ""
+			sh.head++
+			if sh.head == len(sh.order) {
+				sh.order = sh.order[:0]
+				sh.head = 0
+			}
+			if _, live := sh.entries[old]; live {
+				delete(sh.entries, old)
+				c.evictions.Add(1)
+			}
+		}
+	}
+	if _, dup := sh.entries[tok.key]; !dup {
+		sh.order = append(sh.order, tok.key)
+	}
+	sh.entries[tok.key] = &entry{res: res, metrics: tok.metrics, stamp: tok.stamp}
+}
+
+// cacheKey renders the normalized request unambiguously: %q quoting
+// keeps metric and key names containing separators from colliding.
+func cacheKey(req store.QueryRequest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%q|%q|%d|%d|%t", req.Metrics, req.Keys, req.From, req.To, req.Aggregate)
+	return b.String()
+}
+
+// stampEqual compares version stamps.
+func stampEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time summary of cache activity.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Entries       int
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+	}
+}
+
+// Len counts the resident entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shard {
+		sh := &c.shard[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// SetTelemetry registers the cache's metrics with reg under the given
+// label pairs (default layer="serve" — the cache fronts the serving
+// tier). All instruments are scrape-time reads of the cache's atomics.
+// A nil registry is a no-op.
+func (c *Cache) SetTelemetry(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	if len(labels) == 0 {
+		labels = []string{"layer", "serve"}
+	}
+	reg.CounterFunc("analytics_serve_cache_hits_total",
+		"Read-cache lookups answered from a cached sealed-range result.",
+		func() uint64 { return c.hits.Load() }, labels...)
+	reg.CounterFunc("analytics_serve_cache_misses_total",
+		"Read-cache lookups that fell through to the backend.",
+		func() uint64 { return c.misses.Load() }, labels...)
+	reg.CounterFunc("analytics_serve_cache_evictions_total",
+		"Entries evicted by the per-shard FIFO budget.",
+		func() uint64 { return c.evictions.Load() }, labels...)
+	reg.CounterFunc("analytics_serve_cache_invalidations_total",
+		"Per-metric version bumps (bucket advances and late writes).",
+		func() uint64 { return c.invalidations.Load() }, labels...)
+	reg.GaugeFunc("analytics_serve_cache_entries",
+		"Resident cached results across all shards.",
+		func() float64 { return float64(c.Len()) }, labels...)
+	reg.GaugeFunc("analytics_serve_cache_hit_ratio",
+		"Hits over lookups since start (0 before the first lookup).",
+		func() float64 { return c.HitRatio() }, labels...)
+}

@@ -1,0 +1,413 @@
+// server.go: the HTTP serving edge over the analytics.Backend contract.
+//
+// The server exposes the full contract — register, observe, query,
+// keys, stats — as a small JSON API, and mounts the telemetry handler
+// (/metrics, /debug/analytics, /debug/traces, /debug/slow, pprof) on
+// the same mux, so one port serves both the data plane and the
+// observability plane, exactly like the in-process demos do.
+//
+// Two pieces of request context cross the wire as headers:
+//
+//   - X-Analytics-Timeout carries the caller's per-request deadline as
+//     a Go duration ("250ms"). The server clamps it to MaxTimeout,
+//     derives a context, and threads it through the backend's gather
+//     (store shard fan-out, cluster scatter-gather) via
+//     analytics.QueryContext; an expired deadline aborts the gather and
+//     answers 504. Absent header: DefaultTimeout.
+//   - X-Analytics-Trace carries the client's trace context (hex of
+//     trace.EncodeContext). The server adopts the remote trace
+//     (Tracer.AdoptRemote), so the edge span and every backend stage
+//     span underneath stitch onto the CALLER's trace id, and the trace
+//     surfaces on /debug/traces show the cross-process request end to
+//     end.
+//
+// When a read cache (internal/rcache) is configured, every observation
+// the edge forwards first bumps the cache's invalidation watermarks and
+// every query consults the cache before the backend; responses carry
+// "cached": true when served from it. The cache is exact from the
+// edge's point of view as long as all writes enter through the edge —
+// see the rcache package comment for the contract (and for the
+// eventual-consistency caveat cluster-backed deployments inherit).
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/rcache"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Wire headers. TimeoutHeader holds a Go duration string; TraceHeader
+// holds the 32-hex-char trace.EncodeContext form.
+const (
+	TimeoutHeader = "X-Analytics-Timeout"
+	TraceHeader   = "X-Analytics-Trace"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Backend serves the contract. Required. Wrap it with
+	// analytics.Instrument first if per-backend metrics and query roots
+	// are wanted — the server composes, it does not instrument the
+	// backend itself.
+	Backend analytics.Backend
+	// Cache, when non-nil, caches sealed-range query results at the
+	// edge. The server owns feeding its invalidation watermarks.
+	Cache *rcache.Cache
+	// Registry, when non-nil, receives the server's own metrics
+	// (analytics_serve_*) and backs the mounted /metrics surface.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, adopts remote trace contexts and backs the
+	// mounted /debug/traces and /debug/slow surfaces.
+	Tracer *trace.Tracer
+	// Pprof mounts /debug/pprof/ (see telemetry.DebugOptions).
+	Pprof bool
+	// DefaultTimeout bounds requests that carry no TimeoutHeader
+	// (default 5s). MaxTimeout clamps the header (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// Server is the HTTP serving edge. Build with NewServer, mount
+// Handler() (or let cmd/analyticsd drive it).
+type Server struct {
+	cfg   Config
+	be    analytics.Backend
+	cache *rcache.Cache
+	trc   *trace.Tracer
+	mux   *http.ServeMux
+
+	mu    sync.RWMutex
+	specs map[string]ProtoSpec
+
+	queries  *telemetry.Counter
+	observes *telemetry.Counter
+	cached   *telemetry.Counter
+	errs     map[string]*telemetry.Counter
+	qryLat   *telemetry.Histogram
+}
+
+// NewServer wires the mux. The telemetry surfaces are mounted under /
+// (so /metrics and /debug/* resolve), the data plane under /v1/.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("serve: Config.Backend is required")
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = time.Minute
+	}
+	reg := cfg.Registry
+	s := &Server{
+		cfg:   cfg,
+		be:    cfg.Backend,
+		cache: cfg.Cache,
+		trc:   cfg.Tracer,
+		mux:   http.NewServeMux(),
+		specs: make(map[string]ProtoSpec),
+		queries: reg.Counter("analytics_serve_queries_total",
+			"Queries answered by the serving edge.", "layer", "serve"),
+		observes: reg.Counter("analytics_serve_observations_total",
+			"Observations ingested through the serving edge.", "layer", "serve"),
+		cached: reg.Counter("analytics_serve_cached_answers_total",
+			"Queries answered from the read cache.", "layer", "serve"),
+		errs: map[string]*telemetry.Counter{},
+		qryLat: reg.Histogram("analytics_serve_query_seconds",
+			"Query latency at the serving edge, cache hits included.",
+			0, 50e-3, 64, "layer", "serve"),
+	}
+	for _, route := range []string{"register", "observe", "query", "keys"} {
+		s.errs[route] = reg.Counter("analytics_serve_errors_total",
+			"Requests answered with a non-2xx status.", "layer", "serve", "route", route)
+	}
+	if s.cache != nil {
+		s.cache.SetTelemetry(reg)
+	}
+
+	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.Handle("/", telemetry.HandlerWith(reg, telemetry.DebugOptions{
+		Tracer: cfg.Tracer,
+		Pprof:  cfg.Pprof,
+	}))
+	return s, nil
+}
+
+// Handler returns the server's mux: data plane under /v1/, telemetry
+// and debug surfaces at their conventional paths.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve starts an HTTP server for the handler on addr with the same
+// hardened timeouts telemetry.ServeWith uses, returning the server for
+// Close. Prefer cmd/analyticsd for a full daemon.
+func (s *Server) Serve(addr string) *http.Server {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}
+
+// Register binds a metric in process — the daemon's preload path. It
+// registers the materialized prototype with the backend and records the
+// spec for /v1/metrics.
+func (s *Server) Register(name string, spec ProtoSpec) error {
+	proto, err := spec.Prototype()
+	if err != nil {
+		return err
+	}
+	if err := s.be.RegisterMetric(name, proto); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.specs[name] = spec
+	s.mu.Unlock()
+	return nil
+}
+
+// requestContext derives the per-request deadline context from the
+// timeout header (clamped), defaulting to DefaultTimeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if h := r.Header.Get(TimeoutHeader); h != "" {
+		parsed, err := time.ParseDuration(h)
+		if err != nil || parsed <= 0 {
+			return nil, nil, errors.New("serve: " + TimeoutHeader + " must be a positive Go duration")
+		}
+		d = min(parsed, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// remoteSpan adopts the caller's trace context from the trace header,
+// returning a finished-by-caller edge span (nil when untraced). The
+// first adoption of a trace id starts a root at this tracer, so a
+// remote client's request is retained and slow-logged like a local one.
+func (s *Server) remoteSpan(r *http.Request, name string) *trace.Span {
+	h := r.Header.Get(TraceHeader)
+	if h == "" || s.trc == nil {
+		return nil
+	}
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return nil
+	}
+	tctx := trace.DecodeContext(raw)
+	if !tctx.Valid() {
+		return nil
+	}
+	return s.trc.AdoptRemote(tctx, name)
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fail writes the error body and counts it against route.
+func (s *Server) fail(w http.ResponseWriter, route string, code int, err error) {
+	if c := s.errs[route]; c != nil {
+		c.Inc()
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// errStatus maps a backend error to its wire status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrUnknownMetric):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "register", http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		s.fail(w, "register", http.StatusBadRequest, errors.New("serve: register: name is required"))
+		return
+	}
+	if err := s.Register(req.Name, req.Spec); err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			code = http.StatusConflict
+		}
+		s.fail(w, "register", code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Registered string `json:"registered"`
+	}{req.Name})
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "observe", http.StatusBadRequest, err)
+		return
+	}
+	sp := s.remoteSpan(r, "serve.observe")
+	var tctx trace.Context
+	if sp != nil {
+		sp.SetAttrs(trace.Int("batch", int64(len(req.Observations))))
+		tctx = sp.Context()
+		defer sp.Finish()
+	}
+	for i, wo := range req.Observations {
+		obs := store.Observation{
+			Metric: wo.Metric, Key: wo.Key, Item: wo.Item,
+			Value: wo.Value, Time: wo.Time, Trace: tctx,
+		}
+		if err := s.be.Observe(obs); err != nil {
+			// Partial batches are reported, not rolled back — ingest is
+			// append-only and the accepted prefix is already absorbed.
+			code := errStatus(err)
+			if code == http.StatusInternalServerError {
+				code = http.StatusBadRequest
+			}
+			s.errs["observe"].Inc()
+			writeJSON(w, code, struct {
+				Accepted int    `json:"accepted"`
+				Error    string `json:"error"`
+			}{i, err.Error()})
+			return
+		}
+		// Invalidate after the write is absorbed: an acknowledged write
+		// is never shadowed by a stale cached answer (see rcache).
+		if s.cache != nil {
+			s.cache.NoteObserve(wo.Metric, wo.Time)
+		}
+		s.observes.Inc()
+	}
+	writeJSON(w, http.StatusOK, ObserveResponse{Accepted: len(req.Observations)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var wq QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&wq); err != nil {
+		s.fail(w, "query", http.StatusBadRequest, err)
+		return
+	}
+	req, err := wq.Request().Normalize()
+	if err != nil {
+		s.fail(w, "query", http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.fail(w, "query", http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	sp := s.remoteSpan(r, "serve.query")
+	if sp != nil {
+		sp.SetAttrs(trace.Str("metrics", strings.Join(req.Metrics, ",")),
+			trace.Int("from", req.From), trace.Int("to", req.To))
+		req.Trace = sp.Context()
+		defer sp.Finish()
+	}
+
+	var (
+		res store.QueryResult
+		hit bool
+		tok rcache.Token
+	)
+	if s.cache != nil {
+		res, hit, tok = s.cache.Lookup(req)
+	}
+	if !hit {
+		res, err = analytics.QueryContext(ctx, s.be, req)
+		if err != nil {
+			if sp != nil {
+				sp.SetAttrs(trace.Str("error", err.Error()))
+			}
+			s.fail(w, "query", errStatus(err), err)
+			return
+		}
+		if s.cache != nil {
+			s.cache.Fill(tok, res)
+		}
+	}
+
+	body, err := EncodeResult(res)
+	if err != nil {
+		s.fail(w, "query", http.StatusInternalServerError, err)
+		return
+	}
+	body.Cached = hit
+	if hit {
+		s.cached.Inc()
+		if sp != nil {
+			sp.SetAttrs(trace.Bool("cached", true))
+		}
+	}
+	s.queries.Inc()
+	s.qryLat.ObserveSince(t0)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		s.fail(w, "keys", http.StatusBadRequest, errors.New("serve: keys: metric query parameter is required"))
+		return
+	}
+	keys := s.be.Keys(metric)
+	if keys == nil {
+		keys = []string{}
+	}
+	sort.Strings(keys)
+	writeJSON(w, http.StatusOK, KeysResponse{Metric: metric, Keys: keys})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{Stats: s.be.Stats()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	out := make(map[string]ProtoSpec, len(s.specs))
+	for name, spec := range s.specs {
+		out[name] = spec
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, MetricsResponse{Metrics: out})
+}

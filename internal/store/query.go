@@ -23,7 +23,9 @@
 package store
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"slices"
 	"sync"
@@ -352,6 +354,23 @@ func (r QueryResult) Quantile(phi float64) uint64 { return r.first().Quantile(ph
 // key. Unknown metrics fail with ErrUnknownMetric; series the store never
 // saw answer empty synopses.
 func (s *Store) Query(req QueryRequest) (QueryResult, error) {
+	return s.QueryContext(context.Background(), req)
+}
+
+// queryCancelled wraps a context error so errors.Is still sees
+// context.Canceled / context.DeadlineExceeded through the wrap.
+func queryCancelled(err error) error {
+	return fmt.Errorf("store: query cancelled: %w", err)
+}
+
+// QueryContext is Query honoring a deadline: the gather checks ctx
+// between metrics and before each per-shard lock acquisition, so a
+// cancelled or expired context aborts the fan-out early (returning an
+// error wrapping ctx.Err()) instead of merging buckets nobody is
+// waiting for. The store's state is read-only on this path, so an
+// aborted query leaves nothing to clean up. context.Background()
+// recovers plain Query exactly.
+func (s *Store) QueryContext(ctx context.Context, req QueryRequest) (QueryResult, error) {
 	req, err := req.Normalize()
 	if err != nil {
 		return QueryResult{}, err
@@ -360,6 +379,9 @@ func (s *Store) Query(req QueryRequest) (QueryResult, error) {
 	toB := (req.To - 1) / s.cfg.BucketWidth
 	var answers []Answer
 	for _, metric := range req.Metrics {
+		if err := ctx.Err(); err != nil {
+			return QueryResult{}, queryCancelled(err)
+		}
 		proto, err := s.proto(metric)
 		if err != nil {
 			return QueryResult{}, err
@@ -373,10 +395,10 @@ func (s *Store) Query(req QueryRequest) (QueryResult, error) {
 		var syns []Synopsis
 		if h := s.telGather; h != nil {
 			t0 := time.Now()
-			syns, err = s.queryKeys(metric, proto, keys, fromB, toB, req.Trace)
+			syns, err = s.queryKeys(ctx, metric, proto, keys, fromB, toB, req.Trace)
 			h.ObserveSince(t0)
 		} else {
-			syns, err = s.queryKeys(metric, proto, keys, fromB, toB, req.Trace)
+			syns, err = s.queryKeys(ctx, metric, proto, keys, fromB, toB, req.Trace)
 		}
 		if err != nil {
 			return QueryResult{}, err
@@ -427,7 +449,7 @@ type keyGather struct {
 // A valid tctx (a traced request) hangs one child span off it per shard
 // gather and per hot-key gather; spans from parallel shard goroutines
 // attach concurrently, which StartRemote permits.
-func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, toB int64, tctx trace.Context) ([]Synopsis, error) {
+func (s *Store) queryKeys(ctx context.Context, metric string, proto Prototype, keys []string, fromB, toB int64, tctx trace.Context) ([]Synopsis, error) {
 	out := make([]Synopsis, len(keys))
 	perShard := make(map[uint32][]*keyGather)
 	for i, key := range keys {
@@ -437,6 +459,9 @@ func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, 
 			// replica rings under the hot-key lock; it cannot batch with
 			// cold shard gathers. Promotion racing this check is benign:
 			// both paths serve the same history (see queryOne).
+			if err := ctx.Err(); err != nil {
+				return nil, queryCancelled(err)
+			}
 			hsp := s.traceGather(tctx, "store.hot_gather")
 			hsp.SetAttrs(trace.Str("metric", metric), trace.Str("key", key))
 			syn, err := s.queryOne(proto, k, fromB, toB, hsp)
@@ -451,6 +476,12 @@ func (s *Store) queryKeys(metric string, proto Prototype, keys []string, fromB, 
 		perShard[idx] = append(perShard[idx], &keyGather{k: k, pos: i, result: proto()})
 	}
 	gatherShard := func(idx uint32, cells []*keyGather) error {
+		// A cancelled request stops before paying for the shard lock;
+		// one Err check per shard, never per key, keeps the hot single-
+		// shard point path at a single branch.
+		if err := ctx.Err(); err != nil {
+			return queryCancelled(err)
+		}
 		sh := s.shards[idx]
 		sp := s.traceGather(tctx, "store.gather")
 		defer sp.Finish()

@@ -358,6 +358,49 @@ func (t *Tracer) StartRemote(ctx Context, name string) *Span {
 	}
 }
 
+// AdoptRemote attaches a root span to a trace that began in ANOTHER
+// process — the serving edge's half of cross-process stitching. An HTTP
+// client propagates its trace context in a request header; the daemon
+// adopts it here, and every layer underneath then stitches onto the
+// same trace via the usual StartRemote path. Unlike StartRemote, an
+// unknown TraceID registers a fresh active trace under the remote id:
+// the remote side only propagates contexts it sampled, so the adopted
+// trace is head-kept. The first adoption returns a root span (its
+// Finish applies the retention decision and can land in the slow-query
+// log); later adoptions of an already-active trace attach plain spans,
+// exactly as StartRemote would. Returns nil if the tracer is nil or
+// ctx is invalid.
+func (t *Tracer) AdoptRemote(ctx Context, name string) *Span {
+	if t == nil || !ctx.Valid() {
+		return nil
+	}
+	t.mu.Lock()
+	b := t.active[ctx.Trace]
+	adopted := b == nil
+	if adopted {
+		b = &traceBuf{id: ctx.Trace, sampled: true, kept: true}
+		t.tid++
+		b.lane = t.tid
+		t.active[ctx.Trace] = b
+	}
+	t.mu.Unlock()
+	if adopted {
+		t.started.Add(1)
+		t.sampledN.Add(1)
+	} else {
+		t.stitched.Add(1)
+	}
+	return &Span{
+		tr:     t,
+		buf:    b,
+		id:     t.nextSpanID(),
+		parent: ctx.Span,
+		name:   name,
+		start:  time.Now(),
+		root:   adopted,
+	}
+}
+
 // Child opens a sub-span of s. Returns nil on a nil span, so deep call
 // chains never need nil checks of their own.
 func (s *Span) Child(name string) *Span {

@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	"net/http"
 
 	"repro/internal/analytics"
@@ -47,7 +48,9 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/predict"
 	"repro/internal/quantile"
+	"repro/internal/rcache"
 	"repro/internal/sampling"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/subsequence"
 	"repro/internal/telemetry"
@@ -1120,4 +1123,103 @@ type LambdaBolt = engine.LambdaBolt
 // adds telemetry to any of them.
 func NewLambdaBolt(arch *Lambda, extract func(TupleMessage) (StoreObservation, bool)) (*LambdaBolt, error) {
 	return engine.NewLambdaBolt(arch, extract)
+}
+
+// ---- HTTP serving tier (analyticsd: wire codec, edge cache, client) ----
+
+// AnalyticsServer is the HTTP serving edge: the full Backend contract
+// (register / observe / query / keys / stats under /v1/) over a JSON
+// wire codec that round-trips all four synopsis families byte-exactly,
+// plus the observability plane (/metrics, /debug/traces, /debug/slow,
+// optional pprof) on the same port. Per-request deadlines arrive via
+// the X-Analytics-Timeout header and propagate as context cancellation
+// through the backend gather; remote trace contexts arrive via
+// X-Analytics-Trace and are adopted into the server's tracer.
+type AnalyticsServer = serve.Server
+
+// AnalyticsServerConfig wires an AnalyticsServer: the Backend it fronts
+// (required), an optional ReadCache, Telemetry registry, Tracer, and
+// the default/maximum per-query deadlines.
+type AnalyticsServerConfig = serve.Config
+
+// NewAnalyticsServer returns a serving edge over cfg.Backend. Mount
+// Handler() or call Serve(addr); cmd/analyticsd is the packaged daemon.
+func NewAnalyticsServer(cfg AnalyticsServerConfig) (*AnalyticsServer, error) {
+	return serve.NewServer(cfg)
+}
+
+// AnalyticsClient is the client side of the serving API: a Backend (and
+// ContextQuerier) whose backend lives across a socket, so conformance
+// tests and dashboards point at a remote analyticsd unchanged. Register
+// metrics with Register(name, MetricSpec) — or Sync to pull the
+// server's schema — so the client can rebuild answer synopses.
+type AnalyticsClient = serve.Client
+
+// NewAnalyticsClient returns a client for the analyticsd at baseURL;
+// nil hc uses http.DefaultClient.
+func NewAnalyticsClient(baseURL string, hc *http.Client) *AnalyticsClient {
+	return serve.NewClient(baseURL, hc)
+}
+
+// MetricSpec is the declarative, wire-serializable twin of a
+// StorePrototype: family plus construction parameters (precision, seed,
+// width/depth, k, universe), from which both ends of the wire
+// materialize identical, merge-compatible synopses.
+type MetricSpec = serve.ProtoSpec
+
+// DistinctMetricSpec declares a HyperLogLog-backed distinct-count metric.
+func DistinctMetricSpec(precision uint8, seed uint64) MetricSpec {
+	return serve.DistinctSpec(precision, seed)
+}
+
+// FreqMetricSpec declares a CountMin-backed frequency metric.
+func FreqMetricSpec(width, depth int, seed uint64) MetricSpec {
+	return serve.FreqSpec(width, depth, seed)
+}
+
+// TopKMetricSpec declares a SpaceSaving-backed top-k metric.
+func TopKMetricSpec(k int) MetricSpec { return serve.TopKSpec(k) }
+
+// QuantileMetricSpec declares a q-digest-backed quantile metric over a
+// [0, 2^logU) universe with compression factor k.
+func QuantileMetricSpec(logU uint8, k uint64) MetricSpec {
+	return serve.QuantileSpec(logU, k)
+}
+
+// Wire headers of the serving API: the per-request deadline budget and
+// the propagated trace context.
+const (
+	AnalyticsTimeoutHeader = serve.TimeoutHeader
+	AnalyticsTraceHeader   = serve.TraceHeader
+)
+
+// ReadCache is the serving edge's sealed-range query cache: answers for
+// fully-sealed [From, To) ranges are cached and invalidated per metric
+// when a write advances the open bucket (or lands below it). Exact for
+// single-writer edges; see internal/rcache for the cluster caveat.
+type ReadCache = rcache.Cache
+
+// ReadCacheConfig sizes a ReadCache (bucket width — must match the
+// backend store geometry — shard count, entry budget).
+type ReadCacheConfig = rcache.Config
+
+// ReadCacheStats is a point-in-time counter snapshot (hits, misses,
+// evictions, invalidations, resident entries).
+type ReadCacheStats = rcache.Stats
+
+// NewReadCache returns a ReadCache; give it to an
+// AnalyticsServerConfig and the edge checks it before every backend
+// gather.
+func NewReadCache(cfg ReadCacheConfig) (*ReadCache, error) { return rcache.New(cfg) }
+
+// ContextQuerier is the optional deadline-aware query surface a Backend
+// may implement; QueryWithContext prefers it and falls back to Query.
+type ContextQuerier = analytics.ContextQuerier
+
+// QueryWithContext queries be under ctx: backends implementing
+// ContextQuerier (the cluster router, the serving client) get the
+// context threaded through their gather; others answer Query once the
+// context is still live.
+func QueryWithContext(ctx context.Context, be Backend, req QueryRequest) (QueryResult, error) {
+	return analytics.QueryContext(ctx, be, req)
 }
