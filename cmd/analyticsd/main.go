@@ -11,10 +11,17 @@
 // (internal/rcache) and invalidated as writes arrive; responses carry
 // "cached": true when served from the cache.
 //
+// With -rate > 0 the daemon runs admission control (internal/admission):
+// token buckets bound total ingest, each metric and each tenant (billed
+// to the -tenant-header request header), the cluster backend feeds its
+// consumer-group lag into the backpressure ladder, and shed writes
+// answer 429 with a Retry-After header instead of degrading everyone.
+//
 // Usage:
 //
 //	go run ./cmd/analyticsd [-addr :8080] [-backend store|cluster|lambda]
 //	    [-events 50000] [-cache 4096] [-trace 0.05] [-pprof]
+//	    [-rate 0] [-burst 0] [-tenant-header X-Analytics-Tenant]
 //
 // With -events > 0 the daemon preloads a deterministic demo dataset
 // (one metric per synopsis family: uniques, top-pages, page-hits,
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/analytics"
 	"repro/internal/dstore"
 	"repro/internal/lambda"
@@ -57,22 +65,24 @@ func storeGeom(shards int) store.Config {
 // deferred bring-up that must wait until after metric registration (the
 // cluster starts its nodes then — dstore requires every RegisterMetric
 // before StartNode); drain reaches read-your-writes after preload;
-// cleanup tears the layer down.
-func buildBackend(kind string, shards int, reg *telemetry.Registry, trc *trace.Tracer) (be analytics.Backend, start, drain func() error, cleanup func(), err error) {
+// cleanup tears the layer down; lag, when non-nil, samples the
+// backend's consumer-group lag for the admission controller's
+// backpressure ladder.
+func buildBackend(kind string, shards int, reg *telemetry.Registry, trc *trace.Tracer) (be analytics.Backend, start, drain func() error, cleanup func(), lag func() uint64, err error) {
 	none := func() error { return nil }
 	switch kind {
 	case "store":
 		st, err := store.New(storeGeom(shards))
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		st.SetTelemetry(reg)
 		st.SetTracer(trc)
-		return st, none, none, func() {}, nil
+		return st, none, none, func() {}, nil, nil
 	case "cluster":
 		cl, err := dstore.New(dstore.Config{Partitions: 4, Store: storeGeom(shards)})
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		cl.SetTelemetry(reg)
 		cl.SetTracer(trc)
@@ -84,17 +94,17 @@ func buildBackend(kind string, shards int, reg *telemetry.Registry, trc *trace.T
 			}
 			return nil
 		}
-		return cl.Router(), start, cl.Drain, func() { cl.Close() }, nil
+		return cl.Router(), start, cl.Drain, func() { cl.Close() }, cl.Lag, nil
 	case "lambda":
 		ar, err := lambda.New(lambda.Config{Batch: storeGeom(shards), Speed: storeGeom(shards)})
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		ar.SetTelemetry(reg)
 		ar.SetTracer(trc)
-		return ar, none, ar.Drain, func() { ar.Close() }, nil
+		return ar, none, ar.Drain, func() { ar.Close() }, nil, nil
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("unknown -backend %q (store, cluster or lambda)", kind)
+		return nil, nil, nil, nil, nil, fmt.Errorf("unknown -backend %q (store, cluster or lambda)", kind)
 	}
 }
 
@@ -118,27 +128,49 @@ func registerDemo(srv *serve.Server) error {
 
 // preload streams a deterministic Zipf-keyed demo dataset through the
 // backend and the cache-invalidation path, so a fresh daemon answers
-// queries (and exercises the cache) immediately.
+// queries (and exercises the cache) immediately. Observations flow
+// through the batched ingest path in chunks — against the cluster
+// backend that is Router.ObserveBatch grouping records per partition —
+// and the raw backend, not the admission-wrapped one: a daemon must
+// not shed its own demo dataset.
 func preload(be analytics.Backend, cache *rcache.Cache, events int) error {
+	const chunk = 512
 	zipf := workload.NewZipf(workload.NewRNG(7), 64, 1.2)
+	batch := make([]store.Observation, 0, chunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := analytics.ObserveBatch(be, batch); err != nil {
+			return err
+		}
+		if cache != nil {
+			for i := range batch {
+				cache.NoteObserve(batch[i].Metric, batch[i].Time)
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
 	for i := 0; i < events; i++ {
 		t := int64(i)
 		page := fmt.Sprintf("page-%02d", zipf.Draw())
 		user := fmt.Sprintf("user-%d", (i*2654435761)%20000)
 		lat := uint64(100 + (i*37)%9000)
-		for _, obs := range []store.Observation{
-			{Metric: "uniques", Key: page, Item: user, Time: t},
-			{Metric: "page-hits", Key: page, Item: page, Time: t},
-			{Metric: "top-pages", Key: "all", Item: page, Time: t},
-			{Metric: "latency-us", Key: page, Value: lat, Time: t},
-		} {
-			if err := be.Observe(obs); err != nil {
+		batch = append(batch,
+			store.Observation{Metric: "uniques", Key: page, Item: user, Time: t},
+			store.Observation{Metric: "page-hits", Key: page, Item: page, Time: t},
+			store.Observation{Metric: "top-pages", Key: "all", Item: page, Time: t},
+			store.Observation{Metric: "latency-us", Key: page, Value: lat, Time: t},
+		)
+		if len(batch) >= chunk {
+			if err := flush(); err != nil {
 				return err
 			}
-			if cache != nil {
-				cache.NoteObserve(obs.Metric, obs.Time)
-			}
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	if f, ok := be.(analytics.Flusher); ok {
 		f.Flush()
@@ -157,6 +189,10 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-query deadline (X-Analytics-Timeout overrides, clamped to -maxtimeout)")
 	maxTimeout := flag.Duration("maxtimeout", time.Minute, "upper bound for client-requested deadlines")
+	rate := flag.Float64("rate", 0, "admission rate in observations/sec shared by the global, per-metric and per-tenant buckets (0 = no admission control)")
+	burst := flag.Float64("burst", 0, "admission burst size in observations (0 = 2x -rate)")
+	tenantHeader := flag.String("tenant-header", serve.DefaultTenantHeader, "request header naming the tenant a write batch is billed to")
+	negCache := flag.Int("negcache", 256, "negative-result cache entries for unknown-metric probes (0 disables)")
 	flag.Parse()
 
 	reg := telemetry.New()
@@ -165,12 +201,40 @@ func main() {
 		trc = trace.NewTracer(trace.Config{SampleRate: *traceRate, SlowThreshold: *slowThresh})
 	}
 
-	be, start, drain, cleanup, err := buildBackend(*backend, *shards, reg, trc)
+	be, start, drain, cleanup, lag, err := buildBackend(*backend, *shards, reg, trc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyticsd:", err)
 		os.Exit(1)
 	}
 	defer cleanup()
+
+	// Admission: one -rate bounds total ingest, each metric and each
+	// tenant individually (fairness at every scope without a flag per
+	// scope). The cluster backend additionally feeds its consumer-group
+	// lag into the backpressure ladder, so a daemon whose nodes fall
+	// behind throttles producers instead of growing the log unboundedly.
+	var ctrl *admission.Controller
+	if *rate > 0 {
+		if *burst <= 0 {
+			*burst = 2 * *rate
+		}
+		cfg := admission.Config{
+			Rate: *rate, Burst: *burst,
+			MetricRate: *rate, MetricBurst: *burst,
+			TenantRate: *rate, TenantBurst: *burst,
+		}
+		if lag != nil {
+			cfg.Backpressure = admission.BackpressureConfig{
+				Lag:     lag,
+				LagHigh: uint64(*burst) * 16,
+			}
+		}
+		if ctrl, err = admission.New(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "analyticsd:", err)
+			os.Exit(1)
+		}
+		ctrl.SetTelemetry(reg)
+	}
 
 	var cache *rcache.Cache
 	if *cacheEntries > 0 {
@@ -181,14 +245,21 @@ func main() {
 		}
 	}
 
+	// Admission wraps OUTSIDE instrumentation: a shed write never reaches
+	// the instrumented backend, so observe counters and latency
+	// histograms only see admitted traffic (the shed side is accounted by
+	// analytics_admission_*).
 	srv, err := serve.NewServer(serve.Config{
-		Backend:        analytics.Instrument(be, reg, *backend, analytics.WithTracer(trc)),
+		Backend:        analytics.Admit(analytics.Instrument(be, reg, *backend, analytics.WithTracer(trc)), ctrl),
 		Cache:          cache,
 		Registry:       reg,
 		Tracer:         trc,
 		Pprof:          *pprofOn,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Admission:      ctrl,
+		TenantHeader:   *tenantHeader,
+		NegCache:       *negCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyticsd:", err)

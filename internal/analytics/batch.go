@@ -1,0 +1,44 @@
+// batch.go extends the Backend contract with batched ingest: the write
+// side's counterpart of the multi-key query fan-out. A batch is the
+// unit the admission layer prices, the serving edge decodes, and the
+// backends amortize — one shard lock per shard group in the store, one
+// partition-buffer acquisition per partition in the Router, one speed
+// RLock in Lambda — instead of per-observation overhead N times.
+package analytics
+
+import "repro/internal/store"
+
+// BatchObserver is the optional batched-write surface. Semantics every
+// implementation must honor, pinned by the conformance suite:
+//
+//   - The whole batch is validated before anything mutates: an invalid
+//     observation (unknown metric, negative time) fails the call and
+//     the backend absorbs NONE of the batch. This is stricter than a
+//     loop of Observe (which mutates the prefix before the bad write)
+//     and is what makes admission shedding provable — a rejected batch
+//     leaves no trace.
+//   - An accepted batch is byte-identical to the same observations fed
+//     one Observe at a time, in order: per-(metric,key) arrival order
+//     is preserved, so every synopsis, counter and hot-key decision
+//     matches the loop exactly.
+//   - An empty batch is a no-op, never an error.
+type BatchObserver interface {
+	ObserveBatch(obs []store.Observation) error
+}
+
+// ObserveBatch absorbs obs through be: backends that implement
+// BatchObserver get the amortized path; for the rest it degrades to a
+// loop of Observe, stopping at the first error (the loop cannot offer
+// the all-or-nothing guarantee — callers that need it must check for
+// BatchObserver, which all four in-repo backends implement).
+func ObserveBatch(be Backend, obs []store.Observation) error {
+	if bo, ok := be.(BatchObserver); ok {
+		return bo.ObserveBatch(obs)
+	}
+	for _, o := range obs {
+		if err := be.Observe(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

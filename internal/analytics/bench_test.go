@@ -1,0 +1,114 @@
+// bench_test.go: the ingest cost model under admission — bare store
+// writes vs the same writes through the Admit decorator vs batched
+// delivery — plus the alloc gate pinning that an admitted-but-
+// unthrottled write costs at most one allocation over the bare path.
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/store"
+)
+
+// benchStore builds a store with one distinct-count metric.
+func benchStore(b testing.TB) Backend {
+	b.Helper()
+	st, err := store.New(storeGeom())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hll, _ := store.NewDistinctProto(12, 7)
+	if err := st.RegisterMetric("uniq", hll); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// openController admits everything: rates high enough that the bucket
+// never empties, so the benchmark measures admission overhead, not
+// shedding.
+func openController(b testing.TB) *admission.Controller {
+	b.Helper()
+	ctrl, err := admission.New(admission.Config{Rate: 1e12, Burst: 1e12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctrl
+}
+
+func benchObs(i int) store.Observation {
+	return store.Observation{Metric: "uniq", Key: "k0", Item: fmt.Sprintf("u%d", i%512), Time: int64(i)}
+}
+
+// TestAdmittedObserveAllocGate is the alloc budget the Admit doc
+// promises: an admitted-but-unthrottled Observe adds at most one
+// allocation per op over the bare backend.
+func TestAdmittedObserveAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate is timing-adjacent; skipped in -short")
+	}
+	measure := func(be Backend) float64 {
+		i := 0
+		return testing.AllocsPerRun(200, func() {
+			if err := be.Observe(benchObs(i)); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		})
+	}
+	bare := measure(benchStore(t))
+	admitted := measure(Admit(benchStore(t), openController(t)))
+	if admitted > bare+1 {
+		t.Fatalf("admitted path allocates %.1f/op, bare %.1f/op — admission may add at most 1", admitted, bare)
+	}
+}
+
+// BenchmarkIngestBare is the floor: one Observe per op, no decorators.
+func BenchmarkIngestBare(b *testing.B) {
+	be := benchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := be.Observe(benchObs(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestAdmitted is the same write through Admit with a bucket
+// that never empties: the per-write admission tax.
+func BenchmarkIngestAdmitted(b *testing.B) {
+	be := Admit(benchStore(b), openController(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := be.Observe(benchObs(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestBatched delivers the same admitted stream in
+// 256-observation batches: one Admit call and one shard-group lock
+// acquisition amortized across the run.
+func BenchmarkIngestBatched(b *testing.B) {
+	be := Admit(benchStore(b), openController(b))
+	const size = 256
+	batch := make([]store.Observation, size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += size {
+		n := size
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			batch[j] = benchObs(i + j)
+		}
+		if err := ObserveBatch(be, batch[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,11 +7,13 @@
 package analytics
 
 import (
+	"encoding"
 	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/dstore"
 	"repro/internal/lambda"
 	"repro/internal/store"
@@ -32,6 +34,14 @@ var (
 
 	_ Flusher = (*dstore.Router)(nil)
 	_ Flusher = (*lambda.Architecture)(nil)
+
+	// Batched ingest is part of the cross-backend contract too: all
+	// serving layers take the amortized path, never the Observe-loop
+	// fallback. (serve.Client's assertion lives in that package — it
+	// imports this one.)
+	_ BatchObserver = (*store.Store)(nil)
+	_ BatchObserver = (*dstore.Router)(nil)
+	_ BatchObserver = (*lambda.Architecture)(nil)
 )
 
 // harness is one Backend under conformance: the implementation plus a
@@ -113,22 +123,49 @@ func registerFamilies(t *testing.T, be Backend) map[string]store.Prototype {
 	return protos
 }
 
-// feed streams the deterministic conformance dataset: keys k0..k3, times
-// [0, span), one observation per family per tick.
-func feed(t *testing.T, be Backend, span int64) {
-	t.Helper()
+// conformanceStream materializes the deterministic conformance dataset:
+// keys k0..k3, times [0, span), one observation per family per tick, in
+// the exact order feed delivers them.
+func conformanceStream(span int64) []store.Observation {
+	out := make([]store.Observation, 0, span*4)
 	for i := int64(0); i < span; i++ {
 		key := fmt.Sprintf("k%d", i%4)
 		item := fmt.Sprintf("u%d", i%13)
-		for _, obs := range []store.Observation{
-			{Metric: "uniq", Key: key, Item: item, Time: i},
-			{Metric: "hits", Key: key, Item: item, Value: 2, Time: i},
-			{Metric: "top", Key: key, Item: item, Time: i},
-			{Metric: "lat", Key: key, Value: uint64(i), Time: i},
-		} {
-			if err := be.Observe(obs); err != nil {
-				t.Fatal(err)
-			}
+		out = append(out,
+			store.Observation{Metric: "uniq", Key: key, Item: item, Time: i},
+			store.Observation{Metric: "hits", Key: key, Item: item, Value: 2, Time: i},
+			store.Observation{Metric: "top", Key: key, Item: item, Time: i},
+			store.Observation{Metric: "lat", Key: key, Value: uint64(i), Time: i},
+		)
+	}
+	return out
+}
+
+// feed streams the deterministic conformance dataset one Observe at a
+// time — the reference delivery the batched path must match exactly.
+func feed(t *testing.T, be Backend, span int64) {
+	t.Helper()
+	for _, obs := range conformanceStream(span) {
+		if err := be.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// feedBatched delivers the same dataset through ObserveBatch in uneven
+// chunks (a prime size, so chunk boundaries drift across ticks, metrics
+// and keys rather than aligning with any of them).
+func feedBatched(t *testing.T, be Backend, span int64) {
+	t.Helper()
+	stream := conformanceStream(span)
+	const chunk = 57
+	for i := 0; i < len(stream); i += chunk {
+		j := i + chunk
+		if j > len(stream) {
+			j = len(stream)
+		}
+		if err := ObserveBatch(be, stream[i:j]); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -341,5 +378,197 @@ func TestBackendsAgreeExactly(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// marshalAnswers snapshots every answer cell of the full-dataset query
+// as its binary checkpoint bytes — the strictest equality the synopses
+// offer.
+func marshalAnswers(t *testing.T, be Backend) [][]byte {
+	t.Helper()
+	res, err := be.Query(store.QueryRequest{
+		Metrics: []string{"uniq", "hits", "top", "lat"},
+		AllKeys: true,
+		From:    0, To: conformanceSpan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, 0, res.Len())
+	for _, a := range res.Answers() {
+		m, ok := a.Raw().(encoding.BinaryMarshaler)
+		if !ok {
+			t.Fatalf("synopsis %T has no binary encoding", a.Raw())
+		}
+		b, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		t.Fatal("no answer cells to snapshot")
+	}
+	return out
+}
+
+// TestBackendConformanceObserveBatch pins the BatchObserver contract on
+// every backend: a batched delivery is byte-identical to the Observe
+// loop, an empty batch is a no-op, and an invalid batch mutates nothing
+// (all-or-nothing).
+func TestBackendConformanceObserveBatch(t *testing.T) {
+	looped := newHarnesses(t)
+	batched := newHarnesses(t)
+	for i, h := range looped {
+		h := h
+		b := batched[i]
+		t.Run(h.name, func(t *testing.T) {
+			registerFamilies(t, h.be)
+			registerFamilies(t, b.be)
+			feed(t, h.be, conformanceSpan)
+			feedBatched(t, b.be, conformanceSpan)
+			if err := h.drain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.drain(); err != nil {
+				t.Fatal(err)
+			}
+
+			want := marshalAnswers(t, h.be)
+			got := marshalAnswers(t, b.be)
+			if len(got) != len(want) {
+				t.Fatalf("batched backend answers %d cells, loop %d", len(got), len(want))
+			}
+			for j := range want {
+				if !reflect.DeepEqual(got[j], want[j]) {
+					t.Fatalf("cell %d: batched synopsis bytes diverge from Observe loop", j)
+				}
+			}
+
+			if err := ObserveBatch(b.be, nil); err != nil {
+				t.Fatalf("empty batch: %v", err)
+			}
+
+			// All-or-nothing: a batch with one invalid observation
+			// leaves the backend byte-identical to before the call.
+			bad := []store.Observation{
+				{Metric: "uniq", Key: "k0", Item: "poison-a", Time: 1},
+				{Metric: "no-such-metric", Key: "k0", Item: "x", Time: 1},
+				{Metric: "uniq", Key: "k0", Item: "poison-b", Time: 1},
+			}
+			if err := ObserveBatch(b.be, bad); !errors.Is(err, store.ErrUnknownMetric) {
+				t.Fatalf("invalid batch error %v, want ErrUnknownMetric", err)
+			}
+			late := []store.Observation{
+				{Metric: "uniq", Key: "k0", Item: "poison-c", Time: 1},
+				{Metric: "uniq", Key: "k0", Item: "poison-d", Time: -1},
+			}
+			if err := ObserveBatch(b.be, late); err == nil {
+				t.Fatal("negative-time batch accepted")
+			}
+			if err := b.drain(); err != nil {
+				t.Fatal(err)
+			}
+			after := marshalAnswers(t, b.be)
+			if !reflect.DeepEqual(after, got) {
+				t.Fatal("rejected batch mutated backend state")
+			}
+		})
+	}
+}
+
+// TestBackendConformanceOverloadShed pins the admission property the
+// overload design rests on: under a rate that sheds most of a stream,
+// the accepted writes land byte-identical to an unthrottled oracle fed
+// only the accepted subset, and shed requests — single or batched —
+// mutate nothing and carry a usable Retry-After.
+func TestBackendConformanceOverloadShed(t *testing.T) {
+	st, err := store.New(storeGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := store.New(storeGeom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerFamilies(t, st)
+	registerFamilies(t, oracle)
+
+	var ns int64 // frozen fake clock: no refill unless the test advances it
+	ctrl, err := admission.New(admission.Config{
+		Rate:  1,
+		Burst: 10,
+		Now:   func() int64 { return ns },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := Admit(st, ctrl)
+
+	stream := conformanceStream(10) // 40 observations against 10 tokens
+	var accepted []store.Observation
+	for _, obs := range stream {
+		err := be.Observe(obs)
+		if err == nil {
+			accepted = append(accepted, obs)
+			continue
+		}
+		if !errors.Is(err, admission.ErrOverloaded) {
+			t.Fatalf("shed error %v, want ErrOverloaded", err)
+		}
+		if wait, ok := admission.Wait(err); !ok || wait <= 0 {
+			t.Fatalf("shed error %v quotes no Retry-After", err)
+		}
+	}
+	if len(accepted) != 10 {
+		t.Fatalf("accepted %d writes, want exactly the 10-token burst", len(accepted))
+	}
+	for _, obs := range accepted {
+		if err := oracle.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shed writes provably never reached the store.
+	if got := st.Stats().Observed; got != uint64(len(accepted)) {
+		t.Fatalf("store observed %d writes, want %d (shed writes leaked through)", got, len(accepted))
+	}
+	stats := ctrl.Stats()
+	if stats.Admitted != uint64(len(accepted)) {
+		t.Fatalf("controller admitted %d, want %d", stats.Admitted, len(accepted))
+	}
+	if want := uint64(len(stream) - len(accepted)); stats.Shed != want {
+		t.Fatalf("controller shed %d, want %d — every rejection must be accounted", stats.Shed, want)
+	}
+
+	// Byte-identical to the oracle fed only the accepted subset.
+	want := marshalAnswers(t, oracle)
+	got := marshalAnswers(t, st)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("throttled store diverges from oracle fed the accepted subset")
+	}
+
+	// A shed batch is all-or-nothing too: with the bucket empty the
+	// whole batch bounces and nothing mutates.
+	if err := ObserveBatch(be, stream); !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("batch under empty bucket: %v, want ErrOverloaded", err)
+	}
+	if got := st.Stats().Observed; got != uint64(len(accepted)) {
+		t.Fatalf("shed batch mutated the store: observed %d, want %d", got, len(accepted))
+	}
+
+	// Waiting exactly the quoted Retry-After re-admits: the sentinel's
+	// number is actionable, not advisory.
+	err = be.Observe(stream[0])
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("empty bucket admitted a write: %v", err)
+	}
+	wait, ok := admission.Wait(err)
+	if !ok {
+		t.Fatalf("shed error %v carries no Overload", err)
+	}
+	ns += int64(wait)
+	if err := be.Observe(stream[0]); err != nil {
+		t.Fatalf("write after waiting the quoted Retry-After: %v", err)
 	}
 }

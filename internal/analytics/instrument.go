@@ -172,6 +172,34 @@ func (in *instrumented) Observe(obs store.Observation) error {
 	return nil
 }
 
+// ObserveBatch counts and times the batch as one operation per
+// observation: the latency histogram records the whole call (batched
+// ingest is priced by the batch), the per-metric counters advance by
+// each metric's share, and errors count once. Delegation goes through
+// the package helper, so a backend without BatchObserver still absorbs
+// the batch as a loop.
+func (in *instrumented) ObserveBatch(obs []store.Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	err := ObserveBatch(in.be, obs)
+	in.obsLat.ObserveSince(t0)
+	if err != nil {
+		in.obsErrs.Inc()
+		return err
+	}
+	for i := 0; i < len(obs); {
+		j := i + 1
+		for j < len(obs) && obs[j].Metric == obs[i].Metric {
+			j++
+		}
+		in.counterFor(in.obsCount, "analytics_backend_observe_total", obs[i].Metric).Add(uint64(j - i))
+		i = j
+	}
+	return nil
+}
+
 func (in *instrumented) Query(req store.QueryRequest) (store.QueryResult, error) {
 	return in.QueryContext(context.Background(), req)
 }

@@ -85,6 +85,60 @@ func (r *Router) Observe(obs store.Observation) error {
 	return nil
 }
 
+// ObserveBatch encodes a whole slice of observations onto the ingest
+// topic with one partition-buffer acquisition per partition group
+// instead of one per observation. The entire batch is validated first
+// (producer-side, like Observe) and a validation failure buffers
+// NOTHING; an accepted batch reaches the log in input order per
+// partition — a key's records all land in one partition group, so
+// per-series replay order matches a loop of Observe exactly. Buffers
+// still flush at BatchSize; call Flush (or Drain) when the producer
+// finishes.
+func (r *Router) ObserveBatch(obs []store.Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	for i := range obs {
+		o := &obs[i]
+		if o.Time < 0 {
+			return core.Errf("Router", "Time", "%d must be >= 0", o.Time)
+		}
+		if o.Key == "" {
+			return core.Errf("Router", "Key", "must be non-empty (keys are the unit of partition ownership)")
+		}
+		if _, err := r.c.proto(o.Metric); err != nil {
+			return err
+		}
+	}
+	tracer := r.c.tracer()
+	groups := make([][]int, len(r.parts))
+	for i := range obs {
+		pid := r.c.topic.PartitionFor(obs[i].Key)
+		groups[pid] = append(groups[pid], i)
+	}
+	for pid, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		p := &r.parts[pid]
+		p.mu.Lock()
+		for _, i := range group {
+			o := obs[i]
+			rec := mqlog.Record{Key: o.Key, Value: store.EncodeObservation(o)}
+			if o.Trace.Valid() && tracer != nil {
+				rec.Headers = []mqlog.Header{{Key: trace.HeaderKey, Value: trace.EncodeContext(o.Trace)}}
+			}
+			p.buf = append(p.buf, rec)
+			if len(p.buf) >= r.c.cfg.BatchSize {
+				r.appendBatch(pid, p.buf)
+				p.buf = p.buf[:0]
+			}
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
 // appendBatch lands one partition buffer on the log. When the batch
 // carries sampled records, the first one's trace gets an append-side
 // span — one per flush, not per record, matching the batch being the

@@ -317,6 +317,49 @@ func (a *Architecture) Append(obs store.Observation) error {
 	return a.speed.Observe(obs)
 }
 
+// ObserveBatch dispatches a whole slice of observations with amortized
+// overhead: in cluster mode the router's batched path groups records
+// per partition; in single-store mode the entire batch is validated
+// first (a rejected batch appends NOTHING to the immutable master
+// dataset), then one append-lock acquisition covers every Produce and
+// the speed store absorbs the batch through its own amortized path.
+// Per-key order is input order in both modes, so an accepted batch is
+// byte-identical to a loop of Append.
+func (a *Architecture) ObserveBatch(obs []store.Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	if err := a.ensureStarted(); err != nil {
+		return err
+	}
+	if a.cluster != nil {
+		if err := a.cluster.Router().ObserveBatch(obs); err != nil {
+			return err
+		}
+		a.appended.Add(uint64(len(obs)))
+		return nil
+	}
+	for i := range obs {
+		o := &obs[i]
+		if o.Time < 0 {
+			return core.Errf("Lambda", "Time", "%d must be >= 0", o.Time)
+		}
+		if o.Key == "" {
+			return core.Errf("Lambda", "Key", "must be non-empty (keys route the master log's partitions)")
+		}
+		if _, err := a.proto(o.Metric); err != nil {
+			return err
+		}
+	}
+	a.speedMu.RLock()
+	defer a.speedMu.RUnlock()
+	for i := range obs {
+		a.topic.Produce(obs[i].Key, store.EncodeObservation(obs[i]))
+	}
+	a.appended.Add(uint64(len(obs)))
+	return a.speed.ObserveBatch(obs)
+}
+
 // RunBatch recomputes the batch view from the master dataset alone
 // (step 2), installs it in the serving layer (step 3), and truncates the
 // speed layer to the uncovered suffix (step 4). The freeze point is an

@@ -1,0 +1,141 @@
+// negative.go: the read cache's tiny sibling for the *absence* of a
+// metric. Dashboards and probes love to re-ask for metrics that do not
+// exist (typos, decommissioned series, speculative discovery), and
+// each such query otherwise walks the full backend path just to learn
+// "unknown metric" again — in cluster mode that is a scatter-gather.
+// The negative cache pins recent unknown-metric verdicts at the edge
+// so repeats answer 404 immediately.
+package rcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Negative remembers metric names the backend recently reported
+// unknown. Entries are evicted FIFO past MaxEntries and removed the
+// moment the edge registers the name (Forget) — the same
+// all-writes-through-the-edge contract the read cache runs under: a
+// metric registered behind the edge's back stays negatively cached
+// until its entry ages out, so keep the cache small. A nil *Negative
+// is inert (Lookup always misses, Note and Forget are no-ops).
+type Negative struct {
+	mu   sync.Mutex
+	max  int
+	m    map[string]struct{}
+	fifo []string
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewNegative builds a negative cache holding at most max names;
+// max <= 0 returns nil (the inert cache).
+func NewNegative(max int) *Negative {
+	if max <= 0 {
+		return nil
+	}
+	return &Negative{max: max, m: make(map[string]struct{}, max)}
+}
+
+// Lookup reports whether metric is cached-unknown, counting the probe
+// as a hit or miss.
+func (n *Negative) Lookup(metric string) bool {
+	if n == nil {
+		return false
+	}
+	n.mu.Lock()
+	_, ok := n.m[metric]
+	n.mu.Unlock()
+	if ok {
+		n.hits.Add(1)
+	} else {
+		n.misses.Add(1)
+	}
+	return ok
+}
+
+// Note records that the backend just reported metric unknown.
+func (n *Negative) Note(metric string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.m[metric]; ok {
+		return
+	}
+	for len(n.m) >= n.max {
+		old := n.fifo[0]
+		n.fifo = n.fifo[1:]
+		delete(n.m, old)
+		n.evictions.Add(1)
+	}
+	n.m[metric] = struct{}{}
+	n.fifo = append(n.fifo, metric)
+}
+
+// Forget drops metric's entry — called when the edge registers the
+// name, so a fresh registration is never shadowed by its own 404s.
+func (n *Negative) Forget(metric string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.m[metric]; !ok {
+		return
+	}
+	delete(n.m, metric)
+	for i, name := range n.fifo {
+		if name == metric {
+			n.fifo = append(n.fifo[:i], n.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len reports the resident entry count.
+func (n *Negative) Len() int {
+	if n == nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.m)
+}
+
+// Stats snapshots the probe counters (hits, misses, evictions).
+func (n *Negative) Stats() (hits, misses, evictions uint64) {
+	if n == nil {
+		return 0, 0, 0
+	}
+	return n.hits.Load(), n.misses.Load(), n.evictions.Load()
+}
+
+// SetTelemetry registers the cache's counters with reg as
+// analytics_serve_negcache_* (default label layer="serve", matching
+// the read cache). A nil registry or nil cache is a no-op.
+func (n *Negative) SetTelemetry(reg *telemetry.Registry, labels ...string) {
+	if n == nil || reg == nil {
+		return
+	}
+	if len(labels) == 0 {
+		labels = []string{"layer", "serve"}
+	}
+	reg.CounterFunc("analytics_serve_negcache_hits_total",
+		"Unknown-metric probes answered from the negative cache.",
+		func() uint64 { return n.hits.Load() }, labels...)
+	reg.CounterFunc("analytics_serve_negcache_misses_total",
+		"Negative-cache probes that fell through to the backend.",
+		func() uint64 { return n.misses.Load() }, labels...)
+	reg.CounterFunc("analytics_serve_negcache_evictions_total",
+		"Negative entries evicted by the FIFO budget.",
+		func() uint64 { return n.evictions.Load() }, labels...)
+	reg.GaugeFunc("analytics_serve_negcache_entries",
+		"Resident negative entries.",
+		func() float64 { return float64(n.Len()) }, labels...)
+}

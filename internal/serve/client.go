@@ -31,9 +31,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -108,7 +110,7 @@ func (c *Client) doTraced(ctx context.Context, tctx trace.Context, method, path 
 	if resp.StatusCode/100 != 2 {
 		var eb ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			return remoteError(resp.StatusCode, eb.Error)
+			return remoteError(resp.StatusCode, eb.Error, retryAfter(resp))
 		}
 		return fmt.Errorf("serve: client %s %s: status %d", method, path, resp.StatusCode)
 	}
@@ -121,15 +123,33 @@ func (c *Client) doTraced(ctx context.Context, tctx trace.Context, method, path 
 	return nil
 }
 
+// retryAfter parses the response's Retry-After header (integer
+// seconds; the only form the server emits), answering 0 when absent or
+// malformed.
+func retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // remoteError rehydrates the sentinel structure clients match on:
-// a 404 wraps store.ErrUnknownMetric and a 504 wraps
-// context.DeadlineExceeded, so errors.Is works identically against a
-// remote backend and an in-process one — the property the conformance
-// suite pins.
-func remoteError(status int, msg string) error {
+// a 404 wraps store.ErrUnknownMetric, a 504 wraps
+// context.DeadlineExceeded, and a 429 rebuilds an
+// *admission.Overload carrying the Retry-After header — so errors.Is
+// (and admission.Wait) work identically against a remote backend and
+// an in-process one, the property the conformance suite pins.
+func remoteError(status int, msg string, wait time.Duration) error {
 	switch status {
 	case http.StatusNotFound:
 		return fmt.Errorf("%s: %w", msg, store.ErrUnknownMetric)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%s: %w", msg, &admission.Overload{RetryAfter: wait, Scope: "remote"})
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("%s: %w", msg, context.DeadlineExceeded)
 	default:

@@ -35,12 +35,16 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/analytics"
 	"repro/internal/rcache"
 	"repro/internal/store"
@@ -49,10 +53,12 @@ import (
 )
 
 // Wire headers. TimeoutHeader holds a Go duration string; TraceHeader
-// holds the 32-hex-char trace.EncodeContext form.
+// holds the 32-hex-char trace.EncodeContext form. DefaultTenantHeader
+// names the tenant a write batch is billed to when admission is on.
 const (
-	TimeoutHeader = "X-Analytics-Timeout"
-	TraceHeader   = "X-Analytics-Trace"
+	TimeoutHeader       = "X-Analytics-Timeout"
+	TraceHeader         = "X-Analytics-Trace"
+	DefaultTenantHeader = "X-Analytics-Tenant"
 )
 
 // Config assembles a Server.
@@ -77,6 +83,22 @@ type Config struct {
 	// (default 5s). MaxTimeout clamps the header (default 60s).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Admission, when non-nil, runs the edge's per-tenant fairness
+	// check: every observe batch clears AdmitTenant before it can touch
+	// the backend, billed to the TenantHeader value (absent header: the
+	// "" tenant — all anonymous traffic shares one bucket). Global and
+	// per-metric budgets belong on the backend side via analytics.Admit,
+	// so they also bound writes that bypass the edge; either way a shed
+	// request answers 429 with Retry-After and mutates nothing.
+	Admission *admission.Controller
+	// TenantHeader overrides the header AdmitTenant bills to (default
+	// DefaultTenantHeader).
+	TenantHeader string
+	// NegCache bounds the negative-result cache for unknown-metric
+	// query probes: repeats of a 404'd metric answer at the edge
+	// without touching the backend, until the name is registered or the
+	// entry ages out FIFO. 0 disables it.
+	NegCache int
 }
 
 // Server is the HTTP serving edge. Build with NewServer, mount
@@ -85,6 +107,8 @@ type Server struct {
 	cfg   Config
 	be    analytics.Backend
 	cache *rcache.Cache
+	neg   *rcache.Negative
+	ctrl  *admission.Controller
 	trc   *trace.Tracer
 	mux   *http.ServeMux
 
@@ -110,11 +134,16 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = time.Minute
 	}
+	if cfg.TenantHeader == "" {
+		cfg.TenantHeader = DefaultTenantHeader
+	}
 	reg := cfg.Registry
 	s := &Server{
 		cfg:   cfg,
 		be:    cfg.Backend,
 		cache: cfg.Cache,
+		neg:   rcache.NewNegative(cfg.NegCache),
+		ctrl:  cfg.Admission,
 		trc:   cfg.Tracer,
 		mux:   http.NewServeMux(),
 		specs: make(map[string]ProtoSpec),
@@ -136,6 +165,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if s.cache != nil {
 		s.cache.SetTelemetry(reg)
 	}
+	s.neg.SetTelemetry(reg)
 
 	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/observe", s.handleObserve)
@@ -184,6 +214,8 @@ func (s *Server) Register(name string, spec ProtoSpec) error {
 	s.mu.Lock()
 	s.specs[name] = spec
 	s.mu.Unlock()
+	// A fresh registration must not be shadowed by its own 404s.
+	s.neg.Forget(name)
 	return nil
 }
 
@@ -231,10 +263,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail writes the error body and counts it against route.
+// fail writes the error body and counts it against route. An overload
+// error additionally carries its suggested backoff as a Retry-After
+// header (integer seconds, rounded up so a sub-second wait never
+// becomes "retry immediately").
 func (s *Server) fail(w http.ResponseWriter, route string, code int, err error) {
 	if c := s.errs[route]; c != nil {
 		c.Inc()
+	}
+	if d, ok := admission.Wait(err); ok && code == http.StatusTooManyRequests {
+		secs := int64(math.Ceil(d.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
@@ -244,6 +286,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, store.ErrUnknownMetric):
 		return http.StatusNotFound
+	case errors.Is(err, admission.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -289,33 +333,61 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		tctx = sp.Context()
 		defer sp.Finish()
 	}
+	// Per-tenant fairness runs first, before anything can mutate: a shed
+	// request provably left no trace anywhere below the edge.
+	if err := s.ctrl.AdmitTenant(r.Header.Get(s.cfg.TenantHeader), len(req.Observations)); err != nil {
+		s.observeError(w, sp, err)
+		return
+	}
+	batch := make([]store.Observation, len(req.Observations))
 	for i, wo := range req.Observations {
-		obs := store.Observation{
+		batch[i] = store.Observation{
 			Metric: wo.Metric, Key: wo.Key, Item: wo.Item,
 			Value: wo.Value, Time: wo.Time, Trace: tctx,
 		}
-		if err := s.be.Observe(obs); err != nil {
-			// Partial batches are reported, not rolled back — ingest is
-			// append-only and the accepted prefix is already absorbed.
-			code := errStatus(err)
-			if code == http.StatusInternalServerError {
-				code = http.StatusBadRequest
-			}
-			s.errs["observe"].Inc()
-			writeJSON(w, code, struct {
-				Accepted int    `json:"accepted"`
-				Error    string `json:"error"`
-			}{i, err.Error()})
-			return
-		}
-		// Invalidate after the write is absorbed: an acknowledged write
-		// is never shadowed by a stale cached answer (see rcache).
-		if s.cache != nil {
-			s.cache.NoteObserve(wo.Metric, wo.Time)
-		}
-		s.observes.Inc()
 	}
-	writeJSON(w, http.StatusOK, ObserveResponse{Accepted: len(req.Observations)})
+	// One batched write per request: the backends validate the whole
+	// batch up front and absorb all of it or none (the BatchObserver
+	// contract), so a rejected batch reports accepted: 0 and the
+	// invalidation watermarks below only move for acknowledged writes.
+	if err := analytics.ObserveBatch(s.be, batch); err != nil {
+		s.observeError(w, sp, err)
+		return
+	}
+	if s.cache != nil {
+		for i := range batch {
+			// Invalidate after the write is absorbed: an acknowledged write
+			// is never shadowed by a stale cached answer (see rcache).
+			s.cache.NoteObserve(batch[i].Metric, batch[i].Time)
+		}
+	}
+	s.observes.Add(uint64(len(batch)))
+	writeJSON(w, http.StatusOK, ObserveResponse{Accepted: len(batch)})
+}
+
+// observeError answers one failed observe batch: nothing was absorbed,
+// so accepted is 0; overloads carry Retry-After like every other
+// route's fail path.
+func (s *Server) observeError(w http.ResponseWriter, sp *trace.Span, err error) {
+	code := errStatus(err)
+	if code == http.StatusInternalServerError {
+		code = http.StatusBadRequest
+	}
+	if sp != nil {
+		sp.SetAttrs(trace.Str("error", err.Error()))
+	}
+	s.errs["observe"].Inc()
+	if d, ok := admission.Wait(err); ok && code == http.StatusTooManyRequests {
+		secs := int64(math.Ceil(d.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}{0, err.Error()})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +401,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.fail(w, "query", http.StatusBadRequest, err)
 		return
+	}
+	// Recently-404'd metrics answer at the edge without a backend round
+	// trip (in cluster mode an unknown metric otherwise costs a
+	// scatter-gather just to re-learn its absence).
+	if s.neg != nil {
+		for _, m := range req.Metrics {
+			if s.neg.Lookup(m) {
+				s.fail(w, "query", http.StatusNotFound,
+					fmt.Errorf("serve: %w %q (negative-cached)", store.ErrUnknownMetric, m))
+				return
+			}
+		}
 	}
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
@@ -358,6 +442,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			if sp != nil {
 				sp.SetAttrs(trace.Str("error", err.Error()))
+			}
+			// Pin the verdict for single-metric requests only — a
+			// multi-metric error does not say which name was unknown.
+			if errors.Is(err, store.ErrUnknownMetric) && len(req.Metrics) == 1 {
+				s.neg.Note(req.Metrics[0])
 			}
 			s.fail(w, "query", errStatus(err), err)
 			return

@@ -33,10 +33,13 @@ type ObserveRequest struct {
 	Observations []WireObservation `json:"observations"`
 }
 
-// ObserveResponse acknowledges an ingest batch.
+// ObserveResponse acknowledges an ingest batch. Ingest is
+// all-or-nothing at the edge: the batch is validated (and admitted)
+// whole before anything mutates, so an error answers accepted: 0 and
+// success answers the full batch size.
 type ObserveResponse struct {
-	// Accepted counts the observations absorbed before the first error
-	// (all of them on success).
+	// Accepted counts the observations absorbed: the whole batch on
+	// success, 0 on error.
 	Accepted int `json:"accepted"`
 }
 

@@ -40,18 +40,18 @@
 //	    replica shards (bucket index mod R-1, over shards[1:]), so each
 //	    bucket's synopsis lives in exactly one recycling ring. The home
 //	    entry keeps the key's pre-promotion history and receives diverted
-//	    and drained data; its shard's detection epochs advance only on
-//	    other traffic, so a route homed on an otherwise-silent shard is
-//	    swept for demotion only when writes return there (until then its
-//	    replicas age out through the ordinary eviction policies and
-//	    queries stay correct).
+//	    and drained data.
 //	  - Demotion. When a home-shard epoch ends with the route's traffic
 //	    since the previous epoch below the promotion threshold divided by
 //	    DemoteHysteresis, the route enters draining (writers divert to the
 //	    home path), its pending batch is flushed to the home entry, each
 //	    replica ring is drained (merged bucket-by-bucket) into the home
 //	    entry, and only then is the route unpublished — restoring the
-//	    state an unsplayed store would hold.
+//	    state an unsplayed store would hold. A route homed on a shard
+//	    that went fully silent has no epoch of its own to judge it, so
+//	    every OTHER shard's epoch roll runs a silence check: after
+//	    DemoteHysteresis consecutive checks with zero traffic, the route
+//	    demotes the same way.
 //
 // Consistency. Promotion moves no data. A batched write is visible to
 // queries no later than the caller's next Query of that key: the query
@@ -235,6 +235,14 @@ type hotRoute struct {
 	// epoch cannot observe an empty window and demote a hot key.
 	sweepSeq  atomic.Uint64
 	sweptHits atomic.Uint64
+	// silentHits/silent catch routes whose HOME shard went quiet: every
+	// foreign shard's epoch roll also glances at the route, and
+	// DemoteHysteresis consecutive glances with no traffic at all (hits
+	// frozen, no pending batch) demote it — without this, a route homed
+	// on a fully-silent shard would stay splayed forever, since home
+	// sweeps only run on home writes.
+	silentHits atomic.Uint64
+	silent     atomic.Uint32
 	// newest is the route's bucket high-water mark. Every sub-ring
 	// advances to it before absorbing a flush, and queries clamp to it,
 	// so the retention window of a splayed key tracks the whole key's
@@ -600,11 +608,14 @@ func (s *Store) promote(k entryKey) {
 // traffic has cooled. seq is the epoch the caller's harvest produced:
 // only the sweeper that advances a route's sweepSeq to a newer epoch
 // judges it, so duplicate or delayed sweeps of the same epoch are no-ops
-// instead of observing an already-consumed window. A route homed on a
-// shard that stops receiving any writes at all is swept only when
-// traffic returns; until then its replicas age out through the normal
-// idle/size eviction policies and queries stay correct (an absent
-// replica simply contributes nothing).
+// instead of observing an already-consumed window. Routes homed on
+// OTHER shards get a silence check on every sweep: a route whose home
+// shard stopped receiving writes entirely has no epoch boundary of its
+// own to judge it, so DemoteHysteresis consecutive foreign epoch rolls
+// observing zero traffic (hits frozen, no pending batch) demote it and
+// fold its replicas home. Concurrent foreign sweeps may count silence
+// faster than one-per-epoch — the hysteresis is a floor on evidence,
+// not an exact roll count — and any traffic resets the streak.
 func (s *Store) sweepRoutes(shardIdx uint32, seq uint64) {
 	tab := s.hot.Load()
 	if tab == nil {
@@ -613,6 +624,7 @@ func (s *Store) sweepRoutes(shardIdx uint32, seq uint64) {
 	below := s.cfg.HotKey.demoteBelow()
 	for _, r := range tab.m {
 		if r.home != shardIdx {
+			s.sweepForeign(r)
 			continue
 		}
 		claimed := false
@@ -641,6 +653,24 @@ func (s *Store) sweepRoutes(shardIdx uint32, seq uint64) {
 			s.sealAndFlush(r, b, false)
 			continue
 		}
+		s.demote(r)
+	}
+}
+
+// sweepForeign is the silence check a foreign shard's epoch roll gives
+// a route homed elsewhere: fresh traffic (a hits advance or a pending
+// batch) resets the streak; a fully-silent route demotes once the
+// streak reaches DemoteHysteresis, restoring the state an unsplayed
+// store would hold instead of pinning dead replica rings until their
+// idle eviction.
+func (s *Store) sweepForeign(r *hotRoute) {
+	total := r.hits.Load()
+	moved := r.silentHits.Swap(total) != total
+	if b := r.cur.Load(); moved || (b != nil && b.pos.Load() > 0) {
+		r.silent.Store(0)
+		return
+	}
+	if int(r.silent.Add(1)) >= s.cfg.HotKey.DemoteHysteresis {
 		s.demote(r)
 	}
 }

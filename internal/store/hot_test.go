@@ -227,6 +227,110 @@ func TestHotKeyLifecycleMatchesControl(t *testing.T) {
 	}
 }
 
+// TestHotKeySilentHomeDemotion pins the silent-route lifecycle: a
+// promoted key goes completely quiet along with everything else homed
+// on its shards, so its own detection epochs never roll again — and
+// epoch rolls on OTHER shards alone must still demote the route (the
+// foreign silence check) instead of pinning dead replica rings
+// forever. Single-threaded, so the DemoteHysteresis streak is an exact
+// roll count.
+func TestHotKeySilentHomeDemotion(t *testing.T) {
+	subject := mustStore(t, lifecycleConfig())
+	cfg := lifecycleConfig()
+	cfg.HotKey = HotKeyConfig{}
+	control := mustStore(t, cfg)
+	registerExactPair(t, subject)
+	registerExactPair(t, control)
+
+	var now int64
+	feed := func(key, item string, ts int64) {
+		t.Helper()
+		obs := Observation{Metric: "uniq", Key: key, Item: item, Time: ts}
+		for _, st := range []*Store{subject, control} {
+			if err := st.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		obs.Metric = "hits"
+		obs.Value = 1
+		for _, st := range []*Store{subject, control} {
+			if err := st.Observe(obs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ts > now {
+			now = ts
+		}
+	}
+	hotRouted := func() bool {
+		for _, hk := range subject.HotKeys() {
+			if hk.Key == "hot" {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Phase A — promote "hot" with a skewed stream (as the main
+	// lifecycle test does).
+	cold := make([]string, 8)
+	for i := range cold {
+		cold[i] = fmt.Sprintf("bg%d", i)
+	}
+	for i := 0; i < 600; i++ {
+		ts := int64(i / 4)
+		if i%5 != 4 {
+			feed("hot", fmt.Sprintf("item%d", i%8), ts)
+		} else {
+			feed(cold[i%len(cold)], fmt.Sprintf("item%d", i%8), ts)
+		}
+	}
+	if !hotRouted() {
+		t.Fatalf("hot key never promoted: %+v", subject.Stats())
+	}
+
+	// Phase B — total silence on the hot key's home shards: every write
+	// from here on lands on keys foreign to BOTH of its routes (one per
+	// metric), so only foreign epoch rolls can ever judge them.
+	uniqHome := subject.shardIndex(entryKey{metric: "uniq", key: "hot"})
+	hitsHome := subject.shardIndex(entryKey{metric: "hits", key: "hot"})
+	var foreign []string
+	for i := 0; len(foreign) < 8; i++ {
+		k := fmt.Sprintf("far%d", i)
+		u := subject.shardIndex(entryKey{metric: "uniq", key: k})
+		h := subject.shardIndex(entryKey{metric: "hits", key: k})
+		if u != uniqHome && h != hitsHome && u != hitsHome && h != uniqHome {
+			foreign = append(foreign, k)
+		}
+	}
+	demotionsBefore := subject.Stats().Demotions
+	base := now
+	i := 0
+	for ; i < 20000 && hotRouted(); i++ {
+		feed(foreign[i%len(foreign)], fmt.Sprintf("item%d", i%8), base+int64(i/8))
+	}
+	if hotRouted() {
+		t.Fatalf("silent route survived %d foreign writes: %+v (hot keys %v)",
+			i, subject.Stats(), subject.HotKeys())
+	}
+	if d := subject.Stats().Demotions; d <= demotionsBefore {
+		t.Fatalf("Demotions did not advance across the silent demotion: %d -> %d", demotionsBefore, d)
+	}
+
+	// The demotion drained every replica ring home: answers must still
+	// match the unsplayed control exactly, including the quiet key's
+	// full history.
+	assertStoresAgree(t, subject, control, append([]string{"hot"}, foreign...), now)
+
+	// Phase C — the key coming back takes the plain path and still
+	// agrees (and may be re-promoted later; either way reads match).
+	base = now
+	for j := 0; j < 200; j++ {
+		feed("hot", fmt.Sprintf("item%d", j%8), base+int64(j/8))
+	}
+	assertStoresAgree(t, subject, control, []string{"hot"}, now)
+}
+
 func TestHotKeyConfigValidation(t *testing.T) {
 	for _, bad := range []HotKeyConfig{
 		{Replicas: -1},

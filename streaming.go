@@ -29,7 +29,9 @@ package repro
 import (
 	"context"
 	"net/http"
+	"time"
 
+	"repro/internal/admission"
 	"repro/internal/analytics"
 	"repro/internal/anomaly"
 	"repro/internal/cardinality"
@@ -1222,4 +1224,73 @@ type ContextQuerier = analytics.ContextQuerier
 // context is still live.
 func QueryWithContext(ctx context.Context, be Backend, req QueryRequest) (QueryResult, error) {
 	return analytics.QueryContext(ctx, be, req)
+}
+
+// ---- Admission control (overload shedding and batched ingest) ----
+
+// BatchObserver is the optional batched-write surface a Backend may
+// implement: the whole batch is validated before anything mutates
+// (all-or-nothing), an accepted batch is byte-identical to the same
+// observations fed one Observe at a time, and an empty batch is a
+// no-op. SketchStore, ClusterRouter, Lambda and AnalyticsClient all
+// implement it.
+type BatchObserver = analytics.BatchObserver
+
+// ObserveBatch absorbs a batch through be: backends implementing
+// BatchObserver get the amortized path (one shard-group lock in the
+// store, one partition-buffer acquisition in the cluster, one HTTP
+// request from the client); for the rest it degrades to an Observe
+// loop, stopping at the first error.
+func ObserveBatch(be Backend, obs []StoreObservation) error {
+	return analytics.ObserveBatch(be, obs)
+}
+
+// AdmissionController prices writes against token buckets (global,
+// per-metric, per-tenant) and sheds what the budget cannot cover with
+// a typed, retryable error. A lag-driven backpressure ladder halves
+// the admitted rates per level as consumer lag or log disk pressure
+// grows. A nil controller admits everything.
+type AdmissionController = admission.Controller
+
+// AdmissionConfig tunes an AdmissionController: Rate/Burst for the
+// global bucket, MetricRate/TenantRate for the keyed buckets, and a
+// Backpressure block wiring lag and disk signals.
+type AdmissionConfig = admission.Config
+
+// AdmissionBackpressure wires overload signals into an
+// AdmissionController: consumer lag (e.g. ClusterRouter's consumer
+// group) and log disk usage, sampled at most once per SampleEvery.
+type AdmissionBackpressure = admission.BackpressureConfig
+
+// AdmissionStats snapshots a controller's admitted/shed accounting,
+// current backpressure level, and token balance.
+type AdmissionStats = admission.Stats
+
+// NewAdmissionController builds a controller from cfg.
+func NewAdmissionController(cfg AdmissionConfig) (*AdmissionController, error) {
+	return admission.New(cfg)
+}
+
+// AdmitBackend wraps be so every Observe and ObserveBatch first clears
+// ctrl: a shed write returns an error matching ErrOverloaded (carrying
+// a Retry-After via OverloadWait) and provably never reaches the
+// backend — batches are admitted whole before a single observation is
+// delegated. A nil controller returns be unchanged.
+func AdmitBackend(be Backend, ctrl *AdmissionController) Backend {
+	return analytics.Admit(be, ctrl)
+}
+
+// ErrOverloaded is the sentinel every shed write matches with
+// errors.Is — locally from an AdmissionController, or rehydrated by
+// AnalyticsClient from an HTTP 429 + Retry-After exchange.
+var ErrOverloaded = admission.ErrOverloaded
+
+// Overload is the typed shed error: the quoted RetryAfter plus which
+// budget (scope/key) rejected the write.
+type Overload = admission.Overload
+
+// OverloadWait extracts the quoted Retry-After from a shed error; ok
+// reports whether err carries an Overload at all.
+func OverloadWait(err error) (wait time.Duration, ok bool) {
+	return admission.Wait(err)
 }
